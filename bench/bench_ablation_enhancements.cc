@@ -1,0 +1,75 @@
+/// Ablation for Enhancements 1 and 2 of Algorithm 6 (Algorithms 7 and 8):
+/// Enhancement 1 tie-breaks toward fewer new dominator vertices (smaller
+/// dominators), Enhancement 2 prunes exhausted tail sets (faster
+/// iterations). Also compares against Algorithm 5.
+#include <cstdio>
+
+#include "common.h"
+#include "util/logging.h"
+#include "core/dominator.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace hypermine::bench {
+namespace {
+
+void Run(const BenchOptions& options) {
+  core::MarketExperiment experiment = MustSetUp(options, core::ConfigC1());
+  auto threshold = experiment.graph.WeightQuantileThreshold(0.40);
+  HM_CHECK_OK(threshold.status());
+
+  TablePrinter table({"algorithm", "enh.1", "enh.2", "dominator size",
+                      "% covered", "time"});
+  struct Variant {
+    bool enhancement1;
+    bool enhancement2;
+  };
+  const Variant variants[] = {
+      {false, false}, {true, false}, {false, true}, {true, true}};
+  for (const Variant& variant : variants) {
+    core::DominatorConfig config;
+    config.acv_threshold = *threshold;
+    config.enhancement1 = variant.enhancement1;
+    config.enhancement2 = variant.enhancement2;
+    Stopwatch timer;
+    auto result =
+        core::ComputeDominatorSetCover(experiment.graph, {}, config);
+    HM_CHECK_OK(result.status());
+    table.AddRow({"Algorithm 6", variant.enhancement1 ? "on" : "off",
+                  variant.enhancement2 ? "on" : "off",
+                  std::to_string(result->dominator.size()),
+                  StrFormat("%.0f", result->fraction_covered * 100.0),
+                  StrFormat("%.3fs", timer.ElapsedSeconds())});
+  }
+  table.AddSeparator();
+  {
+    core::DominatorConfig config;
+    config.acv_threshold = *threshold;
+    Stopwatch timer;
+    auto result =
+        core::ComputeDominatorGreedyDS(experiment.graph, {}, config);
+    HM_CHECK_OK(result.status());
+    table.AddRow({"Algorithm 5", "-", "-",
+                  std::to_string(result->dominator.size()),
+                  StrFormat("%.0f", result->fraction_covered * 100.0),
+                  StrFormat("%.3fs", timer.ElapsedSeconds())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper shape (Tables 5.3 vs 5.4): Algorithm 5 finds slightly smaller "
+      "dominators than Algorithm 6 at the same threshold; the enhancements "
+      "aim at smaller dominators (enh.1) and faster iterations (enh.2).\n");
+}
+
+}  // namespace
+}  // namespace hypermine::bench
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_ablation_enhancements",
+      "Algorithm 6 Enhancements 1 & 2 ablation (Algorithms 7-8)");
+  Run(options);
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Reproduces Figure 5.4: the classification-confidence distribution of
+/// the association-based classifier over expanding training windows. The
+/// training set grows one year at a time (the paper starts at 1996); the
+/// out-sample is always the year right after the window. Panels (a) and (b)
+/// use dominators from Algorithm 5 and Algorithm 6 respectively.
+#include <cstdio>
+
+#include "common.h"
+#include "core/classifier.h"
+#include "core/dominator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace hypermine::bench {
+namespace {
+
+void RunPanel(const BenchOptions& options, bool use_alg6) {
+  auto panel = market::SimulateMarket(options.market);
+  HM_CHECK_OK(panel.status());
+  const core::HypergraphConfig config = core::ConfigC1();
+  int first = options.market.first_year;
+  int last = first + static_cast<int>(options.market.num_years) - 1;
+
+  std::printf("(%c) dominator from Algorithm %s\n", use_alg6 ? 'b' : 'a',
+              use_alg6 ? "6 (set-cover adaptation)"
+                       : "5 (dominating-set adaptation)");
+  TablePrinter table({"train window", "test year", "dominator", "ABC in",
+                      "ABC out"});
+  // Expanding windows: train [first .. year], test year+1.
+  for (int year = first + 1; year < last; ++year) {
+    auto split =
+        core::DiscretizeTrainTest(*panel, config.k, first, year, year + 1,
+                                  year + 1);
+    HM_CHECK_OK(split.status());
+    auto graph = core::BuildAssociationHypergraph(split->train, config);
+    HM_CHECK_OK(graph.status());
+    // Threshold at the top 40% of hyperedges, the Figure 5.4 setting
+    // (ACV-threshold 0.45 for the paper's C1 model).
+    auto threshold = graph->WeightQuantileThreshold(0.40);
+    HM_CHECK_OK(threshold.status());
+    core::DominatorConfig dom_config;
+    dom_config.acv_threshold = *threshold;
+    auto dominator =
+        use_alg6 ? core::ComputeDominatorSetCover(*graph, {}, dom_config)
+                 : core::ComputeDominatorGreedyDS(*graph, {}, dom_config);
+    HM_CHECK_OK(dominator.status());
+    if (dominator->dominator.empty()) continue;
+    auto in_sample = core::EvaluateAssociationClassifier(
+        *graph, split->train, split->train, dominator->dominator);
+    auto out_sample = core::EvaluateAssociationClassifier(
+        *graph, split->train, split->test, dominator->dominator);
+    HM_CHECK_OK(in_sample.status());
+    HM_CHECK_OK(out_sample.status());
+    table.AddRow({StrFormat("%d - %d", first, year),
+                  std::to_string(year + 1),
+                  std::to_string(dominator->dominator.size()),
+                  FormatDouble(in_sample->mean_confidence, 3),
+                  FormatDouble(out_sample->mean_confidence, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace hypermine::bench
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_fig54_confidence_by_year",
+      "Figure 5.4 in-/out-sample confidence across expanding windows (C1)");
+  RunPanel(options, /*use_alg6=*/false);
+  RunPanel(options, /*use_alg6=*/true);
+  std::printf(
+      "paper: mean classification confidence stays within 0.60-0.75 on "
+      "both in-sample and out-sample data across all windows.\n");
+  return 0;
+}

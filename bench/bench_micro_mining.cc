@@ -1,0 +1,103 @@
+/// google-benchmark comparison of the classic frequent-itemset miners:
+/// Apriori (candidate generation) vs FP-Growth (prefix-tree projection),
+/// plus rule generation and the quantitative bridge.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "mining/apriori.h"
+#include "mining/fpgrowth.h"
+#include "mining/quantitative.h"
+#include "mining/rules.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::mining {
+namespace {
+
+TransactionSet MakeTxns(size_t num_items, size_t count, double density,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<ItemId>> raw(count);
+  for (auto& txn : raw) {
+    for (ItemId item = 0; item < num_items; ++item) {
+      // Blocks of correlated items make multi-level itemsets frequent.
+      double p = (item % 4 == 0) ? density * 1.5 : density;
+      if (rng.NextBernoulli(p)) txn.push_back(item);
+    }
+  }
+  auto txns = MakeTransactionSet(num_items, raw);
+  HM_CHECK_OK(txns.status());
+  return std::move(txns).value();
+}
+
+void BM_Apriori(benchmark::State& state) {
+  TransactionSet txns =
+      MakeTxns(static_cast<size_t>(state.range(0)), 500, 0.25, 3);
+  AprioriConfig config;
+  config.min_support = 0.10;
+  config.max_size = 3;
+  for (auto _ : state) {
+    auto frequent = Apriori(txns, config);
+    HM_CHECK_OK(frequent.status());
+    benchmark::DoNotOptimize(frequent->size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FpGrowth(benchmark::State& state) {
+  TransactionSet txns =
+      MakeTxns(static_cast<size_t>(state.range(0)), 500, 0.25, 3);
+  FpGrowthConfig config;
+  config.min_support = 0.10;
+  config.max_size = 3;
+  for (auto _ : state) {
+    auto frequent = FpGrowth(txns, config);
+    HM_CHECK_OK(frequent.status());
+    benchmark::DoNotOptimize(frequent->size());
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  TransactionSet txns = MakeTxns(32, 500, 0.25, 5);
+  FpGrowthConfig fp;
+  fp.min_support = 0.08;
+  fp.max_size = 3;
+  auto frequent = FpGrowth(txns, fp);
+  HM_CHECK_OK(frequent.status());
+  RuleConfig config;
+  config.min_confidence = 0.5;
+  for (auto _ : state) {
+    auto rules = GenerateRules(*frequent, txns.size(), config);
+    HM_CHECK_OK(rules.status());
+    benchmark::DoNotOptimize(rules->size());
+  }
+}
+BENCHMARK(BM_RuleGeneration);
+
+void BM_MineQuantitativeRules(benchmark::State& state) {
+  market::MarketConfig market_config;
+  market_config.num_series = 16;
+  market_config.num_years = 2;
+  auto panel = market::SimulateMarket(market_config);
+  HM_CHECK_OK(panel.status());
+  auto db = core::DiscretizePanel(*panel, 3);
+  HM_CHECK_OK(db.status());
+  QuantitativeConfig config;
+  config.min_support = 0.10;
+  config.min_confidence = 0.45;
+  config.max_rule_size = 3;
+  config.use_fpgrowth = state.range(0) == 1;
+  for (auto _ : state) {
+    auto rules = MineQuantitativeRules(*db, config);
+    HM_CHECK_OK(rules.status());
+    benchmark::DoNotOptimize(rules->size());
+  }
+}
+BENCHMARK(BM_MineQuantitativeRules)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("fpgrowth");
+
+}  // namespace
+}  // namespace hypermine::mining

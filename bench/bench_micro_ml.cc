@@ -1,0 +1,119 @@
+/// google-benchmark microbenchmarks for the Weka-substitute baselines used
+/// by Tables 5.3/5.4 (training and prediction cost per target).
+#include <benchmark/benchmark.h>
+
+#include "ml/dataset.h"
+#include "ml/kmeans.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/perceptron.h"
+#include "ml/svm.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+Dataset MakeData(size_t rows, size_t one_hot_groups, size_t k,
+                 uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = k;
+  const size_t width = one_hot_groups * k + 1;
+  data.features = Matrix(rows, width, 0.0);
+  data.labels.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t label = rng.NextBounded(k);
+    for (size_t g = 0; g < one_hot_groups; ++g) {
+      // Features correlate with the label 70% of the time.
+      size_t v = rng.NextBernoulli(0.7) ? label : rng.NextBounded(k);
+      data.features.At(r, g * k + v) = 1.0;
+    }
+    data.features.At(r, width - 1) = 1.0;
+    data.labels[r] = static_cast<int>(label);
+  }
+  return data;
+}
+
+void BM_SvmTrain(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)), 15, 3, 1);
+  SvmConfig config;
+  config.epochs = 12;
+  for (auto _ : state) {
+    auto model = LinearSvm::Train(data, config);
+    HM_CHECK_OK(model.status());
+    benchmark::DoNotOptimize(model->num_classes());
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(512)->Arg(2048);
+
+void BM_MlpTrain(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)), 15, 3, 2);
+  MlpConfig config;
+  config.hidden_units = 10;
+  config.epochs = 18;
+  for (auto _ : state) {
+    auto model = Mlp::Train(data, config);
+    HM_CHECK_OK(model.status());
+    benchmark::DoNotOptimize(model->num_classes());
+  }
+}
+BENCHMARK(BM_MlpTrain)->Arg(512)->Arg(2048);
+
+void BM_LogisticTrain(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)), 15, 3, 3);
+  LogisticRegressionConfig config;
+  config.epochs = 40;
+  for (auto _ : state) {
+    auto model = LogisticRegression::Train(data, config);
+    HM_CHECK_OK(model.status());
+    benchmark::DoNotOptimize(model->num_classes());
+  }
+}
+BENCHMARK(BM_LogisticTrain)->Arg(512)->Arg(2048);
+
+void BM_PerceptronTrain(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)), 15, 3, 4);
+  PerceptronConfig config;
+  config.max_epochs = 25;
+  for (auto _ : state) {
+    auto model = MulticlassPerceptron::Train(data, config);
+    HM_CHECK_OK(model.status());
+    benchmark::DoNotOptimize(model->num_classes());
+  }
+}
+BENCHMARK(BM_PerceptronTrain)->Arg(512)->Arg(2048);
+
+void BM_BatchPredict(benchmark::State& state) {
+  Dataset data = MakeData(2048, 15, 3, 5);
+  auto model = LinearSvm::Train(data);
+  HM_CHECK_OK(model.status());
+  for (auto _ : state) {
+    auto preds = model->Predict(data.features);
+    HM_CHECK_OK(preds.status());
+    benchmark::DoNotOptimize(preds->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_BatchPredict);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(6);
+  Matrix points(static_cast<size_t>(state.range(0)), 8);
+  for (size_t r = 0; r < points.rows(); ++r) {
+    for (size_t c = 0; c < points.cols(); ++c) {
+      points.At(r, c) = rng.NextGaussian() + (r % 4) * 3.0;
+    }
+  }
+  KMeansConfig config;
+  config.k = 4;
+  for (auto _ : state) {
+    auto result = KMeans(points, config);
+    HM_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result->inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace hypermine::ml

@@ -1,0 +1,54 @@
+/// Reproduces the model-size statistics of Section 5.1.2: number of
+/// directed edges and 2-to-1 directed hyperedges and their mean ACVs, for
+/// configurations C1 and C2.
+#include <cstdio>
+
+#include "common.h"
+
+namespace hypermine::bench {
+namespace {
+
+void RunConfig(const BenchOptions& options,
+               const core::HypergraphConfig& config) {
+  core::MarketExperiment experiment = MustSetUp(options, config);
+  std::printf("--- configuration %s (k=%zu, gamma_edge=%.2f, "
+              "gamma_hyper=%.2f) ---\n",
+              ConfigName(config).c_str(), config.k, config.gamma_edge,
+              config.gamma_hyper);
+  std::printf("  build: %s\n", experiment.stats.ToString().c_str());
+  const bool c1 = config.k == 3;
+  PrintPaperComparison(
+      "directed edges",
+      static_cast<double>(experiment.graph.NumDirectedEdges()),
+      c1 ? "106,475 at 346 series" : "109,810 at 346 series");
+  PrintPaperComparison(
+      "2-to-1 directed hyperedges",
+      static_cast<double>(experiment.graph.NumPairEdges()),
+      c1 ? "157,412 at 346 series" : "274,048 at 346 series");
+  PrintPaperComparison("mean ACV of directed edges",
+                       experiment.graph.MeanDirectedEdgeWeight(),
+                       c1 ? "0.436" : "0.288");
+  PrintPaperComparison("mean ACV of 2-to-1 hyperedges",
+                       experiment.graph.MeanPairEdgeWeight(),
+                       c1 ? "0.437" : "0.288");
+  double candidate_share =
+      experiment.stats.edge_candidates == 0
+          ? 0.0
+          : static_cast<double>(experiment.stats.edges_kept) /
+                static_cast<double>(experiment.stats.edge_candidates);
+  PrintPaperComparison("gamma-significant edge share", candidate_share,
+                       "~0.89 (106,475 of 119,370)");
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace hypermine::bench
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_model_stats", "Section 5.1.2 model statistics");
+  if (options.run_c1) RunConfig(options, hypermine::core::ConfigC1());
+  if (options.run_c2) RunConfig(options, hypermine::core::ConfigC2());
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Reproduces Table 5.2: for each selected series, the 2-to-1 directed
+/// hyperedge with the highest ACV next to its two constituent directed
+/// edges — showing that combining two predictors beats either alone
+/// (e.g. HES, SLB -> XOM at 0.58 vs 0.55 and 0.54 in the paper).
+#include <cstdio>
+
+#include "common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace hypermine::bench {
+namespace {
+
+void RunConfig(const BenchOptions& options,
+               const core::HypergraphConfig& config) {
+  core::MarketExperiment experiment = MustSetUp(options, config);
+  const core::DirectedHypergraph& graph = experiment.graph;
+
+  TablePrinter table({"Time-series", "Config", "Top 2-to-1 hyperedge",
+                      "Directed edge 1", "Directed edge 2"});
+  std::vector<double> gains;
+  for (const std::string& symbol : SelectedSeries()) {
+    auto idx = experiment.database.AttributeIndex(symbol);
+    if (!idx.ok()) continue;
+    // Best pair into this head.
+    core::EdgeId best_pair = 0;
+    double best_weight = -1.0;
+    for (core::EdgeId id : graph.InEdgeIds(*idx)) {
+      const core::Hyperedge& e = graph.edge(id);
+      if (e.tail_size() == 2 && e.weight > best_weight) {
+        best_weight = e.weight;
+        best_pair = id;
+      }
+    }
+    if (best_weight < 0.0) continue;
+    const core::Hyperedge& pair = graph.edge(best_pair);
+
+    auto edge_cell = [&](core::VertexId tail) {
+      std::vector<core::VertexId> t = {tail};
+      auto found = graph.FindEdge(t, *idx);
+      double weight =
+          found ? graph.edge(*found).weight : 0.0;  // may be sub-threshold
+      std::string label = graph.vertex_name(tail) + " -> " + symbol;
+      if (found) {
+        gains.push_back(pair.weight - weight);
+        return label + " (" + FormatDouble(weight, 2) + ")";
+      }
+      return label + " (below gamma)";
+    };
+    table.AddRow({symbol, ConfigName(config),
+                  FormatEdgeWithSectors(experiment, best_pair) + " (" +
+                      FormatDouble(pair.weight, 2) + ")",
+                  edge_cell(pair.tail[0]), edge_cell(pair.tail[1])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!gains.empty()) {
+    PrintPaperComparison("mean ACV gain of pair over constituent edge",
+                         Mean(gains),
+                         ConfigName(config) == "C1"
+                             ? "~0.03 (e.g. 0.58 vs 0.55/0.54 for XOM)"
+                             : "~0.04 (e.g. 0.37 vs 0.33/0.31 for XOM)");
+    std::printf("  (positive gain on every row is guaranteed: gamma_hyper "
+                "> 1 admits only pairs that beat both edges)\n\n");
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::bench
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_table52_hyperedge_vs_edges",
+      "Table 5.2 top 2-to-1 hyperedge vs constituent directed edges");
+  if (options.run_c1) RunConfig(options, hypermine::core::ConfigC1());
+  if (options.run_c2) RunConfig(options, hypermine::core::ConfigC2());
+  return 0;
+}

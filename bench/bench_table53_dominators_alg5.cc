@@ -1,0 +1,14 @@
+/// Reproduces Table 5.3: dominator size / coverage and mean classification
+/// confidence of the association-based classifier and the SVM / MLP /
+/// logistic-regression baselines, with dominators computed by Algorithm 5
+/// (the graph-dominating-set adaptation).
+#include "dominator_table.h"
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_table53_dominators_alg5",
+      "Table 5.3 dominators via Algorithm 5 + classifier comparison");
+  RunDominatorTable(options, DominatorAlgorithm::kAlg5GreedyDS);
+  return 0;
+}

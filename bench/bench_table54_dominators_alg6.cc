@@ -1,0 +1,13 @@
+/// Reproduces Table 5.4: like Table 5.3 but with dominators computed by
+/// Algorithm 6 (the set-cover adaptation) including Enhancements 1 and 2
+/// (Algorithms 7 and 8).
+#include "dominator_table.h"
+
+int main(int argc, char** argv) {
+  using namespace hypermine::bench;
+  BenchOptions options = ParseBenchArgs(
+      argc, argv, "bench_table54_dominators_alg6",
+      "Table 5.4 dominators via Algorithm 6 (+ Enhancements 1 & 2)");
+  RunDominatorTable(options, DominatorAlgorithm::kAlg6SetCover);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef HYPERMINE_BENCH_COMMON_H_
+#define HYPERMINE_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/pipeline.h"
+#include "market/market_sim.h"
+#include "util/flags.h"
+
+namespace hypermine::bench {
+
+/// Scale and configuration shared by every table/figure harness. Defaults
+/// run on one core in seconds; --full switches to the paper's scale
+/// (346 series x 15 years, Jan 1995 - Dec 2009).
+struct BenchOptions {
+  market::MarketConfig market;
+  bool run_c1 = true;
+  bool run_c2 = true;
+  bool skip_baselines = false;
+  /// "paper" (association-table rows, Section 5.5) or "raw" (train on raw
+  /// in-sample observations; stronger than the paper's baselines).
+  std::string baseline_protocol = "paper";
+
+  /// Parses --series, --years, --seed, --full, --config=c1|c2|both,
+  /// --skip-baselines, --baseline-protocol=paper|raw.
+  static BenchOptions FromFlags(const FlagParser& flags);
+};
+
+/// Parses argv and prints the run header (scale, seed, configs).
+BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name,
+                            const char* paper_anchor);
+
+/// The 11 series of Tables 5.1/5.2, one per sector (Conglomerates has no
+/// selected row in the paper either).
+const std::vector<std::string>& SelectedSeries();
+
+/// Sets up market + discretized database + hypergraph for one config.
+core::MarketExperiment MustSetUp(const BenchOptions& options,
+                                 const core::HypergraphConfig& config);
+
+/// "C1" / "C2" label helper.
+std::string ConfigName(const core::HypergraphConfig& config);
+
+/// Formats a hyperedge like the paper's tables: "HES (E), SLB (E) -> XOM".
+std::string FormatEdgeWithSectors(const core::MarketExperiment& experiment,
+                                  core::EdgeId id);
+
+/// Prints a line comparing a measured value against what the paper reports.
+void PrintPaperComparison(const std::string& metric, double measured,
+                          const std::string& paper_value);
+
+}  // namespace hypermine::bench
+
+#endif  // HYPERMINE_BENCH_COMMON_H_

@@ -1,0 +1,268 @@
+#include "dominator_table.h"
+
+#include <cstdio>
+
+#include "core/assoc_table.h"
+#include "core/classifier.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/svm.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace hypermine::bench {
+namespace {
+
+struct BaselineScores {
+  double svm = 0.0;
+  double mlp = 0.0;
+  double logistic = 0.0;
+};
+
+struct BaselineModels {
+  ml::SvmConfig svm;
+  ml::MlpConfig mlp;
+  ml::LogisticRegressionConfig logistic;
+
+  BaselineModels() {
+    svm.epochs = 12;
+    mlp.hidden_units = 10;
+    mlp.epochs = 18;
+    logistic.epochs = 40;
+  }
+};
+
+double ScoreOne(const ml::Dataset& train, const ml::Dataset& test,
+                const BaselineModels& models, double* svm_out,
+                double* mlp_out, double* log_out) {
+  auto svm = ml::LinearSvm::Train(train, models.svm);
+  HM_CHECK_OK(svm.status());
+  auto svm_preds = svm->Predict(test.features);
+  HM_CHECK_OK(svm_preds.status());
+  *svm_out = *ml::Accuracy(*svm_preds, test.labels);
+
+  auto mlp = ml::Mlp::Train(train, models.mlp);
+  HM_CHECK_OK(mlp.status());
+  auto mlp_preds = mlp->Predict(test.features);
+  HM_CHECK_OK(mlp_preds.status());
+  *mlp_out = *ml::Accuracy(*mlp_preds, test.labels);
+
+  auto logistic = ml::LogisticRegression::Train(train, models.logistic);
+  HM_CHECK_OK(logistic.status());
+  auto log_preds = logistic->Predict(test.features);
+  HM_CHECK_OK(log_preds.status());
+  *log_out = *ml::Accuracy(*log_preds, test.labels);
+  return 0.0;
+}
+
+/// "raw" protocol: baselines train on the raw in-sample observations
+/// restricted to dominator features. Stronger than what the paper used;
+/// kept as --baseline-protocol=raw for the honest-comparison ablation.
+BaselineScores EvaluateBaselinesRaw(const core::Database& train,
+                                    const core::Database& test,
+                                    const std::vector<core::AttrId>& features,
+                                    const std::vector<char>& in_dom) {
+  BaselineModels models;
+  std::vector<double> svm_acc;
+  std::vector<double> mlp_acc;
+  std::vector<double> log_acc;
+  for (core::AttrId target = 0; target < train.num_attributes(); ++target) {
+    if (in_dom[target]) continue;
+    auto train_data = ml::MakeClassificationDataset(train, features, target);
+    auto test_data = ml::MakeClassificationDataset(test, features, target);
+    HM_CHECK_OK(train_data.status());
+    HM_CHECK_OK(test_data.status());
+    double svm = 0.0;
+    double mlp = 0.0;
+    double logistic = 0.0;
+    ScoreOne(*train_data, *test_data, models, &svm, &mlp, &logistic);
+    svm_acc.push_back(svm);
+    mlp_acc.push_back(mlp);
+    log_acc.push_back(logistic);
+  }
+  return BaselineScores{Mean(svm_acc), Mean(mlp_acc), Mean(log_acc)};
+}
+
+/// The paper's protocol (Section 5.5): for each target Y, the baseline
+/// training set is built from the association tables of the hyperedges
+/// e = ({A1, A2}, {Y}) with A1, A2 in the dominator — each AT row becomes
+/// one data point whose features are the one-hot tail value assignment and
+/// whose class is the row's most frequent value y* of Y. The trained model
+/// then classifies the out-sample days (full dominator evidence).
+BaselineScores EvaluateBaselinesPaperProtocol(
+    const core::DirectedHypergraph& graph, const core::Database& train,
+    const core::Database& test, const std::vector<core::AttrId>& features,
+    const std::vector<char>& in_dom) {
+  BaselineModels models;
+  const size_t k = train.num_values();
+  const size_t width = features.size() * k + 1;
+  std::vector<size_t> feature_slot(train.num_attributes(), width);
+  for (size_t f = 0; f < features.size(); ++f) {
+    feature_slot[features[f]] = f * k;
+  }
+
+  std::vector<double> svm_acc;
+  std::vector<double> mlp_acc;
+  std::vector<double> log_acc;
+  for (core::AttrId target = 0; target < train.num_attributes(); ++target) {
+    if (in_dom[target]) continue;
+    // Collect AT rows of dominator-tailed pair hyperedges into the target.
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (core::EdgeId id : graph.InEdgeIds(target)) {
+      const core::Hyperedge& e = graph.edge(id);
+      if (e.tail_size() != 2) continue;
+      if (!in_dom[e.tail[0]] || !in_dom[e.tail[1]]) continue;
+      auto table = core::AssociationTable::Build(
+          train, {e.tail[0], e.tail[1]}, target);
+      HM_CHECK_OK(table.status());
+      for (core::ValueId va = 0; va < k; ++va) {
+        for (core::ValueId vb = 0; vb < k; ++vb) {
+          const core::AssocTableRow& row = table->RowFor({va, vb});
+          if (row.tail_count == 0) continue;
+          std::vector<double> x(width, 0.0);
+          x[feature_slot[e.tail[0]] + va] = 1.0;
+          x[feature_slot[e.tail[1]] + vb] = 1.0;
+          x[width - 1] = 1.0;
+          rows.push_back(std::move(x));
+          labels.push_back(row.best_head_value);
+        }
+      }
+    }
+    if (rows.empty()) {
+      // No usable hyperedge: the baselines degenerate to chance on this
+      // target (the paper does not describe a fallback).
+      svm_acc.push_back(1.0 / static_cast<double>(k));
+      mlp_acc.push_back(1.0 / static_cast<double>(k));
+      log_acc.push_back(1.0 / static_cast<double>(k));
+      continue;
+    }
+    ml::Dataset train_data;
+    train_data.num_classes = k;
+    train_data.features = Matrix::FromRows(rows);
+    train_data.labels = std::move(labels);
+    auto test_data = ml::MakeClassificationDataset(test, features, target);
+    HM_CHECK_OK(test_data.status());
+    double svm = 0.0;
+    double mlp = 0.0;
+    double logistic = 0.0;
+    ScoreOne(train_data, *test_data, models, &svm, &mlp, &logistic);
+    svm_acc.push_back(svm);
+    mlp_acc.push_back(mlp);
+    log_acc.push_back(logistic);
+  }
+  return BaselineScores{Mean(svm_acc), Mean(mlp_acc), Mean(log_acc)};
+}
+
+void RunConfig(const BenchOptions& options,
+               const core::HypergraphConfig& config,
+               DominatorAlgorithm algorithm, bool paper_protocol,
+               TablePrinter* table) {
+  // In-sample: every year but the last; out-sample: the last year
+  // (the paper trains Jan 1996 - Dec 2008 and tests 2009).
+  int first = options.market.first_year;
+  int last = first + static_cast<int>(options.market.num_years) - 1;
+  auto panel = market::SimulateMarket(options.market);
+  HM_CHECK_OK(panel.status());
+  auto split =
+      core::DiscretizeTrainTest(*panel, config.k, first, last - 1, last, last);
+  HM_CHECK_OK(split.status());
+  core::BuildStats stats;
+  auto graph = core::BuildAssociationHypergraph(split->train, config, &stats);
+  HM_CHECK_OK(graph.status());
+
+  const double fractions[] = {0.40, 0.30, 0.20};
+  for (double fraction : fractions) {
+    auto threshold = graph->WeightQuantileThreshold(fraction);
+    HM_CHECK_OK(threshold.status());
+    core::DominatorConfig dom_config;
+    dom_config.acv_threshold = *threshold;
+    Stopwatch timer;
+    auto dominator =
+        algorithm == DominatorAlgorithm::kAlg5GreedyDS
+            ? core::ComputeDominatorGreedyDS(*graph, {}, dom_config)
+            : core::ComputeDominatorSetCover(*graph, {}, dom_config);
+    HM_CHECK_OK(dominator.status());
+    double dominator_seconds = timer.ElapsedSeconds();
+
+    auto in_sample = core::EvaluateAssociationClassifier(
+        *graph, split->train, split->train, dominator->dominator);
+    auto out_sample = core::EvaluateAssociationClassifier(
+        *graph, split->train, split->test, dominator->dominator);
+    HM_CHECK_OK(in_sample.status());
+    HM_CHECK_OK(out_sample.status());
+
+    BaselineScores baselines;
+    if (!options.skip_baselines) {
+      std::vector<char> in_dom(split->train.num_attributes(), 0);
+      for (core::VertexId v : dominator->dominator) in_dom[v] = 1;
+      std::vector<core::AttrId> features;
+      for (core::AttrId a = 0; a < split->train.num_attributes(); ++a) {
+        if (in_dom[a]) features.push_back(a);
+      }
+      HM_CHECK(!features.empty());
+      baselines = paper_protocol
+                      ? EvaluateBaselinesPaperProtocol(
+                            *graph, split->train, split->test, features,
+                            in_dom)
+                      : EvaluateBaselinesRaw(split->train, split->test,
+                                             features, in_dom);
+    }
+
+    table->AddRow({
+        ConfigName(config),
+        StrFormat("%.2f (top %.0f%%)", *threshold, fraction * 100.0),
+        std::to_string(dominator->dominator.size()),
+        StrFormat("%.0f", dominator->fraction_covered * 100.0),
+        FormatDouble(in_sample->mean_confidence, 3),
+        FormatDouble(out_sample->mean_confidence, 3),
+        options.skip_baselines ? "-" : FormatDouble(baselines.svm, 3),
+        options.skip_baselines ? "-" : FormatDouble(baselines.mlp, 3),
+        options.skip_baselines ? "-" : FormatDouble(baselines.logistic, 3),
+        StrFormat("%.2fs", dominator_seconds),
+    });
+  }
+  table->AddSeparator();
+}
+
+}  // namespace
+
+void RunDominatorTable(const BenchOptions& options,
+                       DominatorAlgorithm algorithm) {
+  // The paper trains the Weka baselines on association-table rows
+  // (Section 5.5); --baseline-protocol=raw trains them on the raw
+  // in-sample days instead (a strictly stronger baseline, see
+  // EXPERIMENTS.md).
+  const bool paper_protocol = options.baseline_protocol != "raw";
+  std::printf("baseline protocol: %s\n",
+              paper_protocol ? "paper (association-table rows, Section 5.5)"
+                             : "raw (train on raw in-sample days)");
+  TablePrinter table({"Config", "ACV-threshold", "Dominator size",
+                      "% covered", "ABC in-sample", "ABC out-sample", "SVM",
+                      "MLP", "Logistic", "dominator time"});
+  if (options.run_c1) {
+    RunConfig(options, core::ConfigC1(), algorithm, paper_protocol, &table);
+  }
+  if (options.run_c2) {
+    RunConfig(options, core::ConfigC2(), algorithm, paper_protocol, &table);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  const bool alg5 = algorithm == DominatorAlgorithm::kAlg5GreedyDS;
+  std::printf(
+      "paper (346 series): %s; C1 dominator sizes 13/15/22 covering "
+      "99/95/94%%, ABC in-sample ~0.64-0.65, out-sample ~0.72, SVM "
+      "0.49-0.55, MLP ~0.72, Logistic 0.49-0.54; C2 sizes 20-31, baselines "
+      "degrade with k=5 while ABC stays ~0.65/0.72.\n",
+      alg5 ? "Table 5.3 (Algorithm 5)" : "Table 5.4 (Algorithm 6)");
+  std::printf(
+      "shape to check: small dominators covering most series; ABC beats "
+      "the paper-protocol baselines; baselines collapse from C1 to C2 "
+      "while ABC stays well above chance (1/3 for C1, 1/5 for C2).\n");
+}
+
+}  // namespace hypermine::bench

@@ -1,0 +1,27 @@
+#ifndef HYPERMINE_BENCH_DOMINATOR_TABLE_H_
+#define HYPERMINE_BENCH_DOMINATOR_TABLE_H_
+
+#include "common.h"
+#include "core/dominator.h"
+
+namespace hypermine::bench {
+
+/// Which greedy dominator algorithm a table uses (Table 5.3 = Algorithm 5,
+/// Table 5.4 = Algorithm 6 with Enhancements 1 and 2).
+enum class DominatorAlgorithm { kAlg5GreedyDS, kAlg6SetCover };
+
+/// Runs the full Table 5.3/5.4 protocol (Sections 5.4 and 5.5):
+///  - split the panel into in-sample (all years but the last) and
+///    out-sample (last year), discretized independently per Section 5.1.1;
+///  - build the association hypergraph on the in-sample window;
+///  - for ACV thresholds keeping the top 40/30/20% of hyperedges, compute a
+///    dominator, then report its size, percent covered, and the mean
+///    classification confidence of the association-based classifier on both
+///    windows plus the SVM / multilayer-perceptron / logistic-regression
+///    baselines (Weka substitutes) on the out-sample window.
+void RunDominatorTable(const BenchOptions& options,
+                       DominatorAlgorithm algorithm);
+
+}  // namespace hypermine::bench
+
+#endif  // HYPERMINE_BENCH_DOMINATOR_TABLE_H_

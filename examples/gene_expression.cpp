@@ -1,0 +1,176 @@
+// Gene-expression scenario from the paper's Chapter 6 (future work): model
+// gene interactions with an association hypergraph, (1) cluster similar
+// genes and predict expression values of held-out genes, and (2) predict a
+// disease attribute using only disease-headed hyperedges.
+//
+// The data is synthetic: genes belong to co-regulated pathways, and the
+// disease state is driven by two marker genes.
+//
+//   ./gene_expression [--genes N] [--patients M] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/builder.h"
+#include "core/discretize.h"
+#include "core/dominator.h"
+#include "core/similarity.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace hypermine;
+
+namespace {
+
+constexpr size_t kPathwaySize = 4;
+
+/// Genes come in co-regulated pathways of 4; expression is the pathway
+/// factor plus gene-specific noise, discretized to under/normal/over (k=3).
+/// The last attribute is the disease, driven by genes 0 and 4.
+core::Database MakeGeneDatabase(size_t num_genes, size_t num_patients,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> expression(
+      num_genes, std::vector<double>(num_patients));
+  size_t num_pathways = (num_genes + kPathwaySize - 1) / kPathwaySize;
+  for (size_t p = 0; p < num_patients; ++p) {
+    std::vector<double> pathway(num_pathways);
+    for (double& f : pathway) f = rng.NextGaussian();
+    for (size_t g = 0; g < num_genes; ++g) {
+      expression[g][p] =
+          pathway[g / kPathwaySize] + 0.6 * rng.NextGaussian();
+    }
+  }
+  std::vector<std::vector<core::ValueId>> columns(num_genes + 1);
+  std::vector<std::string> names;
+  for (size_t g = 0; g < num_genes; ++g) {
+    auto discretized = core::EquiDepthDiscretize(expression[g], 3);
+    HM_CHECK_OK(discretized.status());
+    columns[g] = std::move(discretized).value();
+    names.push_back("gene" + std::to_string(g + 1));
+  }
+  // Disease: likely present when both marker genes are over-expressed.
+  columns[num_genes].resize(num_patients);
+  for (size_t p = 0; p < num_patients; ++p) {
+    bool markers = columns[0][p] == 2 && columns[4 % num_genes][p] == 2;
+    bool disease = markers ? rng.NextBernoulli(0.9) : rng.NextBernoulli(0.1);
+    columns[num_genes][p] = disease ? 1 : 0;
+  }
+  names.push_back("disease");
+  auto db = core::DatabaseFromColumns(std::move(names), 3, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  HM_CHECK_OK(flags.Parse(argc, argv));
+  const size_t num_genes = static_cast<size_t>(flags.GetInt("genes", 24));
+  const size_t num_patients =
+      static_cast<size_t>(flags.GetInt("patients", 600));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+
+  core::Database db = MakeGeneDatabase(num_genes, num_patients, seed);
+  core::AttrId disease = static_cast<core::AttrId>(num_genes);
+  std::printf("gene database: %zu patients x %zu genes + disease status\n\n",
+              db.num_observations(), num_genes);
+
+  // Problem (1) of Chapter 6: gene-only hypergraph for clustering and
+  // expression prediction, with the C1 gammas (genes are equi-depth
+  // discretized, so ACV(∅, H) ~ 1/k just like the financial data).
+  core::HypergraphConfig config = core::ConfigC1();
+  auto graph = core::BuildAssociationHypergraph(db, config);
+  HM_CHECK_OK(graph.status());
+
+  std::vector<core::VertexId> gene_vertices(num_genes);
+  for (size_t g = 0; g < num_genes; ++g) {
+    gene_vertices[g] = static_cast<core::VertexId>(g);
+  }
+  auto sg = core::SimilarityGraph::Build(*graph, gene_vertices);
+  HM_CHECK_OK(sg.status());
+  size_t num_pathways = (num_genes + kPathwaySize - 1) / kPathwaySize;
+  auto clustering = core::ClusterSimilarAttributes(*sg, num_pathways);
+  HM_CHECK_OK(clustering.status());
+
+  // Score how well clusters recover the planted pathways.
+  size_t same_pathway_pairs = 0;
+  size_t recovered = 0;
+  for (size_t a = 0; a < num_genes; ++a) {
+    for (size_t b = a + 1; b < num_genes; ++b) {
+      if (a / kPathwaySize != b / kPathwaySize) continue;
+      ++same_pathway_pairs;
+      recovered +=
+          clustering->assignment[a] == clustering->assignment[b] ? 1 : 0;
+    }
+  }
+  std::printf("(1) clustering genes into %zu groups (t-clustering on "
+              "in/out-similarity):\n    planted-pathway pairs kept "
+              "together: %zu/%zu\n\n",
+              num_pathways, recovered, same_pathway_pairs);
+
+  // Predict gene expression from a dominator of marker genes.
+  core::DominatorConfig dom_config;
+  auto dominator =
+      core::ComputeDominatorSetCover(*graph, gene_vertices, dom_config);
+  HM_CHECK_OK(dominator.status());
+  std::vector<core::VertexId> dominator_plus = dominator->dominator;
+  dominator_plus.push_back(disease);  // exclude disease from targets
+  auto eval = core::EvaluateAssociationClassifier(*graph, db, db,
+                                                  dominator_plus);
+  HM_CHECK_OK(eval.status());
+  std::printf("    expression prediction from %zu indicator genes: mean "
+              "confidence %.3f (chance 0.333)\n\n",
+              dominator->dominator.size(), eval->mean_confidence);
+
+  // Problem (2) of Chapter 6: disease prediction. Only hyperedges whose
+  // head set is the disease are relevant; Algorithm 9 uses exactly the
+  // in-edges of the target, so the restriction is automatic.
+  //
+  // Gamma note: the disease attribute is heavily skewed (mostly healthy
+  // patients), so ACV(∅, disease) is already ~0.81 and no *single* gene
+  // clears even a gentle significance margin — the association only shows
+  // up when both marker genes are read jointly. This is exactly the
+  // many-to-one relationship directed hyperedges exist for, and it needs
+  // the unrestricted pair enumeration (no constituent-edge prefilter).
+  core::HypergraphConfig disease_config = core::ConfigC1();
+  disease_config.gamma_edge = 1.02;
+  disease_config.gamma_hyper = 1.01;
+  disease_config.restrict_pairs_to_edges = false;
+  auto disease_graph = core::BuildAssociationHypergraph(db, disease_config);
+  HM_CHECK_OK(disease_graph.status());
+  size_t disease_headed = disease_graph->InEdgeIds(disease).size();
+  std::printf("    disease-headed hyperedges found: %zu (all of them "
+              "2-to-1: single genes are not gamma-significant)\n",
+              disease_headed);
+  auto classifier =
+      core::AssociationClassifier::Create(&*disease_graph, &db);
+  HM_CHECK_OK(classifier.status());
+  size_t correct = 0;
+  size_t with_rules = 0;
+  std::vector<int16_t> evidence(db.num_attributes());
+  for (size_t p = 0; p < db.num_observations(); ++p) {
+    for (core::AttrId a = 0; a < db.num_attributes(); ++a) {
+      evidence[a] = a == disease ? core::AssociationClassifier::kUnknown
+                                 : db.value(p, a);
+    }
+    auto prediction = classifier->Predict(evidence, disease);
+    HM_CHECK_OK(prediction.status());
+    correct += prediction->value == db.value(p, disease) ? 1 : 0;
+    with_rules += prediction->rules_used > 0 ? 1 : 0;
+  }
+  std::printf("(2) disease prediction from all gene values: accuracy %.3f "
+              "(%zu/%zu predictions used disease-headed hyperedges)\n",
+              static_cast<double>(correct) /
+                  static_cast<double>(db.num_observations()),
+              with_rules, db.num_observations());
+  std::printf("    disease base rate: %.3f\n",
+              1.0 - static_cast<double>(std::count(
+                        db.column(disease).begin(),
+                        db.column(disease).end(), core::ValueId{0})) /
+                        static_cast<double>(db.num_observations()));
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "approx/dominating_set.h"
+
+#include <algorithm>
+
+#include "approx/set_cover.h"
+#include "util/string_util.h"
+
+namespace hypermine::approx {
+
+namespace {
+
+StatusOr<std::vector<std::vector<size_t>>> AdjacencyList(const Graph& graph) {
+  std::vector<std::vector<size_t>> adj(graph.num_vertices);
+  for (const auto& [a, b] : graph.edges) {
+    if (a >= graph.num_vertices || b >= graph.num_vertices) {
+      return Status::InvalidArgument(
+          StrFormat("graph edge (%zu, %zu) outside vertex range %zu", a, b,
+                    graph.num_vertices));
+    }
+    if (a == b) continue;  // Self-loops add nothing to domination.
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+StatusOr<std::vector<size_t>> GreedyDominatingSet(const Graph& graph) {
+  HM_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> adj,
+                      AdjacencyList(graph));
+  // Set-cover reduction: choosing vertex v covers {v} ∪ N(v).
+  SetCoverInstance instance;
+  instance.universe_size = graph.num_vertices;
+  instance.sets.resize(graph.num_vertices);
+  for (size_t v = 0; v < graph.num_vertices; ++v) {
+    instance.sets[v] = adj[v];
+    instance.sets[v].push_back(v);
+  }
+  HM_ASSIGN_OR_RETURN(SetCoverResult cover, GreedySetCover(instance));
+  std::sort(cover.chosen.begin(), cover.chosen.end());
+  return cover.chosen;
+}
+
+bool IsDominatingSet(const Graph& graph, const std::vector<size_t>& dom) {
+  auto adj_or = AdjacencyList(graph);
+  if (!adj_or.ok()) return false;
+  const auto& adj = adj_or.value();
+  std::vector<char> dominated(graph.num_vertices, 0);
+  for (size_t v : dom) {
+    if (v >= graph.num_vertices) return false;
+    dominated[v] = 1;
+    for (size_t u : adj[v]) dominated[u] = 1;
+  }
+  return std::all_of(dominated.begin(), dominated.end(),
+                     [](char c) { return c != 0; });
+}
+
+StatusOr<std::vector<size_t>> BruteForceMinDominatingSet(const Graph& graph) {
+  const size_t n = graph.num_vertices;
+  if (n > 24) {
+    return Status::InvalidArgument("brute force dominating set: graph too big");
+  }
+  HM_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> adj,
+                      AdjacencyList(graph));
+  std::vector<uint32_t> closed(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    closed[v] = uint32_t{1} << v;
+    for (size_t u : adj[v]) closed[v] |= uint32_t{1} << u;
+  }
+  uint32_t full = n == 32 ? ~uint32_t{0} : ((uint32_t{1} << n) - 1);
+  size_t best_size = n + 1;
+  uint32_t best = 0;
+  for (uint32_t subset = 0; subset < (uint32_t{1} << n); ++subset) {
+    size_t size = static_cast<size_t>(__builtin_popcount(subset));
+    if (size >= best_size) continue;
+    uint32_t covered = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (subset & (uint32_t{1} << v)) covered |= closed[v];
+    }
+    if (covered == full) {
+      best_size = size;
+      best = subset;
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t v = 0; v < n; ++v) {
+    if (best & (uint32_t{1} << v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hypermine::approx

@@ -1,0 +1,32 @@
+#ifndef HYPERMINE_APPROX_DOMINATING_SET_H_
+#define HYPERMINE_APPROX_DOMINATING_SET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::approx {
+
+/// An undirected graph given as an edge list over vertices {0, ..., n-1}.
+struct Graph {
+  size_t num_vertices = 0;
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+/// Greedy O(log n)-approximation for minimum dominating set (Theorem 2.5):
+/// reduces to set cover with S_i = {v_i} ∪ N(v_i) and runs Algorithm 1.
+/// Always succeeds for valid graphs (every vertex covers itself).
+StatusOr<std::vector<size_t>> GreedyDominatingSet(const Graph& graph);
+
+/// True when `dom` dominates every vertex of `graph` (each vertex is in dom
+/// or adjacent to a member of dom).
+bool IsDominatingSet(const Graph& graph, const std::vector<size_t>& dom);
+
+/// Exhaustive minimum dominating set for graphs with <= 24 vertices (tests).
+StatusOr<std::vector<size_t>> BruteForceMinDominatingSet(const Graph& graph);
+
+}  // namespace hypermine::approx
+
+#endif  // HYPERMINE_APPROX_DOMINATING_SET_H_

@@ -1,0 +1,122 @@
+#include "approx/gonzalez.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hypermine::approx {
+
+StatusOr<Clustering> GonzalezTClustering(size_t num_points, size_t t,
+                                         const DistanceFn& dist,
+                                         size_t first_center) {
+  if (num_points == 0) {
+    return Status::InvalidArgument("t-clustering: no points");
+  }
+  if (t == 0 || t > num_points) {
+    return Status::InvalidArgument("t-clustering: t out of range");
+  }
+  if (first_center >= num_points) {
+    return Status::InvalidArgument("t-clustering: first center out of range");
+  }
+
+  Clustering out;
+  out.centers.push_back(first_center);
+  // closest_dist[p] = distance from p to its nearest chosen center so far.
+  std::vector<double> closest_dist(num_points);
+  std::vector<size_t> closest_center(num_points, 0);
+  for (size_t p = 0; p < num_points; ++p) {
+    closest_dist[p] = dist(p, first_center);
+  }
+  closest_dist[first_center] = 0.0;
+
+  while (out.centers.size() < t) {
+    // Farthest point from all existing centers becomes the next center.
+    size_t farthest = 0;
+    double best = -1.0;
+    for (size_t p = 0; p < num_points; ++p) {
+      if (closest_dist[p] > best) {
+        best = closest_dist[p];
+        farthest = p;
+      }
+    }
+    size_t center_index = out.centers.size();
+    out.centers.push_back(farthest);
+    for (size_t p = 0; p < num_points; ++p) {
+      double d = dist(p, farthest);
+      if (d < closest_dist[p]) {
+        closest_dist[p] = d;
+        closest_center[p] = center_index;
+      }
+    }
+    closest_dist[farthest] = 0.0;
+    closest_center[farthest] = center_index;
+  }
+
+  out.assignment = std::move(closest_center);
+  out.radius = *std::max_element(closest_dist.begin(), closest_dist.end());
+  out.diameter =
+      ClusteringDiameter(num_points, out.centers.size(), out.assignment, dist);
+  return out;
+}
+
+double ClusteringDiameter(size_t num_points, size_t num_clusters,
+                          const std::vector<size_t>& assignment,
+                          const DistanceFn& dist) {
+  HM_CHECK_EQ(assignment.size(), num_points);
+  std::vector<std::vector<size_t>> members(num_clusters);
+  for (size_t p = 0; p < num_points; ++p) {
+    HM_CHECK_LT(assignment[p], num_clusters);
+    members[assignment[p]].push_back(p);
+  }
+  double diameter = 0.0;
+  for (const auto& cluster : members) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        diameter = std::max(diameter, dist(cluster[i], cluster[j]));
+      }
+    }
+  }
+  return diameter;
+}
+
+namespace {
+
+void EnumerateAssignments(size_t point, size_t num_points, size_t t,
+                          std::vector<size_t>* assignment,
+                          const DistanceFn& dist, double* best) {
+  if (point == num_points) {
+    double d = ClusteringDiameter(num_points, t, *assignment, dist);
+    *best = std::min(*best, d);
+    return;
+  }
+  // Canonical form: point p may only open cluster c if clusters 0..c-1 are
+  // already used by earlier points; this prunes label permutations.
+  size_t max_used = 0;
+  for (size_t p = 0; p < point; ++p) {
+    max_used = std::max(max_used, (*assignment)[p] + 1);
+  }
+  size_t limit = std::min(t, max_used + 1);
+  for (size_t c = 0; c < limit; ++c) {
+    (*assignment)[point] = c;
+    EnumerateAssignments(point + 1, num_points, t, assignment, dist, best);
+  }
+}
+
+}  // namespace
+
+StatusOr<double> BruteForceOptimalDiameter(size_t num_points, size_t t,
+                                           const DistanceFn& dist) {
+  if (num_points > 12) {
+    return Status::InvalidArgument("brute force clustering: too many points");
+  }
+  if (t == 0 || t > num_points) {
+    return Status::InvalidArgument("brute force clustering: t out of range");
+  }
+  std::vector<size_t> assignment(num_points, 0);
+  double best = std::numeric_limits<double>::infinity();
+  EnumerateAssignments(0, num_points, t, &assignment, dist, &best);
+  return best;
+}
+
+}  // namespace hypermine::approx

@@ -1,0 +1,48 @@
+#ifndef HYPERMINE_APPROX_GONZALEZ_H_
+#define HYPERMINE_APPROX_GONZALEZ_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::approx {
+
+/// Pairwise distance callback over points {0, ..., n-1}. Must behave like a
+/// metric for the 2-approximation guarantee (Theorem 2.7) to hold.
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+struct Clustering {
+  /// Chosen center point index per cluster, in pick order.
+  std::vector<size_t> centers;
+  /// assignment[p] = cluster index (into centers) of point p.
+  std::vector<size_t> assignment;
+  /// max over clusters of the max intra-cluster pairwise distance.
+  double diameter = 0.0;
+  /// max over points of the distance to the assigned center.
+  double radius = 0.0;
+};
+
+/// Gonzalez's farthest-point t-clustering (Algorithm 2): seeds with
+/// `first_center`, then repeatedly designates the point farthest from all
+/// existing centers until `t` centers exist; each point joins its closest
+/// center. 2-approximation for minimum clustering diameter under metric
+/// distances. Requires 1 <= t <= num_points and first_center < num_points.
+StatusOr<Clustering> GonzalezTClustering(size_t num_points, size_t t,
+                                         const DistanceFn& dist,
+                                         size_t first_center = 0);
+
+/// Recomputes the diameter of an assignment (max intra-cluster distance).
+double ClusteringDiameter(size_t num_points, size_t num_clusters,
+                          const std::vector<size_t>& assignment,
+                          const DistanceFn& dist);
+
+/// Exhaustive minimum-diameter t-clustering for tiny inputs (tests); fails
+/// for num_points > 12.
+StatusOr<double> BruteForceOptimalDiameter(size_t num_points, size_t t,
+                                           const DistanceFn& dist);
+
+}  // namespace hypermine::approx
+
+#endif  // HYPERMINE_APPROX_GONZALEZ_H_

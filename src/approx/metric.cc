@@ -1,0 +1,56 @@
+#include "approx/metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hypermine::approx {
+
+std::string MetricCheck::ToString() const {
+  std::ostringstream os;
+  os << "non_negative=" << (non_negative ? "yes" : "no")
+     << " identity=" << (identity_of_indiscernibles ? "yes" : "no")
+     << " symmetric=" << (symmetric ? "yes" : "no")
+     << " triangle=" << (triangle_inequality ? "yes" : "no")
+     << " (violations=" << triangle_violations
+     << ", worst_excess=" << worst_triangle_excess << ")";
+  return os.str();
+}
+
+MetricCheck CheckMetricProperties(size_t num_points, const DistanceFn& dist,
+                                  double tolerance) {
+  MetricCheck check;
+  for (size_t a = 0; a < num_points; ++a) {
+    if (std::fabs(dist(a, a)) > tolerance) {
+      check.identity_of_indiscernibles = false;
+    }
+    for (size_t b = 0; b < num_points; ++b) {
+      double dab = dist(a, b);
+      if (dab < -tolerance) check.non_negative = false;
+      if (a != b && std::fabs(dab) <= tolerance) {
+        // Distinct points at distance zero violate d(x,y)=0 <=> x=y.
+        check.identity_of_indiscernibles = false;
+      }
+      if (std::fabs(dab - dist(b, a)) > tolerance) check.symmetric = false;
+    }
+  }
+  for (size_t a = 0; a < num_points; ++a) {
+    for (size_t b = 0; b < num_points; ++b) {
+      if (a == b) continue;
+      double dab = dist(a, b);
+      for (size_t c = 0; c < num_points; ++c) {
+        if (c == a || c == b) continue;
+        double excess = dab - (dist(a, c) + dist(c, b));
+        if (excess > tolerance) {
+          check.triangle_inequality = false;
+          ++check.triangle_violations;
+          check.worst_triangle_excess =
+              std::max(check.worst_triangle_excess, excess);
+        }
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace hypermine::approx

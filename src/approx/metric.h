@@ -1,0 +1,39 @@
+#ifndef HYPERMINE_APPROX_METRIC_H_
+#define HYPERMINE_APPROX_METRIC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "approx/gonzalez.h"
+
+namespace hypermine::approx {
+
+/// Outcome of checking the four metric properties of Section 2.1.3 on a
+/// finite point set. The paper verifies these experimentally for the
+/// similarity-graph distance (Section 5.3.2) before invoking the Gonzalez
+/// 2-approximation guarantee.
+struct MetricCheck {
+  bool non_negative = true;
+  bool identity_of_indiscernibles = true;
+  bool symmetric = true;
+  bool triangle_inequality = true;
+  size_t triangle_violations = 0;
+  /// Worst observed d(a,b) - (d(a,c) + d(c,b)) excess; <= tolerance if the
+  /// triangle inequality holds.
+  double worst_triangle_excess = 0.0;
+
+  bool IsMetric() const {
+    return non_negative && identity_of_indiscernibles && symmetric &&
+           triangle_inequality;
+  }
+  std::string ToString() const;
+};
+
+/// Exhaustively checks metric properties over all (ordered) triples.
+/// `tolerance` absorbs floating-point noise. O(n^3).
+MetricCheck CheckMetricProperties(size_t num_points, const DistanceFn& dist,
+                                  double tolerance = 1e-9);
+
+}  // namespace hypermine::approx
+
+#endif  // HYPERMINE_APPROX_METRIC_H_

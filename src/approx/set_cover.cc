@@ -1,0 +1,120 @@
+#include "approx/set_cover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::approx {
+
+StatusOr<SetCoverResult> GreedySetCover(const SetCoverInstance& instance) {
+  const size_t n = instance.universe_size;
+  const size_t m = instance.sets.size();
+  const bool unit_cost = instance.costs.empty();
+  if (!unit_cost && instance.costs.size() != m) {
+    return Status::InvalidArgument("set cover: costs/sets size mismatch");
+  }
+  for (const auto& set : instance.sets) {
+    for (size_t u : set) {
+      if (u >= n) {
+        return Status::InvalidArgument(
+            StrFormat("set cover: element %zu outside universe of %zu", u, n));
+      }
+    }
+  }
+
+  std::vector<char> covered(n, 0);
+  std::vector<char> used(m, 0);
+  size_t num_covered = 0;
+  SetCoverResult result;
+  result.prices.assign(n, 0.0);
+
+  // Cached count of uncovered elements per set; recomputed lazily because
+  // counts only decrease as coverage grows.
+  std::vector<size_t> fresh_count(m, 0);
+  for (size_t s = 0; s < m; ++s) fresh_count[s] = instance.sets[s].size();
+
+  auto recount = [&](size_t s) {
+    size_t cnt = 0;
+    for (size_t u : instance.sets[s]) cnt += covered[u] ? 0 : 1;
+    fresh_count[s] = cnt;
+    return cnt;
+  };
+
+  while (num_covered < n) {
+    size_t best = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < m; ++s) {
+      if (used[s] || fresh_count[s] == 0) continue;
+      size_t cnt = recount(s);
+      if (cnt == 0) continue;
+      double cost = unit_cost ? 1.0 : instance.costs[s];
+      double ratio = cost / static_cast<double>(cnt);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = s;
+      }
+    }
+    if (best == m) {
+      return Status::FailedPrecondition(
+          "set cover: universe is not coverable by the given sets");
+    }
+    used[best] = 1;
+    result.chosen.push_back(best);
+    double cost = unit_cost ? 1.0 : instance.costs[best];
+    result.total_cost += cost;
+    double price = cost / static_cast<double>(fresh_count[best]);
+    for (size_t u : instance.sets[best]) {
+      if (!covered[u]) {
+        covered[u] = 1;
+        result.prices[u] = price;
+        ++num_covered;
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<size_t>> BruteForceMinSetCover(
+    const SetCoverInstance& instance) {
+  const size_t m = instance.sets.size();
+  const size_t n = instance.universe_size;
+  if (m > 24) {
+    return Status::InvalidArgument("brute force set cover: too many sets");
+  }
+  std::vector<uint64_t> masks(m, 0);
+  if (n > 64) {
+    return Status::InvalidArgument(
+        "brute force set cover: universe larger than 64");
+  }
+  for (size_t s = 0; s < m; ++s) {
+    for (size_t u : instance.sets[s]) masks[s] |= (uint64_t{1} << u);
+  }
+  uint64_t full = n == 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+
+  size_t best_size = m + 1;
+  uint32_t best_subset = 0;
+  for (uint32_t subset = 0; subset < (uint32_t{1} << m); ++subset) {
+    size_t size = static_cast<size_t>(__builtin_popcount(subset));
+    if (size >= best_size) continue;
+    uint64_t cover = 0;
+    for (size_t s = 0; s < m; ++s) {
+      if (subset & (uint32_t{1} << s)) cover |= masks[s];
+    }
+    if (cover == full) {
+      best_size = size;
+      best_subset = subset;
+    }
+  }
+  if (best_size == m + 1) {
+    return Status::FailedPrecondition("brute force set cover: no cover");
+  }
+  std::vector<size_t> chosen;
+  for (size_t s = 0; s < m; ++s) {
+    if (best_subset & (uint32_t{1} << s)) chosen.push_back(s);
+  }
+  return chosen;
+}
+
+}  // namespace hypermine::approx

@@ -1,0 +1,43 @@
+#ifndef HYPERMINE_APPROX_SET_COVER_H_
+#define HYPERMINE_APPROX_SET_COVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::approx {
+
+/// A set-cover instance: a universe {0, ..., universe_size-1} and a
+/// collection of subsets. `costs` is optional; when empty every set costs 1
+/// (the unit-cost case of the paper's Algorithm 1).
+struct SetCoverInstance {
+  size_t universe_size = 0;
+  std::vector<std::vector<size_t>> sets;
+  std::vector<double> costs;
+};
+
+struct SetCoverResult {
+  /// Indices into `instance.sets`, in greedy pick order.
+  std::vector<size_t> chosen;
+  /// Total cost of the chosen sets (== chosen.size() for unit costs).
+  double total_cost = 0.0;
+  /// price(u) paid per universe element, in the sense of Theorem 2.3.
+  std::vector<double> prices;
+};
+
+/// Greedy O(log n)-approximation for set cover (Algorithm 1, Chvátal'79):
+/// repeatedly picks the set minimizing cost / |newly covered| until the
+/// universe is covered. Fails with kFailedPrecondition when some element is
+/// in no set (the instance has no cover).
+StatusOr<SetCoverResult> GreedySetCover(const SetCoverInstance& instance);
+
+/// Exhaustive minimum-cardinality cover for tiny instances (used by tests to
+/// check the O(log n) guarantee). Fails when sets.size() > 24 or no cover
+/// exists.
+StatusOr<std::vector<size_t>> BruteForceMinSetCover(
+    const SetCoverInstance& instance);
+
+}  // namespace hypermine::approx
+
+#endif  // HYPERMINE_APPROX_SET_COVER_H_

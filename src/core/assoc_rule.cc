@@ -1,0 +1,106 @@
+#include "core/assoc_rule.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+std::string MvaRule::ToString(const Database& db) const {
+  auto side = [&db](const std::vector<AttributeValue>& items) {
+    std::ostringstream os;
+    os << "{";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "(" << db.attribute_name(items[i].attribute) << ", "
+         << static_cast<int>(items[i].value) + 1 << ")";
+    }
+    os << "}";
+    return os.str();
+  };
+  return side(antecedent) + " ==> " + side(consequent);
+}
+
+Status ValidateItemSet(const Database& db,
+                       const std::vector<AttributeValue>& items) {
+  std::set<AttrId> seen;
+  for (const AttributeValue& item : items) {
+    if (item.attribute >= db.num_attributes()) {
+      return Status::OutOfRange(
+          StrFormat("item set: attribute %u out of range", item.attribute));
+    }
+    if (item.value >= db.num_values()) {
+      return Status::OutOfRange(
+          StrFormat("item set: value %u >= k=%zu", item.value,
+                    db.num_values()));
+    }
+    if (!seen.insert(item.attribute).second) {
+      return Status::InvalidArgument(
+          StrFormat("item set: attribute %u repeated", item.attribute));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateRule(const Database& db, const MvaRule& rule) {
+  HM_RETURN_IF_ERROR(ValidateItemSet(db, rule.antecedent));
+  HM_RETURN_IF_ERROR(ValidateItemSet(db, rule.consequent));
+  std::set<AttrId> left;
+  for (const AttributeValue& item : rule.antecedent) {
+    left.insert(item.attribute);
+  }
+  for (const AttributeValue& item : rule.consequent) {
+    if (left.count(item.attribute) > 0) {
+      return Status::InvalidArgument(StrFormat(
+          "rule: attribute %u on both sides (pi_1(X) and pi_1(Y) must be "
+          "disjoint)",
+          item.attribute));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> SupportCount(const Database& db,
+                              const std::vector<AttributeValue>& items) {
+  HM_RETURN_IF_ERROR(ValidateItemSet(db, items));
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("Support: empty database");
+  }
+  if (items.empty()) return db.num_observations();
+  size_t count = 0;
+  const size_t m = db.num_observations();
+  for (size_t o = 0; o < m; ++o) {
+    bool all = true;
+    for (const AttributeValue& item : items) {
+      if (db.column(item.attribute)[o] != item.value) {
+        all = false;
+        break;
+      }
+    }
+    count += all ? 1 : 0;
+  }
+  return count;
+}
+
+StatusOr<double> Support(const Database& db,
+                         const std::vector<AttributeValue>& items) {
+  HM_ASSIGN_OR_RETURN(size_t count, SupportCount(db, items));
+  return static_cast<double>(count) /
+         static_cast<double>(db.num_observations());
+}
+
+StatusOr<double> Confidence(const Database& db, const MvaRule& rule) {
+  HM_RETURN_IF_ERROR(ValidateRule(db, rule));
+  HM_ASSIGN_OR_RETURN(size_t x_count, SupportCount(db, rule.antecedent));
+  if (x_count == 0) {
+    return Status::FailedPrecondition(
+        "Confidence: Supp(X) = 0, confidence undefined");
+  }
+  std::vector<AttributeValue> both = rule.antecedent;
+  both.insert(both.end(), rule.consequent.begin(), rule.consequent.end());
+  HM_ASSIGN_OR_RETURN(size_t xy_count, SupportCount(db, both));
+  return static_cast<double>(xy_count) / static_cast<double>(x_count);
+}
+
+}  // namespace hypermine::core

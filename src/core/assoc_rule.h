@@ -1,0 +1,56 @@
+#ifndef HYPERMINE_CORE_ASSOC_RULE_H_
+#define HYPERMINE_CORE_ASSOC_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// An (attribute, value) pair — one conjunct of an mva-type rule side.
+struct AttributeValue {
+  AttrId attribute;
+  ValueId value;
+
+  friend bool operator==(const AttributeValue& a, const AttributeValue& b) {
+    return a.attribute == b.attribute && a.value == b.value;
+  }
+};
+
+/// An mva-type association rule X ==> Y (Definition 3.1): X and Y are sets
+/// of (attribute, value) pairs whose attribute projections are disjoint.
+struct MvaRule {
+  std::vector<AttributeValue> antecedent;  // X
+  std::vector<AttributeValue> consequent;  // Y
+
+  std::string ToString(const Database& db) const;
+};
+
+/// Validates an item set against a database: known attributes, values < k,
+/// and no attribute repeated.
+Status ValidateItemSet(const Database& db,
+                       const std::vector<AttributeValue>& items);
+
+/// Validates both sides of a rule plus attribute-disjointness of pi_1(X)
+/// and pi_1(Y) (Definition 3.1).
+Status ValidateRule(const Database& db, const MvaRule& rule);
+
+/// Supp(X) (Definition 3.2(1)): fraction of observations where every
+/// (attribute, value) in X holds. Supp of the empty set is 1. Fails on an
+/// invalid item set or an empty database.
+StatusOr<double> Support(const Database& db,
+                         const std::vector<AttributeValue>& items);
+
+/// Absolute support count (numerator of Supp).
+StatusOr<size_t> SupportCount(const Database& db,
+                              const std::vector<AttributeValue>& items);
+
+/// Conf(X ==> Y) = Supp(X ∪ Y) / Supp(X) (Definition 3.2(2)). Fails when
+/// the rule is invalid or Supp(X) = 0 (confidence undefined).
+StatusOr<double> Confidence(const Database& db, const MvaRule& rule);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_ASSOC_RULE_H_

@@ -1,0 +1,187 @@
+#include "core/assoc_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+namespace {
+
+Status ValidateTailHead(const Database& db, const std::vector<AttrId>& tail,
+                        AttrId head) {
+  if (tail.empty() || tail.size() > 2) {
+    return Status::InvalidArgument(
+        "AssociationTable: |T| must be 1 or 2 (the restricted model of "
+        "Section 3.2)");
+  }
+  if (head >= db.num_attributes()) {
+    return Status::OutOfRange("AssociationTable: head out of range");
+  }
+  for (AttrId a : tail) {
+    if (a >= db.num_attributes()) {
+      return Status::OutOfRange("AssociationTable: tail attr out of range");
+    }
+    if (a == head) {
+      return Status::InvalidArgument(
+          "AssociationTable: T and H must be disjoint");
+    }
+  }
+  if (tail.size() == 2 && tail[0] == tail[1]) {
+    return Status::InvalidArgument("AssociationTable: repeated tail attr");
+  }
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("AssociationTable: empty database");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<AssociationTable> AssociationTable::Build(const Database& db,
+                                                   std::vector<AttrId> tail,
+                                                   AttrId head) {
+  HM_RETURN_IF_ERROR(ValidateTailHead(db, tail, head));
+  const size_t k = db.num_values();
+  const size_t m = db.num_observations();
+  const size_t num_rows = tail.size() == 1 ? k : k * k;
+
+  // counts[row * k + h] = #observations with this tail combo and head h.
+  std::vector<size_t> counts(num_rows * k, 0);
+  const ValueId* head_col = db.column(head).data();
+  if (tail.size() == 1) {
+    const ValueId* t0 = db.column(tail[0]).data();
+    for (size_t o = 0; o < m; ++o) {
+      ++counts[static_cast<size_t>(t0[o]) * k + head_col[o]];
+    }
+  } else {
+    const ValueId* t0 = db.column(tail[0]).data();
+    const ValueId* t1 = db.column(tail[1]).data();
+    for (size_t o = 0; o < m; ++o) {
+      size_t row = (static_cast<size_t>(t0[o]) * k + t1[o]);
+      ++counts[row * k + head_col[o]];
+    }
+  }
+
+  AssociationTable table;
+  table.tail_ = std::move(tail);
+  table.head_ = head;
+  table.k_ = k;
+  table.rows_.resize(num_rows);
+  double acv = 0.0;
+  for (size_t row = 0; row < num_rows; ++row) {
+    size_t total = 0;
+    size_t best_count = 0;
+    ValueId best_value = 0;
+    for (size_t h = 0; h < k; ++h) {
+      size_t c = counts[row * k + h];
+      total += c;
+      if (c > best_count) {
+        best_count = c;
+        best_value = static_cast<ValueId>(h);
+      }
+    }
+    AssocTableRow& out = table.rows_[row];
+    out.tail_count = total;
+    out.support = static_cast<double>(total) / static_cast<double>(m);
+    out.best_head_value = best_value;
+    out.confidence =
+        total == 0 ? 0.0
+                   : static_cast<double>(best_count) / static_cast<double>(total);
+    // Supp * Conf telescopes to best_count / m, summed over rows.
+    acv += static_cast<double>(best_count) / static_cast<double>(m);
+  }
+  table.acv_ = acv;
+  return table;
+}
+
+const AssocTableRow& AssociationTable::RowFor(
+    const std::vector<ValueId>& tail_values) const {
+  HM_CHECK_EQ(tail_values.size(), tail_.size());
+  size_t row = 0;
+  for (ValueId v : tail_values) {
+    HM_CHECK_LT(v, k_);
+    row = row * k_ + v;
+  }
+  return rows_[row];
+}
+
+std::string AssociationTable::ToString(const Database& db) const {
+  std::ostringstream os;
+  os << "AT(T={";
+  for (size_t i = 0; i < tail_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << db.attribute_name(tail_[i]);
+  }
+  os << "}, H={" << db.attribute_name(head_) << "}), ACV="
+     << FormatDouble(acv_, 3) << "\n";
+  os << "index | values | support | v* | confidence\n";
+  for (size_t row = 0; row < rows_.size(); ++row) {
+    os << row + 1 << " | <";
+    if (tail_.size() == 1) {
+      os << row + 1;
+    } else {
+      os << row / k_ + 1 << ", " << row % k_ + 1;
+    }
+    os << "> | " << FormatDouble(rows_[row].support, 3) << " | "
+       << static_cast<int>(rows_[row].best_head_value) + 1 << " | "
+       << FormatDouble(rows_[row].confidence, 3) << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<double> BaseAcv(const Database& db, AttrId head) {
+  if (head >= db.num_attributes()) {
+    return Status::OutOfRange("BaseAcv: head out of range");
+  }
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("BaseAcv: empty database");
+  }
+  const size_t k = db.num_values();
+  std::vector<size_t> counts(k, 0);
+  for (ValueId v : db.column(head)) ++counts[v];
+  size_t best = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(best) /
+         static_cast<double>(db.num_observations());
+}
+
+double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
+                     size_t k) {
+  // counts[v_t * k + v_h]; k <= kMaxValues keeps this on the stack-ish side.
+  size_t counts[kMaxValues * kMaxValues];
+  std::fill(counts, counts + k * k, size_t{0});
+  for (size_t o = 0; o < m; ++o) {
+    ++counts[static_cast<size_t>(tail[o]) * k + head[o]];
+  }
+  size_t acc = 0;
+  for (size_t row = 0; row < k; ++row) {
+    size_t best = 0;
+    for (size_t h = 0; h < k; ++h) {
+      best = std::max(best, counts[row * k + h]);
+    }
+    acc += best;
+  }
+  return static_cast<double>(acc) / static_cast<double>(m);
+}
+
+double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
+                     const ValueId* head, size_t m, size_t k) {
+  std::vector<size_t> counts(k * k * k, 0);
+  for (size_t o = 0; o < m; ++o) {
+    size_t row = (static_cast<size_t>(tail1[o]) * k + tail2[o]);
+    ++counts[row * k + head[o]];
+  }
+  size_t acc = 0;
+  for (size_t row = 0; row < k * k; ++row) {
+    size_t best = 0;
+    for (size_t h = 0; h < k; ++h) {
+      best = std::max(best, counts[row * k + h]);
+    }
+    acc += best;
+  }
+  return static_cast<double>(acc) / static_cast<double>(m);
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,83 @@
+#ifndef HYPERMINE_CORE_ASSOC_TABLE_H_
+#define HYPERMINE_CORE_ASSOC_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// One row of an association table (Definition 3.6(2), Table 3.7): the
+/// support of a tail value combination, the most frequent head value v*
+/// under it, and the confidence of the induced mva-type rule.
+struct AssocTableRow {
+  double support = 0.0;
+  ValueId best_head_value = 0;
+  double confidence = 0.0;
+  /// Absolute observation count of the tail combination.
+  size_t tail_count = 0;
+};
+
+/// The association table AT(T, H) of a directed hyperedge (T, {H}) with
+/// |T| in {1, 2}: one row per tail value combination, plus the derived
+/// association confidence value
+///   ACV(T, H) = sum_rows Supp(row) * Conf(row)  (Definition 3.6(1)).
+class AssociationTable {
+ public:
+  /// Builds the table by one counting pass over the database. `tail` must
+  /// hold 1 or 2 distinct attributes, all different from `head`; the
+  /// database must be non-empty.
+  static StatusOr<AssociationTable> Build(const Database& db,
+                                          std::vector<AttrId> tail,
+                                          AttrId head);
+
+  const std::vector<AttrId>& tail() const { return tail_; }
+  AttrId head() const { return head_; }
+  size_t num_values() const { return k_; }
+
+  /// Number of rows: k for |T|=1, k^2 for |T|=2 (rows with zero support are
+  /// materialized with support 0).
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Row of a tail value combination; for |T|=2 the order matches tail().
+  const AssocTableRow& RowFor(const std::vector<ValueId>& tail_values) const;
+  const AssocTableRow& row(size_t index) const { return rows_[index]; }
+
+  /// ACV(T, H) in [0, 1].
+  double acv() const { return acv_; }
+
+  /// Renders the table in the layout of Table 3.7 (values shown 1-based).
+  std::string ToString(const Database& db) const;
+
+ private:
+  AssociationTable() = default;
+
+  std::vector<AttrId> tail_;
+  AttrId head_ = 0;
+  size_t k_ = 0;
+  std::vector<AssocTableRow> rows_;
+  double acv_ = 0.0;
+};
+
+/// ACV(∅, {H}) — the frequency of the most frequent value of H. This is the
+/// γ-significance baseline for directed edges (Definition 3.7 with
+/// T - {v} = ∅) and the lower bound of Theorem 3.8(1).
+StatusOr<double> BaseAcv(const Database& db, AttrId head);
+
+/// --- Low-level counting kernels (hot path of the hypergraph builder) ---
+/// These avoid AssociationTable's row materialization; they only produce
+/// the ACV. Columns must have length m with values < k.
+
+/// ACV({tail}, {head}) by a single counting pass.
+double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
+                     size_t k);
+
+/// ACV({tail1, tail2}, {head}); tail value pairs are coded as v1*k+v2.
+double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
+                     const ValueId* head, size_t m, size_t k);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_ASSOC_TABLE_H_

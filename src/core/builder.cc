@@ -1,0 +1,149 @@
+#include "core/builder.h"
+
+#include <algorithm>
+
+#include "core/assoc_table.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+HypergraphConfig ConfigC1() {
+  HypergraphConfig config;
+  config.k = 3;
+  config.gamma_edge = 1.15;
+  config.gamma_hyper = 1.05;
+  return config;
+}
+
+HypergraphConfig ConfigC2() {
+  HypergraphConfig config;
+  config.k = 5;
+  config.gamma_edge = 1.20;
+  config.gamma_hyper = 1.12;
+  return config;
+}
+
+std::string BuildStats::ToString() const {
+  return StrFormat(
+      "edges: %zu kept of %zu candidates (mean ACV %.3f); "
+      "2-to-1: %zu kept of %zu candidates (mean ACV %.3f); %.2fs",
+      edges_kept, edge_candidates, mean_edge_acv, pairs_kept,
+      pair_candidates, mean_pair_acv, elapsed_seconds);
+}
+
+StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
+    const Database& db, const HypergraphConfig& config, BuildStats* stats) {
+  if (db.num_values() != config.k) {
+    return Status::InvalidArgument(
+        StrFormat("builder: database has k=%zu but config expects k=%zu",
+                  db.num_values(), config.k));
+  }
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("builder: empty database");
+  }
+  if (config.gamma_edge < 1.0 || config.gamma_hyper < 1.0) {
+    return Status::InvalidArgument("builder: gamma must be >= 1");
+  }
+  const size_t n = db.num_attributes();
+  const size_t m = db.num_observations();
+  const size_t k = db.num_values();
+
+  Stopwatch timer;
+  BuildStats local;
+  HM_ASSIGN_OR_RETURN(DirectedHypergraph graph,
+                      DirectedHypergraph::Create(db.attribute_names()));
+
+  // Per-head γ baseline: ACV(∅, {H}) (Definition 3.7 with |T| = 1).
+  std::vector<double> base_acv(n, 0.0);
+  for (size_t h = 0; h < n; ++h) {
+    HM_ASSIGN_OR_RETURN(base_acv[h],
+                        BaseAcv(db, static_cast<AttrId>(h)));
+  }
+
+  // Stage 1: all n(n-1) directed-edge combinations. The full ACV matrix is
+  // retained (not just the retained edges) because Definition 3.7 compares
+  // 2-to-1 candidates against constituent-edge ACVs regardless of whether
+  // those edges were themselves significant.
+  std::vector<double> edge_acv(n * n, 0.0);
+  std::vector<std::vector<VertexId>> sources_of(n);
+  double edge_acv_sum = 0.0;
+  for (size_t h = 0; h < n; ++h) {
+    const ValueId* head_col = db.column(static_cast<AttrId>(h)).data();
+    for (size_t a = 0; a < n; ++a) {
+      if (a == h) continue;
+      ++local.edge_candidates;
+      double acv = AcvEdgeKernel(db.column(static_cast<AttrId>(a)).data(),
+                                 head_col, m, k);
+      edge_acv[a * n + h] = acv;
+      if (acv >= config.gamma_edge * base_acv[h]) {
+        HM_ASSIGN_OR_RETURN(
+            EdgeId id,
+            graph.AddEdge({static_cast<VertexId>(a)},
+                          static_cast<VertexId>(h), acv));
+        (void)id;
+        sources_of[h].push_back(static_cast<VertexId>(a));
+        edge_acv_sum += acv;
+        ++local.edges_kept;
+      }
+    }
+  }
+
+  // Stage 2: 2-to-1 candidates per head. With the candidate restriction we
+  // only pair up attributes that individually formed a significant edge
+  // into the head; otherwise all unordered pairs are enumerated.
+  double pair_acv_sum = 0.0;
+  for (size_t h = 0; h < n; ++h) {
+    const ValueId* head_col = db.column(static_cast<AttrId>(h)).data();
+    auto consider = [&](VertexId a, VertexId b) -> Status {
+      ++local.pair_candidates;
+      double best_edge =
+          std::max(edge_acv[a * n + h], edge_acv[b * n + h]);
+      if (!config.keep_pairs_without_edges &&
+          best_edge < config.gamma_edge * base_acv[h]) {
+        return Status::OK();
+      }
+      double acv =
+          AcvPairKernel(db.column(a).data(), db.column(b).data(), head_col,
+                        m, k);
+      if (acv >= config.gamma_hyper * best_edge) {
+        HM_RETURN_IF_ERROR(
+            graph.AddEdge({a, b}, static_cast<VertexId>(h), acv).status());
+        pair_acv_sum += acv;
+        ++local.pairs_kept;
+      }
+      return Status::OK();
+    };
+    if (config.restrict_pairs_to_edges) {
+      const std::vector<VertexId>& sources = sources_of[h];
+      for (size_t i = 0; i < sources.size(); ++i) {
+        for (size_t j = i + 1; j < sources.size(); ++j) {
+          HM_RETURN_IF_ERROR(consider(sources[i], sources[j]));
+        }
+      }
+    } else {
+      for (size_t a = 0; a < n; ++a) {
+        if (a == h) continue;
+        for (size_t b = a + 1; b < n; ++b) {
+          if (b == h) continue;
+          HM_RETURN_IF_ERROR(
+              consider(static_cast<VertexId>(a), static_cast<VertexId>(b)));
+        }
+      }
+    }
+  }
+
+  local.mean_edge_acv = local.edges_kept == 0
+                            ? 0.0
+                            : edge_acv_sum / static_cast<double>(
+                                                 local.edges_kept);
+  local.mean_pair_acv =
+      local.pairs_kept == 0
+          ? 0.0
+          : pair_acv_sum / static_cast<double>(local.pairs_kept);
+  local.elapsed_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return graph;
+}
+
+}  // namespace hypermine::core

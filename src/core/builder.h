@@ -1,0 +1,64 @@
+#ifndef HYPERMINE_CORE_BUILDER_H_
+#define HYPERMINE_CORE_BUILDER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Parameters of association-hypergraph construction (Sections 3.2.1 and
+/// 5.1.2). γ-significance (Definition 3.7): a combination (T, H) enters the
+/// hypergraph iff ACV(T,H) >= γ * max_{v in T} ACV(T - {v}, H).
+struct HypergraphConfig {
+  /// |V| of the discretized database this config is used with.
+  size_t k = 3;
+  /// γ for directed edges (γ_{1→1}); the baseline is ACV(∅, {H}).
+  double gamma_edge = 1.15;
+  /// γ for 2-to-1 directed hyperedges (γ_{2→1}); the baseline is the best
+  /// constituent directed edge.
+  double gamma_hyper = 1.05;
+  /// When true (default), 2-to-1 candidates are restricted to pairs of
+  /// attributes that each formed a γ-significant directed edge into the
+  /// head. This is the scalability choice documented in DESIGN.md; setting
+  /// it false enumerates all attribute pairs (the literal reading of
+  /// Section 3.2.1) at O(n^3 m) cost — see bench_ablation_candidates.
+  bool restrict_pairs_to_edges = true;
+  /// When true, also admits a 2-to-1 hyperedge whose constituent edges were
+  /// themselves below the γ_edge bar, as long as the pair clears γ_hyper
+  /// against them (only meaningful with restrict_pairs_to_edges = false).
+  bool keep_pairs_without_edges = true;
+};
+
+/// Configuration C1 of Section 5.1.2: k=3, γ_{1→1}=1.15, γ_{2→1}=1.05.
+HypergraphConfig ConfigC1();
+/// Configuration C2 of Section 5.1.2: k=5, γ_{1→1}=1.20, γ_{2→1}=1.12.
+HypergraphConfig ConfigC2();
+
+/// Construction statistics mirrored against Section 5.1.2's reported model
+/// sizes (106,475 directed edges with mean ACV 0.436 under C1, etc.).
+struct BuildStats {
+  size_t edge_candidates = 0;
+  size_t edges_kept = 0;
+  size_t pair_candidates = 0;
+  size_t pairs_kept = 0;
+  double mean_edge_acv = 0.0;
+  double mean_pair_acv = 0.0;
+  double elapsed_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Builds the association hypergraph H for database `db` (Section 3.2.1):
+/// evaluates every directed-edge combination ({A}, {B}) and the 2-to-1
+/// candidates, keeping γ-significant ones weighted by their ACV. The
+/// database's value count must equal config.k. `stats` is optional.
+StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
+    const Database& db, const HypergraphConfig& config,
+    BuildStats* stats = nullptr);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_BUILDER_H_

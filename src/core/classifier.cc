@@ -1,0 +1,184 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+AssociationClassifier::AssociationClassifier(const DirectedHypergraph* graph,
+                                             const Database* train)
+    : graph_(graph), train_(train) {}
+
+StatusOr<AssociationClassifier> AssociationClassifier::Create(
+    const DirectedHypergraph* graph, const Database* train) {
+  if (graph == nullptr || train == nullptr) {
+    return Status::InvalidArgument("classifier: null graph or database");
+  }
+  if (graph->num_vertices() != train->num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("classifier: %zu vertices vs %zu attributes",
+                  graph->num_vertices(), train->num_attributes()));
+  }
+  if (train->num_observations() == 0) {
+    return Status::FailedPrecondition("classifier: empty training database");
+  }
+  AssociationClassifier classifier(graph, train);
+  // Majority values are the no-rule fallback and the vote tie seed.
+  classifier.majority_.resize(train->num_attributes());
+  const size_t k = train->num_values();
+  std::vector<size_t> counts(k);
+  for (AttrId a = 0; a < train->num_attributes(); ++a) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (ValueId v : train->column(a)) ++counts[v];
+    classifier.majority_[a] = static_cast<ValueId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  }
+  return classifier;
+}
+
+const AssociationTable* AssociationClassifier::TableFor(EdgeId id) const {
+  auto it = tables_.find(id);
+  if (it != tables_.end()) return it->second.get();
+  const Hyperedge& e = graph_->edge(id);
+  std::vector<AttrId> tail(e.TailSpan().begin(), e.TailSpan().end());
+  auto table_or = AssociationTable::Build(*train_, std::move(tail), e.head);
+  HM_CHECK_OK(table_or.status());
+  auto inserted = tables_.emplace(
+      id, std::make_unique<AssociationTable>(std::move(table_or).value()));
+  return inserted.first->second.get();
+}
+
+ValueId AssociationClassifier::MajorityValue(AttrId attribute) const {
+  HM_CHECK_LT(attribute, majority_.size());
+  return majority_[attribute];
+}
+
+StatusOr<AssociationClassifier::Prediction> AssociationClassifier::Predict(
+    const std::vector<int16_t>& evidence, AttrId target) const {
+  if (evidence.size() != train_->num_attributes()) {
+    return Status::InvalidArgument(
+        "classifier: evidence must have one slot per attribute");
+  }
+  if (target >= train_->num_attributes()) {
+    return Status::OutOfRange("classifier: target out of range");
+  }
+  if (evidence[target] != kUnknown) {
+    return Status::InvalidArgument(
+        "classifier: target must not carry evidence");
+  }
+  const size_t k = train_->num_values();
+  for (size_t a = 0; a < evidence.size(); ++a) {
+    if (evidence[a] != kUnknown &&
+        (evidence[a] < 0 || static_cast<size_t>(evidence[a]) >= k)) {
+      return Status::OutOfRange(
+          StrFormat("classifier: evidence value %d of attribute %zu",
+                    evidence[a], a));
+    }
+  }
+
+  // Lines 3-9 of Algorithm 9: accumulate Supp * Conf votes per value.
+  std::vector<double> val(k, 0.0);
+  size_t rules_used = 0;
+  std::vector<ValueId> tail_values;
+  for (EdgeId id : graph_->InEdgeIds(target)) {
+    const Hyperedge& e = graph_->edge(id);
+    bool tail_known = true;
+    tail_values.clear();
+    for (VertexId u : e.TailSpan()) {
+      if (evidence[u] == kUnknown) {
+        tail_known = false;
+        break;
+      }
+      tail_values.push_back(static_cast<ValueId>(evidence[u]));
+    }
+    if (!tail_known) continue;
+    const AssociationTable* table = TableFor(id);
+    const AssocTableRow& row = table->RowFor(tail_values);
+    if (row.tail_count == 0) continue;  // Combination unseen in training.
+    val[row.best_head_value] += row.support * row.confidence;
+    ++rules_used;
+  }
+
+  Prediction prediction;
+  prediction.rules_used = rules_used;
+  double total = 0.0;
+  for (double v : val) total += v;
+  if (rules_used == 0 || total <= 0.0) {
+    prediction.value = majority_[target];
+    prediction.confidence = 0.0;
+    return prediction;
+  }
+  size_t best = 0;
+  for (size_t y = 1; y < k; ++y) {
+    if (val[y] > val[best]) best = y;
+  }
+  prediction.value = static_cast<ValueId>(best);
+  prediction.confidence = val[best] / total;  // Line 11 normalization.
+  return prediction;
+}
+
+StatusOr<ClassifierEvaluation> EvaluateAssociationClassifier(
+    const DirectedHypergraph& graph, const Database& train_db,
+    const Database& eval_db, const std::vector<VertexId>& dominator) {
+  if (eval_db.num_attributes() != train_db.num_attributes() ||
+      eval_db.num_values() != train_db.num_values()) {
+    return Status::InvalidArgument(
+        "evaluate: train/eval attribute layout mismatch");
+  }
+  if (eval_db.num_observations() == 0) {
+    return Status::FailedPrecondition("evaluate: empty evaluation database");
+  }
+  HM_ASSIGN_OR_RETURN(AssociationClassifier classifier,
+                      AssociationClassifier::Create(&graph, &train_db));
+
+  std::vector<char> in_dom(train_db.num_attributes(), 0);
+  for (VertexId v : dominator) {
+    if (v >= train_db.num_attributes()) {
+      return Status::OutOfRange("evaluate: dominator member out of range");
+    }
+    in_dom[v] = 1;
+  }
+
+  ClassifierEvaluation eval;
+  eval.num_observations = eval_db.num_observations();
+  size_t rule_hits = 0;
+  size_t total_predictions = 0;
+
+  std::vector<int16_t> evidence(train_db.num_attributes(),
+                                AssociationClassifier::kUnknown);
+  const size_t m = eval_db.num_observations();
+  for (AttrId target = 0; target < train_db.num_attributes(); ++target) {
+    if (in_dom[target]) continue;
+    size_t correct = 0;
+    for (size_t o = 0; o < m; ++o) {
+      for (AttrId a = 0; a < train_db.num_attributes(); ++a) {
+        evidence[a] = in_dom[a] ? eval_db.value(o, a)
+                                : AssociationClassifier::kUnknown;
+      }
+      HM_ASSIGN_OR_RETURN(AssociationClassifier::Prediction prediction,
+                          classifier.Predict(evidence, target));
+      correct += prediction.value == eval_db.value(o, target) ? 1 : 0;
+      rule_hits += prediction.rules_used > 0 ? 1 : 0;
+      ++total_predictions;
+    }
+    eval.targets.push_back(target);
+    eval.per_target.push_back(static_cast<double>(correct) /
+                              static_cast<double>(m));
+  }
+  if (eval.per_target.empty()) {
+    return Status::FailedPrecondition(
+        "evaluate: dominator covers every attribute, nothing to predict");
+  }
+  double acc = 0.0;
+  for (double c : eval.per_target) acc += c;
+  eval.mean_confidence = acc / static_cast<double>(eval.per_target.size());
+  eval.rule_coverage = total_predictions == 0
+                           ? 0.0
+                           : static_cast<double>(rule_hits) /
+                                 static_cast<double>(total_predictions);
+  return eval;
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,89 @@
+#ifndef HYPERMINE_CORE_CLASSIFIER_H_
+#define HYPERMINE_CORE_CLASSIFIER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/assoc_table.h"
+#include "core/database.h"
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// The association-based classifier of Algorithm 9. Given an association
+/// hypergraph H built from a training database, it assigns a value to a
+/// target attribute Y from the known values of a set S of attributes
+/// (normally a dominator, Section 4.2): every hyperedge e = (T, {Y}) with
+/// T ⊆ S contributes Supp(T = values) * Conf(T = values => Y = y) to the
+/// vote val[y] of the row's most frequent value y; the winner y* is
+/// returned with normalized confidence val[y*] / Σ val[y].
+class AssociationClassifier {
+ public:
+  /// The hypergraph's vertices must correspond 1:1 to the training
+  /// database's attributes (same indices). Association tables are built
+  /// lazily per hyperedge and cached.
+  static StatusOr<AssociationClassifier> Create(
+      const DirectedHypergraph* graph, const Database* train);
+
+  struct Prediction {
+    ValueId value = 0;
+    /// Normalized vote share of the winning value, in [0, 1].
+    double confidence = 0.0;
+    /// Number of hyperedges that contributed votes; 0 means no tail fit
+    /// inside the evidence and `value` fell back to the training majority.
+    size_t rules_used = 0;
+  };
+
+  /// Predicts attribute `target`. `evidence[a]` is the known value of
+  /// attribute a, or kUnknown when a is outside S. The target must not
+  /// carry evidence.
+  static constexpr int16_t kUnknown = -1;
+  StatusOr<Prediction> Predict(const std::vector<int16_t>& evidence,
+                               AttrId target) const;
+
+  /// Training-majority value of an attribute (the no-rule fallback).
+  ValueId MajorityValue(AttrId attribute) const;
+
+  size_t num_cached_tables() const { return tables_.size(); }
+
+ private:
+  AssociationClassifier(const DirectedHypergraph* graph,
+                        const Database* train);
+
+  const AssociationTable* TableFor(EdgeId id) const;
+
+  const DirectedHypergraph* graph_;
+  const Database* train_;
+  std::vector<ValueId> majority_;
+  mutable std::unordered_map<EdgeId, std::unique_ptr<AssociationTable>>
+      tables_;
+};
+
+/// Outcome of evaluating the classifier over a database window
+/// (Section 5.5.1's "classification confidence": the fraction of
+/// observations where the assigned value matches the discretized truth).
+struct ClassifierEvaluation {
+  /// Mean of per-target classification confidence.
+  double mean_confidence = 0.0;
+  /// Classification confidence per evaluated target (index-aligned with
+  /// `targets`).
+  std::vector<double> per_target;
+  std::vector<AttrId> targets;
+  size_t num_observations = 0;
+  /// Fraction of (observation, target) predictions that used >= 1 rule.
+  double rule_coverage = 0.0;
+};
+
+/// Evaluates Algorithm 9 on `eval_db`: for every attribute outside
+/// `dominator`, predict its value on each observation from the dominator
+/// attributes' values and score against the stored value. `graph` and
+/// `train_db` are the model; `eval_db` must share the attribute layout.
+StatusOr<ClassifierEvaluation> EvaluateAssociationClassifier(
+    const DirectedHypergraph& graph, const Database& train_db,
+    const Database& eval_db, const std::vector<VertexId>& dominator);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_CLASSIFIER_H_

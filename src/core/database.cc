@@ -1,0 +1,120 @@
+#include "core/database.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+StatusOr<Database> Database::Create(std::vector<std::string> attribute_names,
+                                    size_t num_values) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("Database: need at least one attribute");
+  }
+  if (num_values < 2 || num_values > kMaxValues) {
+    return Status::InvalidArgument(
+        StrFormat("Database: num_values %zu outside [2, %zu]", num_values,
+                  kMaxValues));
+  }
+  std::set<std::string_view> seen;
+  for (const std::string& name : attribute_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("Database: empty attribute name");
+    }
+    if (!seen.insert(name).second) {
+      return Status::AlreadyExists("Database: duplicate attribute: " + name);
+    }
+  }
+  Database db(std::move(attribute_names), num_values);
+  db.columns_.resize(db.names_.size());
+  return db;
+}
+
+Status Database::AddObservation(const std::vector<ValueId>& values) {
+  if (values.size() != names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("AddObservation: got %zu values for %zu attributes",
+                  values.size(), names_.size()));
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (values[a] >= num_values_) {
+      return Status::OutOfRange(
+          StrFormat("AddObservation: value %u of attribute %zu >= k=%zu",
+                    values[a], a, num_values_));
+    }
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    columns_[a].push_back(values[a]);
+  }
+  ++num_observations_;
+  return Status::OK();
+}
+
+Status Database::AddColumns(const std::vector<std::vector<ValueId>>& columns) {
+  if (columns.size() != names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("AddColumns: got %zu columns for %zu attributes",
+                  columns.size(), names_.size()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t a = 0; a < columns.size(); ++a) {
+    if (columns[a].size() != rows) {
+      return Status::InvalidArgument("AddColumns: ragged columns");
+    }
+    for (ValueId v : columns[a]) {
+      if (v >= num_values_) {
+        return Status::OutOfRange(
+            StrFormat("AddColumns: value %u of attribute %zu >= k=%zu", v, a,
+                      num_values_));
+      }
+    }
+  }
+  for (size_t a = 0; a < columns.size(); ++a) {
+    columns_[a].insert(columns_[a].end(), columns[a].begin(),
+                       columns[a].end());
+  }
+  num_observations_ += rows;
+  return Status::OK();
+}
+
+ValueId Database::value(size_t observation, AttrId attribute) const {
+  HM_CHECK_LT(observation, num_observations_);
+  HM_CHECK_LT(attribute, names_.size());
+  return columns_[attribute][observation];
+}
+
+const std::vector<ValueId>& Database::column(AttrId attribute) const {
+  HM_CHECK_LT(attribute, names_.size());
+  return columns_[attribute];
+}
+
+const std::string& Database::attribute_name(AttrId attribute) const {
+  HM_CHECK_LT(attribute, names_.size());
+  return names_[attribute];
+}
+
+StatusOr<AttrId> Database::AttributeIndex(std::string_view name) const {
+  for (size_t a = 0; a < names_.size(); ++a) {
+    if (names_[a] == name) return static_cast<AttrId>(a);
+  }
+  return Status::NotFound("unknown attribute: " + std::string(name));
+}
+
+StatusOr<Database> Database::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > num_observations_) {
+    return Status::OutOfRange(
+        StrFormat("Slice: bad range [%zu, %zu) of %zu", begin, end,
+                  num_observations_));
+  }
+  Database out(names_, num_values_);
+  out.columns_.resize(names_.size());
+  for (size_t a = 0; a < names_.size(); ++a) {
+    out.columns_[a].assign(columns_[a].begin() + begin,
+                           columns_[a].begin() + end);
+  }
+  out.num_observations_ = end - begin;
+  return out;
+}
+
+}  // namespace hypermine::core

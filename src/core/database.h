@@ -1,0 +1,72 @@
+#ifndef HYPERMINE_CORE_DATABASE_H_
+#define HYPERMINE_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Value identifier within the fixed finite value set V = {0, ..., k-1}.
+/// (The thesis writes values 1..k; this library is 0-based internally and
+/// presentation code adds 1 when mirroring the paper's tables.)
+using ValueId = uint8_t;
+
+/// Attribute index within a database.
+using AttrId = uint32_t;
+
+/// Largest supported |V|; bounded so pair value codes fit in 16 bits.
+inline constexpr size_t kMaxValues = 64;
+
+/// A database D(A, O, V) of Section 3.1: m observations (rows) over n
+/// multi-valued attributes (columns), each cell holding a value from the
+/// fixed finite set V = {0, ..., num_values-1}. Storage is column-major:
+/// every association-mining kernel scans whole attribute columns.
+class Database {
+ public:
+  /// Creates an empty database with named attributes over k values.
+  /// Fails when names are empty/duplicated or k is not in [2, kMaxValues].
+  static StatusOr<Database> Create(std::vector<std::string> attribute_names,
+                                   size_t num_values);
+
+  /// Appends one observation; `values` must have one entry per attribute,
+  /// each < num_values().
+  Status AddObservation(const std::vector<ValueId>& values);
+
+  /// Appends a whole column-major data set: columns[a][o] is the value of
+  /// attribute a in observation o. All columns must have equal lengths.
+  Status AddColumns(const std::vector<std::vector<ValueId>>& columns);
+
+  size_t num_attributes() const { return names_.size(); }
+  size_t num_observations() const { return num_observations_; }
+  size_t num_values() const { return num_values_; }
+
+  ValueId value(size_t observation, AttrId attribute) const;
+  const std::vector<ValueId>& column(AttrId attribute) const;
+
+  const std::string& attribute_name(AttrId attribute) const;
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  /// Index of a named attribute; fails when unknown.
+  StatusOr<AttrId> AttributeIndex(std::string_view name) const;
+
+  /// Row-restricted copy containing observations [begin, end).
+  StatusOr<Database> Slice(size_t begin, size_t end) const;
+
+ private:
+  Database(std::vector<std::string> names, size_t num_values)
+      : names_(std::move(names)), num_values_(num_values) {}
+
+  std::vector<std::string> names_;
+  size_t num_values_;
+  size_t num_observations_ = 0;
+  /// columns_[a][o] = value of attribute a in observation o.
+  std::vector<std::vector<ValueId>> columns_;
+};
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_DATABASE_H_

@@ -1,0 +1,116 @@
+#include "core/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+StatusOr<std::vector<double>> KThresholdVector(std::vector<double> series,
+                                               size_t k) {
+  if (series.empty()) {
+    return Status::InvalidArgument("KThresholdVector: empty series");
+  }
+  if (k < 2 || k > kMaxValues) {
+    return Status::InvalidArgument(
+        StrFormat("KThresholdVector: k=%zu outside [2, %zu]", k, kMaxValues));
+  }
+  std::sort(series.begin(), series.end());
+  const size_t n = series.size();
+  std::vector<double> thresholds;
+  thresholds.reserve(k - 1);
+  for (size_t i = 1; i < k; ++i) {
+    size_t idx = (i * n) / k;  // floor((i/k) * N)
+    if (idx >= n) idx = n - 1;
+    thresholds.push_back(series[idx]);
+  }
+  return thresholds;
+}
+
+std::vector<ValueId> DiscretizeWithThresholds(
+    const std::vector<double>& series,
+    const std::vector<double>& thresholds) {
+  HM_CHECK(std::is_sorted(thresholds.begin(), thresholds.end()));
+  HM_CHECK_LT(thresholds.size(), kMaxValues);
+  std::vector<ValueId> out;
+  out.reserve(series.size());
+  for (double x : series) {
+    // Bucket i covers [a_i, a_{i+1}); upper_bound yields the first threshold
+    // strictly greater than x, whose index is exactly the bucket id.
+    size_t bucket = static_cast<size_t>(
+        std::upper_bound(thresholds.begin(), thresholds.end(), x) -
+        thresholds.begin());
+    out.push_back(static_cast<ValueId>(bucket));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ValueId>> EquiDepthDiscretize(
+    const std::vector<double>& series, size_t k) {
+  HM_ASSIGN_OR_RETURN(std::vector<double> thresholds,
+                      KThresholdVector(series, k));
+  return DiscretizeWithThresholds(series, thresholds);
+}
+
+StatusOr<std::vector<ValueId>> RangeBucketDiscretize(
+    const std::vector<double>& series,
+    const std::vector<double>& boundaries) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument("RangeBucketDiscretize: need >=2 bounds");
+  }
+  if (!std::is_sorted(boundaries.begin(), boundaries.end()) ||
+      std::adjacent_find(boundaries.begin(), boundaries.end()) !=
+          boundaries.end()) {
+    return Status::InvalidArgument(
+        "RangeBucketDiscretize: boundaries must be strictly increasing");
+  }
+  if (boundaries.size() - 1 > kMaxValues) {
+    return Status::InvalidArgument("RangeBucketDiscretize: too many buckets");
+  }
+  std::vector<ValueId> out;
+  out.reserve(series.size());
+  for (double x : series) {
+    if (x < boundaries.front() || x >= boundaries.back()) {
+      return Status::OutOfRange(
+          StrFormat("RangeBucketDiscretize: %g outside [%g, %g)", x,
+                    boundaries.front(), boundaries.back()));
+    }
+    size_t bucket = static_cast<size_t>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), x) -
+        boundaries.begin() - 1);
+    out.push_back(static_cast<ValueId>(bucket));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ValueId>> FloorDivDiscretize(
+    const std::vector<double>& series, double divisor) {
+  if (divisor <= 0.0) {
+    return Status::InvalidArgument("FloorDivDiscretize: divisor must be > 0");
+  }
+  std::vector<ValueId> out;
+  out.reserve(series.size());
+  for (double x : series) {
+    double bucket = std::floor(x / divisor);
+    if (bucket < 0.0 || bucket >= static_cast<double>(kMaxValues)) {
+      return Status::OutOfRange(
+          StrFormat("FloorDivDiscretize: floor(%g / %g) outside [0, %zu)", x,
+                    divisor, kMaxValues));
+    }
+    out.push_back(static_cast<ValueId>(bucket));
+  }
+  return out;
+}
+
+StatusOr<Database> DatabaseFromColumns(
+    std::vector<std::string> attribute_names, size_t num_values,
+    const std::vector<std::vector<ValueId>>& columns) {
+  HM_ASSIGN_OR_RETURN(Database db,
+                      Database::Create(std::move(attribute_names), num_values));
+  HM_RETURN_IF_ERROR(db.AddColumns(columns));
+  return db;
+}
+
+}  // namespace hypermine::core

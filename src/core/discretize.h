@@ -1,0 +1,48 @@
+#ifndef HYPERMINE_CORE_DISCRETIZE_H_
+#define HYPERMINE_CORE_DISCRETIZE_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Computes the k-threshold vector of Section 5.1.1: a (k-1)-tuple
+/// <a_1, ..., a_{k-1}> such that a_i is the floor((i/k)*N)'th entry of the
+/// non-decreasingly sorted series, giving an equi-depth partition into k
+/// buckets. Requires k >= 2 and a non-empty series.
+StatusOr<std::vector<double>> KThresholdVector(std::vector<double> series,
+                                               size_t k);
+
+/// Assigns each entry its bucket: value i iff entry lies in [a_i, a_{i+1})
+/// with a_0 = -inf and a_k = +inf (0-based bucket ids 0..k-1; the thesis
+/// writes 1..k). Thresholds must be sorted.
+std::vector<ValueId> DiscretizeWithThresholds(
+    const std::vector<double>& series, const std::vector<double>& thresholds);
+
+/// One-shot equi-depth discretization: KThresholdVector + bucket assignment.
+StatusOr<std::vector<ValueId>> EquiDepthDiscretize(
+    const std::vector<double>& series, size_t k);
+
+/// Range-bucket discretization used by the Chapter 3 examples (gene and
+/// personal-interest databases): value i iff entry lies in
+/// [boundaries[i], boundaries[i+1]); entries outside [front, back) fail.
+/// boundaries must be strictly increasing with >= 2 entries; the bucket
+/// count is boundaries.size() - 1.
+StatusOr<std::vector<ValueId>> RangeBucketDiscretize(
+    const std::vector<double>& series, const std::vector<double>& boundaries);
+
+/// floor(a / divisor) discretization of the patient database example
+/// (Table 3.2). Results must land in [0, kMaxValues); divisor must be > 0.
+StatusOr<std::vector<ValueId>> FloorDivDiscretize(
+    const std::vector<double>& series, double divisor);
+
+/// Builds a Database from already-discretized per-attribute columns.
+StatusOr<Database> DatabaseFromColumns(
+    std::vector<std::string> attribute_names, size_t num_values,
+    const std::vector<std::vector<ValueId>>& columns);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_DISCRETIZE_H_

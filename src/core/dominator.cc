@@ -1,0 +1,305 @@
+#include "core/dominator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+namespace {
+
+Status ValidateS(const DirectedHypergraph& graph, std::vector<VertexId>* s) {
+  for (VertexId v : *s) {
+    if (v >= graph.num_vertices()) {
+      return Status::OutOfRange("dominator: S member out of range");
+    }
+  }
+  std::sort(s->begin(), s->end());
+  s->erase(std::unique(s->begin(), s->end()), s->end());
+  return Status::OK();
+}
+
+std::vector<VertexId> AllVertices(const DirectedHypergraph& graph) {
+  std::vector<VertexId> s(graph.num_vertices());
+  for (size_t v = 0; v < s.size(); ++v) s[v] = static_cast<VertexId>(v);
+  return s;
+}
+
+/// Marks every S-member reachable from the dominator: v ∈ DomSet, or some
+/// edge with tail ⊆ DomSet heads into v.
+void RecomputeCoverage(const DirectedHypergraph& graph,
+                       const std::vector<char>& in_s,
+                       const std::vector<char>& in_dom,
+                       std::vector<char>* covered) {
+  for (size_t v = 0; v < covered->size(); ++v) {
+    (*covered)[v] = in_dom[v];
+  }
+  for (const Hyperedge& e : graph.edges()) {
+    if (!in_s[e.head] || (*covered)[e.head]) continue;
+    bool tail_in_dom = true;
+    for (VertexId u : e.TailSpan()) {
+      if (!in_dom[u]) {
+        tail_in_dom = false;
+        break;
+      }
+    }
+    if (tail_in_dom) (*covered)[e.head] = 1;
+  }
+}
+
+DominatorResult FinishResult(const DirectedHypergraph& graph,
+                             const std::vector<VertexId>& s,
+                             std::vector<char> in_dom,
+                             std::vector<char> covered, size_t iterations) {
+  DominatorResult result;
+  for (size_t v = 0; v < in_dom.size(); ++v) {
+    if (in_dom[v]) result.dominator.push_back(static_cast<VertexId>(v));
+  }
+  result.covered = std::move(covered);
+  for (VertexId v : s) result.covered_in_s += result.covered[v] ? 1 : 0;
+  result.fraction_covered =
+      s.empty() ? 1.0
+                : static_cast<double>(result.covered_in_s) /
+                      static_cast<double>(s.size());
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace
+
+std::string DominatorResult::ToString() const {
+  return StrFormat("dominator size %zu covering %zu (%.0f%%) after %zu iters",
+                   dominator.size(), covered_in_s, fraction_covered * 100.0,
+                   iterations);
+}
+
+StatusOr<DominatorResult> ComputeDominatorGreedyDS(
+    const DirectedHypergraph& graph, std::vector<VertexId> s,
+    const DominatorConfig& config) {
+  HM_RETURN_IF_ERROR(ValidateS(graph, &s));
+  if (s.empty()) s = AllVertices(graph);
+  const DirectedHypergraph filtered =
+      config.acv_threshold > 0.0 ? graph.FilteredByWeight(config.acv_threshold)
+                                 : graph;
+  const size_t n = filtered.num_vertices();
+
+  std::vector<char> in_s(n, 0);
+  for (VertexId v : s) in_s[v] = 1;
+  std::vector<char> in_dom(n, 0);
+  std::vector<char> covered(n, 0);
+  size_t uncovered_s = s.size();
+
+  // best[u * n + v] = best L(u, v) contribution this iteration.
+  std::vector<double> best(n * n, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  size_t iterations = 0;
+  const size_t max_size = config.max_size == 0 ? n : config.max_size;
+
+  while (uncovered_s > 0 && iterations < max_size) {
+    std::fill(best.begin(), best.end(), 0.0);
+    std::fill(alpha.begin(), alpha.end(), 0.0);
+    // L(u, v) = max over edges u ∈ T(e), v = H(e) of w(e)/|T(e) - DomSet|.
+    for (const Hyperedge& e : filtered.edges()) {
+      VertexId v = e.head;
+      if (!in_s[v] || covered[v]) continue;
+      size_t outside = 0;
+      for (VertexId u : e.TailSpan()) outside += in_dom[u] ? 0 : 1;
+      if (outside == 0) continue;  // Head is covered next recompute anyway.
+      double value = e.weight / static_cast<double>(outside);
+      for (VertexId u : e.TailSpan()) {
+        if (in_dom[u]) continue;
+        double& slot = best[static_cast<size_t>(u) * n + v];
+        slot = std::max(slot, value);
+      }
+    }
+    for (size_t u = 0; u < n; ++u) {
+      if (in_dom[u]) continue;
+      double a = (in_s[u] && !covered[u]) ? 1.0 : 0.0;
+      const double* row = best.data() + u * n;
+      for (size_t v = 0; v < n; ++v) a += row[v];
+      alpha[u] = a;
+    }
+    size_t u0 = n;
+    double best_alpha = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (in_dom[u]) continue;
+      if (alpha[u] > best_alpha + 1e-12) {
+        best_alpha = alpha[u];
+        u0 = u;
+      }
+    }
+    if (u0 == n) break;  // No candidate helps at all.
+    if (config.stop_when_only_self_gain && best_alpha <= 1.0 + 1e-9) {
+      // The best pick would only cover itself: the remaining vertices have
+      // no incoming associative structure worth a dominator slot.
+      break;
+    }
+    in_dom[u0] = 1;
+    ++iterations;
+    RecomputeCoverage(filtered, in_s, in_dom, &covered);
+    uncovered_s = 0;
+    for (VertexId v : s) uncovered_s += covered[v] ? 0 : 1;
+  }
+  return FinishResult(filtered, s, std::move(in_dom), std::move(covered),
+                      iterations);
+}
+
+StatusOr<DominatorResult> ComputeDominatorSetCover(
+    const DirectedHypergraph& graph, std::vector<VertexId> s,
+    const DominatorConfig& config) {
+  HM_RETURN_IF_ERROR(ValidateS(graph, &s));
+  if (s.empty()) s = AllVertices(graph);
+  const DirectedHypergraph filtered =
+      config.acv_threshold > 0.0 ? graph.FilteredByWeight(config.acv_threshold)
+                                 : graph;
+  const size_t n = filtered.num_vertices();
+
+  std::vector<char> in_s(n, 0);
+  for (VertexId v : s) in_s[v] = 1;
+  std::vector<char> in_dom(n, 0);
+  std::vector<char> covered(n, 0);
+
+  // T* = distinct tail sets of hyperedges; with each candidate we keep the
+  // edges whose tail is a subset of it (|t*| <= 3 keeps this cheap).
+  std::map<std::vector<VertexId>, std::vector<EdgeId>> edges_by_tail;
+  for (EdgeId id = 0; id < filtered.num_edges(); ++id) {
+    const Hyperedge& e = filtered.edge(id);
+    std::vector<VertexId> tail(e.TailSpan().begin(), e.TailSpan().end());
+    edges_by_tail[tail].push_back(id);
+  }
+  struct Candidate {
+    std::vector<VertexId> tail;
+    std::vector<EdgeId> covering_edges;  // edges with T(e) ⊆ tail
+    bool active = true;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(edges_by_tail.size());
+  for (const auto& [tail, ids] : edges_by_tail) {
+    Candidate c;
+    c.tail = tail;
+    // All non-empty subsets of the tail contribute their exact-tail edges.
+    const size_t sz = tail.size();
+    for (uint32_t mask = 1; mask < (1u << sz); ++mask) {
+      std::vector<VertexId> subset;
+      for (size_t i = 0; i < sz; ++i) {
+        if (mask & (1u << i)) subset.push_back(tail[i]);
+      }
+      auto it = edges_by_tail.find(subset);
+      if (it != edges_by_tail.end()) {
+        c.covering_edges.insert(c.covering_edges.end(), it->second.begin(),
+                                it->second.end());
+      }
+    }
+    candidates.push_back(std::move(c));
+  }
+
+  size_t uncovered_s = s.size();
+  size_t iterations = 0;
+  const size_t max_size = config.max_size == 0 ? n : config.max_size;
+  size_t dom_size = 0;
+
+  while (uncovered_s > 0 && dom_size < max_size) {
+    // Effectiveness of each active candidate (Lines 6-19 of Algorithm 6).
+    size_t best_index = candidates.size();
+    size_t best_alpha = 0;
+    size_t best_head_gain = 0;
+    size_t best_new_vertices = 0;
+    std::set<VertexId> head_seen;  // Used only with dedupe_heads_in_gain.
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      Candidate& c = candidates[ci];
+      if (!c.active) continue;
+      size_t alpha = 0;
+      for (VertexId u : c.tail) {
+        if (in_s[u] && !covered[u]) ++alpha;
+      }
+      size_t head_gain = 0;
+      if (config.dedupe_heads_in_gain) head_seen.clear();
+      for (EdgeId id : c.covering_edges) {
+        VertexId h = filtered.edge(id).head;
+        if (!in_s[h] || covered[h]) continue;
+        if (config.dedupe_heads_in_gain && !head_seen.insert(h).second) {
+          continue;
+        }
+        ++head_gain;
+      }
+      alpha += head_gain;
+      if (alpha == 0) {
+        // Line 18: zero-effectiveness candidates never become useful again.
+        c.active = false;
+        continue;
+      }
+      size_t new_vertices = 0;
+      for (VertexId u : c.tail) new_vertices += in_dom[u] ? 0 : 1;
+      bool better = alpha > best_alpha;
+      if (config.enhancement1 && alpha == best_alpha &&
+          best_index != candidates.size()) {
+        // Enhancement 1: equal effectiveness — prefer fewer new vertices.
+        better = new_vertices < best_new_vertices;
+      }
+      if (better) {
+        best_index = ci;
+        best_alpha = alpha;
+        best_head_gain = head_gain;
+        best_new_vertices = new_vertices;
+      }
+    }
+    if (best_index == candidates.size()) break;  // T* exhausted.
+    if (config.stop_when_only_self_gain && best_head_gain == 0) {
+      // Only self-inclusion gains remain: no associative coverage left.
+      break;
+    }
+    const Candidate& chosen = candidates[best_index];
+    for (VertexId u : chosen.tail) {
+      if (!in_dom[u]) {
+        in_dom[u] = 1;
+        ++dom_size;
+      }
+    }
+    ++iterations;
+    RecomputeCoverage(filtered, in_s, in_dom, &covered);
+    uncovered_s = 0;
+    for (VertexId v : s) uncovered_s += covered[v] ? 0 : 1;
+    if (config.enhancement2) {
+      // Enhancement 2: discard tail sets fully inside the dominator.
+      for (Candidate& c : candidates) {
+        if (!c.active) continue;
+        bool inside = true;
+        for (VertexId u : c.tail) {
+          if (!in_dom[u]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) c.active = false;
+      }
+    }
+  }
+  return FinishResult(filtered, s, std::move(in_dom), std::move(covered),
+                      iterations);
+}
+
+double VerifyDominatorCoverage(const DirectedHypergraph& graph,
+                               const std::vector<VertexId>& s,
+                               const std::vector<VertexId>& dominator) {
+  std::vector<VertexId> members = s;
+  if (members.empty()) members = AllVertices(graph);
+  std::vector<char> in_s(graph.num_vertices(), 0);
+  for (VertexId v : members) in_s[v] = 1;
+  std::vector<char> in_dom(graph.num_vertices(), 0);
+  for (VertexId v : dominator) {
+    HM_CHECK_LT(v, graph.num_vertices());
+    in_dom[v] = 1;
+  }
+  std::vector<char> covered(graph.num_vertices(), 0);
+  RecomputeCoverage(graph, in_s, in_dom, &covered);
+  size_t hits = 0;
+  for (VertexId v : members) hits += covered[v] ? 1 : 0;
+  return members.empty()
+             ? 1.0
+             : static_cast<double>(hits) / static_cast<double>(members.size());
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,79 @@
+#ifndef HYPERMINE_CORE_DOMINATOR_H_
+#define HYPERMINE_CORE_DOMINATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Options shared by both greedy dominator algorithms of Section 4.1.
+struct DominatorConfig {
+  /// Pre-filter: drop hyperedges with ACV below this value (Section 5.4's
+  /// ACV-threshold). 0 keeps everything.
+  double acv_threshold = 0.0;
+  /// Stop once the best candidate no longer covers any vertex besides
+  /// itself (the remaining vertices carry no predictive structure). This
+  /// reproduces the paper's dominators that cover 78..99% of the series
+  /// rather than degenerating into "add every isolated vertex".
+  bool stop_when_only_self_gain = true;
+  /// Hard cap on dominator size; 0 = no cap.
+  size_t max_size = 0;
+
+  // --- Algorithm 6 specific ---
+  /// Enhancement 1 (Algorithm 7): break effectiveness ties toward the
+  /// candidate tail set that adds the fewest new vertices to the dominator.
+  bool enhancement1 = true;
+  /// Enhancement 2 (Algorithm 8): drop tail sets already inside the
+  /// dominator from the candidate pool.
+  bool enhancement2 = true;
+  /// When true, α(t*) counts each *distinct head* once instead of once per
+  /// hyperedge (the paper's pseudocode counts per hyperedge; this flag is
+  /// an ablation, default off = literal).
+  bool dedupe_heads_in_gain = false;
+};
+
+/// Result of a dominator computation. `dominator` is sorted ascending.
+struct DominatorResult {
+  std::vector<VertexId> dominator;
+  /// covered[v] for every hypergraph vertex.
+  std::vector<char> covered;
+  /// Number of members of S covered, and the fraction |covered ∩ S| / |S|.
+  size_t covered_in_s = 0;
+  double fraction_covered = 0.0;
+  size_t iterations = 0;
+
+  std::string ToString() const;
+};
+
+/// Algorithm 5: greedy dominator via the graph-dominating-set adaptation.
+/// Picks, per iteration, the vertex u maximizing
+///   α(u) = [u ∈ S uncovered] + Σ_{v ∈ S uncovered} max_{e: u∈T(e), v=H(e)}
+///            w(e) / |T(e) - DomSet|,
+/// then re-derives coverage (v covered iff v ∈ DomSet or some hyperedge
+/// with tail ⊆ DomSet heads into it). `s` lists the vertices to cover
+/// (empty = all vertices). O(|S| * |E|).
+StatusOr<DominatorResult> ComputeDominatorGreedyDS(
+    const DirectedHypergraph& graph, std::vector<VertexId> s,
+    const DominatorConfig& config = {});
+
+/// Algorithm 6 (+ Enhancements 1 and 2): greedy dominator via the set-cover
+/// adaptation. Candidates are the tail sets of hyperedges; effectiveness
+/// α(t*) counts uncovered S-members inside t* plus heads newly covered by
+/// hyperedges whose tail fits within t*. O(|S| * |E|^2) worst case.
+StatusOr<DominatorResult> ComputeDominatorSetCover(
+    const DirectedHypergraph& graph, std::vector<VertexId> s,
+    const DominatorConfig& config = {});
+
+/// Recomputes coverage of `dominator` over `s` from scratch (property
+/// checking): v is covered iff v ∈ dominator or some hyperedge with
+/// T(e) ⊆ dominator has head v. Returns the covered fraction of S.
+double VerifyDominatorCoverage(const DirectedHypergraph& graph,
+                               const std::vector<VertexId>& s,
+                               const std::vector<VertexId>& dominator);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_DOMINATOR_H_

@@ -1,0 +1,132 @@
+#include "core/export.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+Status WriteHypergraphCsv(const DirectedHypergraph& graph,
+                          const std::string& path) {
+  CsvDocument doc;
+  doc.header = {"tail", "head", "weight"};
+  doc.rows.push_back(
+      {"vertices", Join(graph.vertex_names(), "|"), ""});
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const Hyperedge& e = graph.edge(id);
+    std::vector<std::string> tail_names;
+    for (VertexId v : e.TailSpan()) {
+      tail_names.push_back(graph.vertex_name(v));
+    }
+    doc.rows.push_back({Join(tail_names, "|"), graph.vertex_name(e.head),
+                        StrFormat("%.17g", e.weight)});
+  }
+  return WriteCsvFile(path, doc);
+}
+
+StatusOr<DirectedHypergraph> ReadHypergraphCsv(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path, /*has_header=*/true));
+  if (doc.rows.empty() || doc.rows[0].size() != 3 ||
+      doc.rows[0][0] != "vertices") {
+    return Status::InvalidArgument(
+        "hypergraph CSV: missing leading vertices record");
+  }
+  std::vector<std::string> names = Split(doc.rows[0][1], '|');
+  HM_ASSIGN_OR_RETURN(DirectedHypergraph graph,
+                      DirectedHypergraph::Create(names));
+  std::map<std::string, VertexId> index;
+  for (size_t v = 0; v < names.size(); ++v) {
+    if (!index.emplace(names[v], static_cast<VertexId>(v)).second) {
+      return Status::InvalidArgument("hypergraph CSV: duplicate vertex");
+    }
+  }
+  auto resolve = [&index](const std::string& name) -> StatusOr<VertexId> {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      return Status::NotFound("hypergraph CSV: unknown vertex " + name);
+    }
+    return it->second;
+  };
+  for (size_t r = 1; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    std::vector<VertexId> tail;
+    for (const std::string& name : Split(row[0], '|')) {
+      HM_ASSIGN_OR_RETURN(VertexId v, resolve(name));
+      tail.push_back(v);
+    }
+    HM_ASSIGN_OR_RETURN(VertexId head, resolve(row[1]));
+    double weight = 0.0;
+    if (!ParseDouble(row[2], &weight)) {
+      return Status::InvalidArgument(
+          StrFormat("hypergraph CSV: bad weight in row %zu", r));
+    }
+    HM_RETURN_IF_ERROR(graph.AddEdge(std::move(tail), head, weight).status());
+  }
+  return graph;
+}
+
+Status WriteClustersDot(const SimilarityGraph& graph,
+                        const approx::Clustering& clustering,
+                        const std::vector<ClusterNode>& nodes,
+                        size_t min_cluster_size, const std::string& path) {
+  if (nodes.size() != graph.size() ||
+      clustering.assignment.size() != graph.size()) {
+    return Status::InvalidArgument(
+        "WriteClustersDot: nodes/clustering must align with the graph");
+  }
+  // Stable color per display group.
+  std::set<std::string> group_names;
+  for (const ClusterNode& node : nodes) group_names.insert(node.group);
+  std::map<std::string, std::string> color_of;
+  size_t color_index = 0;
+  for (const std::string& group : group_names) {
+    // Colors from Graphviz's set312 palette, cycled.
+    color_of[group] = StrFormat("/set312/%zu", color_index % 12 + 1);
+    ++color_index;
+  }
+
+  std::vector<std::vector<size_t>> members(clustering.centers.size());
+  for (size_t i = 0; i < graph.size(); ++i) {
+    members[clustering.assignment[i]].push_back(i);
+  }
+
+  std::ostringstream os;
+  os << "graph clusters {\n"
+     << "  layout=neato;\n  overlap=false;\n  node [style=filled];\n";
+  std::vector<size_t> shown_centers;
+  for (size_t c = 0; c < members.size(); ++c) {
+    if (members[c].size() < min_cluster_size) continue;
+    size_t center = clustering.centers[c];
+    shown_centers.push_back(center);
+    os << StrFormat(
+        "  n%zu [label=\"%s\", shape=doublecircle, fillcolor=\"%s\", "
+        "width=%.2f];\n",
+        center, nodes[center].label.c_str(),
+        color_of[nodes[center].group].c_str(),
+        0.7 + 0.05 * static_cast<double>(members[c].size()));
+    for (size_t i : members[c]) {
+      if (i == center) continue;
+      os << StrFormat(
+          "  n%zu [label=\"%s\", shape=circle, fillcolor=\"%s\"];\n", i,
+          nodes[i].label.c_str(), color_of[nodes[i].group].c_str());
+      os << StrFormat("  n%zu -- n%zu [len=%.3f];\n", center, i,
+                      0.5 + graph.Distance(center, i));
+    }
+  }
+  // Interconnect the displayed cluster centers, as Figure 5.3 does.
+  for (size_t a = 0; a < shown_centers.size(); ++a) {
+    for (size_t b = a + 1; b < shown_centers.size(); ++b) {
+      os << StrFormat("  n%zu -- n%zu [style=dashed, len=%.3f];\n",
+                      shown_centers[a], shown_centers[b],
+                      1.0 + graph.Distance(shown_centers[a],
+                                           shown_centers[b]));
+    }
+  }
+  os << "}\n";
+  return WriteStringToFile(path, os.str());
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,193 @@
+#include "core/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::core {
+
+DirectedHypergraph::DirectedHypergraph(std::vector<std::string> names)
+    : names_(std::move(names)),
+      in_edges_(names_.size()),
+      out_edges_(names_.size()) {}
+
+StatusOr<DirectedHypergraph> DirectedHypergraph::Create(
+    std::vector<std::string> names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("hypergraph: need at least one vertex");
+  }
+  if (names.size() > kMaxVertices) {
+    return Status::InvalidArgument("hypergraph: too many vertices");
+  }
+  return DirectedHypergraph(std::move(names));
+}
+
+StatusOr<DirectedHypergraph> DirectedHypergraph::CreateAnonymous(
+    size_t num_vertices) {
+  std::vector<std::string> names;
+  names.reserve(num_vertices);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    names.push_back(StrFormat("v%zu", v));
+  }
+  return Create(std::move(names));
+}
+
+const std::string& DirectedHypergraph::vertex_name(VertexId v) const {
+  HM_CHECK_LT(v, names_.size());
+  return names_[v];
+}
+
+uint64_t DirectedHypergraph::EdgeKey(const VertexId tail[kMaxTailSize],
+                                     VertexId head) {
+  // Four 16-bit fields; kNoVertex truncates to 0xFFFF, which no real vertex
+  // can use because kMaxVertices = 0xFFFE.
+  return ((static_cast<uint64_t>(tail[0]) & 0xFFFF) << 48) |
+         ((static_cast<uint64_t>(tail[1]) & 0xFFFF) << 32) |
+         ((static_cast<uint64_t>(tail[2]) & 0xFFFF) << 16) |
+         (static_cast<uint64_t>(head) & 0xFFFF);
+}
+
+StatusOr<EdgeId> DirectedHypergraph::AddEdge(std::vector<VertexId> tail,
+                                             VertexId head, double weight) {
+  if (tail.empty() || tail.size() > kMaxTailSize) {
+    return Status::InvalidArgument(
+        StrFormat("hypergraph: |T| must be in [1, %zu]", kMaxTailSize));
+  }
+  if (head >= names_.size()) {
+    return Status::OutOfRange("hypergraph: head vertex out of range");
+  }
+  for (VertexId v : tail) {
+    if (v >= names_.size()) {
+      return Status::OutOfRange("hypergraph: tail vertex out of range");
+    }
+    if (v == head) {
+      return Status::InvalidArgument(
+          "hypergraph: T and H must be disjoint (Definition 2.9)");
+    }
+  }
+  std::sort(tail.begin(), tail.end());
+  if (std::adjacent_find(tail.begin(), tail.end()) != tail.end()) {
+    return Status::InvalidArgument("hypergraph: repeated tail vertex");
+  }
+  if (weight < 0.0 || weight > 1.0) {
+    return Status::InvalidArgument("hypergraph: weight outside [0, 1]");
+  }
+
+  Hyperedge edge;
+  for (size_t i = 0; i < tail.size(); ++i) edge.tail[i] = tail[i];
+  edge.head = head;
+  edge.weight = weight;
+
+  uint64_t key = EdgeKey(edge.tail, head);
+  if (index_.count(key) > 0) {
+    return Status::AlreadyExists("hypergraph: duplicate (T, H) combination");
+  }
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(edge);
+  index_.emplace(key, id);
+  in_edges_[head].push_back(id);
+  for (VertexId v : tail) out_edges_[v].push_back(id);
+  ++num_by_tail_size_[tail.size() - 1];
+  return id;
+}
+
+const Hyperedge& DirectedHypergraph::edge(EdgeId id) const {
+  HM_CHECK_LT(id, edges_.size());
+  return edges_[id];
+}
+
+const std::vector<EdgeId>& DirectedHypergraph::InEdgeIds(VertexId v) const {
+  HM_CHECK_LT(v, names_.size());
+  return in_edges_[v];
+}
+
+const std::vector<EdgeId>& DirectedHypergraph::OutEdgeIds(VertexId v) const {
+  HM_CHECK_LT(v, names_.size());
+  return out_edges_[v];
+}
+
+std::optional<EdgeId> DirectedHypergraph::FindEdge(
+    std::span<const VertexId> tail, VertexId head) const {
+  if (tail.empty() || tail.size() > kMaxTailSize) return std::nullopt;
+  VertexId sorted[kMaxTailSize] = {kNoVertex, kNoVertex, kNoVertex};
+  for (size_t i = 0; i < tail.size(); ++i) sorted[i] = tail[i];
+  std::sort(sorted, sorted + tail.size());
+  auto it = index_.find(EdgeKey(sorted, head));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+double DirectedHypergraph::WeightedInDegree(VertexId v) const {
+  double acc = 0.0;
+  for (EdgeId id : InEdgeIds(v)) acc += edges_[id].weight;
+  return acc;
+}
+
+double DirectedHypergraph::WeightedOutDegree(VertexId v) const {
+  double acc = 0.0;
+  for (EdgeId id : OutEdgeIds(v)) {
+    acc += edges_[id].weight / static_cast<double>(edges_[id].tail_size());
+  }
+  return acc;
+}
+
+double DirectedHypergraph::MeanDirectedEdgeWeight() const {
+  if (NumDirectedEdges() == 0) return 0.0;
+  double acc = 0.0;
+  for (const Hyperedge& e : edges_) {
+    if (e.tail_size() == 1) acc += e.weight;
+  }
+  return acc / static_cast<double>(NumDirectedEdges());
+}
+
+double DirectedHypergraph::MeanPairEdgeWeight() const {
+  if (NumPairEdges() == 0) return 0.0;
+  double acc = 0.0;
+  for (const Hyperedge& e : edges_) {
+    if (e.tail_size() == 2) acc += e.weight;
+  }
+  return acc / static_cast<double>(NumPairEdges());
+}
+
+DirectedHypergraph DirectedHypergraph::FilteredByWeight(
+    double threshold) const {
+  DirectedHypergraph out(names_);
+  for (const Hyperedge& e : edges_) {
+    if (e.weight < threshold) continue;
+    std::vector<VertexId> tail(e.TailSpan().begin(), e.TailSpan().end());
+    HM_CHECK_OK(out.AddEdge(std::move(tail), e.head, e.weight).status());
+  }
+  return out;
+}
+
+StatusOr<double> DirectedHypergraph::WeightQuantileThreshold(
+    double fraction) const {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  if (edges_.empty()) {
+    return Status::FailedPrecondition("hypergraph has no edges");
+  }
+  std::vector<double> weights;
+  weights.reserve(edges_.size());
+  for (const Hyperedge& e : edges_) weights.push_back(e.weight);
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(weights.size())));
+  return weights[keep - 1];
+}
+
+std::string DirectedHypergraph::EdgeToString(EdgeId id, int precision) const {
+  const Hyperedge& e = edge(id);
+  std::string out;
+  for (size_t i = 0; i < e.tail_size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[e.tail[i]];
+  }
+  out += " -> " + names_[e.head];
+  out += " (" + FormatDouble(e.weight, precision) + ")";
+  return out;
+}
+
+}  // namespace hypermine::core

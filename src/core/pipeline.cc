@@ -1,0 +1,83 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+#include "core/discretize.h"
+#include "market/series.h"
+
+namespace hypermine::core {
+
+StatusOr<Database> DiscretizePanelWindow(const market::MarketPanel& panel,
+                                         size_t k, size_t day_begin,
+                                         size_t day_end) {
+  if (panel.num_series() == 0) {
+    return Status::InvalidArgument("DiscretizePanelWindow: empty panel");
+  }
+  if (day_begin >= day_end || day_end > panel.num_days()) {
+    return Status::OutOfRange("DiscretizePanelWindow: bad day window");
+  }
+  // Delta day d uses closes d and d+1; the last panel day has no delta.
+  size_t delta_end = std::min(day_end, panel.num_days() - 1);
+  if (delta_end <= day_begin) {
+    return Status::InvalidArgument(
+        "DiscretizePanelWindow: window has no delta entries");
+  }
+
+  std::vector<std::string> names;
+  names.reserve(panel.num_series());
+  for (const market::Ticker& t : panel.tickers) names.push_back(t.symbol);
+
+  std::vector<std::vector<ValueId>> columns(panel.num_series());
+  for (size_t i = 0; i < panel.num_series(); ++i) {
+    HM_ASSIGN_OR_RETURN(
+        std::vector<double> deltas,
+        market::DeltaSeriesWindow(panel.series[i].closes, day_begin,
+                                  delta_end));
+    HM_ASSIGN_OR_RETURN(columns[i], EquiDepthDiscretize(deltas, k));
+  }
+  return DatabaseFromColumns(std::move(names), k, columns);
+}
+
+StatusOr<Database> DiscretizePanel(const market::MarketPanel& panel,
+                                   size_t k) {
+  return DiscretizePanelWindow(panel, k, 0, panel.num_days());
+}
+
+StatusOr<TrainTestSplit> DiscretizeTrainTest(const market::MarketPanel& panel,
+                                             size_t k, int train_begin_year,
+                                             int train_end_year,
+                                             int test_begin_year,
+                                             int test_end_year) {
+  HM_ASSIGN_OR_RETURN(
+      auto train_range,
+      panel.calendar.DayRangeForYears(train_begin_year, train_end_year));
+  HM_ASSIGN_OR_RETURN(
+      auto test_range,
+      panel.calendar.DayRangeForYears(test_begin_year, test_end_year));
+  TrainTestSplit split{
+      Database::Create({"placeholder"}, 2).value(),
+      Database::Create({"placeholder"}, 2).value(),
+  };
+  HM_ASSIGN_OR_RETURN(
+      split.train,
+      DiscretizePanelWindow(panel, k, train_range.first, train_range.second));
+  HM_ASSIGN_OR_RETURN(
+      split.test,
+      DiscretizePanelWindow(panel, k, test_range.first, test_range.second));
+  return split;
+}
+
+StatusOr<MarketExperiment> SetUpMarketExperiment(
+    const market::MarketConfig& market_config,
+    const HypergraphConfig& model_config) {
+  HM_ASSIGN_OR_RETURN(market::MarketPanel panel,
+                      market::SimulateMarket(market_config));
+  HM_ASSIGN_OR_RETURN(Database db, DiscretizePanel(panel, model_config.k));
+  BuildStats stats;
+  HM_ASSIGN_OR_RETURN(DirectedHypergraph graph,
+                      BuildAssociationHypergraph(db, model_config, &stats));
+  return MarketExperiment{std::move(panel), std::move(db), std::move(graph),
+                          stats};
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,53 @@
+#ifndef HYPERMINE_CORE_PIPELINE_H_
+#define HYPERMINE_CORE_PIPELINE_H_
+
+#include "core/builder.h"
+#include "core/database.h"
+#include "market/market_sim.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Discretizes a market panel into a Database over V = {0..k-1} following
+/// Section 5.1.1: per series, take the delta time-series of the day window
+/// [day_begin, day_end) (day_end < num_days because delta day d consumes
+/// closes d and d+1), compute its k-threshold vector, and bucket equi-depth.
+/// Each resulting observation is one trading day's vector of bucket ids.
+StatusOr<Database> DiscretizePanelWindow(const market::MarketPanel& panel,
+                                         size_t k, size_t day_begin,
+                                         size_t day_end);
+
+/// Whole-panel convenience (window = all days).
+StatusOr<Database> DiscretizePanel(const market::MarketPanel& panel,
+                                   size_t k);
+
+/// Year-sliced discretization: train and test windows as in Section 5.5.1
+/// (train Jan 1 `train_begin` .. Dec 31 `train_end`, test the span
+/// `test_begin`..`test_end`). Both windows are discretized independently
+/// with their own k-threshold vectors, per the test-set methodology of
+/// Section 5.5.
+struct TrainTestSplit {
+  Database train;
+  Database test;
+};
+StatusOr<TrainTestSplit> DiscretizeTrainTest(const market::MarketPanel& panel,
+                                             size_t k, int train_begin_year,
+                                             int train_end_year,
+                                             int test_begin_year,
+                                             int test_end_year);
+
+/// End-to-end experiment setup shared by benches and examples: simulate the
+/// market, discretize the full window, and build the association hypergraph.
+struct MarketExperiment {
+  market::MarketPanel panel;
+  Database database;
+  DirectedHypergraph graph;
+  BuildStats stats;
+};
+StatusOr<MarketExperiment> SetUpMarketExperiment(
+    const market::MarketConfig& market_config,
+    const HypergraphConfig& model_config);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_PIPELINE_H_

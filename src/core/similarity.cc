@@ -1,0 +1,150 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace hypermine::core {
+
+std::vector<VertexId> SubstituteTail(std::span<const VertexId> tail,
+                                     VertexId from, VertexId to) {
+  std::vector<VertexId> out;
+  out.reserve(tail.size());
+  for (VertexId v : tail) {
+    if (v == from) continue;
+    if (v != to) out.push_back(v);
+  }
+  out.push_back(to);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Shared implementation of Definition 3.11. For out-similarity the match
+/// of f in a2's edge set is the edge with tail (T(f) - {a2}) ∪ {a1} and the
+/// same head; for in-similarity it is the edge with the same tail and head
+/// a1. Unmatched edges on either side pair with the empty hyperedge.
+double SimilarityImpl(const DirectedHypergraph& graph, VertexId a1,
+                      VertexId a2, bool out_side) {
+  if (a1 == a2) return 1.0;
+  const std::vector<EdgeId>& side1 =
+      out_side ? graph.OutEdgeIds(a1) : graph.InEdgeIds(a1);
+  const std::vector<EdgeId>& side2 =
+      out_side ? graph.OutEdgeIds(a2) : graph.InEdgeIds(a2);
+
+  double num = 0.0;
+  double den = 0.0;
+  std::unordered_set<EdgeId> matched_on_side1;
+
+  for (EdgeId f_id : side2) {
+    const Hyperedge& f = graph.edge(f_id);
+    std::optional<EdgeId> e_id;
+    if (out_side) {
+      std::vector<VertexId> sub = SubstituteTail(f.TailSpan(), a2, a1);
+      e_id = graph.FindEdge(sub, f.head);
+    } else {
+      // Head substitution f|H: a2 -> a1 (Notation 3.9(4)); heads are
+      // singletons, so the substituted head is exactly a1.
+      e_id = graph.FindEdge(f.TailSpan(), a1);
+    }
+    if (e_id.has_value()) {
+      double we = graph.edge(*e_id).weight;
+      double wf = f.weight;
+      num += std::min(we, wf);
+      den += std::max(we, wf);
+      matched_on_side1.insert(*e_id);
+    } else {
+      // (∅, f): f has no counterpart in a1's edge set.
+      den += f.weight;
+    }
+  }
+  for (EdgeId e_id : side1) {
+    if (matched_on_side1.count(e_id) == 0) {
+      // (e, ∅): e has no counterpart in a2's edge set.
+      den += graph.edge(e_id).weight;
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double OutSimilarity(const DirectedHypergraph& graph, VertexId a1,
+                     VertexId a2) {
+  HM_CHECK_LT(a1, graph.num_vertices());
+  HM_CHECK_LT(a2, graph.num_vertices());
+  return SimilarityImpl(graph, a1, a2, /*out_side=*/true);
+}
+
+double InSimilarity(const DirectedHypergraph& graph, VertexId a1,
+                    VertexId a2) {
+  HM_CHECK_LT(a1, graph.num_vertices());
+  HM_CHECK_LT(a2, graph.num_vertices());
+  return SimilarityImpl(graph, a1, a2, /*out_side=*/false);
+}
+
+size_t SimilarityGraph::TriIndex(size_t i, size_t j) const {
+  HM_CHECK_NE(i, j);
+  if (i > j) std::swap(i, j);
+  const size_t n = members_.size();
+  // Row-major upper triangle: offset of row i plus (j - i - 1).
+  return i * n - (i * (i + 1)) / 2 + (j - i - 1);
+}
+
+StatusOr<SimilarityGraph> SimilarityGraph::Build(
+    const DirectedHypergraph& graph, std::vector<VertexId> members) {
+  if (members.empty()) {
+    members.resize(graph.num_vertices());
+    for (size_t v = 0; v < members.size(); ++v) {
+      members[v] = static_cast<VertexId>(v);
+    }
+  }
+  for (VertexId v : members) {
+    if (v >= graph.num_vertices()) {
+      return Status::OutOfRange("SimilarityGraph: member out of range");
+    }
+  }
+  if (members.size() < 2) {
+    return Status::InvalidArgument("SimilarityGraph: need >= 2 members");
+  }
+  SimilarityGraph out;
+  out.members_ = std::move(members);
+  const size_t n = out.members_.size();
+  out.dist_.resize(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double in_sim = InSimilarity(graph, out.members_[i], out.members_[j]);
+      double out_sim = OutSimilarity(graph, out.members_[i], out.members_[j]);
+      out.dist_[out.TriIndex(i, j)] = 1.0 - (in_sim + out_sim) / 2.0;
+    }
+  }
+  return out;
+}
+
+double SimilarityGraph::Distance(size_t i, size_t j) const {
+  HM_CHECK_LT(i, members_.size());
+  HM_CHECK_LT(j, members_.size());
+  if (i == j) return 0.0;
+  return dist_[TriIndex(i, j)];
+}
+
+double SimilarityGraph::MeanDistance() const {
+  if (dist_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double d : dist_) acc += d;
+  return acc / static_cast<double>(dist_.size());
+}
+
+approx::DistanceFn SimilarityGraph::DistanceFn() const {
+  return [this](size_t i, size_t j) { return Distance(i, j); };
+}
+
+StatusOr<approx::Clustering> ClusterSimilarAttributes(
+    const SimilarityGraph& graph, size_t t, size_t first_center) {
+  return approx::GonzalezTClustering(graph.size(), t, graph.DistanceFn(),
+                                     first_center);
+}
+
+}  // namespace hypermine::core

@@ -1,0 +1,69 @@
+#ifndef HYPERMINE_CORE_SIMILARITY_H_
+#define HYPERMINE_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "approx/gonzalez.h"
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hypermine::core {
+
+/// Tail substitution e|T: from -> to of Notation 3.9(3): the tail becomes
+/// (T - {from}) ∪ {to} (set semantics; the result can shrink when `to` was
+/// already present). The head is unchanged.
+std::vector<VertexId> SubstituteTail(std::span<const VertexId> tail,
+                                     VertexId from, VertexId to);
+
+/// out-sim_H(a1, a2) of Definition 3.11(1): the ACV-weighted fraction of
+/// matched directed-hyperedge pairs under tail substitution,
+///   sum over (e,f) in out(a1)⊗out(a2) of min(w(e), w(f))
+///   / sum over (e,f) in out(a1)⊕out(a2) of max(w(e), w(f)),
+/// where unmatched edges pair with the empty hyperedge (weight 0).
+/// Returns 1 when a1 == a2 and 0 when both vertices have no out-edges.
+double OutSimilarity(const DirectedHypergraph& graph, VertexId a1,
+                     VertexId a2);
+
+/// in-sim_H(a1, a2) of Definition 3.11(2), the head-substitution analogue.
+double InSimilarity(const DirectedHypergraph& graph, VertexId a1,
+                    VertexId a2);
+
+/// The similarity graph SG_S of Definition 3.13: an undirected complete
+/// graph over a vertex subset S with edge weight
+///   d(A1, A2) = 1 - (in-sim(A1, A2) + out-sim(A1, A2)) / 2.
+class SimilarityGraph {
+ public:
+  /// Builds SG_S over `members` (hypergraph vertex ids; empty = all
+  /// vertices). O(|S|^2 * average degree).
+  static StatusOr<SimilarityGraph> Build(const DirectedHypergraph& graph,
+                                         std::vector<VertexId> members = {});
+
+  size_t size() const { return members_.size(); }
+  const std::vector<VertexId>& members() const { return members_; }
+
+  /// Distance between the i'th and j'th member (indices into members()).
+  double Distance(size_t i, size_t j) const;
+
+  /// Mean pairwise distance over all member pairs.
+  double MeanDistance() const;
+
+  /// Distance callback usable with approx::GonzalezTClustering.
+  approx::DistanceFn DistanceFn() const;
+
+ private:
+  SimilarityGraph() = default;
+
+  std::vector<VertexId> members_;
+  /// Upper-triangular row-major distances, diag implicit 0.
+  std::vector<double> dist_;
+  size_t TriIndex(size_t i, size_t j) const;
+};
+
+/// Clusters the similarity graph with the Gonzalez t-clustering 2-approx
+/// (Section 3.3.2); `first_center` indexes members().
+StatusOr<approx::Clustering> ClusterSimilarAttributes(
+    const SimilarityGraph& graph, size_t t, size_t first_center = 0);
+
+}  // namespace hypermine::core
+
+#endif  // HYPERMINE_CORE_SIMILARITY_H_

@@ -1,0 +1,44 @@
+#include "market/calendar.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::market {
+
+TradingCalendar::TradingCalendar(int first_year, size_t num_years)
+    : first_year_(first_year), num_years_(num_years) {
+  HM_CHECK_GT(num_years, 0u);
+}
+
+int TradingCalendar::YearOfDay(size_t day) const {
+  HM_CHECK_LT(day, num_days());
+  return first_year_ + static_cast<int>(day / kTradingDaysPerYear);
+}
+
+size_t TradingCalendar::DayOfYear(size_t day) const {
+  HM_CHECK_LT(day, num_days());
+  return day % kTradingDaysPerYear;
+}
+
+StatusOr<std::pair<size_t, size_t>> TradingCalendar::DayRangeForYears(
+    int begin_year, int end_year) const {
+  if (begin_year > end_year) {
+    return Status::InvalidArgument("DayRangeForYears: inverted year span");
+  }
+  if (begin_year < first_year_ || end_year > last_year()) {
+    return Status::OutOfRange(StrFormat(
+        "DayRangeForYears: [%d, %d] outside calendar [%d, %d]", begin_year,
+        end_year, first_year_, last_year()));
+  }
+  size_t begin =
+      static_cast<size_t>(begin_year - first_year_) * kTradingDaysPerYear;
+  size_t end =
+      static_cast<size_t>(end_year - first_year_ + 1) * kTradingDaysPerYear;
+  return std::make_pair(begin, end);
+}
+
+std::string TradingCalendar::DayLabel(size_t day) const {
+  return StrFormat("%d-%03zu", YearOfDay(day), DayOfYear(day));
+}
+
+}  // namespace hypermine::market

@@ -1,0 +1,52 @@
+#ifndef HYPERMINE_MARKET_CALENDAR_H_
+#define HYPERMINE_MARKET_CALENDAR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace hypermine::market {
+
+/// Number of simulated trading days per calendar year. The paper's data set
+/// (Jan 1995 – Dec 2009) has ~252 trading days per year.
+inline constexpr size_t kTradingDaysPerYear = 252;
+
+/// A simulated trading calendar covering whole years, mapping a flat day
+/// index to (year, day-of-year). The experiments slice training/test windows
+/// by year exactly as Section 5.5.1 does (train Jan 1 1996 .. Dec 31 Y, test
+/// year Y+1).
+class TradingCalendar {
+ public:
+  /// Calendar spanning `num_years` years starting at `first_year`
+  /// (e.g. 1995, 15 -> 1995..2009, the paper's range).
+  TradingCalendar(int first_year, size_t num_years);
+
+  int first_year() const { return first_year_; }
+  int last_year() const {
+    return first_year_ + static_cast<int>(num_years_) - 1;
+  }
+  size_t num_years() const { return num_years_; }
+  size_t num_days() const { return num_years_ * kTradingDaysPerYear; }
+
+  /// Year of the given flat day index.
+  int YearOfDay(size_t day) const;
+  /// 0-based trading day within its year.
+  size_t DayOfYear(size_t day) const;
+
+  /// Flat [begin, end) day range of the inclusive year span; fails when the
+  /// span falls outside the calendar or is inverted.
+  StatusOr<std::pair<size_t, size_t>> DayRangeForYears(int begin_year,
+                                                       int end_year) const;
+
+  /// Human-readable label like "1996-003".
+  std::string DayLabel(size_t day) const;
+
+ private:
+  int first_year_;
+  size_t num_years_;
+};
+
+}  // namespace hypermine::market
+
+#endif  // HYPERMINE_MARKET_CALENDAR_H_

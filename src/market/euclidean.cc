@@ -1,0 +1,31 @@
+#include "market/euclidean.h"
+
+#include <cmath>
+
+#include "market/series.h"
+
+namespace hypermine::market {
+
+StatusOr<double> EuclideanDistance(const std::vector<double>& delta_a,
+                                   const std::vector<double>& delta_b) {
+  if (delta_a.empty() || delta_a.size() != delta_b.size()) {
+    return Status::InvalidArgument(
+        "EuclideanDistance: deltas must have equal non-zero lengths");
+  }
+  std::vector<double> na = Normalized(delta_a);
+  std::vector<double> nb = Normalized(delta_b);
+  double acc = 0.0;
+  for (size_t i = 0; i < na.size(); ++i) {
+    double d = na[i] - nb[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+StatusOr<double> EuclideanSimilarity(const std::vector<double>& delta_a,
+                                     const std::vector<double>& delta_b) {
+  HM_ASSIGN_OR_RETURN(double ed, EuclideanDistance(delta_a, delta_b));
+  return 1.0 - 0.5 * ed;
+}
+
+}  // namespace hypermine::market

@@ -1,0 +1,24 @@
+#ifndef HYPERMINE_MARKET_EUCLIDEAN_H_
+#define HYPERMINE_MARKET_EUCLIDEAN_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::market {
+
+/// Euclidean distance between the L2-normalized delta series of two
+/// financial time-series (Section 5.3.1):
+///   ED(A,B) = || normalized(Δ(A)) - normalized(Δ(B)) ||.
+/// The deltas must have equal non-zero lengths. ED lies in [0, 2].
+StatusOr<double> EuclideanDistance(const std::vector<double>& delta_a,
+                                   const std::vector<double>& delta_b);
+
+/// Euclidean similarity ES(A,B) = 1 - ED(A,B)/2, a value in [0, 1] where
+/// higher means more similar (Section 5.3.1).
+StatusOr<double> EuclideanSimilarity(const std::vector<double>& delta_a,
+                                     const std::vector<double>& delta_b);
+
+}  // namespace hypermine::market
+
+#endif  // HYPERMINE_MARKET_EUCLIDEAN_H_

@@ -1,0 +1,150 @@
+#include "market/market_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::market {
+
+namespace {
+
+/// Standard-normal tercile boundaries and conditional means.
+constexpr double kTercileBoundary = 0.43073;  // Phi^-1(2/3)
+constexpr double kTercileMean = 1.09130;      // E[Z | Z > boundary]
+
+const RoleLoadings& LoadingsFor(const MarketConfig& config, Role role) {
+  switch (role) {
+    case Role::kProducer:
+      return config.producer;
+    case Role::kConsumer:
+      return config.consumer;
+    case Role::kNeutral:
+      return config.neutral;
+  }
+  return config.neutral;
+}
+
+double SystematicStdDev(const RoleLoadings& l) {
+  return std::sqrt(l.market * l.market + l.demand * l.demand +
+                   l.sector * l.sector + l.subsector * l.subsector);
+}
+
+}  // namespace
+
+double TercileQuantize(double standardized) {
+  if (standardized < -kTercileBoundary) return -kTercileMean;
+  if (standardized > kTercileBoundary) return kTercileMean;
+  return 0.0;
+}
+
+StatusOr<MarketPanel> SimulateMarket(const MarketConfig& config) {
+  if (config.num_series == 0) {
+    return Status::InvalidArgument("SimulateMarket: num_series must be > 0");
+  }
+  if (config.num_years == 0) {
+    return Status::InvalidArgument("SimulateMarket: num_years must be > 0");
+  }
+  if (config.daily_vol_scale <= 0.0) {
+    return Status::InvalidArgument("SimulateMarket: vol scale must be > 0");
+  }
+
+  MarketPanel panel;
+  panel.calendar = TradingCalendar(config.first_year, config.num_years);
+  HM_ASSIGN_OR_RETURN(panel.tickers, BuildUniverse(config.num_series));
+
+  const size_t num_days = panel.calendar.num_days();
+  const size_t num_subsectors = SubSectorTaxonomy().size();
+  const double drift = config.annual_drift / kTradingDaysPerYear;
+
+  const size_t num_segments = std::max<size_t>(1, config.demand_segments);
+
+  // Factor paths come from their own generator so that they are identical
+  // for every universe size under the same seed (universe growth only adds
+  // series, it does not perturb existing ones).
+  Rng factor_rng(config.seed);
+  std::vector<double> market_factor(num_days);
+  // Segmented end-user demand plus its aggregate (unit variance each).
+  std::vector<std::vector<double>> demand_segment(
+      num_segments, std::vector<double>(num_days));
+  std::vector<double> demand_aggregate(num_days);
+  std::vector<std::vector<double>> sector_factor(
+      kNumSectors, std::vector<double>(num_days));
+  std::vector<std::vector<double>> subsector_factor(
+      num_subsectors, std::vector<double>(num_days));
+  const double segment_norm = 1.0 / std::sqrt(static_cast<double>(num_segments));
+  for (size_t t = 0; t < num_days; ++t) {
+    market_factor[t] = factor_rng.NextGaussian();
+    double agg = 0.0;
+    for (size_t j = 0; j < num_segments; ++j) {
+      demand_segment[j][t] = factor_rng.NextGaussian();
+      agg += demand_segment[j][t];
+    }
+    demand_aggregate[t] = agg * segment_norm;
+    for (size_t s = 0; s < kNumSectors; ++s) {
+      sector_factor[s][t] = factor_rng.NextGaussian();
+    }
+    for (size_t u = 0; u < num_subsectors; ++u) {
+      subsector_factor[u][t] = factor_rng.NextGaussian();
+    }
+  }
+
+  // Consumers are assigned demand niches round-robin.
+  size_t next_segment = 0;
+
+  panel.series.resize(panel.tickers.size());
+  for (size_t i = 0; i < panel.tickers.size(); ++i) {
+    const Ticker& ticker = panel.tickers[i];
+    RoleLoadings l = LoadingsFor(config, ticker.role);
+
+    // Per-series generator decorrelated from the factor stream.
+    Rng idio_rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+
+    // Per-ticker heterogeneity (drawn first so the factor loadings are a
+    // deterministic function of seed and series index).
+    double demand_jitter =
+        ticker.role == Role::kConsumer
+            ? 1.0 + 2.0 * config.demand_spread * idio_rng.NextDouble()
+            : 1.0 - config.demand_spread +
+                  config.demand_spread * 2.0 * idio_rng.NextDouble();
+    double idio_jitter = 1.0 - config.idio_spread +
+                         config.idio_spread * 2.0 * idio_rng.NextDouble();
+    l.demand *= demand_jitter;
+    l.idiosyncratic *= idio_jitter;
+    const double sys_sd = SystematicStdDev(l);
+    HM_CHECK_GT(sys_sd, 0.0);
+    double price = config.min_price0 +
+                   idio_rng.NextDouble() *
+                       (config.max_price0 - config.min_price0);
+
+    PriceSeries& series = panel.series[i];
+    series.symbol = ticker.symbol;
+    series.closes.resize(num_days);
+    series.closes[0] = price;
+
+    const size_t sector = static_cast<size_t>(ticker.sector);
+    const std::vector<double>& demand_path =
+        ticker.role == Role::kConsumer
+            ? demand_segment[next_segment++ % num_segments]
+            : demand_aggregate;
+    for (size_t t = 1; t < num_days; ++t) {
+      double sys = l.market * market_factor[t] +
+                   l.demand * demand_path[t] +
+                   l.sector * sector_factor[sector][t] +
+                   l.subsector * subsector_factor[ticker.subsector][t];
+      if (l.quantization > 0.0) {
+        double quantized = sys_sd * TercileQuantize(sys / sys_sd);
+        sys = (1.0 - l.quantization) * sys + l.quantization * quantized;
+      }
+      double standardized = sys + l.idiosyncratic * idio_rng.NextGaussian();
+      double r = config.daily_vol_scale * standardized + drift;
+      r = std::clamp(r, -0.25, 0.25);
+      price *= (1.0 + r);
+      series.closes[t] = price;
+    }
+  }
+  return panel;
+}
+
+}  // namespace hypermine::market

@@ -1,0 +1,104 @@
+#include "market/panel.h"
+
+#include <map>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace hypermine::market {
+
+Status SavePanelCsv(const MarketPanel& panel, const std::string& path) {
+  CsvDocument doc;
+  doc.header.push_back("day");
+  for (const Ticker& t : panel.tickers) doc.header.push_back(t.symbol);
+
+  // Metadata row: sector code + sub-sector index, e.g. "sector:E:32".
+  std::vector<std::string> meta_row;
+  meta_row.push_back("meta");
+  for (const Ticker& t : panel.tickers) {
+    meta_row.push_back(StrFormat("sector:%s:%zu", SectorCode(t.sector),
+                                 t.subsector));
+  }
+  doc.rows.push_back(std::move(meta_row));
+
+  for (size_t d = 0; d < panel.num_days(); ++d) {
+    std::vector<std::string> row;
+    row.reserve(panel.tickers.size() + 1);
+    row.push_back(panel.calendar.DayLabel(d));
+    for (const PriceSeries& s : panel.series) {
+      row.push_back(FormatDouble(s.closes[d], 6));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, doc);
+}
+
+StatusOr<MarketPanel> LoadPanelCsv(const std::string& path, int first_year) {
+  HM_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path, /*has_header=*/true));
+  if (doc.header.size() < 2) {
+    return Status::InvalidArgument("panel CSV: need day column + >=1 symbol");
+  }
+  if (doc.rows.empty() || doc.rows[0].empty() || doc.rows[0][0] != "meta") {
+    return Status::InvalidArgument("panel CSV: missing meta row");
+  }
+  const size_t num_series = doc.header.size() - 1;
+  const size_t num_days = doc.rows.size() - 1;
+  if (num_days == 0 || num_days % kTradingDaysPerYear != 0) {
+    return Status::InvalidArgument(
+        "panel CSV: day count is not a whole number of trading years");
+  }
+
+  std::map<std::string, Ticker> paper_by_symbol;
+  for (const Ticker& t : PaperTickers()) paper_by_symbol[t.symbol] = t;
+
+  MarketPanel panel;
+  panel.calendar =
+      TradingCalendar(first_year, num_days / kTradingDaysPerYear);
+  panel.tickers.reserve(num_series);
+  panel.series.resize(num_series);
+
+  const auto& taxonomy = SubSectorTaxonomy();
+  for (size_t i = 0; i < num_series; ++i) {
+    const std::string& symbol = doc.header[i + 1];
+    const std::string& meta = doc.rows[0][i + 1];
+    std::vector<std::string> parts = Split(meta, ':');
+    if (parts.size() != 3 || parts[0] != "sector") {
+      return Status::InvalidArgument("panel CSV: bad meta cell: " + meta);
+    }
+    HM_ASSIGN_OR_RETURN(Sector sector, SectorFromCode(parts[1]));
+    int64_t subsector = 0;
+    if (!ParseInt64(parts[2], &subsector) || subsector < 0 ||
+        static_cast<size_t>(subsector) >= taxonomy.size()) {
+      return Status::InvalidArgument("panel CSV: bad sub-sector: " + meta);
+    }
+    Ticker ticker;
+    auto it = paper_by_symbol.find(symbol);
+    if (it != paper_by_symbol.end()) {
+      ticker = it->second;
+    } else {
+      ticker.symbol = symbol;
+      ticker.sector = sector;
+      ticker.subsector = static_cast<size_t>(subsector);
+      ticker.role = taxonomy[ticker.subsector].role;
+      ticker.from_paper = false;
+    }
+    panel.tickers.push_back(ticker);
+    panel.series[i].symbol = symbol;
+    panel.series[i].closes.resize(num_days);
+  }
+
+  for (size_t d = 0; d < num_days; ++d) {
+    const auto& row = doc.rows[d + 1];
+    for (size_t i = 0; i < num_series; ++i) {
+      double close = 0.0;
+      if (!ParseDouble(row[i + 1], &close)) {
+        return Status::InvalidArgument(
+            StrFormat("panel CSV: bad close at day %zu series %zu", d, i));
+      }
+      panel.series[i].closes[d] = close;
+    }
+  }
+  return panel;
+}
+
+}  // namespace hypermine::market

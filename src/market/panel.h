@@ -1,0 +1,23 @@
+#ifndef HYPERMINE_MARKET_PANEL_H_
+#define HYPERMINE_MARKET_PANEL_H_
+
+#include <string>
+
+#include "market/market_sim.h"
+#include "util/status.h"
+
+namespace hypermine::market {
+
+/// Writes a panel as CSV: one "day" column plus one column per ticker symbol
+/// holding daily closes. The companion metadata header row II (sector codes)
+/// makes the file self-describing for LoadPanelCsv.
+Status SavePanelCsv(const MarketPanel& panel, const std::string& path);
+
+/// Reads a panel written by SavePanelCsv. Ticker metadata (sector,
+/// sub-sector, role) is restored from the embedded sector row; symbols from
+/// the paper additionally get their taxonomy entry from PaperTickers().
+StatusOr<MarketPanel> LoadPanelCsv(const std::string& path, int first_year);
+
+}  // namespace hypermine::market
+
+#endif  // HYPERMINE_MARKET_PANEL_H_

@@ -1,0 +1,380 @@
+#include "market/sectors.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::market {
+
+const char* SectorCode(Sector sector) {
+  switch (sector) {
+    case Sector::kBasicMaterials:
+      return "BM";
+    case Sector::kCapitalGoods:
+      return "CG";
+    case Sector::kConglomerates:
+      return "C";
+    case Sector::kConsumerCyclical:
+      return "CC";
+    case Sector::kConsumerNonCyclical:
+      return "CN";
+    case Sector::kEnergy:
+      return "E";
+    case Sector::kFinancial:
+      return "F";
+    case Sector::kHealthcare:
+      return "H";
+    case Sector::kServices:
+      return "SV";
+    case Sector::kTechnology:
+      return "T";
+    case Sector::kTransportation:
+      return "TP";
+    case Sector::kUtilities:
+      return "U";
+  }
+  return "?";
+}
+
+const char* SectorName(Sector sector) {
+  switch (sector) {
+    case Sector::kBasicMaterials:
+      return "Basic Materials";
+    case Sector::kCapitalGoods:
+      return "Capital Goods";
+    case Sector::kConglomerates:
+      return "Conglomerates";
+    case Sector::kConsumerCyclical:
+      return "Consumer Cyclical";
+    case Sector::kConsumerNonCyclical:
+      return "Consumer Noncyclical";
+    case Sector::kEnergy:
+      return "Energy";
+    case Sector::kFinancial:
+      return "Financial";
+    case Sector::kHealthcare:
+      return "Healthcare";
+    case Sector::kServices:
+      return "Services";
+    case Sector::kTechnology:
+      return "Technology";
+    case Sector::kTransportation:
+      return "Transportation";
+    case Sector::kUtilities:
+      return "Utilities";
+  }
+  return "?";
+}
+
+StatusOr<Sector> SectorFromCode(const std::string& code) {
+  static const std::map<std::string, Sector> kByCode = {
+      {"BM", Sector::kBasicMaterials},
+      {"CG", Sector::kCapitalGoods},
+      {"C", Sector::kConglomerates},
+      {"CC", Sector::kConsumerCyclical},
+      {"CN", Sector::kConsumerNonCyclical},
+      {"E", Sector::kEnergy},
+      {"F", Sector::kFinancial},
+      {"H", Sector::kHealthcare},
+      {"SV", Sector::kServices},
+      {"T", Sector::kTechnology},
+      {"TP", Sector::kTransportation},
+      {"U", Sector::kUtilities},
+  };
+  auto it = kByCode.find(code);
+  if (it == kByCode.end()) {
+    return Status::NotFound("unknown sector code: " + code);
+  }
+  return it->second;
+}
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kProducer:
+      return "producer";
+    case Role::kConsumer:
+      return "consumer";
+    case Role::kNeutral:
+      return "neutral";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sector-level default role, per the producer/consumer discussion in
+/// Section 5.2. Services is handled per sub-sector (real estate = producer).
+Role DefaultRole(Sector sector) {
+  switch (sector) {
+    case Sector::kBasicMaterials:
+    case Sector::kCapitalGoods:
+    case Sector::kEnergy:
+      return Role::kProducer;
+    case Sector::kConsumerCyclical:
+    case Sector::kConsumerNonCyclical:
+    case Sector::kHealthcare:
+    case Sector::kServices:
+    case Sector::kTechnology:
+      return Role::kConsumer;
+    case Sector::kConglomerates:
+    case Sector::kFinancial:
+    case Sector::kTransportation:
+    case Sector::kUtilities:
+      return Role::kNeutral;
+  }
+  return Role::kNeutral;
+}
+
+std::vector<SubSector> BuildTaxonomy() {
+  // 104 sub-sectors total; the 11 Technology entries are the paper's own
+  // list, the rest follow the classic sector taxonomy the thesis refers to.
+  struct Group {
+    Sector sector;
+    std::vector<const char*> names;
+  };
+  const std::vector<Group> groups = {
+      {Sector::kBasicMaterials,
+       {"Chemicals - Major", "Chemicals - Specialty", "Iron & Steel",
+        "Gold & Silver", "Metal Mining", "Paper & Paper Products",
+        "Containers & Packaging", "Forestry & Wood Products",
+        "Fabricated Plastic & Rubber", "Misc. Fabricated Products"}},
+      {Sector::kCapitalGoods,
+       {"Aerospace & Defense", "Construction & Agricultural Machinery",
+        "Construction Supplies & Fixtures", "Industrial Machinery",
+        "Misc. Capital Goods", "Mobile Homes & RVs", "Construction Services",
+        "Construction - Raw Materials", "Tools & Hardware"}},
+      {Sector::kConglomerates,
+       {"Conglomerates - Diversified", "Conglomerates - Industrial",
+        "Conglomerates - Holding"}},
+      {Sector::kConsumerCyclical,
+       {"Auto & Truck Manufacturers", "Auto & Truck Parts", "Tires",
+        "Apparel & Accessories", "Footwear", "Furniture & Fixtures",
+        "Appliance & Tool", "Audio & Video Equipment",
+        "Jewelry & Silverware", "Recreational Products"}},
+      {Sector::kConsumerNonCyclical,
+       {"Food Processing", "Beverages - Non-Alcoholic",
+        "Beverages - Alcoholic", "Personal & Household Products", "Tobacco",
+        "Crops", "Fish & Livestock", "Office Supplies"}},
+      {Sector::kEnergy,
+       {"Oil & Gas - Integrated", "Oil & Gas Operations",
+        "Oil Well Services & Equipment", "Oil & Gas Drilling", "Coal",
+        "Pipelines", "Oil & Gas Refining & Marketing",
+        "Alternative Energy Sources"}},
+      {Sector::kFinancial,
+       {"Money Center Banks", "Regional Banks", "Investment Services",
+        "Insurance - Life", "Insurance - Property & Casualty",
+        "Insurance - Miscellaneous", "Consumer Financial Services",
+        "Misc. Financial Services", "S&Ls / Savings Banks",
+        "Asset Management"}},
+      {Sector::kHealthcare,
+       {"Major Drugs", "Biotechnology & Drugs",
+        "Medical Equipment & Supplies", "Healthcare Facilities",
+        "Managed Health Care", "Drug Delivery", "Diagnostic Substances",
+        "Drug Related Products", "Medical Practitioners",
+        "Medical Instruments"}},
+      {Sector::kServices,
+       {"Retail - Department & Discount", "Retail - Apparel",
+        "Retail - Grocery", "Retail - Home Improvement",
+        "Retail - Specialty", "Restaurants", "Real Estate Operations",
+        "Business Services", "Communications Services",
+        "Broadcasting & Cable TV", "Hotels & Motels", "Personal Services",
+        "Printing & Publishing"}},
+      {Sector::kTechnology,
+       {"Communications Equipment", "Computer Hardware", "Computer Networks",
+        "Computer Peripherals", "Computer Services",
+        "Computer Storage Devices", "Electronic Instr. and Controls",
+        "Office Equipment", "Scientific and Technical Instr.",
+        "Semiconductors", "Software and Programming"}},
+      {Sector::kTransportation,
+       {"Air Courier", "Airline", "Railroads", "Trucking",
+        "Water Transportation", "Misc. Transportation"}},
+      {Sector::kUtilities,
+       {"Electric Utilities", "Natural Gas Utilities", "Water Utilities",
+        "Diversified Utilities", "Independent Power Producers",
+        "Multi-Utilities"}},
+  };
+
+  std::vector<SubSector> taxonomy;
+  for (const Group& group : groups) {
+    for (const char* name : group.names) {
+      Role role = DefaultRole(group.sector);
+      // The thesis singles out real-estate services as producer-like
+      // (e.g. Kimco Realty) while end-user services are consumers.
+      if (group.sector == Sector::kServices &&
+          std::string(name) == "Real Estate Operations") {
+        role = Role::kProducer;
+      }
+      taxonomy.push_back(SubSector{name, group.sector, role});
+    }
+  }
+  HM_CHECK_EQ(taxonomy.size(), 104u);
+  return taxonomy;
+}
+
+size_t SubSectorIndex(Sector sector, const char* name) {
+  const auto& taxonomy = SubSectorTaxonomy();
+  for (size_t i = 0; i < taxonomy.size(); ++i) {
+    if (taxonomy[i].sector == sector && taxonomy[i].name == name) return i;
+  }
+  HM_LOG_FATAL << "unknown sub-sector " << name << " in sector "
+               << SectorCode(sector);
+  return 0;
+}
+
+std::vector<Ticker> BuildPaperTickers() {
+  struct Entry {
+    const char* symbol;
+    Sector sector;
+    const char* subsector;
+  };
+  // Symbols and sectors exactly as reported in Tables 5.1/5.2 and the text
+  // of Section 5.2 (sector attribution "per google finance" in the thesis).
+  const std::vector<Entry> entries = {
+      // Basic Materials.
+      {"EMN", Sector::kBasicMaterials, "Chemicals - Major"},
+      {"PPG", Sector::kBasicMaterials, "Chemicals - Major"},
+      {"DOW", Sector::kBasicMaterials, "Chemicals - Major"},
+      {"FMC", Sector::kBasicMaterials, "Chemicals - Specialty"},
+      {"AVY", Sector::kBasicMaterials, "Containers & Packaging"},
+      {"BLL", Sector::kBasicMaterials, "Containers & Packaging"},
+      {"IFF", Sector::kBasicMaterials, "Chemicals - Specialty"},
+      // Capital Goods.
+      {"HON", Sector::kCapitalGoods, "Aerospace & Defense"},
+      {"CAT", Sector::kCapitalGoods, "Construction & Agricultural Machinery"},
+      {"UTX", Sector::kCapitalGoods, "Aerospace & Defense"},
+      {"BA", Sector::kCapitalGoods, "Aerospace & Defense"},
+      // Conglomerates.
+      {"TXT", Sector::kConglomerates, "Conglomerates - Industrial"},
+      // Consumer Cyclical.
+      {"GT", Sector::kConsumerCyclical, "Tires"},
+      {"F", Sector::kConsumerCyclical, "Auto & Truck Manufacturers"},
+      // Consumer Noncyclical.
+      {"PG", Sector::kConsumerNonCyclical, "Personal & Household Products"},
+      {"CL", Sector::kConsumerNonCyclical, "Personal & Household Products"},
+      {"CLX", Sector::kConsumerNonCyclical, "Personal & Household Products"},
+      {"K", Sector::kConsumerNonCyclical, "Food Processing"},
+      {"CPB", Sector::kConsumerNonCyclical, "Food Processing"},
+      {"PEP", Sector::kConsumerNonCyclical, "Beverages - Non-Alcoholic"},
+      // Energy.
+      {"XOM", Sector::kEnergy, "Oil & Gas - Integrated"},
+      {"CVX", Sector::kEnergy, "Oil & Gas - Integrated"},
+      {"HES", Sector::kEnergy, "Oil & Gas - Integrated"},
+      {"SLB", Sector::kEnergy, "Oil Well Services & Equipment"},
+      {"COG", Sector::kEnergy, "Oil & Gas Operations"},
+      // Financial.
+      {"AIG", Sector::kFinancial, "Insurance - Property & Casualty"},
+      {"C", Sector::kFinancial, "Money Center Banks"},
+      {"BEN", Sector::kFinancial, "Asset Management"},
+      {"PGR", Sector::kFinancial, "Insurance - Property & Casualty"},
+      {"AON", Sector::kFinancial, "Insurance - Miscellaneous"},
+      {"CI", Sector::kFinancial, "Insurance - Life"},
+      {"AXP", Sector::kFinancial, "Consumer Financial Services"},
+      {"BAC", Sector::kFinancial, "Money Center Banks"},
+      // Healthcare.
+      {"JNJ", Sector::kHealthcare, "Major Drugs"},
+      {"MRK", Sector::kHealthcare, "Major Drugs"},
+      {"ABT", Sector::kHealthcare, "Major Drugs"},
+      // Services.
+      {"JCP", Sector::kServices, "Retail - Department & Discount"},
+      {"M", Sector::kServices, "Retail - Department & Discount"},
+      {"FDO", Sector::kServices, "Retail - Department & Discount"},
+      {"GPS", Sector::kServices, "Retail - Apparel"},
+      {"COST", Sector::kServices, "Retail - Department & Discount"},
+      {"HD", Sector::kServices, "Retail - Home Improvement"},
+      {"SYY", Sector::kServices, "Business Services"},
+      {"KIM", Sector::kServices, "Real Estate Operations"},
+      {"YHOO", Sector::kServices, "Communications Services"},
+      // Technology.
+      {"INTC", Sector::kTechnology, "Semiconductors"},
+      {"LLTC", Sector::kTechnology, "Semiconductors"},
+      {"XLNX", Sector::kTechnology, "Semiconductors"},
+      {"EMC", Sector::kTechnology, "Computer Storage Devices"},
+      {"QCOM", Sector::kTechnology, "Communications Equipment"},
+      {"CTXS", Sector::kTechnology, "Software and Programming"},
+      {"ITT", Sector::kTechnology, "Electronic Instr. and Controls"},
+      {"ROK", Sector::kTechnology, "Electronic Instr. and Controls"},
+      {"ETN", Sector::kTechnology, "Electronic Instr. and Controls"},
+      // Transportation.
+      {"FDX", Sector::kTransportation, "Air Courier"},
+      {"EXPD", Sector::kTransportation, "Air Courier"},
+      // Utilities.
+      {"TE", Sector::kUtilities, "Electric Utilities"},
+      {"PGN", Sector::kUtilities, "Electric Utilities"},
+      {"AEP", Sector::kUtilities, "Electric Utilities"},
+      {"SO", Sector::kUtilities, "Electric Utilities"},
+      {"TEG", Sector::kUtilities, "Diversified Utilities"},
+      {"PEG", Sector::kUtilities, "Diversified Utilities"},
+  };
+
+  const auto& taxonomy = SubSectorTaxonomy();
+  std::vector<Ticker> tickers;
+  tickers.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    size_t sub = SubSectorIndex(entry.sector, entry.subsector);
+    tickers.push_back(Ticker{entry.symbol, entry.sector, sub,
+                             taxonomy[sub].role, /*from_paper=*/true});
+  }
+  return tickers;
+}
+
+}  // namespace
+
+const std::vector<SubSector>& SubSectorTaxonomy() {
+  static const std::vector<SubSector>& taxonomy =
+      *new std::vector<SubSector>(BuildTaxonomy());
+  return taxonomy;
+}
+
+size_t SubSectorCount(Sector sector) {
+  size_t count = 0;
+  for (const SubSector& sub : SubSectorTaxonomy()) {
+    if (sub.sector == sector) ++count;
+  }
+  return count;
+}
+
+const std::vector<Ticker>& PaperTickers() {
+  static const std::vector<Ticker>& tickers =
+      *new std::vector<Ticker>(BuildPaperTickers());
+  return tickers;
+}
+
+StatusOr<std::vector<Ticker>> BuildUniverse(size_t num_series) {
+  if (num_series == 0) {
+    return Status::InvalidArgument("BuildUniverse: num_series must be > 0");
+  }
+  const auto& taxonomy = SubSectorTaxonomy();
+  std::vector<Ticker> universe = PaperTickers();
+  if (universe.size() > num_series) universe.resize(num_series);
+
+  std::set<std::string> symbols;
+  for (const Ticker& t : universe) symbols.insert(t.symbol);
+
+  // Fill the remainder round-robin across sub-sectors so every universe
+  // size covers the taxonomy as broadly as possible. Synthetic symbols are
+  // "<SECTOR><nn>" with a per-sector serial (digits never collide with the
+  // purely alphabetic paper symbols).
+  std::map<Sector, size_t> serials;
+  size_t sub = 0;
+  while (universe.size() < num_series) {
+    const SubSector& info = taxonomy[sub];
+    std::string symbol =
+        StrFormat("%s%02zu", SectorCode(info.sector), ++serials[info.sector]);
+    HM_CHECK(symbols.insert(symbol).second);
+    universe.push_back(
+        Ticker{symbol, info.sector, sub, info.role, /*from_paper=*/false});
+    sub = (sub + 1) % taxonomy.size();
+  }
+  return universe;
+}
+
+size_t DistinctSubSectors(const std::vector<Ticker>& universe) {
+  std::set<size_t> seen;
+  for (const Ticker& t : universe) seen.insert(t.subsector);
+  return seen.size();
+}
+
+}  // namespace hypermine::market

@@ -1,0 +1,87 @@
+#ifndef HYPERMINE_MARKET_SECTORS_H_
+#define HYPERMINE_MARKET_SECTORS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::market {
+
+/// The 12 industrial sectors of the paper's S&P 500 snapshot (Chapter 5).
+enum class Sector {
+  kBasicMaterials = 0,   // BM
+  kCapitalGoods,         // CG
+  kConglomerates,        // C
+  kConsumerCyclical,     // CC
+  kConsumerNonCyclical,  // CN
+  kEnergy,               // E
+  kFinancial,            // F
+  kHealthcare,           // H
+  kServices,             // SV
+  kTechnology,           // T
+  kTransportation,       // TP
+  kUtilities,            // U
+};
+
+inline constexpr size_t kNumSectors = 12;
+
+/// Short code used in the paper's tables ("BM", "CG", "C", ...).
+const char* SectorCode(Sector sector);
+/// Full sector name ("Basic Materials", ...).
+const char* SectorName(Sector sector);
+/// Inverse of SectorCode; fails on unknown codes.
+StatusOr<Sector> SectorFromCode(const std::string& code);
+
+/// Economic role in the producer/consumer narrative of Section 5.2.
+/// Producers (BM, CG, E, and real-estate SV) rely little on other companies
+/// and are *predictable* (high weighted in-degree); consumers (CC, CN, H,
+/// most SV, T) face end-users and are good *predictors* (high weighted
+/// out-degree). Other sectors are neutral.
+enum class Role { kProducer = 0, kConsumer, kNeutral };
+
+const char* RoleName(Role role);
+
+/// A sub-sector of the taxonomy. The paper reports 104 sub-sectors across
+/// the 12 sectors (11 under Technology, which are listed verbatim).
+struct SubSector {
+  std::string name;
+  Sector sector;
+  Role role;
+};
+
+/// The full 104-entry sub-sector taxonomy, grouped by sector.
+const std::vector<SubSector>& SubSectorTaxonomy();
+
+/// Number of sub-sectors under a sector.
+size_t SubSectorCount(Sector sector);
+
+/// One listed company in the simulated universe.
+struct Ticker {
+  std::string symbol;
+  Sector sector;
+  /// Index into SubSectorTaxonomy().
+  size_t subsector;
+  Role role;
+  /// True for the ~60 symbols named in the paper's tables and text.
+  bool from_paper = false;
+};
+
+/// All tickers named in the thesis (Tables 5.1/5.2 and Section 5.2),
+/// with their reported sectors.
+const std::vector<Ticker>& PaperTickers();
+
+/// Builds a universe of `num_series` tickers: the paper's named tickers
+/// first, then synthetic symbols distributed round-robin across all
+/// sub-sectors. Fails when num_series is zero. The paper's full universe is
+/// 346 series; smaller universes keep single-core experiments fast.
+StatusOr<std::vector<Ticker>> BuildUniverse(size_t num_series);
+
+/// Number of distinct sub-sectors that appear in a universe (the paper sets
+/// the t-clustering parameter t to this count).
+size_t DistinctSubSectors(const std::vector<Ticker>& universe);
+
+}  // namespace hypermine::market
+
+#endif  // HYPERMINE_MARKET_SECTORS_H_

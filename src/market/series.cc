@@ -1,0 +1,52 @@
+#include "market/series.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace hypermine::market {
+
+StatusOr<std::vector<double>> DeltaSeries(const std::vector<double>& closes) {
+  if (closes.size() < 2) {
+    return Status::InvalidArgument("DeltaSeries: need at least two closes");
+  }
+  std::vector<double> deltas;
+  deltas.reserve(closes.size() - 1);
+  for (size_t i = 0; i + 1 < closes.size(); ++i) {
+    if (closes[i] <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("DeltaSeries: non-positive close at day %zu", i));
+    }
+    deltas.push_back((closes[i + 1] - closes[i]) / closes[i]);
+  }
+  return deltas;
+}
+
+StatusOr<std::vector<double>> DeltaSeriesWindow(
+    const std::vector<double>& closes, size_t begin, size_t end) {
+  if (begin >= end || end >= closes.size()) {
+    return Status::OutOfRange("DeltaSeriesWindow: bad [begin, end)");
+  }
+  std::vector<double> deltas;
+  deltas.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    if (closes[i] <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("DeltaSeriesWindow: non-positive close at day %zu", i));
+    }
+    deltas.push_back((closes[i + 1] - closes[i]) / closes[i]);
+  }
+  return deltas;
+}
+
+std::vector<double> Normalized(const std::vector<double>& v) {
+  double norm_sq = 0.0;
+  for (double x : v) norm_sq += x * x;
+  if (norm_sq <= 0.0) return v;
+  double inv = 1.0 / std::sqrt(norm_sq);
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * inv;
+  return out;
+}
+
+}  // namespace hypermine::market

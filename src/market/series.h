@@ -1,0 +1,32 @@
+#ifndef HYPERMINE_MARKET_SERIES_H_
+#define HYPERMINE_MARKET_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::market {
+
+/// A named financial time-series of daily closing prices.
+struct PriceSeries {
+  std::string symbol;
+  std::vector<double> closes;
+};
+
+/// Delta time-series (Section 5.1.1): entry i is the fractional change of
+/// close i+1 relative to close i. Output length is closes.size() - 1.
+/// Fails when fewer than two closes or any close is non-positive.
+StatusOr<std::vector<double>> DeltaSeries(const std::vector<double>& closes);
+
+/// Slices [begin, end) of a delta series aligned so that delta day d uses
+/// closes d and d+1 (convenience for train/test windows).
+StatusOr<std::vector<double>> DeltaSeriesWindow(
+    const std::vector<double>& closes, size_t begin, size_t end);
+
+/// L2-normalizes a vector (returns a zero vector unchanged).
+std::vector<double> Normalized(const std::vector<double>& v);
+
+}  // namespace hypermine::market
+
+#endif  // HYPERMINE_MARKET_SERIES_H_

@@ -1,0 +1,127 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace hypermine::mining {
+
+size_t CountSupport(const TransactionSet& txns,
+                    const std::vector<ItemId>& items) {
+  HM_CHECK(std::is_sorted(items.begin(), items.end()));
+  size_t count = 0;
+  for (const auto& txn : txns.transactions) {
+    if (std::includes(txn.begin(), txn.end(), items.begin(), items.end())) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// Joins two frequent (l-1)-itemsets sharing their first l-2 items into an
+/// l-candidate, then prunes candidates with an infrequent subset.
+std::vector<std::vector<ItemId>> GenerateCandidates(
+    const std::vector<std::vector<ItemId>>& frequent_prev) {
+  std::vector<std::vector<ItemId>> candidates;
+  const size_t count = frequent_prev.size();
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      const auto& a = frequent_prev[i];
+      const auto& b = frequent_prev[j];
+      bool joinable = true;
+      for (size_t p = 0; p + 1 < a.size(); ++p) {
+        if (a[p] != b[p]) {
+          joinable = false;
+          break;
+        }
+      }
+      // frequent_prev is sorted lexicographically, so a.back() < b.back()
+      // whenever the prefixes match.
+      if (!joinable) continue;
+      std::vector<ItemId> candidate = a;
+      candidate.push_back(b.back());
+      // Downward closure: every (l-1)-subset must be frequent.
+      bool all_subsets_frequent = true;
+      std::vector<ItemId> subset(candidate.size() - 1);
+      for (size_t skip = 0; skip + 2 < candidate.size();
+           ++skip) {  // Subsets missing the last two are covered by a and b.
+        size_t idx = 0;
+        for (size_t p = 0; p < candidate.size(); ++p) {
+          if (p != skip) subset[idx++] = candidate[p];
+        }
+        if (!std::binary_search(frequent_prev.begin(), frequent_prev.end(),
+                                subset)) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> Apriori(const TransactionSet& txns,
+                                               const AprioriConfig& config) {
+  if (config.min_support <= 0.0 || config.min_support > 1.0) {
+    return Status::InvalidArgument("apriori: min_support outside (0, 1]");
+  }
+  if (txns.transactions.empty()) {
+    return Status::FailedPrecondition("apriori: no transactions");
+  }
+  const size_t min_count = static_cast<size_t>(std::max(
+      1.0,
+      std::ceil(config.min_support *
+                static_cast<double>(txns.transactions.size()))));
+
+  std::vector<FrequentItemset> result;
+
+  // Level 1: frequent single items by one scan.
+  std::vector<size_t> item_counts(txns.num_items, 0);
+  for (const auto& txn : txns.transactions) {
+    for (ItemId item : txn) ++item_counts[item];
+  }
+  std::vector<std::vector<ItemId>> frequent_prev;
+  for (ItemId item = 0; item < txns.num_items; ++item) {
+    if (item_counts[item] >= min_count) {
+      frequent_prev.push_back({item});
+      result.push_back(FrequentItemset{{item}, item_counts[item]});
+    }
+  }
+
+  size_t level = 2;
+  while (!frequent_prev.empty() &&
+         (config.max_size == 0 || level <= config.max_size)) {
+    std::vector<std::vector<ItemId>> candidates =
+        GenerateCandidates(frequent_prev);
+    if (candidates.empty()) break;
+    std::vector<std::vector<ItemId>> frequent_now;
+    for (auto& candidate : candidates) {
+      size_t support = CountSupport(txns, candidate);
+      if (support >= min_count) {
+        result.push_back(FrequentItemset{candidate, support});
+        frequent_now.push_back(std::move(candidate));
+      }
+    }
+    std::sort(frequent_now.begin(), frequent_now.end());
+    frequent_prev = std::move(frequent_now);
+    ++level;
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+}  // namespace hypermine::mining

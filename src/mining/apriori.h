@@ -1,0 +1,37 @@
+#ifndef HYPERMINE_MINING_APRIORI_H_
+#define HYPERMINE_MINING_APRIORI_H_
+
+#include <vector>
+
+#include "mining/transactions.h"
+#include "util/status.h"
+
+namespace hypermine::mining {
+
+/// A frequent itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<ItemId> items;  // sorted ascending
+  size_t support_count = 0;
+};
+
+struct AprioriConfig {
+  /// Minimum support as a fraction of transactions, in (0, 1].
+  double min_support = 0.1;
+  /// Largest itemset size to mine; 0 = unbounded.
+  size_t max_size = 0;
+};
+
+/// Classic Apriori [AS94]: level-wise candidate generation with the
+/// downward-closure prune, support counting by transaction scan. Returns
+/// all frequent itemsets sorted by (size, lexicographic items).
+StatusOr<std::vector<FrequentItemset>> Apriori(const TransactionSet& txns,
+                                               const AprioriConfig& config);
+
+/// Shared helper: counts the transactions containing all of `items`
+/// (items must be sorted ascending).
+size_t CountSupport(const TransactionSet& txns,
+                    const std::vector<ItemId>& items);
+
+}  // namespace hypermine::mining
+
+#endif  // HYPERMINE_MINING_APRIORI_H_

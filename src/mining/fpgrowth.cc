@@ -1,0 +1,174 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace hypermine::mining {
+
+namespace {
+
+struct FpNode {
+  ItemId item = 0;
+  size_t count = 0;
+  FpNode* parent = nullptr;
+  std::unordered_map<ItemId, FpNode*> children;
+  FpNode* next_same_item = nullptr;  // header-table chain
+};
+
+/// An FP-tree over (item, count) transactions; owns its nodes.
+class FpTree {
+ public:
+  FpTree() { root_ = NewNode(); }
+
+  FpNode* NewNode() {
+    nodes_.emplace_back();
+    return &nodes_.back();
+  }
+
+  /// Inserts a transaction already filtered and sorted by global frequency
+  /// order, accumulating `count`.
+  void Insert(const std::vector<ItemId>& items, size_t count) {
+    FpNode* node = root_;
+    for (ItemId item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        FpNode* child = NewNode();
+        child->item = item;
+        child->parent = node;
+        node->children.emplace(item, child);
+        // Thread into the header chain.
+        child->next_same_item = header_[item];
+        header_[item] = child;
+        node = child;
+      } else {
+        node = it->second;
+      }
+      node->count += count;
+    }
+  }
+
+  const std::unordered_map<ItemId, FpNode*>& header() const {
+    return header_;
+  }
+  bool empty() const { return root_->children.empty(); }
+
+ private:
+  std::deque<FpNode> nodes_;
+  FpNode* root_ = nullptr;
+  std::unordered_map<ItemId, FpNode*> header_;
+};
+
+/// One weighted transaction of a conditional pattern base.
+struct WeightedTxn {
+  std::vector<ItemId> items;
+  size_t count = 0;
+};
+
+void Mine(const std::vector<WeightedTxn>& txns, size_t min_count,
+          size_t max_size, std::vector<ItemId>* suffix,
+          std::vector<FrequentItemset>* out) {
+  if (max_size != 0 && suffix->size() >= max_size) return;
+
+  // Frequency pass over the (conditional) base.
+  std::unordered_map<ItemId, size_t> counts;
+  for (const WeightedTxn& t : txns) {
+    for (ItemId item : t.items) counts[item] += t.count;
+  }
+  std::vector<std::pair<ItemId, size_t>> frequent;
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) frequent.emplace_back(item, count);
+  }
+  if (frequent.empty()) return;
+  // Deterministic order: descending count, ascending item id.
+  std::sort(frequent.begin(), frequent.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::unordered_map<ItemId, size_t> rank;
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    rank[frequent[i].first] = i;
+  }
+
+  // Build the conditional FP-tree.
+  FpTree tree;
+  std::vector<ItemId> filtered;
+  for (const WeightedTxn& t : txns) {
+    filtered.clear();
+    for (ItemId item : t.items) {
+      if (rank.count(item) > 0) filtered.push_back(item);
+    }
+    std::sort(filtered.begin(), filtered.end(),
+              [&rank](ItemId a, ItemId b) { return rank[a] < rank[b]; });
+    if (!filtered.empty()) tree.Insert(filtered, t.count);
+  }
+
+  // Mine items from least frequent upward.
+  for (size_t i = frequent.size(); i-- > 0;) {
+    ItemId item = frequent[i].first;
+    size_t support = frequent[i].second;
+    suffix->push_back(item);
+    std::vector<ItemId> itemset = *suffix;
+    std::sort(itemset.begin(), itemset.end());
+    out->push_back(FrequentItemset{std::move(itemset), support});
+
+    // Conditional pattern base: prefix paths of every node holding `item`.
+    std::vector<WeightedTxn> base;
+    auto it = tree.header().find(item);
+    for (FpNode* node = it == tree.header().end() ? nullptr : it->second;
+         node != nullptr; node = node->next_same_item) {
+      WeightedTxn txn;
+      txn.count = node->count;
+      for (FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
+           up = up->parent) {
+        txn.items.push_back(up->item);
+      }
+      if (!txn.items.empty() && txn.count > 0) base.push_back(std::move(txn));
+    }
+    if (!base.empty()) {
+      Mine(base, min_count, max_size, suffix, out);
+    }
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> FpGrowth(const TransactionSet& txns,
+                                                const FpGrowthConfig& config) {
+  if (config.min_support <= 0.0 || config.min_support > 1.0) {
+    return Status::InvalidArgument("fpgrowth: min_support outside (0, 1]");
+  }
+  if (txns.transactions.empty()) {
+    return Status::FailedPrecondition("fpgrowth: no transactions");
+  }
+  const size_t min_count = static_cast<size_t>(std::max(
+      1.0,
+      std::ceil(config.min_support *
+                static_cast<double>(txns.transactions.size()))));
+
+  std::vector<WeightedTxn> base;
+  base.reserve(txns.transactions.size());
+  for (const auto& txn : txns.transactions) {
+    base.push_back(WeightedTxn{txn, 1});
+  }
+  std::vector<FrequentItemset> out;
+  std::vector<ItemId> suffix;
+  Mine(base, min_count, config.max_size, &suffix, &out);
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace hypermine::mining

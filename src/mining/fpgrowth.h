@@ -1,0 +1,25 @@
+#ifndef HYPERMINE_MINING_FPGROWTH_H_
+#define HYPERMINE_MINING_FPGROWTH_H_
+
+#include "mining/apriori.h"
+#include "mining/transactions.h"
+#include "util/status.h"
+
+namespace hypermine::mining {
+
+struct FpGrowthConfig {
+  double min_support = 0.1;
+  size_t max_size = 0;  // 0 = unbounded itemset size
+};
+
+/// FP-Growth (Han et al.): builds a frequency-ordered prefix tree of the
+/// transactions and mines frequent itemsets recursively from conditional
+/// trees, avoiding Apriori's candidate generation. Returns itemsets in the
+/// same (size, lexicographic) order as Apriori() so the two miners can be
+/// cross-checked item for item.
+StatusOr<std::vector<FrequentItemset>> FpGrowth(const TransactionSet& txns,
+                                                const FpGrowthConfig& config);
+
+}  // namespace hypermine::mining
+
+#endif  // HYPERMINE_MINING_FPGROWTH_H_

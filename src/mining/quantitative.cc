@@ -1,0 +1,51 @@
+#include "mining/quantitative.h"
+
+#include "mining/apriori.h"
+#include "mining/fpgrowth.h"
+
+namespace hypermine::mining {
+
+StatusOr<std::vector<QuantitativeRule>> MineQuantitativeRules(
+    const core::Database& db, const QuantitativeConfig& config) {
+  HM_ASSIGN_OR_RETURN(TransactionSet txns, DatabaseToTransactions(db));
+
+  std::vector<FrequentItemset> frequent;
+  if (config.use_fpgrowth) {
+    FpGrowthConfig fp;
+    fp.min_support = config.min_support;
+    fp.max_size = config.max_rule_size;
+    HM_ASSIGN_OR_RETURN(frequent, FpGrowth(txns, fp));
+  } else {
+    AprioriConfig ap;
+    ap.min_support = config.min_support;
+    ap.max_size = config.max_rule_size;
+    HM_ASSIGN_OR_RETURN(frequent, Apriori(txns, ap));
+  }
+
+  RuleConfig rc;
+  rc.min_confidence = config.min_confidence;
+  rc.max_consequent_size = config.max_consequent_size;
+  HM_ASSIGN_OR_RETURN(std::vector<MinedRule> mined,
+                      GenerateRules(frequent, txns.size(), rc));
+
+  std::vector<QuantitativeRule> out;
+  out.reserve(mined.size());
+  for (const MinedRule& rule : mined) {
+    QuantitativeRule q;
+    for (ItemId item : rule.antecedent) {
+      q.rule.antecedent.push_back(DecodeItem(db, item));
+    }
+    for (ItemId item : rule.consequent) {
+      q.rule.consequent.push_back(DecodeItem(db, item));
+    }
+    q.support = rule.support;
+    q.confidence = rule.confidence;
+    // Items encode one value per attribute, so pi_1 disjointness holds by
+    // construction; validate anyway to keep the invariant explicit.
+    HM_RETURN_IF_ERROR(core::ValidateRule(db, q.rule));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace hypermine::mining

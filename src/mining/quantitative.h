@@ -1,0 +1,42 @@
+#ifndef HYPERMINE_MINING_QUANTITATIVE_H_
+#define HYPERMINE_MINING_QUANTITATIVE_H_
+
+#include <vector>
+
+#include "core/assoc_rule.h"
+#include "core/database.h"
+#include "mining/rules.h"
+#include "util/status.h"
+
+namespace hypermine::mining {
+
+/// An mva-type rule recovered from boolean mining, with its measures.
+struct QuantitativeRule {
+  core::MvaRule rule;
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+struct QuantitativeConfig {
+  double min_support = 0.05;
+  double min_confidence = 0.5;
+  /// Cap on |antecedent| + |consequent|.
+  size_t max_rule_size = 3;
+  /// Cap on consequent size (1 = classification rules).
+  size_t max_consequent_size = 1;
+  /// Use FP-Growth instead of Apriori for the frequent phase.
+  bool use_fpgrowth = false;
+};
+
+/// Mines mva-type association rules from a discretized database by the
+/// classic quantitative-rule reduction [SA96]: encode (attribute, value)
+/// pairs as boolean items, run a frequent-itemset miner, generate rules,
+/// decode back. The results are definitionally comparable with
+/// core::Support / core::Confidence, which the tests exploit as an
+/// independent cross-check of the mva-rule measures.
+StatusOr<std::vector<QuantitativeRule>> MineQuantitativeRules(
+    const core::Database& db, const QuantitativeConfig& config);
+
+}  // namespace hypermine::mining
+
+#endif  // HYPERMINE_MINING_QUANTITATIVE_H_

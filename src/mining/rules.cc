@@ -1,0 +1,92 @@
+#include "mining/rules.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace hypermine::mining {
+
+StatusOr<std::vector<MinedRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, size_t num_transactions,
+    const RuleConfig& config) {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("rules: num_transactions must be > 0");
+  }
+  if (config.min_confidence < 0.0 || config.min_confidence > 1.0) {
+    return Status::InvalidArgument("rules: min_confidence outside [0, 1]");
+  }
+  std::map<std::vector<ItemId>, size_t> support_of;
+  for (const FrequentItemset& fi : frequent) {
+    support_of[fi.items] = fi.support_count;
+  }
+
+  std::vector<MinedRule> rules;
+  for (const FrequentItemset& fi : frequent) {
+    const size_t n = fi.items.size();
+    if (n < 2) continue;
+    if (n > 20) {
+      return Status::InvalidArgument("rules: itemset too large to partition");
+    }
+    // Enumerate proper non-empty antecedent subsets by bitmask.
+    for (uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+      std::vector<ItemId> antecedent;
+      std::vector<ItemId> consequent;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          antecedent.push_back(fi.items[i]);
+        } else {
+          consequent.push_back(fi.items[i]);
+        }
+      }
+      if (config.max_consequent_size != 0 &&
+          consequent.size() > config.max_consequent_size) {
+        continue;
+      }
+      auto it = support_of.find(antecedent);
+      if (it == support_of.end()) {
+        return Status::FailedPrecondition(
+            "rules: frequent list is not subset-closed");
+      }
+      double confidence = static_cast<double>(fi.support_count) /
+                          static_cast<double>(it->second);
+      if (confidence + 1e-12 < config.min_confidence) continue;
+      MinedRule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = std::move(consequent);
+      rule.support = static_cast<double>(fi.support_count) /
+                     static_cast<double>(num_transactions);
+      rule.confidence = confidence;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const MinedRule& a, const MinedRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string RuleToString(const core::Database& db, const MinedRule& rule) {
+  auto side = [&db](const std::vector<ItemId>& items) {
+    std::string out = "{";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ItemLabel(db, items[i]);
+    }
+    return out + "}";
+  };
+  return StrFormat("%s => %s (supp=%.3f, conf=%.3f)",
+                   side(rule.antecedent).c_str(),
+                   side(rule.consequent).c_str(), rule.support,
+                   rule.confidence);
+}
+
+}  // namespace hypermine::mining

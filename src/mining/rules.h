@@ -1,0 +1,42 @@
+#ifndef HYPERMINE_MINING_RULES_H_
+#define HYPERMINE_MINING_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/apriori.h"
+#include "mining/transactions.h"
+#include "util/status.h"
+
+namespace hypermine::mining {
+
+/// A mined boolean association rule antecedent => consequent with its
+/// support (of the union) and confidence.
+struct MinedRule {
+  std::vector<ItemId> antecedent;  // sorted
+  std::vector<ItemId> consequent;  // sorted
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+struct RuleConfig {
+  double min_confidence = 0.5;
+  /// Cap on consequent size; 1 gives classification-style rules [LHM98].
+  size_t max_consequent_size = 0;  // 0 = unbounded
+};
+
+/// Generates association rules from frequent itemsets (the second phase of
+/// [AIS93]/[AS94]): for every frequent itemset, every proper non-empty
+/// partition into antecedent/consequent with confidence >= min_confidence.
+/// `num_transactions` converts counts into support fractions. The frequent
+/// list must be closed under subsets (as produced by Apriori/FpGrowth).
+StatusOr<std::vector<MinedRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, size_t num_transactions,
+    const RuleConfig& config);
+
+/// Renders a rule with database-aware item labels.
+std::string RuleToString(const core::Database& db, const MinedRule& rule);
+
+}  // namespace hypermine::mining
+
+#endif  // HYPERMINE_MINING_RULES_H_

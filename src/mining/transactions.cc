@@ -1,0 +1,59 @@
+#include "mining/transactions.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::mining {
+
+StatusOr<TransactionSet> MakeTransactionSet(
+    size_t num_items, std::vector<std::vector<ItemId>> transactions) {
+  if (num_items == 0) {
+    return Status::InvalidArgument("transactions: empty item universe");
+  }
+  for (auto& txn : transactions) {
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    if (!txn.empty() && txn.back() >= num_items) {
+      return Status::OutOfRange("transactions: item id out of range");
+    }
+  }
+  TransactionSet out;
+  out.num_items = num_items;
+  out.transactions = std::move(transactions);
+  return out;
+}
+
+StatusOr<TransactionSet> DatabaseToTransactions(const core::Database& db) {
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("transactions: empty database");
+  }
+  const size_t k = db.num_values();
+  TransactionSet out;
+  out.num_items = db.num_attributes() * k;
+  out.transactions.resize(db.num_observations());
+  for (size_t o = 0; o < db.num_observations(); ++o) {
+    auto& txn = out.transactions[o];
+    txn.reserve(db.num_attributes());
+    for (core::AttrId a = 0; a < db.num_attributes(); ++a) {
+      txn.push_back(static_cast<ItemId>(a * k + db.value(o, a)));
+    }
+  }
+  return out;
+}
+
+core::AttributeValue DecodeItem(const core::Database& db, ItemId item) {
+  const size_t k = db.num_values();
+  HM_CHECK_LT(item, db.num_attributes() * k);
+  return core::AttributeValue{static_cast<core::AttrId>(item / k),
+                              static_cast<core::ValueId>(item % k)};
+}
+
+std::string ItemLabel(const core::Database& db, ItemId item) {
+  core::AttributeValue av = DecodeItem(db, item);
+  return StrFormat("%s=%d", db.attribute_name(av.attribute).c_str(),
+                   static_cast<int>(av.value) + 1);
+}
+
+}  // namespace hypermine::mining

@@ -1,0 +1,45 @@
+#ifndef HYPERMINE_MINING_TRANSACTIONS_H_
+#define HYPERMINE_MINING_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assoc_rule.h"
+#include "core/database.h"
+#include "util/status.h"
+
+namespace hypermine::mining {
+
+/// Item identifier of the boolean (market-basket) representation.
+using ItemId = uint32_t;
+
+/// A transaction data set: each transaction is a sorted, deduplicated list
+/// of item ids over the universe [0, num_items).
+struct TransactionSet {
+  size_t num_items = 0;
+  std::vector<std::vector<ItemId>> transactions;
+
+  size_t size() const { return transactions.size(); }
+};
+
+/// Normalizes raw transactions (sorts, dedupes, validates item range).
+StatusOr<TransactionSet> MakeTransactionSet(
+    size_t num_items, std::vector<std::vector<ItemId>> transactions);
+
+/// Encodes a multi-valued database as boolean transactions: observation o
+/// becomes the itemset { attr * k + value(o, attr) } — the standard bridge
+/// from quantitative/mva data to market-basket mining [SA96]. Items are
+/// thus (attribute, value) pairs.
+StatusOr<TransactionSet> DatabaseToTransactions(const core::Database& db);
+
+/// Maps an encoded item back to its (attribute, value) pair.
+core::AttributeValue DecodeItem(const core::Database& db, ItemId item);
+
+/// Human-readable item label, e.g. "XOM=2" (value shown 1-based as in the
+/// thesis' tables).
+std::string ItemLabel(const core::Database& db, ItemId item);
+
+}  // namespace hypermine::mining
+
+#endif  // HYPERMINE_MINING_TRANSACTIONS_H_

@@ -1,0 +1,53 @@
+#include "ml/dataset.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace hypermine::ml {
+
+StatusOr<Dataset> MakeClassificationDataset(
+    const core::Database& db, const std::vector<core::AttrId>& feature_attrs,
+    core::AttrId target, bool add_bias) {
+  if (feature_attrs.empty()) {
+    return Status::InvalidArgument("dataset: no feature attributes");
+  }
+  if (target >= db.num_attributes()) {
+    return Status::OutOfRange("dataset: target out of range");
+  }
+  std::set<core::AttrId> seen;
+  for (core::AttrId a : feature_attrs) {
+    if (a >= db.num_attributes()) {
+      return Status::OutOfRange("dataset: feature attribute out of range");
+    }
+    if (a == target) {
+      return Status::InvalidArgument("dataset: target used as feature");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("dataset: repeated feature attribute");
+    }
+  }
+  if (db.num_observations() == 0) {
+    return Status::FailedPrecondition("dataset: empty database");
+  }
+
+  const size_t k = db.num_values();
+  const size_t m = db.num_observations();
+  const size_t width = feature_attrs.size() * k + (add_bias ? 1 : 0);
+
+  Dataset out;
+  out.num_classes = k;
+  out.features = Matrix(m, width, 0.0);
+  out.labels.resize(m);
+  for (size_t o = 0; o < m; ++o) {
+    double* row = out.features.RowPtr(o);
+    for (size_t f = 0; f < feature_attrs.size(); ++f) {
+      row[f * k + db.value(o, feature_attrs[f])] = 1.0;
+    }
+    if (add_bias) row[width - 1] = 1.0;
+    out.labels[o] = db.value(o, target);
+  }
+  return out;
+}
+
+}  // namespace hypermine::ml

@@ -1,0 +1,35 @@
+#ifndef HYPERMINE_ML_DATASET_H_
+#define HYPERMINE_ML_DATASET_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+/// A supervised classification data set: dense feature rows plus integer
+/// class labels in [0, num_classes).
+struct Dataset {
+  Matrix features;
+  std::vector<int> labels;
+  size_t num_classes = 0;
+
+  size_t num_rows() const { return features.rows(); }
+  size_t num_features() const { return features.cols(); }
+};
+
+/// Builds a data set from a discretized database: each observation becomes
+/// one row whose features are the one-hot encodings of `feature_attrs`
+/// (k slots per attribute) and whose label is the value of `target`.
+/// `add_bias` appends a constant-1 column (the A_0 = 1 convention of the
+/// perceptron discussion in Section 2.3.1). This is how the Weka-substitute
+/// baselines of Section 5.5 consume dominator values.
+StatusOr<Dataset> MakeClassificationDataset(
+    const core::Database& db, const std::vector<core::AttrId>& feature_attrs,
+    core::AttrId target, bool add_bias = true);
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_DATASET_H_

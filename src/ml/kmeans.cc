@@ -1,0 +1,100 @@
+#include "ml/kmeans.h"
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace hypermine::ml {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t dims) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const Matrix& points,
+                              const KMeansConfig& config) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  if (config.k == 0) {
+    return Status::InvalidArgument("kmeans: k must be > 0");
+  }
+  if (n < config.k) {
+    return Status::InvalidArgument("kmeans: fewer points than clusters");
+  }
+
+  Rng rng(config.seed);
+  std::vector<size_t> seeds = rng.SampleIndices(n, config.k);
+
+  KMeansResult result;
+  result.centroids = Matrix(config.k, dims);
+  for (size_t c = 0; c < config.k; ++c) {
+    const double* src = points.RowPtr(seeds[c]);
+    double* dst = result.centroids.RowPtr(c);
+    for (size_t d = 0; d < dims; ++d) dst[d] = src[d];
+  }
+
+  result.assignment.assign(n, 0);
+  std::vector<size_t> counts(config.k, 0);
+  Matrix sums(config.k, dims);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (size_t p = 0; p < n; ++p) {
+      const double* row = points.RowPtr(p);
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < config.k; ++c) {
+        double dist = SquaredDistance(row, result.centroids.RowPtr(c), dims);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[p] != best) {
+        result.assignment[p] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      result.converged = true;
+      break;
+    }
+    // Centroid update; empty clusters keep their previous center.
+    sums.ScaleInPlace(0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t p = 0; p < n; ++p) {
+      size_t c = result.assignment[p];
+      const double* row = points.RowPtr(p);
+      double* sum = sums.RowPtr(c);
+      for (size_t d = 0; d < dims; ++d) sum[d] += row[d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) continue;
+      double* dst = result.centroids.RowPtr(c);
+      const double* sum = sums.RowPtr(c);
+      for (size_t d = 0; d < dims; ++d) {
+        dst[d] = sum[d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t p = 0; p < n; ++p) {
+    result.inertia += SquaredDistance(
+        points.RowPtr(p), result.centroids.RowPtr(result.assignment[p]),
+        dims);
+  }
+  return result;
+}
+
+}  // namespace hypermine::ml

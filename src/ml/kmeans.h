@@ -1,0 +1,38 @@
+#ifndef HYPERMINE_ML_KMEANS_H_
+#define HYPERMINE_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct KMeansConfig {
+  size_t k = 2;
+  /// Forced-termination bound; Lloyd's can cycle only in degenerate
+  /// floating-point cases, and its worst case is superpolynomial [AV06].
+  size_t max_iterations = 200;
+  uint64_t seed = 3;
+};
+
+struct KMeansResult {
+  Matrix centroids;  // (k, dims)
+  std::vector<size_t> assignment;
+  /// Sum of squared distances to assigned centroids (the k-means objective
+  /// of Definition 2.10).
+  double inertia = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lloyd's k-means (Algorithm 4): seeds centers with k distinct random
+/// points, then alternates nearest-center assignment and centroid updates
+/// until the assignment is stable. Fails when rows < k.
+StatusOr<KMeansResult> KMeans(const Matrix& points,
+                              const KMeansConfig& config = {});
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_KMEANS_H_

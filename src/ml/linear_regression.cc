@@ -1,0 +1,49 @@
+#include "ml/linear_regression.h"
+
+namespace hypermine::ml {
+
+StatusOr<LinearRegression> LinearRegression::Fit(
+    const Matrix& features, const std::vector<double>& targets,
+    const LinearRegressionConfig& config) {
+  if (features.rows() == 0 || features.rows() != targets.size()) {
+    return Status::InvalidArgument("linreg: bad training shape");
+  }
+  LinearRegression model;
+  HM_ASSIGN_OR_RETURN(model.weights_,
+                      SolveLeastSquares(features, targets, config.ridge));
+  return model;
+}
+
+double LinearRegression::PredictRow(const double* row) const {
+  double acc = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) acc += weights_[c] * row[c];
+  return acc;
+}
+
+StatusOr<std::vector<double>> LinearRegression::Predict(
+    const Matrix& features) const {
+  if (features.cols() != weights_.size()) {
+    return Status::InvalidArgument("linreg: feature width mismatch");
+  }
+  std::vector<double> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = PredictRow(features.RowPtr(r));
+  }
+  return out;
+}
+
+StatusOr<double> LinearRegression::MeanSquaredError(
+    const Matrix& features, const std::vector<double>& targets) const {
+  if (features.rows() != targets.size() || features.rows() == 0) {
+    return Status::InvalidArgument("linreg: bad evaluation shape");
+  }
+  HM_ASSIGN_OR_RETURN(std::vector<double> preds, Predict(features));
+  double acc = 0.0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    double d = preds[i] - targets[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(preds.size());
+}
+
+}  // namespace hypermine::ml

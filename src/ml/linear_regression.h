@@ -1,0 +1,40 @@
+#ifndef HYPERMINE_ML_LINEAR_REGRESSION_H_
+#define HYPERMINE_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct LinearRegressionConfig {
+  /// Tiny ridge keeps one-hot designs (which are rank deficient) solvable.
+  double ridge = 1e-8;
+};
+
+/// Ordinary least squares via the normal equations (the linear-regression
+/// classifier reviewed in Section 2.3.1): fits w minimizing
+/// sum_i (y_i - w . x_i)^2.
+class LinearRegression {
+ public:
+  static StatusOr<LinearRegression> Fit(
+      const Matrix& features, const std::vector<double>& targets,
+      const LinearRegressionConfig& config = {});
+
+  double PredictRow(const double* row) const;
+  StatusOr<std::vector<double>> Predict(const Matrix& features) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Mean squared error over a data set.
+  StatusOr<double> MeanSquaredError(const Matrix& features,
+                                    const std::vector<double>& targets) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,104 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypermine::ml {
+
+namespace {
+
+void Softmax(std::vector<double>* scores) {
+  double peak = *std::max_element(scores->begin(), scores->end());
+  double total = 0.0;
+  for (double& s : *scores) {
+    s = std::exp(s - peak);
+    total += s;
+  }
+  for (double& s : *scores) s /= total;
+}
+
+}  // namespace
+
+StatusOr<LogisticRegression> LogisticRegression::Train(
+    const Dataset& data, const LogisticRegressionConfig& config) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("logreg: empty training set");
+  }
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("logreg: need >= 2 classes");
+  }
+  const size_t m = data.num_rows();
+  const size_t d = data.num_features();
+  const size_t k = data.num_classes;
+
+  LogisticRegression model;
+  model.weights_ = Matrix(k, d, 0.0);
+  Matrix gradient(k, d, 0.0);
+  std::vector<double> proba(k);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // L2 term contributes lambda * w to the gradient.
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t f = 0; f < d; ++f) {
+        gradient.At(c, f) = config.l2 * model.weights_.At(c, f);
+      }
+    }
+    for (size_t r = 0; r < m; ++r) {
+      const double* row = data.features.RowPtr(r);
+      for (size_t c = 0; c < k; ++c) {
+        double acc = 0.0;
+        const double* w = model.weights_.RowPtr(c);
+        for (size_t f = 0; f < d; ++f) acc += w[f] * row[f];
+        proba[c] = acc;
+      }
+      Softmax(&proba);
+      for (size_t c = 0; c < k; ++c) {
+        double err =
+            proba[c] - (data.labels[r] == static_cast<int>(c) ? 1.0 : 0.0);
+        if (err == 0.0) continue;
+        double* g = gradient.RowPtr(c);
+        for (size_t f = 0; f < d; ++f) g[f] += err * row[f];
+      }
+    }
+    double step = config.learning_rate / static_cast<double>(m);
+    for (size_t c = 0; c < k; ++c) {
+      double* w = model.weights_.RowPtr(c);
+      const double* g = gradient.RowPtr(c);
+      for (size_t f = 0; f < d; ++f) w[f] -= step * g[f];
+    }
+  }
+  return model;
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const double* row) const {
+  std::vector<double> proba(weights_.rows());
+  for (size_t c = 0; c < weights_.rows(); ++c) {
+    double acc = 0.0;
+    const double* w = weights_.RowPtr(c);
+    for (size_t f = 0; f < weights_.cols(); ++f) acc += w[f] * row[f];
+    proba[c] = acc;
+  }
+  Softmax(&proba);
+  return proba;
+}
+
+int LogisticRegression::PredictRow(const double* row) const {
+  std::vector<double> proba = PredictProba(row);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+StatusOr<std::vector<int>> LogisticRegression::Predict(
+    const Matrix& features) const {
+  if (features.cols() != weights_.cols()) {
+    return Status::InvalidArgument("logreg: feature width mismatch");
+  }
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = PredictRow(features.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace hypermine::ml

@@ -1,0 +1,41 @@
+#ifndef HYPERMINE_ML_LOGISTIC_REGRESSION_H_
+#define HYPERMINE_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct LogisticRegressionConfig {
+  size_t epochs = 60;
+  double learning_rate = 0.2;
+  double l2 = 1e-4;
+};
+
+/// Multinomial logistic regression trained by full-batch gradient descent
+/// on the softmax cross-entropy (the "Logistic Regression" baseline of
+/// Tables 5.3/5.4).
+class LogisticRegression {
+ public:
+  static StatusOr<LogisticRegression> Train(
+      const Dataset& data, const LogisticRegressionConfig& config = {});
+
+  int PredictRow(const double* row) const;
+  StatusOr<std::vector<int>> Predict(const Matrix& features) const;
+
+  /// Class probabilities for one row (softmax over linear scores).
+  std::vector<double> PredictProba(const double* row) const;
+
+  size_t num_classes() const { return weights_.rows(); }
+
+ private:
+  /// weights_(c, f): per-class linear weights.
+  Matrix weights_;
+};
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,67 @@
+#include "ml/metrics.h"
+
+namespace hypermine::ml {
+
+namespace {
+
+Status ValidateLabels(const std::vector<int>& predictions,
+                      const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    return Status::InvalidArgument("metrics: size mismatch");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("metrics: empty input");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> Accuracy(const std::vector<int>& predictions,
+                          const std::vector<int>& labels) {
+  HM_RETURN_IF_ERROR(ValidateLabels(predictions, labels));
+  size_t hits = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    hits += predictions[i] == labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+StatusOr<std::vector<std::vector<size_t>>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& labels,
+    size_t num_classes) {
+  HM_RETURN_IF_ERROR(ValidateLabels(predictions, labels));
+  std::vector<std::vector<size_t>> matrix(
+      num_classes, std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || static_cast<size_t>(labels[i]) >= num_classes ||
+        predictions[i] < 0 ||
+        static_cast<size_t>(predictions[i]) >= num_classes) {
+      return Status::OutOfRange("metrics: class id out of range");
+    }
+    ++matrix[labels[i]][predictions[i]];
+  }
+  return matrix;
+}
+
+StatusOr<double> MacroF1(const std::vector<int>& predictions,
+                         const std::vector<int>& labels, size_t num_classes) {
+  HM_ASSIGN_OR_RETURN(auto matrix,
+                      ConfusionMatrix(predictions, labels, num_classes));
+  double f1_sum = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    size_t tp = matrix[c][c];
+    size_t fp = 0;
+    size_t fn = 0;
+    for (size_t other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += matrix[other][c];
+      fn += matrix[c][other];
+    }
+    double denom = 2.0 * tp + fp + fn;
+    f1_sum += denom > 0.0 ? (2.0 * tp) / denom : 0.0;
+  }
+  return f1_sum / static_cast<double>(num_classes);
+}
+
+}  // namespace hypermine::ml

@@ -1,0 +1,28 @@
+#ifndef HYPERMINE_ML_METRICS_H_
+#define HYPERMINE_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+/// Fraction of positions where predictions match labels; fails on length
+/// mismatch or empty input.
+StatusOr<double> Accuracy(const std::vector<int>& predictions,
+                          const std::vector<int>& labels);
+
+/// Row-major confusion matrix C[label][prediction], both in [0, classes).
+StatusOr<std::vector<std::vector<size_t>>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& labels,
+    size_t num_classes);
+
+/// Macro-averaged F1 score (per-class F1 averaged unweighted; classes with
+/// no support contribute 0).
+StatusOr<double> MacroF1(const std::vector<int>& predictions,
+                         const std::vector<int>& labels, size_t num_classes);
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_METRICS_H_

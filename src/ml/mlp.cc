@@ -1,0 +1,136 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hypermine::ml {
+
+StatusOr<Mlp> Mlp::Train(const Dataset& data, const MlpConfig& config) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("mlp: empty training set");
+  }
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("mlp: need >= 2 classes");
+  }
+  if (config.hidden_units == 0) {
+    return Status::InvalidArgument("mlp: need >= 1 hidden unit");
+  }
+  const size_t m = data.num_rows();
+  const size_t d = data.num_features();
+  const size_t h = config.hidden_units;
+  const size_t k = data.num_classes;
+
+  Mlp model;
+  model.w1_ = Matrix(h, d);
+  model.b1_.assign(h, 0.0);
+  model.w2_ = Matrix(k, h);
+  model.b2_.assign(k, 0.0);
+
+  Rng rng(config.seed);
+  double scale1 = 1.0 / std::sqrt(static_cast<double>(d));
+  double scale2 = 1.0 / std::sqrt(static_cast<double>(h));
+  for (size_t i = 0; i < h; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      model.w1_.At(i, j) = rng.NextGaussian() * scale1;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < h; ++i) {
+      model.w2_.At(c, i) = rng.NextGaussian() * scale2;
+    }
+  }
+
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+  std::vector<double> hidden(h);
+  std::vector<double> proba(k);
+  std::vector<double> delta_out(k);
+  std::vector<double> delta_hidden(h);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const double* row = data.features.RowPtr(idx);
+      model.Forward(row, &hidden, &proba);
+      for (size_t c = 0; c < k; ++c) {
+        delta_out[c] =
+            proba[c] - (data.labels[idx] == static_cast<int>(c) ? 1.0 : 0.0);
+      }
+      // Backprop through the tanh hidden layer.
+      for (size_t i = 0; i < h; ++i) {
+        double acc = 0.0;
+        for (size_t c = 0; c < k; ++c) acc += model.w2_.At(c, i) * delta_out[c];
+        delta_hidden[i] = acc * (1.0 - hidden[i] * hidden[i]);
+      }
+      double lr = config.learning_rate;
+      for (size_t c = 0; c < k; ++c) {
+        double* w = model.w2_.RowPtr(c);
+        for (size_t i = 0; i < h; ++i) w[i] -= lr * delta_out[c] * hidden[i];
+        model.b2_[c] -= lr * delta_out[c];
+      }
+      for (size_t i = 0; i < h; ++i) {
+        if (delta_hidden[i] == 0.0) continue;
+        double* w = model.w1_.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) w[j] -= lr * delta_hidden[i] * row[j];
+        model.b1_[i] -= lr * delta_hidden[i];
+      }
+    }
+  }
+  return model;
+}
+
+void Mlp::Forward(const double* row, std::vector<double>* hidden,
+                  std::vector<double>* proba) const {
+  const size_t h = w1_.rows();
+  const size_t k = w2_.rows();
+  hidden->resize(h);
+  proba->resize(k);
+  for (size_t i = 0; i < h; ++i) {
+    const double* w = w1_.RowPtr(i);
+    double acc = b1_[i];
+    for (size_t j = 0; j < w1_.cols(); ++j) acc += w[j] * row[j];
+    (*hidden)[i] = std::tanh(acc);
+  }
+  double peak = -1e300;
+  for (size_t c = 0; c < k; ++c) {
+    const double* w = w2_.RowPtr(c);
+    double acc = b2_[c];
+    for (size_t i = 0; i < h; ++i) acc += w[i] * (*hidden)[i];
+    (*proba)[c] = acc;
+    peak = std::max(peak, acc);
+  }
+  double total = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    (*proba)[c] = std::exp((*proba)[c] - peak);
+    total += (*proba)[c];
+  }
+  for (size_t c = 0; c < k; ++c) (*proba)[c] /= total;
+}
+
+std::vector<double> Mlp::PredictProba(const double* row) const {
+  std::vector<double> hidden;
+  std::vector<double> proba;
+  Forward(row, &hidden, &proba);
+  return proba;
+}
+
+int Mlp::PredictRow(const double* row) const {
+  std::vector<double> proba = PredictProba(row);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+StatusOr<std::vector<int>> Mlp::Predict(const Matrix& features) const {
+  if (features.cols() != w1_.cols()) {
+    return Status::InvalidArgument("mlp: feature width mismatch");
+  }
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = PredictRow(features.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace hypermine::ml

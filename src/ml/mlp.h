@@ -1,0 +1,47 @@
+#ifndef HYPERMINE_ML_MLP_H_
+#define HYPERMINE_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct MlpConfig {
+  size_t hidden_units = 16;
+  size_t epochs = 30;
+  double learning_rate = 0.05;
+  uint64_t seed = 11;
+};
+
+/// A one-hidden-layer multilayer perceptron with tanh activations and a
+/// softmax output, trained by stochastic gradient descent on cross-entropy
+/// (the "Multilayer Perceptron" baseline of Tables 5.3/5.4).
+class Mlp {
+ public:
+  static StatusOr<Mlp> Train(const Dataset& data, const MlpConfig& config = {});
+
+  int PredictRow(const double* row) const;
+  StatusOr<std::vector<int>> Predict(const Matrix& features) const;
+
+  /// Softmax class probabilities for one input row.
+  std::vector<double> PredictProba(const double* row) const;
+
+  size_t num_classes() const { return w2_.rows(); }
+
+ private:
+  void Forward(const double* row, std::vector<double>* hidden,
+               std::vector<double>* proba) const;
+
+  Matrix w1_;                   // (hidden, input)
+  std::vector<double> b1_;      // (hidden)
+  Matrix w2_;                   // (classes, hidden)
+  std::vector<double> b2_;      // (classes)
+};
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_MLP_H_

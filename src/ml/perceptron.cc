@@ -1,0 +1,98 @@
+#include "ml/perceptron.h"
+
+#include "util/logging.h"
+
+namespace hypermine::ml {
+
+StatusOr<BinaryPerceptron> BinaryPerceptron::Train(
+    const Matrix& features, const std::vector<int>& labels,
+    const PerceptronConfig& config) {
+  if (features.rows() == 0 || features.rows() != labels.size()) {
+    return Status::InvalidArgument("perceptron: bad training shape");
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("perceptron: labels must be 0/1");
+    }
+  }
+  BinaryPerceptron model;
+  model.weights_.assign(features.cols(), 0.0);
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    size_t mistakes = 0;
+    for (size_t r = 0; r < features.rows(); ++r) {
+      const double* row = features.RowPtr(r);
+      bool predicted_first = model.Score(row) > 0.0;
+      bool is_first = labels[r] == 1;
+      if (predicted_first == is_first) continue;
+      ++mistakes;
+      // Add the row for first-class mistakes, subtract otherwise
+      // (Lines 7-12 of Algorithm 3).
+      double sign = is_first ? 1.0 : -1.0;
+      for (size_t c = 0; c < features.cols(); ++c) {
+        model.weights_[c] += sign * row[c];
+      }
+    }
+    if (mistakes == 0) {
+      model.converged_ = true;
+      break;
+    }
+  }
+  return model;
+}
+
+double BinaryPerceptron::Score(const double* row) const {
+  double acc = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) acc += weights_[c] * row[c];
+  return acc;
+}
+
+bool BinaryPerceptron::PredictRow(const double* row) const {
+  return Score(row) > 0.0;
+}
+
+StatusOr<MulticlassPerceptron> MulticlassPerceptron::Train(
+    const Dataset& data, const PerceptronConfig& config) {
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("perceptron: need >= 2 classes");
+  }
+  MulticlassPerceptron model;
+  model.num_features_ = data.num_features();
+  std::vector<int> binary(data.labels.size());
+  for (size_t c = 0; c < data.num_classes; ++c) {
+    for (size_t i = 0; i < data.labels.size(); ++i) {
+      binary[i] = data.labels[i] == static_cast<int>(c) ? 1 : 0;
+    }
+    HM_ASSIGN_OR_RETURN(BinaryPerceptron sub,
+                        BinaryPerceptron::Train(data.features, binary,
+                                                config));
+    model.models_.push_back(std::move(sub));
+  }
+  return model;
+}
+
+int MulticlassPerceptron::PredictRow(const double* row) const {
+  int best = 0;
+  double best_score = models_[0].Score(row);
+  for (size_t c = 1; c < models_.size(); ++c) {
+    double score = models_[c].Score(row);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+StatusOr<std::vector<int>> MulticlassPerceptron::Predict(
+    const Matrix& features) const {
+  if (features.cols() != num_features_) {
+    return Status::InvalidArgument("perceptron: feature width mismatch");
+  }
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = PredictRow(features.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace hypermine::ml

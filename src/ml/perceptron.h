@@ -1,0 +1,62 @@
+#ifndef HYPERMINE_ML_PERCEPTRON_H_
+#define HYPERMINE_ML_PERCEPTRON_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct PerceptronConfig {
+  /// Upper bound on full passes (the forced-termination safeguard of
+  /// Section 2.3.1 for non-separable data).
+  size_t max_epochs = 100;
+};
+
+/// The perceptron learning rule of Algorithm 3 (Rosenblatt'58): a binary
+/// linear classifier whose weights are incremented by misclassified
+/// positive rows and decremented by misclassified negative ones. Features
+/// should include a bias column (see MakeClassificationDataset).
+class BinaryPerceptron {
+ public:
+  /// Trains on rows whose labels are 0 (second class) or 1 (first class).
+  /// Returns the trained classifier; converged() reports whether an epoch
+  /// finished with zero mistakes.
+  static StatusOr<BinaryPerceptron> Train(const Matrix& features,
+                                          const std::vector<int>& labels,
+                                          const PerceptronConfig& config = {});
+
+  /// Classifies as the first class iff w . x > 0.
+  bool PredictRow(const double* row) const;
+  double Score(const double* row) const;
+
+  bool converged() const { return converged_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  bool converged_ = false;
+};
+
+/// One-vs-rest multiclass wrapper: one binary perceptron per class, the
+/// highest raw score wins (the multiclass reduction used to compare against
+/// Algorithm 9 on k-valued targets).
+class MulticlassPerceptron {
+ public:
+  static StatusOr<MulticlassPerceptron> Train(
+      const Dataset& data, const PerceptronConfig& config = {});
+
+  int PredictRow(const double* row) const;
+  StatusOr<std::vector<int>> Predict(const Matrix& features) const;
+
+  size_t num_classes() const { return models_.size(); }
+
+ private:
+  std::vector<BinaryPerceptron> models_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_PERCEPTRON_H_

@@ -1,0 +1,85 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hypermine::ml {
+
+StatusOr<LinearSvm> LinearSvm::Train(const Dataset& data,
+                                     const SvmConfig& config) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("svm: empty training set");
+  }
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("svm: need >= 2 classes");
+  }
+  if (config.lambda <= 0.0) {
+    return Status::InvalidArgument("svm: lambda must be > 0");
+  }
+  const size_t m = data.num_rows();
+  const size_t d = data.num_features();
+
+  LinearSvm model;
+  model.weights_ = Matrix(data.num_classes, d, 0.0);
+  Rng rng(config.seed);
+
+  for (size_t c = 0; c < data.num_classes; ++c) {
+    double* w = model.weights_.RowPtr(c);
+    size_t t = 0;
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      for (size_t step = 0; step < m; ++step) {
+        ++t;
+        size_t r = static_cast<size_t>(rng.NextBounded(m));
+        const double* row = data.features.RowPtr(r);
+        double y = data.labels[r] == static_cast<int>(c) ? 1.0 : -1.0;
+        double margin = 0.0;
+        for (size_t f = 0; f < d; ++f) margin += w[f] * row[f];
+        double eta = 1.0 / (config.lambda * static_cast<double>(t));
+        double decay = 1.0 - eta * config.lambda;
+        if (y * margin < 1.0) {
+          for (size_t f = 0; f < d; ++f) {
+            w[f] = decay * w[f] + eta * y * row[f];
+          }
+        } else {
+          for (size_t f = 0; f < d; ++f) w[f] *= decay;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+double LinearSvm::Margin(size_t c, const double* row) const {
+  const double* w = weights_.RowPtr(c);
+  double acc = 0.0;
+  for (size_t f = 0; f < weights_.cols(); ++f) acc += w[f] * row[f];
+  return acc;
+}
+
+int LinearSvm::PredictRow(const double* row) const {
+  int best = 0;
+  double best_margin = Margin(0, row);
+  for (size_t c = 1; c < weights_.rows(); ++c) {
+    double margin = Margin(c, row);
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+StatusOr<std::vector<int>> LinearSvm::Predict(const Matrix& features) const {
+  if (features.cols() != weights_.cols()) {
+    return Status::InvalidArgument("svm: feature width mismatch");
+  }
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = PredictRow(features.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace hypermine::ml

@@ -1,0 +1,43 @@
+#ifndef HYPERMINE_ML_SVM_H_
+#define HYPERMINE_ML_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hypermine::ml {
+
+struct SvmConfig {
+  /// Regularization strength lambda of the Pegasos objective.
+  double lambda = 1e-3;
+  /// Number of stochastic epochs over the data.
+  size_t epochs = 20;
+  uint64_t seed = 7;
+};
+
+/// Linear support vector machine trained with Pegasos (stochastic
+/// sub-gradient descent on the hinge loss); the "SVM" baseline of
+/// Tables 5.3/5.4. Multiclass via one-vs-rest on raw margins.
+class LinearSvm {
+ public:
+  static StatusOr<LinearSvm> Train(const Dataset& data,
+                                   const SvmConfig& config = {});
+
+  int PredictRow(const double* row) const;
+  StatusOr<std::vector<int>> Predict(const Matrix& features) const;
+
+  /// Raw margin of class c on a row.
+  double Margin(size_t c, const double* row) const;
+
+  size_t num_classes() const { return weights_.rows(); }
+
+ private:
+  Matrix weights_;  // (class, feature)
+};
+
+}  // namespace hypermine::ml
+
+#endif  // HYPERMINE_ML_SVM_H_

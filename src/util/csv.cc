@@ -1,0 +1,167 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hypermine {
+
+namespace {
+
+/// Splits raw CSV text into records of fields, honoring quoted fields.
+StatusOr<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+
+  auto end_field = [&]() {
+    fields.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+    any_char = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      any_char = true;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        any_char = true;
+        break;
+      case ',':
+        end_field();
+        any_char = true;
+        break;
+      case '\r':
+        break;  // Tolerate CRLF line endings.
+      case '\n':
+        if (any_char || !field.empty() || !fields.empty()) end_record();
+        break;
+      default:
+        field.push_back(c);
+        any_char = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  if (any_char || !field.empty() || !fields.empty()) end_record();
+  return records;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+StatusOr<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
+  HM_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                      Tokenize(text));
+  CsvDocument doc;
+  size_t start = 0;
+  if (has_header) {
+    if (records.empty()) {
+      return Status::InvalidArgument("CSV: missing header row");
+    }
+    doc.header = records[0];
+    start = 1;
+  }
+  size_t expected = has_header ? doc.header.size()
+                               : (records.empty() ? 0 : records[0].size());
+  for (size_t i = start; i < records.size(); ++i) {
+    if (records[i].size() != expected) {
+      return Status::InvalidArgument(
+          StrFormat("CSV: row %zu has %zu fields, expected %zu", i,
+                    records[i].size(), expected));
+    }
+    doc.rows.push_back(std::move(records[i]));
+  }
+  return doc;
+}
+
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  HM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsv(text, has_header);
+}
+
+std::string WriteCsvString(const CsvDocument& doc) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  };
+  if (!doc.header.empty()) write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  return WriteStringToFile(path, WriteCsvString(doc));
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hypermine

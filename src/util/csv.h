@@ -1,0 +1,40 @@
+#ifndef HYPERMINE_UTIL_CSV_H_
+#define HYPERMINE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine {
+
+/// A parsed CSV document: optional header row plus data rows. Quoted fields
+/// (RFC-4180 style double quotes, with "" escaping) are supported.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. When `has_header` is true the first record becomes
+/// `header`. Rejects documents whose rows have inconsistent field counts.
+StatusOr<CsvDocument> ParseCsv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Serializes rows (with optional header) to CSV, quoting fields that
+/// contain separators, quotes, or newlines.
+std::string WriteCsvString(const CsvDocument& doc);
+
+/// Writes a CSV file; creates/truncates the target.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (truncating).
+Status WriteStringToFile(const std::string& path, const std::string& text);
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_CSV_H_

@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // "--flag value" form: consume the next token when it is not a flag.
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed flag: " + arg);
+    }
+    values_[name] = value;
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  int64_t out = 0;
+  if (!ParseInt64(it->second, &out)) {
+    HM_LOG_FATAL << "flag --" << name << " is not an integer: " << it->second;
+  }
+  return out;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double out = 0.0;
+  if (!ParseDouble(it->second, &out)) {
+    HM_LOG_FATAL << "flag --" << name << " is not a number: " << it->second;
+  }
+  return out;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string v = ToLower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string FlagParser::DebugString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : values_) {
+    os << "--" << name << "=" << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hypermine

@@ -1,0 +1,44 @@
+#ifndef HYPERMINE_UTIL_FLAGS_H_
+#define HYPERMINE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+/// Accepts "--name=value", "--name value", and bare "--name" (boolean true).
+/// Anything not starting with "--" is collected as a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv; fails on malformed flags (e.g. "--=x").
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent. GetInt /
+  /// GetDouble abort when the flag is present but unparsable — a misspelled
+  /// experiment parameter must not silently run a different experiment.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formats known flags for --help output.
+  std::string DebugString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_FLAGS_H_

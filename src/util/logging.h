@@ -1,0 +1,97 @@
+#ifndef HYPERMINE_UTIL_LOGGING_H_
+#define HYPERMINE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hypermine {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually emitted; defaults to kInfo. Benches set
+/// this to kWarning to keep table output clean.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Stream-style log message that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define HM_LOG_INFO                                        \
+  ::hypermine::internal_logging::LogMessage(               \
+      ::hypermine::internal_logging::LogSeverity::kInfo,   \
+      __FILE__, __LINE__)
+#define HM_LOG_WARNING                                      \
+  ::hypermine::internal_logging::LogMessage(                \
+      ::hypermine::internal_logging::LogSeverity::kWarning, \
+      __FILE__, __LINE__)
+#define HM_LOG_ERROR                                       \
+  ::hypermine::internal_logging::LogMessage(               \
+      ::hypermine::internal_logging::LogSeverity::kError,  \
+      __FILE__, __LINE__)
+#define HM_LOG_FATAL                                       \
+  ::hypermine::internal_logging::LogMessage(               \
+      ::hypermine::internal_logging::LogSeverity::kFatal,  \
+      __FILE__, __LINE__)
+
+/// Aborts with a message when an invariant does not hold. CHECKs stay enabled
+/// in release builds: a violated invariant in mining code silently corrupts
+/// results otherwise.
+#define HM_CHECK(cond)                                          \
+  (cond) ? (void)0                                              \
+         : (void)(HM_LOG_FATAL << "Check failed: " #cond " ")
+
+#define HM_CHECK_OP_(a, b, op)                                            \
+  ((a)op(b)) ? (void)0                                                    \
+             : (void)(HM_LOG_FATAL << "Check failed: " #a " " #op " " #b \
+                                   << " (" << (a) << " vs " << (b) << ") ")
+
+#define HM_CHECK_EQ(a, b) HM_CHECK_OP_(a, b, ==)
+#define HM_CHECK_NE(a, b) HM_CHECK_OP_(a, b, !=)
+#define HM_CHECK_LT(a, b) HM_CHECK_OP_(a, b, <)
+#define HM_CHECK_LE(a, b) HM_CHECK_OP_(a, b, <=)
+#define HM_CHECK_GT(a, b) HM_CHECK_OP_(a, b, >)
+#define HM_CHECK_GE(a, b) HM_CHECK_OP_(a, b, >=)
+
+/// Aborts if a Status-returning expression fails.
+#define HM_CHECK_OK(expr)                                            \
+  do {                                                               \
+    ::hypermine::Status hm_check_status = (expr);                    \
+    if (!hm_check_status.ok()) {                                     \
+      HM_LOG_FATAL << "Status not OK: " << hm_check_status.ToString(); \
+    }                                                                \
+  } while (false)
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_LOGGING_H_

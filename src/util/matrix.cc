@@ -1,0 +1,177 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hypermine {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    HM_CHECK_EQ(rows[r].size(), m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  HM_CHECK_LT(r, rows_);
+  HM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  HM_CHECK_LT(r, rows_);
+  HM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::RowPtr(size_t r) {
+  HM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::RowPtr(size_t r) const {
+  HM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  HM_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  HM_CHECK_EQ(v.size(), cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  HM_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(double factor) {
+  for (double& x : data_) x *= factor;
+  return *this;
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+StatusOr<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                std::vector<double> b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem: size mismatch");
+  }
+  const size_t n = a.rows();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: move the largest-magnitude entry into the pivot row.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.At(r, col)) > std::fabs(a.At(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.At(pivot, col)) < 1e-12) {
+      return Status::FailedPrecondition(
+          "SolveLinearSystem: matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a.At(ri, c) * x[c];
+    x[ri] = acc / a.At(ri, ri);
+  }
+  return x;
+}
+
+StatusOr<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                                const std::vector<double>& y,
+                                                double ridge) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("SolveLeastSquares: size mismatch");
+  }
+  Matrix xt = x.Transposed();
+  Matrix xtx = xt.Multiply(x);
+  for (size_t i = 0; i < xtx.rows(); ++i) xtx.At(i, i) += ridge;
+  std::vector<double> xty = xt.Apply(y);
+  return SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+}  // namespace hypermine

@@ -1,0 +1,75 @@
+#ifndef HYPERMINE_UTIL_MATRIX_H_
+#define HYPERMINE_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine {
+
+/// Dense row-major matrix of doubles. Sized for the small linear-algebra
+/// needs of the ML baselines (normal equations, MLP weight blocks), not for
+/// large-scale numerics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  static Matrix Identity(size_t n);
+  /// Builds from nested initializer data; all rows must be equally long.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Raw pointer to row `r` (contiguous `cols()` doubles).
+  double* RowPtr(size_t r);
+  const double* RowPtr(size_t r) const;
+
+  Matrix Transposed() const;
+  Matrix Multiply(const Matrix& other) const;
+  /// Matrix-vector product; `v.size()` must equal cols().
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& ScaleInPlace(double factor);
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square with rows() == b.size(). Fails with kFailedPrecondition when A is
+/// (numerically) singular.
+StatusOr<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                std::vector<double> b);
+
+/// Solves the least-squares problem min ||X w - y||^2 through the normal
+/// equations (X^T X + ridge I) w = X^T y. `ridge` = 0 gives plain OLS; a tiny
+/// positive ridge keeps rank-deficient one-hot designs solvable.
+StatusOr<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                                const std::vector<double>& y,
+                                                double ridge = 0.0);
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_MATRIX_H_

@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace hypermine {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HM_CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<uint64_t>(m) >= threshold) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  HM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; draws until u1 is nonzero so log() stays finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t count) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  Shuffle(&all);
+  if (count < n) all.resize(count);
+  return all;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  HM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    HM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return weights.size() - 1;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace hypermine

@@ -1,0 +1,66 @@
+#ifndef HYPERMINE_UTIL_RNG_H_
+#define HYPERMINE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hypermine {
+
+/// Deterministic, platform-independent pseudo-random generator
+/// (xoshiro256** seeded via SplitMix64). The standard library distributions
+/// are not used because their output is implementation-defined; experiments
+/// must reproduce bit-identically across compilers.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` using SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate via Box–Muller (deterministic, no cache
+  /// across calls so interleaved usage stays reproducible).
+  double NextGaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) in random order.
+  /// If count >= n, returns a permutation of all n indices.
+  std::vector<size_t> SampleIndices(size_t n, size_t count);
+
+  /// Draws an index according to non-negative weights (linear scan).
+  /// Returns weights.size() - 1 if all weights are zero.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_RNG_H_

@@ -1,0 +1,176 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hypermine {
+
+double Sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double Mean(const std::vector<double>& xs) {
+  HM_CHECK(!xs.empty());
+  return Sum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  HM_CHECK(!xs.empty());
+  double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  HM_CHECK_GE(xs.size(), 2u);
+  double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+double Min(const std::vector<double>& xs) {
+  HM_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  HM_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  HM_CHECK(!xs.empty());
+  HM_CHECK_GE(p, 0.0);
+  HM_CHECK_LE(p, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  HM_CHECK_EQ(xs.size(), ys.size());
+  HM_CHECK(!xs.empty());
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& xs) {
+  size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank for the tie group [i, j].
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  HM_CHECK_EQ(xs.size(), ys.size());
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev
+     << " min=" << min << " p25=" << p25 << " med=" << median
+     << " p75=" << p75 << " max=" << max;
+  return os.str();
+}
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.mean = Mean(xs);
+  s.stddev = StdDev(xs);
+  s.min = Min(xs);
+  s.p25 = Percentile(xs, 25.0);
+  s.median = Percentile(xs, 50.0);
+  s.p75 = Percentile(xs, 75.0);
+  s.max = Max(xs);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HM_CHECK_GT(bins, 0u);
+  HM_CHECK_LT(lo, hi);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::Add(double x) {
+  double clamped = std::clamp(x, lo_, hi_);
+  size_t bucket = static_cast<size_t>((clamped - lo_) / width_);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  ++counts_[bucket];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::bucket_lo(size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(size_t bucket) const {
+  return bucket + 1 == counts_.size() ? hi_ : bucket_lo(bucket + 1);
+}
+
+std::string Histogram::ToString(size_t max_bar_width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    size_t bar = peak == 0 ? 0 : counts_[b] * max_bar_width / peak;
+    os << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") "
+       << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hypermine

@@ -1,0 +1,83 @@
+#ifndef HYPERMINE_UTIL_STATS_H_
+#define HYPERMINE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hypermine {
+
+/// Descriptive statistics over a sample. All functions taking a vector
+/// require it to be non-empty unless stated otherwise.
+double Mean(const std::vector<double>& xs);
+/// Population variance (divide by n).
+double Variance(const std::vector<double>& xs);
+/// Sample variance (divide by n-1); requires at least two elements.
+double SampleVariance(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+double Sum(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile; p in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double p);
+double Median(std::vector<double> xs);
+
+/// Pearson product-moment correlation; returns 0 when either side is
+/// constant. Requires equal, non-zero lengths.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on average-ranked data).
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Average ranks (1-based, ties averaged), as used by Spearman.
+std::vector<double> AverageRanks(const std::vector<double>& xs);
+
+/// Compact five-number-style summary used in bench output.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  std::string ToString() const;
+};
+
+Summary Summarize(const std::vector<double>& xs);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  size_t total() const { return total_; }
+  /// Inclusive lower edge of the bucket.
+  double bucket_lo(size_t bucket) const;
+  double bucket_hi(size_t bucket) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_STATS_H_

@@ -1,0 +1,165 @@
+#ifndef HYPERMINE_UTIL_STATUS_H_
+#define HYPERMINE_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hypermine {
+
+/// Canonical error codes, modeled after absl::StatusCode. The project does
+/// not use C++ exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying either success (OK) or an error code plus a
+/// descriptive message. Copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A message on an OK
+  /// status is allowed but ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Accessing value() on an error aborts the process (invariant
+/// violation), so callers must check ok() first or use ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing from
+  /// an OK status is an error and is converted to kInternal.
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when holding a value, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define HM_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::hypermine::Status hm_status = (expr); \
+    if (!hm_status.ok()) return hm_status;  \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// assigns the value into `lhs` (which must be a declaration or lvalue).
+#define HM_ASSIGN_OR_RETURN(lhs, expr)                  \
+  HM_ASSIGN_OR_RETURN_IMPL_(                            \
+      HM_STATUS_CONCAT_(hm_statusor_, __LINE__), lhs, expr)
+
+#define HM_STATUS_CONCAT_INNER_(a, b) a##b
+#define HM_STATUS_CONCAT_(a, b) HM_STATUS_CONCAT_INNER_(a, b)
+#define HM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_STATUS_H_

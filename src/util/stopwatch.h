@@ -1,0 +1,29 @@
+#ifndef HYPERMINE_UTIL_STOPWATCH_H_
+#define HYPERMINE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hypermine {
+
+/// Wall-clock stopwatch for coarse harness timing (benchmark binaries report
+/// fine-grained numbers through google-benchmark instead).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_STOPWATCH_H_

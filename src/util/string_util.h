@@ -1,0 +1,42 @@
+#ifndef HYPERMINE_UTIL_STRING_UTIL_H_
+#define HYPERMINE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypermine {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+std::string_view TrimView(std::string_view text);
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double rendering ("0.437"), matching the paper's tables.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Parses a double/int; returns false (leaving *out untouched) on any
+/// trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hypermine {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto format_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::ostringstream os;
+  os << hline() << format_row(columns_) << hline();
+  for (const Row& row : rows_) {
+    os << (row.separator ? hline() : format_row(row.cells));
+  }
+  os << hline();
+  return os.str();
+}
+
+}  // namespace hypermine

@@ -1,0 +1,38 @@
+#ifndef HYPERMINE_UTIL_TABLE_PRINTER_H_
+#define HYPERMINE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace hypermine {
+
+/// Renders aligned ASCII tables for the experiment harnesses, matching the
+/// row/column layout of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Full rendering, including the header and a frame of '-' and '|'.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,100 @@
+#include "approx/dominating_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hypermine::approx {
+namespace {
+
+TEST(DominatingSetTest, StarGraphNeedsOnlyCenter) {
+  Graph g;
+  g.num_vertices = 6;
+  for (size_t leaf = 1; leaf < 6; ++leaf) g.edges.push_back({0, leaf});
+  auto dom = GreedyDominatingSet(g);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->size(), 1u);
+  EXPECT_EQ((*dom)[0], 0u);
+}
+
+TEST(DominatingSetTest, EdgelessGraphNeedsEveryVertex) {
+  Graph g;
+  g.num_vertices = 4;
+  auto dom = GreedyDominatingSet(g);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->size(), 4u);
+}
+
+TEST(DominatingSetTest, PathGraph) {
+  // Path 0-1-2-3-4-5: optimal dominating set has size 2 ({1, 4}).
+  Graph g;
+  g.num_vertices = 6;
+  for (size_t v = 0; v + 1 < 6; ++v) g.edges.push_back({v, v + 1});
+  auto dom = GreedyDominatingSet(g);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_TRUE(IsDominatingSet(g, *dom));
+  EXPECT_LE(dom->size(), 3u);
+}
+
+TEST(DominatingSetTest, SelfLoopsIgnored) {
+  Graph g;
+  g.num_vertices = 2;
+  g.edges = {{0, 0}, {0, 1}};
+  auto dom = GreedyDominatingSet(g);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_TRUE(IsDominatingSet(g, *dom));
+}
+
+TEST(DominatingSetTest, BadEdgeFails) {
+  Graph g;
+  g.num_vertices = 2;
+  g.edges = {{0, 7}};
+  EXPECT_FALSE(GreedyDominatingSet(g).ok());
+}
+
+TEST(IsDominatingSetTest, DetectsNonDominating) {
+  Graph g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}};
+  EXPECT_FALSE(IsDominatingSet(g, {0}));  // vertex 2 undominated
+  EXPECT_TRUE(IsDominatingSet(g, {0, 2}));
+  EXPECT_FALSE(IsDominatingSet(g, {9}));  // invalid member
+}
+
+/// Theorem 2.5: greedy stays within (ln n + 1) of the optimum.
+TEST(DominatingSetApproximationTest, WithinLogFactorOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph g;
+    g.num_vertices = 10;
+    for (size_t a = 0; a < g.num_vertices; ++a) {
+      for (size_t b = a + 1; b < g.num_vertices; ++b) {
+        if (rng.NextBernoulli(0.3)) g.edges.push_back({a, b});
+      }
+    }
+    auto greedy = GreedyDominatingSet(g);
+    auto optimal = BruteForceMinDominatingSet(g);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(optimal.ok());
+    EXPECT_TRUE(IsDominatingSet(g, *greedy));
+    double bound =
+        (std::log(10.0) + 1.0) * static_cast<double>(optimal->size());
+    EXPECT_LE(static_cast<double>(greedy->size()), bound + 1e-9);
+  }
+}
+
+TEST(BruteForceDominatingSetTest, MatchesKnownOptimum) {
+  // Cycle of 6: optimum is 2.
+  Graph g;
+  g.num_vertices = 6;
+  for (size_t v = 0; v < 6; ++v) g.edges.push_back({v, (v + 1) % 6});
+  auto best = BruteForceMinDominatingSet(g);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->size(), 2u);
+  EXPECT_TRUE(IsDominatingSet(g, *best));
+}
+
+}  // namespace
+}  // namespace hypermine::approx

@@ -1,0 +1,115 @@
+#include "approx/gonzalez.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hypermine::approx {
+namespace {
+
+/// 1-D points distance helper.
+DistanceFn LineDistance(const std::vector<double>& points) {
+  return [points](size_t a, size_t b) {
+    return std::fabs(points[a] - points[b]);
+  };
+}
+
+TEST(GonzalezTest, SeparatesTwoObviousClusters) {
+  std::vector<double> pts = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  auto clustering = GonzalezTClustering(pts.size(), 2, LineDistance(pts));
+  ASSERT_TRUE(clustering.ok());
+  // All small points share a cluster; all large points share the other.
+  EXPECT_EQ(clustering->assignment[0], clustering->assignment[1]);
+  EXPECT_EQ(clustering->assignment[0], clustering->assignment[2]);
+  EXPECT_EQ(clustering->assignment[3], clustering->assignment[4]);
+  EXPECT_NE(clustering->assignment[0], clustering->assignment[3]);
+  EXPECT_NEAR(clustering->diameter, 0.2, 1e-12);
+}
+
+TEST(GonzalezTest, TEqualsNMakesSingletons) {
+  std::vector<double> pts = {0.0, 1.0, 2.0};
+  auto clustering = GonzalezTClustering(3, 3, LineDistance(pts));
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_DOUBLE_EQ(clustering->diameter, 0.0);
+  EXPECT_DOUBLE_EQ(clustering->radius, 0.0);
+}
+
+TEST(GonzalezTest, SingleClusterContainsAll) {
+  std::vector<double> pts = {0.0, 3.0, 7.0};
+  auto clustering = GonzalezTClustering(3, 1, LineDistance(pts));
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_DOUBLE_EQ(clustering->diameter, 7.0);
+}
+
+TEST(GonzalezTest, FirstCenterRespected) {
+  std::vector<double> pts = {0.0, 5.0, 10.0};
+  auto clustering =
+      GonzalezTClustering(3, 2, LineDistance(pts), /*first_center=*/1);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->centers[0], 1u);
+}
+
+TEST(GonzalezTest, InvalidArgumentsFail) {
+  std::vector<double> pts = {0.0, 1.0};
+  EXPECT_FALSE(GonzalezTClustering(0, 1, LineDistance(pts)).ok());
+  EXPECT_FALSE(GonzalezTClustering(2, 0, LineDistance(pts)).ok());
+  EXPECT_FALSE(GonzalezTClustering(2, 3, LineDistance(pts)).ok());
+  EXPECT_FALSE(GonzalezTClustering(2, 1, LineDistance(pts), 5).ok());
+}
+
+TEST(GonzalezTest, RadiusNeverExceedsDiameter) {
+  Rng rng(3);
+  std::vector<double> pts(20);
+  for (double& p : pts) p = rng.NextDouble() * 100.0;
+  for (size_t t = 1; t <= 5; ++t) {
+    auto clustering = GonzalezTClustering(pts.size(), t, LineDistance(pts));
+    ASSERT_TRUE(clustering.ok());
+    EXPECT_LE(clustering->radius, clustering->diameter + 1e-12);
+  }
+}
+
+/// Theorem 2.7: the Gonzalez diameter is at most twice the optimum.
+class GonzalezApproximationTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GonzalezApproximationTest, WithinFactorTwoOfOptimum) {
+  const size_t t = GetParam();
+  Rng rng(100 + t);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> pts(9);
+    for (double& p : pts) p = rng.NextDouble() * 50.0;
+    DistanceFn dist = LineDistance(pts);
+    auto clustering = GonzalezTClustering(pts.size(), t, dist);
+    auto optimal = BruteForceOptimalDiameter(pts.size(), t, dist);
+    ASSERT_TRUE(clustering.ok());
+    ASSERT_TRUE(optimal.ok());
+    EXPECT_LE(clustering->diameter, 2.0 * (*optimal) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TSweep, GonzalezApproximationTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ClusteringDiameterTest, RecomputesFromAssignment) {
+  std::vector<double> pts = {0.0, 1.0, 10.0};
+  std::vector<size_t> assignment = {0, 0, 1};
+  EXPECT_DOUBLE_EQ(
+      ClusteringDiameter(3, 2, assignment, LineDistance(pts)), 1.0);
+}
+
+TEST(BruteForceOptimalDiameterTest, KnownSmallCase) {
+  std::vector<double> pts = {0.0, 1.0, 5.0, 6.0};
+  auto best = BruteForceOptimalDiameter(4, 2, LineDistance(pts));
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(*best, 1.0);
+}
+
+TEST(BruteForceOptimalDiameterTest, TooManyPointsRejected) {
+  std::vector<double> pts(13, 0.0);
+  EXPECT_FALSE(BruteForceOptimalDiameter(13, 2, LineDistance(pts)).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::approx

@@ -1,0 +1,85 @@
+#include "approx/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hypermine::approx {
+namespace {
+
+TEST(MetricCheckTest, EuclideanLineIsMetric) {
+  std::vector<double> pts = {0.0, 1.5, 4.0, 9.0};
+  auto dist = [&pts](size_t a, size_t b) {
+    return std::fabs(pts[a] - pts[b]);
+  };
+  MetricCheck check = CheckMetricProperties(pts.size(), dist);
+  EXPECT_TRUE(check.IsMetric());
+  EXPECT_TRUE(check.non_negative);
+  EXPECT_TRUE(check.symmetric);
+  EXPECT_TRUE(check.triangle_inequality);
+  EXPECT_EQ(check.triangle_violations, 0u);
+}
+
+TEST(MetricCheckTest, DetectsTriangleViolation) {
+  // d(0,2)=10 but d(0,1)+d(1,2)=2: clear violation.
+  auto dist = [](size_t a, size_t b) -> double {
+    if (a == b) return 0.0;
+    if ((a == 0 && b == 2) || (a == 2 && b == 0)) return 10.0;
+    return 1.0;
+  };
+  MetricCheck check = CheckMetricProperties(3, dist);
+  EXPECT_FALSE(check.IsMetric());
+  EXPECT_FALSE(check.triangle_inequality);
+  EXPECT_GT(check.triangle_violations, 0u);
+  EXPECT_NEAR(check.worst_triangle_excess, 8.0, 1e-12);
+}
+
+TEST(MetricCheckTest, DetectsAsymmetry) {
+  auto dist = [](size_t a, size_t b) -> double {
+    if (a == b) return 0.0;
+    return a < b ? 1.0 : 2.0;
+  };
+  MetricCheck check = CheckMetricProperties(3, dist);
+  EXPECT_FALSE(check.symmetric);
+}
+
+TEST(MetricCheckTest, DetectsNegativeDistance) {
+  auto dist = [](size_t a, size_t b) -> double {
+    return a == b ? 0.0 : -1.0;
+  };
+  MetricCheck check = CheckMetricProperties(2, dist);
+  EXPECT_FALSE(check.non_negative);
+}
+
+TEST(MetricCheckTest, DetectsIdentityViolations) {
+  // Nonzero self-distance.
+  auto self_dist = [](size_t a, size_t b) -> double {
+    return a == b ? 0.5 : 1.0;
+  };
+  EXPECT_FALSE(
+      CheckMetricProperties(2, self_dist).identity_of_indiscernibles);
+  // Distinct points at distance zero.
+  auto zero_dist = [](size_t, size_t) -> double { return 0.0; };
+  EXPECT_FALSE(
+      CheckMetricProperties(2, zero_dist).identity_of_indiscernibles);
+}
+
+TEST(MetricCheckTest, ToleranceAbsorbsNoise) {
+  auto dist = [](size_t a, size_t b) -> double {
+    return a == b ? 1e-12 : 1.0;
+  };
+  MetricCheck check = CheckMetricProperties(3, dist, 1e-9);
+  EXPECT_TRUE(check.IsMetric());
+}
+
+TEST(MetricCheckTest, ToStringMentionsProperties) {
+  auto dist = [](size_t a, size_t b) -> double { return a == b ? 0.0 : 1.0; };
+  MetricCheck check = CheckMetricProperties(3, dist);
+  std::string text = check.ToString();
+  EXPECT_NE(text.find("symmetric=yes"), std::string::npos);
+  EXPECT_NE(text.find("triangle=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypermine::approx

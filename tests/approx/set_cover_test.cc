@@ -1,0 +1,130 @@
+#include "approx/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hypermine::approx {
+namespace {
+
+TEST(SetCoverTest, CoversSimpleInstance) {
+  SetCoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0, 1}, {2}, {3}, {2, 3}};
+  auto result = GreedySetCover(inst);
+  ASSERT_TRUE(result.ok());
+  // Greedy picks {0,1} and {2,3}: cost 2.
+  EXPECT_EQ(result->chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->total_cost, 2.0);
+}
+
+TEST(SetCoverTest, PricesSumToCost) {
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  auto result = GreedySetCover(inst);
+  ASSERT_TRUE(result.ok());
+  double price_sum = 0.0;
+  for (double p : result->prices) price_sum += p;
+  EXPECT_NEAR(price_sum, result->total_cost, 1e-9);
+}
+
+TEST(SetCoverTest, UncoverableFails) {
+  SetCoverInstance inst;
+  inst.universe_size = 3;
+  inst.sets = {{0}, {1}};
+  auto result = GreedySetCover(inst);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SetCoverTest, OutOfRangeElementFails) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.sets = {{0, 5}};
+  EXPECT_FALSE(GreedySetCover(inst).ok());
+}
+
+TEST(SetCoverTest, CostMismatchFails) {
+  SetCoverInstance inst;
+  inst.universe_size = 1;
+  inst.sets = {{0}};
+  inst.costs = {1.0, 2.0};
+  EXPECT_FALSE(GreedySetCover(inst).ok());
+}
+
+TEST(SetCoverTest, WeightedPrefersCheapSets) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.sets = {{0, 1}, {0}, {1}};
+  inst.costs = {10.0, 1.0, 1.0};
+  auto result = GreedySetCover(inst);
+  ASSERT_TRUE(result.ok());
+  // Two unit-cost singletons (total 2) beat the expensive pair (10).
+  EXPECT_DOUBLE_EQ(result->total_cost, 2.0);
+}
+
+TEST(SetCoverTest, ChosenSetsActuallyCover) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    SetCoverInstance inst;
+    inst.universe_size = 30;
+    inst.sets.resize(12);
+    for (auto& set : inst.sets) {
+      for (size_t u = 0; u < inst.universe_size; ++u) {
+        if (rng.NextBernoulli(0.25)) set.push_back(u);
+      }
+    }
+    // Safety net so every element is coverable.
+    for (size_t u = 0; u < inst.universe_size; ++u) {
+      inst.sets[u % inst.sets.size()].push_back(u);
+    }
+    auto result = GreedySetCover(inst);
+    ASSERT_TRUE(result.ok());
+    std::vector<char> covered(inst.universe_size, 0);
+    for (size_t s : result->chosen) {
+      for (size_t u : inst.sets[s]) covered[u] = 1;
+    }
+    for (char c : covered) EXPECT_TRUE(c);
+  }
+}
+
+TEST(BruteForceSetCoverTest, FindsOptimum) {
+  SetCoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0}, {1}, {2}, {3}, {0, 1, 2, 3}};
+  auto best = BruteForceMinSetCover(inst);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->size(), 1u);
+  EXPECT_EQ((*best)[0], 4u);
+}
+
+/// Theorem 2.3: greedy cost <= H(n) * OPT <= (ln n + 1) * OPT.
+TEST(SetCoverApproximationTest, GreedyWithinLogFactorOfOptimum) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    SetCoverInstance inst;
+    inst.universe_size = 12;
+    inst.sets.resize(8);
+    for (auto& set : inst.sets) {
+      for (size_t u = 0; u < inst.universe_size; ++u) {
+        if (rng.NextBernoulli(0.35)) set.push_back(u);
+      }
+    }
+    for (size_t u = 0; u < inst.universe_size; ++u) {
+      inst.sets[u % inst.sets.size()].push_back(u);
+    }
+    auto greedy = GreedySetCover(inst);
+    auto optimal = BruteForceMinSetCover(inst);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(optimal.ok());
+    double bound = (std::log(12.0) + 1.0) *
+                   static_cast<double>(optimal->size());
+    EXPECT_LE(static_cast<double>(greedy->chosen.size()), bound + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::approx

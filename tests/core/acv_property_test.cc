@@ -1,0 +1,174 @@
+/// Property tests for the ACV measure beyond the Theorem 3.8 basics:
+/// bounds, permutation invariance, independence behaviour, and the
+/// interaction between discretization k and the gamma baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/assoc_table.h"
+#include "core/builder.h"
+#include "core/discretize.h"
+#include "testing/fixtures.h"
+#include "util/rng.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+class AcvBoundsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AcvBoundsTest, AcvAlwaysWithinBaseAndOne) {
+  const size_t k = GetParam();
+  Database db = RandomDatabase(5, 200, k, 100 + k);
+  for (AttrId a = 0; a < 5; ++a) {
+    for (AttrId h = 0; h < 5; ++h) {
+      if (a == h) continue;
+      auto table = AssociationTable::Build(db, {a}, h);
+      ASSERT_TRUE(table.ok());
+      double base = *BaseAcv(db, h);
+      EXPECT_GE(table->acv() + 1e-12, base);
+      EXPECT_LE(table->acv(), 1.0 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, AcvBoundsTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(AcvPropertyTest, InvariantUnderObservationPermutation) {
+  // ACV depends on joint value counts only; the order of observations
+  // (which the discretization deliberately erases, Section 3.1.1) must
+  // not matter.
+  Database db = RandomDatabase(4, 150, 3, 7);
+  double before = AssociationTable::Build(db, {0, 1}, 2)->acv();
+
+  std::vector<size_t> order(db.num_observations());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(99);
+  rng.Shuffle(&order);
+  std::vector<std::vector<ValueId>> columns(4);
+  for (AttrId a = 0; a < 4; ++a) {
+    for (size_t o : order) columns[a].push_back(db.value(o, a));
+  }
+  auto shuffled = DatabaseFromColumns({"X0", "X1", "X2", "X3"}, 3, columns);
+  ASSERT_TRUE(shuffled.ok());
+  double after = AssociationTable::Build(*shuffled, {0, 1}, 2)->acv();
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(AcvPropertyTest, PerfectCopyHasAcvOne) {
+  std::vector<ValueId> column = {0, 1, 2, 0, 1, 2, 2, 1};
+  auto db = DatabaseFromColumns({"A", "B"}, 3, {column, column});
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(AssociationTable::Build(*db, {0}, 1)->acv(), 1.0);
+}
+
+TEST(AcvPropertyTest, PermutedCopyAlsoHasAcvOne) {
+  // ACV measures functional dependence, not identity: any bijective
+  // relabeling of the head still gives ACV 1.
+  std::vector<ValueId> a = {0, 1, 2, 0, 1, 2, 2, 1};
+  std::vector<ValueId> b;
+  for (ValueId v : a) b.push_back(static_cast<ValueId>((v + 1) % 3));
+  auto db = DatabaseFromColumns({"A", "B"}, 3, {a, b});
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(AssociationTable::Build(*db, {0}, 1)->acv(), 1.0);
+  EXPECT_DOUBLE_EQ(AssociationTable::Build(*db, {1}, 0)->acv(), 1.0);
+}
+
+TEST(AcvPropertyTest, ManyToOneIsDirectional) {
+  // B = A mod 2 with k=4: A determines B exactly, but B only narrows A to
+  // two values — ACV(A->B) = 1 while ACV(B->A) < 1. This is the
+  // directionality that distinguishes the model from undirected
+  // similarity (Section 3.2's motivation).
+  std::vector<ValueId> a = {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3};
+  std::vector<ValueId> b;
+  for (ValueId v : a) b.push_back(static_cast<ValueId>(v % 2));
+  auto db = DatabaseFromColumns({"A", "B"}, 4, {a, b});
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(AssociationTable::Build(*db, {0}, 1)->acv(), 1.0);
+  EXPECT_LT(AssociationTable::Build(*db, {1}, 0)->acv(), 0.75);
+}
+
+TEST(AcvPropertyTest, IndependentUniformColumnsStayNearBase) {
+  // For independent uniform columns ACV(A->B) concentrates near
+  // ACV(∅->B); the gamma filter's entire job is rejecting these.
+  Rng rng(5);
+  const size_t m = 5000;
+  std::vector<ValueId> a(m);
+  std::vector<ValueId> b(m);
+  for (size_t o = 0; o < m; ++o) {
+    a[o] = static_cast<ValueId>(rng.NextBounded(3));
+    b[o] = static_cast<ValueId>(rng.NextBounded(3));
+  }
+  auto db = DatabaseFromColumns({"A", "B"}, 3, {a, b});
+  ASSERT_TRUE(db.ok());
+  double acv = AssociationTable::Build(*db, {0}, 1)->acv();
+  double base = *BaseAcv(*db, 1);
+  EXPECT_LT(acv, base * 1.05);
+}
+
+TEST(AcvPropertyTest, BaseAcvOfEquiDepthIsNearOneOverK) {
+  Rng rng(17);
+  std::vector<double> series(3000);
+  for (double& x : series) x = rng.NextGaussian();
+  for (size_t k : {2u, 3u, 5u, 10u}) {
+    auto buckets = EquiDepthDiscretize(series, k);
+    ASSERT_TRUE(buckets.ok());
+    std::vector<std::vector<ValueId>> columns = {*buckets, *buckets};
+    auto db = DatabaseFromColumns({"A", "B"}, k, columns);
+    ASSERT_TRUE(db.ok());
+    EXPECT_NEAR(*BaseAcv(*db, 0), 1.0 / static_cast<double>(k),
+                0.05 / static_cast<double>(k) + 0.01);
+  }
+}
+
+TEST(AcvPropertyTest, AddingNoiseToHeadLowersAcv) {
+  // Monotone degradation: the noisier the head, the lower the ACV.
+  Rng rng(23);
+  const size_t m = 4000;
+  std::vector<ValueId> a(m);
+  for (size_t o = 0; o < m; ++o) {
+    a[o] = static_cast<ValueId>(rng.NextBounded(3));
+  }
+  double last_acv = 1.1;
+  for (double noise : {0.0, 0.2, 0.5, 0.9}) {
+    std::vector<ValueId> b(m);
+    for (size_t o = 0; o < m; ++o) {
+      b[o] = rng.NextBernoulli(noise)
+                 ? static_cast<ValueId>(rng.NextBounded(3))
+                 : a[o];
+    }
+    auto db = DatabaseFromColumns({"A", "B"}, 3, {a, b});
+    ASSERT_TRUE(db.ok());
+    double acv = AssociationTable::Build(*db, {0}, 1)->acv();
+    EXPECT_LT(acv, last_acv);
+    last_acv = acv;
+  }
+}
+
+TEST(GammaSignificanceTest, BuilderEquivalentToManualFilter) {
+  // The builder's edge set must equal a from-scratch application of
+  // Definition 3.7 over all combinations.
+  Database db = RandomDatabase(7, 300, 3, 55, 0.65);
+  HypergraphConfig config = ConfigC1();
+  auto graph = BuildAssociationHypergraph(db, config);
+  ASSERT_TRUE(graph.ok());
+  size_t expected_edges = 0;
+  for (AttrId a = 0; a < 7; ++a) {
+    for (AttrId h = 0; h < 7; ++h) {
+      if (a == h) continue;
+      double acv = AssociationTable::Build(db, {a}, h)->acv();
+      bool significant = acv >= config.gamma_edge * *BaseAcv(db, h);
+      expected_edges += significant ? 1 : 0;
+      std::vector<VertexId> tail = {a};
+      EXPECT_EQ(graph->FindEdge(tail, h).has_value(), significant)
+          << "edge " << static_cast<int>(a) << "->" << static_cast<int>(h);
+    }
+  }
+  EXPECT_EQ(graph->NumDirectedEdges(), expected_edges);
+}
+
+}  // namespace
+}  // namespace hypermine::core

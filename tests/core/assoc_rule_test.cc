@@ -1,0 +1,120 @@
+#include "core/assoc_rule.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::GeneDatabase;
+using hypermine::testing::InterestDatabase;
+using hypermine::testing::PatientDatabase;
+
+TEST(AssocRuleTest, PatientExampleMatchesThesis) {
+  // Example 3.3: X = {(A,3), (C,12)}, Y = {(B,13)}:
+  // Supp(X) = 3/8 = 0.375 and Conf = 2/3 = 0.667.
+  Database db = PatientDatabase();
+  std::vector<AttributeValue> x = {{0, 3}, {1, 12}};
+  MvaRule rule{x, {{2, 13}}};
+  auto supp = Support(db, x);
+  ASSERT_TRUE(supp.ok());
+  EXPECT_DOUBLE_EQ(*supp, 0.375);
+  auto conf = Confidence(db, rule);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_NEAR(*conf, 2.0 / 3.0, 1e-12);
+}
+
+TEST(AssocRuleTest, GeneExampleMatchesThesis) {
+  // Example 3.4: X = {(G2,down), (G3,down)}, Y = {(G4,up)}:
+  // Supp(X) = 7/8 = 0.875 and Conf = 6/7 ~= 0.857.
+  Database db = GeneDatabase();
+  std::vector<AttributeValue> x = {{1, 0}, {2, 0}};
+  MvaRule rule{x, {{3, 2}}};
+  EXPECT_DOUBLE_EQ(*Support(db, x), 0.875);
+  EXPECT_NEAR(*Confidence(db, rule), 6.0 / 7.0, 1e-12);
+}
+
+TEST(AssocRuleTest, InterestExampleMatchesThesis) {
+  // Example 3.5: X = {(R,h), (P,h)}, Y = {(M,l)}:
+  // Supp(X) = 4/8 = 0.5 and Conf = 3/4 = 0.75.
+  Database db = InterestDatabase();
+  std::vector<AttributeValue> x = {{0, 2}, {1, 2}};
+  MvaRule rule{x, {{2, 0}}};
+  EXPECT_DOUBLE_EQ(*Support(db, x), 0.5);
+  EXPECT_DOUBLE_EQ(*Confidence(db, rule), 0.75);
+}
+
+TEST(AssocRuleTest, EmptySetHasFullSupport) {
+  Database db = GeneDatabase();
+  auto supp = Support(db, {});
+  ASSERT_TRUE(supp.ok());
+  EXPECT_DOUBLE_EQ(*supp, 1.0);
+}
+
+TEST(AssocRuleTest, SupportCountAbsolute) {
+  Database db = GeneDatabase();
+  auto count = SupportCount(db, {{1, 0}});  // G2 down in every row
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 8u);
+}
+
+TEST(AssocRuleTest, ValidationErrors) {
+  Database db = GeneDatabase();
+  // Unknown attribute / value out of range / repeated attribute.
+  EXPECT_FALSE(ValidateItemSet(db, {{9, 0}}).ok());
+  EXPECT_FALSE(ValidateItemSet(db, {{0, 7}}).ok());
+  EXPECT_FALSE(ValidateItemSet(db, {{0, 0}, {0, 1}}).ok());
+  // pi_1(X) and pi_1(Y) must be disjoint (Definition 3.1).
+  MvaRule overlapping{{{0, 0}}, {{0, 1}}};
+  EXPECT_FALSE(ValidateRule(db, overlapping).ok());
+}
+
+TEST(AssocRuleTest, ConfidenceUndefinedOnZeroSupport) {
+  Database db = GeneDatabase();
+  // G1 never takes value 1 ("flat") together with G2 = 2 ("up"): G2 is
+  // always down, so Supp(X) = 0.
+  MvaRule rule{{{1, 2}}, {{0, 0}}};
+  auto conf = Confidence(db, rule);
+  EXPECT_FALSE(conf.ok());
+  EXPECT_EQ(conf.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AssocRuleTest, ConfidenceOfImpliedRuleIsOne) {
+  Database db = GeneDatabase();
+  // G2 = down holds in all rows, so any X implies it with confidence 1.
+  MvaRule rule{{{2, 0}}, {{1, 0}}};
+  auto conf = Confidence(db, rule);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_DOUBLE_EQ(*conf, 1.0);
+}
+
+TEST(AssocRuleTest, MarketBasketSpecialCase) {
+  // Definition 3.2's remark: boolean support/confidence are the k=2 case.
+  auto db = DatabaseFromColumns({"milk", "beer"}, 2,
+                                {{1, 1, 0, 1}, {1, 1, 1, 0}});
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(*Support(*db, {{0, 1}, {1, 1}}), 0.5);
+  MvaRule rule{{{0, 1}}, {{1, 1}}};
+  EXPECT_NEAR(*Confidence(*db, rule), 2.0 / 3.0, 1e-12);
+}
+
+TEST(AssocRuleTest, ToStringShowsOneBasedValues) {
+  Database db = GeneDatabase();
+  MvaRule rule{{{1, 0}}, {{3, 2}}};
+  std::string text = rule.ToString(db);
+  EXPECT_NE(text.find("(G2, 1)"), std::string::npos);
+  EXPECT_NE(text.find("(G4, 3)"), std::string::npos);
+  EXPECT_NE(text.find("==>"), std::string::npos);
+}
+
+TEST(AssocRuleTest, SupportMonotoneInItems) {
+  // Adding conjuncts never increases support.
+  Database db = PatientDatabase();
+  double single = *Support(db, {{0, 3}});
+  double pair = *Support(db, {{0, 3}, {1, 12}});
+  EXPECT_LE(pair, single);
+}
+
+}  // namespace
+}  // namespace hypermine::core

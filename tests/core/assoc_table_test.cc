@@ -1,0 +1,167 @@
+#include "core/assoc_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assoc_rule.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::GeneDatabase;
+using hypermine::testing::RandomDatabase;
+
+TEST(AssociationTableTest, SingleTailRowsMatchManualCounts) {
+  // db: A = [0,0,1,1,2,2], B = [0,0,1,0,2,2], k = 3.
+  auto db = DatabaseFromColumns({"A", "B"}, 3,
+                                {{0, 0, 1, 1, 2, 2}, {0, 0, 1, 0, 2, 2}});
+  ASSERT_TRUE(db.ok());
+  auto table = AssociationTable::Build(*db, {0}, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  // Row A=0: support 2/6, best B value 0, confidence 1.
+  const AssocTableRow& r0 = table->RowFor({0});
+  EXPECT_NEAR(r0.support, 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(r0.best_head_value, 0);
+  EXPECT_DOUBLE_EQ(r0.confidence, 1.0);
+  // Row A=1: values of B split {1, 0}: confidence 1/2.
+  const AssocTableRow& r1 = table->RowFor({1});
+  EXPECT_DOUBLE_EQ(r1.confidence, 0.5);
+  // ACV = sum Supp*Conf = (2/6*1) + (2/6*1/2) + (2/6*1) = 5/6.
+  EXPECT_NEAR(table->acv(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AssociationTableTest, PairTailRowOrderMatchesTailOrder) {
+  auto db = DatabaseFromColumns(
+      {"A", "B", "C"}, 2, {{0, 0, 1, 1}, {0, 1, 0, 1}, {0, 1, 1, 0}});
+  ASSERT_TRUE(db.ok());
+  auto table = AssociationTable::Build(*db, {0, 1}, 2);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 4u);
+  // Row (A=0, B=1) is observation 1 -> C=1 with confidence 1.
+  const AssocTableRow& row = table->RowFor({0, 1});
+  EXPECT_NEAR(row.support, 0.25, 1e-12);
+  EXPECT_EQ(row.best_head_value, 1);
+  EXPECT_DOUBLE_EQ(row.confidence, 1.0);
+}
+
+TEST(AssociationTableTest, ZeroSupportRowsMaterialized) {
+  auto db = DatabaseFromColumns({"A", "B"}, 3, {{0, 0}, {1, 1}});
+  ASSERT_TRUE(db.ok());
+  auto table = AssociationTable::Build(*db, {0}, 1);
+  ASSERT_TRUE(table.ok());
+  const AssocTableRow& unseen = table->RowFor({2});
+  EXPECT_DOUBLE_EQ(unseen.support, 0.0);
+  EXPECT_DOUBLE_EQ(unseen.confidence, 0.0);
+  EXPECT_EQ(unseen.tail_count, 0u);
+}
+
+TEST(AssociationTableTest, RowConfidenceMatchesMvaRuleConfidence) {
+  // Definition 3.6(2c): each row is an mva-type rule; cross-check against
+  // the standalone Supp/Conf implementation.
+  Database db = RandomDatabase(4, 200, 3, 77);
+  auto table = AssociationTable::Build(db, {0, 2}, 3);
+  ASSERT_TRUE(table.ok());
+  for (ValueId v0 = 0; v0 < 3; ++v0) {
+    for (ValueId v2 = 0; v2 < 3; ++v2) {
+      const AssocTableRow& row = table->RowFor({v0, v2});
+      std::vector<AttributeValue> x = {{0, v0}, {2, v2}};
+      EXPECT_NEAR(row.support, *Support(db, x), 1e-12);
+      if (row.tail_count == 0) continue;
+      MvaRule rule{x, {{3, row.best_head_value}}};
+      EXPECT_NEAR(row.confidence, *Confidence(db, rule), 1e-12);
+    }
+  }
+}
+
+TEST(AssociationTableTest, Validations) {
+  Database db = GeneDatabase();
+  EXPECT_FALSE(AssociationTable::Build(db, {}, 0).ok());
+  EXPECT_FALSE(AssociationTable::Build(db, {0, 1, 2}, 3).ok());  // |T| > 2
+  EXPECT_FALSE(AssociationTable::Build(db, {0}, 0).ok());        // T == H
+  EXPECT_FALSE(AssociationTable::Build(db, {0, 0}, 1).ok());     // repeated
+  EXPECT_FALSE(AssociationTable::Build(db, {9}, 0).ok());
+  auto empty = Database::Create({"a", "b"}, 2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(AssociationTable::Build(*empty, {0}, 1).ok());
+}
+
+TEST(BaseAcvTest, IsMostFrequentValueShare) {
+  auto db = DatabaseFromColumns({"A", "B"}, 3, {{0, 0, 0, 1}, {2, 2, 1, 0}});
+  ASSERT_TRUE(db.ok());
+  EXPECT_NEAR(*BaseAcv(*db, 0), 0.75, 1e-12);
+  EXPECT_NEAR(*BaseAcv(*db, 1), 0.5, 1e-12);
+  EXPECT_FALSE(BaseAcv(*db, 7).ok());
+}
+
+TEST(AcvKernelsTest, MatchAssociationTableAcv) {
+  Database db = RandomDatabase(5, 300, 4, 12345);
+  const size_t m = db.num_observations();
+  const size_t k = db.num_values();
+  // Edge kernel vs AssociationTable for every (tail, head) pair.
+  for (AttrId a = 0; a < 5; ++a) {
+    for (AttrId h = 0; h < 5; ++h) {
+      if (a == h) continue;
+      double kernel =
+          AcvEdgeKernel(db.column(a).data(), db.column(h).data(), m, k);
+      auto table = AssociationTable::Build(db, {a}, h);
+      ASSERT_TRUE(table.ok());
+      EXPECT_NEAR(kernel, table->acv(), 1e-12);
+    }
+  }
+  // Pair kernel spot checks.
+  double kernel = AcvPairKernel(db.column(0).data(), db.column(1).data(),
+                                db.column(2).data(), m, k);
+  auto table = AssociationTable::Build(db, {0, 1}, 2);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(kernel, table->acv(), 1e-12);
+}
+
+/// Theorem 3.8(1): ACV({A}, {X}) >= ACV(∅, {X}).
+TEST(AcvMonotonicityTest, EdgeBeatsEmptyTail) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Database db = RandomDatabase(4, 150, 3, seed);
+    for (AttrId a = 0; a < 4; ++a) {
+      for (AttrId h = 0; h < 4; ++h) {
+        if (a == h) continue;
+        auto table = AssociationTable::Build(db, {a}, h);
+        ASSERT_TRUE(table.ok());
+        EXPECT_GE(table->acv() + 1e-12, *BaseAcv(db, h));
+      }
+    }
+  }
+}
+
+/// Theorem 3.8(2): ACV({A,B}, {X}) >= max(ACV({A},{X}), ACV({B},{X})).
+class AcvPairMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcvPairMonotonicityTest, PairBeatsConstituentEdges) {
+  Database db = RandomDatabase(5, 120, 3, GetParam());
+  for (AttrId a = 0; a < 5; ++a) {
+    for (AttrId b = static_cast<AttrId>(a + 1); b < 5; ++b) {
+      for (AttrId h = 0; h < 5; ++h) {
+        if (h == a || h == b) continue;
+        double pair_acv = AssociationTable::Build(db, {a, b}, h)->acv();
+        double edge_a = AssociationTable::Build(db, {a}, h)->acv();
+        double edge_b = AssociationTable::Build(db, {b}, h)->acv();
+        EXPECT_GE(pair_acv + 1e-12, std::max(edge_a, edge_b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, AcvPairMonotonicityTest,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+TEST(AssociationTableTest, ToStringRendersRows) {
+  auto db = DatabaseFromColumns({"A", "B"}, 2, {{0, 1}, {1, 0}});
+  ASSERT_TRUE(db.ok());
+  auto table = AssociationTable::Build(*db, {0}, 1);
+  ASSERT_TRUE(table.ok());
+  std::string text = table->ToString(*db);
+  EXPECT_NE(text.find("ACV="), std::string::npos);
+  EXPECT_NE(text.find("support"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypermine::core

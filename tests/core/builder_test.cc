@@ -1,0 +1,137 @@
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assoc_table.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+TEST(BuilderConfigTest, PaperConfigurations) {
+  // Section 5.1.2: C1 = (k=3, 1.15, 1.05); C2 = (k=5, 1.20, 1.12).
+  HypergraphConfig c1 = ConfigC1();
+  EXPECT_EQ(c1.k, 3u);
+  EXPECT_DOUBLE_EQ(c1.gamma_edge, 1.15);
+  EXPECT_DOUBLE_EQ(c1.gamma_hyper, 1.05);
+  HypergraphConfig c2 = ConfigC2();
+  EXPECT_EQ(c2.k, 5u);
+  EXPECT_DOUBLE_EQ(c2.gamma_edge, 1.20);
+  EXPECT_DOUBLE_EQ(c2.gamma_hyper, 1.12);
+}
+
+TEST(BuilderTest, ValidatesInputs) {
+  Database db = RandomDatabase(4, 50, 3, 1);
+  HypergraphConfig config = ConfigC1();
+  config.k = 5;  // mismatch with database's k=3
+  EXPECT_FALSE(BuildAssociationHypergraph(db, config).ok());
+  config = ConfigC1();
+  config.gamma_edge = 0.9;
+  EXPECT_FALSE(BuildAssociationHypergraph(db, config).ok());
+  auto empty = Database::Create({"a", "b"}, 3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(BuildAssociationHypergraph(*empty, ConfigC1()).ok());
+}
+
+TEST(BuilderTest, KeptEdgesAreGammaSignificant) {
+  Database db = RandomDatabase(8, 400, 3, 21, /*copy_prob=*/0.7);
+  HypergraphConfig config = ConfigC1();
+  BuildStats stats;
+  auto graph = BuildAssociationHypergraph(db, config, &stats);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_GT(graph->num_edges(), 0u);
+  for (const Hyperedge& e : graph->edges()) {
+    if (e.tail_size() == 1) {
+      // Definition 3.7 with T - {v} = ∅.
+      double base = *BaseAcv(db, e.head);
+      EXPECT_GE(e.weight + 1e-9, config.gamma_edge * base);
+      // The stored weight is the recomputable ACV.
+      auto table = AssociationTable::Build(db, {e.tail[0]}, e.head);
+      ASSERT_TRUE(table.ok());
+      EXPECT_NEAR(e.weight, table->acv(), 1e-9);
+    } else {
+      double edge_a =
+          AssociationTable::Build(db, {e.tail[0]}, e.head)->acv();
+      double edge_b =
+          AssociationTable::Build(db, {e.tail[1]}, e.head)->acv();
+      EXPECT_GE(e.weight + 1e-9,
+                config.gamma_hyper * std::max(edge_a, edge_b));
+      auto table =
+          AssociationTable::Build(db, {e.tail[0], e.tail[1]}, e.head);
+      EXPECT_NEAR(e.weight, table->acv(), 1e-9);
+    }
+  }
+}
+
+TEST(BuilderTest, StatsAreConsistent) {
+  Database db = RandomDatabase(6, 200, 3, 5, 0.7);
+  BuildStats stats;
+  auto graph = BuildAssociationHypergraph(db, ConfigC1(), &stats);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(stats.edge_candidates, 6u * 5u);
+  EXPECT_EQ(stats.edges_kept, graph->NumDirectedEdges());
+  EXPECT_EQ(stats.pairs_kept, graph->NumPairEdges());
+  EXPECT_NEAR(stats.mean_edge_acv, graph->MeanDirectedEdgeWeight(), 1e-9);
+  EXPECT_NEAR(stats.mean_pair_acv, graph->MeanPairEdgeWeight(), 1e-9);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(BuilderTest, HigherGammaEdgeKeepsFewerEdges) {
+  Database db = RandomDatabase(8, 300, 3, 31, 0.6);
+  HypergraphConfig loose = ConfigC1();
+  loose.gamma_edge = 1.0;
+  HypergraphConfig tight = ConfigC1();
+  tight.gamma_edge = 1.4;
+  auto graph_loose = BuildAssociationHypergraph(db, loose);
+  auto graph_tight = BuildAssociationHypergraph(db, tight);
+  ASSERT_TRUE(graph_loose.ok());
+  ASSERT_TRUE(graph_tight.ok());
+  EXPECT_GE(graph_loose->NumDirectedEdges(),
+            graph_tight->NumDirectedEdges());
+}
+
+TEST(BuilderTest, IndependentAttributesYieldSparseGraph) {
+  // copy_prob = 0 gives i.i.d. columns: almost nothing clears γ = 1.15.
+  Database db = RandomDatabase(8, 500, 3, 77, /*copy_prob=*/0.0);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_LT(graph->num_edges(), 4u);
+}
+
+TEST(BuilderTest, ChainedAttributesYieldDenseGraph) {
+  Database db = RandomDatabase(6, 500, 3, 78, /*copy_prob=*/0.9);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GT(graph->NumDirectedEdges(), 10u);
+}
+
+TEST(BuilderTest, UnrestrictedCandidatesSupersetOfRestricted) {
+  Database db = RandomDatabase(7, 250, 3, 91, 0.65);
+  HypergraphConfig restricted = ConfigC1();
+  HypergraphConfig unrestricted = ConfigC1();
+  unrestricted.restrict_pairs_to_edges = false;
+  auto g_restricted = BuildAssociationHypergraph(db, restricted);
+  auto g_unrestricted = BuildAssociationHypergraph(db, unrestricted);
+  ASSERT_TRUE(g_restricted.ok());
+  ASSERT_TRUE(g_unrestricted.ok());
+  // Every restricted hyperedge also appears in the unrestricted build.
+  for (const Hyperedge& e : g_restricted->edges()) {
+    if (e.tail_size() != 2) continue;
+    std::vector<VertexId> tail = {e.tail[0], e.tail[1]};
+    EXPECT_TRUE(g_unrestricted->FindEdge(tail, e.head).has_value());
+  }
+  EXPECT_GE(g_unrestricted->NumPairEdges(), g_restricted->NumPairEdges());
+}
+
+TEST(BuilderTest, VertexNamesComeFromDatabase) {
+  Database db = RandomDatabase(3, 50, 3, 8);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->vertex_name(0), "X0");
+  EXPECT_EQ(graph->vertex_name(2), "X2");
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,181 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+/// Database where attribute 1 deterministically equals attribute 0 and
+/// attribute 2 is noise, plus a hypergraph with the edge 0 -> 1.
+struct DeterministicFixture {
+  Database db;
+  DirectedHypergraph graph;
+};
+
+DeterministicFixture MakeDeterministicFixture() {
+  std::vector<ValueId> a = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2};
+  std::vector<ValueId> b = a;  // perfect copy
+  std::vector<ValueId> c = {0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 2};
+  auto db = DatabaseFromColumns({"A", "B", "C"}, 3, {a, b, c});
+  HM_CHECK_OK(db.status());
+  auto graph = DirectedHypergraph::Create({"A", "B", "C"});
+  HM_CHECK_OK(graph.status());
+  DeterministicFixture fx{std::move(db).value(), std::move(graph).value()};
+  HM_CHECK_OK(fx.graph.AddEdge({0}, 1, 1.0).status());
+  return fx;
+}
+
+TEST(ClassifierTest, PredictsDeterministicCopyPerfectly) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  auto classifier = AssociationClassifier::Create(&fx.graph, &fx.db);
+  ASSERT_TRUE(classifier.ok());
+  for (ValueId v = 0; v < 3; ++v) {
+    std::vector<int16_t> evidence = {static_cast<int16_t>(v),
+                                     AssociationClassifier::kUnknown,
+                                     AssociationClassifier::kUnknown};
+    auto prediction = classifier->Predict(evidence, 1);
+    ASSERT_TRUE(prediction.ok());
+    EXPECT_EQ(prediction->value, v);
+    EXPECT_EQ(prediction->rules_used, 1u);
+    EXPECT_DOUBLE_EQ(prediction->confidence, 1.0);
+  }
+}
+
+TEST(ClassifierTest, FallsBackToMajorityWithoutRules) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  auto classifier = AssociationClassifier::Create(&fx.graph, &fx.db);
+  ASSERT_TRUE(classifier.ok());
+  // Target 2 has no incoming edges: majority fallback.
+  std::vector<int16_t> evidence = {0, AssociationClassifier::kUnknown,
+                                   AssociationClassifier::kUnknown};
+  auto prediction = classifier->Predict(evidence, 2);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->rules_used, 0u);
+  EXPECT_EQ(prediction->value, classifier->MajorityValue(2));
+  EXPECT_DOUBLE_EQ(prediction->confidence, 0.0);
+}
+
+TEST(ClassifierTest, IgnoresEdgesWhoseTailLacksEvidence) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  ASSERT_TRUE(fx.graph.AddEdge({2}, 1, 0.5).ok());
+  auto classifier = AssociationClassifier::Create(&fx.graph, &fx.db);
+  ASSERT_TRUE(classifier.ok());
+  // Only attribute 0 has evidence: the ({2}, 1) edge must not contribute.
+  std::vector<int16_t> evidence = {1, AssociationClassifier::kUnknown,
+                                   AssociationClassifier::kUnknown};
+  auto prediction = classifier->Predict(evidence, 1);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->rules_used, 1u);
+  EXPECT_EQ(prediction->value, 1);
+}
+
+TEST(ClassifierTest, VotesAccumulateAcrossEdges) {
+  // Attribute 2 copies attribute 0; attribute 1 anti-copies it. Two edges
+  // into target 2 from tails {0} and {1}: Supp*Conf votes must combine.
+  std::vector<ValueId> a = {0, 0, 1, 1, 2, 2};
+  std::vector<ValueId> b = {2, 2, 0, 0, 1, 1};
+  std::vector<ValueId> t = {0, 0, 1, 1, 2, 2};
+  auto db = DatabaseFromColumns({"A", "B", "T"}, 3, {a, b, t});
+  ASSERT_TRUE(db.ok());
+  auto graph = DirectedHypergraph::Create({"A", "B", "T"});
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0}, 2, 1.0).ok());
+  ASSERT_TRUE(graph->AddEdge({1}, 2, 1.0).ok());
+  auto classifier = AssociationClassifier::Create(&*graph, &*db);
+  ASSERT_TRUE(classifier.ok());
+  std::vector<int16_t> evidence = {0, 2, AssociationClassifier::kUnknown};
+  auto prediction = classifier->Predict(evidence, 2);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->value, 0);
+  EXPECT_EQ(prediction->rules_used, 2u);
+  // Both rules agree with full confidence.
+  EXPECT_DOUBLE_EQ(prediction->confidence, 1.0);
+}
+
+TEST(ClassifierTest, PredictValidations) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  auto classifier = AssociationClassifier::Create(&fx.graph, &fx.db);
+  ASSERT_TRUE(classifier.ok());
+  std::vector<int16_t> evidence = {0, AssociationClassifier::kUnknown,
+                                   AssociationClassifier::kUnknown};
+  EXPECT_FALSE(classifier->Predict({0}, 1).ok());        // wrong arity
+  EXPECT_FALSE(classifier->Predict(evidence, 9).ok());   // bad target
+  std::vector<int16_t> with_target = {0, 1, 0};
+  EXPECT_FALSE(classifier->Predict(with_target, 1).ok());
+  std::vector<int16_t> bad_value = {7, AssociationClassifier::kUnknown,
+                                    AssociationClassifier::kUnknown};
+  EXPECT_FALSE(classifier->Predict(bad_value, 1).ok());
+}
+
+TEST(ClassifierTest, CreateValidations) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  EXPECT_FALSE(AssociationClassifier::Create(nullptr, &fx.db).ok());
+  EXPECT_FALSE(AssociationClassifier::Create(&fx.graph, nullptr).ok());
+  auto other = DirectedHypergraph::CreateAnonymous(7);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(AssociationClassifier::Create(&*other, &fx.db).ok());
+}
+
+TEST(ClassifierTest, TablesAreCachedPerEdge) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  auto classifier = AssociationClassifier::Create(&fx.graph, &fx.db);
+  ASSERT_TRUE(classifier.ok());
+  std::vector<int16_t> evidence = {0, AssociationClassifier::kUnknown,
+                                   AssociationClassifier::kUnknown};
+  ASSERT_TRUE(classifier->Predict(evidence, 1).ok());
+  ASSERT_TRUE(classifier->Predict(evidence, 1).ok());
+  EXPECT_EQ(classifier->num_cached_tables(), 1u);
+}
+
+TEST(EvaluateClassifierTest, PerfectModelScoresOne) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  auto eval = EvaluateAssociationClassifier(fx.graph, fx.db, fx.db, {0, 2});
+  ASSERT_TRUE(eval.ok());
+  ASSERT_EQ(eval->targets, (std::vector<AttrId>{1}));
+  EXPECT_DOUBLE_EQ(eval->mean_confidence, 1.0);
+  EXPECT_DOUBLE_EQ(eval->rule_coverage, 1.0);
+}
+
+TEST(EvaluateClassifierTest, UnseenDataScoresInUnitRange) {
+  Database train = RandomDatabase(8, 400, 3, 3, 0.8);
+  Database test = RandomDatabase(8, 100, 3, 4, 0.8);
+  auto graph = BuildAssociationHypergraph(train, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto eval = EvaluateAssociationClassifier(*graph, train, test, {0, 1});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->targets.size(), 6u);
+  EXPECT_GE(eval->mean_confidence, 0.0);
+  EXPECT_LE(eval->mean_confidence, 1.0);
+  EXPECT_EQ(eval->num_observations, 100u);
+}
+
+TEST(EvaluateClassifierTest, Validations) {
+  DeterministicFixture fx = MakeDeterministicFixture();
+  Database other = RandomDatabase(5, 10, 3, 1);
+  EXPECT_FALSE(
+      EvaluateAssociationClassifier(fx.graph, fx.db, other, {0}).ok());
+  // Dominator covering every attribute leaves nothing to predict.
+  EXPECT_FALSE(
+      EvaluateAssociationClassifier(fx.graph, fx.db, fx.db, {0, 1, 2}).ok());
+  EXPECT_FALSE(
+      EvaluateAssociationClassifier(fx.graph, fx.db, fx.db, {9}).ok());
+}
+
+TEST(EvaluateClassifierTest, BetterModelBeatsNoModel) {
+  // With the hypergraph of a correlated database, in-sample accuracy must
+  // beat the 1/k floor.
+  Database train = RandomDatabase(8, 600, 3, 15, 0.85);
+  auto graph = BuildAssociationHypergraph(train, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto eval = EvaluateAssociationClassifier(*graph, train, train, {0});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->mean_confidence, 1.0 / 3.0 + 0.05);
+}
+
+}  // namespace
+}  // namespace hypermine::core

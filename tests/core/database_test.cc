@@ -1,0 +1,74 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine::core {
+namespace {
+
+TEST(DatabaseTest, CreateValidations) {
+  EXPECT_FALSE(Database::Create({}, 3).ok());
+  EXPECT_FALSE(Database::Create({"a"}, 1).ok());
+  EXPECT_FALSE(Database::Create({"a"}, kMaxValues + 1).ok());
+  EXPECT_FALSE(Database::Create({"a", "a"}, 3).ok());
+  EXPECT_FALSE(Database::Create({"a", ""}, 3).ok());
+  EXPECT_TRUE(Database::Create({"a", "b"}, 2).ok());
+}
+
+TEST(DatabaseTest, AddObservationAndAccess) {
+  auto db = Database::Create({"a", "b"}, 3);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->AddObservation({0, 2}).ok());
+  ASSERT_TRUE(db->AddObservation({1, 1}).ok());
+  EXPECT_EQ(db->num_observations(), 2u);
+  EXPECT_EQ(db->value(0, 1), 2);
+  EXPECT_EQ(db->value(1, 0), 1);
+  EXPECT_EQ(db->column(1), (std::vector<ValueId>{2, 1}));
+}
+
+TEST(DatabaseTest, AddObservationValidations) {
+  auto db = Database::Create({"a", "b"}, 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db->AddObservation({0}).ok());          // wrong arity
+  EXPECT_FALSE(db->AddObservation({0, 3}).ok());       // value >= k
+  EXPECT_EQ(db->num_observations(), 0u);               // rejected atomically
+}
+
+TEST(DatabaseTest, AddColumns) {
+  auto db = Database::Create({"a", "b"}, 4);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->AddColumns({{0, 1, 2}, {3, 2, 1}}).ok());
+  EXPECT_EQ(db->num_observations(), 3u);
+  EXPECT_EQ(db->value(2, 0), 2);
+  EXPECT_FALSE(db->AddColumns({{0}, {1, 2}}).ok());        // ragged
+  EXPECT_FALSE(db->AddColumns({{0, 1, 2}}).ok());          // wrong count
+  EXPECT_FALSE(db->AddColumns({{0}, {9}}).ok());           // out of range
+}
+
+TEST(DatabaseTest, AttributeLookup) {
+  auto db = Database::Create({"age", "cholesterol"}, 5);
+  ASSERT_TRUE(db.ok());
+  auto idx = db->AttributeIndex("cholesterol");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(db->attribute_name(0), "age");
+  EXPECT_FALSE(db->AttributeIndex("missing").ok());
+}
+
+TEST(DatabaseTest, SliceRows) {
+  auto db = Database::Create({"a"}, 4);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->AddColumns({{0, 1, 2, 3}}).ok());
+  auto slice = db->Slice(1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->num_observations(), 2u);
+  EXPECT_EQ(slice->value(0, 0), 1);
+  EXPECT_EQ(slice->value(1, 0), 2);
+  EXPECT_FALSE(db->Slice(3, 1).ok());
+  EXPECT_FALSE(db->Slice(0, 9).ok());
+  auto empty = db->Slice(2, 2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_observations(), 0u);
+}
+
+}  // namespace
+}  // namespace hypermine::core

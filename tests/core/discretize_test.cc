@@ -1,0 +1,121 @@
+#include "core/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hypermine::core {
+namespace {
+
+TEST(KThresholdVectorTest, TercilesOfSortedRange) {
+  // 9 entries, k=3: thresholds at sorted[3] and sorted[6].
+  std::vector<double> series = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  auto thresholds = KThresholdVector(series, 3);
+  ASSERT_TRUE(thresholds.ok());
+  ASSERT_EQ(thresholds->size(), 2u);
+  EXPECT_DOUBLE_EQ((*thresholds)[0], 4.0);
+  EXPECT_DOUBLE_EQ((*thresholds)[1], 7.0);
+}
+
+TEST(KThresholdVectorTest, Validations) {
+  EXPECT_FALSE(KThresholdVector({}, 3).ok());
+  EXPECT_FALSE(KThresholdVector({1.0}, 1).ok());
+  EXPECT_FALSE(KThresholdVector({1.0}, kMaxValues + 1).ok());
+}
+
+TEST(DiscretizeWithThresholdsTest, BucketBoundariesHalfOpen) {
+  // Buckets: (-inf, 2), [2, 5), [5, +inf).
+  std::vector<double> thresholds = {2.0, 5.0};
+  std::vector<double> series = {1.9, 2.0, 4.99, 5.0, 100.0, -7.0};
+  std::vector<ValueId> got = DiscretizeWithThresholds(series, thresholds);
+  EXPECT_EQ(got, (std::vector<ValueId>{0, 1, 1, 2, 2, 0}));
+}
+
+/// Equi-depth property: every bucket receives floor-level balanced counts
+/// (within one rounding unit of N/k) for distinct-valued inputs.
+class EquiDepthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EquiDepthTest, BucketsBalancedOnDistinctValues) {
+  const size_t k = GetParam();
+  Rng rng(k * 1000 + 17);
+  std::vector<double> series(997);
+  for (double& x : series) x = rng.NextDouble();  // distinct w.h.p.
+  auto buckets = EquiDepthDiscretize(series, k);
+  ASSERT_TRUE(buckets.ok());
+  std::vector<size_t> counts(k, 0);
+  for (ValueId v : *buckets) {
+    ASSERT_LT(v, k);
+    ++counts[v];
+  }
+  const double expected = static_cast<double>(series.size()) / k;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.02 + 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, EquiDepthTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 10));
+
+TEST(EquiDepthTest, HeavyTiesCollapseGracefully) {
+  // All-equal input: every entry lands in the top bucket (thresholds all
+  // equal the value, and the half-open rule sends x >= a_{k-1} upward).
+  std::vector<double> series(100, 1.0);
+  auto buckets = EquiDepthDiscretize(series, 3);
+  ASSERT_TRUE(buckets.ok());
+  for (ValueId v : *buckets) EXPECT_EQ(v, 2);
+}
+
+TEST(RangeBucketTest, GeneExampleBoundaries) {
+  // Table 3.4's scheme: [0,334) down, [334,667) flat, [667,1000) up.
+  auto got = RangeBucketDiscretize({54.23, 342.32, 852.21, 333.9, 667.0},
+                                   {0.0, 334.0, 667.0, 1000.0});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<ValueId>{0, 1, 2, 0, 2}));
+}
+
+TEST(RangeBucketTest, Validations) {
+  EXPECT_FALSE(RangeBucketDiscretize({1.0}, {0.0}).ok());
+  EXPECT_FALSE(RangeBucketDiscretize({1.0}, {5.0, 0.0}).ok());   // not sorted
+  EXPECT_FALSE(RangeBucketDiscretize({1.0}, {0.0, 0.0}).ok());   // not strict
+  EXPECT_FALSE(RangeBucketDiscretize({-1.0}, {0.0, 10.0}).ok()); // below
+  EXPECT_FALSE(RangeBucketDiscretize({10.0}, {0.0, 10.0}).ok()); // at top
+}
+
+TEST(FloorDivTest, PatientExample) {
+  // Table 3.2: age 25 -> 2, cholesterol 105 -> 10, etc.
+  auto got = FloorDivDiscretize({25, 105, 135, 75, 62}, 10.0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<ValueId>{2, 10, 13, 7, 6}));
+}
+
+TEST(FloorDivTest, Validations) {
+  EXPECT_FALSE(FloorDivDiscretize({1.0}, 0.0).ok());
+  EXPECT_FALSE(FloorDivDiscretize({-5.0}, 10.0).ok());
+  EXPECT_FALSE(FloorDivDiscretize({1e9}, 10.0).ok());
+}
+
+TEST(DatabaseFromColumnsTest, BuildsDatabase) {
+  auto db = DatabaseFromColumns({"x", "y"}, 3, {{0, 1}, {2, 2}});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_observations(), 2u);
+  EXPECT_EQ(db->value(1, 1), 2);
+}
+
+TEST(DiscretizeRoundTripTest, ThresholdsFromTrainApplyToTest) {
+  // Train thresholds can discretize unseen data deterministically.
+  Rng rng(9);
+  std::vector<double> train(500);
+  for (double& x : train) x = rng.NextGaussian();
+  auto thresholds = KThresholdVector(train, 5);
+  ASSERT_TRUE(thresholds.ok());
+  std::vector<double> test(100);
+  for (double& x : test) x = rng.NextGaussian();
+  std::vector<ValueId> buckets = DiscretizeWithThresholds(test, *thresholds);
+  EXPECT_EQ(buckets.size(), test.size());
+  for (ValueId v : buckets) EXPECT_LT(v, 5);
+}
+
+}  // namespace
+}  // namespace hypermine::core

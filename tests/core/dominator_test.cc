@@ -1,0 +1,209 @@
+#include "core/dominator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/builder.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+/// Hub graph: vertex 0 heads into every other vertex.
+DirectedHypergraph HubGraph(size_t n) {
+  auto graph = DirectedHypergraph::CreateAnonymous(n);
+  HM_CHECK_OK(graph.status());
+  DirectedHypergraph g = std::move(graph).value();
+  for (VertexId v = 1; v < n; ++v) {
+    HM_CHECK_OK(g.AddEdge({0}, v, 0.9).status());
+  }
+  return g;
+}
+
+struct AlgoParam {
+  bool use_set_cover;
+};
+
+class DominatorAlgoTest : public ::testing::TestWithParam<AlgoParam> {
+ protected:
+  StatusOr<DominatorResult> Run(const DirectedHypergraph& graph,
+                                std::vector<VertexId> s,
+                                const DominatorConfig& config = {}) {
+    return GetParam().use_set_cover
+               ? ComputeDominatorSetCover(graph, std::move(s), config)
+               : ComputeDominatorGreedyDS(graph, std::move(s), config);
+  }
+};
+
+TEST_P(DominatorAlgoTest, HubGraphSolvedByOneVertex) {
+  DirectedHypergraph g = HubGraph(8);
+  auto result = Run(g, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dominator, (std::vector<VertexId>{0}));
+  EXPECT_DOUBLE_EQ(result->fraction_covered, 1.0);
+}
+
+TEST_P(DominatorAlgoTest, CoverageVerifiesIndependently) {
+  Database db = RandomDatabase(12, 400, 3, 5, 0.7);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto result = Run(*graph, {});
+  ASSERT_TRUE(result.ok());
+  double verified =
+      VerifyDominatorCoverage(*graph, {}, result->dominator);
+  EXPECT_NEAR(verified, result->fraction_covered, 1e-12);
+}
+
+TEST_P(DominatorAlgoTest, PairTailNeedsBothVertices) {
+  // Only hyperedge ({1,2}, 0): covering 0 requires both 1 and 2.
+  auto graph = DirectedHypergraph::CreateAnonymous(3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 0, 0.9).ok());
+  DominatorConfig config;
+  config.stop_when_only_self_gain = false;  // allow self-coverage picks
+  auto result = Run(*graph, {0}, config);
+  ASSERT_TRUE(result.ok());
+  // Either {1,2} (via the hyperedge) or {0} itself dominates 0.
+  EXPECT_DOUBLE_EQ(
+      VerifyDominatorCoverage(*graph, {0}, result->dominator), 1.0);
+}
+
+TEST_P(DominatorAlgoTest, AcvThresholdShrinksCoverage) {
+  Database db = RandomDatabase(12, 400, 3, 9, 0.65);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  DominatorConfig weak;
+  weak.acv_threshold = 0.0;
+  DominatorConfig strong;
+  strong.acv_threshold = 0.99;  // drops almost everything
+  auto all = Run(*graph, {}, weak);
+  auto none = Run(*graph, {}, strong);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(none.ok());
+  EXPECT_GE(all->fraction_covered, none->fraction_covered);
+}
+
+TEST_P(DominatorAlgoTest, RestrictedSubsetOnly) {
+  DirectedHypergraph g = HubGraph(6);
+  auto result = Run(g, {1, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->covered_in_s, 2u);
+  EXPECT_DOUBLE_EQ(result->fraction_covered, 1.0);
+}
+
+TEST_P(DominatorAlgoTest, MaxSizeCapRespected) {
+  Database db = RandomDatabase(14, 300, 3, 13, 0.55);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  DominatorConfig config;
+  config.max_size = 2;
+  auto result = Run(*graph, {}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->dominator.size(), 2u);
+}
+
+TEST_P(DominatorAlgoTest, OutOfRangeMemberFails) {
+  DirectedHypergraph g = HubGraph(3);
+  EXPECT_FALSE(Run(g, {17}).ok());
+}
+
+TEST_P(DominatorAlgoTest, EmptyHypergraphStopsWithoutProgress) {
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  DominatorConfig config;  // stop_when_only_self_gain = true
+  auto result = Run(*graph, {}, config);
+  ASSERT_TRUE(result.ok());
+  // No associative structure: the greedy loop stops immediately.
+  EXPECT_TRUE(result->dominator.empty());
+  EXPECT_DOUBLE_EQ(result->fraction_covered, 0.0);
+}
+
+TEST_P(DominatorAlgoTest, SelfGainOffCoversEverything) {
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0}, 1, 0.9).ok());
+  DominatorConfig config;
+  config.stop_when_only_self_gain = false;
+  auto result = Run(*graph, {}, config);
+  ASSERT_TRUE(result.ok());
+  if (GetParam().use_set_cover) {
+    // Algorithm 6 can only pick tail sets of existing edges, so isolated
+    // vertices 2 and 3 stay uncovered even without the stop rule.
+    EXPECT_GE(result->covered_in_s, 2u);
+  } else {
+    // Algorithm 5 may pick any vertex, covering everything by inclusion.
+    EXPECT_DOUBLE_EQ(result->fraction_covered, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAlgorithms, DominatorAlgoTest,
+    ::testing::Values(AlgoParam{false}, AlgoParam{true}),
+    [](const ::testing::TestParamInfo<AlgoParam>& info) {
+      return info.param.use_set_cover ? "Alg6SetCover" : "Alg5DomSet";
+    });
+
+TEST(DominatorEnhancementsTest, Enhancement1PrefersFewerNewVertices) {
+  // Two candidates with equal effectiveness: {1,2} and {3}; after seeding
+  // the dominator with vertex 1, Enhancement 1 should prefer tails adding
+  // fewer vertices on ties.
+  auto graph = DirectedHypergraph::CreateAnonymous(8);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 0, 0.9).ok());
+  ASSERT_TRUE(graph->AddEdge({3}, 4, 0.9).ok());
+  DominatorConfig with;
+  with.enhancement1 = true;
+  DominatorConfig without;
+  without.enhancement1 = false;
+  auto result_with = ComputeDominatorSetCover(*graph, {0, 4}, with);
+  auto result_without = ComputeDominatorSetCover(*graph, {0, 4}, without);
+  ASSERT_TRUE(result_with.ok());
+  ASSERT_TRUE(result_without.ok());
+  // Both must fully cover; Enhancement 1 never yields a larger dominator
+  // on this instance.
+  EXPECT_DOUBLE_EQ(result_with->fraction_covered, 1.0);
+  EXPECT_LE(result_with->dominator.size(),
+            result_without->dominator.size());
+}
+
+TEST(DominatorEnhancementsTest, Enhancement2DoesNotChangeCoverage) {
+  Database db = RandomDatabase(10, 300, 3, 19, 0.7);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  DominatorConfig with;
+  with.enhancement2 = true;
+  DominatorConfig without;
+  without.enhancement2 = false;
+  auto result_with = ComputeDominatorSetCover(*graph, {}, with);
+  auto result_without = ComputeDominatorSetCover(*graph, {}, without);
+  ASSERT_TRUE(result_with.ok());
+  ASSERT_TRUE(result_without.ok());
+  // Enhancement 2 is a compute-time optimization; results agree.
+  EXPECT_EQ(result_with->dominator, result_without->dominator);
+}
+
+TEST(DominatorResultTest, ToStringSummaries) {
+  DirectedHypergraph g = HubGraph(5);
+  auto result = ComputeDominatorGreedyDS(g, {});
+  ASSERT_TRUE(result.ok());
+  std::string text = result->ToString();
+  EXPECT_NE(text.find("dominator size"), std::string::npos);
+}
+
+TEST(VerifyDominatorCoverageTest, ManualCheck) {
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0, 1}, 2, 0.9).ok());
+  // {0} alone does not cover 2; {0,1} does; member 3 only via inclusion.
+  EXPECT_NEAR(VerifyDominatorCoverage(*graph, {2}, {0}), 0.0, 1e-12);
+  EXPECT_NEAR(VerifyDominatorCoverage(*graph, {2}, {0, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(VerifyDominatorCoverage(*graph, {2, 3}, {0, 1}), 0.5, 1e-12);
+  EXPECT_NEAR(VerifyDominatorCoverage(*graph, {2, 3}, {0, 1, 3}), 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,142 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "testing/fixtures.h"
+#include "util/csv.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(HypergraphCsvTest, RoundTripPreservesEverything) {
+  auto graph = DirectedHypergraph::Create({"XOM", "CVX", "HES", "ISOLATED"});
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({1}, 0, 0.55).ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 0, 0.58).ok());
+  std::string path = TempPath("hypergraph_roundtrip.csv");
+  ASSERT_TRUE(WriteHypergraphCsv(*graph, path).ok());
+  auto loaded = ReadHypergraphCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 4u);  // isolated vertex survives
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_EQ(loaded->vertex_name(3), "ISOLATED");
+  std::vector<VertexId> pair_tail = {1, 2};
+  auto found = loaded->FindEdge(pair_tail, 0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(loaded->edge(*found).weight, 0.58);
+  std::remove(path.c_str());
+}
+
+TEST(HypergraphCsvTest, RoundTripOnBuiltModel) {
+  Database db = RandomDatabase(8, 200, 3, 33, 0.7);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  std::string path = TempPath("hypergraph_model.csv");
+  ASSERT_TRUE(WriteHypergraphCsv(*graph, path).ok());
+  auto loaded = ReadHypergraphCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_edges(), graph->num_edges());
+  for (EdgeId id = 0; id < graph->num_edges(); ++id) {
+    const Hyperedge& e = graph->edge(id);
+    std::vector<VertexId> tail(e.TailSpan().begin(), e.TailSpan().end());
+    auto found = loaded->FindEdge(tail, e.head);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_DOUBLE_EQ(loaded->edge(*found).weight, e.weight);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HypergraphCsvTest, ReadRejectsMalformedFiles) {
+  std::string path = TempPath("hypergraph_bad.csv");
+  // Missing vertices record.
+  ASSERT_TRUE(
+      WriteStringToFile(path, "tail,head,weight\nA,B,0.5\n").ok());
+  EXPECT_FALSE(ReadHypergraphCsv(path).ok());
+  // Unknown vertex.
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "tail,head,weight\nvertices,A|B,\nC,B,0.5\n")
+                  .ok());
+  EXPECT_FALSE(ReadHypergraphCsv(path).ok());
+  // Bad weight.
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "tail,head,weight\nvertices,A|B,\nA,B,xyz\n")
+                  .ok());
+  EXPECT_FALSE(ReadHypergraphCsv(path).ok());
+  // Duplicate vertex names.
+  ASSERT_TRUE(
+      WriteStringToFile(path, "tail,head,weight\nvertices,A|A,\n").ok());
+  EXPECT_FALSE(ReadHypergraphCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WriteClustersDotTest, EmitsCentersMembersAndPalette) {
+  Database db = RandomDatabase(8, 300, 3, 21, 0.75);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  auto clustering = ClusterSimilarAttributes(*sg, 2);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<ClusterNode> nodes;
+  for (size_t i = 0; i < sg->size(); ++i) {
+    nodes.push_back(
+        {db.attribute_name(static_cast<AttrId>(i)), i % 2 ? "even" : "odd"});
+  }
+  std::string path = TempPath("clusters.dot");
+  ASSERT_TRUE(
+      WriteClustersDot(*sg, *clustering, nodes, /*min_cluster_size=*/1, path)
+          .ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("graph clusters {"), std::string::npos);
+  EXPECT_NE(text->find("doublecircle"), std::string::npos);
+  EXPECT_NE(text->find("set312"), std::string::npos);
+  EXPECT_NE(text->find("X0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteClustersDotTest, MinClusterSizeFilters) {
+  Database db = RandomDatabase(6, 200, 3, 22, 0.75);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  auto clustering = ClusterSimilarAttributes(*sg, sg->size());
+  ASSERT_TRUE(clustering.ok());
+  std::vector<ClusterNode> nodes(sg->size(), ClusterNode{"x", "g"});
+  std::string path = TempPath("clusters_filtered.dot");
+  // Every cluster is a singleton; min size 2 leaves an empty drawing.
+  ASSERT_TRUE(
+      WriteClustersDot(*sg, *clustering, nodes, /*min_cluster_size=*/2, path)
+          .ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("doublecircle"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteClustersDotTest, MisalignedInputsFail) {
+  Database db = RandomDatabase(5, 150, 3, 23, 0.75);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  auto clustering = ClusterSimilarAttributes(*sg, 2);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<ClusterNode> wrong_size(2, ClusterNode{"x", "g"});
+  EXPECT_FALSE(WriteClustersDot(*sg, *clustering, wrong_size, 1,
+                                TempPath("never.dot"))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,96 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "market/series.h"
+
+namespace hypermine::core {
+namespace {
+
+market::MarketConfig SmallMarket() {
+  market::MarketConfig config;
+  config.num_series = 20;
+  config.num_years = 3;
+  config.seed = 99;
+  return config;
+}
+
+TEST(DiscretizePanelTest, ShapeAndValueRange) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  auto db = DiscretizePanel(*panel, 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_attributes(), 20u);
+  // Deltas: one fewer than days.
+  EXPECT_EQ(db->num_observations(), panel->num_days() - 1);
+  EXPECT_EQ(db->num_values(), 3u);
+  EXPECT_EQ(db->attribute_name(0), panel->tickers[0].symbol);
+}
+
+TEST(DiscretizePanelTest, EquiDepthPerSeries) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  auto db = DiscretizePanel(*panel, 4);
+  ASSERT_TRUE(db.ok());
+  const double expected =
+      static_cast<double>(db->num_observations()) / 4.0;
+  for (AttrId a = 0; a < db->num_attributes(); ++a) {
+    std::vector<size_t> counts(4, 0);
+    for (ValueId v : db->column(a)) ++counts[v];
+    for (size_t c : counts) {
+      EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.05 + 2.0);
+    }
+  }
+}
+
+TEST(DiscretizePanelWindowTest, WindowsAlignWithCalendar) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  auto range = panel->calendar.DayRangeForYears(1996, 1996);
+  ASSERT_TRUE(range.ok());
+  auto db = DiscretizePanelWindow(*panel, 3, range->first, range->second);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_observations(), market::kTradingDaysPerYear);
+}
+
+TEST(DiscretizePanelWindowTest, Validations) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  EXPECT_FALSE(DiscretizePanelWindow(*panel, 3, 5, 5).ok());
+  EXPECT_FALSE(
+      DiscretizePanelWindow(*panel, 3, 0, panel->num_days() + 1).ok());
+  EXPECT_FALSE(DiscretizePanelWindow(*panel, 1, 0, 10).ok());
+}
+
+TEST(DiscretizeTrainTestTest, SplitsByYear) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  auto split = DiscretizeTrainTest(*panel, 3, 1995, 1996, 1997, 1997);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_observations(),
+            2 * market::kTradingDaysPerYear);
+  // The test window's last day has no next close, so one delta is lost.
+  EXPECT_EQ(split->test.num_observations(),
+            market::kTradingDaysPerYear - 1);
+  EXPECT_EQ(split->train.num_attributes(), split->test.num_attributes());
+}
+
+TEST(DiscretizeTrainTestTest, RejectsOutOfCalendarYears) {
+  auto panel = market::SimulateMarket(SmallMarket());
+  ASSERT_TRUE(panel.ok());
+  EXPECT_FALSE(DiscretizeTrainTest(*panel, 3, 1990, 1995, 1996, 1996).ok());
+  EXPECT_FALSE(DiscretizeTrainTest(*panel, 3, 1995, 1995, 1996, 2002).ok());
+}
+
+TEST(SetUpMarketExperimentTest, EndToEnd) {
+  auto experiment = SetUpMarketExperiment(SmallMarket(), ConfigC1());
+  ASSERT_TRUE(experiment.ok());
+  EXPECT_EQ(experiment->graph.num_vertices(), 20u);
+  EXPECT_EQ(experiment->database.num_attributes(), 20u);
+  EXPECT_GT(experiment->graph.num_edges(), 0u);
+  EXPECT_EQ(experiment->stats.edges_kept,
+            experiment->graph.NumDirectedEdges());
+}
+
+}  // namespace
+}  // namespace hypermine::core

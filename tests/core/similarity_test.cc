@@ -1,0 +1,166 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "approx/metric.h"
+#include "core/builder.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::RandomDatabase;
+
+TEST(SubstituteTailTest, ReplacesAndSorts) {
+  std::vector<VertexId> tail = {1, 3};
+  EXPECT_EQ(SubstituteTail(tail, 1, 2), (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(SubstituteTail(tail, 3, 0), (std::vector<VertexId>{0, 1}));
+  // Substituting toward an existing member shrinks the set (Notation 3.9).
+  EXPECT_EQ(SubstituteTail(tail, 1, 3), (std::vector<VertexId>{3}));
+  // from absent: the target is still added (set union semantics).
+  std::vector<VertexId> single = {5};
+  EXPECT_EQ(SubstituteTail(single, 5, 2), (std::vector<VertexId>{2}));
+}
+
+TEST(SimilarityTest, Example312FromThesis) {
+  // Example 3.12: a=({A1,A3},{A6}) 0.4, b=({A1,A4},{A6}) 0.5,
+  // c=({A2,A3},{A6}) 0.6, d=({A2,A4,A5},{A6}) 0.7, e=({A4,A5},{A6}) 0.8;
+  // out-sim(A1,A2) = 0.4 / (0.6 + 0.5 + 0.7) = 0.2222...
+  auto graph = DirectedHypergraph::Create(
+      {"A1", "A2", "A3", "A4", "A5", "A6"});
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0, 2}, 5, 0.4).ok());     // a
+  ASSERT_TRUE(graph->AddEdge({0, 3}, 5, 0.5).ok());     // b
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 5, 0.6).ok());     // c
+  ASSERT_TRUE(graph->AddEdge({1, 3, 4}, 5, 0.7).ok());  // d
+  ASSERT_TRUE(graph->AddEdge({3, 4}, 5, 0.8).ok());     // e
+  double sim = OutSimilarity(*graph, 0, 1);
+  EXPECT_NEAR(sim, 0.4 / (0.6 + 0.5 + 0.7), 1e-12);
+}
+
+TEST(SimilarityTest, SelfSimilarityIsOne) {
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0}, 1, 0.5).ok());
+  EXPECT_DOUBLE_EQ(OutSimilarity(*graph, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(InSimilarity(*graph, 1, 1), 1.0);
+}
+
+TEST(SimilarityTest, NoEdgesGivesZero) {
+  auto graph = DirectedHypergraph::CreateAnonymous(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(OutSimilarity(*graph, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(InSimilarity(*graph, 0, 1), 0.0);
+}
+
+TEST(SimilarityTest, PerfectTwinsHaveSimilarityOne) {
+  // Vertices 0 and 1 head/tail exactly the same structures with equal ACVs.
+  auto graph = DirectedHypergraph::CreateAnonymous(5);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0, 2}, 4, 0.5).ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 4, 0.5).ok());
+  ASSERT_TRUE(graph->AddEdge({3}, 0, 0.7).ok());
+  ASSERT_TRUE(graph->AddEdge({3}, 1, 0.7).ok());
+  EXPECT_NEAR(OutSimilarity(*graph, 0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(InSimilarity(*graph, 0, 1), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, MinOverMaxWeighting) {
+  // Matched pair with different ACVs contributes min/max.
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0, 2}, 3, 0.2).ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 3, 0.8).ok());
+  EXPECT_NEAR(OutSimilarity(*graph, 0, 1), 0.25, 1e-12);
+}
+
+TEST(SimilarityTest, InSimilarityUsesHeadSubstitution) {
+  auto graph = DirectedHypergraph::CreateAnonymous(5);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({2, 3}, 0, 0.4).ok());  // into 0
+  ASSERT_TRUE(graph->AddEdge({2, 3}, 1, 0.6).ok());  // matched into 1
+  ASSERT_TRUE(graph->AddEdge({4}, 1, 0.5).ok());     // unmatched into 1
+  // in-sim(0,1) = min(.4,.6) / (max(.4,.6) + .5) = 0.4 / 1.1.
+  EXPECT_NEAR(InSimilarity(*graph, 0, 1), 0.4 / 1.1, 1e-12);
+}
+
+TEST(SimilarityGraphTest, DistanceDefinition313) {
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0, 2}, 3, 0.5).ok());
+  ASSERT_TRUE(graph->AddEdge({1, 2}, 3, 0.5).ok());
+  auto sg = SimilarityGraph::Build(*graph, {0, 1});
+  ASSERT_TRUE(sg.ok());
+  double expected =
+      1.0 - (InSimilarity(*graph, 0, 1) + OutSimilarity(*graph, 0, 1)) / 2.0;
+  EXPECT_NEAR(sg->Distance(0, 1), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(sg->Distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sg->Distance(0, 1), sg->Distance(1, 0));
+}
+
+TEST(SimilarityGraphTest, DefaultsToAllVertices) {
+  auto graph = DirectedHypergraph::CreateAnonymous(5);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0}, 1, 0.5).ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(sg->size(), 5u);
+  EXPECT_GE(sg->MeanDistance(), 0.0);
+  EXPECT_LE(sg->MeanDistance(), 1.0);
+}
+
+TEST(SimilarityGraphTest, Validations) {
+  auto graph = DirectedHypergraph::CreateAnonymous(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(SimilarityGraph::Build(*graph, {0}).ok());
+  EXPECT_FALSE(SimilarityGraph::Build(*graph, {0, 9}).ok());
+}
+
+TEST(SimilarityGraphTest, DistancesInUnitIntervalOnRealModel) {
+  Database db = RandomDatabase(10, 300, 3, 5, 0.7);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  for (size_t i = 0; i < sg->size(); ++i) {
+    for (size_t j = i + 1; j < sg->size(); ++j) {
+      EXPECT_GE(sg->Distance(i, j), -1e-12);
+      EXPECT_LE(sg->Distance(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SimilarityGraphTest, TriangleInequalityHoldsOnBuiltModels) {
+  // Section 5.3.2: the thesis verified the metric properties
+  // experimentally before using the Gonzalez guarantee; replicate that
+  // check on generated models (identity can fail for isolated twin
+  // vertices, so only the triangle property is asserted).
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Database db = RandomDatabase(9, 250, 3, seed, 0.7);
+    auto graph = BuildAssociationHypergraph(db, ConfigC1());
+    ASSERT_TRUE(graph.ok());
+    auto sg = SimilarityGraph::Build(*graph);
+    ASSERT_TRUE(sg.ok());
+    approx::MetricCheck check =
+        approx::CheckMetricProperties(sg->size(), sg->DistanceFn(), 1e-9);
+    EXPECT_TRUE(check.symmetric);
+    EXPECT_TRUE(check.non_negative);
+    EXPECT_TRUE(check.triangle_inequality)
+        << "seed " << seed << ": " << check.ToString();
+  }
+}
+
+TEST(ClusterSimilarAttributesTest, ClustersThroughGonzalez) {
+  Database db = RandomDatabase(12, 300, 3, 7, 0.75);
+  auto graph = BuildAssociationHypergraph(db, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto sg = SimilarityGraph::Build(*graph);
+  ASSERT_TRUE(sg.ok());
+  auto clustering = ClusterSimilarAttributes(*sg, 3);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->centers.size(), 3u);
+  EXPECT_EQ(clustering->assignment.size(), sg->size());
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,227 @@
+/// End-to-end pipeline tests: synthetic market -> discretization ->
+/// association hypergraph -> similarity/clusters, dominators, classifier.
+/// These assert the *shapes* the paper's evaluation depends on, at a scale
+/// that runs in seconds.
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/classifier.h"
+#include "core/dominator.h"
+#include "core/pipeline.h"
+#include "core/similarity.h"
+#include "market/sectors.h"
+#include "util/stats.h"
+
+namespace hypermine::core {
+namespace {
+
+market::MarketConfig TestMarket() {
+  market::MarketConfig config;
+  config.num_series = 60;
+  config.num_years = 5;
+  config.seed = 2012;
+  return config;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto experiment = SetUpMarketExperiment(TestMarket(), ConfigC1());
+    HM_CHECK_OK(experiment.status());
+    experiment_ = new MarketExperiment(std::move(experiment).value());
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static MarketExperiment* experiment_;
+};
+
+MarketExperiment* EndToEndTest::experiment_ = nullptr;
+
+TEST_F(EndToEndTest, ModelHasSubstantialStructure) {
+  EXPECT_GT(experiment_->graph.NumDirectedEdges(), 100u);
+  EXPECT_GT(experiment_->graph.NumPairEdges(), 100u);
+  // Mean ACV sits above the 1/3 uniform baseline, as in Section 5.1.2.
+  EXPECT_GT(experiment_->graph.MeanDirectedEdgeWeight(), 0.34);
+  EXPECT_LT(experiment_->graph.MeanDirectedEdgeWeight(), 0.7);
+}
+
+TEST_F(EndToEndTest, ProducersMorePredictableThanConsumers) {
+  // Figure 5.1's narrative: producer sectors dominate weighted in-degree,
+  // consumer sectors dominate weighted out-degree — both in the mean and
+  // among the top quartile (the paper's "top 25" statistic).
+  std::vector<double> producer_in;
+  std::vector<double> consumer_in;
+  std::vector<double> producer_out;
+  std::vector<double> consumer_out;
+  std::vector<std::pair<double, market::Role>> by_in;
+  std::vector<std::pair<double, market::Role>> by_out;
+  for (VertexId v = 0; v < experiment_->graph.num_vertices(); ++v) {
+    const market::Ticker& ticker = experiment_->panel.tickers[v];
+    double in = experiment_->graph.WeightedInDegree(v);
+    double out = experiment_->graph.WeightedOutDegree(v);
+    by_in.push_back({in, ticker.role});
+    by_out.push_back({out, ticker.role});
+    if (ticker.role == market::Role::kProducer) {
+      producer_in.push_back(in);
+      producer_out.push_back(out);
+    } else if (ticker.role == market::Role::kConsumer) {
+      consumer_in.push_back(in);
+      consumer_out.push_back(out);
+    }
+  }
+  ASSERT_FALSE(producer_in.empty());
+  ASSERT_FALSE(consumer_in.empty());
+  EXPECT_GT(Mean(producer_in), Mean(consumer_in));
+  EXPECT_GT(Mean(consumer_out), Mean(producer_out));
+
+  auto top_quartile_count = [](std::vector<std::pair<double, market::Role>>
+                                   degrees,
+                               market::Role role) {
+    std::sort(degrees.begin(), degrees.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    size_t top = degrees.size() / 4;
+    size_t count = 0;
+    for (size_t i = 0; i < top; ++i) {
+      count += degrees[i].second == role ? 1 : 0;
+    }
+    return std::make_pair(count, top);
+  };
+  // Section 5.2 reports 72% producer-like sectors among the top-25
+  // in-degrees and 84% consumer-like among the top-25 out-degrees.
+  auto [in_producers, top_in] = top_quartile_count(by_in,
+                                                   market::Role::kProducer);
+  auto [out_consumers, top_out] =
+      top_quartile_count(by_out, market::Role::kConsumer);
+  auto [out_producers, top_out2] =
+      top_quartile_count(by_out, market::Role::kProducer);
+  (void)top_out2;
+  EXPECT_GE(in_producers * 100, top_in * 60);
+  EXPECT_GE(out_consumers * 100, top_out * 50);
+  EXPECT_GT(out_consumers, out_producers);
+}
+
+TEST_F(EndToEndTest, HyperedgesBeatConstituentEdges) {
+  // Table 5.2's shape, guaranteed by γ_hyper > 1 at build time but
+  // re-verified through the public API.
+  size_t checked = 0;
+  for (const Hyperedge& e : experiment_->graph.edges()) {
+    if (e.tail_size() != 2) continue;
+    std::vector<VertexId> t0 = {e.tail[0]};
+    std::vector<VertexId> t1 = {e.tail[1]};
+    auto e0 = experiment_->graph.FindEdge(t0, e.head);
+    auto e1 = experiment_->graph.FindEdge(t1, e.head);
+    if (e0.has_value()) {
+      EXPECT_GT(e.weight, experiment_->graph.edge(*e0).weight);
+      ++checked;
+    }
+    if (e1.has_value()) {
+      EXPECT_GT(e.weight, experiment_->graph.edge(*e1).weight);
+      ++checked;
+    }
+    if (checked > 200) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(EndToEndTest, DominatorsCoverMostSeries) {
+  auto threshold = experiment_->graph.WeightQuantileThreshold(0.4);
+  ASSERT_TRUE(threshold.ok());
+  DominatorConfig config;
+  config.acv_threshold = *threshold;
+  auto alg5 = ComputeDominatorGreedyDS(experiment_->graph, {}, config);
+  auto alg6 = ComputeDominatorSetCover(experiment_->graph, {}, config);
+  ASSERT_TRUE(alg5.ok());
+  ASSERT_TRUE(alg6.ok());
+  // Table 5.3/5.4 shape: small dominators covering most of the universe.
+  EXPECT_LT(alg5->dominator.size(), 20u);
+  EXPECT_GT(alg5->fraction_covered, 0.7);
+  EXPECT_LT(alg6->dominator.size(), 25u);
+  EXPECT_GT(alg6->fraction_covered, 0.7);
+  // Verified coverage agrees with reported coverage.
+  EXPECT_NEAR(
+      VerifyDominatorCoverage(
+          experiment_->graph.FilteredByWeight(*threshold), {},
+          alg5->dominator),
+      alg5->fraction_covered, 1e-12);
+}
+
+TEST_F(EndToEndTest, ClassifierBeatsChanceOutOfSample) {
+  // Train on the first 4 years, evaluate on the held-out last year
+  // (Section 5.5's protocol at test scale).
+  auto split = DiscretizeTrainTest(experiment_->panel, 3, 1995, 1998, 1999,
+                                   1999);
+  ASSERT_TRUE(split.ok());
+  auto graph = BuildAssociationHypergraph(split->train, ConfigC1());
+  ASSERT_TRUE(graph.ok());
+  auto threshold = graph->WeightQuantileThreshold(0.4);
+  ASSERT_TRUE(threshold.ok());
+  DominatorConfig config;
+  config.acv_threshold = *threshold;
+  auto dominator = ComputeDominatorSetCover(*graph, {}, config);
+  ASSERT_TRUE(dominator.ok());
+  ASSERT_FALSE(dominator->dominator.empty());
+  auto eval = EvaluateAssociationClassifier(*graph, split->train,
+                                            split->test,
+                                            dominator->dominator);
+  ASSERT_TRUE(eval.ok());
+  // Chance is 1/3; Section 5.5.1 reports 0.60-0.75 at paper scale.
+  EXPECT_GT(eval->mean_confidence, 0.40);
+  EXPECT_LE(eval->mean_confidence, 1.0);
+}
+
+TEST_F(EndToEndTest, ClustersAlignWithSectors) {
+  // Figure 5.3's shape: clusters are sector-pure well above chance.
+  auto sg = SimilarityGraph::Build(experiment_->graph);
+  ASSERT_TRUE(sg.ok());
+  size_t t = market::DistinctSubSectors(experiment_->panel.tickers);
+  ASSERT_GT(t, 1u);
+  auto clustering = ClusterSimilarAttributes(*sg, std::min(t, sg->size()));
+  ASSERT_TRUE(clustering.ok());
+  // Compute sector purity: fraction of same-cluster pairs sharing sector.
+  size_t same_cluster_pairs = 0;
+  size_t same_cluster_same_sector = 0;
+  for (size_t i = 0; i < sg->size(); ++i) {
+    for (size_t j = i + 1; j < sg->size(); ++j) {
+      if (clustering->assignment[i] != clustering->assignment[j]) continue;
+      ++same_cluster_pairs;
+      if (experiment_->panel.tickers[i].sector ==
+          experiment_->panel.tickers[j].sector) {
+        ++same_cluster_same_sector;
+      }
+    }
+  }
+  if (same_cluster_pairs > 0) {
+    double purity = static_cast<double>(same_cluster_same_sector) /
+                    static_cast<double>(same_cluster_pairs);
+    // Chance level is roughly 1/12 sectors ~ 0.08 (size-weighted higher).
+    EXPECT_GT(purity, 0.3);
+  }
+}
+
+TEST_F(EndToEndTest, MeanClusterDiameterBelowMeanDistance) {
+  // Section 5.3.2 reports mean diameter 0.83 < overall mean distance 0.89.
+  auto sg = SimilarityGraph::Build(experiment_->graph);
+  ASSERT_TRUE(sg.ok());
+  auto clustering = ClusterSimilarAttributes(*sg, 12);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<double> diameters;
+  for (size_t c = 0; c < clustering->centers.size(); ++c) {
+    double diameter = 0.0;
+    for (size_t i = 0; i < sg->size(); ++i) {
+      if (clustering->assignment[i] != c) continue;
+      for (size_t j = i + 1; j < sg->size(); ++j) {
+        if (clustering->assignment[j] != c) continue;
+        diameter = std::max(diameter, sg->Distance(i, j));
+      }
+    }
+    diameters.push_back(diameter);
+  }
+  EXPECT_LT(Mean(diameters), sg->MeanDistance());
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,56 @@
+#include "market/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine::market {
+namespace {
+
+TEST(CalendarTest, PaperRange) {
+  // The paper's data spans Jan 1995 .. Dec 2009: 15 years.
+  TradingCalendar cal(1995, 15);
+  EXPECT_EQ(cal.first_year(), 1995);
+  EXPECT_EQ(cal.last_year(), 2009);
+  EXPECT_EQ(cal.num_days(), 15 * kTradingDaysPerYear);
+}
+
+TEST(CalendarTest, YearAndDayOfDay) {
+  TradingCalendar cal(2000, 3);
+  EXPECT_EQ(cal.YearOfDay(0), 2000);
+  EXPECT_EQ(cal.DayOfYear(0), 0u);
+  EXPECT_EQ(cal.YearOfDay(kTradingDaysPerYear), 2001);
+  EXPECT_EQ(cal.DayOfYear(kTradingDaysPerYear + 5), 5u);
+  EXPECT_EQ(cal.YearOfDay(cal.num_days() - 1), 2002);
+}
+
+TEST(CalendarTest, DayRangeForYears) {
+  TradingCalendar cal(1996, 5);  // 1996..2000
+  auto range = cal.DayRangeForYears(1996, 1996);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->first, 0u);
+  EXPECT_EQ(range->second, kTradingDaysPerYear);
+
+  auto all = cal.DayRangeForYears(1996, 2000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->second, cal.num_days());
+
+  auto middle = cal.DayRangeForYears(1998, 1999);
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(middle->first, 2 * kTradingDaysPerYear);
+  EXPECT_EQ(middle->second, 4 * kTradingDaysPerYear);
+}
+
+TEST(CalendarTest, DayRangeErrors) {
+  TradingCalendar cal(1996, 2);
+  EXPECT_FALSE(cal.DayRangeForYears(1995, 1996).ok());  // before start
+  EXPECT_FALSE(cal.DayRangeForYears(1996, 1998).ok());  // past end
+  EXPECT_FALSE(cal.DayRangeForYears(1997, 1996).ok());  // inverted
+}
+
+TEST(CalendarTest, DayLabelFormat) {
+  TradingCalendar cal(1999, 2);
+  EXPECT_EQ(cal.DayLabel(0), "1999-000");
+  EXPECT_EQ(cal.DayLabel(kTradingDaysPerYear + 7), "2000-007");
+}
+
+}  // namespace
+}  // namespace hypermine::market

@@ -1,0 +1,66 @@
+#include "market/euclidean.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hypermine::market {
+namespace {
+
+TEST(EuclideanTest, IdenticalSeriesHaveSimilarityOne) {
+  std::vector<double> d = {0.01, -0.02, 0.005};
+  auto sim = EuclideanSimilarity(d, d);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-12);
+}
+
+TEST(EuclideanTest, OppositeSeriesHaveSimilarityZero) {
+  std::vector<double> a = {0.01, -0.02, 0.005};
+  std::vector<double> b = {-0.01, 0.02, -0.005};
+  auto sim = EuclideanSimilarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  // Normalized opposite vectors are at distance 2 -> similarity 0.
+  EXPECT_NEAR(*sim, 0.0, 1e-12);
+}
+
+TEST(EuclideanTest, ScaleInvariance) {
+  // ES uses normalized deltas, so uniform scaling must not matter.
+  std::vector<double> a = {0.01, -0.02, 0.03};
+  std::vector<double> b = {0.02, -0.04, 0.06};
+  auto sim = EuclideanSimilarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-12);
+}
+
+TEST(EuclideanTest, OrthogonalSeries) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  auto dist = EuclideanDistance(a, b);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(*dist, std::sqrt(2.0), 1e-12);
+  auto sim = EuclideanSimilarity(a, b);
+  EXPECT_NEAR(*sim, 1.0 - std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(EuclideanTest, SimilarityAlwaysInUnitInterval) {
+  std::vector<double> a = {0.5, -0.25, 0.1, 0.0};
+  std::vector<double> b = {-0.3, 0.9, -0.2, 0.4};
+  auto sim = EuclideanSimilarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GE(*sim, 0.0);
+  EXPECT_LE(*sim, 1.0);
+}
+
+TEST(EuclideanTest, SymmetricInArguments) {
+  std::vector<double> a = {0.3, -0.1, 0.2};
+  std::vector<double> b = {-0.2, 0.4, 0.1};
+  EXPECT_DOUBLE_EQ(*EuclideanSimilarity(a, b), *EuclideanSimilarity(b, a));
+}
+
+TEST(EuclideanTest, LengthMismatchFails) {
+  EXPECT_FALSE(EuclideanSimilarity({0.1}, {0.1, 0.2}).ok());
+  EXPECT_FALSE(EuclideanSimilarity({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::market

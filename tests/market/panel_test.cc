@@ -1,0 +1,68 @@
+#include "market/panel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace hypermine::market {
+namespace {
+
+TEST(PanelTest, CsvRoundTripPreservesDataAndMetadata) {
+  MarketConfig config;
+  config.num_series = 10;
+  config.num_years = 1;
+  config.seed = 5;
+  auto panel = SimulateMarket(config);
+  ASSERT_TRUE(panel.ok());
+
+  std::string path = ::testing::TempDir() + "/hypermine_panel_test.csv";
+  ASSERT_TRUE(SavePanelCsv(*panel, path).ok());
+
+  auto loaded = LoadPanelCsv(path, config.first_year);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_series(), panel->num_series());
+  EXPECT_EQ(loaded->num_days(), panel->num_days());
+  for (size_t i = 0; i < panel->num_series(); ++i) {
+    EXPECT_EQ(loaded->tickers[i].symbol, panel->tickers[i].symbol);
+    EXPECT_EQ(loaded->tickers[i].sector, panel->tickers[i].sector);
+    EXPECT_EQ(loaded->tickers[i].subsector, panel->tickers[i].subsector);
+    EXPECT_EQ(loaded->tickers[i].role, panel->tickers[i].role);
+    for (size_t d = 0; d < panel->num_days(); ++d) {
+      EXPECT_NEAR(loaded->series[i].closes[d], panel->series[i].closes[d],
+                  1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PanelTest, LoadRejectsMissingMeta) {
+  std::string path = ::testing::TempDir() + "/hypermine_panel_bad.csv";
+  ASSERT_TRUE(
+      WriteStringToFile(path, "day,XOM\n1995-000,100.0\n").ok());
+  EXPECT_FALSE(LoadPanelCsv(path, 1995).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PanelTest, LoadRejectsPartialYears) {
+  std::string path = ::testing::TempDir() + "/hypermine_panel_partial.csv";
+  std::string text = "day,XOM\nmeta,sector:E:32\n1995-000,100.0\n";
+  ASSERT_TRUE(WriteStringToFile(path, text).ok());
+  EXPECT_FALSE(LoadPanelCsv(path, 1995).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PanelTest, LoadRejectsBadNumbers) {
+  std::string path = ::testing::TempDir() + "/hypermine_panel_nan.csv";
+  std::string text = "day,XOM\nmeta,sector:E:32\n";
+  for (size_t d = 0; d < kTradingDaysPerYear; ++d) {
+    text += d == 10 ? "x,oops\n" : "x,100.0\n";
+  }
+  ASSERT_TRUE(WriteStringToFile(path, text).ok());
+  EXPECT_FALSE(LoadPanelCsv(path, 1995).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hypermine::market

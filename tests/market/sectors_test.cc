@@ -1,0 +1,130 @@
+#include "market/sectors.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hypermine::market {
+namespace {
+
+TEST(SectorsTest, TaxonomyHas104SubSectorsAcross12Sectors) {
+  // Chapter 5: "The total number of sub-sectors over the entire sectors
+  // is 104", with 11 under Technology.
+  const auto& taxonomy = SubSectorTaxonomy();
+  EXPECT_EQ(taxonomy.size(), 104u);
+  size_t total = 0;
+  for (size_t s = 0; s < kNumSectors; ++s) {
+    total += SubSectorCount(static_cast<Sector>(s));
+  }
+  EXPECT_EQ(total, 104u);
+  EXPECT_EQ(SubSectorCount(Sector::kTechnology), 11u);
+}
+
+TEST(SectorsTest, SectorCodesRoundTrip) {
+  for (size_t s = 0; s < kNumSectors; ++s) {
+    Sector sector = static_cast<Sector>(s);
+    auto parsed = SectorFromCode(SectorCode(sector));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, sector);
+  }
+  EXPECT_FALSE(SectorFromCode("ZZ").ok());
+}
+
+TEST(SectorsTest, RolesFollowPaperNarrative) {
+  // Section 5.2: BM, CG, E are producer-like; CC, CN, H, SV, T consumer.
+  const auto& taxonomy = SubSectorTaxonomy();
+  for (const SubSector& sub : taxonomy) {
+    switch (sub.sector) {
+      case Sector::kBasicMaterials:
+      case Sector::kCapitalGoods:
+      case Sector::kEnergy:
+        EXPECT_EQ(sub.role, Role::kProducer) << sub.name;
+        break;
+      case Sector::kConsumerCyclical:
+      case Sector::kConsumerNonCyclical:
+      case Sector::kHealthcare:
+      case Sector::kTechnology:
+        EXPECT_EQ(sub.role, Role::kConsumer) << sub.name;
+        break;
+      case Sector::kServices:
+        // Real estate services are the producer exception (Kimco example).
+        if (sub.name == "Real Estate Operations") {
+          EXPECT_EQ(sub.role, Role::kProducer);
+        } else {
+          EXPECT_EQ(sub.role, Role::kConsumer) << sub.name;
+        }
+        break;
+      default:
+        EXPECT_EQ(sub.role, Role::kNeutral) << sub.name;
+    }
+  }
+}
+
+TEST(SectorsTest, PaperTickersCarryReportedSectors) {
+  const auto& tickers = PaperTickers();
+  ASSERT_GE(tickers.size(), 50u);
+  auto find = [&tickers](const std::string& symbol) -> const Ticker& {
+    for (const Ticker& t : tickers) {
+      if (t.symbol == symbol) return t;
+    }
+    ADD_FAILURE() << "missing ticker " << symbol;
+    return tickers[0];
+  };
+  // Spot checks against Table 5.1's sector annotations.
+  EXPECT_EQ(find("XOM").sector, Sector::kEnergy);
+  EXPECT_EQ(find("GT").sector, Sector::kConsumerCyclical);
+  EXPECT_EQ(find("PG").sector, Sector::kConsumerNonCyclical);
+  EXPECT_EQ(find("JNJ").sector, Sector::kHealthcare);
+  EXPECT_EQ(find("INTC").sector, Sector::kTechnology);
+  EXPECT_EQ(find("FDX").sector, Sector::kTransportation);
+  EXPECT_EQ(find("TE").sector, Sector::kUtilities);
+  EXPECT_EQ(find("AIG").sector, Sector::kFinancial);
+  EXPECT_EQ(find("EMN").sector, Sector::kBasicMaterials);
+  EXPECT_EQ(find("HON").sector, Sector::kCapitalGoods);
+  EXPECT_EQ(find("JCP").sector, Sector::kServices);
+  EXPECT_EQ(find("TXT").sector, Sector::kConglomerates);
+  // Kimco is the real-estate producer example of Section 5.2.
+  EXPECT_EQ(find("KIM").role, Role::kProducer);
+  EXPECT_EQ(find("YHOO").role, Role::kConsumer);
+}
+
+TEST(SectorsTest, PaperTickersUniqueSymbols) {
+  std::set<std::string> seen;
+  for (const Ticker& t : PaperTickers()) {
+    EXPECT_TRUE(seen.insert(t.symbol).second) << "duplicate " << t.symbol;
+    EXPECT_TRUE(t.from_paper);
+  }
+}
+
+TEST(BuildUniverseTest, SizesAndUniqueness) {
+  for (size_t n : {1u, 30u, 120u, 346u}) {
+    auto universe = BuildUniverse(n);
+    ASSERT_TRUE(universe.ok());
+    EXPECT_EQ(universe->size(), n);
+    std::set<std::string> symbols;
+    for (const Ticker& t : *universe) {
+      EXPECT_TRUE(symbols.insert(t.symbol).second) << t.symbol;
+      EXPECT_LT(t.subsector, SubSectorTaxonomy().size());
+      EXPECT_EQ(SubSectorTaxonomy()[t.subsector].sector, t.sector);
+    }
+  }
+  EXPECT_FALSE(BuildUniverse(0).ok());
+}
+
+TEST(BuildUniverseTest, PaperScaleCoversAllSubSectors) {
+  auto universe = BuildUniverse(346);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_EQ(DistinctSubSectors(*universe), 104u);
+}
+
+TEST(BuildUniverseTest, SyntheticTickersGetTaxonomyRoles) {
+  auto universe = BuildUniverse(200);
+  ASSERT_TRUE(universe.ok());
+  for (const Ticker& t : *universe) {
+    if (t.from_paper) continue;
+    EXPECT_EQ(t.role, SubSectorTaxonomy()[t.subsector].role) << t.symbol;
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::market

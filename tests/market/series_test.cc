@@ -1,0 +1,63 @@
+#include "market/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hypermine::market {
+namespace {
+
+TEST(DeltaSeriesTest, FractionalChanges) {
+  auto deltas = DeltaSeries({100.0, 110.0, 99.0});
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), 2u);
+  EXPECT_NEAR((*deltas)[0], 0.10, 1e-12);
+  EXPECT_NEAR((*deltas)[1], -0.10, 1e-12);
+}
+
+TEST(DeltaSeriesTest, ErrorsOnShortOrNonPositive) {
+  EXPECT_FALSE(DeltaSeries({100.0}).ok());
+  EXPECT_FALSE(DeltaSeries({100.0, 0.0, 50.0}).ok());
+  EXPECT_FALSE(DeltaSeries({-1.0, 2.0}).ok());
+}
+
+TEST(DeltaSeriesTest, LastNonPositiveCloseStillOk) {
+  // Only closes used as denominators must be positive.
+  auto deltas = DeltaSeries({1.0, 2.0});
+  EXPECT_TRUE(deltas.ok());
+}
+
+TEST(DeltaSeriesWindowTest, MatchesFullSeriesSlice) {
+  std::vector<double> closes = {10.0, 11.0, 12.1, 11.0, 12.0};
+  auto full = DeltaSeries(closes);
+  ASSERT_TRUE(full.ok());
+  auto window = DeltaSeriesWindow(closes, 1, 3);
+  ASSERT_TRUE(window.ok());
+  ASSERT_EQ(window->size(), 2u);
+  EXPECT_DOUBLE_EQ((*window)[0], (*full)[1]);
+  EXPECT_DOUBLE_EQ((*window)[1], (*full)[2]);
+}
+
+TEST(DeltaSeriesWindowTest, BadRanges) {
+  std::vector<double> closes = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(DeltaSeriesWindow(closes, 2, 2).ok());
+  EXPECT_FALSE(DeltaSeriesWindow(closes, 0, 3).ok());  // end must be < size
+  EXPECT_TRUE(DeltaSeriesWindow(closes, 0, 2).ok());
+}
+
+TEST(NormalizedTest, UnitNorm) {
+  std::vector<double> v = Normalized({3.0, 4.0});
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+  double norm = std::sqrt(v[0] * v[0] + v[1] * v[1]);
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(NormalizedTest, ZeroVectorUnchanged) {
+  std::vector<double> v = Normalized({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+}  // namespace
+}  // namespace hypermine::market

@@ -1,0 +1,129 @@
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "util/rng.h"
+
+namespace hypermine::mining {
+namespace {
+
+/// Classic textbook transactions over items {0..4}.
+TransactionSet Classic() {
+  auto txns = MakeTransactionSet(5, {{0, 1, 2},
+                                     {0, 1},
+                                     {0, 2},
+                                     {1, 2},
+                                     {0, 1, 2, 3},
+                                     {4}});
+  HM_CHECK_OK(txns.status());
+  return std::move(txns).value();
+}
+
+size_t SupportOf(const std::vector<FrequentItemset>& frequent,
+                 const std::vector<ItemId>& items) {
+  for (const FrequentItemset& fi : frequent) {
+    if (fi.items == items) return fi.support_count;
+  }
+  return 0;
+}
+
+TEST(AprioriTest, CountsMatchManualEnumeration) {
+  AprioriConfig config;
+  config.min_support = 2.0 / 6.0;
+  auto frequent = Apriori(Classic(), config);
+  ASSERT_TRUE(frequent.ok());
+  EXPECT_EQ(SupportOf(*frequent, {0}), 4u);
+  EXPECT_EQ(SupportOf(*frequent, {1}), 4u);
+  EXPECT_EQ(SupportOf(*frequent, {2}), 4u);
+  EXPECT_EQ(SupportOf(*frequent, {0, 1}), 3u);
+  EXPECT_EQ(SupportOf(*frequent, {0, 2}), 3u);
+  EXPECT_EQ(SupportOf(*frequent, {1, 2}), 3u);
+  EXPECT_EQ(SupportOf(*frequent, {0, 1, 2}), 2u);
+  // Items 3 and 4 fall below min support (1 occurrence each).
+  EXPECT_EQ(SupportOf(*frequent, {3}), 0u);
+  EXPECT_EQ(SupportOf(*frequent, {4}), 0u);
+}
+
+TEST(AprioriTest, MaxSizeCapsLevel) {
+  AprioriConfig config;
+  config.min_support = 2.0 / 6.0;
+  config.max_size = 2;
+  auto frequent = Apriori(Classic(), config);
+  ASSERT_TRUE(frequent.ok());
+  for (const FrequentItemset& fi : *frequent) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+  EXPECT_GT(SupportOf(*frequent, {0, 1}), 0u);
+}
+
+TEST(AprioriTest, HighSupportYieldsNothing) {
+  AprioriConfig config;
+  config.min_support = 0.99;
+  auto frequent = Apriori(Classic(), config);
+  ASSERT_TRUE(frequent.ok());
+  EXPECT_TRUE(frequent->empty());
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  // Every subset of a frequent itemset is frequent with >= support.
+  AprioriConfig config;
+  config.min_support = 0.2;
+  auto frequent = Apriori(Classic(), config);
+  ASSERT_TRUE(frequent.ok());
+  for (const FrequentItemset& fi : *frequent) {
+    if (fi.items.size() < 2) continue;
+    for (size_t skip = 0; skip < fi.items.size(); ++skip) {
+      std::vector<ItemId> subset;
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != skip) subset.push_back(fi.items[i]);
+      }
+      size_t sub_support = SupportOf(*frequent, subset);
+      EXPECT_GE(sub_support, fi.support_count);
+    }
+  }
+}
+
+TEST(AprioriTest, Validations) {
+  TransactionSet txns = Classic();
+  AprioriConfig config;
+  config.min_support = 0.0;
+  EXPECT_FALSE(Apriori(txns, config).ok());
+  config.min_support = 1.5;
+  EXPECT_FALSE(Apriori(txns, config).ok());
+  TransactionSet empty;
+  empty.num_items = 3;
+  config.min_support = 0.5;
+  EXPECT_FALSE(Apriori(empty, config).ok());
+}
+
+TEST(CountSupportTest, SubsetContainment) {
+  TransactionSet txns = Classic();
+  EXPECT_EQ(CountSupport(txns, {0, 1}), 3u);
+  EXPECT_EQ(CountSupport(txns, {}), 6u);
+  EXPECT_EQ(CountSupport(txns, {3, 4}), 0u);
+}
+
+TEST(AprioriTest, SupportsMatchCountSupport) {
+  Rng rng(8);
+  std::vector<std::vector<ItemId>> raw(60);
+  for (auto& txn : raw) {
+    for (ItemId item = 0; item < 8; ++item) {
+      if (rng.NextBernoulli(0.4)) txn.push_back(item);
+    }
+  }
+  auto txns = MakeTransactionSet(8, raw);
+  ASSERT_TRUE(txns.ok());
+  AprioriConfig config;
+  config.min_support = 0.15;
+  auto frequent = Apriori(*txns, config);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_FALSE(frequent->empty());
+  for (const FrequentItemset& fi : *frequent) {
+    EXPECT_EQ(fi.support_count, CountSupport(*txns, fi.items));
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::mining

@@ -1,0 +1,93 @@
+#include "mining/fpgrowth.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "mining/apriori.h"
+#include "util/rng.h"
+
+namespace hypermine::mining {
+namespace {
+
+TransactionSet RandomTxns(size_t num_items, size_t count, uint64_t seed,
+                          double density) {
+  Rng rng(seed);
+  std::vector<std::vector<ItemId>> raw(count);
+  for (auto& txn : raw) {
+    for (ItemId item = 0; item < num_items; ++item) {
+      if (rng.NextBernoulli(density)) txn.push_back(item);
+    }
+  }
+  auto txns = MakeTransactionSet(num_items, raw);
+  HM_CHECK_OK(txns.status());
+  return std::move(txns).value();
+}
+
+TEST(FpGrowthTest, SimpleKnownCase) {
+  auto txns = MakeTransactionSet(3, {{0, 1}, {0, 1}, {0, 2}, {0}});
+  ASSERT_TRUE(txns.ok());
+  FpGrowthConfig config;
+  config.min_support = 0.5;
+  auto frequent = FpGrowth(*txns, config);
+  ASSERT_TRUE(frequent.ok());
+  // {0}:4, {1}:2, {0,1}:2.
+  ASSERT_EQ(frequent->size(), 3u);
+  EXPECT_EQ((*frequent)[0].items, (std::vector<ItemId>{0}));
+  EXPECT_EQ((*frequent)[0].support_count, 4u);
+  EXPECT_EQ((*frequent)[2].items, (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ((*frequent)[2].support_count, 2u);
+}
+
+/// The load-bearing property: FP-Growth and Apriori agree exactly.
+class FpGrowthEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(FpGrowthEquivalenceTest, MatchesAprioriItemForItem) {
+  auto [seed, min_support] = GetParam();
+  TransactionSet txns = RandomTxns(10, 80, seed, 0.35);
+  AprioriConfig ap;
+  ap.min_support = min_support;
+  FpGrowthConfig fp;
+  fp.min_support = min_support;
+  auto a = Apriori(txns, ap);
+  auto f = FpGrowth(txns, fp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(a->size(), f->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].items, (*f)[i].items);
+    EXPECT_EQ((*a)[i].support_count, (*f)[i].support_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FpGrowthEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.15, 0.25, 0.4)));
+
+TEST(FpGrowthTest, MaxSizeCap) {
+  TransactionSet txns = RandomTxns(8, 60, 9, 0.5);
+  FpGrowthConfig config;
+  config.min_support = 0.2;
+  config.max_size = 2;
+  auto frequent = FpGrowth(txns, config);
+  ASSERT_TRUE(frequent.ok());
+  for (const FrequentItemset& fi : *frequent) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(FpGrowthTest, Validations) {
+  TransactionSet txns = RandomTxns(4, 10, 3, 0.5);
+  FpGrowthConfig config;
+  config.min_support = 0.0;
+  EXPECT_FALSE(FpGrowth(txns, config).ok());
+  TransactionSet empty;
+  empty.num_items = 2;
+  config.min_support = 0.5;
+  EXPECT_FALSE(FpGrowth(empty, config).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::mining

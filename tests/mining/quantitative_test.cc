@@ -1,0 +1,102 @@
+#include "mining/quantitative.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assoc_rule.h"
+#include "testing/fixtures.h"
+
+namespace hypermine::mining {
+namespace {
+
+using hypermine::testing::GeneDatabase;
+using hypermine::testing::RandomDatabase;
+
+TEST(QuantitativeTest, RecoversGeneExampleRule) {
+  // The thesis' Example 3.4 rule {(G2, down), (G3, down)} => {(G4, up)}
+  // has supp 0.75 (of X ∪ Y) and conf 6/7; mine it back via Apriori.
+  core::Database db = GeneDatabase();
+  QuantitativeConfig config;
+  config.min_support = 0.5;
+  config.min_confidence = 0.8;
+  config.max_rule_size = 3;
+  auto rules = MineQuantitativeRules(db, config);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const QuantitativeRule& q : *rules) {
+    if (q.rule.antecedent.size() == 2 && q.rule.consequent.size() == 1 &&
+        q.rule.consequent[0].attribute == 3 &&
+        q.rule.consequent[0].value == 2) {
+      bool has_g2 = false;
+      bool has_g3 = false;
+      for (const core::AttributeValue& av : q.rule.antecedent) {
+        has_g2 |= av.attribute == 1 && av.value == 0;
+        has_g3 |= av.attribute == 2 && av.value == 0;
+      }
+      if (has_g2 && has_g3) {
+        found = true;
+        EXPECT_NEAR(q.confidence, 6.0 / 7.0, 1e-12);
+        EXPECT_NEAR(q.support, 0.75, 1e-12);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// Cross-check: mined measures equal the definitional Supp/Conf of the
+/// decoded mva rules — two independent implementations must agree.
+class QuantitativeCrossCheckTest
+    : public ::testing::TestWithParam<bool> {};
+
+TEST_P(QuantitativeCrossCheckTest, MinedMeasuresMatchDefinitions) {
+  core::Database db = RandomDatabase(5, 120, 3, 42, 0.7);
+  QuantitativeConfig config;
+  config.min_support = 0.1;
+  config.min_confidence = 0.4;
+  config.max_rule_size = 3;
+  config.use_fpgrowth = GetParam();
+  auto rules = MineQuantitativeRules(db, config);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const QuantitativeRule& q : *rules) {
+    std::vector<core::AttributeValue> both = q.rule.antecedent;
+    both.insert(both.end(), q.rule.consequent.begin(),
+                q.rule.consequent.end());
+    EXPECT_NEAR(q.support, *core::Support(db, both), 1e-12);
+    EXPECT_NEAR(q.confidence, *core::Confidence(db, q.rule), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMiners, QuantitativeCrossCheckTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FpGrowth" : "Apriori";
+                         });
+
+TEST(QuantitativeTest, ConsequentSizeCap) {
+  core::Database db = RandomDatabase(4, 80, 3, 10, 0.7);
+  QuantitativeConfig config;
+  config.min_support = 0.05;
+  config.min_confidence = 0.2;
+  config.max_rule_size = 3;
+  config.max_consequent_size = 1;
+  auto rules = MineQuantitativeRules(db, config);
+  ASSERT_TRUE(rules.ok());
+  for (const QuantitativeRule& q : *rules) {
+    EXPECT_EQ(q.rule.consequent.size(), 1u);
+  }
+}
+
+TEST(QuantitativeTest, RulesAreValidMvaRules) {
+  core::Database db = RandomDatabase(4, 80, 3, 11, 0.7);
+  QuantitativeConfig config;
+  config.min_support = 0.05;
+  config.min_confidence = 0.3;
+  auto rules = MineQuantitativeRules(db, config);
+  ASSERT_TRUE(rules.ok());
+  for (const QuantitativeRule& q : *rules) {
+    EXPECT_TRUE(core::ValidateRule(db, q.rule).ok());
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::mining

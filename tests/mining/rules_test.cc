@@ -1,0 +1,118 @@
+#include "mining/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/discretize.h"
+#include "mining/apriori.h"
+
+namespace hypermine::mining {
+namespace {
+
+TransactionSet Basket() {
+  // milk=0, diapers=1, beer=2, eggs=3.
+  auto txns = MakeTransactionSet(4, {{0, 1, 2, 3},
+                                     {0, 1, 2},
+                                     {0, 1},
+                                     {0, 2},
+                                     {1, 2}});
+  HM_CHECK_OK(txns.status());
+  return std::move(txns).value();
+}
+
+std::vector<FrequentItemset> Frequents(const TransactionSet& txns,
+                                       double min_support) {
+  AprioriConfig config;
+  config.min_support = min_support;
+  auto frequent = Apriori(txns, config);
+  HM_CHECK_OK(frequent.status());
+  return std::move(frequent).value();
+}
+
+const MinedRule* Find(const std::vector<MinedRule>& rules,
+                      const std::vector<ItemId>& antecedent,
+                      const std::vector<ItemId>& consequent) {
+  for (const MinedRule& rule : rules) {
+    if (rule.antecedent == antecedent && rule.consequent == consequent) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+TEST(RulesTest, ConfidenceAndSupportValues) {
+  TransactionSet txns = Basket();
+  auto rules = GenerateRules(Frequents(txns, 0.3), txns.size(), {});
+  ASSERT_TRUE(rules.ok());
+  // {milk, diapers} -> {beer}: supp({0,1,2}) = 2/5, conf = 2/3.
+  const MinedRule* rule = Find(*rules, {0, 1}, {2});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NEAR(rule->support, 0.4, 1e-12);
+  EXPECT_NEAR(rule->confidence, 2.0 / 3.0, 1e-12);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  TransactionSet txns = Basket();
+  RuleConfig config;
+  config.min_confidence = 0.9;
+  auto rules = GenerateRules(Frequents(txns, 0.3), txns.size(), config);
+  ASSERT_TRUE(rules.ok());
+  for (const MinedRule& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.9 - 1e-12);
+  }
+}
+
+TEST(RulesTest, MaxConsequentSizeOneGivesClassificationRules) {
+  TransactionSet txns = Basket();
+  RuleConfig config;
+  config.min_confidence = 0.0;
+  config.max_consequent_size = 1;
+  auto rules = GenerateRules(Frequents(txns, 0.3), txns.size(), config);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const MinedRule& rule : *rules) {
+    EXPECT_EQ(rule.consequent.size(), 1u);
+  }
+}
+
+TEST(RulesTest, RulesSortedByConfidence) {
+  TransactionSet txns = Basket();
+  RuleConfig config;
+  config.min_confidence = 0.0;
+  auto rules = GenerateRules(Frequents(txns, 0.3), txns.size(), config);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].confidence + 1e-12, (*rules)[i].confidence);
+  }
+}
+
+TEST(RulesTest, Validations) {
+  TransactionSet txns = Basket();
+  auto frequent = Frequents(txns, 0.3);
+  EXPECT_FALSE(GenerateRules(frequent, 0, {}).ok());
+  RuleConfig config;
+  config.min_confidence = 1.5;
+  EXPECT_FALSE(GenerateRules(frequent, txns.size(), config).ok());
+  // Non-subset-closed frequent list is rejected.
+  std::vector<FrequentItemset> broken = {{{0, 1}, 3}};
+  EXPECT_FALSE(GenerateRules(broken, txns.size(), {}).ok());
+}
+
+TEST(RulesTest, RuleToStringUsesLabels) {
+  auto db = core::DatabaseFromColumns({"milk", "beer"}, 2,
+                                      {{1, 1}, {1, 0}});
+  ASSERT_TRUE(db.ok());
+  MinedRule rule;
+  rule.antecedent = {1};  // milk=2 (value 1 shown 1-based)
+  rule.consequent = {3};  // beer=2
+  rule.support = 0.5;
+  rule.confidence = 0.75;
+  std::string text = RuleToString(*db, rule);
+  EXPECT_NE(text.find("milk=2"), std::string::npos);
+  EXPECT_NE(text.find("beer=2"), std::string::npos);
+  EXPECT_NE(text.find("conf=0.750"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypermine::mining

@@ -1,0 +1,56 @@
+#include "mining/transactions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/discretize.h"
+
+namespace hypermine::mining {
+namespace {
+
+TEST(TransactionSetTest, NormalizesInput) {
+  auto txns = MakeTransactionSet(5, {{3, 1, 3, 0}, {}, {4}});
+  ASSERT_TRUE(txns.ok());
+  EXPECT_EQ(txns->transactions[0], (std::vector<ItemId>{0, 1, 3}));
+  EXPECT_TRUE(txns->transactions[1].empty());
+  EXPECT_EQ(txns->size(), 3u);
+}
+
+TEST(TransactionSetTest, Validations) {
+  EXPECT_FALSE(MakeTransactionSet(0, {}).ok());
+  EXPECT_FALSE(MakeTransactionSet(3, {{5}}).ok());
+}
+
+TEST(DatabaseToTransactionsTest, EncodesAttributeValuePairs) {
+  auto db = core::DatabaseFromColumns({"A", "B"}, 3, {{0, 2}, {1, 0}});
+  ASSERT_TRUE(db.ok());
+  auto txns = DatabaseToTransactions(*db);
+  ASSERT_TRUE(txns.ok());
+  EXPECT_EQ(txns->num_items, 6u);
+  // Observation 0: A=0 -> item 0; B=1 -> item 3+1=4.
+  EXPECT_EQ(txns->transactions[0], (std::vector<ItemId>{0, 4}));
+  // Observation 1: A=2 -> item 2; B=0 -> item 3.
+  EXPECT_EQ(txns->transactions[1], (std::vector<ItemId>{2, 3}));
+}
+
+TEST(DatabaseToTransactionsTest, EveryTransactionHasOneItemPerAttribute) {
+  auto db = core::DatabaseFromColumns({"A", "B", "C"}, 2,
+                                      {{0, 1}, {1, 0}, {1, 1}});
+  ASSERT_TRUE(db.ok());
+  auto txns = DatabaseToTransactions(*db);
+  ASSERT_TRUE(txns.ok());
+  for (const auto& txn : txns->transactions) {
+    EXPECT_EQ(txn.size(), 3u);
+  }
+}
+
+TEST(DecodeItemTest, RoundTrip) {
+  auto db = core::DatabaseFromColumns({"A", "B"}, 3, {{0}, {1}});
+  ASSERT_TRUE(db.ok());
+  core::AttributeValue av = DecodeItem(*db, 4);  // attr 1, value 1
+  EXPECT_EQ(av.attribute, 1u);
+  EXPECT_EQ(av.value, 1);
+  EXPECT_EQ(ItemLabel(*db, 4), "B=2");  // 1-based display
+}
+
+}  // namespace
+}  // namespace hypermine::mining

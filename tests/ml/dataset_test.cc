@@ -1,0 +1,66 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/discretize.h"
+
+namespace hypermine::ml {
+namespace {
+
+core::Database SmallDb() {
+  auto db = core::DatabaseFromColumns({"A", "B", "T"}, 3,
+                                      {{0, 1, 2}, {2, 0, 1}, {1, 1, 0}});
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+TEST(DatasetTest, OneHotLayoutWithBias) {
+  core::Database db = SmallDb();
+  auto data = MakeClassificationDataset(db, {0, 1}, 2, /*add_bias=*/true);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 3u);
+  EXPECT_EQ(data->num_features(), 2 * 3 + 1);
+  EXPECT_EQ(data->num_classes, 3u);
+  // Row 0: A=0 -> slot 0; B=2 -> slot 3+2=5; bias last.
+  const double* row = data->features.RowPtr(0);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[5], 1.0);
+  EXPECT_DOUBLE_EQ(row[6], 1.0);
+  EXPECT_EQ(data->labels[0], 1);
+  EXPECT_EQ(data->labels[2], 0);
+}
+
+TEST(DatasetTest, NoBiasOption) {
+  core::Database db = SmallDb();
+  auto data = MakeClassificationDataset(db, {0}, 2, /*add_bias=*/false);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_features(), 3u);
+}
+
+TEST(DatasetTest, EachRowSumsToFeatureCountPlusBias) {
+  core::Database db = SmallDb();
+  auto data = MakeClassificationDataset(db, {0, 1}, 2, true);
+  ASSERT_TRUE(data.ok());
+  for (size_t r = 0; r < data->num_rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < data->num_features(); ++c) {
+      sum += data->features.At(r, c);
+    }
+    EXPECT_DOUBLE_EQ(sum, 3.0);  // 2 one-hot + bias
+  }
+}
+
+TEST(DatasetTest, Validations) {
+  core::Database db = SmallDb();
+  EXPECT_FALSE(MakeClassificationDataset(db, {}, 2).ok());
+  EXPECT_FALSE(MakeClassificationDataset(db, {0, 0}, 2).ok());
+  EXPECT_FALSE(MakeClassificationDataset(db, {2}, 2).ok());
+  EXPECT_FALSE(MakeClassificationDataset(db, {9}, 2).ok());
+  EXPECT_FALSE(MakeClassificationDataset(db, {0}, 9).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::ml

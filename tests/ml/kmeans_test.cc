@@ -1,0 +1,111 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+Matrix TwoBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(2 * per_blob, 2);
+  for (size_t i = 0; i < per_blob; ++i) {
+    points.At(i, 0) = rng.NextGaussian() * 0.3;
+    points.At(i, 1) = rng.NextGaussian() * 0.3;
+    points.At(per_blob + i, 0) = 10.0 + rng.NextGaussian() * 0.3;
+    points.At(per_blob + i, 1) = 10.0 + rng.NextGaussian() * 0.3;
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Matrix points = TwoBlobs(50, 51);
+  KMeansConfig config;
+  config.k = 2;
+  auto result = KMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // All members of blob 0 share a cluster distinct from blob 1's.
+  size_t c0 = result->assignment[0];
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(result->assignment[i], c0);
+  size_t c1 = result->assignment[50];
+  EXPECT_NE(c0, c1);
+  for (size_t i = 50; i < 100; ++i) EXPECT_EQ(result->assignment[i], c1);
+}
+
+TEST(KMeansTest, CentroidsNearBlobCenters) {
+  Matrix points = TwoBlobs(100, 52);
+  KMeansConfig config;
+  config.k = 2;
+  auto result = KMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  std::set<int> found;
+  for (size_t c = 0; c < 2; ++c) {
+    double x = result->centroids.At(c, 0);
+    if (std::abs(x) < 1.0) found.insert(0);
+    if (std::abs(x - 10.0) < 1.0) found.insert(1);
+  }
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquares) {
+  // 4 points, k=2, clear pairs: inertia = 2 * (2 * 0.5^2) = 1.
+  Matrix points = Matrix::FromRows(
+      {{0.0, 0.0}, {1.0, 0.0}, {10.0, 0.0}, {11.0, 0.0}});
+  KMeansConfig config;
+  config.k = 2;
+  auto result = KMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 1.0, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Matrix points = Matrix::FromRows({{0.0}, {5.0}, {9.0}});
+  KMeansConfig config;
+  config.k = 3;
+  auto result = KMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Matrix points = TwoBlobs(30, 53);
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 77;
+  auto a = KMeans(points, config);
+  auto b = KMeans(points, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, Validations) {
+  Matrix points = Matrix::FromRows({{0.0}, {1.0}});
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_FALSE(KMeans(points, config).ok());
+  config.k = 5;
+  EXPECT_FALSE(KMeans(points, config).ok());
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia) {
+  Matrix points = TwoBlobs(40, 54);
+  double last = 1e300;
+  for (size_t k = 1; k <= 4; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = 11;
+    auto result = KMeans(points, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, last + 1e-6);
+    last = result->inertia;
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::ml

@@ -1,0 +1,76 @@
+#include "ml/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+TEST(LinearRegressionTest, RecoversExactLine) {
+  // y = 3*x - 2, features [x, 1].
+  Matrix x = Matrix::FromRows({{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+  std::vector<double> y = {-2.0, 1.0, 4.0, 7.0};
+  auto model = LinearRegression::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model->weights()[1], -2.0, 1e-6);
+  auto mse = model->MeanSquaredError(x, y);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_NEAR(*mse, 0.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, NoisyDataApproximatesTruth) {
+  Rng rng(10);
+  const size_t n = 400;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextGaussian();
+    double b = rng.NextGaussian();
+    x.At(i, 0) = a;
+    x.At(i, 1) = b;
+    x.At(i, 2) = 1.0;
+    y[i] = 2.0 * a - 0.5 * b + 1.0 + rng.NextGaussian() * 0.05;
+  }
+  auto model = LinearRegression::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights()[0], 2.0, 0.05);
+  EXPECT_NEAR(model->weights()[1], -0.5, 0.05);
+  EXPECT_NEAR(model->weights()[2], 1.0, 0.05);
+}
+
+TEST(LinearRegressionTest, PredictMatrix) {
+  Matrix x = Matrix::FromRows({{1.0, 1.0}, {2.0, 1.0}});
+  auto model = LinearRegression::Fit(x, {3.0, 5.0});
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(Matrix::FromRows({{4.0, 1.0}}));
+  ASSERT_TRUE(preds.ok());
+  EXPECT_NEAR((*preds)[0], 9.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, Validations) {
+  EXPECT_FALSE(LinearRegression::Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(LinearRegression::Fit(Matrix(2, 2), {1.0}).ok());
+  Matrix x = Matrix::FromRows({{1.0, 1.0}, {2.0, 1.0}});
+  auto model = LinearRegression::Fit(x, {1.0, 2.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(Matrix(1, 5)).ok());
+  EXPECT_FALSE(model->MeanSquaredError(Matrix(1, 2), {}).ok());
+}
+
+TEST(LinearRegressionTest, DiscreteTargetsAreBadFit) {
+  // Section 2.3.1's point: regression on discrete class values produces
+  // out-of-domain predictions; verify the failure mode is observable.
+  Matrix x = Matrix::FromRows(
+      {{0.0, 1.0}, {0.5, 1.0}, {1.0, 1.0}, {1.5, 1.0}, {2.0, 1.0}});
+  std::vector<double> y = {0.0, 2.0, 0.0, 2.0, 1.0};  // jumpy class ids
+  auto model = LinearRegression::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  auto mse = model->MeanSquaredError(x, y);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_GT(*mse, 0.3);
+}
+
+}  // namespace
+}  // namespace hypermine::ml

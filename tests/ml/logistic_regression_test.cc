@@ -1,0 +1,83 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+Dataset ThreeGaussianClusters(size_t per_class, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 3;
+  data.features = Matrix(3 * per_class, 3);
+  data.labels.resize(3 * per_class);
+  const double cx[3] = {0.0, 4.0, 0.0};
+  const double cy[3] = {0.0, 0.0, 4.0};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      data.features.At(row, 0) = cx[c] + rng.NextGaussian() * 0.5;
+      data.features.At(row, 1) = cy[c] + rng.NextGaussian() * 0.5;
+      data.features.At(row, 2) = 1.0;
+      data.labels[row] = static_cast<int>(c);
+    }
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, SeparatesGaussianClusters) {
+  Dataset data = ThreeGaussianClusters(80, 21);
+  LogisticRegressionConfig config;
+  config.epochs = 150;
+  config.learning_rate = 0.5;
+  auto model = LogisticRegression::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(*Accuracy(*preds, data.labels), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  Dataset data = ThreeGaussianClusters(40, 22);
+  auto model = LogisticRegression::Train(data);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> proba = model->PredictProba(data.features.RowPtr(0));
+  double total = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LogisticRegressionTest, ConfidentOnClusterCenters) {
+  Dataset data = ThreeGaussianClusters(80, 23);
+  LogisticRegressionConfig config;
+  config.epochs = 200;
+  config.learning_rate = 0.5;
+  auto model = LogisticRegression::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  double center[3] = {4.0, 0.0, 1.0};  // class 1 center
+  std::vector<double> proba = model->PredictProba(center);
+  EXPECT_GT(proba[1], 0.8);
+}
+
+TEST(LogisticRegressionTest, Validations) {
+  Dataset empty;
+  empty.num_classes = 3;
+  EXPECT_FALSE(LogisticRegression::Train(empty).ok());
+  Dataset bad = ThreeGaussianClusters(5, 1);
+  bad.num_classes = 1;
+  EXPECT_FALSE(LogisticRegression::Train(bad).ok());
+  Dataset data = ThreeGaussianClusters(10, 2);
+  auto model = LogisticRegression::Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(Matrix(1, 9)).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::ml

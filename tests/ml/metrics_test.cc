@@ -1,0 +1,56 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine::ml {
+namespace {
+
+TEST(AccuracyTest, Fractions) {
+  auto acc = Accuracy({0, 1, 2, 1}, {0, 1, 1, 1});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 0.75);
+  EXPECT_DOUBLE_EQ(*Accuracy({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(*Accuracy({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(AccuracyTest, Validations) {
+  EXPECT_FALSE(Accuracy({0}, {0, 1}).ok());
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+}
+
+TEST(ConfusionMatrixTest, CountsLabelPredictionPairs) {
+  auto matrix = ConfusionMatrix({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ((*matrix)[0][0], 2u);
+  EXPECT_EQ((*matrix)[0][1], 1u);  // label 0 predicted 1
+  EXPECT_EQ((*matrix)[1][1], 1u);
+  EXPECT_EQ((*matrix)[1][0], 0u);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ConfusionMatrix({5}, {0}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix({0}, {-1}, 2).ok());
+}
+
+TEST(MacroF1Test, PerfectPredictionsGiveOne) {
+  auto f1 = MacroF1({0, 1, 2}, {0, 1, 2}, 3);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 1.0);
+}
+
+TEST(MacroF1Test, KnownMixedCase) {
+  // labels: 0,0,1,1; preds: 0,1,1,1.
+  // class0: tp=1 fp=0 fn=1 -> f1 = 2/3; class1: tp=2 fp=1 fn=0 -> 4/5.
+  auto f1 = MacroF1({0, 1, 1, 1}, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NEAR(*f1, (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassContributesZero) {
+  auto f1 = MacroF1({0, 0}, {0, 0}, 2);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 0.5);  // class 1 has no support
+}
+
+}  // namespace
+}  // namespace hypermine::ml

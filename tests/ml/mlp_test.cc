@@ -1,0 +1,108 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+TEST(MlpTest, LearnsXor) {
+  // XOR needs the hidden layer: linear models cannot fit it.
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows(
+      {{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+  data.labels = {0, 1, 1, 0};
+  MlpConfig config;
+  config.hidden_units = 8;
+  config.epochs = 3000;
+  config.learning_rate = 0.2;
+  config.seed = 4;
+  auto model = Mlp::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(*preds, data.labels);
+}
+
+TEST(MlpTest, SeparatesGaussianClusters) {
+  Rng rng(44);
+  Dataset data;
+  data.num_classes = 3;
+  const size_t per_class = 60;
+  data.features = Matrix(3 * per_class, 3);
+  data.labels.resize(3 * per_class);
+  const double cx[3] = {0.0, 3.0, -3.0};
+  const double cy[3] = {3.0, -2.0, -2.0};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      data.features.At(row, 0) = cx[c] + rng.NextGaussian() * 0.5;
+      data.features.At(row, 1) = cy[c] + rng.NextGaussian() * 0.5;
+      data.features.At(row, 2) = 1.0;
+      data.labels[row] = static_cast<int>(c);
+    }
+  }
+  MlpConfig config;
+  config.hidden_units = 12;
+  config.epochs = 60;
+  auto model = Mlp::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(*Accuracy(*preds, data.labels), 0.95);
+}
+
+TEST(MlpTest, ProbabilitiesFormDistribution) {
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows({{0, 0, 1}, {1, 1, 1}});
+  data.labels = {0, 1};
+  auto model = Mlp::Train(data);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> proba = model->PredictProba(data.features.RowPtr(0));
+  double total = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows({{0, 0, 1}, {1, 1, 1}, {0, 1, 1}});
+  data.labels = {0, 1, 0};
+  MlpConfig config;
+  config.seed = 9;
+  auto a = Mlp::Train(data, config);
+  auto b = Mlp::Train(data, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  double probe[3] = {0.5, 0.5, 1.0};
+  EXPECT_EQ(a->PredictProba(probe), b->PredictProba(probe));
+}
+
+TEST(MlpTest, Validations) {
+  Dataset empty;
+  empty.num_classes = 2;
+  EXPECT_FALSE(Mlp::Train(empty).ok());
+  Dataset data;
+  data.num_classes = 1;
+  data.features = Matrix(2, 2, 1.0);
+  data.labels = {0, 0};
+  EXPECT_FALSE(Mlp::Train(data).ok());
+  data.num_classes = 2;
+  MlpConfig config;
+  config.hidden_units = 0;
+  EXPECT_FALSE(Mlp::Train(data, config).ok());
+  auto model = Mlp::Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(Matrix(1, 9)).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::ml

@@ -1,0 +1,113 @@
+#include "ml/perceptron.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+/// Linearly separable binary set: label = [x0 + x1 > 1], with bias column.
+Dataset SeparableBinary(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix(n, 3);
+  data.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble() * 2.0;
+    double x1 = rng.NextDouble() * 2.0;
+    // Margin gap keeps the sample strictly separable.
+    if (x0 + x1 > 0.9 && x0 + x1 < 1.1) {
+      x0 += 0.4;
+      x1 += 0.4;
+    }
+    data.features.At(i, 0) = x0;
+    data.features.At(i, 1) = x1;
+    data.features.At(i, 2) = 1.0;
+    data.labels[i] = (x0 + x1 > 1.0) ? 1 : 0;
+  }
+  return data;
+}
+
+TEST(BinaryPerceptronTest, ConvergesOnSeparableData) {
+  Dataset data = SeparableBinary(200, 1);
+  std::vector<int> binary(data.labels.begin(), data.labels.end());
+  auto model = BinaryPerceptron::Train(data.features, binary);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->converged());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    bool predicted = model->PredictRow(data.features.RowPtr(i));
+    correct += predicted == (binary[i] == 1) ? 1 : 0;
+  }
+  EXPECT_EQ(correct, data.num_rows());
+}
+
+TEST(BinaryPerceptronTest, XorDoesNotConverge) {
+  // Algorithm 3's termination note: non-separable data never converges and
+  // relies on the forced epoch bound.
+  Matrix features = Matrix::FromRows({{0, 0, 1},
+                                      {0, 1, 1},
+                                      {1, 0, 1},
+                                      {1, 1, 1}});
+  std::vector<int> labels = {0, 1, 1, 0};
+  PerceptronConfig config;
+  config.max_epochs = 25;
+  auto model = BinaryPerceptron::Train(features, labels, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->converged());
+}
+
+TEST(BinaryPerceptronTest, Validations) {
+  Matrix features(2, 2, 1.0);
+  EXPECT_FALSE(BinaryPerceptron::Train(features, {0}).ok());
+  EXPECT_FALSE(BinaryPerceptron::Train(features, {0, 5}).ok());
+  EXPECT_FALSE(BinaryPerceptron::Train(Matrix(), {}).ok());
+}
+
+TEST(MulticlassPerceptronTest, ThreeSeparableClusters) {
+  // Clusters at (0,0), (5,0), (0,5).
+  Rng rng(2);
+  const size_t per_class = 60;
+  Dataset data;
+  data.num_classes = 3;
+  data.features = Matrix(3 * per_class, 3);
+  data.labels.resize(3 * per_class);
+  const double cx[3] = {0.0, 5.0, 0.0};
+  const double cy[3] = {0.0, 0.0, 5.0};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      data.features.At(row, 0) = cx[c] + rng.NextGaussian() * 0.3;
+      data.features.At(row, 1) = cy[c] + rng.NextGaussian() * 0.3;
+      data.features.At(row, 2) = 1.0;
+      data.labels[row] = static_cast<int>(c);
+    }
+  }
+  auto model = MulticlassPerceptron::Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_classes(), 3u);
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  auto acc = Accuracy(*preds, data.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(MulticlassPerceptronTest, FeatureWidthMismatchFails) {
+  Dataset data = SeparableBinary(50, 3);
+  auto model = MulticlassPerceptron::Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(Matrix(2, 7)).ok());
+}
+
+TEST(MulticlassPerceptronTest, RejectsDegenerateClassCount) {
+  Dataset data = SeparableBinary(10, 4);
+  data.num_classes = 1;
+  EXPECT_FALSE(MulticlassPerceptron::Train(data).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::ml

@@ -1,0 +1,105 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace hypermine::ml {
+namespace {
+
+Dataset TwoClusters(size_t per_class, uint64_t seed, double gap = 3.0) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix(2 * per_class, 3);
+  data.labels.resize(2 * per_class);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      data.features.At(row, 0) =
+          (c == 0 ? -gap : gap) + rng.NextGaussian() * 0.5;
+      data.features.At(row, 1) = rng.NextGaussian() * 0.5;
+      data.features.At(row, 2) = 1.0;
+      data.labels[row] = static_cast<int>(c);
+    }
+  }
+  return data;
+}
+
+TEST(SvmTest, SeparatesTwoClusters) {
+  Dataset data = TwoClusters(100, 31);
+  auto model = LinearSvm::Train(data);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(*Accuracy(*preds, data.labels), 0.97);
+}
+
+TEST(SvmTest, MarginsHaveCorrectSigns) {
+  Dataset data = TwoClusters(100, 32);
+  auto model = LinearSvm::Train(data);
+  ASSERT_TRUE(model.ok());
+  double left[3] = {-3.0, 0.0, 1.0};
+  double right[3] = {3.0, 0.0, 1.0};
+  EXPECT_GT(model->Margin(0, left), model->Margin(1, left));
+  EXPECT_GT(model->Margin(1, right), model->Margin(0, right));
+}
+
+TEST(SvmTest, MulticlassOneVsRest) {
+  // Triangle layout: each class is linearly separable from the union of
+  // the others (a 1-D line of clusters would not be, under one-vs-rest).
+  Rng rng(33);
+  Dataset data;
+  data.num_classes = 3;
+  const size_t per_class = 70;
+  data.features = Matrix(3 * per_class, 3);
+  data.labels.resize(3 * per_class);
+  const double cx[3] = {-4.0, 4.0, 0.0};
+  const double cy[3] = {-2.0, -2.0, 4.0};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      data.features.At(row, 0) = cx[c] + rng.NextGaussian() * 0.4;
+      data.features.At(row, 1) = cy[c] + rng.NextGaussian() * 0.4;
+      data.features.At(row, 2) = 1.0;
+      data.labels[row] = static_cast<int>(c);
+    }
+  }
+  auto model = LinearSvm::Train(data);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->Predict(data.features);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(*Accuracy(*preds, data.labels), 0.95);
+}
+
+TEST(SvmTest, DeterministicForSeed) {
+  Dataset data = TwoClusters(50, 34);
+  SvmConfig config;
+  config.seed = 5;
+  auto a = LinearSvm::Train(data, config);
+  auto b = LinearSvm::Train(data, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  double probe[3] = {0.3, -0.2, 1.0};
+  EXPECT_DOUBLE_EQ(a->Margin(0, probe), b->Margin(0, probe));
+}
+
+TEST(SvmTest, Validations) {
+  Dataset empty;
+  empty.num_classes = 2;
+  EXPECT_FALSE(LinearSvm::Train(empty).ok());
+  Dataset data = TwoClusters(10, 35);
+  SvmConfig bad;
+  bad.lambda = 0.0;
+  EXPECT_FALSE(LinearSvm::Train(data, bad).ok());
+  data.num_classes = 1;
+  EXPECT_FALSE(LinearSvm::Train(data).ok());
+  data.num_classes = 2;
+  auto model = LinearSvm::Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict(Matrix(1, 9)).ok());
+}
+
+}  // namespace
+}  // namespace hypermine::ml

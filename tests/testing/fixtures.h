@@ -1,0 +1,107 @@
+#ifndef HYPERMINE_TESTS_TESTING_FIXTURES_H_
+#define HYPERMINE_TESTS_TESTING_FIXTURES_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/discretize.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::testing {
+
+/// The Patient database of Table 3.1, discretized per Table 3.2 by
+/// floor(value / 10). Attributes A (age), C (cholesterol), B (blood
+/// pressure), H (heart rate); 8 observations. The discretized values reach
+/// 16, so the database is created with k = 17.
+inline core::Database PatientDatabase() {
+  const std::vector<std::vector<double>> raw = {
+      // A, C, B, H per patient (rows of Table 3.1).
+      {25, 105, 135, 75}, {62, 160, 165, 85}, {32, 125, 139, 71},
+      {12, 95, 105, 67},  {38, 129, 135, 75}, {39, 121, 117, 71},
+      {41, 134, 145, 73}, {85, 125, 155, 78},
+  };
+  std::vector<std::vector<core::ValueId>> columns(4);
+  for (size_t attr = 0; attr < 4; ++attr) {
+    std::vector<double> series;
+    for (const auto& row : raw) series.push_back(row[attr]);
+    auto discretized = core::FloorDivDiscretize(series, 10.0);
+    HM_CHECK_OK(discretized.status());
+    columns[attr] = std::move(discretized).value();
+  }
+  auto db = core::DatabaseFromColumns({"A", "C", "B", "H"}, 17, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+/// The Gene database of Table 3.3, discretized per Table 3.4 into
+/// {down=0 (0..333), flat=1 (334..666), up=2 (667..999)}.
+inline core::Database GeneDatabase() {
+  const std::vector<std::vector<double>> raw = {
+      {54.23, 66.22, 342.32, 422.21},  {541.21, 324.21, 165.21, 852.21},
+      {321.67, 125.98, 139.43, 71.11}, {123.87, 95.54, 105.88, 678.65},
+      {388.44, 129.33, 135.65, 754.32}, {399.98, 121.54, 117.55, 719.33},
+      {414.33, 134.73, 145.32, 733.22}, {855.78, 125.93, 155.76, 789.43},
+  };
+  std::vector<std::vector<core::ValueId>> columns(4);
+  for (size_t attr = 0; attr < 4; ++attr) {
+    std::vector<double> series;
+    for (const auto& row : raw) series.push_back(row[attr]);
+    auto discretized =
+        core::RangeBucketDiscretize(series, {0.0, 334.0, 667.0, 1000.0});
+    HM_CHECK_OK(discretized.status());
+    columns[attr] = std::move(discretized).value();
+  }
+  auto db = core::DatabaseFromColumns({"G1", "G2", "G3", "G4"}, 3, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+/// The Personal Interest database of Table 3.5, discretized per Table 3.6
+/// into {low=0 (0..3), moderate=1 (4..7), high=2 (8..10)}.
+inline core::Database InterestDatabase() {
+  const std::vector<std::vector<double>> raw = {
+      {10, 10, 3, 5}, {7, 9, 4, 6}, {3, 1, 9, 10}, {5, 1, 10, 7},
+      {9, 8, 2, 6},   {8, 10, 7, 6}, {5, 4, 6, 5},  {8, 10, 1, 8},
+  };
+  std::vector<std::vector<core::ValueId>> columns(4);
+  for (size_t attr = 0; attr < 4; ++attr) {
+    std::vector<double> series;
+    for (const auto& row : raw) series.push_back(row[attr]);
+    auto discretized =
+        core::RangeBucketDiscretize(series, {0.0, 4.0, 8.0, 11.0});
+    HM_CHECK_OK(discretized.status());
+    columns[attr] = std::move(discretized).value();
+  }
+  auto db = core::DatabaseFromColumns({"R", "P", "M", "E"}, 3, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+/// A random database over `n` attributes, `m` observations, k values,
+/// with some attributes correlated (attribute i copies attribute i-1 with
+/// probability `copy_prob`) so association structure exists.
+inline core::Database RandomDatabase(size_t n, size_t m, size_t k,
+                                     uint64_t seed, double copy_prob = 0.6) {
+  Rng rng(seed);
+  std::vector<std::vector<core::ValueId>> columns(
+      n, std::vector<core::ValueId>(m));
+  std::vector<std::string> names;
+  for (size_t a = 0; a < n; ++a) names.push_back("X" + std::to_string(a));
+  for (size_t o = 0; o < m; ++o) {
+    for (size_t a = 0; a < n; ++a) {
+      if (a > 0 && rng.NextBernoulli(copy_prob)) {
+        columns[a][o] = columns[a - 1][o];
+      } else {
+        columns[a][o] = static_cast<core::ValueId>(rng.NextBounded(k));
+      }
+    }
+  }
+  auto db = core::DatabaseFromColumns(std::move(names), k, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+}  // namespace hypermine::testing
+
+#endif  // HYPERMINE_TESTS_TESTING_FIXTURES_H_

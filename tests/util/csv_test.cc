@@ -1,0 +1,101 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hypermine {
+namespace {
+
+TEST(CsvTest, ParsesSimpleDocumentWithHeader) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n", /*has_header=*/true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][2], "6");
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  auto doc = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(CsvTest, HandlesQuotedFieldsAndEscapes) {
+  auto doc = ParseCsv("name,quote\nalice,\"hi, there\"\nbob,\"say \"\"hi\"\"\"\n",
+                      true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "hi, there");
+  EXPECT_EQ(doc->rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvTest, HandlesQuotedNewlines) {
+  auto doc = ParseCsv("a\n\"line1\nline2\"\n", true);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ToleratesCrLf) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto doc = ParseCsv("a,b\n1\n", true);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto doc = ParseCsv("a\n\"oops\n", true);
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(CsvTest, EmptyDocumentNeedsNoRows) {
+  auto doc = ParseCsv("a,b\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->rows.empty());
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{"plain", "with,comma"}, {"with\"quote", "multi\nline"}};
+  std::string text = WriteCsvString(doc);
+  EXPECT_EQ(text,
+            "x,y\nplain,\"with,comma\"\n\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvTest, RoundTripThroughParse) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"a", "1,2"}, {"b", "\"q\""}};
+  auto parsed = ParseCsv(WriteCsvString(doc), true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/hypermine_csv_test.csv";
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto loaded = ReadCsvFile(path, true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto missing = ReadCsvFile("/nonexistent/really/not/here.csv", true);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hypermine

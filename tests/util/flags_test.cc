@@ -1,0 +1,79 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine {
+namespace {
+
+FlagParser ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "binary");
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  return parser;
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser p = ParseArgs({"--series=120", "--gamma=1.15"});
+  EXPECT_EQ(p.GetInt("series", 0), 120);
+  EXPECT_DOUBLE_EQ(p.GetDouble("gamma", 0.0), 1.15);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagParser p = ParseArgs({"--name", "value"});
+  EXPECT_EQ(p.GetString("name", ""), "value");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  FlagParser p = ParseArgs({"--full"});
+  EXPECT_TRUE(p.GetBool("full", false));
+  EXPECT_TRUE(p.Has("full"));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  FlagParser p = ParseArgs({});
+  EXPECT_EQ(p.GetInt("series", 77), 77);
+  EXPECT_DOUBLE_EQ(p.GetDouble("g", 2.5), 2.5);
+  EXPECT_EQ(p.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(p.GetBool("b", false));
+  EXPECT_FALSE(p.Has("series"));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  FlagParser p =
+      ParseArgs({"--a=1", "--b=true", "--c=YES", "--d=on", "--e=0",
+                 "--f=false"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_TRUE(p.GetBool("d", false));
+  EXPECT_FALSE(p.GetBool("e", true));
+  EXPECT_FALSE(p.GetBool("f", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser p = ParseArgs({"pos1", "--k=3", "pos2"});
+  // "pos2" follows "--k=3" (already consumed), so it is positional.
+  EXPECT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+  EXPECT_EQ(p.positional()[1], "pos2");
+}
+
+TEST(FlagsTest, MalformedFlagFails) {
+  const char* argv[] = {"binary", "--=x"};
+  FlagParser p;
+  EXPECT_FALSE(p.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  FlagParser p = ParseArgs({"--k=3", "--k=5"});
+  EXPECT_EQ(p.GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, DebugStringListsFlags) {
+  FlagParser p = ParseArgs({"--k=3"});
+  EXPECT_NE(p.DebugString().find("--k=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypermine

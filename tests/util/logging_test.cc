@@ -1,0 +1,77 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace hypermine {
+namespace {
+
+using internal_logging::GetMinLogSeverity;
+using internal_logging::LogSeverity;
+using internal_logging::SetMinLogSeverity;
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMinLogSeverity(LogSeverity::kInfo); }
+};
+
+TEST_F(LoggingTest, MinSeverityRoundTrips) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kWarning);
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotEmit) {
+  SetMinLogSeverity(LogSeverity::kError);
+  ::testing::internal::CaptureStderr();
+  HM_LOG_INFO << "hidden info";
+  HM_LOG_WARNING << "hidden warning";
+  HM_LOG_ERROR << "visible error";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden info"), std::string::npos);
+  EXPECT_EQ(err.find("hidden warning"), std::string::npos);
+  EXPECT_NE(err.find("visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesCarryFileAndSeverityTag) {
+  ::testing::internal::CaptureStderr();
+  HM_LOG_WARNING << "tagged";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[W "), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ChecksPassOnTrueConditions) {
+  // These must be no-ops (a failing CHECK aborts the process).
+  HM_CHECK(1 + 1 == 2);
+  HM_CHECK_EQ(4, 4);
+  HM_CHECK_NE(4, 5);
+  HM_CHECK_LT(1, 2);
+  HM_CHECK_LE(2, 2);
+  HM_CHECK_GT(3, 2);
+  HM_CHECK_GE(3, 3);
+  HM_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ HM_CHECK_EQ(1, 2); }, "Check failed");
+  EXPECT_DEATH({ HM_CHECK_OK(Status::Internal("boom")); }, "boom");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch timer;
+  // Burn a little CPU deterministically.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), first * 1e3);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace hypermine

@@ -1,0 +1,129 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityAndFromRows) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id.At(0, 1), 0.0);
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  Matrix back = t.Transposed();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(back.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{5.0, 6.0}, {7.0, 8.0}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix c = a.Multiply(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, ApplyVector) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  std::vector<double> v = {1.0, -1.0};
+  std::vector<double> out = a.Apply(v);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(MatrixTest, AddScaleNorm) {
+  Matrix a = Matrix::FromRows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  a.ScaleInPlace(2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 8.0);
+  Matrix b = Matrix::FromRows({{1.0, 1.0}});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 7.0);
+}
+
+TEST(SolveLinearSystemTest, Solves3x3) {
+  Matrix a = Matrix::FromRows(
+      {{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}});
+  auto x = SolveLinearSystem(a, {8.0, -11.0, -3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+  EXPECT_NEAR((*x)[2], -1.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularFails) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {2.0, 4.0}});
+  auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveLinearSystemTest, ShapeErrors) {
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 3), {1.0, 2.0}).ok());
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 2), {1.0}).ok());
+}
+
+TEST(SolveLeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2*x0 - x1 + 3 with bias column.
+  Matrix x = Matrix::FromRows({{1.0, 0.0, 1.0},
+                               {0.0, 1.0, 1.0},
+                               {2.0, 1.0, 1.0},
+                               {3.0, -1.0, 1.0}});
+  std::vector<double> y = {5.0, 2.0, 6.0, 10.0};
+  auto w = SolveLeastSquares(x, y);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*w)[1], -1.0, 1e-6);
+  EXPECT_NEAR((*w)[2], 3.0, 1e-6);
+}
+
+TEST(SolveLeastSquaresTest, RidgeHandlesRankDeficiency) {
+  // Duplicate columns are rank deficient; a ridge makes them solvable.
+  Matrix x = Matrix::FromRows({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}});
+  std::vector<double> y = {2.0, 4.0, 6.0};
+  auto w = SolveLeastSquares(x, y, 1e-6);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0] + (*w)[1], 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace hypermine

@@ -1,0 +1,134 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hypermine {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRangeAndHitsAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.NextBounded(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(31);
+  std::vector<size_t> sample = rng.SampleIndices(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleIndicesCountLargerThanNReturnsPermutation) {
+  Rng rng(37);
+  std::vector<size_t> sample = rng.SampleIndices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, NextWeightedRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  size_t counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, NextWeightedAllZeroReturnsLast) {
+  Rng rng(43);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.NextWeighted(weights), 2u);
+}
+
+}  // namespace
+}  // namespace hypermine

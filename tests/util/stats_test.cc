@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hypermine {
+namespace {
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_NEAR(SampleVariance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Sum(xs), 4.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 30.0), 42.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndInverse) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> zs = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  std::vector<double> xs = {1.0, 1.0, 1.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(StatsTest, AverageRanksHandleTies) {
+  std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  std::vector<double> ranks = AverageRanks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, SpearmanDetectsMonotoneNonlinear) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, SummarizeFields) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(StatsTest, SummarizeEmptyIsZeroed) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({0.5, 1.0, 2.5, 9.9, 15.0, -3.0});
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 3u);  // 0.5, 1.0, -3.0 (clamped)
+  EXPECT_EQ(h.count(1), 1u);  // 2.5
+  EXPECT_EQ(h.count(4), 2u);  // 9.9, 15.0 (clamped)
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(HistogramTest, ToStringRendersAllBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.AddAll({0.1, 0.6, 0.6});
+  std::string text = h.ToString();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace hypermine

@@ -1,0 +1,79 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hypermine", "hyper"));
+  EXPECT_FALSE(StartsWith("hi", "hyper"));
+  EXPECT_TRUE(EndsWith("builder.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "builder.cc"));
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(ToUpper("MiXeD123"), "MIXED123");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0), "0.333");
+  EXPECT_EQ(FormatDouble(0.58), "0.580");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble(" 3.5 ", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);  // untouched on failure
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+}  // namespace
+}  // namespace hypermine

@@ -1,0 +1,63 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace hypermine {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"Time-series", "ACV"});
+  table.AddRow({"XOM", "0.58"});
+  table.AddRow({"GT", "0.51"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("Time-series"), std::string::npos);
+  EXPECT_NE(text.find("XOM"), std::string::npos);
+  EXPECT_NE(text.find("0.51"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PadsToWidestCell) {
+  TablePrinter table({"a"});
+  table.AddRow({"wide-cell-content"});
+  std::string text = table.ToString();
+  // Every line has the same width.
+  size_t first_line_len = text.find('\n');
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t next = text.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsDropped) {
+  TablePrinter table({"a"});
+  table.AddRow({"kept", "dropped"});
+  EXPECT_EQ(table.ToString().find("dropped"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorAddsRule) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string text = table.ToString();
+  // Frame: top, under-header, separator, bottom = 4 horizontal rules.
+  size_t rules = 0;
+  size_t pos = 0;
+  while ((pos = text.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+}  // namespace
+}  // namespace hypermine

@@ -1,0 +1,90 @@
+#include <map>
+#include <string>
+#include <algorithm>
+// Ad-hoc tuning harness: prints mean weighted in/out degree by role for a
+// parameter candidate. Not part of the build; compile manually.
+#include <cstdio>
+#include <vector>
+#include "core/pipeline.h"
+#include "util/stats.h"
+
+using namespace hypermine;
+
+
+// Top-quartile role concentration (the paper's "top 25" statistic).
+static void TopShare(const hypermine::core::MarketExperiment& ex, bool use_in) {
+  using namespace hypermine;
+  std::vector<std::pair<double, market::Role>> deg;
+  for (core::VertexId v = 0; v < ex.graph.num_vertices(); ++v) {
+    double d = use_in ? ex.graph.WeightedInDegree(v) : ex.graph.WeightedOutDegree(v);
+    deg.push_back({d, ex.panel.tickers[v].role});
+  }
+  std::sort(deg.begin(), deg.end(), [](auto&a, auto&b){return a.first>b.first;});
+  size_t top = deg.size()/4; size_t p=0,c=0,n=0;
+  for (size_t i=0;i<top;++i) {
+    if (deg[i].second==market::Role::kProducer) ++p;
+    else if (deg[i].second==market::Role::kConsumer) ++c; else ++n;
+  }
+  printf("top%zu %s: P=%zu C=%zu N=%zu\n", top, use_in?"in ":"out", p, c, n);
+}
+
+
+static void PairDiag(const hypermine::core::MarketExperiment& ex) {
+  using namespace hypermine;
+  auto rolechar = [&](core::VertexId v){
+    switch (ex.panel.tickers[v].role) {
+      case market::Role::kProducer: return 'P';
+      case market::Role::kConsumer: return 'C';
+      default: return 'N';
+    }
+  };
+  // edge ACV means by (tail_role, head_role); pair mass by tail role.
+  std::map<std::string,std::pair<double,size_t>> edge_stats;
+  std::map<char,double> pair_mass, edge_mass;
+  std::map<char,size_t> head_pairs;
+  for (const auto& e : ex.graph.edges()) {
+    if (e.tail_size()==1) {
+      std::string key = {rolechar(e.tail[0]), rolechar(e.head)};
+      edge_stats[key].first += e.weight; edge_stats[key].second++;
+      edge_mass[rolechar(e.tail[0])] += e.weight;
+    } else {
+      for (size_t i=0;i<e.tail_size();++i) pair_mass[rolechar(e.tail[i])] += e.weight/2;
+      head_pairs[rolechar(e.head)]++;
+    }
+  }
+  for (auto& [k,v] : edge_stats) printf("  edge %s: n=%zu mean=%.3f\n", k.c_str(), v.second, v.first/v.second);
+  printf("  edge out-mass: P=%.0f C=%.0f N=%.0f\n", edge_mass['P'], edge_mass['C'], edge_mass['N']);
+  printf("  pair out-mass: P=%.0f C=%.0f N=%.0f | pairs into heads P=%zu C=%zu N=%zu\n",
+         pair_mass['P'], pair_mass['C'], pair_mass['N'], head_pairs['P'], head_pairs['C'], head_pairs['N']);
+}
+
+int main(int argc, char** argv) {
+  market::MarketConfig mc;
+  mc.num_series = 60; mc.num_years = 5; mc.seed = 2012;
+  if (argc > 1) {
+    // argv: pm pd ps pu pi pq cm cd cs cu ci
+    double* slots[] = {&mc.producer.market,&mc.producer.demand,&mc.producer.sector,&mc.producer.subsector,&mc.producer.idiosyncratic,&mc.producer.quantization,
+                       &mc.consumer.market,&mc.consumer.demand,&mc.consumer.sector,&mc.consumer.subsector,&mc.consumer.idiosyncratic,
+                       &mc.neutral.market,&mc.neutral.demand,&mc.neutral.sector,&mc.neutral.subsector,&mc.neutral.idiosyncratic,
+                       &mc.demand_spread,&mc.idio_spread};
+    for (int i = 1; i < argc && i <= 18; ++i) *slots[i-1] = atof(argv[i]);
+  }
+  auto ex = core::SetUpMarketExperiment(mc, core::ConfigC1());
+  if (!ex.ok()) { printf("error: %s\n", ex.status().ToString().c_str()); return 1; }
+  std::vector<double> pin, cin, nin, pout, cout_, nout;
+  for (core::VertexId v = 0; v < ex->graph.num_vertices(); ++v) {
+    double in = ex->graph.WeightedInDegree(v), out = ex->graph.WeightedOutDegree(v);
+    switch (ex->panel.tickers[v].role) {
+      case market::Role::kProducer: pin.push_back(in); pout.push_back(out); break;
+      case market::Role::kConsumer: cin.push_back(in); cout_.push_back(out); break;
+      default: nin.push_back(in); nout.push_back(out);
+    }
+  }
+  printf("edges=%zu pairs=%zu meanACV=%.3f/%.3f\n", ex->graph.NumDirectedEdges(), ex->graph.NumPairEdges(), ex->graph.MeanDirectedEdgeWeight(), ex->graph.MeanPairEdgeWeight());
+  printf("in : P=%.1f C=%.1f N=%.1f\n", Mean(pin), Mean(cin), Mean(nin));
+  printf("out: P=%.1f C=%.1f N=%.1f\n", Mean(pout), Mean(cout_), Mean(nout));
+  PairDiag(*ex);
+  TopShare(*ex, true);
+  TopShare(*ex, false);
+  return 0;
+}
