@@ -1,0 +1,170 @@
+// Serving-path throughput harness: snapshot load time, then queries/sec and
+// batch latency of the QueryEngine, single- vs multi-threaded, plus a
+// cache-enabled pass. Emits BENCH_serve.json for the perf trajectory.
+//
+//   ./bench_serve_throughput [--vertices=2000] [--edges=50000]
+//       [--queries=20000] [--batch=256] [--threads=4]
+//       [--out=BENCH_serve.json]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/rule_index.h"
+#include "serve/snapshot.h"
+#include "serve/testutil.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hypermine {
+namespace {
+
+struct RunStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+double PercentileMs(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+RunStats RunEngine(const serve::RuleIndex& index,
+                   const std::vector<serve::Query>& queries,
+                   size_t num_threads, size_t batch_size,
+                   size_t cache_capacity) {
+  serve::EngineOptions options;
+  options.num_threads = num_threads;
+  options.cache_capacity = cache_capacity;
+  serve::QueryEngine engine(serve::RuleIndex(index), options);
+
+  std::vector<double> batch_ms;
+  Stopwatch total;
+  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    size_t end = std::min(queries.size(), begin + batch_size);
+    std::vector<serve::Query> batch(queries.begin() + begin,
+                                    queries.begin() + end);
+    Stopwatch per_batch;
+    std::vector<serve::QueryResult> results = engine.QueryBatch(batch);
+    batch_ms.push_back(per_batch.ElapsedMillis());
+    HM_CHECK_EQ(results.size(), batch.size());
+  }
+  double seconds = total.ElapsedSeconds();
+
+  RunStats stats;
+  stats.qps = static_cast<double>(queries.size()) / seconds;
+  std::sort(batch_ms.begin(), batch_ms.end());
+  stats.p50_ms = PercentileMs(batch_ms, 0.50);
+  stats.p99_ms = PercentileMs(batch_ms, 0.99);
+  serve::CacheStats cache = engine.cache_stats();
+  uint64_t lookups = cache.hits + cache.misses;
+  stats.hit_rate = lookups == 0
+                       ? 0.0
+                       : static_cast<double>(cache.hits) /
+                             static_cast<double>(lookups);
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  HM_CHECK_OK(flags.Parse(argc, argv));
+  auto positive = [&flags](const char* name, int64_t fallback) {
+    int64_t value = flags.GetInt(name, fallback);
+    HM_CHECK_GT(value, 0);
+    return static_cast<size_t>(value);
+  };
+  const size_t vertices = positive("vertices", 2000);
+  const size_t edges = positive("edges", 50000);
+  const size_t num_queries = positive("queries", 20000);
+  const size_t batch = positive("batch", 256);
+  const size_t threads = positive("threads", 4);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serve.json");
+
+  std::printf("bench_serve_throughput: %zu vertices, %zu edges, %zu queries "
+              "(batch %zu)\n",
+              vertices, edges, num_queries, batch);
+
+  core::DirectedHypergraph graph =
+      serve::RandomServeGraph(vertices, edges, 42);
+  const std::string snap_path = "/tmp/bench_serve.snap";
+  HM_CHECK_OK(serve::WriteSnapshot(graph, snap_path));
+
+  Stopwatch load_timer;
+  auto loaded = serve::ReadSnapshot(snap_path);
+  HM_CHECK_OK(loaded.status());
+  const double load_ms = load_timer.ElapsedMillis();
+  auto snap_bytes = ReadFileToString(snap_path);
+  HM_CHECK_OK(snap_bytes.status());
+
+  Stopwatch index_timer;
+  serve::RuleIndex index = serve::RuleIndex::Build(*loaded);
+  const double index_ms = index_timer.ElapsedMillis();
+  std::printf("snapshot: %zu bytes, load %.1f ms; rule index: %zu tail "
+              "sets, build %.1f ms\n",
+              snap_bytes->size(), load_ms, index.num_tail_sets(), index_ms);
+
+  std::vector<serve::Query> queries = serve::RandomServeQueries(
+      num_queries, vertices, 7, /*k=*/10, /*reach_every=*/16,
+      /*reach_min_acv=*/0.8);
+
+  RunStats single = RunEngine(index, queries, 1, batch, /*cache=*/0);
+  RunStats multi = RunEngine(index, queries, threads, batch, /*cache=*/0);
+  RunStats cached = RunEngine(index, queries, threads, batch,
+                              /*cache=*/4096);
+  const double speedup = single.qps > 0 ? multi.qps / single.qps : 0.0;
+
+  std::printf("%-22s %12s %10s %10s %9s\n", "configuration", "queries/s",
+              "p50 ms", "p99 ms", "hit rate");
+  std::printf("%-22s %12.0f %10.3f %10.3f %9s\n", "1 thread, no cache",
+              single.qps, single.p50_ms, single.p99_ms, "-");
+  std::string multi_label = StrFormat("%zu threads, no cache", threads);
+  std::printf("%-22s %12.0f %10.3f %10.3f %9s\n", multi_label.c_str(),
+              multi.qps, multi.p50_ms, multi.p99_ms, "-");
+  std::printf("%-22s %12.0f %10.3f %10.3f %8.1f%%\n", "with cache",
+              cached.qps, cached.p50_ms, cached.p99_ms,
+              100.0 * cached.hit_rate);
+  std::printf("multi-thread speedup: %.2fx (%zu hardware threads "
+              "available)\n",
+              speedup, static_cast<size_t>(
+                           std::thread::hardware_concurrency()));
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"bench\": \"serve_throughput\",\n"
+      "  \"vertices\": %zu,\n"
+      "  \"edges\": %zu,\n"
+      "  \"queries\": %zu,\n"
+      "  \"batch_size\": %zu,\n"
+      "  \"snapshot_bytes\": %zu,\n"
+      "  \"snapshot_load_ms\": %.3f,\n"
+      "  \"index_build_ms\": %.3f,\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"single_thread\": {\"qps\": %.1f, \"p50_batch_ms\": %.3f, "
+      "\"p99_batch_ms\": %.3f},\n"
+      "  \"multi_thread\": {\"threads\": %zu, \"qps\": %.1f, "
+      "\"p50_batch_ms\": %.3f, \"p99_batch_ms\": %.3f},\n"
+      "  \"multi_thread_speedup\": %.3f,\n"
+      "  \"cached\": {\"qps\": %.1f, \"hit_rate\": %.4f}\n"
+      "}\n",
+      vertices, edges, num_queries, batch, snap_bytes->size(), load_ms,
+      index_ms, std::thread::hardware_concurrency(), single.qps,
+      single.p50_ms, single.p99_ms, threads, multi.qps, multi.p50_ms,
+      multi.p99_ms, speedup, cached.qps, cached.hit_rate);
+  HM_CHECK_OK(WriteStringToFile(out_path, json));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hypermine
+
+int main(int argc, char** argv) { return hypermine::Main(argc, argv); }

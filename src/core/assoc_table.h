@@ -44,6 +44,9 @@ class AssociationTable {
   /// Row of a tail value combination; for |T|=2 the order matches tail().
   const AssocTableRow& RowFor(const std::vector<ValueId>& tail_values) const;
   const AssocTableRow& row(size_t index) const { return rows_[index]; }
+  /// All rows in tail-combination order, for consumers that need to walk
+  /// the whole table rather than look up single combinations.
+  const std::vector<AssocTableRow>& rows() const { return rows_; }
 
   /// ACV(T, H) in [0, 1].
   double acv() const { return acv_; }

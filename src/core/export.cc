@@ -28,7 +28,12 @@ Status WriteHypergraphCsv(const DirectedHypergraph& graph,
 }
 
 StatusOr<DirectedHypergraph> ReadHypergraphCsv(const std::string& path) {
-  HM_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path, /*has_header=*/true));
+  HM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseHypergraphCsv(text);
+}
+
+StatusOr<DirectedHypergraph> ParseHypergraphCsv(const std::string& text) {
+  HM_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text, /*has_header=*/true));
   if (doc.rows.empty() || doc.rows[0].size() != 3 ||
       doc.rows[0][0] != "vertices") {
     return Status::InvalidArgument(

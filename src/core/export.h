@@ -14,12 +14,20 @@ namespace hypermine::core {
 /// Serializes a hypergraph to CSV: a leading "vertices" record listing all
 /// vertex names ('|'-separated), then one record per hyperedge with the
 /// tail ('|'-separated names), head name, and weight. Round-trips through
-/// ReadHypergraphCsv, including isolated vertices.
+/// ReadHypergraphCsv, including isolated vertices. For the serving path,
+/// serve/snapshot.h provides an equivalent (and interconvertible) binary
+/// format that loads without parsing; serve::LoadHypergraph accepts both.
 Status WriteHypergraphCsv(const DirectedHypergraph& graph,
                           const std::string& path);
 
 /// Reads a hypergraph written by WriteHypergraphCsv.
 StatusOr<DirectedHypergraph> ReadHypergraphCsv(const std::string& path);
+
+/// Parses WriteHypergraphCsv output from an in-memory buffer (the
+/// file-reading half of ReadHypergraphCsv split out, so callers that
+/// already hold the bytes — e.g. serve::LoadHypergraph's format sniffing —
+/// do not re-read the file).
+StatusOr<DirectedHypergraph> ParseHypergraphCsv(const std::string& text);
 
 /// One display node of a Figure 5.3-style cluster drawing.
 struct ClusterNode {

@@ -110,8 +110,15 @@ const std::vector<EdgeId>& DirectedHypergraph::OutEdgeIds(VertexId v) const {
 std::optional<EdgeId> DirectedHypergraph::FindEdge(
     std::span<const VertexId> tail, VertexId head) const {
   if (tail.empty() || tail.size() > kMaxTailSize) return std::nullopt;
+  // Out-of-range ids must miss rather than alias a real vertex: EdgeKey
+  // keeps only the low 16 bits, so e.g. 0x10000 would otherwise collide
+  // with vertex 0.
+  if (head >= names_.size()) return std::nullopt;
   VertexId sorted[kMaxTailSize] = {kNoVertex, kNoVertex, kNoVertex};
-  for (size_t i = 0; i < tail.size(); ++i) sorted[i] = tail[i];
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (tail[i] >= names_.size()) return std::nullopt;
+    sorted[i] = tail[i];
+  }
   std::sort(sorted, sorted + tail.size());
   auto it = index_.find(EdgeKey(sorted, head));
   if (it == index_.end()) return std::nullopt;

@@ -1,0 +1,114 @@
+#ifndef HYPERMINE_SERVE_ENGINE_H_
+#define HYPERMINE_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/rule_index.h"
+#include "util/status.h"
+
+namespace hypermine::serve {
+
+/// Largest item set a single query may name. TopKWithin enumerates tail
+/// subsets of size 1..3, so work grows as C(n, 3); the cap bounds one
+/// query to ~40k group lookups and keeps a hostile stdin line from
+/// pinning a serving worker.
+inline constexpr size_t kMaxQueryItems = 64;
+
+/// One association query: "given these items, what follows?".
+struct Query {
+  std::vector<core::VertexId> items;
+  size_t k = 10;
+  /// kTopK ranks consequents of tail subsets of `items`; kReachable
+  /// computes the forward closure of `items` under min_acv.
+  enum class Kind { kTopK, kReachable } kind = Kind::kTopK;
+  /// Only used by kReachable.
+  double min_acv = 0.0;
+};
+
+struct QueryResult {
+  Status status;
+  /// kTopK answers (best ACV first).
+  std::vector<RankedConsequent> ranked;
+  /// kReachable answer (sorted vertex ids, includes the seeds).
+  std::vector<core::VertexId> closure;
+  /// True when served from the engine's result cache.
+  bool from_cache = false;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency (at least 1).
+  size_t num_threads = 0;
+  /// LRU result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 4096;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Concurrent batched query engine over an immutable RuleIndex. A fixed
+/// thread pool drains each submitted batch (callers block until their batch
+/// is complete), and an LRU cache keyed on the canonicalized query memoizes
+/// results across batches. The index is read-only after construction, so
+/// workers share it without locking; only the cache takes a mutex.
+class QueryEngine {
+ public:
+  QueryEngine(RuleIndex index, EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Answers a batch; result i corresponds to queries[i]. Thread-safe —
+  /// concurrent batches interleave on the same pool.
+  std::vector<QueryResult> QueryBatch(const std::vector<Query>& queries);
+
+  /// Answers one query (convenience wrapper over QueryBatch).
+  QueryResult QueryOne(const Query& query);
+
+  const RuleIndex& index() const { return index_; }
+  size_t num_threads() const { return workers_.size(); }
+  CacheStats cache_stats() const;
+
+ private:
+  struct CacheEntry {
+    std::string key;
+    QueryResult result;
+  };
+
+  QueryResult Process(const Query& query);
+  /// Canonical cache key; empty when the query is uncacheable/invalid.
+  static std::string CacheKey(const Query& query);
+
+  void WorkerLoop();
+
+  const RuleIndex index_;
+
+  // Work queue of closures; one per in-flight batch chunk.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<std::function<void()>> pending_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+
+  // LRU cache: list front = most recent; map points into the list.
+  mutable std::mutex cache_mutex_;
+  size_t cache_capacity_ = 0;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+  CacheStats stats_;
+};
+
+}  // namespace hypermine::serve
+
+#endif  // HYPERMINE_SERVE_ENGINE_H_

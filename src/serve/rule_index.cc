@@ -1,0 +1,179 @@
+#include "serve/rule_index.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hypermine::serve {
+
+uint64_t RuleIndex::TailKey(std::span<const core::VertexId> tail) {
+  if (tail.empty() || tail.size() > core::kMaxTailSize) {
+    return kInvalidTailKey;
+  }
+  core::VertexId sorted[core::kMaxTailSize] = {core::kNoVertex,
+                                               core::kNoVertex,
+                                               core::kNoVertex};
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (tail[i] >= core::kMaxVertices) return kInvalidTailKey;
+    sorted[i] = tail[i];
+  }
+  std::sort(sorted, sorted + tail.size());
+  if (tail.size() > 1 &&
+      std::adjacent_find(sorted, sorted + tail.size()) !=
+          sorted + tail.size()) {
+    return kInvalidTailKey;
+  }
+  // Three 16-bit fields, same packing as DirectedHypergraph::EdgeKey minus
+  // the head; kNoVertex pads to 0xFFFF which no real vertex can use.
+  return ((static_cast<uint64_t>(sorted[0]) & 0xFFFF) << 32) |
+         ((static_cast<uint64_t>(sorted[1]) & 0xFFFF) << 16) |
+         (static_cast<uint64_t>(sorted[2]) & 0xFFFF);
+}
+
+RuleIndex RuleIndex::Build(const core::DirectedHypergraph& graph) {
+  RuleIndex index;
+  index.num_vertices_ = graph.num_vertices();
+  index.out_edges_.resize(graph.num_vertices());
+
+  // Copy the edges compactly and bucket entry positions by tail key.
+  const size_t num_edges = graph.num_edges();
+  index.edges_.reserve(num_edges);
+  std::vector<std::pair<uint64_t, core::EdgeId>> keyed;
+  keyed.reserve(num_edges);
+  for (core::EdgeId id = 0; id < num_edges; ++id) {
+    const core::Hyperedge& e = graph.edge(id);
+    Edge copy;
+    size_t n = e.tail_size();
+    copy.tail_size = static_cast<uint8_t>(n);
+    for (size_t i = 0; i < core::kMaxTailSize; ++i) copy.tail[i] = e.tail[i];
+    copy.head = e.head;
+    copy.weight = e.weight;
+    index.edges_.push_back(copy);
+    for (size_t i = 0; i < n; ++i) {
+      index.out_edges_[e.tail[i]].push_back(id);
+    }
+    keyed.emplace_back(TailKey(e.TailSpan()), id);
+  }
+
+  // Group by key; within a group order by ACV desc (ties: smaller head id
+  // first, for deterministic serving).
+  std::sort(keyed.begin(), keyed.end(),
+            [&index](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              const Edge& ea = index.edges_[a.second];
+              const Edge& eb = index.edges_[b.second];
+              if (ea.weight != eb.weight) return ea.weight > eb.weight;
+              return ea.head < eb.head;
+            });
+  index.entries_.reserve(num_edges);
+  for (size_t i = 0; i < keyed.size();) {
+    size_t j = i;
+    while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+    Group group;
+    group.begin = static_cast<uint32_t>(index.entries_.size());
+    group.size = static_cast<uint32_t>(j - i);
+    index.groups_.emplace(keyed[i].first, group);
+    for (size_t p = i; p < j; ++p) {
+      const Edge& e = index.edges_[keyed[p].second];
+      index.entries_.push_back({e.head, e.weight, keyed[p].second});
+    }
+    i = j;
+  }
+  return index;
+}
+
+std::vector<RankedConsequent> RuleIndex::TopK(
+    std::span<const core::VertexId> tail, size_t k) const {
+  std::vector<RankedConsequent> out;
+  if (k == 0) return out;
+  auto it = groups_.find(TailKey(tail));
+  if (it == groups_.end()) return out;
+  const Group& group = it->second;
+  size_t take = std::min<size_t>(k, group.size);
+  out.assign(entries_.begin() + group.begin,
+             entries_.begin() + group.begin + take);
+  return out;
+}
+
+std::vector<RankedConsequent> RuleIndex::TopKWithin(
+    std::span<const core::VertexId> items, size_t k) const {
+  std::vector<RankedConsequent> out;
+  if (k == 0 || items.empty()) return out;
+
+  // Deduplicated, in-range item set.
+  std::vector<core::VertexId> set(items.begin(), items.end());
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  while (!set.empty() && set.back() >= num_vertices_) set.pop_back();
+
+  // Best ACV per head over all tail subsets of size 1..3.
+  std::unordered_map<core::VertexId, RankedConsequent> best;
+  auto consider = [this, &best](std::span<const core::VertexId> tail) {
+    auto it = groups_.find(TailKey(tail));
+    if (it == groups_.end()) return;
+    const Group& group = it->second;
+    for (uint32_t p = group.begin; p < group.begin + group.size; ++p) {
+      const RankedConsequent& entry = entries_[p];
+      auto [slot, inserted] = best.emplace(entry.head, entry);
+      if (!inserted && entry.acv > slot->second.acv) slot->second = entry;
+    }
+  };
+  const size_t n = set.size();
+  for (size_t a = 0; a < n; ++a) {
+    consider({&set[a], 1});
+    for (size_t b = a + 1; b < n; ++b) {
+      core::VertexId pair[2] = {set[a], set[b]};
+      consider(pair);
+      for (size_t c = b + 1; c < n; ++c) {
+        core::VertexId triple[3] = {set[a], set[b], set[c]};
+        consider(triple);
+      }
+    }
+  }
+
+  out.reserve(best.size());
+  for (const auto& [head, entry] : best) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const RankedConsequent& a, const RankedConsequent& b) {
+              if (a.acv != b.acv) return a.acv > b.acv;
+              return a.head < b.head;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<core::VertexId> RuleIndex::Reachable(
+    std::span<const core::VertexId> seeds, double min_acv) const {
+  std::vector<char> in_closure(num_vertices_, 0);
+  // Tail vertices still missing before each edge can fire.
+  std::vector<uint8_t> missing(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) missing[e] = edges_[e].tail_size;
+
+  std::queue<core::VertexId> frontier;
+  for (core::VertexId v : seeds) {
+    if (v < num_vertices_ && !in_closure[v]) {
+      in_closure[v] = 1;
+      frontier.push(v);
+    }
+  }
+  while (!frontier.empty()) {
+    core::VertexId v = frontier.front();
+    frontier.pop();
+    for (uint32_t e : out_edges_[v]) {
+      if (edges_[e].weight < min_acv) continue;
+      if (--missing[e] != 0) continue;
+      core::VertexId head = edges_[e].head;
+      if (!in_closure[head]) {
+        in_closure[head] = 1;
+        frontier.push(head);
+      }
+    }
+  }
+
+  std::vector<core::VertexId> out;
+  for (core::VertexId v = 0; v < num_vertices_; ++v) {
+    if (in_closure[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hypermine::serve

@@ -1,0 +1,89 @@
+#ifndef HYPERMINE_SERVE_RULE_INDEX_H_
+#define HYPERMINE_SERVE_RULE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hypergraph.h"
+
+namespace hypermine::serve {
+
+/// One ranked answer to "given these items, what follows?": a consequent
+/// vertex with the ACV of the hyperedge that produced it.
+struct RankedConsequent {
+  core::VertexId head = core::kNoVertex;
+  double acv = 0.0;
+  core::EdgeId edge = 0;
+
+  friend bool operator==(const RankedConsequent&,
+                         const RankedConsequent&) = default;
+};
+
+/// Read-optimized index over a built association hypergraph. Construction
+/// groups hyperedges by canonicalized tail set and pre-sorts each group's
+/// consequents by descending ACV, so serving a TopK query is a hash lookup
+/// plus a slice — no per-query sorting. The index copies what it needs and
+/// does not retain a reference to the source graph.
+class RuleIndex {
+ public:
+  /// Builds the index in O(E log E).
+  static RuleIndex Build(const core::DirectedHypergraph& graph);
+
+  /// Consequents of the *exact* tail set (order-insensitive), best ACV
+  /// first, at most k entries. Unknown or invalid tails yield an empty
+  /// result — absence of rules is not an error on the serving path.
+  std::vector<RankedConsequent> TopK(std::span<const core::VertexId> tail,
+                                     size_t k) const;
+
+  /// Consequents of every hyperedge whose tail is a subset of `items`
+  /// (the paper's association query: "given items {A, B}, what are the
+  /// top-k consequents?"). A head reachable through several tails is
+  /// reported once with its best ACV.
+  std::vector<RankedConsequent> TopKWithin(
+      std::span<const core::VertexId> items, size_t k) const;
+
+  /// Forward closure under B-reachability: starting from `seeds`, a
+  /// hyperedge fires when its whole tail is already reachable and its ACV
+  /// is >= min_acv, making its head reachable. Returns the closure
+  /// (including the seeds), sorted ascending. Mirrors SCC/reachability
+  /// notions on directed hypergraphs (Allamigeon, arXiv:1112.1444).
+  std::vector<core::VertexId> Reachable(std::span<const core::VertexId> seeds,
+                                        double min_acv) const;
+
+  size_t num_tail_sets() const { return groups_.size(); }
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// Canonical 48-bit key of a tail set (sorted, padded); kInvalidTailKey
+  /// for tails that no hyperedge can have (empty, too large, out of range,
+  /// duplicates).
+  static uint64_t TailKey(std::span<const core::VertexId> tail);
+  static constexpr uint64_t kInvalidTailKey = ~0ull;
+
+ private:
+  struct Group {
+    uint32_t begin = 0;
+    uint32_t size = 0;
+  };
+
+  struct Edge {
+    core::VertexId tail[core::kMaxTailSize];
+    uint8_t tail_size = 0;
+    core::VertexId head = core::kNoVertex;
+    double weight = 0.0;
+  };
+
+  size_t num_vertices_ = 0;
+  /// Consequents, grouped by tail key, each group sorted by ACV desc.
+  std::vector<RankedConsequent> entries_;
+  std::unordered_map<uint64_t, Group> groups_;
+  /// Compact edge copies + per-vertex incidence for Reachable().
+  std::vector<Edge> edges_;
+  std::vector<std::vector<uint32_t>> out_edges_;
+};
+
+}  // namespace hypermine::serve
+
+#endif  // HYPERMINE_SERVE_RULE_INDEX_H_

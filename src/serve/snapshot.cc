@@ -1,0 +1,224 @@
+#include "serve/snapshot.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "core/export.h"
+#include "serve/wire.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace hypermine::serve {
+namespace {
+
+// The format is defined as little-endian. The project targets x86-64 (see
+// the accelerator notes in ROADMAP.md); on a big-endian host the memcpy
+// below would need byte swaps.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format requires a little-endian host");
+
+constexpr char kMagic[8] = {'H', 'M', 'S', 'N', 'A', 'P', 'S', 'H'};
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8;
+// uint16 tail[3] + uint16 head + double weight.
+constexpr size_t kEdgeRecordSize = 4 * 2 + 8;
+// 16-bit encoding of core::kNoVertex; no real id reaches it because
+// core::kMaxVertices = 0xFFFE.
+constexpr uint16_t kNoVertex16 = 0xFFFF;
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Bounds-checked sequential reader over the snapshot body.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::Corrupted("snapshot: " + what);
+}
+
+/// Splits a buffer into (version, body) after magic/checksum verification.
+StatusOr<std::pair<uint32_t, std::string_view>> CheckEnvelope(
+    std::string_view data, bool verify_checksum) {
+  if (data.size() < kHeaderSize) return Corrupt("file shorter than header");
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a hypermine snapshot)");
+  }
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t checksum = 0;
+  std::memcpy(&version, data.data() + 8, sizeof(version));
+  std::memcpy(&flags, data.data() + 12, sizeof(flags));
+  std::memcpy(&checksum, data.data() + 16, sizeof(checksum));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: unsupported version %u (expected %u)", version,
+                  kSnapshotVersion));
+  }
+  if (flags != 0) return Corrupt("nonzero reserved flags");
+  std::string_view body = data.substr(kHeaderSize);
+  if (verify_checksum && Fnv1a(body) != checksum) {
+    return Corrupt("body checksum mismatch");
+  }
+  return std::make_pair(version, body);
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(const core::DirectedHypergraph& graph) {
+  std::string body;
+  body.reserve(64 + 16 * graph.num_vertices() + 16 * graph.num_edges());
+  AppendPod<uint64_t>(&body, graph.num_vertices());
+  AppendPod<uint64_t>(&body, graph.num_edges());
+  for (const std::string& name : graph.vertex_names()) {
+    AppendPod<uint32_t>(&body, static_cast<uint32_t>(name.size()));
+  }
+  for (const std::string& name : graph.vertex_names()) body += name;
+  for (core::EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const core::Hyperedge& e = graph.edge(id);
+    for (core::VertexId v : e.tail) {
+      AppendPod<uint16_t>(&body, v == core::kNoVertex
+                                     ? kNoVertex16
+                                     : static_cast<uint16_t>(v));
+    }
+    AppendPod<uint16_t>(&body, static_cast<uint16_t>(e.head));
+    AppendPod<double>(&body, e.weight);
+  }
+
+  std::string out;
+  out.reserve(kHeaderSize + body.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod<uint32_t>(&out, kSnapshotVersion);
+  AppendPod<uint32_t>(&out, 0);  // flags
+  AppendPod<uint64_t>(&out, Fnv1a(body));
+  out += body;
+  return out;
+}
+
+StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data) {
+  HM_ASSIGN_OR_RETURN(auto envelope,
+                      CheckEnvelope(data, /*verify_checksum=*/true));
+  Reader reader(envelope.second);
+
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  if (!reader.Read(&num_vertices) || !reader.Read(&num_edges)) {
+    return Corrupt("truncated counts");
+  }
+  if (num_vertices == 0 || num_vertices > core::kMaxVertices) {
+    return Corrupt("vertex count out of range");
+  }
+
+  std::vector<uint32_t> name_lengths(num_vertices);
+  for (uint32_t& len : name_lengths) {
+    if (!reader.Read(&len)) return Corrupt("truncated name table");
+  }
+  std::vector<std::string> names;
+  names.reserve(num_vertices);
+  for (uint32_t len : name_lengths) {
+    std::string_view bytes;
+    if (!reader.ReadBytes(len, &bytes)) return Corrupt("truncated names");
+    names.emplace_back(bytes);
+  }
+
+  auto graph_or = core::DirectedHypergraph::Create(std::move(names));
+  if (!graph_or.ok()) return Corrupt(graph_or.status().message());
+  core::DirectedHypergraph graph = std::move(graph_or).value();
+
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint16_t tail16[core::kMaxTailSize];
+    uint16_t head16 = 0;
+    double weight = 0.0;
+    bool ok = true;
+    for (uint16_t& t : tail16) ok = ok && reader.Read(&t);
+    ok = ok && reader.Read(&head16) && reader.Read(&weight);
+    if (!ok) {
+      return Corrupt(StrFormat("truncated edge record %llu",
+                               static_cast<unsigned long long>(i)));
+    }
+    std::vector<core::VertexId> tail;
+    for (uint16_t t : tail16) {
+      if (t != kNoVertex16) tail.push_back(t);
+    }
+    auto added = graph.AddEdge(std::move(tail), head16, weight);
+    if (!added.ok()) {
+      return Corrupt(StrFormat("invalid edge record %llu: %s",
+                               static_cast<unsigned long long>(i),
+                               added.status().message().c_str()));
+    }
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing bytes after edge records");
+  return graph;
+}
+
+Status WriteSnapshot(const core::DirectedHypergraph& graph,
+                     const std::string& path) {
+  return WriteStringToFile(path, SerializeSnapshot(graph));
+}
+
+StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializeSnapshot(data);
+}
+
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  // A peek must stay cheap on multi-GB models: read only the header plus
+  // the two count fields, never the whole file.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string data(kHeaderSize + 2 * sizeof(uint64_t), '\0');
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  data.resize(static_cast<size_t>(in.gcount()));
+  HM_ASSIGN_OR_RETURN(auto envelope,
+                      CheckEnvelope(data, /*verify_checksum=*/false));
+  SnapshotInfo info;
+  info.version = envelope.first;
+  Reader reader(envelope.second);
+  if (!reader.Read(&info.num_vertices) || !reader.Read(&info.num_edges)) {
+    return Corrupt("truncated counts");
+  }
+  return info;
+}
+
+bool LooksLikeSnapshot(std::string_view data) {
+  return data.size() >= sizeof(kMagic) &&
+         std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+StatusOr<core::DirectedHypergraph> LoadHypergraph(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (LooksLikeSnapshot(data)) return DeserializeSnapshot(data);
+  return core::ParseHypergraphCsv(data);
+}
+
+}  // namespace hypermine::serve

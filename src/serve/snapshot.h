@@ -1,0 +1,65 @@
+#ifndef HYPERMINE_SERVE_SNAPSHOT_H_
+#define HYPERMINE_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hypermine::serve {
+
+/// Binary snapshot of a built association hypergraph — the servable artifact
+/// of the read path. Layout (little-endian, x86 assumption documented in
+/// snapshot.cc):
+///
+///   magic    8 bytes  "HMSNAPSH"
+///   version  uint32   kSnapshotVersion
+///   flags    uint32   reserved, 0
+///   checksum uint64   FNV-1a over the body
+///   body:
+///     num_vertices uint64
+///     num_edges    uint64
+///     name lengths uint32 x num_vertices
+///     name bytes   concatenated, no terminators
+///     edge records 16 bytes x num_edges:
+///       tail uint16 x 3 (0xFFFF = empty slot), head uint16, weight double
+///
+/// Round-trips everything WriteHypergraphCsv covers (vertex names including
+/// isolated vertices, tails of size 1..3, exact weights) at ~10x smaller
+/// size, and load is a single pass over the file with no re-mining.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Parsed header summary (cheap peek; does not verify the body checksum).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+};
+
+/// Serializes the graph to the snapshot wire format.
+std::string SerializeSnapshot(const core::DirectedHypergraph& graph);
+
+/// Parses a snapshot buffer. Corrupted, truncated, or checksum-mismatching
+/// input yields kCorrupted; an unsupported version yields kInvalidArgument.
+StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data);
+
+/// Writes / reads a snapshot file.
+Status WriteSnapshot(const core::DirectedHypergraph& graph,
+                     const std::string& path);
+StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path);
+
+/// Reads only the header + counts of a snapshot file.
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// True when the buffer starts with the snapshot magic.
+bool LooksLikeSnapshot(std::string_view data);
+
+/// Loads a hypergraph from either a snapshot or a WriteHypergraphCsv file,
+/// sniffing the format from the leading bytes.
+StatusOr<core::DirectedHypergraph> LoadHypergraph(const std::string& path);
+
+}  // namespace hypermine::serve
+
+#endif  // HYPERMINE_SERVE_SNAPSHOT_H_

@@ -1,0 +1,21 @@
+#ifndef HYPERMINE_SERVE_WIRE_H_
+#define HYPERMINE_SERVE_WIRE_H_
+
+#include <cstring>
+#include <string>
+
+namespace hypermine::serve {
+
+/// Appends the raw little-endian bytes of a POD value to a buffer. Shared
+/// by the snapshot writer and the engine's cache-key builder so any future
+/// encoding change happens in one place.
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+}  // namespace hypermine::serve
+
+#endif  // HYPERMINE_SERVE_WIRE_H_

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kCorrupted:
+      return "CORRUPTED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  /// Persisted data failed an integrity check (bad magic, checksum
+  /// mismatch, truncation) — distinct from kIoError, which is the
+  /// filesystem failing, not the bytes lying.
+  kCorrupted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +67,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corrupted(std::string msg) {
+    return Status(StatusCode::kCorrupted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

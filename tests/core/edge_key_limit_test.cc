@@ -1,0 +1,83 @@
+// Regression tests for the 16-bit packing limit of
+// DirectedHypergraph::EdgeKey: four 16-bit fields mean no vertex id may
+// reach 0xFFFF (the truncation of kNoVertex), which is why kMaxVertices is
+// 0xFFFE. These tests pin the contract that ids at/above the limit are
+// rejected rather than silently colliding in the exact-edge index.
+#include <gtest/gtest.h>
+
+#include "core/hypergraph.h"
+#include "util/logging.h"
+
+namespace hypermine::core {
+namespace {
+
+TEST(EdgeKeyLimitTest, CreateRejectsMoreThanMaxVertices) {
+  EXPECT_TRUE(DirectedHypergraph::CreateAnonymous(kMaxVertices).ok());
+  auto too_big = DirectedHypergraph::CreateAnonymous(kMaxVertices + 1);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeKeyLimitTest, MaxVertexIdNeverAliasesThePaddingSentinel) {
+  // kNoVertex truncates to 0xFFFF in the packed key; the largest legal id
+  // is 0xFFFD (= kMaxVertices - 1), so padding can never collide with a
+  // real vertex.
+  static_assert(kMaxVertices - 1 < 0xFFFF);
+  auto graph = DirectedHypergraph::CreateAnonymous(kMaxVertices);
+  HM_CHECK_OK(graph.status());
+  const VertexId hi = static_cast<VertexId>(kMaxVertices - 1);  // 0xFFFD
+  const VertexId lo = 0;
+
+  // A |T|=1 edge {hi} -> lo and a |T|=2 edge {hi, hi-1} -> lo must be kept
+  // distinct: if padding aliased a vertex id, their keys could collide.
+  ASSERT_TRUE(graph->AddEdge({hi}, lo, 0.25).ok());
+  ASSERT_TRUE(graph->AddEdge({hi, hi - 1}, lo, 0.75).ok());
+  VertexId single[] = {hi};
+  VertexId pair[] = {hi, hi - 1};
+  auto found_single = graph->FindEdge(single, lo);
+  auto found_pair = graph->FindEdge(pair, lo);
+  ASSERT_TRUE(found_single.has_value());
+  ASSERT_TRUE(found_pair.has_value());
+  EXPECT_NE(*found_single, *found_pair);
+  EXPECT_EQ(graph->edge(*found_single).weight, 0.25);
+  EXPECT_EQ(graph->edge(*found_pair).weight, 0.75);
+
+  // Neighboring high ids do not collide with each other either.
+  ASSERT_TRUE(graph->AddEdge({hi - 1}, lo, 0.5).ok());
+  VertexId neighbor[] = {hi - 1};
+  ASSERT_TRUE(graph->FindEdge(neighbor, lo).has_value());
+  EXPECT_NE(*graph->FindEdge(neighbor, lo), *found_single);
+}
+
+TEST(EdgeKeyLimitTest, OutOfRangeIdsAreRejectedNotTruncated) {
+  // In a graph smaller than the packing limit, ids that would only be
+  // distinguishable after 16-bit truncation must be rejected outright:
+  // 0x10000 truncates to 0x0000 and would alias vertex 0 if it slipped
+  // through validation into EdgeKey.
+  auto graph = DirectedHypergraph::CreateAnonymous(4);
+  HM_CHECK_OK(graph.status());
+  ASSERT_TRUE(graph->AddEdge({0}, 1, 0.5).ok());
+
+  const VertexId aliases_zero = 0x10000;
+  auto bad_tail = graph->AddEdge({aliases_zero}, 1, 0.9);
+  ASSERT_FALSE(bad_tail.ok());
+  EXPECT_EQ(bad_tail.status().code(), StatusCode::kOutOfRange);
+  auto bad_head = graph->AddEdge({2}, aliases_zero + 1, 0.9);
+  ASSERT_FALSE(bad_head.ok());
+  EXPECT_EQ(bad_head.status().code(), StatusCode::kOutOfRange);
+
+  // FindEdge with out-of-range ids reports absence instead of resolving a
+  // truncated key to the {0} -> 1 edge.
+  VertexId alias_query[] = {aliases_zero};
+  EXPECT_FALSE(graph->FindEdge(alias_query, 1).has_value());
+  VertexId zero_query[] = {0};
+  EXPECT_FALSE(graph->FindEdge(zero_query, aliases_zero + 1).has_value());
+
+  // Ids at the boundary of this graph (>= num_vertices) are rejected too.
+  auto at_limit = graph->AddEdge({4}, 1, 0.5);
+  ASSERT_FALSE(at_limit.ok());
+  EXPECT_EQ(at_limit.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace hypermine::core

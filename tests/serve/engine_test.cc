@@ -1,0 +1,173 @@
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/testutil.h"
+#include "util/logging.h"
+
+namespace hypermine::serve {
+namespace {
+
+using core::VertexId;
+
+core::DirectedHypergraph RandomGraph(size_t vertices, size_t edges,
+                                     uint64_t seed) {
+  return RandomServeGraph(vertices, edges, seed);
+}
+
+std::vector<Query> RandomQueries(size_t n, size_t vertices, uint64_t seed) {
+  return RandomServeQueries(n, vertices, seed, /*k=*/5, /*reach_every=*/7,
+                            /*reach_min_acv=*/0.5);
+}
+
+TEST(QueryEngineTest, BatchMatchesDirectIndexLookups) {
+  core::DirectedHypergraph graph = RandomGraph(40, 150, 17);
+  RuleIndex index = RuleIndex::Build(graph);
+  EngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(RuleIndex::Build(graph), options);
+  EXPECT_EQ(engine.num_threads(), 4u);
+
+  std::vector<Query> queries = RandomQueries(200, 40, 99);
+  std::vector<QueryResult> results = engine.QueryBatch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << i;
+    if (queries[i].kind == Query::Kind::kTopK) {
+      EXPECT_EQ(results[i].ranked,
+                index.TopKWithin(queries[i].items, queries[i].k))
+          << i;
+    } else {
+      EXPECT_EQ(results[i].closure,
+                index.Reachable(queries[i].items, queries[i].min_acv))
+          << i;
+    }
+  }
+}
+
+TEST(QueryEngineTest, EmptyBatchAndEmptyItems) {
+  QueryEngine engine(RuleIndex::Build(RandomGraph(10, 20, 3)));
+  EXPECT_TRUE(engine.QueryBatch({}).empty());
+  QueryResult result = engine.QueryOne(Query{});
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, OversizedItemSetIsRejectedNotExecuted) {
+  QueryEngine engine(RuleIndex::Build(RandomGraph(10, 20, 3)));
+  Query q;
+  q.items.assign(kMaxQueryItems + 1, 0);
+  QueryResult result = engine.QueryOne(q);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  // At the cap it still executes.
+  q.items.clear();
+  for (core::VertexId v = 0; v < kMaxQueryItems; ++v) {
+    q.items.push_back(v % 10);
+  }
+  EXPECT_TRUE(engine.QueryOne(q).status.ok());
+}
+
+TEST(QueryEngineTest, CacheServesRepeatsAndNormalizesItemOrder) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 64;
+  QueryEngine engine(RuleIndex::Build(RandomGraph(20, 60, 5)), options);
+
+  Query q{{3, 1}, 5, Query::Kind::kTopK, 0.0};
+  QueryResult first = engine.QueryOne(q);
+  EXPECT_FALSE(first.from_cache);
+  QueryResult second = engine.QueryOne(q);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.ranked, first.ranked);
+
+  // Item order and duplicates canonicalize to the same cache entry.
+  Query reordered{{1, 3, 3}, 5, Query::Kind::kTopK, 0.0};
+  QueryResult third = engine.QueryOne(reordered);
+  EXPECT_TRUE(third.from_cache);
+  EXPECT_EQ(third.ranked, first.ranked);
+
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(QueryEngineTest, CacheDistinguishesKindKAndThreshold) {
+  QueryEngine engine(RuleIndex::Build(RandomGraph(20, 60, 5)));
+  Query topk{{2}, 5, Query::Kind::kTopK, 0.0};
+  Query topk_k3{{2}, 3, Query::Kind::kTopK, 0.0};
+  Query reach{{2}, 5, Query::Kind::kReachable, 0.0};
+  Query reach_hi{{2}, 5, Query::Kind::kReachable, 0.9};
+  EXPECT_FALSE(engine.QueryOne(topk).from_cache);
+  EXPECT_FALSE(engine.QueryOne(topk_k3).from_cache);
+  EXPECT_FALSE(engine.QueryOne(reach).from_cache);
+  EXPECT_FALSE(engine.QueryOne(reach_hi).from_cache);
+  EXPECT_TRUE(engine.QueryOne(topk).from_cache);
+  EXPECT_TRUE(engine.QueryOne(reach_hi).from_cache);
+}
+
+TEST(QueryEngineTest, LruEvictsLeastRecentlyUsed) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 2;
+  QueryEngine engine(RuleIndex::Build(RandomGraph(20, 60, 5)), options);
+
+  Query a{{1}, 5, Query::Kind::kTopK, 0.0};
+  Query b{{2}, 5, Query::Kind::kTopK, 0.0};
+  Query c{{3}, 5, Query::Kind::kTopK, 0.0};
+  engine.QueryOne(a);
+  engine.QueryOne(b);
+  engine.QueryOne(a);          // refresh a; b is now least recent
+  engine.QueryOne(c);          // evicts b
+  EXPECT_TRUE(engine.QueryOne(a).from_cache);
+  EXPECT_FALSE(engine.QueryOne(b).from_cache);
+  EXPECT_EQ(engine.cache_stats().evictions, 2u);
+}
+
+TEST(QueryEngineTest, ZeroCapacityDisablesCache) {
+  EngineOptions options;
+  options.cache_capacity = 0;
+  QueryEngine engine(RuleIndex::Build(RandomGraph(20, 60, 5)), options);
+  Query q{{1}, 5, Query::Kind::kTopK, 0.0};
+  EXPECT_FALSE(engine.QueryOne(q).from_cache);
+  EXPECT_FALSE(engine.QueryOne(q).from_cache);
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentBatchesAgree) {
+  core::DirectedHypergraph graph = RandomGraph(30, 120, 11);
+  RuleIndex index = RuleIndex::Build(graph);
+  EngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(RuleIndex::Build(graph), options);
+
+  std::vector<Query> queries = RandomQueries(100, 30, 123);
+  std::vector<std::vector<QueryResult>> per_thread(4);
+  std::vector<std::thread> callers;
+  for (size_t t = 0; t < per_thread.size(); ++t) {
+    callers.emplace_back([&engine, &queries, &per_thread, t] {
+      per_thread[t] = engine.QueryBatch(queries);
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (const auto& results : per_thread) {
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].kind == Query::Kind::kTopK) {
+        EXPECT_EQ(results[i].ranked,
+                  index.TopKWithin(queries[i].items, queries[i].k));
+      } else {
+        EXPECT_EQ(results[i].closure,
+                  index.Reachable(queries[i].items, queries[i].min_acv));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::serve

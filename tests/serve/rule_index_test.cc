@@ -1,0 +1,143 @@
+#include "serve/rule_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace hypermine::serve {
+namespace {
+
+using core::VertexId;
+
+/// 0:A 1:B 2:C 3:D 4:E with a mix of single and pair tails into D/E.
+core::DirectedHypergraph TestGraph() {
+  auto graph = core::DirectedHypergraph::Create({"A", "B", "C", "D", "E"});
+  HM_CHECK_OK(graph.status());
+  HM_CHECK_OK(graph->AddEdge({0}, 3, 0.50).status());      // A -> D
+  HM_CHECK_OK(graph->AddEdge({0}, 4, 0.30).status());      // A -> E
+  HM_CHECK_OK(graph->AddEdge({1}, 3, 0.20).status());      // B -> D
+  HM_CHECK_OK(graph->AddEdge({0, 1}, 4, 0.80).status());   // A,B -> E
+  HM_CHECK_OK(graph->AddEdge({0, 1}, 2, 0.60).status());   // A,B -> C
+  HM_CHECK_OK(graph->AddEdge({2}, 4, 0.90).status());      // C -> E
+  return std::move(graph).value();
+}
+
+TEST(RuleIndexTest, BuildCounts) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  EXPECT_EQ(index.num_entries(), 6u);
+  // Tail sets: {A}, {B}, {A,B}, {C}.
+  EXPECT_EQ(index.num_tail_sets(), 4u);
+  EXPECT_EQ(index.num_vertices(), 5u);
+}
+
+TEST(RuleIndexTest, TopKExactTailSortedByAcv) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  VertexId tail_a[] = {0};
+  auto ranked = index.TopK(tail_a, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].head, 3u);  // A -> D at 0.50 beats A -> E at 0.30
+  EXPECT_EQ(ranked[0].acv, 0.50);
+  EXPECT_EQ(ranked[1].head, 4u);
+
+  // k truncates.
+  EXPECT_EQ(index.TopK(tail_a, 1).size(), 1u);
+  EXPECT_TRUE(index.TopK(tail_a, 0).empty());
+
+  // Tail order does not matter for pair tails.
+  VertexId ab[] = {0, 1};
+  VertexId ba[] = {1, 0};
+  EXPECT_EQ(index.TopK(ab, 10), index.TopK(ba, 10));
+  ASSERT_EQ(index.TopK(ab, 10).size(), 2u);
+  EXPECT_EQ(index.TopK(ab, 10)[0].head, 4u);  // 0.80 beats 0.60
+}
+
+TEST(RuleIndexTest, TopKUnknownOrInvalidTailIsEmpty) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  VertexId unknown[] = {3};
+  EXPECT_TRUE(index.TopK(unknown, 5).empty());
+  VertexId out_of_range[] = {4242};
+  EXPECT_TRUE(index.TopK(out_of_range, 5).empty());
+  VertexId duplicate[] = {0, 0};
+  EXPECT_TRUE(index.TopK(duplicate, 5).empty());
+  EXPECT_TRUE(index.TopK({}, 5).empty());
+}
+
+TEST(RuleIndexTest, TopKWithinUnionsSubsetsAndDedupesHeads) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  // Items {A, B} activate tails {A}, {B}, {A,B}:
+  //   E best via (A,B)->E 0.80; C via (A,B)->C 0.60; D via A->D 0.50.
+  VertexId items[] = {0, 1};
+  auto ranked = index.TopKWithin(items, 10);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].head, 4u);
+  EXPECT_EQ(ranked[0].acv, 0.80);
+  EXPECT_EQ(ranked[1].head, 2u);
+  EXPECT_EQ(ranked[1].acv, 0.60);
+  EXPECT_EQ(ranked[2].head, 3u);
+  EXPECT_EQ(ranked[2].acv, 0.50);
+
+  // k truncates after the union.
+  EXPECT_EQ(index.TopKWithin(items, 2).size(), 2u);
+
+  // Duplicates and out-of-range items are tolerated.
+  VertexId messy[] = {1, 0, 0, 9999};
+  EXPECT_EQ(index.TopKWithin(messy, 10), ranked);
+}
+
+TEST(RuleIndexTest, ReachableFollowsPairTails) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  // From {A}: A->D (0.5), A->E (0.3); (A,B)->* never fires without B.
+  VertexId a[] = {0};
+  EXPECT_EQ(index.Reachable(a, 0.0),
+            (std::vector<VertexId>{0, 3, 4}));
+  // From {A, B}: pair edges fire, C joins, then C->E is redundant.
+  VertexId ab[] = {0, 1};
+  EXPECT_EQ(index.Reachable(ab, 0.0),
+            (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(RuleIndexTest, ReachableRespectsMinAcv) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  VertexId ab[] = {0, 1};
+  // min_acv=0.55 disables A->D (0.5), A->E (0.3), B->D (0.2); the pair
+  // edges (0.8, 0.6) still fire and C->E (0.9) follows.
+  EXPECT_EQ(index.Reachable(ab, 0.55),
+            (std::vector<VertexId>{0, 1, 2, 4}));
+  // min_acv above every weight: closure is just the seeds.
+  EXPECT_EQ(index.Reachable(ab, 0.95),
+            (std::vector<VertexId>{0, 1}));
+}
+
+TEST(RuleIndexTest, ReachableIgnoresBadSeeds) {
+  RuleIndex index = RuleIndex::Build(TestGraph());
+  VertexId seeds[] = {2, 2, 7777};
+  EXPECT_EQ(index.Reachable(seeds, 0.0), (std::vector<VertexId>{2, 4}));
+  EXPECT_TRUE(index.Reachable({}, 0.0).empty());
+}
+
+TEST(RuleIndexTest, TailKeyCanonicalization) {
+  VertexId ab[] = {0, 1};
+  VertexId ba[] = {1, 0};
+  EXPECT_EQ(RuleIndex::TailKey(ab), RuleIndex::TailKey(ba));
+  VertexId a[] = {0};
+  EXPECT_NE(RuleIndex::TailKey(a), RuleIndex::TailKey(ab));
+  VertexId dup[] = {1, 1};
+  EXPECT_EQ(RuleIndex::TailKey(dup), RuleIndex::kInvalidTailKey);
+  EXPECT_EQ(RuleIndex::TailKey({}), RuleIndex::kInvalidTailKey);
+  VertexId big[] = {0xFFFF};
+  EXPECT_EQ(RuleIndex::TailKey(big), RuleIndex::kInvalidTailKey);
+}
+
+TEST(RuleIndexTest, EmptyGraphServesNothing) {
+  auto graph = core::DirectedHypergraph::CreateAnonymous(3);
+  HM_CHECK_OK(graph.status());
+  RuleIndex index = RuleIndex::Build(*graph);
+  EXPECT_EQ(index.num_entries(), 0u);
+  VertexId v[] = {0};
+  EXPECT_TRUE(index.TopK(v, 5).empty());
+  EXPECT_TRUE(index.TopKWithin(v, 5).empty());
+  EXPECT_EQ(index.Reachable(v, 0.0), (std::vector<VertexId>{0}));
+}
+
+}  // namespace
+}  // namespace hypermine::serve

@@ -1,0 +1,237 @@
+// Serving CLI: loads a model snapshot and answers association queries.
+//
+//   # Convert a CSV export to a binary snapshot (and back).
+//   hypermine_serve --convert --in=model.csv --out=model.snap
+//
+//   # Serve top-k / reachability queries from stdin, one query per line:
+//   # comma-separated vertex names, e.g. "HES,SLB".
+//   hypermine_serve --snapshot=model.snap --k=5
+//   hypermine_serve --snapshot=model.snap --mode=reach --min_acv=0.4
+//
+//   # End-to-end smoke test: builds the Chapter 3 patient-database model,
+//   # snapshots it, reloads, and queries through the engine.
+//   hypermine_serve --selftest
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/discretize.h"
+#include "core/export.h"
+#include "serve/engine.h"
+#include "serve/rule_index.h"
+#include "serve/snapshot.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hypermine {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunConvert(const FlagParser& flags) {
+  const std::string in = flags.GetString("in", "");
+  const std::string out = flags.GetString("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "usage: hypermine_serve --convert --in=X --out=Y\n");
+    return 1;
+  }
+  auto graph = serve::LoadHypergraph(in);
+  if (!graph.ok()) return Fail(graph.status());
+  Status status = EndsWith(out, ".csv")
+                      ? core::WriteHypergraphCsv(*graph, out)
+                      : serve::WriteSnapshot(*graph, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("converted %s -> %s (%zu vertices, %zu edges)\n", in.c_str(),
+              out.c_str(), graph->num_vertices(), graph->num_edges());
+  return 0;
+}
+
+using NameIndex = std::unordered_map<std::string, core::VertexId>;
+
+NameIndex BuildNameIndex(const core::DirectedHypergraph& graph) {
+  NameIndex index;
+  index.reserve(graph.num_vertices());
+  for (core::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    index.emplace(graph.vertex_name(v), v);
+  }
+  return index;
+}
+
+/// Resolves comma-separated names to vertex ids; unknown names are
+/// reported and skipped.
+std::vector<core::VertexId> ParseItems(const std::string& line,
+                                       const NameIndex& names) {
+  std::vector<core::VertexId> items;
+  for (const std::string& raw : Split(line, ',')) {
+    std::string name = Trim(raw);
+    if (name.empty()) continue;
+    auto it = names.find(name);
+    if (it == names.end()) {
+      std::fprintf(stderr, "unknown vertex: %s\n", name.c_str());
+      continue;
+    }
+    items.push_back(it->second);
+  }
+  return items;
+}
+
+/// Reads a positive integer flag, failing loudly on zero/negative values
+/// instead of letting a huge size_t reach the engine.
+bool GetPositive(const FlagParser& flags, const std::string& name,
+                 int64_t fallback, size_t* out) {
+  int64_t value = flags.GetInt(name, fallback);
+  if (value <= 0) {
+    std::fprintf(stderr, "error: --%s must be positive (got %lld)\n",
+                 name.c_str(), static_cast<long long>(value));
+    return false;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+void PrintResult(const serve::QueryResult& result,
+                 const core::DirectedHypergraph& graph) {
+  if (!result.status.ok()) {
+    std::printf("  error: %s\n", result.status.ToString().c_str());
+    return;
+  }
+  for (const serve::RankedConsequent& r : result.ranked) {
+    std::printf("  %s  acv=%.4f%s\n", graph.vertex_name(r.head).c_str(),
+                r.acv, result.from_cache ? "  (cached)" : "");
+  }
+  if (!result.closure.empty()) {
+    std::string names;
+    for (core::VertexId v : result.closure) {
+      if (!names.empty()) names += ", ";
+      names += graph.vertex_name(v);
+    }
+    std::printf("  closure: {%s}\n", names.c_str());
+  }
+  if (result.ranked.empty() && result.closure.empty()) {
+    std::printf("  (no consequents)\n");
+  }
+}
+
+int RunServe(const FlagParser& flags) {
+  const std::string path = flags.GetString("snapshot", "");
+  Stopwatch load_timer;
+  auto graph = serve::LoadHypergraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  serve::RuleIndex index = serve::RuleIndex::Build(*graph);
+  std::fprintf(stderr,
+               "loaded %s in %.1f ms: %zu vertices, %zu edges, "
+               "%zu tail sets\n",
+               path.c_str(), load_timer.ElapsedMillis(),
+               graph->num_vertices(), graph->num_edges(),
+               index.num_tail_sets());
+  serve::EngineOptions options;
+  serve::Query query;
+  if (!GetPositive(flags, "threads", 1, &options.num_threads) ||
+      !GetPositive(flags, "k", 10, &query.k)) {
+    return 1;
+  }
+  serve::QueryEngine engine(std::move(index), options);
+
+  query.min_acv = flags.GetDouble("min_acv", 0.0);
+  query.kind = flags.GetString("mode", "topk") == "reach"
+                   ? serve::Query::Kind::kReachable
+                   : serve::Query::Kind::kTopK;
+
+  const NameIndex names = BuildNameIndex(*graph);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    query.items = ParseItems(line, names);
+    if (query.items.empty()) {
+      std::printf("  (no known vertices in query)\n");
+      continue;
+    }
+    PrintResult(engine.QueryOne(query), *graph);
+  }
+  return 0;
+}
+
+/// Builds the Chapter 3 patient-database hypergraph (same data as
+/// examples/quickstart.cpp).
+StatusOr<core::DirectedHypergraph> BuildDemoGraph() {
+  const std::vector<std::vector<double>> raw = {
+      {25, 105, 135, 75}, {62, 160, 165, 85}, {32, 125, 139, 71},
+      {12, 95, 105, 67},  {38, 129, 135, 75}, {39, 121, 117, 71},
+      {41, 134, 145, 73}, {85, 125, 155, 78},
+  };
+  std::vector<std::vector<core::ValueId>> columns(4);
+  for (size_t attr = 0; attr < 4; ++attr) {
+    std::vector<double> series;
+    for (const auto& row : raw) series.push_back(row[attr]);
+    HM_ASSIGN_OR_RETURN(columns[attr],
+                        core::FloorDivDiscretize(series, 10.0));
+  }
+  HM_ASSIGN_OR_RETURN(
+      core::Database db,
+      core::DatabaseFromColumns({"A", "C", "B", "H"}, 17, columns));
+  core::HypergraphConfig config = core::ConfigC1();
+  config.k = db.num_values();
+  return core::BuildAssociationHypergraph(db, config);
+}
+
+int RunSelfTest() {
+  auto graph = BuildDemoGraph();
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string path = "/tmp/hypermine_selftest.snap";
+  Status written = serve::WriteSnapshot(*graph, path);
+  if (!written.ok()) return Fail(written);
+  auto reloaded = serve::ReadSnapshot(path);
+  if (!reloaded.ok()) return Fail(reloaded.status());
+  HM_CHECK_EQ(reloaded->num_edges(), graph->num_edges());
+  HM_CHECK_EQ(reloaded->num_vertices(), graph->num_vertices());
+
+  serve::QueryEngine engine(serve::RuleIndex::Build(*reloaded));
+  std::printf("selftest: %zu vertices, %zu edges round-tripped through %s\n",
+              reloaded->num_vertices(), reloaded->num_edges(), path.c_str());
+  std::vector<serve::Query> batch;
+  for (core::VertexId v = 0; v < reloaded->num_vertices(); ++v) {
+    batch.push_back({{v}, 3, serve::Query::Kind::kTopK, 0.0});
+  }
+  std::vector<serve::QueryResult> results = engine.QueryBatch(batch);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("top-3 for {%s}:\n",
+                reloaded->vertex_name(batch[i].items[0]).c_str());
+    PrintResult(results[i], *reloaded);
+  }
+  serve::Query closure{{0}, 0, serve::Query::Kind::kReachable, 0.3};
+  std::printf("forward closure of {%s} at min_acv=0.3:\n",
+              reloaded->vertex_name(0).c_str());
+  PrintResult(engine.QueryOne(closure), *reloaded);
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.GetBool("selftest", false)) return RunSelfTest();
+  if (flags.GetBool("convert", false)) return RunConvert(flags);
+  if (!flags.GetString("snapshot", "").empty()) return RunServe(flags);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hypermine_serve --convert --in=model.{csv,snap} "
+               "--out=model.{csv,snap}\n"
+               "  hypermine_serve --snapshot=model.snap [--k=N] "
+               "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
+               "  hypermine_serve --selftest\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace hypermine
+
+int main(int argc, char** argv) { return hypermine::Main(argc, argv); }
