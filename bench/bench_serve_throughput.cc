@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "build_info.h"
 #include "serve/engine.h"
 #include "serve/rule_index.h"
 #include "serve/snapshot.h"
@@ -140,6 +141,8 @@ int Main(int argc, char** argv) {
   std::string json = StrFormat(
       "{\n"
       "  \"bench\": \"serve_throughput\",\n"
+      "  \"git_sha\": \"%s\",\n"
+      "  \"build_type\": \"%s\",\n"
       "  \"vertices\": %zu,\n"
       "  \"edges\": %zu,\n"
       "  \"queries\": %zu,\n"
@@ -155,7 +158,8 @@ int Main(int argc, char** argv) {
       "  \"multi_thread_speedup\": %.3f,\n"
       "  \"cached\": {\"qps\": %.1f, \"hit_rate\": %.4f}\n"
       "}\n",
-      vertices, edges, num_queries, batch, snap_bytes->size(), load_ms,
+      bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
+      batch, snap_bytes->size(), load_ms,
       index_ms, std::thread::hardware_concurrency(), single.qps,
       single.p50_ms, single.p99_ms, threads, multi.qps, multi.p50_ms,
       multi.p99_ms, speedup, cached.qps, cached.hit_rate);

@@ -1,0 +1,29 @@
+#ifndef HYPERMINE_BENCH_BUILD_INFO_H_
+#define HYPERMINE_BENCH_BUILD_INFO_H_
+
+namespace hypermine::bench {
+
+/// Compile-time provenance for the BENCH_*.json artifacts: the root
+/// CMakeLists stamps HYPERMINE_GIT_SHA (configure-time `git rev-parse`)
+/// and HYPERMINE_BUILD_TYPE onto hypermine_bench_common, so perf records
+/// are attributable to a commit and an optimization level across PRs.
+
+inline const char* GitSha() {
+#ifdef HYPERMINE_GIT_SHA
+  return HYPERMINE_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* BuildType() {
+#ifdef HYPERMINE_BUILD_TYPE
+  return HYPERMINE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace hypermine::bench
+
+#endif  // HYPERMINE_BENCH_BUILD_INFO_H_

@@ -25,6 +25,9 @@ BenchOptions BenchOptions::FromFlags(const FlagParser& flags) {
   options.skip_baselines = flags.GetBool("skip-baselines", false);
   options.baseline_protocol =
       ToLower(flags.GetString("baseline-protocol", "paper"));
+  int64_t threads = flags.GetInt("threads", 0);
+  HM_CHECK_GE(threads, 0);
+  options.build_threads = static_cast<size_t>(threads);
   return options;
 }
 
@@ -36,7 +39,7 @@ BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name,
   std::printf("=== %s (%s) ===\n", bench_name, paper_anchor);
   std::printf(
       "scale: %zu series x %zu years (seed %llu); flags: --series --years "
-      "--seed --full --config=c1|c2|both\n\n",
+      "--seed --full --config=c1|c2|both --threads=N (0 = hardware)\n\n",
       options.market.num_series, options.market.num_years,
       static_cast<unsigned long long>(options.market.seed));
   return options;
@@ -53,7 +56,10 @@ const std::vector<std::string>& SelectedSeries() {
 
 core::MarketExperiment MustSetUp(const BenchOptions& options,
                                  const core::HypergraphConfig& config) {
-  auto experiment = core::SetUpMarketExperiment(options.market, config);
+  core::HypergraphConfig build_config = config;
+  build_config.num_threads = options.build_threads;
+  auto experiment =
+      core::SetUpMarketExperiment(options.market, build_config);
   HM_CHECK_OK(experiment.status());
   return std::move(experiment).value();
 }

@@ -22,9 +22,14 @@ struct BenchOptions {
   /// "paper" (association-table rows, Section 5.5) or "raw" (train on raw
   /// in-sample observations; stronger than the paper's baselines).
   std::string baseline_protocol = "paper";
+  /// Worker threads for hypergraph construction (HypergraphConfig::
+  /// num_threads); 0 = hardware concurrency. Builds are bit-identical at
+  /// any thread count, so this only changes wall time — pass --threads=1
+  /// for reproducible timing on CI/1-core containers.
+  size_t build_threads = 0;
 
   /// Parses --series, --years, --seed, --full, --config=c1|c2|both,
-  /// --skip-baselines, --baseline-protocol=paper|raw.
+  /// --threads, --skip-baselines, --baseline-protocol=paper|raw.
   static BenchOptions FromFlags(const FlagParser& flags);
 };
 

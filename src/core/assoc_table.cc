@@ -1,6 +1,8 @@
 #include "core/assoc_table.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <sstream>
 
 #include "util/logging.h"
@@ -147,16 +149,13 @@ StatusOr<double> BaseAcv(const Database& db, AttrId head) {
          static_cast<double>(db.num_observations());
 }
 
-double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
-                     size_t k) {
-  // counts[v_t * k + v_h]; k <= kMaxValues keeps this on the stack-ish side.
-  size_t counts[kMaxValues * kMaxValues];
-  std::fill(counts, counts + k * k, size_t{0});
-  for (size_t o = 0; o < m; ++o) {
-    ++counts[static_cast<size_t>(tail[o]) * k + head[o]];
-  }
+namespace {
+
+/// Sum over rows of the row maximum, divided by m — the shared reduction of
+/// every ACV kernel (the Supp * Conf sum telescopes to it).
+double ReduceAcv(const size_t* counts, size_t num_rows, size_t k, size_t m) {
   size_t acc = 0;
-  for (size_t row = 0; row < k; ++row) {
+  for (size_t row = 0; row < num_rows; ++row) {
     size_t best = 0;
     for (size_t h = 0; h < k; ++h) {
       best = std::max(best, counts[row * k + h]);
@@ -166,20 +165,137 @@ double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
   return static_cast<double>(acc) / static_cast<double>(m);
 }
 
+}  // namespace
+
+double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
+                     size_t k) {
+  // counts[v_t * k + v_h]; k <= kMaxValues keeps this on the stack-ish side.
+  size_t counts[kMaxValues * kMaxValues];
+  std::fill(counts, counts + k * k, size_t{0});
+  for (size_t o = 0; o < m; ++o) {
+    ++counts[static_cast<size_t>(tail[o]) * k + head[o]];
+  }
+  return ReduceAcv(counts, k, k, m);
+}
+
+void AcvEdgeBlockKernel(const ValueId* tail, const ValueId* const* heads,
+                        size_t num_heads, size_t m, size_t k,
+                        size_t* scratch, double* out_acv) {
+  const size_t table = k * k;
+  std::fill(scratch, scratch + num_heads * table, size_t{0});
+  for (size_t o = 0; o < m; ++o) {
+    // One tail load feeds every head's table; `cell` walks the tables at a
+    // fixed row offset so the inner loop is add + increment only.
+    size_t* cell = scratch + static_cast<size_t>(tail[o]) * k;
+    for (size_t j = 0; j < num_heads; ++j, cell += table) {
+      ++cell[heads[j][o]];
+    }
+  }
+  for (size_t j = 0; j < num_heads; ++j) {
+    out_acv[j] = ReduceAcv(scratch + j * table, k, k, m);
+  }
+}
+
 double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
-                     const ValueId* head, size_t m, size_t k) {
-  std::vector<size_t> counts(k * k * k, 0);
+                     const ValueId* head, size_t m, size_t k,
+                     size_t* scratch) {
+  std::fill(scratch, scratch + AcvPairScratchSize(k), size_t{0});
   for (size_t o = 0; o < m; ++o) {
     size_t row = (static_cast<size_t>(tail1[o]) * k + tail2[o]);
-    ++counts[row * k + head[o]];
+    ++scratch[row * k + head[o]];
   }
-  size_t acc = 0;
-  for (size_t row = 0; row < k * k; ++row) {
-    size_t best = 0;
-    for (size_t h = 0; h < k; ++h) {
-      best = std::max(best, counts[row * k + h]);
+  return ReduceAcv(scratch, k * k, k, m);
+}
+
+double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
+                     const ValueId* head, size_t m, size_t k) {
+  std::vector<size_t> counts(AcvPairScratchSize(k), 0);
+  return AcvPairKernel(tail1, tail2, head, m, k, counts.data());
+}
+
+void PackValuePlanes(const ValueId* col, size_t m, size_t k,
+                     uint64_t* planes) {
+  const size_t words = PlaneWords(m);
+  std::fill(planes, planes + k * words, uint64_t{0});
+  for (size_t o = 0; o < m; ++o) {
+    planes[static_cast<size_t>(col[o]) * words + (o >> 6)] |=
+        uint64_t{1} << (o & 63);
+  }
+}
+
+namespace {
+
+size_t PopcountAnd(const uint64_t* a, const uint64_t* b, size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+}  // namespace
+
+void AcvEdgeBlockKernel(const uint64_t* tail_planes,
+                        const uint64_t* const* head_planes, size_t num_heads,
+                        size_t m, size_t k, double* out_acv) {
+  const size_t words = PlaneWords(m);
+  // Row totals: #observations with tail value v, shared by every head in
+  // the block; the last head value's cell is row_total - sum(previous),
+  // saving one popcount pass per row.
+  size_t row_total[kMaxValues];
+  for (size_t v = 0; v < k; ++v) {
+    size_t count = 0;
+    const uint64_t* plane = tail_planes + v * words;
+    for (size_t w = 0; w < words; ++w) {
+      count += static_cast<size_t>(std::popcount(plane[w]));
     }
-    acc += best;
+    row_total[v] = count;
+  }
+  for (size_t j = 0; j < num_heads; ++j) {
+    const uint64_t* head = head_planes[j];
+    size_t acc = 0;
+    for (size_t v = 0; v < k; ++v) {
+      const uint64_t* tail_plane = tail_planes + v * words;
+      size_t best = 0;
+      size_t seen = 0;
+      for (size_t h = 0; h + 1 < k; ++h) {
+        size_t c = PopcountAnd(tail_plane, head + h * words, words);
+        seen += c;
+        best = std::max(best, c);
+      }
+      best = std::max(best, row_total[v] - seen);
+      acc += best;
+    }
+    out_acv[j] = static_cast<double>(acc) / static_cast<double>(m);
+  }
+}
+
+double AcvPairKernel(const uint64_t* tail1_planes,
+                     const uint64_t* tail2_planes,
+                     const uint64_t* head_planes, size_t m, size_t k,
+                     uint64_t* scratch) {
+  const size_t words = PlaneWords(m);
+  size_t acc = 0;
+  for (size_t v1 = 0; v1 < k; ++v1) {
+    const uint64_t* p1 = tail1_planes + v1 * words;
+    for (size_t v2 = 0; v2 < k; ++v2) {
+      const uint64_t* p2 = tail2_planes + v2 * words;
+      size_t row_total = 0;
+      for (size_t w = 0; w < words; ++w) {
+        scratch[w] = p1[w] & p2[w];
+        row_total += static_cast<size_t>(std::popcount(scratch[w]));
+      }
+      if (row_total == 0) continue;  // empty tail combination, max is 0
+      size_t best = 0;
+      size_t seen = 0;
+      for (size_t h = 0; h + 1 < k; ++h) {
+        size_t c = PopcountAnd(scratch, head_planes + h * words, words);
+        seen += c;
+        best = std::max(best, c);
+      }
+      best = std::max(best, row_total - seen);
+      acc += best;
+    }
   }
   return static_cast<double>(acc) / static_cast<double>(m);
 }

@@ -71,15 +71,96 @@ StatusOr<double> BaseAcv(const Database& db, AttrId head);
 
 /// --- Low-level counting kernels (hot path of the hypergraph builder) ---
 /// These avoid AssociationTable's row materialization; they only produce
-/// the ACV. Columns must have length m with values < k.
+/// the ACV. Columns must have length m with values < k. All kernels count
+/// in integers and divide once, so a given (tail, head, m, k) input yields
+/// a bit-identical double regardless of which kernel computed it.
 
 /// ACV({tail}, {head}) by a single counting pass.
 double AcvEdgeKernel(const ValueId* tail, const ValueId* head, size_t m,
                      size_t k);
 
+/// Scratch length (in size_t elements) required by the fused multi-head
+/// edge kernel: one k×k contingency table per head in the block.
+constexpr size_t AcvEdgeBlockScratchSize(size_t num_heads, size_t k) {
+  return num_heads * k * k;
+}
+
+/// Fused multi-head edge kernel: computes ACV({tail}, {heads[j]}) for all
+/// j in [0, num_heads) while scanning the tail column ONCE, accumulating
+/// the block's k×k contingency tables side by side in `scratch`
+/// (>= AcvEdgeBlockScratchSize(num_heads, k) elements, caller-owned so the
+/// hot loop never allocates). This amortizes the dominant memory traffic
+/// of model construction — the per-candidate column scan — across a whole
+/// block of heads; out_acv[j] is bit-identical to
+/// AcvEdgeKernel(tail, heads[j], m, k).
+void AcvEdgeBlockKernel(const ValueId* tail, const ValueId* const* heads,
+                        size_t num_heads, size_t m, size_t k,
+                        size_t* scratch, double* out_acv);
+
+/// Scratch length (in size_t elements) required by the scratch-buffer pair
+/// kernel: the k²×k contingency table of a 2-to-1 candidate.
+constexpr size_t AcvPairScratchSize(size_t k) { return k * k * k; }
+
 /// ACV({tail1, tail2}, {head}); tail value pairs are coded as v1*k+v2.
+/// `scratch` must hold >= AcvPairScratchSize(k) elements; passing it in
+/// lets the builder evaluate millions of candidates without a heap
+/// allocation per call.
+double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
+                     const ValueId* head, size_t m, size_t k,
+                     size_t* scratch);
+
+/// Compatibility wrapper allocating its own scratch; prefer the
+/// scratch-buffer overload on hot paths.
 double AcvPairKernel(const ValueId* tail1, const ValueId* tail2,
                      const ValueId* head, size_t m, size_t k);
+
+/// --- Bit-plane ACV kernels (the builder's fast path for small k) ---
+/// A column over k values is re-coded as k bit planes of m bits each;
+/// a contingency-table cell is then popcount(tail_plane & head_plane), so
+/// one (tail, head) candidate costs ~k² passes over m/64 words instead of
+/// m byte-at-a-time increments. Counting stays exact-integer, so plane
+/// kernels are bit-identical to the byte kernels. The representation pays
+/// off while k(k-1) word passes beat m byte scans; the builder switches
+/// paths at kMaxPlaneKernelValues.
+
+/// Largest k for which the builder uses the bit-plane kernels. Beyond
+/// this, k² popcount passes per candidate outgrow the byte kernels' single
+/// m-byte scan (and the packed planes outgrow the raw columns).
+inline constexpr size_t kMaxPlaneKernelValues = 8;
+
+/// 64-bit words per m-bit value plane.
+constexpr size_t PlaneWords(size_t m) { return (m + 63) / 64; }
+
+/// Total words of a column's packed planes: k planes of PlaneWords(m).
+constexpr size_t ValuePlanesSize(size_t k, size_t m) {
+  return k * PlaneWords(m);
+}
+
+/// Packs a column into k value planes: bit o of plane v is set iff
+/// col[o] == v. `planes` must hold ValuePlanesSize(k, m) words; padding
+/// bits are cleared (popcounts over whole planes are exact).
+void PackValuePlanes(const ValueId* col, size_t m, size_t k,
+                     uint64_t* planes);
+
+/// Fused multi-head edge kernel over packed planes: out_acv[j] =
+/// ACV({tail}, {heads[j]}) for a block of heads, bit-identical to
+/// AcvEdgeKernel on the original columns. The tail's plane popcounts are
+/// computed once per call and each row's last head-value count is inferred
+/// from the row total, so a block of B heads costs ~B·k(k-1) word passes.
+/// The builder keeps a block's head planes L1-resident while streaming
+/// every tail through this kernel — the cache-blocked core of model
+/// construction.
+void AcvEdgeBlockKernel(const uint64_t* tail_planes,
+                        const uint64_t* const* head_planes, size_t num_heads,
+                        size_t m, size_t k, double* out_acv);
+
+/// ACV({tail1, tail2}, {head}) over packed planes, bit-identical to the
+/// byte AcvPairKernel. `scratch` must hold PlaneWords(m) words for the
+/// tail-pair intersection, reused across the head's value planes.
+double AcvPairKernel(const uint64_t* tail1_planes,
+                     const uint64_t* tail2_planes,
+                     const uint64_t* head_planes, size_t m, size_t k,
+                     uint64_t* scratch);
 
 }  // namespace hypermine::core
 

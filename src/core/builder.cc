@@ -1,12 +1,48 @@
 #include "core/builder.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "core/assoc_table.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hypermine::core {
+
+namespace {
+
+/// A γ-significant 2-to-1 candidate held in a per-head buffer until the
+/// serial merge.
+struct PairVerdict {
+  VertexId a = 0;
+  VertexId b = 0;
+  double acv = 0.0;
+};
+
+/// Everything one head contributes to the hypergraph, computed by a worker
+/// without touching shared state. The merge step replays these buffers in
+/// head order, reproducing the serial build's edge-insertion and
+/// stat-accumulation order exactly.
+struct HeadVerdicts {
+  /// Kept directed edges (tail id ascending, the serial scan order).
+  std::vector<std::pair<VertexId, double>> kept_edges;
+  /// Kept 2-to-1 hyperedges in the serial enumeration order.
+  std::vector<PairVerdict> kept_pairs;
+  size_t pair_candidates = 0;
+};
+
+}  // namespace
+
+// Heads are evaluated in cache-blocked groups: AcvEdgeBlockKernel scans
+// one tail column (or its planes) while filling a whole block's k×k
+// contingency tables, so the block's scratch must stay L1-resident.
+// ~32 KiB of counts.
+size_t BuildHeadBlockSize(size_t k) {
+  const size_t budget = (32 * 1024) / sizeof(size_t);
+  return std::clamp<size_t>(budget / (k * k), 1, 16);
+}
 
 HypergraphConfig ConfigC1() {
   HypergraphConfig config;
@@ -54,82 +90,166 @@ StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
   HM_ASSIGN_OR_RETURN(DirectedHypergraph graph,
                       DirectedHypergraph::Create(db.attribute_names()));
 
-  // Per-head γ baseline: ACV(∅, {H}) (Definition 3.7 with |T| = 1).
-  std::vector<double> base_acv(n, 0.0);
-  for (size_t h = 0; h < n; ++h) {
-    HM_ASSIGN_OR_RETURN(base_acv[h],
-                        BaseAcv(db, static_cast<AttrId>(h)));
-  }
+  // Phase 1 (parallel): heads are partitioned into cache-blocked groups and
+  // each group's candidates — all n-1 directed edges per head (Stage 1) and
+  // the head's 2-to-1 candidates (Stage 2) — are judged into per-head
+  // buffers. A head's verdicts depend only on the database and config, never
+  // on scheduling, so any thread count yields identical buffers. The ACV
+  // column of a head is kept for the whole block (not just kept edges)
+  // because Definition 3.7 compares 2-to-1 candidates against
+  // constituent-edge ACVs regardless of whether those edges were themselves
+  // significant.
+  const size_t block = BuildHeadBlockSize(k);
+  const size_t num_blocks = (n + block - 1) / block;
+  std::vector<HeadVerdicts> per_head(n);
 
-  // Stage 1: all n(n-1) directed-edge combinations. The full ACV matrix is
-  // retained (not just the retained edges) because Definition 3.7 compares
-  // 2-to-1 candidates against constituent-edge ACVs regardless of whether
-  // those edges were themselves significant.
-  std::vector<double> edge_acv(n * n, 0.0);
-  std::vector<std::vector<VertexId>> sources_of(n);
-  double edge_acv_sum = 0.0;
-  for (size_t h = 0; h < n; ++h) {
-    const ValueId* head_col = db.column(static_cast<AttrId>(h)).data();
+  // For small k, every column is re-coded once as bit planes and both
+  // stages count via AND+popcount (~k² word passes per candidate instead
+  // of m byte increments); large k keeps the byte kernels. Both paths are
+  // exact-integer, hence interchangeable bit for bit.
+  const bool use_planes = k <= kMaxPlaneKernelValues;
+  const size_t words = PlaneWords(m);
+  const size_t planes_per_col = ValuePlanesSize(k, m);
+  std::vector<uint64_t> planes;
+  if (use_planes) {
+    planes.resize(n * planes_per_col);
     for (size_t a = 0; a < n; ++a) {
-      if (a == h) continue;
-      ++local.edge_candidates;
-      double acv = AcvEdgeKernel(db.column(static_cast<AttrId>(a)).data(),
-                                 head_col, m, k);
-      edge_acv[a * n + h] = acv;
-      if (acv >= config.gamma_edge * base_acv[h]) {
-        HM_ASSIGN_OR_RETURN(
-            EdgeId id,
-            graph.AddEdge({static_cast<VertexId>(a)},
-                          static_cast<VertexId>(h), acv));
-        (void)id;
-        sources_of[h].push_back(static_cast<VertexId>(a));
-        edge_acv_sum += acv;
-        ++local.edges_kept;
-      }
+      PackValuePlanes(db.column(static_cast<AttrId>(a)).data(), m, k,
+                      &planes[a * planes_per_col]);
     }
   }
+  auto planes_of = [&](size_t a) { return &planes[a * planes_per_col]; };
 
-  // Stage 2: 2-to-1 candidates per head. With the candidate restriction we
-  // only pair up attributes that individually formed a significant edge
-  // into the head; otherwise all unordered pairs are enumerated.
-  double pair_acv_sum = 0.0;
-  for (size_t h = 0; h < n; ++h) {
-    const ValueId* head_col = db.column(static_cast<AttrId>(h)).data();
-    auto consider = [&](VertexId a, VertexId b) -> Status {
-      ++local.pair_candidates;
-      double best_edge =
-          std::max(edge_acv[a * n + h], edge_acv[b * n + h]);
-      if (!config.keep_pairs_without_edges &&
-          best_edge < config.gamma_edge * base_acv[h]) {
-        return Status::OK();
-      }
-      double acv =
-          AcvPairKernel(db.column(a).data(), db.column(b).data(), head_col,
-                        m, k);
-      if (acv >= config.gamma_hyper * best_edge) {
-        HM_RETURN_IF_ERROR(
-            graph.AddEdge({a, b}, static_cast<VertexId>(h), acv).status());
-        pair_acv_sum += acv;
-        ++local.pairs_kept;
-      }
-      return Status::OK();
-    };
-    if (config.restrict_pairs_to_edges) {
-      const std::vector<VertexId>& sources = sources_of[h];
-      for (size_t i = 0; i < sources.size(); ++i) {
-        for (size_t j = i + 1; j < sources.size(); ++j) {
-          HM_RETURN_IF_ERROR(consider(sources[i], sources[j]));
-        }
+  auto process_block = [&](size_t block_index) {
+    const size_t h0 = block_index * block;
+    const size_t h1 = std::min(n, h0 + block);
+    const size_t width = h1 - h0;
+
+    std::vector<const ValueId*> head_cols(width);
+    for (size_t j = 0; j < width; ++j) {
+      head_cols[j] = db.column(static_cast<AttrId>(h0 + j)).data();
+    }
+    // Per-head γ baseline: ACV(∅, {H}) (Definition 3.7 with |T| = 1).
+    // BaseAcv cannot fail here — heads are in range and m > 0.
+    std::vector<double> base(width);
+    for (size_t j = 0; j < width; ++j) {
+      base[j] = *BaseAcv(db, static_cast<AttrId>(h0 + j));
+    }
+
+    // Stage 1, fused: one pass per tail fills the whole block's k×k
+    // contingency tables; the block's head planes (or columns) stay
+    // cache-resident across all n tails. acv[a * width + j] =
+    // ACV({a}, {h0 + j}).
+    std::vector<double> acv(n * width, 0.0);
+    if (use_planes) {
+      std::vector<const uint64_t*> head_planes(width);
+      for (size_t j = 0; j < width; ++j) head_planes[j] = planes_of(h0 + j);
+      for (size_t a = 0; a < n; ++a) {
+        AcvEdgeBlockKernel(planes_of(a), head_planes.data(), width, m, k,
+                           &acv[a * width]);
       }
     } else {
+      std::vector<size_t> scratch(AcvEdgeBlockScratchSize(width, k));
+      for (size_t a = 0; a < n; ++a) {
+        AcvEdgeBlockKernel(db.column(static_cast<AttrId>(a)).data(),
+                           head_cols.data(), width, m, k, scratch.data(),
+                           &acv[a * width]);
+      }
+    }
+    for (size_t j = 0; j < width; ++j) {
+      const size_t h = h0 + j;
+      HeadVerdicts& out = per_head[h];
       for (size_t a = 0; a < n; ++a) {
         if (a == h) continue;
-        for (size_t b = a + 1; b < n; ++b) {
-          if (b == h) continue;
-          HM_RETURN_IF_ERROR(
-              consider(static_cast<VertexId>(a), static_cast<VertexId>(b)));
+        if (acv[a * width + j] >= config.gamma_edge * base[j]) {
+          out.kept_edges.emplace_back(static_cast<VertexId>(a),
+                                      acv[a * width + j]);
         }
       }
+    }
+
+    // Stage 2: 2-to-1 candidates per head. With the candidate restriction
+    // we only pair up attributes that individually formed a significant
+    // edge into the head; otherwise all unordered pairs are enumerated.
+    std::vector<size_t> pair_scratch(AcvPairScratchSize(k));
+    std::vector<uint64_t> word_scratch(use_planes ? words : 0);
+    for (size_t j = 0; j < width; ++j) {
+      const size_t h = h0 + j;
+      HeadVerdicts& out = per_head[h];
+      auto consider = [&](VertexId a, VertexId b) {
+        ++out.pair_candidates;
+        double best_edge =
+            std::max(acv[a * width + j], acv[b * width + j]);
+        if (!config.keep_pairs_without_edges &&
+            best_edge < config.gamma_edge * base[j]) {
+          return;
+        }
+        double pair_acv =
+            use_planes
+                ? AcvPairKernel(planes_of(a), planes_of(b), planes_of(h),
+                                m, k, word_scratch.data())
+                : AcvPairKernel(db.column(a).data(), db.column(b).data(),
+                                head_cols[j], m, k, pair_scratch.data());
+        if (pair_acv >= config.gamma_hyper * best_edge) {
+          out.kept_pairs.push_back(PairVerdict{a, b, pair_acv});
+        }
+      };
+      if (config.restrict_pairs_to_edges) {
+        const std::vector<std::pair<VertexId, double>>& sources =
+            out.kept_edges;
+        for (size_t i = 0; i < sources.size(); ++i) {
+          for (size_t l = i + 1; l < sources.size(); ++l) {
+            consider(sources[i].first, sources[l].first);
+          }
+        }
+      } else {
+        for (size_t a = 0; a < n; ++a) {
+          if (a == h) continue;
+          for (size_t b = a + 1; b < n; ++b) {
+            if (b == h) continue;
+            consider(static_cast<VertexId>(a), static_cast<VertexId>(b));
+          }
+        }
+      }
+    }
+  };
+
+  const size_t threads = config.num_threads == 0
+                             ? ThreadPool::HardwareThreads()
+                             : config.num_threads;
+  if (threads <= 1 || num_blocks <= 1) {
+    for (size_t b = 0; b < num_blocks; ++b) process_block(b);
+  } else {
+    // The calling thread participates in ParallelFor, so a build with
+    // `threads` workers runs on a pool of threads - 1.
+    ThreadPool pool(threads - 1);
+    pool.ParallelFor(num_blocks, process_block);
+  }
+
+  // Phase 2 (serial merge): replay the per-head buffers in head order —
+  // first every head's directed edges, then every head's 2-to-1 edges —
+  // matching the serial build's insertion order and floating-point
+  // accumulation order bit for bit.
+  local.edge_candidates = n * (n - 1);
+  double edge_acv_sum = 0.0;
+  for (size_t h = 0; h < n; ++h) {
+    for (const auto& [a, acv] : per_head[h].kept_edges) {
+      HM_ASSIGN_OR_RETURN(
+          EdgeId id, graph.AddEdge({a}, static_cast<VertexId>(h), acv));
+      (void)id;
+      edge_acv_sum += acv;
+      ++local.edges_kept;
+    }
+  }
+  double pair_acv_sum = 0.0;
+  for (size_t h = 0; h < n; ++h) {
+    local.pair_candidates += per_head[h].pair_candidates;
+    for (const PairVerdict& p : per_head[h].kept_pairs) {
+      HM_RETURN_IF_ERROR(
+          graph.AddEdge({p.a, p.b}, static_cast<VertexId>(h), p.acv)
+              .status());
+      pair_acv_sum += p.acv;
+      ++local.pairs_kept;
     }
   }
 

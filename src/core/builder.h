@@ -30,12 +30,25 @@ struct HypergraphConfig {
   /// themselves below the γ_edge bar, as long as the pair clears γ_hyper
   /// against them (only meaningful with restrict_pairs_to_edges = false).
   bool keep_pairs_without_edges = true;
+  /// Worker threads for model construction; 0 = hardware concurrency,
+  /// 1 = fully serial. Any value produces a bit-identical hypergraph,
+  /// stats, and CSV export: workers only fill per-head candidate buffers
+  /// and a serial merge inserts edges in the serial-build order (covered
+  /// by tests/core/builder_parallel_test.cc).
+  size_t num_threads = 0;
 };
 
 /// Configuration C1 of Section 5.1.2: k=3, γ_{1→1}=1.15, γ_{2→1}=1.05.
 HypergraphConfig ConfigC1();
 /// Configuration C2 of Section 5.1.2: k=5, γ_{1→1}=1.20, γ_{2→1}=1.12.
 HypergraphConfig ConfigC2();
+
+/// Number of heads per cache-blocked group of the construction hot loop:
+/// large enough to amortize tail scans across the block, small enough that
+/// the block's contingency tables (or head planes) stay cache-resident.
+/// Exposed for bench_build_throughput, which mirrors the builder's
+/// blocking in its kernel comparison.
+size_t BuildHeadBlockSize(size_t k);
 
 /// Construction statistics mirrored against Section 5.1.2's reported model
 /// sizes (106,475 directed edges with mean ACV 0.436 under C1, etc.).

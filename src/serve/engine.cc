@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 
 #include "serve/wire.h"
@@ -9,40 +10,9 @@
 namespace hypermine::serve {
 
 QueryEngine::QueryEngine(RuleIndex index, EngineOptions options)
-    : index_(std::move(index)), cache_capacity_(options.cache_capacity) {
-  size_t n = options.num_threads;
-  if (n == 0) {
-    n = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-QueryEngine::~QueryEngine() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    shutting_down_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void QueryEngine::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // shutting down
-      task = std::move(pending_.back());
-      pending_.pop_back();
-    }
-    task();
-  }
-}
+    : index_(std::move(index)),
+      cache_capacity_(options.cache_capacity),
+      pool_(options.num_threads) {}
 
 std::string QueryEngine::CacheKey(const Query& query) {
   if (query.items.empty()) return {};
@@ -148,12 +118,9 @@ std::vector<QueryResult> QueryEngine::QueryBatch(
     }
   };
 
-  const size_t chunks = std::min(workers_.size(), n);
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (size_t c = 0; c < chunks; ++c) pending_.push_back(run_chunk);
-  }
-  queue_cv_.notify_all();
+  const size_t chunks = std::min(pool_.num_threads(), n);
+  std::vector<std::function<void()>> tasks(chunks, run_chunk);
+  pool_.SubmitAll(std::move(tasks));
 
   std::unique_lock<std::mutex> lock(state->mutex);
   state->cv.wait(lock, [&state] { return state->complete; });

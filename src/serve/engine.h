@@ -1,18 +1,16 @@
 #ifndef HYPERMINE_SERVE_ENGINE_H_
 #define HYPERMINE_SERVE_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/rule_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace hypermine::serve {
 
@@ -57,14 +55,14 @@ struct CacheStats {
 };
 
 /// Concurrent batched query engine over an immutable RuleIndex. A fixed
-/// thread pool drains each submitted batch (callers block until their batch
-/// is complete), and an LRU cache keyed on the canonicalized query memoizes
-/// results across batches. The index is read-only after construction, so
-/// workers share it without locking; only the cache takes a mutex.
+/// util::ThreadPool drains each submitted batch (callers block until their
+/// batch is complete), and an LRU cache keyed on the canonicalized query
+/// memoizes results across batches. The index is read-only after
+/// construction, so workers share it without locking; only the cache takes
+/// a mutex.
 class QueryEngine {
  public:
   QueryEngine(RuleIndex index, EngineOptions options = {});
-  ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -77,7 +75,7 @@ class QueryEngine {
   QueryResult QueryOne(const Query& query);
 
   const RuleIndex& index() const { return index_; }
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return pool_.num_threads(); }
   CacheStats cache_stats() const;
 
  private:
@@ -90,16 +88,7 @@ class QueryEngine {
   /// Canonical cache key; empty when the query is uncacheable/invalid.
   static std::string CacheKey(const Query& query);
 
-  void WorkerLoop();
-
   const RuleIndex index_;
-
-  // Work queue of closures; one per in-flight batch chunk.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::vector<std::function<void()>> pending_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
 
   // LRU cache: list front = most recent; map points into the list.
   mutable std::mutex cache_mutex_;
@@ -107,6 +96,11 @@ class QueryEngine {
   std::list<CacheEntry> lru_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
   CacheStats stats_;
+
+  /// Runs the batch chunks. MUST be the last member: ~ThreadPool drains
+  /// in-flight chunks, which still call Process() against the cache state
+  /// above, so the pool has to die (and join) first.
+  ThreadPool pool_;
 };
 
 }  // namespace hypermine::serve

@@ -1,0 +1,58 @@
+#ifndef HYPERMINE_UTIL_THREAD_POOL_H_
+#define HYPERMINE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hypermine {
+
+/// Fixed-size worker pool shared by the serving engine (serve::QueryEngine)
+/// and the hypergraph builder (core::BuildAssociationHypergraph). Tasks are
+/// plain closures; Submit never blocks. Tasks still queued at destruction
+/// time are drained, not dropped — a queued batch chunk always runs, which
+/// is what QueryEngine's blocking QueryBatch semantics require.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 = HardwareThreads().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a batch of tasks with one lock/notify round.
+  void SubmitAll(std::vector<std::function<void()>> tasks);
+
+  /// Runs body(0) .. body(n - 1), distributing indices over the workers via
+  /// an atomic cursor; the calling thread participates, so a ParallelFor on
+  /// a pool of w workers uses up to w + 1 threads. Blocks until every index
+  /// has completed. Which thread runs which index is nondeterministic —
+  /// callers needing deterministic output must make body(i) depend only
+  /// on i (the hypergraph builder's per-head-block buffers do exactly
+  /// this, then merge serially).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> pending_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_THREAD_POOL_H_

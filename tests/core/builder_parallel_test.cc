@@ -1,0 +1,141 @@
+// The parallel builder's contract: any thread count produces a
+// bit-identical hypergraph — same edge order, same weights, same
+// BuildStats, same CSV export — as the serial build (ISSUE 2 acceptance
+// criterion; HypergraphConfig::num_threads documentation).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/export.h"
+#include "testing/fixtures.h"
+#include "util/csv.h"
+
+namespace hypermine::core {
+namespace {
+
+using hypermine::testing::PatientDatabase;
+using hypermine::testing::RandomDatabase;
+
+/// Bit-exact graph comparison: edge count, insertion order, tails, heads,
+/// and weights (double ==, not near — determinism is the contract).
+void ExpectIdenticalGraphs(const DirectedHypergraph& a,
+                           const DirectedHypergraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    const Hyperedge& ea = a.edge(id);
+    const Hyperedge& eb = b.edge(id);
+    EXPECT_EQ(ea.head, eb.head) << "edge " << id;
+    EXPECT_EQ(ea.tail[0], eb.tail[0]) << "edge " << id;
+    EXPECT_EQ(ea.tail[1], eb.tail[1]) << "edge " << id;
+    EXPECT_EQ(ea.tail[2], eb.tail[2]) << "edge " << id;
+    EXPECT_EQ(ea.weight, eb.weight) << "edge " << id;
+  }
+}
+
+/// Field-by-field stats comparison; elapsed_seconds is wall time and is the
+/// one field allowed to differ between runs.
+void ExpectIdenticalStats(const BuildStats& a, const BuildStats& b) {
+  EXPECT_EQ(a.edge_candidates, b.edge_candidates);
+  EXPECT_EQ(a.edges_kept, b.edges_kept);
+  EXPECT_EQ(a.pair_candidates, b.pair_candidates);
+  EXPECT_EQ(a.pairs_kept, b.pairs_kept);
+  EXPECT_EQ(a.mean_edge_acv, b.mean_edge_acv);
+  EXPECT_EQ(a.mean_pair_acv, b.mean_pair_acv);
+}
+
+std::string ExportCsv(const DirectedHypergraph& graph, const char* tag) {
+  std::string path = std::string("/tmp/builder_parallel_") + tag + ".csv";
+  EXPECT_TRUE(WriteHypergraphCsv(graph, path).ok());
+  auto text = ReadFileToString(path);
+  EXPECT_TRUE(text.ok());
+  std::remove(path.c_str());
+  return *text;
+}
+
+void CheckDeterminism(const Database& db, HypergraphConfig config) {
+  config.num_threads = 1;
+  BuildStats serial_stats;
+  auto serial = BuildAssociationHypergraph(db, config, &serial_stats);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{0}}) {
+    SCOPED_TRACE(::testing::Message() << "threads = " << threads);
+    config.num_threads = threads;
+    BuildStats parallel_stats;
+    auto parallel = BuildAssociationHypergraph(db, config, &parallel_stats);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdenticalGraphs(*serial, *parallel);
+    ExpectIdenticalStats(serial_stats, parallel_stats);
+    EXPECT_EQ(ExportCsv(*serial, "serial"), ExportCsv(*parallel, "parallel"));
+  }
+}
+
+TEST(BuilderParallelTest, RandomDatabaseC1IsDeterministic) {
+  CheckDeterminism(RandomDatabase(24, 400, 3, 1234, /*copy_prob=*/0.7),
+                   ConfigC1());
+}
+
+TEST(BuilderParallelTest, RandomDatabaseC2IsDeterministic) {
+  HypergraphConfig config = ConfigC2();
+  CheckDeterminism(RandomDatabase(18, 300, 5, 99, /*copy_prob=*/0.65),
+                   config);
+}
+
+TEST(BuilderParallelTest, UnrestrictedCandidatesAreDeterministic) {
+  HypergraphConfig config = ConfigC1();
+  config.restrict_pairs_to_edges = false;
+  CheckDeterminism(RandomDatabase(12, 250, 3, 7, /*copy_prob=*/0.6), config);
+}
+
+TEST(BuilderParallelTest, UnrestrictedWithoutWeakPairsIsDeterministic) {
+  HypergraphConfig config = ConfigC1();
+  config.restrict_pairs_to_edges = false;
+  config.keep_pairs_without_edges = false;
+  CheckDeterminism(RandomDatabase(12, 250, 3, 8, /*copy_prob=*/0.6), config);
+}
+
+TEST(BuilderParallelTest, LargeKClampsBlockSizeAndStaysDeterministic) {
+  // k = 17 (the Patient database) exercises the L1-budget clamp of the
+  // head-block size, a different blocking than C1/C2.
+  Database db = PatientDatabase();
+  HypergraphConfig config = ConfigC1();
+  config.k = db.num_values();
+  CheckDeterminism(db, config);
+}
+
+TEST(BuilderParallelTest, TinyDatabasesAreDeterministic) {
+  CheckDeterminism(RandomDatabase(2, 30, 3, 5), ConfigC1());
+  CheckDeterminism(RandomDatabase(3, 8, 3, 6, /*copy_prob=*/0.9),
+                   ConfigC1());
+}
+
+TEST(BuilderParallelTest, ThreadCountDoesNotAffectValidation) {
+  Database db = RandomDatabase(4, 50, 3, 1);
+  HypergraphConfig config = ConfigC1();
+  config.k = 5;  // mismatch
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    config.num_threads = threads;
+    EXPECT_FALSE(BuildAssociationHypergraph(db, config).ok());
+  }
+}
+
+TEST(BuilderParallelTest, OversubscribedThreadsStayDeterministic) {
+  // More threads than head blocks: workers idle, output unchanged.
+  Database db = RandomDatabase(6, 120, 3, 77, /*copy_prob=*/0.7);
+  HypergraphConfig config = ConfigC1();
+  config.num_threads = 16;
+  BuildStats stats16;
+  auto many = BuildAssociationHypergraph(db, config, &stats16);
+  ASSERT_TRUE(many.ok());
+  config.num_threads = 1;
+  BuildStats stats1;
+  auto one = BuildAssociationHypergraph(db, config, &stats1);
+  ASSERT_TRUE(one.ok());
+  ExpectIdenticalGraphs(*one, *many);
+  ExpectIdenticalStats(stats1, stats16);
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -11,6 +11,7 @@
 //   # End-to-end smoke test: builds the Chapter 3 patient-database model,
 //   # snapshots it, reloads, and queries through the engine.
 //   hypermine_serve --selftest
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -160,8 +161,9 @@ int RunServe(const FlagParser& flags) {
 }
 
 /// Builds the Chapter 3 patient-database hypergraph (same data as
-/// examples/quickstart.cpp).
-StatusOr<core::DirectedHypergraph> BuildDemoGraph() {
+/// examples/quickstart.cpp) with `num_threads` build workers (0 =
+/// hardware concurrency; the result is bit-identical either way).
+StatusOr<core::DirectedHypergraph> BuildDemoGraph(size_t num_threads) {
   const std::vector<std::vector<double>> raw = {
       {25, 105, 135, 75}, {62, 160, 165, 85}, {32, 125, 139, 71},
       {12, 95, 105, 67},  {38, 129, 135, 75}, {39, 121, 117, 71},
@@ -179,11 +181,13 @@ StatusOr<core::DirectedHypergraph> BuildDemoGraph() {
       core::DatabaseFromColumns({"A", "C", "B", "H"}, 17, columns));
   core::HypergraphConfig config = core::ConfigC1();
   config.k = db.num_values();
+  config.num_threads = num_threads;
   return core::BuildAssociationHypergraph(db, config);
 }
 
-int RunSelfTest() {
-  auto graph = BuildDemoGraph();
+int RunSelfTest(const FlagParser& flags) {
+  auto graph = BuildDemoGraph(
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("threads", 0))));
   if (!graph.ok()) return Fail(graph.status());
   const std::string path = "/tmp/hypermine_selftest.snap";
   Status written = serve::WriteSnapshot(*graph, path);
@@ -218,7 +222,7 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
-  if (flags.GetBool("selftest", false)) return RunSelfTest();
+  if (flags.GetBool("selftest", false)) return RunSelfTest(flags);
   if (flags.GetBool("convert", false)) return RunConvert(flags);
   if (!flags.GetString("snapshot", "").empty()) return RunServe(flags);
   std::fprintf(stderr,
@@ -227,7 +231,7 @@ int Main(int argc, char** argv) {
                "--out=model.{csv,snap}\n"
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
-               "  hypermine_serve --selftest\n");
+               "  hypermine_serve --selftest [--threads=N]\n");
   return 1;
 }
 
