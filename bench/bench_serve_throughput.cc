@@ -1,19 +1,21 @@
-// Serving-path throughput harness: snapshot load time, then queries/sec and
-// batch latency of the QueryEngine, single- vs multi-threaded, plus a
-// cache-enabled pass. Emits BENCH_serve.json for the perf trajectory.
+// Serving-path throughput harness over the api façade: snapshot load time,
+// rule-index build time, then queries/sec and batch latency of api::Engine,
+// single- vs multi-threaded, plus a cache-enabled pass and the hot-swap
+// latency of Engine::Swap. Emits BENCH_serve.json for the perf trajectory.
 //
 //   ./bench_serve_throughput [--vertices=2000] [--edges=50000]
 //       [--queries=20000] [--batch=256] [--threads=4]
 //       [--out=BENCH_serve.json]
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/engine.h"
+#include "api/model.h"
 #include "build_info.h"
-#include "serve/engine.h"
-#include "serve/rule_index.h"
 #include "serve/snapshot.h"
 #include "serve/testutil.h"
 #include "util/csv.h"
@@ -38,34 +40,53 @@ double PercentileMs(std::vector<double> sorted_ms, double p) {
   return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
 }
 
-RunStats RunEngine(const serve::RuleIndex& index,
-                   const std::vector<serve::Query>& queries,
+std::vector<api::QueryRequest> Convert(
+    const std::vector<serve::Query>& queries) {
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const serve::Query& query : queries) {
+    api::QueryRequest request;
+    request.items = query.items;
+    request.k = query.k;
+    request.kind = query.kind == serve::Query::Kind::kTopK
+                       ? api::QueryRequest::Kind::kTopK
+                       : api::QueryRequest::Kind::kReachable;
+    request.min_acv = query.min_acv;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+RunStats RunEngine(std::shared_ptr<const api::Model> model,
+                   const std::vector<api::QueryRequest>& requests,
                    size_t num_threads, size_t batch_size,
                    size_t cache_capacity) {
-  serve::EngineOptions options;
+  api::EngineOptions options;
   options.num_threads = num_threads;
   options.cache_capacity = cache_capacity;
-  serve::QueryEngine engine(serve::RuleIndex(index), options);
+  api::Engine engine(std::move(model), options);
 
   std::vector<double> batch_ms;
   Stopwatch total;
-  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
-    size_t end = std::min(queries.size(), begin + batch_size);
-    std::vector<serve::Query> batch(queries.begin() + begin,
-                                    queries.begin() + end);
+  for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+    size_t end = std::min(requests.size(), begin + batch_size);
+    std::vector<api::QueryRequest> batch(requests.begin() + begin,
+                                         requests.begin() + end);
     Stopwatch per_batch;
-    std::vector<serve::QueryResult> results = engine.QueryBatch(batch);
+    std::vector<StatusOr<api::QueryResponse>> responses =
+        engine.QueryBatch(batch);
     batch_ms.push_back(per_batch.ElapsedMillis());
-    HM_CHECK_EQ(results.size(), batch.size());
+    HM_CHECK_EQ(responses.size(), batch.size());
+    for (const auto& response : responses) HM_CHECK_OK(response.status());
   }
   double seconds = total.ElapsedSeconds();
 
   RunStats stats;
-  stats.qps = static_cast<double>(queries.size()) / seconds;
+  stats.qps = static_cast<double>(requests.size()) / seconds;
   std::sort(batch_ms.begin(), batch_ms.end());
   stats.p50_ms = PercentileMs(batch_ms, 0.50);
   stats.p99_ms = PercentileMs(batch_ms, 0.99);
-  serve::CacheStats cache = engine.cache_stats();
+  api::CacheStats cache = engine.cache_stats();
   uint64_t lookups = cache.hits + cache.misses;
   stats.hit_rate = lookups == 0
                        ? 0.0
@@ -97,31 +118,51 @@ int Main(int argc, char** argv) {
   core::DirectedHypergraph graph =
       serve::RandomServeGraph(vertices, edges, 42);
   const std::string snap_path = "/tmp/bench_serve.snap";
-  HM_CHECK_OK(serve::WriteSnapshot(graph, snap_path));
+  api::ModelSpec spec;
+  spec.provenance.source = "bench_serve_throughput random graph";
+  HM_CHECK_OK(serve::WriteSnapshot(graph, spec, snap_path));
 
   Stopwatch load_timer;
-  auto loaded = serve::ReadSnapshot(snap_path);
-  HM_CHECK_OK(loaded.status());
+  auto model = api::Model::FromSnapshot(snap_path);
+  HM_CHECK_OK(model.status());
   const double load_ms = load_timer.ElapsedMillis();
   auto snap_bytes = ReadFileToString(snap_path);
   HM_CHECK_OK(snap_bytes.status());
 
   Stopwatch index_timer;
-  serve::RuleIndex index = serve::RuleIndex::Build(*loaded);
+  const serve::RuleIndex& index = (*model)->index();  // lazy first build
   const double index_ms = index_timer.ElapsedMillis();
   std::printf("snapshot: %zu bytes, load %.1f ms; rule index: %zu tail "
               "sets, build %.1f ms\n",
               snap_bytes->size(), load_ms, index.num_tail_sets(), index_ms);
 
-  std::vector<serve::Query> queries = serve::RandomServeQueries(
-      num_queries, vertices, 7, /*k=*/10, /*reach_every=*/16,
-      /*reach_min_acv=*/0.8);
+  std::vector<api::QueryRequest> requests =
+      Convert(serve::RandomServeQueries(num_queries, vertices, 7, /*k=*/10,
+                                        /*reach_every=*/16,
+                                        /*reach_min_acv=*/0.8));
 
-  RunStats single = RunEngine(index, queries, 1, batch, /*cache=*/0);
-  RunStats multi = RunEngine(index, queries, threads, batch, /*cache=*/0);
-  RunStats cached = RunEngine(index, queries, threads, batch,
+  RunStats single = RunEngine(*model, requests, 1, batch, /*cache=*/0);
+  RunStats multi = RunEngine(*model, requests, threads, batch, /*cache=*/0);
+  RunStats cached = RunEngine(*model, requests, threads, batch,
                               /*cache=*/4096);
   const double speedup = single.qps > 0 ? multi.qps / single.qps : 0.0;
+
+  // Hot-swap latency: how long Engine::Swap holds up a caller (pointer
+  // swap + stale-entry purge of a full cache).
+  api::EngineOptions swap_options;
+  swap_options.num_threads = threads;
+  api::Engine swap_engine(*model, swap_options);
+  for (size_t begin = 0; begin < requests.size() && begin < 4096;
+       begin += batch) {
+    size_t end = std::min({requests.size(), begin + batch, size_t{4096}});
+    swap_engine.QueryBatch(std::vector<api::QueryRequest>(
+        requests.begin() + begin, requests.begin() + end));
+  }
+  auto model_b = api::Model::FromSnapshot(snap_path);
+  HM_CHECK_OK(model_b.status());
+  Stopwatch swap_timer;
+  swap_engine.Swap(*model_b);
+  const double swap_ms = swap_timer.ElapsedMillis();
 
   std::printf("%-22s %12s %10s %10s %9s\n", "configuration", "queries/s",
               "p50 ms", "p99 ms", "hit rate");
@@ -134,9 +175,10 @@ int Main(int argc, char** argv) {
               cached.qps, cached.p50_ms, cached.p99_ms,
               100.0 * cached.hit_rate);
   std::printf("multi-thread speedup: %.2fx (%zu hardware threads "
-              "available)\n",
+              "available); hot swap %.3f ms\n",
               speedup, static_cast<size_t>(
-                           std::thread::hardware_concurrency()));
+                           std::thread::hardware_concurrency()),
+              swap_ms);
 
   std::string json = StrFormat(
       "{\n"
@@ -156,13 +198,14 @@ int Main(int argc, char** argv) {
       "  \"multi_thread\": {\"threads\": %zu, \"qps\": %.1f, "
       "\"p50_batch_ms\": %.3f, \"p99_batch_ms\": %.3f},\n"
       "  \"multi_thread_speedup\": %.3f,\n"
-      "  \"cached\": {\"qps\": %.1f, \"hit_rate\": %.4f}\n"
+      "  \"cached\": {\"qps\": %.1f, \"hit_rate\": %.4f},\n"
+      "  \"hot_swap_ms\": %.3f\n"
       "}\n",
       bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
       batch, snap_bytes->size(), load_ms,
       index_ms, std::thread::hardware_concurrency(), single.qps,
       single.p50_ms, single.p99_ms, threads, multi.qps, multi.p50_ms,
-      multi.p99_ms, speedup, cached.qps, cached.hit_rate);
+      multi.p99_ms, speedup, cached.qps, cached.hit_rate, swap_ms);
   HM_CHECK_OK(WriteStringToFile(out_path, json));
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -1,28 +1,17 @@
 #ifndef HYPERMINE_BENCH_BUILD_INFO_H_
 #define HYPERMINE_BENCH_BUILD_INFO_H_
 
+#include "util/build_info.h"
+
 namespace hypermine::bench {
 
-/// Compile-time provenance for the BENCH_*.json artifacts: the root
-/// CMakeLists stamps HYPERMINE_GIT_SHA (configure-time `git rev-parse`)
-/// and HYPERMINE_BUILD_TYPE onto hypermine_bench_common, so perf records
-/// are attributable to a commit and an optimization level across PRs.
+/// Compile-time provenance for the BENCH_*.json artifacts. The stamp now
+/// lives on the hypermine library (util/build_info.h) so api::Model shares
+/// it; these wrappers keep the bench call sites stable.
 
-inline const char* GitSha() {
-#ifdef HYPERMINE_GIT_SHA
-  return HYPERMINE_GIT_SHA;
-#else
-  return "unknown";
-#endif
-}
+inline const char* GitSha() { return hypermine::GitSha(); }
 
-inline const char* BuildType() {
-#ifdef HYPERMINE_BUILD_TYPE
-  return HYPERMINE_BUILD_TYPE;
-#else
-  return "unknown";
-#endif
-}
+inline const char* BuildType() { return hypermine::BuildType(); }
 
 }  // namespace hypermine::bench
 

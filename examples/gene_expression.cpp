@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/model.h"
 #include "core/classifier.h"
 #include "core/builder.h"
 #include "core/discretize.h"
@@ -19,6 +20,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace hypermine;
 
@@ -79,18 +81,28 @@ int main(int argc, char** argv) {
   std::printf("gene database: %zu patients x %zu genes + disease status\n\n",
               db.num_observations(), num_genes);
 
+  // Both models below are built through api::Model on one shared pool
+  // (no per-build thread spin-up), with provenance naming the synthetic
+  // cohort.
+  ThreadPool pool;
+  api::ModelSpec spec;
+  spec.discretization = "equi-depth under/normal/over expression (k=3)";
+  spec.provenance.source = "synthetic gene cohort, seed " +
+                           std::to_string(seed);
+
   // Problem (1) of Chapter 6: gene-only hypergraph for clustering and
   // expression prediction, with the C1 gammas (genes are equi-depth
   // discretized, so ACV(∅, H) ~ 1/k just like the financial data).
-  core::HypergraphConfig config = core::ConfigC1();
-  auto graph = core::BuildAssociationHypergraph(db, config);
-  HM_CHECK_OK(graph.status());
+  spec.config = core::ConfigC1();
+  auto model = api::Model::Build(db, spec, &pool);
+  HM_CHECK_OK(model.status());
+  const core::DirectedHypergraph& graph = (*model)->graph();
 
   std::vector<core::VertexId> gene_vertices(num_genes);
   for (size_t g = 0; g < num_genes; ++g) {
     gene_vertices[g] = static_cast<core::VertexId>(g);
   }
-  auto sg = core::SimilarityGraph::Build(*graph, gene_vertices);
+  auto sg = core::SimilarityGraph::Build(graph, gene_vertices);
   HM_CHECK_OK(sg.status());
   size_t num_pathways = (num_genes + kPathwaySize - 1) / kPathwaySize;
   auto clustering = core::ClusterSimilarAttributes(*sg, num_pathways);
@@ -115,11 +127,11 @@ int main(int argc, char** argv) {
   // Predict gene expression from a dominator of marker genes.
   core::DominatorConfig dom_config;
   auto dominator =
-      core::ComputeDominatorSetCover(*graph, gene_vertices, dom_config);
+      core::ComputeDominatorSetCover(graph, gene_vertices, dom_config);
   HM_CHECK_OK(dominator.status());
   std::vector<core::VertexId> dominator_plus = dominator->dominator;
   dominator_plus.push_back(disease);  // exclude disease from targets
-  auto eval = core::EvaluateAssociationClassifier(*graph, db, db,
+  auto eval = core::EvaluateAssociationClassifier(graph, db, db,
                                                   dominator_plus);
   HM_CHECK_OK(eval.status());
   std::printf("    expression prediction from %zu indicator genes: mean "
@@ -136,18 +148,20 @@ int main(int argc, char** argv) {
   // up when both marker genes are read jointly. This is exactly the
   // many-to-one relationship directed hyperedges exist for, and it needs
   // the unrestricted pair enumeration (no constituent-edge prefilter).
-  core::HypergraphConfig disease_config = core::ConfigC1();
-  disease_config.gamma_edge = 1.02;
-  disease_config.gamma_hyper = 1.01;
-  disease_config.restrict_pairs_to_edges = false;
-  auto disease_graph = core::BuildAssociationHypergraph(db, disease_config);
-  HM_CHECK_OK(disease_graph.status());
-  size_t disease_headed = disease_graph->InEdgeIds(disease).size();
+  api::ModelSpec disease_spec = spec;
+  disease_spec.config.gamma_edge = 1.02;
+  disease_spec.config.gamma_hyper = 1.01;
+  disease_spec.config.restrict_pairs_to_edges = false;
+  disease_spec.provenance.note = "disease model: unrestricted pairs";
+  auto disease_model = api::Model::Build(db, disease_spec, &pool);
+  HM_CHECK_OK(disease_model.status());
+  const core::DirectedHypergraph& disease_graph = (*disease_model)->graph();
+  size_t disease_headed = disease_graph.InEdgeIds(disease).size();
   std::printf("    disease-headed hyperedges found: %zu (all of them "
               "2-to-1: single genes are not gamma-significant)\n",
               disease_headed);
   auto classifier =
-      core::AssociationClassifier::Create(&*disease_graph, &db);
+      core::AssociationClassifier::Create(&disease_graph, &db);
   HM_CHECK_OK(classifier.status());
   size_t correct = 0;
   size_t with_rules = 0;

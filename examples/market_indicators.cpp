@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/engine.h"
+#include "api/model.h"
 #include "core/classifier.h"
 #include "core/dominator.h"
 #include "core/pipeline.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 using namespace hypermine;
 
@@ -40,13 +43,19 @@ int main(int argc, char** argv) {
               split->train.num_observations(),
               split->test.num_observations());
 
-  std::printf("2. building the association hypergraph (configuration "
-              "C1)...\n");
-  core::BuildStats stats;
-  auto graph =
-      core::BuildAssociationHypergraph(split->train, core::ConfigC1(), &stats);
-  HM_CHECK_OK(graph.status());
-  std::printf("   %s\n", stats.ToString().c_str());
+  std::printf("2. building the association model (configuration C1) "
+              "through api::Model...\n");
+  api::ModelSpec spec;
+  spec.config = core::ConfigC1();
+  spec.discretization = "equi-depth terciles of daily deltas (k=3)";
+  spec.provenance.source = StrFormat(
+      "market sim: %zu series, %zu years, seed %llu",
+      market_config.num_series, market_config.num_years,
+      static_cast<unsigned long long>(market_config.seed));
+  auto model = api::Model::Build(split->train, spec);
+  HM_CHECK_OK(model.status());
+  const core::DirectedHypergraph* graph = &(*model)->graph();
+  std::printf("   %s\n", (*model)->stats().ToString().c_str());
 
   std::printf("3. computing a leading indicator (Algorithm 6, top-40%% "
               "ACV threshold)...\n");
@@ -87,5 +96,22 @@ int main(int argc, char** argv) {
                 ranked[i].first);
   }
   std::printf("\n");
+
+  std::printf("5. serving the model through api::Engine (what the "
+              "indicator implies, ranked by ACV)...\n");
+  api::Engine engine(*model);
+  for (size_t i = 0; i < 3 && i < dominator->dominator.size(); ++i) {
+    api::QueryRequest request;
+    request.items = {dominator->dominator[i]};
+    request.k = 3;
+    auto response = engine.Query(request);
+    HM_CHECK_OK(response.status());
+    std::printf("   %s =>",
+                graph->vertex_name(dominator->dominator[i]).c_str());
+    for (const serve::RankedConsequent& r : response->ranked) {
+      std::printf(" %s(%.2f)", graph->vertex_name(r.head).c_str(), r.acv);
+    }
+    std::printf("%s\n", response->ranked.empty() ? " (none)" : "");
+  }
   return 0;
 }

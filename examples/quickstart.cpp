@@ -1,13 +1,20 @@
 // Quickstart: the patient database of the paper's Chapter 3 (Tables
-// 3.1/3.2), from raw values to mva-type association rules, association
-// tables, ACVs, and a small association hypergraph.
+// 3.1/3.2) from raw values to a served association model, through the
+// hypermine::api façade:
+//
+//   raw values -> discretize -> api::ModelSpec (γ-significance parameters
+//   + provenance) -> api::Model::Build (the association hypergraph of
+//   Definition 3.6, ACV-weighted) -> SaveSnapshot/FromSnapshot ->
+//   api::Engine (top-k consequents ranked by ACV, hot-swappable).
 //
 //   ./quickstart
 #include <cstdio>
+#include <cstdlib>
 
+#include "api/engine.h"
+#include "api/model.h"
 #include "core/assoc_rule.h"
 #include "core/assoc_table.h"
-#include "core/builder.h"
 #include "core/discretize.h"
 #include "util/logging.h"
 
@@ -56,28 +63,58 @@ int main() {
   // of Table 3.7 — and its association confidence value.
   auto table = core::AssociationTable::Build(db, {0, 1}, 2);
   HM_CHECK_OK(table.status());
-  std::printf("association table for ({A, C}, {B}), showing non-empty "
-              "rows:\n");
-  std::printf("  values  | support | v*(B) | confidence\n");
-  for (size_t row = 0; row < table->num_rows(); ++row) {
-    const core::AssocTableRow& r = table->row(row);
-    if (r.tail_count == 0) continue;
-    std::printf("  <%2zu,%2zu> |  %.3f  |  %2d   |  %.3f\n",
-                row / db.num_values(), row % db.num_values(), r.support,
-                static_cast<int>(r.best_head_value), r.confidence);
-  }
-  std::printf("  ACV({A, C}, {B}) = %.3f\n\n", table->acv());
+  std::printf("ACV({A, C}, {B}) = %.3f\n\n", table->acv());
 
-  // Build the full association hypergraph with configuration C1's gammas.
-  core::HypergraphConfig config = core::ConfigC1();
-  config.k = db.num_values();
-  core::BuildStats stats;
-  auto graph = core::BuildAssociationHypergraph(db, config, &stats);
-  HM_CHECK_OK(graph.status());
-  std::printf("association hypergraph: %s\n", stats.ToString().c_str());
+  // The model-construction half of the API: a ModelSpec names the
+  // γ-significance parameters (Definition 3.7) and records how the data
+  // was discretized; Model::Build mines the association hypergraph and
+  // stamps provenance (git sha, build time) into the spec.
+  api::ModelSpec spec;
+  spec.config = core::ConfigC1();  // γ_{1→1} = 1.15, γ_{2→1} = 1.05
+  spec.config.k = db.num_values();
+  spec.discretization = "floor(value / 10) per Table 3.2";
+  spec.provenance.source = "chapter-3 patient database (8 observations)";
+  auto built = api::Model::Build(db, spec);
+  HM_CHECK_OK(built.status());
+  std::printf("association hypergraph: %s\n",
+              (*built)->stats().ToString().c_str());
   std::printf("gamma-significant hyperedges:\n");
-  for (core::EdgeId id = 0; id < graph->num_edges(); ++id) {
-    std::printf("  %s\n", graph->EdgeToString(id).c_str());
+  for (core::EdgeId id = 0; id < (*built)->num_edges(); ++id) {
+    std::printf("  %s\n", (*built)->graph().EdgeToString(id).c_str());
   }
+
+  // Persist and reload: snapshots are the lossless servable artifact and
+  // carry the ModelSpec, so the reloaded model is fully attributable.
+  const std::string snap = std::string(std::getenv("TMPDIR")
+                                           ? std::getenv("TMPDIR")
+                                           : "/tmp") +
+                           "/quickstart.snap";
+  HM_CHECK_OK((*built)->SaveSnapshot(snap));
+  auto model = api::Model::FromSnapshot(snap);
+  HM_CHECK_OK(model.status());
+  std::printf("\nreloaded %s\n  built by git_sha=%s from \"%s\"\n",
+              snap.c_str(), (*model)->spec().provenance.git_sha.c_str(),
+              (*model)->spec().provenance.source.c_str());
+
+  // The model-use half: an Engine answers "given these attributes, what
+  // follows?" — consequents ranked by ACV, queried by attribute name.
+  // (Engine::Swap would hot-reload a retrained model with zero downtime;
+  // see tools/hypermine_serve's !reload.)
+  api::Engine engine(*model);
+  for (const char* name : {"A", "C", "B", "H"}) {
+    api::QueryRequest request;
+    request.names = {name};
+    request.k = 3;
+    auto response = engine.Query(request);
+    HM_CHECK_OK(response.status());
+    std::printf("top consequents of {%s} (model v%llu):\n", name,
+                static_cast<unsigned long long>(response->model_version));
+    for (const serve::RankedConsequent& r : response->ranked) {
+      std::printf("  %s  acv=%.3f\n",
+                  (*model)->graph().vertex_name(r.head).c_str(), r.acv);
+    }
+    if (response->ranked.empty()) std::printf("  (no consequents)\n");
+  }
+  std::remove(snap.c_str());
   return 0;
 }

@@ -1,0 +1,206 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <utility>
+
+#include "serve/wire.h"
+#include "util/logging.h"
+
+namespace hypermine::api {
+
+Engine::Engine(std::shared_ptr<const Model> model, EngineOptions options)
+    : model_(std::move(model)), cache_capacity_(options.cache_capacity) {
+  HM_CHECK(model_ != nullptr);
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+void Engine::Swap(std::shared_ptr<const Model> model) {
+  HM_CHECK(model != nullptr);
+  const uint64_t live_version = model->version();
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_.swap(model);
+  }
+  // Eagerly purge entries of other versions. Keying alone already makes
+  // them unreachable; the purge stops a dead model's answers from
+  // occupying capacity until LRU pressure pushes them out.
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->model_version != live_version) {
+        cache_.erase(it->key);
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const Model> Engine::model() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+std::string Engine::CacheKey(uint64_t model_version,
+                             const QueryRequest& request,
+                             const std::vector<core::VertexId>& items) {
+  // TopKWithin and Reachable are both insensitive to item order and
+  // duplicates, so the canonical form is the sorted unique item set.
+  std::vector<core::VertexId> canonical = items;
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  std::string key;
+  key.reserve(32 + 4 * canonical.size());
+  serve::AppendPod<uint64_t>(&key, model_version);
+  serve::AppendPod<uint8_t>(
+      &key, request.kind == QueryRequest::Kind::kTopK ? 0 : 1);
+  serve::AppendPod<uint64_t>(
+      &key, request.kind == QueryRequest::Kind::kTopK ? request.k : 0);
+  double min_acv =
+      request.kind == QueryRequest::Kind::kReachable ? request.min_acv : 0;
+  serve::AppendPod<double>(&key, min_acv);
+  for (core::VertexId v : canonical) serve::AppendPod<uint32_t>(&key, v);
+  return key;
+}
+
+StatusOr<QueryResponse> Engine::Process(const Model& model,
+                                        const QueryRequest& request) {
+  // Resolve the item set. Names win over ids: they are the form that stays
+  // meaningful across hot swaps (ids are per-model).
+  std::vector<core::VertexId> items;
+  if (!request.names.empty()) {
+    items.reserve(request.names.size());
+    for (const std::string& name : request.names) {
+      auto v = model.FindVertex(name);
+      if (!v.has_value()) {
+        return Status::NotFound("query: unknown vertex \"" + name + "\"");
+      }
+      items.push_back(*v);
+    }
+  } else {
+    items = request.items;
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("query: empty item set");
+  }
+  if (items.size() > kMaxQueryItems) {
+    return Status::InvalidArgument(
+        "query: item set larger than kMaxQueryItems");
+  }
+
+  // Only pay for key canonicalization when a cache exists: the no-cache
+  // configuration is the serving hot path benchmarks measure.
+  std::string key;
+  if (cache_capacity_ > 0) {
+    key = CacheKey(model.version(), request, items);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      QueryResponse hit = it->second->response;
+      hit.from_cache = true;
+      return hit;
+    }
+    ++stats_.misses;
+  }
+
+  QueryResponse response;
+  response.model_version = model.version();
+  switch (request.kind) {
+    case QueryRequest::Kind::kTopK:
+      response.ranked = model.index().TopKWithin(items, request.k);
+      break;
+    case QueryRequest::Kind::kReachable:
+      response.closure = model.index().Reachable(items, request.min_acv);
+      break;
+  }
+
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      lru_.push_front(CacheEntry{key, model.version(), response});
+      cache_.emplace(lru_.front().key, lru_.begin());
+      if (lru_.size() > cache_capacity_) {
+        cache_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  return response;
+}
+
+std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
+    const std::vector<QueryRequest>& requests) {
+  const size_t n = requests.size();
+  if (n == 0) return {};
+
+  // One model acquisition per batch: every answer in the batch comes from
+  // the same model, and a concurrent Swap cannot tear the batch.
+  std::shared_ptr<const Model> model = this->model();
+  if (n == 1) return {Process(*model, requests[0])};
+
+  // Shared batch state: workers steal indices off an atomic cursor. Tasks
+  // hold shared ownership because a queued task can outlive the batch when
+  // its siblings drained every index first.
+  struct BatchState {
+    explicit BatchState(size_t n)
+        : results(n, StatusOr<QueryResponse>(
+                         Status::Internal("query not processed"))) {}
+    const std::vector<QueryRequest>* requests = nullptr;
+    std::shared_ptr<const Model> model;
+    std::vector<StatusOr<QueryResponse>> results;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool complete = false;
+  };
+  auto state = std::make_shared<BatchState>(n);
+  state->requests = &requests;
+  state->model = std::move(model);
+
+  auto run_chunk = [this, state, n] {
+    size_t i;
+    while ((i = state->next.fetch_add(1)) < n) {
+      state->results[i] = Process(*state->model, (*state->requests)[i]);
+      if (state->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->complete = true;
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t chunks = std::min(pool_->num_threads(), n);
+  std::vector<std::function<void()>> tasks(chunks, run_chunk);
+  pool_->SubmitAll(std::move(tasks));
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state] { return state->complete; });
+  return std::move(state->results);
+}
+
+StatusOr<QueryResponse> Engine::Query(const QueryRequest& request) {
+  std::shared_ptr<const Model> model = this->model();
+  return Process(*model, request);
+}
+
+CacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return stats_;
+}
+
+}  // namespace hypermine::api

@@ -1,0 +1,147 @@
+#ifndef HYPERMINE_API_ENGINE_H_
+#define HYPERMINE_API_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/model.h"
+#include "serve/rule_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hypermine::api {
+
+/// Largest item set a single query may name. TopKWithin enumerates tail
+/// subsets of size 1..3, so work grows as C(n, 3); the cap bounds one
+/// query to ~40k group lookups and keeps a hostile request from pinning a
+/// serving worker.
+inline constexpr size_t kMaxQueryItems = 64;
+
+/// One association query: "given these items, what follows?". Items may be
+/// given by vertex name (resolved against the live model at answer time —
+/// the robust form across hot swaps, since vertex ids are per-model) or by
+/// id (`items`, used only when `names` is empty).
+struct QueryRequest {
+  std::vector<std::string> names;
+  std::vector<core::VertexId> items;
+  size_t k = 10;
+  /// kTopK ranks consequents of tail subsets of the item set by ACV;
+  /// kReachable computes the forward closure under min_acv
+  /// (B-reachability).
+  enum class Kind { kTopK, kReachable } kind = Kind::kTopK;
+  /// Only used by kReachable.
+  double min_acv = 0.0;
+};
+
+/// A successful answer. `model_version` is the version() of the model that
+/// produced it — across a Swap, callers can tell old answers from new.
+struct QueryResponse {
+  /// kTopK answers (best ACV first).
+  std::vector<serve::RankedConsequent> ranked;
+  /// kReachable answer (sorted vertex ids, includes the seeds).
+  std::vector<core::VertexId> closure;
+  uint64_t model_version = 0;
+  /// True when served from the engine's result cache.
+  bool from_cache = false;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency (at least 1). Ignored when
+  /// `pool` is set.
+  size_t num_threads = 0;
+  /// LRU result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 4096;
+  /// Optional caller-provided worker pool shared with other subsystems
+  /// (e.g. the model builder). Not owned; must outlive the engine.
+  ThreadPool* pool = nullptr;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// The serving half of the API: answers association queries against a hot-
+/// swappable, immutable Model. One Engine owns a worker pool (or borrows a
+/// shared one), an LRU result cache, and a shared_ptr<const Model> slot.
+///
+/// Hot swap: Swap(new_model) atomically replaces the slot. Queries acquire
+/// the model pointer once per batch, so in-flight batches finish against
+/// the model they started with (kept alive by their shared_ptr) while
+/// every batch submitted after Swap returns sees only the new model — no
+/// drain, no downtime. The cache key leads with the model version, so a
+/// swap coherently invalidates: entries computed against an old model can
+/// never answer for the new one (Swap also purges them eagerly).
+class Engine {
+ public:
+  /// `model` must be non-null.
+  explicit Engine(std::shared_ptr<const Model> model,
+                  EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Atomically replaces the served model (non-null). In-flight batches
+  /// complete against the previous model; subsequent queries see only
+  /// `model`.
+  void Swap(std::shared_ptr<const Model> model);
+
+  /// The currently served model.
+  std::shared_ptr<const Model> model() const;
+
+  /// Answers a batch; result i corresponds to requests[i], each with its
+  /// own StatusOr (one malformed query does not fail the batch).
+  /// Thread-safe — concurrent batches interleave on the same pool. All
+  /// answers within one batch come from the same model.
+  std::vector<StatusOr<QueryResponse>> QueryBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// Answers one query on the calling thread (no pool round trip).
+  StatusOr<QueryResponse> Query(const QueryRequest& request);
+
+  size_t num_threads() const { return pool_->num_threads(); }
+  CacheStats cache_stats() const;
+
+ private:
+  struct CacheEntry {
+    std::string key;
+    uint64_t model_version = 0;
+    QueryResponse response;
+  };
+
+  StatusOr<QueryResponse> Process(const Model& model,
+                                  const QueryRequest& request);
+  /// Canonical cache key (leads with the model version). Only called on
+  /// validated queries — `items` is the resolved, non-empty item set.
+  static std::string CacheKey(uint64_t model_version,
+                              const QueryRequest& request,
+                              const std::vector<core::VertexId>& items);
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const Model> model_;
+
+  // LRU cache: list front = most recent; map points into the list.
+  mutable std::mutex cache_mutex_;
+  size_t cache_capacity_ = 0;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+  CacheStats stats_;
+
+  /// Owned pool when options.pool was null. MUST be declared after the
+  /// cache state: ~ThreadPool drains in-flight chunks, which still call
+  /// Process() against the members above, so the pool has to die (and
+  /// join) first.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  /// Points at owned_pool_ or the caller's shared pool.
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace hypermine::api
+
+#endif  // HYPERMINE_API_ENGINE_H_

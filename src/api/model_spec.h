@@ -1,0 +1,54 @@
+#ifndef HYPERMINE_API_MODEL_SPEC_H_
+#define HYPERMINE_API_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/builder.h"
+
+namespace hypermine::api {
+
+/// Where a model came from. Stamped by api::Model::Build, persisted in the
+/// snapshot trailer (format v2, serve/snapshot.h), and reported by
+/// `hypermine_serve` on load/convert/reload.
+struct ModelProvenance {
+  /// Human description of the training data, e.g. "S&P simulation, 80
+  /// series, seed 42".
+  std::string source;
+  /// Code revision that built the model. Model::Build fills it with the
+  /// compiled-in sha (util/build_info.h) when left empty.
+  std::string git_sha;
+  /// Free-form operator note ("demo variant", "retrained after outage").
+  std::string note;
+  /// Unix seconds at build time; Model::Build stamps the current time when
+  /// left 0.
+  uint64_t created_unix = 0;
+
+  friend bool operator==(const ModelProvenance&,
+                         const ModelProvenance&) = default;
+
+  bool empty() const {
+    return source.empty() && git_sha.empty() && note.empty() &&
+           created_unix == 0;
+  }
+};
+
+/// Everything needed to reproduce and audit a model: how the raw data was
+/// discretized into the Database's value set, the γ-significance
+/// construction parameters (Definition 3.7: a combination enters the
+/// hypergraph iff its ACV clears γ times the best simpler baseline), and
+/// provenance. ModelSpec is the paper's "model construction" half of the
+/// API; api::Engine is the "model use" half.
+struct ModelSpec {
+  /// k, γ_{1→1}, γ_{2→1}, and the candidate-enumeration switches.
+  core::HypergraphConfig config;
+  /// Human description of the discretization, e.g. "equi-depth terciles of
+  /// day-over-day deltas (k=3)". The Database hands Model::Build already
+  /// discretized values; this records how they were produced.
+  std::string discretization;
+  ModelProvenance provenance;
+};
+
+}  // namespace hypermine::api
+
+#endif  // HYPERMINE_API_MODEL_SPEC_H_

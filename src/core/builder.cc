@@ -69,7 +69,8 @@ std::string BuildStats::ToString() const {
 }
 
 StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
-    const Database& db, const HypergraphConfig& config, BuildStats* stats) {
+    const Database& db, const HypergraphConfig& config, BuildStats* stats,
+    ThreadPool* pool) {
   if (db.num_values() != config.k) {
     return Status::InvalidArgument(
         StrFormat("builder: database has k=%zu but config expects k=%zu",
@@ -214,16 +215,22 @@ StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
     }
   };
 
-  const size_t threads = config.num_threads == 0
-                             ? ThreadPool::HardwareThreads()
-                             : config.num_threads;
+  const size_t threads =
+      config.num_threads == 0
+          ? (pool != nullptr ? pool->num_threads() + 1
+                             : ThreadPool::HardwareThreads())
+          : config.num_threads;
   if (threads <= 1 || num_blocks <= 1) {
     for (size_t b = 0; b < num_blocks; ++b) process_block(b);
+  } else if (pool != nullptr) {
+    // Caller-provided pool: no per-build thread spin-up. The calling
+    // thread participates in ParallelFor alongside the pool's workers.
+    pool->ParallelFor(num_blocks, process_block);
   } else {
     // The calling thread participates in ParallelFor, so a build with
     // `threads` workers runs on a pool of threads - 1.
-    ThreadPool pool(threads - 1);
-    pool.ParallelFor(num_blocks, process_block);
+    ThreadPool local_pool(threads - 1);
+    local_pool.ParallelFor(num_blocks, process_block);
   }
 
   // Phase 2 (serial merge): replay the per-head buffers in head order —

@@ -7,6 +7,10 @@
 #include "core/hypergraph.h"
 #include "util/status.h"
 
+namespace hypermine {
+class ThreadPool;
+}
+
 namespace hypermine::core {
 
 /// Parameters of association-hypergraph construction (Sections 3.2.1 and
@@ -68,9 +72,19 @@ struct BuildStats {
 /// evaluates every directed-edge combination ({A}, {B}) and the 2-to-1
 /// candidates, keeping γ-significant ones weighted by their ACV. The
 /// database's value count must equal config.k. `stats` is optional.
+///
+/// `pool` is an optional caller-provided worker pool: workloads building
+/// many models back to back (year-sliced sweeps, api::Model registries)
+/// pass one shared pool instead of paying thread spin-up per build. When
+/// null and the build is parallel, a pool is created for the call. With a
+/// pool, config.num_threads only picks serial vs parallel: 1 forces a
+/// fully serial build, any other value (including explicit counts >= 2)
+/// runs on the pool's full width — the pool owner sized it, so the pool,
+/// not the config, is the resource contract. The result is bit-identical
+/// in every case.
 StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
     const Database& db, const HypergraphConfig& config,
-    BuildStats* stats = nullptr);
+    BuildStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace hypermine::core
 

@@ -1,139 +1,69 @@
 #include "serve/engine.h"
 
-#include <algorithm>
-#include <atomic>
-#include <functional>
-#include <memory>
-
-#include "serve/wire.h"
+#include <utility>
 
 namespace hypermine::serve {
 
-QueryEngine::QueryEngine(RuleIndex index, EngineOptions options)
-    : index_(std::move(index)),
-      cache_capacity_(options.cache_capacity),
-      pool_(options.num_threads) {}
+namespace {
 
-std::string QueryEngine::CacheKey(const Query& query) {
-  if (query.items.empty()) return {};
-  // TopKWithin and Reachable are both insensitive to item order and
-  // duplicates, so the canonical form is the sorted unique item set.
-  std::vector<core::VertexId> items = query.items;
-  std::sort(items.begin(), items.end());
-  items.erase(std::unique(items.begin(), items.end()), items.end());
-  std::string key;
-  key.reserve(16 + 4 * items.size());
-  AppendPod<uint8_t>(&key, query.kind == Query::Kind::kTopK ? 0 : 1);
-  AppendPod<uint64_t>(&key, query.kind == Query::Kind::kTopK ? query.k : 0);
-  double min_acv = query.kind == Query::Kind::kReachable ? query.min_acv : 0;
-  AppendPod<double>(&key, min_acv);
-  for (core::VertexId v : items) AppendPod<uint32_t>(&key, v);
-  return key;
+api::EngineOptions Convert(const EngineOptions& options) {
+  api::EngineOptions converted;
+  converted.num_threads = options.num_threads;
+  converted.cache_capacity = options.cache_capacity;
+  return converted;
 }
 
-QueryResult QueryEngine::Process(const Query& query) {
+api::QueryRequest Convert(const Query& query) {
+  api::QueryRequest request;
+  request.items = query.items;
+  request.k = query.k;
+  request.kind = query.kind == Query::Kind::kTopK
+                     ? api::QueryRequest::Kind::kTopK
+                     : api::QueryRequest::Kind::kReachable;
+  request.min_acv = query.min_acv;
+  return request;
+}
+
+QueryResult Convert(StatusOr<api::QueryResponse> response) {
   QueryResult result;
-  if (query.items.empty()) {
-    result.status = Status::InvalidArgument("query: empty item set");
+  if (!response.ok()) {
+    result.status = response.status();
     return result;
   }
-  if (query.items.size() > kMaxQueryItems) {
-    result.status = Status::InvalidArgument(
-        "query: item set larger than kMaxQueryItems");
-    return result;
-  }
-
-  // Only pay for key canonicalization when a cache exists: the no-cache
-  // configuration is the serving hot path benchmarks measure.
-  std::string key;
-  if (cache_capacity_ > 0) {
-    key = CacheKey(query);
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.hits;
-      QueryResult hit = it->second->result;
-      hit.from_cache = true;
-      return hit;
-    }
-    ++stats_.misses;
-  }
-
-  switch (query.kind) {
-    case Query::Kind::kTopK:
-      result.ranked = index_.TopKWithin(query.items, query.k);
-      break;
-    case Query::Kind::kReachable:
-      result.closure = index_.Reachable(query.items, query.min_acv);
-      break;
-  }
-
-  if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      lru_.push_front(CacheEntry{key, result});
-      cache_.emplace(lru_.front().key, lru_.begin());
-      if (lru_.size() > cache_capacity_) {
-        cache_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-      }
-    }
-  }
+  result.ranked = std::move(response->ranked);
+  result.closure = std::move(response->closure);
+  result.from_cache = response->from_cache;
   return result;
 }
 
+}  // namespace
+
+QueryEngine::QueryEngine(RuleIndex index, EngineOptions options)
+    : model_(api::Model::FromIndex(std::move(index))),
+      engine_(model_, Convert(options)) {}
+
 std::vector<QueryResult> QueryEngine::QueryBatch(
     const std::vector<Query>& queries) {
-  const size_t n = queries.size();
-  if (n == 0) return {};
-
-  // Shared batch state: workers steal indices off an atomic cursor. Tasks
-  // hold shared ownership because a queued task can outlive the batch when
-  // its siblings drained every index first.
-  struct BatchState {
-    const std::vector<Query>* queries = nullptr;
-    std::vector<QueryResult> results;
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool complete = false;
-  };
-  auto state = std::make_shared<BatchState>();
-  state->queries = &queries;
-  state->results.resize(n);
-
-  auto run_chunk = [this, state, n] {
-    size_t i;
-    while ((i = state->next.fetch_add(1)) < n) {
-      state->results[i] = Process((*state->queries)[i]);
-      if (state->done.fetch_add(1) + 1 == n) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->complete = true;
-        state->cv.notify_all();
-      }
-    }
-  };
-
-  const size_t chunks = std::min(pool_.num_threads(), n);
-  std::vector<std::function<void()>> tasks(chunks, run_chunk);
-  pool_.SubmitAll(std::move(tasks));
-
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&state] { return state->complete; });
-  return std::move(state->results);
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const Query& query : queries) requests.push_back(Convert(query));
+  std::vector<StatusOr<api::QueryResponse>> responses =
+      engine_.QueryBatch(requests);
+  std::vector<QueryResult> results;
+  results.reserve(responses.size());
+  for (StatusOr<api::QueryResponse>& response : responses) {
+    results.push_back(Convert(std::move(response)));
+  }
+  return results;
 }
 
 QueryResult QueryEngine::QueryOne(const Query& query) {
-  return QueryBatch({query})[0];
+  return Convert(engine_.Query(Convert(query)));
 }
 
 CacheStats QueryEngine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return stats_;
+  api::CacheStats stats = engine_.cache_stats();
+  return CacheStats{stats.hits, stats.misses, stats.evictions};
 }
 
 }  // namespace hypermine::serve

@@ -2,23 +2,17 @@
 #define HYPERMINE_SERVE_ENGINE_H_
 
 #include <cstdint>
-#include <list>
-#include <mutex>
-#include <string>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "api/engine.h"
 #include "serve/rule_index.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace hypermine::serve {
 
-/// Largest item set a single query may name. TopKWithin enumerates tail
-/// subsets of size 1..3, so work grows as C(n, 3); the cap bounds one
-/// query to ~40k group lookups and keeps a hostile stdin line from
-/// pinning a serving worker.
-inline constexpr size_t kMaxQueryItems = 64;
+/// Largest item set a single query may name (see api::kMaxQueryItems).
+inline constexpr size_t kMaxQueryItems = api::kMaxQueryItems;
 
 /// One association query: "given these items, what follows?".
 struct Query {
@@ -54,15 +48,16 @@ struct CacheStats {
   uint64_t evictions = 0;
 };
 
-/// Concurrent batched query engine over an immutable RuleIndex. A fixed
-/// util::ThreadPool drains each submitted batch (callers block until their
-/// batch is complete), and an LRU cache keyed on the canonicalized query
-/// memoizes results across batches. The index is read-only after
-/// construction, so workers share it without locking; only the cache takes
-/// a mutex.
+/// DEPRECATED: thin compatibility shim over api::Engine, kept while
+/// existing tests and callers migrate. New code should build an
+/// api::Model (Build / FromSnapshot) and serve it through api::Engine,
+/// which adds hot model swap, versioned responses, and name-based
+/// queries. This shim wraps a bare RuleIndex in an index-only model and
+/// translates Query/QueryResult to the api types; semantics (batching,
+/// canonicalized-key LRU cache, per-query validation) are unchanged.
 class QueryEngine {
  public:
-  QueryEngine(RuleIndex index, EngineOptions options = {});
+  explicit QueryEngine(RuleIndex index, EngineOptions options = {});
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -71,36 +66,18 @@ class QueryEngine {
   /// concurrent batches interleave on the same pool.
   std::vector<QueryResult> QueryBatch(const std::vector<Query>& queries);
 
-  /// Answers one query (convenience wrapper over QueryBatch).
+  /// Answers one query (convenience wrapper over the api engine).
   QueryResult QueryOne(const Query& query);
 
-  const RuleIndex& index() const { return index_; }
-  size_t num_threads() const { return pool_.num_threads(); }
+  const RuleIndex& index() const { return model_->index(); }
+  size_t num_threads() const { return engine_.num_threads(); }
   CacheStats cache_stats() const;
 
  private:
-  struct CacheEntry {
-    std::string key;
-    QueryResult result;
-  };
-
-  QueryResult Process(const Query& query);
-  /// Canonical cache key; empty when the query is uncacheable/invalid.
-  static std::string CacheKey(const Query& query);
-
-  const RuleIndex index_;
-
-  // LRU cache: list front = most recent; map points into the list.
-  mutable std::mutex cache_mutex_;
-  size_t cache_capacity_ = 0;
-  std::list<CacheEntry> lru_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
-  CacheStats stats_;
-
-  /// Runs the batch chunks. MUST be the last member: ~ThreadPool drains
-  /// in-flight chunks, which still call Process() against the cache state
-  /// above, so the pool has to die (and join) first.
-  ThreadPool pool_;
+  /// Declared before engine_: the engine keeps its own shared_ptr, but
+  /// construction order needs the model first.
+  std::shared_ptr<const api::Model> model_;
+  api::Engine engine_;
 };
 
 }  // namespace hypermine::serve

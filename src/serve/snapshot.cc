@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <utility>
 #include <vector>
 
 #include "core/export.h"
@@ -26,6 +27,12 @@ constexpr size_t kEdgeRecordSize = 4 * 2 + 8;
 // 16-bit encoding of core::kNoVertex; no real id reaches it because
 // core::kMaxVertices = 0xFFFE.
 constexpr uint16_t kNoVertex16 = 0xFFFF;
+
+// Spec-trailer config flag bits (version >= 2).
+constexpr uint32_t kFlagRestrictPairsToEdges = 1u << 0;
+constexpr uint32_t kFlagKeepPairsWithoutEdges = 1u << 1;
+constexpr uint32_t kKnownConfigFlags =
+    kFlagRestrictPairsToEdges | kFlagKeepPairsWithoutEdges;
 
 uint64_t Fnv1a(std::string_view data) {
   uint64_t hash = 0xcbf29ce484222325ull;
@@ -56,6 +63,14 @@ class Reader {
     return true;
   }
 
+  bool ReadString(std::string* out) {
+    uint32_t length = 0;
+    std::string_view bytes;
+    if (!Read(&length) || !ReadBytes(length, &bytes)) return false;
+    out->assign(bytes);
+    return true;
+  }
+
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
@@ -65,6 +80,54 @@ class Reader {
 
 Status Corrupt(const std::string& what) {
   return Status::Corrupted("snapshot: " + what);
+}
+
+void AppendString(std::string* out, const std::string& value) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(value.size()));
+  *out += value;
+}
+
+void AppendSpecTrailer(std::string* body, const api::ModelSpec& spec) {
+  AppendPod<uint32_t>(body, static_cast<uint32_t>(spec.config.k));
+  AppendPod<double>(body, spec.config.gamma_edge);
+  AppendPod<double>(body, spec.config.gamma_hyper);
+  uint32_t flags = 0;
+  if (spec.config.restrict_pairs_to_edges) flags |= kFlagRestrictPairsToEdges;
+  if (spec.config.keep_pairs_without_edges) {
+    flags |= kFlagKeepPairsWithoutEdges;
+  }
+  AppendPod<uint32_t>(body, flags);
+  AppendPod<uint64_t>(body, spec.provenance.created_unix);
+  AppendString(body, spec.discretization);
+  AppendString(body, spec.provenance.source);
+  AppendString(body, spec.provenance.git_sha);
+  AppendString(body, spec.provenance.note);
+}
+
+StatusOr<api::ModelSpec> ParseSpecTrailer(Reader* reader) {
+  api::ModelSpec spec;
+  uint32_t k = 0;
+  uint32_t flags = 0;
+  if (!reader->Read(&k) || !reader->Read(&spec.config.gamma_edge) ||
+      !reader->Read(&spec.config.gamma_hyper) || !reader->Read(&flags) ||
+      !reader->Read(&spec.provenance.created_unix)) {
+    return Corrupt("truncated spec trailer");
+  }
+  if ((flags & ~kKnownConfigFlags) != 0) {
+    return Corrupt("unknown spec config flags");
+  }
+  spec.config.k = k;
+  spec.config.restrict_pairs_to_edges =
+      (flags & kFlagRestrictPairsToEdges) != 0;
+  spec.config.keep_pairs_without_edges =
+      (flags & kFlagKeepPairsWithoutEdges) != 0;
+  if (!reader->ReadString(&spec.discretization) ||
+      !reader->ReadString(&spec.provenance.source) ||
+      !reader->ReadString(&spec.provenance.git_sha) ||
+      !reader->ReadString(&spec.provenance.note)) {
+    return Corrupt("truncated spec strings");
+  }
+  return spec;
 }
 
 /// Splits a buffer into (version, body) after magic/checksum verification.
@@ -80,10 +143,10 @@ StatusOr<std::pair<uint32_t, std::string_view>> CheckEnvelope(
   std::memcpy(&version, data.data() + 8, sizeof(version));
   std::memcpy(&flags, data.data() + 12, sizeof(flags));
   std::memcpy(&checksum, data.data() + 16, sizeof(checksum));
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     return Status::InvalidArgument(
-        StrFormat("snapshot: unsupported version %u (expected %u)", version,
-                  kSnapshotVersion));
+        StrFormat("snapshot: unsupported version %u (supported %u..%u)",
+                  version, kMinSnapshotVersion, kSnapshotVersion));
   }
   if (flags != 0) return Corrupt("nonzero reserved flags");
   std::string_view body = data.substr(kHeaderSize);
@@ -95,9 +158,11 @@ StatusOr<std::pair<uint32_t, std::string_view>> CheckEnvelope(
 
 }  // namespace
 
-std::string SerializeSnapshot(const core::DirectedHypergraph& graph) {
+std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
+                              const api::ModelSpec& spec) {
   std::string body;
-  body.reserve(64 + 16 * graph.num_vertices() + 16 * graph.num_edges());
+  body.reserve(128 + 16 * graph.num_vertices() +
+               kEdgeRecordSize * graph.num_edges());
   AppendPod<uint64_t>(&body, graph.num_vertices());
   AppendPod<uint64_t>(&body, graph.num_edges());
   for (const std::string& name : graph.vertex_names()) {
@@ -114,6 +179,7 @@ std::string SerializeSnapshot(const core::DirectedHypergraph& graph) {
     AppendPod<uint16_t>(&body, static_cast<uint16_t>(e.head));
     AppendPod<double>(&body, e.weight);
   }
+  AppendSpecTrailer(&body, spec);
 
   std::string out;
   out.reserve(kHeaderSize + body.size());
@@ -125,9 +191,10 @@ std::string SerializeSnapshot(const core::DirectedHypergraph& graph) {
   return out;
 }
 
-StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data) {
+StatusOr<LoadedSnapshot> DeserializeSnapshotFull(std::string_view data) {
   HM_ASSIGN_OR_RETURN(auto envelope,
                       CheckEnvelope(data, /*verify_checksum=*/true));
+  const uint32_t version = envelope.first;
   Reader reader(envelope.second);
 
   uint64_t num_vertices = 0;
@@ -177,8 +244,19 @@ StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data) {
                                added.status().message().c_str()));
     }
   }
-  if (!reader.AtEnd()) return Corrupt("trailing bytes after edge records");
-  return graph;
+
+  LoadedSnapshot loaded{std::move(graph), api::ModelSpec{}, false};
+  if (version >= 2) {
+    HM_ASSIGN_OR_RETURN(loaded.spec, ParseSpecTrailer(&reader));
+    loaded.has_spec = true;
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing bytes after snapshot body");
+  return loaded;
+}
+
+StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data) {
+  HM_ASSIGN_OR_RETURN(LoadedSnapshot loaded, DeserializeSnapshotFull(data));
+  return std::move(loaded.graph);
 }
 
 Status WriteSnapshot(const core::DirectedHypergraph& graph,
@@ -186,9 +264,19 @@ Status WriteSnapshot(const core::DirectedHypergraph& graph,
   return WriteStringToFile(path, SerializeSnapshot(graph));
 }
 
+Status WriteSnapshot(const core::DirectedHypergraph& graph,
+                     const api::ModelSpec& spec, const std::string& path) {
+  return WriteStringToFile(path, SerializeSnapshot(graph, spec));
+}
+
 StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path) {
   HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
   return DeserializeSnapshot(data);
+}
+
+StatusOr<LoadedSnapshot> ReadSnapshotFull(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializeSnapshotFull(data);
 }
 
 StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
@@ -216,9 +304,16 @@ bool LooksLikeSnapshot(std::string_view data) {
 }
 
 StatusOr<core::DirectedHypergraph> LoadHypergraph(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(LoadedSnapshot loaded, LoadModelFile(path));
+  return std::move(loaded.graph);
+}
+
+StatusOr<LoadedSnapshot> LoadModelFile(const std::string& path) {
   HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  if (LooksLikeSnapshot(data)) return DeserializeSnapshot(data);
-  return core::ParseHypergraphCsv(data);
+  if (LooksLikeSnapshot(data)) return DeserializeSnapshotFull(data);
+  HM_ASSIGN_OR_RETURN(core::DirectedHypergraph graph,
+                      core::ParseHypergraphCsv(data));
+  return LoadedSnapshot{std::move(graph), api::ModelSpec{}, false};
 }
 
 }  // namespace hypermine::serve

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/model_spec.h"
 #include "core/hypergraph.h"
 #include "util/status.h"
 
@@ -25,30 +26,59 @@ namespace hypermine::serve {
 ///     name bytes   concatenated, no terminators
 ///     edge records 16 bytes x num_edges:
 ///       tail uint16 x 3 (0xFFFF = empty slot), head uint16, weight double
+///     spec trailer (version >= 2 only; checksummed with the body):
+///       k uint32, gamma_edge double, gamma_hyper double,
+///       config flags uint32 (bit 0 restrict_pairs_to_edges,
+///                            bit 1 keep_pairs_without_edges),
+///       created_unix uint64,
+///       4 length-prefixed strings (uint32 + bytes):
+///         discretization, source, git_sha, note
 ///
 /// Round-trips everything WriteHypergraphCsv covers (vertex names including
 /// isolated vertices, tails of size 1..3, exact weights) at ~10x smaller
-/// size, and load is a single pass over the file with no re-mining.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// size, plus the api::ModelSpec that produced the graph; load is a single
+/// pass over the file with no re-mining. Version 1 files (no spec trailer)
+/// still load, reporting has_spec = false.
+inline constexpr uint32_t kSnapshotVersion = 2;
+/// Oldest version the loader still accepts.
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 
 /// Parsed header summary (cheap peek; does not verify the body checksum).
 struct SnapshotInfo {
   uint32_t version = 0;
   uint64_t num_vertices = 0;
   uint64_t num_edges = 0;
+  /// Version-2 files carry a ModelSpec trailer.
+  bool has_spec() const { return version >= 2; }
 };
 
-/// Serializes the graph to the snapshot wire format.
-std::string SerializeSnapshot(const core::DirectedHypergraph& graph);
+/// A fully parsed snapshot (or CSV) file: the graph plus the ModelSpec that
+/// built it. `has_spec` is false for v1 snapshots and CSV files, whose
+/// `spec` is default-constructed.
+struct LoadedSnapshot {
+  core::DirectedHypergraph graph;
+  api::ModelSpec spec;
+  bool has_spec = false;
+};
+
+/// Serializes the graph (and its spec) to the snapshot wire format.
+std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
+                              const api::ModelSpec& spec = {});
 
 /// Parses a snapshot buffer. Corrupted, truncated, or checksum-mismatching
 /// input yields kCorrupted; an unsupported version yields kInvalidArgument.
 StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data);
 
+/// Parses a snapshot buffer including its ModelSpec trailer when present.
+StatusOr<LoadedSnapshot> DeserializeSnapshotFull(std::string_view data);
+
 /// Writes / reads a snapshot file.
 Status WriteSnapshot(const core::DirectedHypergraph& graph,
                      const std::string& path);
+Status WriteSnapshot(const core::DirectedHypergraph& graph,
+                     const api::ModelSpec& spec, const std::string& path);
 StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path);
+StatusOr<LoadedSnapshot> ReadSnapshotFull(const std::string& path);
 
 /// Reads only the header + counts of a snapshot file.
 StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
@@ -59,6 +89,11 @@ bool LooksLikeSnapshot(std::string_view data);
 /// Loads a hypergraph from either a snapshot or a WriteHypergraphCsv file,
 /// sniffing the format from the leading bytes.
 StatusOr<core::DirectedHypergraph> LoadHypergraph(const std::string& path);
+
+/// Format-sniffing load that also surfaces the ModelSpec trailer of v2
+/// snapshots (CSV and v1 snapshots yield has_spec = false). This is the
+/// loader api::Model::FromFile builds on.
+StatusOr<LoadedSnapshot> LoadModelFile(const std::string& path);
 
 }  // namespace hypermine::serve
 

@@ -1,0 +1,30 @@
+#ifndef HYPERMINE_UTIL_BUILD_INFO_H_
+#define HYPERMINE_UTIL_BUILD_INFO_H_
+
+namespace hypermine {
+
+/// Compile-time provenance: the root CMakeLists stamps HYPERMINE_GIT_SHA
+/// (configure-time `git rev-parse`) and HYPERMINE_BUILD_TYPE onto the
+/// hypermine library, so models (api::ModelProvenance) and perf artifacts
+/// (BENCH_*.json) are attributable to a commit and an optimization level.
+/// Configure-time, so a stale build dir can lag HEAD by design.
+
+inline const char* GitSha() {
+#ifdef HYPERMINE_GIT_SHA
+  return HYPERMINE_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* BuildType() {
+#ifdef HYPERMINE_BUILD_TYPE
+  return HYPERMINE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_BUILD_INFO_H_

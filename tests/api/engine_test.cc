@@ -1,0 +1,195 @@
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/model.h"
+#include "serve/testutil.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace hypermine::api {
+namespace {
+
+std::shared_ptr<const Model> RandomModel(size_t vertices, size_t edges,
+                                         uint64_t seed) {
+  return Model::FromGraph(serve::RandomServeGraph(vertices, edges, seed));
+}
+
+QueryRequest TopKRequest(std::vector<core::VertexId> items, size_t k) {
+  QueryRequest request;
+  request.items = std::move(items);
+  request.k = k;
+  return request;
+}
+
+TEST(ApiEngineTest, BatchMatchesDirectIndexLookups) {
+  std::shared_ptr<const Model> model = RandomModel(40, 150, 17);
+  EngineOptions options;
+  options.num_threads = 4;
+  Engine engine(model, options);
+  EXPECT_EQ(engine.num_threads(), 4u);
+
+  std::vector<serve::Query> queries = serve::RandomServeQueries(
+      200, 40, 99, /*k=*/5, /*reach_every=*/7, /*reach_min_acv=*/0.5);
+  std::vector<QueryRequest> requests;
+  for (const serve::Query& q : queries) {
+    QueryRequest request;
+    request.items = q.items;
+    request.k = q.k;
+    request.kind = q.kind == serve::Query::Kind::kTopK
+                       ? QueryRequest::Kind::kTopK
+                       : QueryRequest::Kind::kReachable;
+    request.min_acv = q.min_acv;
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<StatusOr<QueryResponse>> responses =
+      engine.QueryBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i;
+    EXPECT_EQ(responses[i]->model_version, model->version()) << i;
+    if (requests[i].kind == QueryRequest::Kind::kTopK) {
+      EXPECT_EQ(responses[i]->ranked,
+                model->index().TopKWithin(requests[i].items, requests[i].k))
+          << i;
+    } else {
+      EXPECT_EQ(responses[i]->closure,
+                model->index().Reachable(requests[i].items,
+                                         requests[i].min_acv))
+          << i;
+    }
+  }
+}
+
+TEST(ApiEngineTest, PerQueryStatusDoesNotFailTheBatch) {
+  Engine engine(RandomModel(10, 20, 3));
+  std::vector<QueryRequest> requests;
+  requests.push_back(TopKRequest({1}, 5));       // fine
+  requests.push_back(TopKRequest({}, 5));        // empty: invalid
+  QueryRequest oversized;
+  oversized.items.assign(kMaxQueryItems + 1, 0);  // too large: invalid
+  requests.push_back(oversized);
+  QueryRequest unknown_name;
+  unknown_name.names = {"no-such-vertex"};       // unresolvable
+  requests.push_back(unknown_name);
+
+  std::vector<StatusOr<QueryResponse>> responses =
+      engine.QueryBatch(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(responses[2].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(responses[3].status().code(), StatusCode::kNotFound);
+}
+
+TEST(ApiEngineTest, NamesResolveAgainstTheLiveModel) {
+  auto graph = core::DirectedHypergraph::Create({"alpha", "beta", "gamma"});
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge({0}, 1, 0.9).ok());
+  std::shared_ptr<const Model> model =
+      Model::FromGraph(std::move(graph).value());
+  Engine engine(model);
+
+  QueryRequest request;
+  request.names = {"alpha"};
+  request.k = 5;
+  auto response = engine.Query(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->ranked.size(), 1u);
+  EXPECT_EQ(response->ranked[0].head, 1u);  // beta
+
+  // Names win over ids when both are set.
+  request.items = {2};
+  auto named = engine.Query(request);
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->ranked.size(), 1u);
+}
+
+TEST(ApiEngineTest, EmptyBatch) {
+  Engine engine(RandomModel(10, 20, 3));
+  EXPECT_TRUE(engine.QueryBatch({}).empty());
+}
+
+TEST(ApiEngineTest, CacheServesRepeatsWithinOneModelVersion) {
+  EngineOptions options;
+  options.cache_capacity = 64;
+  std::shared_ptr<const Model> model = RandomModel(20, 60, 5);
+  Engine engine(model, options);
+
+  QueryRequest q = TopKRequest({3, 1}, 5);
+  auto first = engine.Query(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  auto second = engine.Query(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->ranked, first->ranked);
+  EXPECT_EQ(second->model_version, model->version());
+
+  // Item order and duplicates canonicalize to the same cache entry.
+  auto reordered = engine.Query(TopKRequest({1, 3, 3}, 5));
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_TRUE(reordered->from_cache);
+
+  CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ApiEngineTest, SwapInvalidatesCacheCoherently) {
+  EngineOptions options;
+  options.cache_capacity = 64;
+  std::shared_ptr<const Model> a = RandomModel(20, 60, 5);
+  std::shared_ptr<const Model> b = RandomModel(20, 60, 6);
+  Engine engine(a, options);
+
+  QueryRequest q = TopKRequest({3}, 5);
+  auto warm = engine.Query(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->model_version, a->version());
+  ASSERT_TRUE(engine.Query(q)->from_cache);
+
+  engine.Swap(b);
+  EXPECT_EQ(engine.model()->version(), b->version());
+  // The a-keyed entry must not answer for b: first post-swap query is a
+  // miss computed against b...
+  auto post = engine.Query(q);
+  ASSERT_TRUE(post.ok());
+  EXPECT_FALSE(post->from_cache);
+  EXPECT_EQ(post->model_version, b->version());
+  EXPECT_EQ(post->ranked, b->index().TopKWithin(q.items, q.k));
+  // ...and the repeat is a hit against b's entry.
+  auto repeat = engine.Query(q);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->from_cache);
+  EXPECT_EQ(repeat->model_version, b->version());
+}
+
+TEST(ApiEngineTest, SharedExternalPool) {
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  std::shared_ptr<const Model> model = RandomModel(30, 120, 11);
+  Engine engine(model, options);
+  EXPECT_EQ(engine.num_threads(), 2u);
+
+  std::vector<QueryRequest> requests;
+  for (core::VertexId v = 0; v < 30; ++v) {
+    requests.push_back(TopKRequest({v}, 4));
+  }
+  std::vector<StatusOr<QueryResponse>> responses =
+      engine.QueryBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok());
+    EXPECT_EQ(responses[i]->ranked,
+              model->index().TopKWithin(requests[i].items, 4));
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::api

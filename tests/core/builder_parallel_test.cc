@@ -10,6 +10,7 @@
 #include "core/export.h"
 #include "testing/fixtures.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 namespace hypermine::core {
 namespace {
@@ -119,6 +120,39 @@ TEST(BuilderParallelTest, ThreadCountDoesNotAffectValidation) {
     config.num_threads = threads;
     EXPECT_FALSE(BuildAssociationHypergraph(db, config).ok());
   }
+}
+
+TEST(BuilderParallelTest, CallerProvidedPoolIsDeterministic) {
+  // The ROADMAP's builder-pool-reuse item: one shared pool across many
+  // builds (the year-sweep / api::Model::Build pattern) must produce the
+  // same bits as per-build pools and as the serial build.
+  Database db = RandomDatabase(20, 350, 3, 2024, /*copy_prob=*/0.7);
+  HypergraphConfig config = ConfigC1();
+
+  config.num_threads = 1;
+  BuildStats serial_stats;
+  auto serial = BuildAssociationHypergraph(db, config, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(3);
+  config.num_threads = 0;  // let the pool decide
+  for (int round = 0; round < 3; ++round) {
+    BuildStats pooled_stats;
+    auto pooled =
+        BuildAssociationHypergraph(db, config, &pooled_stats, &pool);
+    ASSERT_TRUE(pooled.ok()) << "round " << round;
+    ExpectIdenticalGraphs(*serial, *pooled);
+    ExpectIdenticalStats(serial_stats, pooled_stats);
+  }
+
+  // config.num_threads = 1 forces a serial build even with a pool handed
+  // in (explicit serial request wins).
+  config.num_threads = 1;
+  BuildStats forced_stats;
+  auto forced = BuildAssociationHypergraph(db, config, &forced_stats, &pool);
+  ASSERT_TRUE(forced.ok());
+  ExpectIdenticalGraphs(*serial, *forced);
+  ExpectIdenticalStats(serial_stats, forced_stats);
 }
 
 TEST(BuilderParallelTest, OversubscribedThreadsStayDeterministic) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/builder.h"
@@ -210,6 +211,118 @@ TEST(SnapshotTest, MissingFileIsIoError) {
   auto result = ReadSnapshot("/nonexistent/path/model.snap");
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().code(), StatusCode::kOk);
+}
+
+TEST(SnapshotTest, SpecTrailerRoundTrips) {
+  core::DirectedHypergraph graph = Named({"a", "b", "c"});
+  ASSERT_TRUE(graph.AddEdge({0, 1}, 2, 0.25).ok());
+  api::ModelSpec spec;
+  spec.config = core::ConfigC2();
+  spec.config.restrict_pairs_to_edges = false;
+  spec.config.keep_pairs_without_edges = false;
+  spec.discretization = "equi-depth k=5";
+  spec.provenance.source = "unit test";
+  spec.provenance.git_sha = "abc123def456";
+  spec.provenance.note = "trailer round trip";
+  spec.provenance.created_unix = 1700000000;
+
+  auto loaded = DeserializeSnapshotFull(SerializeSnapshot(graph, spec));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->has_spec);
+  EXPECT_EQ(loaded->spec.provenance, spec.provenance);
+  EXPECT_EQ(loaded->spec.discretization, spec.discretization);
+  EXPECT_EQ(loaded->spec.config.k, spec.config.k);
+  EXPECT_EQ(loaded->spec.config.gamma_edge, spec.config.gamma_edge);
+  EXPECT_EQ(loaded->spec.config.gamma_hyper, spec.config.gamma_hyper);
+  EXPECT_FALSE(loaded->spec.config.restrict_pairs_to_edges);
+  EXPECT_FALSE(loaded->spec.config.keep_pairs_without_edges);
+  ExpectSameGraph(graph, loaded->graph);
+}
+
+/// Serializes `graph` in the retired version-1 wire format (no spec
+/// trailer) so backward compatibility stays pinned even though the writer
+/// only emits v2 now.
+std::string SerializeV1Snapshot(const core::DirectedHypergraph& graph) {
+  auto append_pod = [](std::string* out, auto value) {
+    char buf[sizeof(value)];
+    std::memcpy(buf, &value, sizeof(value));
+    out->append(buf, sizeof(value));
+  };
+  std::string body;
+  append_pod(&body, static_cast<uint64_t>(graph.num_vertices()));
+  append_pod(&body, static_cast<uint64_t>(graph.num_edges()));
+  for (const std::string& name : graph.vertex_names()) {
+    append_pod(&body, static_cast<uint32_t>(name.size()));
+  }
+  for (const std::string& name : graph.vertex_names()) body += name;
+  for (core::EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const core::Hyperedge& e = graph.edge(id);
+    for (core::VertexId v : e.tail) {
+      append_pod(&body, v == core::kNoVertex
+                            ? static_cast<uint16_t>(0xFFFF)
+                            : static_cast<uint16_t>(v));
+    }
+    append_pod(&body, static_cast<uint16_t>(e.head));
+    append_pod(&body, e.weight);
+  }
+  uint64_t checksum = 0xcbf29ce484222325ull;
+  for (unsigned char c : body) {
+    checksum ^= c;
+    checksum *= 0x100000001b3ull;
+  }
+  std::string out("HMSNAPSH", 8);
+  append_pod(&out, static_cast<uint32_t>(1));  // version
+  append_pod(&out, static_cast<uint32_t>(0));  // flags
+  append_pod(&out, checksum);
+  out += body;
+  return out;
+}
+
+TEST(SnapshotTest, Version1SnapshotStillLoads) {
+  core::DirectedHypergraph graph = Named({"x", "y", "z"});
+  ASSERT_TRUE(graph.AddEdge({0}, 1, 0.5).ok());
+  ASSERT_TRUE(graph.AddEdge({0, 2}, 1, 0.75).ok());
+  const std::string v1 = SerializeV1Snapshot(graph);
+
+  auto loaded = DeserializeSnapshotFull(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->has_spec);
+  EXPECT_TRUE(loaded->spec.provenance.empty());
+  ExpectSameGraph(graph, loaded->graph);
+
+  // A v1 file with trailing bytes is still corrupt (there is no trailer
+  // to absorb them), and truncated v1 files still fail cleanly.
+  EXPECT_EQ(DeserializeSnapshot(v1 + "x").status().code(),
+            StatusCode::kCorrupted);
+  EXPECT_EQ(DeserializeSnapshot(v1.substr(0, v1.size() - 3))
+                .status()
+                .code(),
+            StatusCode::kCorrupted);
+}
+
+TEST(SnapshotTest, LoadModelFileSurfacesSpecOnlyForV2Snapshots) {
+  core::DirectedHypergraph graph = Named({"a", "b"});
+  ASSERT_TRUE(graph.AddEdge({0}, 1, 0.5).ok());
+  api::ModelSpec spec;
+  spec.provenance.source = "load-model-file test";
+
+  const std::string snap_path = ::testing::TempDir() + "lmf.snap";
+  const std::string csv_path = ::testing::TempDir() + "lmf.csv";
+  ASSERT_TRUE(WriteSnapshot(graph, spec, snap_path).ok());
+  ASSERT_TRUE(core::WriteHypergraphCsv(graph, csv_path).ok());
+
+  auto from_snap = LoadModelFile(snap_path);
+  ASSERT_TRUE(from_snap.ok());
+  EXPECT_TRUE(from_snap->has_spec);
+  EXPECT_EQ(from_snap->spec.provenance.source, "load-model-file test");
+
+  auto from_csv = LoadModelFile(csv_path);
+  ASSERT_TRUE(from_csv.ok());
+  EXPECT_FALSE(from_csv->has_spec);
+  ExpectSameGraph(from_snap->graph, from_csv->graph);
+
+  std::remove(snap_path.c_str());
+  std::remove(csv_path.c_str());
 }
 
 }  // namespace

@@ -1,29 +1,37 @@
-// Serving CLI: loads a model snapshot and answers association queries.
+// Serving CLI over the hypermine::api façade: loads a model, answers
+// association queries, and hot-swaps the live model without restarting.
 //
-//   # Convert a CSV export to a binary snapshot (and back).
+//   # Convert between CSV exports and binary snapshots. Snapshot output
+//   # carries a ModelSpec provenance trailer (format v2); provenance found
+//   # in the input is reported and preserved.
 //   hypermine_serve --convert --in=model.csv --out=model.snap
 //
 //   # Serve top-k / reachability queries from stdin, one query per line:
-//   # comma-separated vertex names, e.g. "HES,SLB".
+//   # comma-separated vertex names, e.g. "HES,SLB". Lines starting with
+//   # '!' are commands:
+//   #   !reload <path>   hot-swap the live model (zero downtime)
+//   #   !info            print the live model's version and provenance
 //   hypermine_serve --snapshot=model.snap --k=5
 //   hypermine_serve --snapshot=model.snap --mode=reach --min_acv=0.4
 //
-//   # End-to-end smoke test: builds the Chapter 3 patient-database model,
-//   # snapshots it, reloads, and queries through the engine.
+//   # Write the Chapter 3 demo snapshot (and an answer-flipping variant,
+//   # used by the CI reload smoke).
+//   hypermine_serve --make-demo --out=a.snap --variant-out=b.snap
+//
+//   # End-to-end smoke test: build -> snapshot -> reload -> query -> swap.
 //   hypermine_serve --selftest
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "core/builder.h"
+#include "api/engine.h"
+#include "api/model.h"
 #include "core/discretize.h"
-#include "core/export.h"
-#include "serve/engine.h"
-#include "serve/rule_index.h"
 #include "serve/snapshot.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -37,6 +45,31 @@ int Fail(const Status& status) {
   return 1;
 }
 
+void PrintProvenance(const api::ModelSpec& spec) {
+  const api::ModelProvenance& p = spec.provenance;
+  if (p.empty() && spec.discretization.empty()) {
+    std::printf("  provenance: (none recorded; v1 snapshot or CSV)\n");
+    return;
+  }
+  std::printf("  provenance: git_sha=%s",
+              p.git_sha.empty() ? "?" : p.git_sha.c_str());
+  if (p.created_unix != 0) {
+    std::printf(" created_unix=%llu",
+                static_cast<unsigned long long>(p.created_unix));
+  }
+  if (!p.source.empty()) std::printf(" source=\"%s\"", p.source.c_str());
+  if (!p.note.empty()) std::printf(" note=\"%s\"", p.note.c_str());
+  std::printf("\n");
+  if (!spec.discretization.empty()) {
+    std::printf("  discretization: %s\n", spec.discretization.c_str());
+    // Only meaningful when a real spec was recorded — for CSV inputs the
+    // config holds defaults, not the parameters the model was built with.
+    std::printf("  gammas: edge=%.3f hyper=%.3f (k=%zu)\n",
+                spec.config.gamma_edge, spec.config.gamma_hyper,
+                spec.config.k);
+  }
+}
+
 int RunConvert(const FlagParser& flags) {
   const std::string in = flags.GetString("in", "");
   const std::string out = flags.GetString("out", "");
@@ -44,44 +77,26 @@ int RunConvert(const FlagParser& flags) {
     std::fprintf(stderr, "usage: hypermine_serve --convert --in=X --out=Y\n");
     return 1;
   }
-  auto graph = serve::LoadHypergraph(in);
-  if (!graph.ok()) return Fail(graph.status());
+  auto model = api::Model::FromFile(in);
+  if (!model.ok()) return Fail(model.status());
+  const api::Model& live = **model;
+  api::ModelSpec spec = live.spec();
+  if (spec.provenance.empty() && !EndsWith(out, ".csv")) {
+    // CSV inputs (and v1 snapshots) carry no provenance; stamp the
+    // conversion itself so the output snapshot is attributable. Written
+    // via the snapshot layer directly — re-wrapping the graph in a new
+    // Model would deep-copy it just to attach the stamp.
+    spec.provenance.source = "converted from " + in;
+    spec.provenance.git_sha = GitSha();
+  }
   Status status = EndsWith(out, ".csv")
-                      ? core::WriteHypergraphCsv(*graph, out)
-                      : serve::WriteSnapshot(*graph, out);
+                      ? live.ExportCsv(out)
+                      : serve::WriteSnapshot(live.graph(), spec, out);
   if (!status.ok()) return Fail(status);
   std::printf("converted %s -> %s (%zu vertices, %zu edges)\n", in.c_str(),
-              out.c_str(), graph->num_vertices(), graph->num_edges());
+              out.c_str(), live.num_vertices(), live.num_edges());
+  PrintProvenance(spec);
   return 0;
-}
-
-using NameIndex = std::unordered_map<std::string, core::VertexId>;
-
-NameIndex BuildNameIndex(const core::DirectedHypergraph& graph) {
-  NameIndex index;
-  index.reserve(graph.num_vertices());
-  for (core::VertexId v = 0; v < graph.num_vertices(); ++v) {
-    index.emplace(graph.vertex_name(v), v);
-  }
-  return index;
-}
-
-/// Resolves comma-separated names to vertex ids; unknown names are
-/// reported and skipped.
-std::vector<core::VertexId> ParseItems(const std::string& line,
-                                       const NameIndex& names) {
-  std::vector<core::VertexId> items;
-  for (const std::string& raw : Split(line, ',')) {
-    std::string name = Trim(raw);
-    if (name.empty()) continue;
-    auto it = names.find(name);
-    if (it == names.end()) {
-      std::fprintf(stderr, "unknown vertex: %s\n", name.c_str());
-      continue;
-    }
-    items.push_back(it->second);
-  }
-  return items;
 }
 
 /// Reads a positive integer flag, failing loudly on zero/negative values
@@ -98,72 +113,119 @@ bool GetPositive(const FlagParser& flags, const std::string& name,
   return true;
 }
 
-void PrintResult(const serve::QueryResult& result,
-                 const core::DirectedHypergraph& graph) {
-  if (!result.status.ok()) {
-    std::printf("  error: %s\n", result.status.ToString().c_str());
+void PrintResponse(const StatusOr<api::QueryResponse>& response,
+                   const api::Model& model) {
+  if (!response.ok()) {
+    std::printf("  error: %s\n", response.status().ToString().c_str());
     return;
   }
-  for (const serve::RankedConsequent& r : result.ranked) {
-    std::printf("  %s  acv=%.4f%s\n", graph.vertex_name(r.head).c_str(),
-                r.acv, result.from_cache ? "  (cached)" : "");
+  for (const serve::RankedConsequent& r : response->ranked) {
+    std::printf("  %s  acv=%.4f%s\n",
+                model.graph().vertex_name(r.head).c_str(), r.acv,
+                response->from_cache ? "  (cached)" : "");
   }
-  if (!result.closure.empty()) {
+  if (!response->closure.empty()) {
     std::string names;
-    for (core::VertexId v : result.closure) {
+    for (core::VertexId v : response->closure) {
       if (!names.empty()) names += ", ";
-      names += graph.vertex_name(v);
+      names += model.graph().vertex_name(v);
     }
     std::printf("  closure: {%s}\n", names.c_str());
   }
-  if (result.ranked.empty() && result.closure.empty()) {
+  if (response->ranked.empty() && response->closure.empty()) {
     std::printf("  (no consequents)\n");
   }
+}
+
+/// Handles a '!' command line in serve mode. Unknown commands and failed
+/// reloads are reported, not fatal — the serving loop keeps going.
+void RunCommand(const std::string& line, api::Engine* engine) {
+  if (line == "!info") {
+    std::shared_ptr<const api::Model> live = engine->model();
+    std::printf("%s\n", live->ToString().c_str());
+    PrintProvenance(live->spec());
+    return;
+  }
+  if (line.rfind("!reload ", 0) == 0) {
+    const std::string path = Trim(line.substr(8));
+    Stopwatch timer;
+    auto next = api::Model::FromFile(path);
+    if (!next.ok()) {
+      // The live model keeps serving; a bad reload drops nothing.
+      std::printf("reload failed (still serving v%llu): %s\n",
+                  static_cast<unsigned long long>(engine->model()->version()),
+                  next.status().ToString().c_str());
+      return;
+    }
+    // Build the new model's index before it goes live: the swap itself
+    // is then a pointer exchange and the first post-reload query answers
+    // at full speed.
+    (*next)->index();
+    engine->Swap(*next);
+    std::printf("reloaded %s in %.1f ms: %s\n", path.c_str(),
+                timer.ElapsedMillis(), (*next)->ToString().c_str());
+    PrintProvenance((*next)->spec());
+    return;
+  }
+  std::printf("unknown command %s (try !info or !reload <path>)\n",
+              line.c_str());
 }
 
 int RunServe(const FlagParser& flags) {
   const std::string path = flags.GetString("snapshot", "");
   Stopwatch load_timer;
-  auto graph = serve::LoadHypergraph(path);
-  if (!graph.ok()) return Fail(graph.status());
-  serve::RuleIndex index = serve::RuleIndex::Build(*graph);
-  std::fprintf(stderr,
-               "loaded %s in %.1f ms: %zu vertices, %zu edges, "
-               "%zu tail sets\n",
+  auto model = api::Model::FromFile(path);
+  if (!model.ok()) return Fail(model.status());
+  // Force the lazy index now so "loaded" means "ready to answer" — the
+  // first query must not silently pay the index-build cost.
+  const size_t tail_sets = (*model)->index().num_tail_sets();
+  std::fprintf(stderr, "loaded %s in %.1f ms: %s, %zu tail sets\n",
                path.c_str(), load_timer.ElapsedMillis(),
-               graph->num_vertices(), graph->num_edges(),
-               index.num_tail_sets());
-  serve::EngineOptions options;
-  serve::Query query;
+               (*model)->ToString().c_str(), tail_sets);
+
+  api::EngineOptions options;
+  api::QueryRequest request;
   if (!GetPositive(flags, "threads", 1, &options.num_threads) ||
-      !GetPositive(flags, "k", 10, &query.k)) {
+      !GetPositive(flags, "k", 10, &request.k)) {
     return 1;
   }
-  serve::QueryEngine engine(std::move(index), options);
+  api::Engine engine(*model, options);
 
-  query.min_acv = flags.GetDouble("min_acv", 0.0);
-  query.kind = flags.GetString("mode", "topk") == "reach"
-                   ? serve::Query::Kind::kReachable
-                   : serve::Query::Kind::kTopK;
+  request.min_acv = flags.GetDouble("min_acv", 0.0);
+  request.kind = flags.GetString("mode", "topk") == "reach"
+                     ? api::QueryRequest::Kind::kReachable
+                     : api::QueryRequest::Kind::kTopK;
 
-  const NameIndex names = BuildNameIndex(*graph);
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (Trim(line).empty()) continue;
-    query.items = ParseItems(line, names);
-    if (query.items.empty()) {
-      std::printf("  (no known vertices in query)\n");
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line[0] == '!') {
+      RunCommand(line, &engine);
       continue;
     }
-    PrintResult(engine.QueryOne(query), *graph);
+    request.names.clear();
+    for (const std::string& raw : Split(line, ',')) {
+      std::string name = Trim(raw);
+      if (!name.empty()) request.names.push_back(std::move(name));
+    }
+    if (request.names.empty()) {
+      std::printf("  (no vertices in query)\n");
+      continue;
+    }
+    // Pin the model for printing: names in the answer must be resolved
+    // against the model that produced it, which a concurrent !reload in a
+    // future async front-end could otherwise change under us.
+    std::shared_ptr<const api::Model> live = engine.model();
+    PrintResponse(engine.Query(request), *live);
   }
   return 0;
 }
 
-/// Builds the Chapter 3 patient-database hypergraph (same data as
-/// examples/quickstart.cpp) with `num_threads` build workers (0 =
-/// hardware concurrency; the result is bit-identical either way).
-StatusOr<core::DirectedHypergraph> BuildDemoGraph(size_t num_threads) {
+/// Builds the Chapter 3 patient-database model (same data as
+/// examples/quickstart.cpp) through the api with full provenance.
+StatusOr<std::shared_ptr<const api::Model>> BuildDemoModel(
+    size_t num_threads) {
   const std::vector<std::vector<double>> raw = {
       {25, 105, 135, 75}, {62, 160, 165, 85}, {32, 125, 139, 71},
       {12, 95, 105, 67},  {38, 129, 135, 75}, {39, 121, 117, 71},
@@ -179,41 +241,120 @@ StatusOr<core::DirectedHypergraph> BuildDemoGraph(size_t num_threads) {
   HM_ASSIGN_OR_RETURN(
       core::Database db,
       core::DatabaseFromColumns({"A", "C", "B", "H"}, 17, columns));
-  core::HypergraphConfig config = core::ConfigC1();
-  config.k = db.num_values();
-  config.num_threads = num_threads;
-  return core::BuildAssociationHypergraph(db, config);
+  api::ModelSpec spec;
+  spec.config = core::ConfigC1();
+  spec.config.k = db.num_values();
+  spec.config.num_threads = num_threads;
+  spec.discretization = "floor(value / 10) per Table 3.2";
+  spec.provenance.source = "chapter-3 patient database (8 observations)";
+  return api::Model::Build(db, std::move(spec));
+}
+
+/// The demo model with every weight w replaced by 1 - w: same vertices and
+/// edges, reversed ACV ranking, so swapping it in flips top-k answers —
+/// which is exactly what the CI reload smoke asserts.
+std::shared_ptr<const api::Model> InvertDemoModel(const api::Model& base) {
+  auto graph =
+      core::DirectedHypergraph::Create(base.graph().vertex_names());
+  HM_CHECK_OK(graph.status());
+  for (const core::Hyperedge& e : base.graph().edges()) {
+    std::vector<core::VertexId> tail(e.TailSpan().begin(),
+                                     e.TailSpan().end());
+    HM_CHECK_OK(
+        graph->AddEdge(std::move(tail), e.head, 1.0 - e.weight).status());
+  }
+  api::ModelSpec spec = base.spec();
+  spec.provenance.note = "demo variant: weights inverted (w -> 1 - w)";
+  return api::Model::FromGraph(std::move(graph).value(), std::move(spec));
+}
+
+int RunMakeDemo(const FlagParser& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: hypermine_serve --make-demo --out=a.snap "
+                 "[--variant-out=b.snap]\n");
+    return 1;
+  }
+  auto model = BuildDemoModel(0);
+  if (!model.ok()) return Fail(model.status());
+  Status written = (*model)->SaveSnapshot(out);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote demo snapshot %s (%zu vertices, %zu edges)\n",
+              out.c_str(), (*model)->num_vertices(), (*model)->num_edges());
+  const std::string variant_out = flags.GetString("variant-out", "");
+  if (!variant_out.empty()) {
+    std::shared_ptr<const api::Model> variant = InvertDemoModel(**model);
+    written = variant->SaveSnapshot(variant_out);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote variant snapshot %s (inverted weights)\n",
+                variant_out.c_str());
+  }
+  return 0;
 }
 
 int RunSelfTest(const FlagParser& flags) {
-  auto graph = BuildDemoGraph(
+  auto built = BuildDemoModel(
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("threads", 0))));
-  if (!graph.ok()) return Fail(graph.status());
+  if (!built.ok()) return Fail(built.status());
   const std::string path = "/tmp/hypermine_selftest.snap";
-  Status written = serve::WriteSnapshot(*graph, path);
+  Status written = (*built)->SaveSnapshot(path);
   if (!written.ok()) return Fail(written);
-  auto reloaded = serve::ReadSnapshot(path);
-  if (!reloaded.ok()) return Fail(reloaded.status());
-  HM_CHECK_EQ(reloaded->num_edges(), graph->num_edges());
-  HM_CHECK_EQ(reloaded->num_vertices(), graph->num_vertices());
+  auto model = api::Model::FromSnapshot(path);
+  if (!model.ok()) return Fail(model.status());
+  HM_CHECK_EQ((*model)->num_edges(), (*built)->num_edges());
+  HM_CHECK_EQ((*model)->num_vertices(), (*built)->num_vertices());
+  // The spec trailer must survive the round trip.
+  HM_CHECK((*model)->spec().provenance.source ==
+           (*built)->spec().provenance.source);
+  HM_CHECK((*model)->spec().provenance.git_sha ==
+           (*built)->spec().provenance.git_sha);
 
-  serve::QueryEngine engine(serve::RuleIndex::Build(*reloaded));
+  api::Engine engine(*model);
   std::printf("selftest: %zu vertices, %zu edges round-tripped through %s\n",
-              reloaded->num_vertices(), reloaded->num_edges(), path.c_str());
-  std::vector<serve::Query> batch;
-  for (core::VertexId v = 0; v < reloaded->num_vertices(); ++v) {
-    batch.push_back({{v}, 3, serve::Query::Kind::kTopK, 0.0});
+              (*model)->num_vertices(), (*model)->num_edges(), path.c_str());
+  PrintProvenance((*model)->spec());
+  std::vector<api::QueryRequest> batch;
+  for (core::VertexId v = 0;
+       v < static_cast<core::VertexId>((*model)->num_vertices()); ++v) {
+    api::QueryRequest request;
+    request.items = {v};
+    request.k = 3;
+    batch.push_back(std::move(request));
   }
-  std::vector<serve::QueryResult> results = engine.QueryBatch(batch);
-  for (size_t i = 0; i < results.size(); ++i) {
+  std::vector<StatusOr<api::QueryResponse>> responses =
+      engine.QueryBatch(batch);
+  for (size_t i = 0; i < responses.size(); ++i) {
     std::printf("top-3 for {%s}:\n",
-                reloaded->vertex_name(batch[i].items[0]).c_str());
-    PrintResult(results[i], *reloaded);
+                (*model)->graph().vertex_name(batch[i].items[0]).c_str());
+    PrintResponse(responses[i], **model);
   }
-  serve::Query closure{{0}, 0, serve::Query::Kind::kReachable, 0.3};
+  api::QueryRequest closure;
+  closure.items = {0};
+  closure.kind = api::QueryRequest::Kind::kReachable;
+  closure.min_acv = 0.3;
   std::printf("forward closure of {%s} at min_acv=0.3:\n",
-              reloaded->vertex_name(0).c_str());
-  PrintResult(engine.QueryOne(closure), *reloaded);
+              (*model)->graph().vertex_name(0).c_str());
+  PrintResponse(engine.Query(closure), **model);
+
+  // Hot swap: the inverted-weight variant must answer with a different
+  // ranking under the new model version, and the old cache must not leak
+  // into it.
+  api::QueryRequest probe;
+  probe.names = {"A"};
+  probe.k = 3;
+  auto before = engine.Query(probe);
+  HM_CHECK_OK(before.status());
+  std::shared_ptr<const api::Model> variant = InvertDemoModel(**model);
+  engine.Swap(variant);
+  auto after = engine.Query(probe);
+  HM_CHECK_OK(after.status());
+  HM_CHECK(after->model_version == variant->version());
+  HM_CHECK(!after->from_cache);
+  HM_CHECK(!(before->ranked == after->ranked));
+  std::printf("hot swap OK: v%llu -> v%llu flips the ranking for {A}\n",
+              static_cast<unsigned long long>(before->model_version),
+              static_cast<unsigned long long>(after->model_version));
   std::printf("selftest OK\n");
   return 0;
 }
@@ -224,6 +365,7 @@ int Main(int argc, char** argv) {
   if (!parsed.ok()) return Fail(parsed);
   if (flags.GetBool("selftest", false)) return RunSelfTest(flags);
   if (flags.GetBool("convert", false)) return RunConvert(flags);
+  if (flags.GetBool("make-demo", false)) return RunMakeDemo(flags);
   if (!flags.GetString("snapshot", "").empty()) return RunServe(flags);
   std::fprintf(stderr,
                "usage:\n"
@@ -231,6 +373,10 @@ int Main(int argc, char** argv) {
                "--out=model.{csv,snap}\n"
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
+               "    stdin: vertex-name queries; !reload <path> hot-swaps "
+               "the model; !info prints provenance\n"
+               "  hypermine_serve --make-demo --out=a.snap "
+               "[--variant-out=b.snap]\n"
                "  hypermine_serve --selftest [--threads=N]\n");
   return 1;
 }

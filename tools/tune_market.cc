@@ -2,11 +2,15 @@
 #include <string>
 #include <algorithm>
 // Ad-hoc tuning harness: prints mean weighted in/out degree by role for a
-// parameter candidate. Not part of the build; compile manually.
+// parameter candidate, then a year-sliced model sweep through api::Model
+// (one shared builder pool across all windows).
 #include <cstdio>
 #include <vector>
+#include "api/model.h"
 #include "core/pipeline.h"
 #include "util/stats.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 using namespace hypermine;
 
@@ -86,5 +90,37 @@ int main(int argc, char** argv) {
   PairDiag(*ex);
   TopShare(*ex, true);
   TopShare(*ex, false);
+
+  // Year-sliced sweep: one model per expanding train window, all built on
+  // a single shared ThreadPool (no per-build thread spin-up — the builder
+  // pool-reuse path of api::Model::Build).
+  ThreadPool pool;
+  api::ModelSpec spec;
+  spec.config = core::ConfigC1();
+  spec.discretization = "equi-depth terciles of daily deltas (k=3)";
+  spec.provenance.source = StrFormat(
+      "market sim: %zu series, %zu years, seed %llu", mc.num_series,
+      mc.num_years, static_cast<unsigned long long>(mc.seed));
+  int first = mc.first_year;
+  int last = first + static_cast<int>(mc.num_years) - 1;
+  printf("year sweep (shared pool, %zu workers):\n", pool.num_threads());
+  for (int year = first; year < last; ++year) {
+    auto split = core::DiscretizeTrainTest(ex->panel, 3, first, year,
+                                           year + 1, year + 1);
+    if (!split.ok()) {
+      printf("  %d: %s\n", year, split.status().ToString().c_str());
+      continue;
+    }
+    auto model = api::Model::Build(split->train, spec, &pool);
+    if (!model.ok()) {
+      printf("  %d: %s\n", year, model.status().ToString().c_str());
+      continue;
+    }
+    printf("  train %d-%d: v%llu edges=%zu pairs=%zu (%.2fs)\n", first,
+           year, static_cast<unsigned long long>((*model)->version()),
+           (*model)->graph().NumDirectedEdges(),
+           (*model)->graph().NumPairEdges(),
+           (*model)->stats().elapsed_seconds);
+  }
   return 0;
 }
