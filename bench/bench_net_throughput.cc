@@ -1,0 +1,224 @@
+// End-to-end throughput of the TCP front-end (net::Server + net::Client)
+// against the same api::Engine queried in-process: what does the wire —
+// framing, syscalls, name resolution both ways — cost relative to the
+// engine ceiling? Emits BENCH_net.json for the perf trajectory.
+//
+//   ./bench_net_throughput [--vertices=2000] [--edges=50000]
+//       [--queries=20000] [--clients=4] [--pipeline=64] [--threads=4]
+//       [--out=BENCH_net.json] [--smoke]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/model.h"
+#include "bench/common.h"
+#include "build_info.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/testutil.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hypermine {
+namespace {
+
+using bench::PercentileMs;
+
+/// The query mix of bench_serve_throughput, converted to names — the only
+/// form the wire accepts (ids are per-model).
+std::vector<api::QueryRequest> NamedQueries(size_t n, size_t vertices) {
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(n);
+  for (const serve::Query& query :
+       serve::RandomServeQueries(n, vertices, 7, /*k=*/10,
+                                 /*reach_every=*/16, /*reach_min_acv=*/0.8)) {
+    api::QueryRequest request;
+    request.names.reserve(query.items.size());
+    for (core::VertexId v : query.items) {
+      request.names.push_back(StrFormat("v%u", unsigned{v}));
+    }
+    request.k = query.k;
+    request.kind = query.kind == serve::Query::Kind::kTopK
+                       ? api::QueryRequest::Kind::kTopK
+                       : api::QueryRequest::Kind::kReachable;
+    request.min_acv = query.min_acv;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+double InProcessQps(api::Engine* engine,
+                    const std::vector<api::QueryRequest>& requests,
+                    size_t batch_size) {
+  Stopwatch total;
+  for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+    size_t end = std::min(requests.size(), begin + batch_size);
+    std::vector<api::QueryRequest> batch(requests.begin() + begin,
+                                         requests.begin() + end);
+    std::vector<StatusOr<api::QueryResponse>> responses =
+        engine->QueryBatch(batch);
+    for (const auto& response : responses) HM_CHECK_OK(response.status());
+  }
+  return static_cast<double>(requests.size()) / total.ElapsedSeconds();
+}
+
+struct NetStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t answered = 0;
+};
+
+NetStats NetQps(uint16_t port, const std::vector<api::QueryRequest>& requests,
+                size_t num_clients, size_t pipeline) {
+  std::vector<std::vector<double>> round_ms(num_clients);
+  std::atomic<uint64_t> answered{0};
+  Stopwatch total;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", port, 2000);
+      HM_CHECK_OK(client.status());
+      // Client c takes the c-th stripe so every query is sent exactly once.
+      for (size_t begin = c * pipeline; begin < requests.size();
+           begin += num_clients * pipeline) {
+        size_t end = std::min(requests.size(), begin + pipeline);
+        std::vector<api::QueryRequest> chunk(requests.begin() + begin,
+                                             requests.begin() + end);
+        Stopwatch round;
+        auto responses = client->QueryMany(chunk);
+        round_ms[c].push_back(round.ElapsedMillis());
+        HM_CHECK_OK(responses.status());
+        HM_CHECK_EQ(responses->size(), chunk.size());
+        for (const net::WireResponse& response : *responses) {
+          HM_CHECK(response.code == StatusCode::kOk);
+        }
+        answered.fetch_add(responses->size());
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  double seconds = total.ElapsedSeconds();
+
+  NetStats stats;
+  stats.answered = answered.load();
+  stats.qps = static_cast<double>(stats.answered) / seconds;
+  std::vector<double> all_ms;
+  for (const auto& per_client : round_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  stats.p50_ms = PercentileMs(all_ms, 0.50);
+  stats.p99_ms = PercentileMs(all_ms, 0.99);
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  HM_CHECK_OK(flags.Parse(argc, argv));
+  const bool smoke = flags.GetBool("smoke", false);
+  auto positive = [&flags](const char* name, int64_t fallback) {
+    int64_t value = flags.GetInt(name, fallback);
+    HM_CHECK_GT(value, 0);
+    return static_cast<size_t>(value);
+  };
+  const size_t vertices = positive("vertices", smoke ? 300 : 2000);
+  const size_t edges = positive("edges", smoke ? 3000 : 50000);
+  const size_t num_queries = positive("queries", smoke ? 2000 : 20000);
+  const size_t num_clients = positive("clients", 4);
+  const size_t pipeline = positive("pipeline", 64);
+  const size_t threads = positive("threads", 4);
+  const std::string out_path = flags.GetString("out", "BENCH_net.json");
+
+  std::printf("bench_net_throughput: %zu vertices, %zu edges, %zu queries "
+              "(%zu clients x pipeline %zu)\n",
+              vertices, edges, num_queries, num_clients, pipeline);
+
+  core::DirectedHypergraph graph =
+      serve::RandomServeGraph(vertices, edges, 42);
+  std::shared_ptr<const api::Model> model =
+      api::Model::FromGraph(std::move(graph), {});
+  model->index();  // build eagerly so neither side pays it mid-measurement
+
+  // Cache off on both sides: this harness measures the transport against
+  // the compute path, not cache hit luck.
+  api::EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  engine_options.cache_capacity = 0;
+  api::Engine engine(model, engine_options);
+
+  std::vector<api::QueryRequest> requests =
+      NamedQueries(num_queries, vertices);
+  const double inproc_qps = InProcessQps(&engine, requests, pipeline);
+
+  net::ServerOptions server_options;
+  server_options.max_batch = pipeline;
+  auto server = net::Server::Start(&engine, server_options);
+  HM_CHECK_OK(server.status());
+  NetStats net = NetQps((*server)->port(), requests, num_clients, pipeline);
+  HM_CHECK_EQ(net.answered, num_queries);  // zero dropped over the wire
+  net::ServerStats server_stats = (*server)->stats();
+  (*server)->Stop();
+
+  const double wire_cost =
+      net.qps > 0 ? inproc_qps / net.qps : 0.0;
+  std::printf("%-22s %12s %10s %10s\n", "configuration", "queries/s",
+              "p50 ms", "p99 ms");
+  std::printf("%-22s %12.0f %10s %10s\n", "in-process engine", inproc_qps,
+              "-", "-");
+  std::printf("%-22s %12.0f %10.3f %10.3f\n", "over TCP loopback", net.qps,
+              net.p50_ms, net.p99_ms);
+  std::printf("wire cost: %.2fx engine qps; server saw %llu batches for "
+              "%llu queries (avg coalesce %.1f)\n",
+              wire_cost,
+              static_cast<unsigned long long>(server_stats.batches),
+              static_cast<unsigned long long>(server_stats.queries_answered),
+              server_stats.batches > 0
+                  ? static_cast<double>(server_stats.queries_answered) /
+                        static_cast<double>(server_stats.batches)
+                  : 0.0);
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"bench\": \"net_throughput\",\n"
+      "  \"git_sha\": \"%s\",\n"
+      "  \"build_type\": \"%s\",\n"
+      "  \"vertices\": %zu,\n"
+      "  \"edges\": %zu,\n"
+      "  \"queries\": %zu,\n"
+      "  \"clients\": %zu,\n"
+      "  \"pipeline\": %zu,\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"in_process\": {\"qps\": %.1f},\n"
+      "  \"net\": {\"qps\": %.1f, \"p50_round_ms\": %.3f, "
+      "\"p99_round_ms\": %.3f, \"answered\": %llu, \"dropped\": 0},\n"
+      "  \"server\": {\"batches\": %llu, \"avg_coalesce\": %.2f},\n"
+      "  \"wire_cost_factor\": %.3f\n"
+      "}\n",
+      bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
+      num_clients, pipeline, std::thread::hardware_concurrency(),
+      inproc_qps, net.qps, net.p50_ms, net.p99_ms,
+      static_cast<unsigned long long>(net.answered),
+      static_cast<unsigned long long>(server_stats.batches),
+      server_stats.batches > 0
+          ? static_cast<double>(server_stats.queries_answered) /
+                static_cast<double>(server_stats.batches)
+          : 0.0,
+      wire_cost);
+  HM_CHECK_OK(WriteStringToFile(out_path, json));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hypermine
+
+int main(int argc, char** argv) { return hypermine::Main(argc, argv); }

@@ -15,6 +15,7 @@
 
 #include "api/engine.h"
 #include "api/model.h"
+#include "bench/common.h"
 #include "build_info.h"
 #include "serve/snapshot.h"
 #include "serve/testutil.h"
@@ -34,11 +35,7 @@ struct RunStats {
   double hit_rate = 0.0;
 };
 
-double PercentileMs(std::vector<double> sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
-  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
-}
+using bench::PercentileMs;
 
 std::vector<api::QueryRequest> Convert(
     const std::vector<serve::Query>& queries) {

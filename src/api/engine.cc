@@ -143,13 +143,14 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
 }
 
 std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
-    const std::vector<QueryRequest>& requests) {
-  const size_t n = requests.size();
-  if (n == 0) return {};
-
+    const std::vector<QueryRequest>& requests,
+    std::shared_ptr<const Model>* model_out) {
   // One model acquisition per batch: every answer in the batch comes from
   // the same model, and a concurrent Swap cannot tear the batch.
   std::shared_ptr<const Model> model = this->model();
+  if (model_out != nullptr) *model_out = model;
+  const size_t n = requests.size();
+  if (n == 0) return {};
   if (n == 1) return {Process(*model, requests[0])};
 
   // Shared batch state: workers steal indices off an atomic cursor. Tasks
@@ -193,8 +194,10 @@ std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
   return std::move(state->results);
 }
 
-StatusOr<QueryResponse> Engine::Query(const QueryRequest& request) {
+StatusOr<QueryResponse> Engine::Query(
+    const QueryRequest& request, std::shared_ptr<const Model>* model_out) {
   std::shared_ptr<const Model> model = this->model();
+  if (model_out != nullptr) *model_out = model;
   return Process(*model, request);
 }
 

@@ -50,6 +50,8 @@ struct QueryResponse {
   bool from_cache = false;
 };
 
+/// Tuning knobs for an Engine; the defaults serve correctly out of the
+/// box. All fields are read once at construction.
 struct EngineOptions {
   /// Worker threads; 0 = hardware concurrency (at least 1). Ignored when
   /// `pool` is set.
@@ -61,6 +63,8 @@ struct EngineOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Lifetime counters of the engine's result cache (monotonic; a Swap
+/// purges entries but never resets the counters).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -98,14 +102,24 @@ class Engine {
   /// Answers a batch; result i corresponds to requests[i], each with its
   /// own StatusOr (one malformed query does not fail the batch).
   /// Thread-safe — concurrent batches interleave on the same pool. All
-  /// answers within one batch come from the same model.
+  /// answers within one batch come from the same model; when `model_out`
+  /// is non-null it receives exactly that model, so a caller that must
+  /// post-process answers (e.g. resolve vertex ids to names for the wire)
+  /// can do so against the right graph even while Swap races the batch —
+  /// re-reading model() after the call could observe a newer model.
   std::vector<StatusOr<QueryResponse>> QueryBatch(
-      const std::vector<QueryRequest>& requests);
+      const std::vector<QueryRequest>& requests,
+      std::shared_ptr<const Model>* model_out = nullptr);
 
   /// Answers one query on the calling thread (no pool round trip).
-  StatusOr<QueryResponse> Query(const QueryRequest& request);
+  /// `model_out` has QueryBatch semantics: the model that answered.
+  StatusOr<QueryResponse> Query(
+      const QueryRequest& request,
+      std::shared_ptr<const Model>* model_out = nullptr);
 
+  /// Workers in the (owned or shared) query pool.
   size_t num_threads() const { return pool_->num_threads(); }
+  /// Snapshot of the result-cache counters. Thread-safe.
   CacheStats cache_stats() const;
 
  private:

@@ -91,6 +91,8 @@ class Model {
   /// index); nullopt for unknown names and for FromIndex models.
   std::optional<core::VertexId> FindVertex(std::string_view name) const;
 
+  /// Sizes of the served graph (FromIndex models report the index's
+  /// vertex universe and entry count instead).
   size_t num_vertices() const;
   size_t num_edges() const;
 

@@ -27,6 +27,8 @@ struct ModelProvenance {
   friend bool operator==(const ModelProvenance&,
                          const ModelProvenance&) = default;
 
+  /// True when nothing was recorded — v1 snapshots and CSV imports load
+  /// this way, and tools print "(none recorded)" instead of blanks.
   bool empty() const {
     return source.empty() && git_sha.empty() && note.empty() &&
            created_unix == 0;

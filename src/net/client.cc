@@ -1,0 +1,90 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace hypermine::net {
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 int retry_ms) {
+  HM_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(host, port, retry_ms));
+  return Client(std::move(socket));
+}
+
+StatusOr<WireResponse> Client::ReadResponse(uint64_t want_id) {
+  FrameHeader header;
+  std::string body;
+  Status read = ReadFrame(&socket_, &header, &body);
+  if (read.code() == StatusCode::kNotFound) {
+    // Between-frames close while a response is owed = the server dropped
+    // the query; report it as such, not as a lookup miss.
+    return Status::Corrupted("server closed the connection mid-exchange");
+  }
+  HM_RETURN_IF_ERROR(read);
+  if (header.type != static_cast<uint16_t>(FrameType::kResponse)) {
+    return Status::Corrupted(StrFormat(
+        "unexpected frame type %u (want RESPONSE)", unsigned{header.type}));
+  }
+  if (header.request_id != want_id) {
+    return Status::Corrupted(StrFormat(
+        "misrouted response: id %llu answers a request we did not send "
+        "(want %llu)",
+        static_cast<unsigned long long>(header.request_id),
+        static_cast<unsigned long long>(want_id)));
+  }
+  WireResponse response;
+  HM_RETURN_IF_ERROR(DecodeResponseBody(body, &response));
+  return response;
+}
+
+StatusOr<WireResponse> Client::Query(const api::QueryRequest& request) {
+  const uint64_t id = next_id_++;
+  std::string frame;
+  HM_RETURN_IF_ERROR(EncodeQueryFrame(id, request, &frame));
+  HM_RETURN_IF_ERROR(socket_.WriteAll(frame.data(), frame.size()));
+  return ReadResponse(id);
+}
+
+StatusOr<std::vector<WireResponse>> Client::QueryMany(
+    const std::vector<api::QueryRequest>& requests) {
+  // Windowed pipelining, not send-all-then-read-all: with everything
+  // written up front, a large batch deadlocks once both directions' TCP
+  // buffers fill (the server stops reading while it writes responses we
+  // are not yet consuming). Capping the frames in flight keeps the
+  // response backlog smaller than any sane socket buffer while still
+  // letting the server coalesce full engine batches.
+  // Encode everything before sending anything: an encode failure halfway
+  // through a pipeline would otherwise leave already-sent requests with
+  // unread responses on the socket, poisoning the connection for the
+  // next call (its ReadResponse would see stale ids as "misrouted").
+  const size_t n = requests.size();
+  const uint64_t first_id = next_id_;
+  std::vector<std::string> frames(n);
+  for (size_t i = 0; i < n; ++i) {
+    HM_RETURN_IF_ERROR(
+        EncodeQueryFrame(first_id + i, requests[i], &frames[i]));
+  }
+  next_id_ += n;
+
+  std::vector<WireResponse> responses;
+  responses.reserve(n);
+  size_t sent = 0;
+  std::string wire;
+  while (responses.size() < n) {
+    if (sent < n && sent - responses.size() < kPipelineWindow) {
+      wire.clear();
+      while (sent < n && sent - responses.size() < kPipelineWindow) {
+        wire += frames[sent];
+        ++sent;
+      }
+      HM_RETURN_IF_ERROR(socket_.WriteAll(wire.data(), wire.size()));
+    }
+    HM_ASSIGN_OR_RETURN(WireResponse response,
+                        ReadResponse(first_id + responses.size()));
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+}  // namespace hypermine::net

@@ -1,0 +1,73 @@
+#ifndef HYPERMINE_NET_CLIENT_H_
+#define HYPERMINE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace hypermine::net {
+
+/// Blocking client for the framed query protocol (net/protocol.h,
+/// docs/protocol.md). One Client owns one TCP connection; request ids are
+/// assigned internally and every response is checked to echo the id of
+/// the request it answers, so a misrouted response surfaces as kCorrupted
+/// instead of a silently wrong answer.
+///
+/// Queries carry vertex *names* (api::QueryRequest::names); requests with
+/// only ids are rejected client-side, because ids are per-model and a
+/// server-side hot swap would re-address them.
+///
+/// Thread-safety: none — one Client per thread, or external locking.
+/// Server-side errors (unknown vertex, quota exhaustion) arrive as the
+/// WireResponse's code/message with the connection still usable; only
+/// transport failures make the methods themselves return non-OK.
+class Client {
+ public:
+  /// Connects to host:port. `retry_ms` > 0 retries refused connections
+  /// for that long (scripts racing a server that is still starting).
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  int retry_ms = 0);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one query and blocks for its response. The returned
+  /// WireResponse carries the engine's answer or its error code;
+  /// a non-OK StatusOr means the connection itself failed.
+  StatusOr<WireResponse> Query(const api::QueryRequest& request);
+
+  /// Pipelines the requests with at most kPipelineWindow frames in
+  /// flight (responses arrive in request order — a server guarantee), so
+  /// arbitrarily large batches cannot deadlock on full TCP buffers.
+  /// Response i answers requests[i]. The whole call fails on any
+  /// transport error; per-query failures are per-WireResponse codes,
+  /// same as Query.
+  StatusOr<std::vector<WireResponse>> QueryMany(
+      const std::vector<api::QueryRequest>& requests);
+
+  /// Unacknowledged frames QueryMany keeps in flight. Sized so a full
+  /// window of worst-case responses stays far below loopback socket
+  /// buffers, while still feeding the server whole coalesced batches.
+  static constexpr size_t kPipelineWindow = 128;
+
+  /// Closes the connection; further calls fail.
+  void Close() { socket_.Close(); }
+
+ private:
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Reads one response frame and checks it echoes `want_id`.
+  StatusOr<WireResponse> ReadResponse(uint64_t want_id);
+
+  Socket socket_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace hypermine::net
+
+#endif  // HYPERMINE_NET_CLIENT_H_

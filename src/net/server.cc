@@ -1,0 +1,314 @@
+#include "net/server.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/model.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hypermine::net {
+
+/// One frame read off a connection, waiting for its batch. `pre` non-OK
+/// means admission already rejected it (e.g. oversized body, which was
+/// skipped, not materialized) and the engine never sees it.
+struct Server::PendingFrame {
+  FrameHeader header;
+  std::string body;
+  Status pre;
+};
+
+namespace {
+
+WireResponse ErrorResponse(const Status& status) {
+  WireResponse response;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+/// Flattens one engine answer into its wire form, resolving vertex ids to
+/// names against the model that produced them (guaranteed by QueryBatch's
+/// model_out — NOT the engine's current model, which a racing Swap may
+/// already have replaced).
+WireResponse ToWire(const StatusOr<api::QueryResponse>& result,
+                    const api::Model& model,
+                    api::QueryRequest::Kind kind) {
+  if (!result.ok()) return ErrorResponse(result.status());
+  WireResponse response;
+  response.kind = kind;
+  response.model_version = result->model_version;
+  response.from_cache = result->from_cache;
+  if (!model.has_graph()) {
+    return ErrorResponse(
+        Status::Internal("served model has no graph to resolve names"));
+  }
+  const core::DirectedHypergraph& graph = model.graph();
+  response.ranked.reserve(result->ranked.size());
+  for (const serve::RankedConsequent& r : result->ranked) {
+    response.ranked.push_back(WireConsequent{graph.vertex_name(r.head),
+                                             r.acv});
+  }
+  response.closure.reserve(result->closure.size());
+  for (core::VertexId v : result->closure) {
+    response.closure.push_back(graph.vertex_name(v));
+  }
+  return response;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
+                                                ServerOptions options) {
+  HM_CHECK(engine != nullptr);
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("ServerOptions::max_batch must be >= 1");
+  }
+  if (options.max_query_bytes > kMaxBodyBytes) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_query_bytes exceeds the protocol cap");
+  }
+  if (options.pool != nullptr &&
+      options.pool->num_threads() < options.max_connections) {
+    // Each live connection occupies one worker for its lifetime; with
+    // fewer workers than allowed connections, accepted clients would
+    // hang unanswered — the opposite of "reject rather than stall".
+    return Status::InvalidArgument(
+        "ServerOptions::pool has fewer threads than max_connections; "
+        "late connections would stall instead of being rejected");
+  }
+  HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<Server> server(
+      new Server(engine, options, std::move(listener)));
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+Server::Server(api::Engine* engine, ServerOptions options, Listener listener)
+    : engine_(engine),
+      options_(options),
+      listener_(std::move(listener)) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    // Floor at max_connections: every admissible connection must be able
+    // to hold a worker concurrently, or accepted clients would stall
+    // (Start rejects undersized *shared* pools for the same reason).
+    // Workers beyond the live connection count just sleep on the queue.
+    const size_t requested =
+        options_.num_threads != 0
+            ? options_.num_threads
+            : std::max<size_t>(4, ThreadPool::HardwareThreads());
+    owned_pool_ = std::make_unique<ThreadPool>(
+        std::max(requested, options_.max_connections));
+    pool_ = owned_pool_.get();
+  }
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  stopping_.store(true);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Wakes handlers blocked in ReadFrame; their next read fails and the
+    // handler unregisters itself. Handlers mid-batch finish writing first.
+    for (auto& [id, socket] : live_) socket->Shutdown();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  listener_.Close();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Poll rather than block: shutdown() does not reliably wake accept()
+    // on Linux, so Stop() is observed through the flag within ~100 ms.
+    if (!listener_.AcceptReady(/*timeout_ms=*/100)) continue;
+    StatusOr<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      // FailedPrecondition is the Shutdown() wake-up; anything else
+      // (EMFILE, transient network failure) should not kill the server.
+      if (stopping_.load() ||
+          accepted.status().code() == StatusCode::kFailedPrecondition) {
+        return;
+      }
+      continue;
+    }
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (active_connections_ >= options_.max_connections) {
+        ++stats_.connections_rejected;
+        continue;  // socket closes as the shared_ptr dies
+      }
+      ++stats_.connections_accepted;
+      ++active_connections_;
+      id = next_connection_id_++;
+      // Registered before the handler runs so Stop() can shut the socket
+      // down even while the task is still queued behind busy workers.
+      live_.emplace(id, socket.get());
+    }
+    pool_->Submit([this, socket, id] {
+      ServeConnection(socket.get());
+      std::lock_guard<std::mutex> lock(mutex_);
+      live_.erase(id);
+      --active_connections_;
+      idle_cv_.notify_all();
+    });
+  }
+}
+
+void Server::ServeConnection(Socket* socket) {
+  uint64_t served = 0;
+  std::vector<PendingFrame> frames;
+  bool alive = true;
+  while (alive && !stopping_.load()) {
+    frames.clear();
+    // Reads one frame; 1 = got a frame (possibly pre-rejected), 0 = clean
+    // close, -1 = unrecoverable stream (drop after flushing the batch).
+    auto read_one = [this, socket, &frames]() -> int {
+      PendingFrame frame;
+      Status status = ReadFrame(socket, &frame.header, &frame.body,
+                                options_.max_query_bytes);
+      if (status.code() == StatusCode::kNotFound) return 0;
+      if (status.code() == StatusCode::kInvalidArgument) {
+        // Oversized body: the header is sound, so skip the body to keep
+        // the stream framed and reject just this request.
+        if (!DiscardBody(socket, frame.header.body_len).ok()) return -1;
+        frame.body.clear();
+        frame.pre = status;
+        frames.push_back(std::move(frame));
+        return 1;
+      }
+      if (!status.ok()) return -1;
+      frames.push_back(std::move(frame));
+      return 1;
+    };
+
+    int first = read_one();
+    if (first <= 0) break;
+    // Coalesce whatever has already arrived — pipelined clients get one
+    // engine batch instead of max_batch model acquisitions.
+    while (frames.size() < options_.max_batch && socket->Readable(0)) {
+      int more = read_one();
+      if (more < 0) alive = false;
+      if (more <= 0) break;
+    }
+    if (!HandleBatch(socket, &frames, &served)) break;
+  }
+}
+
+bool Server::HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
+                         uint64_t* served) {
+  std::vector<WireResponse> responses(frames->size());
+  std::vector<api::QueryRequest> admitted;
+  std::vector<size_t> admitted_slot;
+  uint64_t rejected = 0;
+
+  for (size_t i = 0; i < frames->size(); ++i) {
+    PendingFrame& frame = (*frames)[i];
+    if (!frame.pre.ok()) {
+      responses[i] = ErrorResponse(frame.pre);
+      ++rejected;
+      continue;
+    }
+    if (frame.header.version != kProtocolVersion) {
+      responses[i] = ErrorResponse(Status::Unimplemented(
+          StrFormat("protocol version %u not supported (server speaks %u)",
+                    unsigned{frame.header.version},
+                    unsigned{kProtocolVersion})));
+      ++rejected;
+      continue;
+    }
+    if (frame.header.type != static_cast<uint16_t>(FrameType::kQuery)) {
+      // kUnimplemented, matching the spec's §5 table: a frame type this
+      // server does not speak is a capability gap (a future protocol
+      // feature), not a malformed request that can never succeed.
+      responses[i] = ErrorResponse(Status::Unimplemented(
+          StrFormat("frame type %u not supported here (want QUERY)",
+                    unsigned{frame.header.type})));
+      ++rejected;
+      continue;
+    }
+    api::QueryRequest request;
+    Status decoded = DecodeQueryBody(frame.body, &request);
+    if (!decoded.ok()) {
+      responses[i] = ErrorResponse(decoded);
+      ++rejected;
+      continue;
+    }
+    if (options_.max_queries_per_connection != 0 &&
+        *served >= options_.max_queries_per_connection) {
+      responses[i] = ErrorResponse(Status::ResourceExhausted(
+          StrFormat("per-connection query quota (%llu) exhausted",
+                    static_cast<unsigned long long>(
+                        options_.max_queries_per_connection))));
+      ++rejected;
+      continue;
+    }
+    if (options_.max_queue_depth != 0 &&
+        in_flight_.fetch_add(1) >= options_.max_queue_depth) {
+      in_flight_.fetch_sub(1);
+      responses[i] = ErrorResponse(Status::ResourceExhausted(
+          StrFormat("server queue depth (%zu) exceeded; retry later",
+                    options_.max_queue_depth)));
+      ++rejected;
+      continue;
+    }
+    ++*served;
+    admitted_slot.push_back(i);
+    admitted.push_back(std::move(request));
+  }
+
+  if (!admitted.empty()) {
+    std::shared_ptr<const api::Model> model;
+    std::vector<StatusOr<api::QueryResponse>> results =
+        engine_->QueryBatch(admitted, &model);
+    if (options_.max_queue_depth != 0) in_flight_.fetch_sub(admitted.size());
+    for (size_t j = 0; j < results.size(); ++j) {
+      responses[admitted_slot[j]] =
+          ToWire(results[j], *model, admitted[j].kind);
+    }
+  }
+
+  // Responses go back in request order, one contiguous write per batch.
+  std::string out;
+  for (size_t i = 0; i < frames->size(); ++i) {
+    std::string encoded;
+    Status status = EncodeResponseFrame((*frames)[i].header.request_id,
+                                        responses[i], &encoded);
+    if (!status.ok()) {
+      // A name/message too long for the wire; strip the payload rather
+      // than abort — the encode of a bare error cannot fail.
+      encoded.clear();
+      HM_CHECK_OK(EncodeResponseFrame(
+          (*frames)[i].header.request_id,
+          ErrorResponse(Status::Internal("response exceeds wire limits")),
+          &encoded));
+    }
+    out += encoded;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.queries_answered += admitted.size();
+    stats_.queries_rejected += rejected;
+  }
+  return socket->WriteAll(out.data(), out.size()).ok();
+}
+
+}  // namespace hypermine::net

@@ -1,0 +1,167 @@
+#ifndef HYPERMINE_NET_SERVER_H_
+#define HYPERMINE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "api/engine.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hypermine::net {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  /// Server::port() — tests and CI use this to avoid collisions).
+  uint16_t port = 0;
+  /// Concurrent connections; further accepts are closed immediately.
+  /// Liveness: each live connection occupies one worker slot. An owned
+  /// pool is sized to at least this value automatically; a *shared*
+  /// `pool` with fewer threads than this is rejected by Server::Start,
+  /// because accepted clients would stall unanswered.
+  size_t max_connections = 16;
+  /// Most frames coalesced into one api::Engine::QueryBatch. Requests
+  /// that have already arrived on a connection are drained into a single
+  /// batch; the first frame is read blocking, so an idle connection
+  /// costs nothing.
+  size_t max_batch = 64;
+  /// Per-frame body limit (tighter than the protocol's kMaxBodyBytes).
+  /// Oversized frames are rejected with kInvalidArgument but the body is
+  /// skipped, so the connection survives.
+  uint32_t max_query_bytes = 64u << 10;
+  /// Per-connection lifetime query quota; queries past it are rejected
+  /// with kResourceExhausted (the connection stays open — the client is
+  /// told, not stalled). 0 = unlimited.
+  uint64_t max_queries_per_connection = 0;
+  /// Global cap on queries admitted but not yet answered, across all
+  /// connections. Excess queries are rejected with kResourceExhausted
+  /// instead of queueing unboundedly. 0 = unlimited.
+  size_t max_queue_depth = 4096;
+  /// Worker pool for connection handlers. MUST NOT be the pool the
+  /// engine runs QueryBatch chunks on: connection workers block inside
+  /// QueryBatch, and if they occupy every thread of the engine's pool the
+  /// chunk tasks can never run (deadlock). Leave null (the default) to
+  /// let the server own a private pool of `num_threads` workers.
+  ThreadPool* pool = nullptr;
+  /// Owned-pool size when `pool` is null; 0 = max(4, hardware threads).
+  /// Either way the owned pool is floored at max_connections (see
+  /// there); extra workers cost only parked threads.
+  size_t num_threads = 0;
+};
+
+/// Counters for smoke tests and ops visibility. Snapshot semantics: read
+/// under the server's mutex, individually monotonic.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  /// Accepts closed because max_connections was reached.
+  uint64_t connections_rejected = 0;
+  uint64_t batches = 0;
+  /// Queries answered by the engine (including per-query errors such as
+  /// unknown vertex names — the engine did run them).
+  uint64_t queries_answered = 0;
+  /// Queries rejected before reaching the engine (quota, queue depth,
+  /// malformed or foreign-version frames).
+  uint64_t queries_rejected = 0;
+};
+
+/// TCP front-end over api::Engine: one listener thread accepting
+/// loopback connections, connection handlers on a util::ThreadPool, and
+/// the framed protocol of net/protocol.h on the wire.
+///
+/// Each handler drains the frames already buffered on its connection into
+/// one engine batch (api::Engine::QueryBatch), so concurrently-arriving
+/// pipelined requests share the engine's per-batch model acquisition and
+/// pool fan-out. Responses are written back in request order, each echoing
+/// its request id.
+///
+/// Admission control rejects rather than stalls: per-connection quota,
+/// global queue depth, and per-frame size limits all answer with a status
+/// frame (kResourceExhausted / kInvalidArgument) while well-formed framing
+/// keeps the connection usable. Only unrecoverable streams (bad magic,
+/// truncated header, a body the server refused to even skip) drop the
+/// connection.
+///
+/// Hot swap: the server holds only the Engine*, never a Model, so
+/// api::Engine::Swap under live connections is safe by construction —
+/// in-flight batches finish on the model they acquired and later batches
+/// see the new one; responses carry model_version so clients observe the
+/// flip without a reconnect.
+///
+/// Thread-safety: Start/Stop/port/stats may be called from any thread;
+/// Stop is idempotent and the destructor calls it. The Engine must
+/// outlive the Server.
+class Server {
+ public:
+  /// Binds, spawns the listener, and returns a running server. The
+  /// engine pointer is borrowed. kIoError when the port cannot be bound;
+  /// kInvalidArgument for out-of-range options.
+  static StatusOr<std::unique_ptr<Server>> Start(api::Engine* engine,
+                                                 ServerOptions options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the real one when options.port was 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, shuts down live connections, and joins every
+  /// handler. Idempotent; safe to race with active traffic — clients see
+  /// a closed connection, never a half-written frame (handlers finish
+  /// the batch they are writing before exiting).
+  void Stop();
+
+  ServerStats stats() const;
+
+ private:
+  /// One frame read off a connection, waiting for its batch (defined in
+  /// server.cc).
+  struct PendingFrame;
+
+  Server(api::Engine* engine, ServerOptions options, Listener listener);
+
+  void AcceptLoop();
+  /// Runs one connection to completion. `socket` stays owned by the
+  /// accept-side shared_ptr (and registered in live_) so Stop() can shut
+  /// down the real descriptor while this handler is blocked reading.
+  void ServeConnection(Socket* socket);
+  /// Handles one coalesced batch of frames; false when the connection
+  /// must be dropped (unrecoverable stream state). `served` counts
+  /// admitted queries across the connection's lifetime (quota input).
+  bool HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
+                   uint64_t* served);
+
+  api::Engine* const engine_;
+  const ServerOptions options_;
+  Listener listener_;
+  std::thread accept_thread_;
+
+  /// Owned handler pool when options.pool was null.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+
+  std::atomic<bool> stopping_{false};
+  /// Queries admitted but not yet answered, across all connections.
+  std::atomic<size_t> in_flight_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  size_t active_connections_ = 0;
+  /// Live connection sockets by id, for Stop() to shut down blocked
+  /// readers. Entries are owned by their handler; the map only borrows.
+  std::unordered_map<uint64_t, Socket*> live_;
+  uint64_t next_connection_id_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace hypermine::net
+
+#endif  // HYPERMINE_NET_SERVER_H_

@@ -1,0 +1,108 @@
+#ifndef HYPERMINE_NET_SOCKET_H_
+#define HYPERMINE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace hypermine::net {
+
+/// Owning wrapper around one connected TCP stream socket. Move-only; the
+/// descriptor is closed on destruction. Reads and writes are blocking and
+/// loop over partial transfers (EINTR included), so ReadFull/WriteAll
+/// either transfer every byte or report why they could not.
+///
+/// Thread-safety: one Socket may be used by at most one reader and one
+/// writer thread concurrently (full-duplex); concurrent calls to the same
+/// direction are not synchronized.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of an already-connected descriptor.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name).
+  /// `retry_ms` > 0 keeps retrying refused connections for that long —
+  /// used by clients racing a server that is still binding its port.
+  static StatusOr<Socket> Connect(const std::string& host, uint16_t port,
+                                  int retry_ms = 0);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `len` bytes into `out`. kIoError on a read error;
+  /// kCorrupted("connection closed...") when the peer closed mid-buffer;
+  /// kNotFound("connection closed") on a clean close at offset 0 — the
+  /// caller distinguishes "peer finished" from "peer died mid-frame".
+  Status ReadFull(void* out, size_t len);
+
+  /// Writes all `len` bytes. kIoError when the peer is gone (EPIPE/reset).
+  Status WriteAll(const void* data, size_t len);
+
+  /// True when at least one byte is readable within `timeout_ms`
+  /// (0 = poll without blocking). Used to coalesce already-arrived frames
+  /// into one engine batch without stalling for future ones.
+  bool Readable(int timeout_ms) const;
+
+  /// Shuts down both directions (wakes a blocked reader on another
+  /// thread) without closing the descriptor. Safe on an invalid socket.
+  void Shutdown();
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Owning wrapper around a listening TCP socket bound to 127.0.0.1.
+/// Move-only. Accept() blocks until a client connects or Shutdown() is
+/// called from another thread.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:port with SO_REUSEADDR; port 0 picks
+  /// an ephemeral port (read it back with port()).
+  static StatusOr<Listener> Bind(uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The actually bound port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  /// True when a connection is waiting to be accepted within `timeout_ms`
+  /// (0 = poll without blocking). Accept loops poll with a short timeout
+  /// so a stop flag is observed promptly — on Linux, shutdown() does not
+  /// reliably wake a thread blocked in accept().
+  bool AcceptReady(int timeout_ms) const;
+
+  /// Blocks for the next connection. kFailedPrecondition after Shutdown;
+  /// kIoError on accept failures.
+  StatusOr<Socket> Accept();
+
+  /// Unblocks a concurrent Accept() and makes all future Accepts fail.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace hypermine::net
+
+#endif  // HYPERMINE_NET_SOCKET_H_

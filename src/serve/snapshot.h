@@ -62,6 +62,8 @@ struct LoadedSnapshot {
 };
 
 /// Serializes the graph (and its spec) to the snapshot wire format.
+/// Infallible — every DirectedHypergraph is representable. All functions
+/// in this header are stateless and thread-safe on distinct arguments.
 std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
                               const api::ModelSpec& spec = {});
 
@@ -72,15 +74,21 @@ StatusOr<core::DirectedHypergraph> DeserializeSnapshot(std::string_view data);
 /// Parses a snapshot buffer including its ModelSpec trailer when present.
 StatusOr<LoadedSnapshot> DeserializeSnapshotFull(std::string_view data);
 
-/// Writes / reads a snapshot file.
+/// Writes a snapshot file (truncating). kIoError when the path cannot be
+/// created or written.
 Status WriteSnapshot(const core::DirectedHypergraph& graph,
                      const std::string& path);
 Status WriteSnapshot(const core::DirectedHypergraph& graph,
                      const api::ModelSpec& spec, const std::string& path);
+/// Reads a snapshot file. kIoError when the file cannot be read; the
+/// Deserialize errors (kCorrupted / kInvalidArgument) when it parses
+/// badly.
 StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path);
 StatusOr<LoadedSnapshot> ReadSnapshotFull(const std::string& path);
 
-/// Reads only the header + counts of a snapshot file.
+/// Reads only the header + counts of a snapshot file — a cheap peek that
+/// does NOT verify the body checksum (tooling that must trust the bytes
+/// should do a full read).
 StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
 
 /// True when the buffer starts with the snapshot magic.

@@ -3,18 +3,53 @@
 
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace hypermine::serve {
 
 /// Appends the raw little-endian bytes of a POD value to a buffer. Shared
-/// by the snapshot writer and the engine's cache-key builder so any future
-/// encoding change happens in one place.
+/// by the snapshot writer, the engine's cache-key builder, and the net
+/// protocol encoder so any future encoding change happens in one place.
 template <typename T>
 void AppendPod(std::string* out, T value) {
   char buf[sizeof(T)];
   std::memcpy(buf, &value, sizeof(T));
   out->append(buf, sizeof(T));
 }
+
+/// Bounds-checked sequential reader over a wire buffer — the decode-side
+/// twin of AppendPod. Never throws and never reads past the end: every
+/// Read* returns false on underrun and leaves the cursor unchanged, so a
+/// decoder can simply propagate `false` as "truncated frame".
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  /// Reads one little-endian POD value; false on underrun.
+  template <typename T>
+  bool ReadPod(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads `len` raw bytes as a view into the underlying buffer (valid
+  /// only while that buffer lives); false on underrun.
+  bool ReadBytes(size_t len, std::string_view* out) {
+    if (remaining() < len) return false;
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
 
 }  // namespace hypermine::serve
 

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kCorrupted:
       return "CORRUPTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

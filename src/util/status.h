@@ -25,6 +25,10 @@ enum class StatusCode {
   /// mismatch, truncation) — distinct from kIoError, which is the
   /// filesystem failing, not the bytes lying.
   kCorrupted = 9,
+  /// A quota or capacity limit was hit (per-client query quota, server
+  /// queue depth). The request was well-formed and may succeed if retried
+  /// later — distinct from kInvalidArgument, which never will.
+  kResourceExhausted = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -70,6 +74,9 @@ class Status {
   }
   static Status Corrupted(std::string msg) {
     return Status(StatusCode::kCorrupted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,398 @@
+// net::Server end to end over real loopback sockets: wire answers must
+// match in-process api::Engine answers, admission control must reject
+// (never stall, never drop), malformed streams must not take the server
+// down, and a hot swap under live connections must flip model_version with
+// zero dropped or misrouted responses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/model.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "util/logging.h"
+
+namespace hypermine::net {
+namespace {
+
+/// Small named model: A -> {B, C}, {A, B} -> D, C -> D.
+std::shared_ptr<const api::Model> NamedModel() {
+  auto graph = core::DirectedHypergraph::Create({"A", "B", "C", "D"});
+  HM_CHECK_OK(graph.status());
+  HM_CHECK_OK(graph->AddEdge({0}, 1, 0.9).status());
+  HM_CHECK_OK(graph->AddEdge({0}, 2, 0.5).status());
+  HM_CHECK_OK(graph->AddEdge({0, 1}, 3, 0.8).status());
+  HM_CHECK_OK(graph->AddEdge({2}, 3, 0.7).status());
+  return api::Model::FromGraph(std::move(graph).value(), {});
+}
+
+/// A model over the same vertex names whose single rule A -> `head` marks
+/// it: any answer reveals which model produced it (swap-test probe).
+std::shared_ptr<const api::Model> MarkedModel(core::VertexId head) {
+  auto graph = core::DirectedHypergraph::Create({"A", "B", "C", "D"});
+  HM_CHECK_OK(graph.status());
+  HM_CHECK_OK(graph->AddEdge({0}, head, 0.9).status());
+  return api::Model::FromGraph(std::move(graph).value(), {});
+}
+
+std::unique_ptr<Server> StartOrDie(api::Engine* engine,
+                                   ServerOptions options = {}) {
+  options.port = 0;  // ephemeral — tests must not collide on ports
+  auto server = Server::Start(engine, options);
+  HM_CHECK_OK(server.status());
+  return std::move(*server);
+}
+
+Client ConnectOrDie(uint16_t port) {
+  auto client = Client::Connect("127.0.0.1", port, /*retry_ms=*/2000);
+  HM_CHECK_OK(client.status());
+  return std::move(*client);
+}
+
+api::QueryRequest Named(std::vector<std::string> names, size_t k = 10) {
+  api::QueryRequest request;
+  request.names = std::move(names);
+  request.k = k;
+  return request;
+}
+
+TEST(ServerTest, WireAnswersMatchInProcessEngine) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  api::QueryRequest request = Named({"A"});
+  auto wire = client.Query(request);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  ASSERT_EQ(wire->code, StatusCode::kOk);
+
+  std::shared_ptr<const api::Model> model;
+  auto local = engine.Query(request, &model);
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(wire->ranked.size(), local->ranked.size());
+  for (size_t i = 0; i < wire->ranked.size(); ++i) {
+    EXPECT_EQ(wire->ranked[i].name,
+              model->graph().vertex_name(local->ranked[i].head));
+    EXPECT_DOUBLE_EQ(wire->ranked[i].acv, local->ranked[i].acv);
+  }
+  EXPECT_EQ(wire->model_version, local->model_version);
+}
+
+TEST(ServerTest, ReachableClosureTravelsAsSortedNames) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  api::QueryRequest request = Named({"A"});
+  request.kind = api::QueryRequest::Kind::kReachable;
+  request.min_acv = 0.6;
+  auto wire = client.Query(request);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  ASSERT_EQ(wire->code, StatusCode::kOk);
+  // A fires A->B (0.9); then {A,B}->D (0.8). A->C (0.5) is below 0.6.
+  EXPECT_EQ(wire->closure, (std::vector<std::string>{"A", "B", "D"}));
+}
+
+TEST(ServerTest, PipelinedBatchKeepsOrderAndIsolatesPerQueryErrors) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests = {
+      Named({"A"}), Named({"NO_SUCH_VERTEX"}), Named({"C"})};
+  auto responses = client.QueryMany(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 3u);
+  EXPECT_EQ((*responses)[0].code, StatusCode::kOk);
+  EXPECT_FALSE((*responses)[0].ranked.empty());
+  // The bad query fails alone; its neighbors still answer.
+  EXPECT_EQ((*responses)[1].code, StatusCode::kNotFound);
+  EXPECT_EQ((*responses)[2].code, StatusCode::kOk);
+}
+
+TEST(ServerTest, PerConnectionQuotaRejectsWithResourceExhausted) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.max_queries_per_connection = 3;
+  auto server = StartOrDie(&engine, options);
+
+  Client client = ConnectOrDie(server->port());
+  std::vector<api::QueryRequest> requests(5, Named({"A"}));
+  auto responses = client.QueryMany(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 5u) << "rejections must be answered, "
+                                      "not dropped";
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*responses)[i].code, StatusCode::kOk) << "i=" << i;
+  }
+  for (size_t i = 3; i < 5; ++i) {
+    EXPECT_EQ((*responses)[i].code, StatusCode::kResourceExhausted)
+        << "i=" << i;
+  }
+
+  // The quota is per connection: over the same connection it stays
+  // exhausted, while a fresh connection starts a fresh quota.
+  auto again = client.Query(Named({"A"}));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->code, StatusCode::kResourceExhausted);
+  Client fresh = ConnectOrDie(server->port());
+  auto fresh_response = fresh.Query(Named({"A"}));
+  ASSERT_TRUE(fresh_response.ok());
+  EXPECT_EQ(fresh_response->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, LargePipelineDoesNotDeadlockOnSocketBuffers) {
+  // Regression: QueryMany once wrote every frame before reading any
+  // response; past the socket buffer capacity the server blocks writing
+  // responses nobody reads while the client blocks writing requests
+  // nobody reads. The windowed client must finish any batch size.
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests(
+      Client::kPipelineWindow * 40, Named({"A", "B", "C"}));
+  auto responses = client.QueryMany(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), requests.size());
+  for (const WireResponse& response : *responses) {
+    EXPECT_EQ(response.code, StatusCode::kOk);
+  }
+}
+
+TEST(ServerTest, EncodeFailureMidBatchDoesNotPoisonTheConnection) {
+  // Regression: QueryMany once sent frames before validating later ones;
+  // an unencodable request mid-batch left unread responses that made the
+  // next call on the same connection fail as "misrouted".
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests = {Named({"A"}),
+                                             api::QueryRequest{},  // no names
+                                             Named({"C"})};
+  auto responses = client.QueryMany(requests);
+  ASSERT_FALSE(responses.ok());
+  EXPECT_EQ(responses.status().code(), StatusCode::kInvalidArgument);
+
+  auto after = client.Query(Named({"A"}));
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, UndersizedSharedPoolIsRejectedAtStart) {
+  // A shared pool smaller than max_connections would stall accepted
+  // clients (each connection holds a worker); Start must refuse.
+  api::Engine engine(NamedModel());
+  ThreadPool tiny(2);
+  ServerOptions options;
+  options.port = 0;
+  options.pool = &tiny;
+  options.max_connections = 16;
+  auto server = Server::Start(&engine, options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+
+  options.max_connections = 2;
+  auto sized = Server::Start(&engine, options);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+  Client client = ConnectOrDie((*sized)->port());
+  auto response = client.Query(Named({"A"}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, QueueDepthNeverDropsQueries) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.max_queue_depth = 1;
+  auto server = StartOrDie(&engine, options);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests(16, Named({"A"}));
+  auto responses = client.QueryMany(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 16u);
+  size_t ok = 0;
+  for (const WireResponse& response : *responses) {
+    if (response.code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response.code, StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_GE(ok, 1u) << "admission must make progress under depth pressure";
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries_answered + stats.queries_rejected, 16u);
+}
+
+TEST(ServerTest, OversizedPayloadIsRejectedButConnectionSurvives) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.max_query_bytes = 64;
+  auto server = StartOrDie(&engine, options);
+  Client client = ConnectOrDie(server->port());
+
+  // ~1.2 KiB of names: well-formed frame, body above the server's limit.
+  std::vector<std::string> many(24, std::string(48, 'z'));
+  auto big = client.Query(Named(std::move(many)));
+  ASSERT_TRUE(big.ok()) << big.status();
+  EXPECT_EQ(big->code, StatusCode::kInvalidArgument);
+
+  // The body was skipped, not half-read: the stream is still framed.
+  auto small = client.Query(Named({"A"}));
+  ASSERT_TRUE(small.ok()) << small.status();
+  EXPECT_EQ(small->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, UnknownProtocolVersionGetsUnimplementedNotDropped) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(socket.ok());
+
+  std::string frame;
+  ASSERT_TRUE(EncodeQueryFrame(77, Named({"A"}), &frame).ok());
+  frame[4] = 99;  // version field (offset 4, little-endian uint16)
+  frame[5] = 0;
+  ASSERT_TRUE(socket->WriteAll(frame.data(), frame.size()).ok());
+
+  FrameHeader header;
+  std::string body;
+  ASSERT_TRUE(ReadFrame(&*socket, &header, &body).ok());
+  EXPECT_EQ(header.version, kProtocolVersion) << "server stamps its own";
+  EXPECT_EQ(header.request_id, 77u);
+  WireResponse response;
+  ASSERT_TRUE(DecodeResponseBody(body, &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kUnimplemented);
+
+  // Same connection, correct version: still served.
+  frame.clear();
+  ASSERT_TRUE(EncodeQueryFrame(78, Named({"A"}), &frame).ok());
+  ASSERT_TRUE(socket->WriteAll(frame.data(), frame.size()).ok());
+  ASSERT_TRUE(ReadFrame(&*socket, &header, &body).ok());
+  ASSERT_TRUE(DecodeResponseBody(body, &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kOk);
+}
+
+TEST(ServerTest, GarbageStreamDropsConnectionButServerSurvives) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+
+  {
+    auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+    ASSERT_TRUE(socket.ok());
+    // Longer than a frame header, so the server sees a full (bad) header
+    // rather than waiting for more bytes.
+    const std::string garbage = "GET / HTTP/1.1\r\nHost: nonsense\r\n\r\n";
+    ASSERT_TRUE(socket->WriteAll(garbage.data(), garbage.size()).ok());
+    // Bad magic is unrecoverable; the server hangs up on us.
+    char byte;
+    Status read = socket->ReadFull(&byte, 1);
+    EXPECT_FALSE(read.ok());
+  }
+  {
+    // Valid header, then the peer dies mid-body: must not wedge a worker.
+    auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+    ASSERT_TRUE(socket.ok());
+    std::string frame;
+    ASSERT_TRUE(EncodeQueryFrame(1, Named({"A"}), &frame).ok());
+    ASSERT_TRUE(
+        socket->WriteAll(frame.data(), kFrameHeaderBytes + 2).ok());
+    socket->Close();
+  }
+  // The server is still healthy for well-behaved clients.
+  Client client = ConnectOrDie(server->port());
+  auto response = client.Query(Named({"A"}));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, HotSwapUnderLiveConnectionsDropsAndMisroutesNothing) {
+  // The wire-level twin of tests/api/engine_swap_test.cc: pipelining
+  // clients race Engine::Swap (what hypermine_serve's !reload calls) and
+  // every response must arrive (client checks request-id echo), be OK,
+  // and carry a (model_version, answer) pair from one single model.
+  std::shared_ptr<const api::Model> a = MarkedModel(1);  // A -> B
+  std::shared_ptr<const api::Model> b = MarkedModel(2);  // A -> C
+  const uint64_t va = a->version();
+  const uint64_t vb = b->version();
+  api::Engine engine(a);
+  auto server = StartOrDie(&engine);
+
+  constexpr size_t kClients = 3;
+  constexpr size_t kRounds = 20;
+  constexpr size_t kPipeline = 8;
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Client client = ConnectOrDie(server->port());
+      std::vector<api::QueryRequest> batch(kPipeline, Named({"A"}, 1));
+      for (size_t round = 0; round < kRounds; ++round) {
+        auto responses = client.QueryMany(batch);
+        if (!responses.ok()) {
+          bad.fetch_add(kPipeline);  // transport failure = dropped queries
+          return;
+        }
+        for (const WireResponse& response : *responses) {
+          answered.fetch_add(1);
+          const bool consistent =
+              response.code == StatusCode::kOk &&
+              response.ranked.size() == 1 &&
+              ((response.model_version == va &&
+                response.ranked[0].name == "B") ||
+               (response.model_version == vb &&
+                response.ranked[0].name == "C"));
+          if (!consistent) bad.fetch_add(1);
+        }
+      }
+      (void)t;
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    engine.Swap(i % 2 == 0 ? b : a);
+    std::this_thread::yield();
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  EXPECT_EQ(answered.load(), kClients * kRounds * kPipeline)
+      << "zero dropped responses";
+  EXPECT_EQ(bad.load(), 0u) << "zero misrouted/torn responses";
+
+  // Settle on b: new wire queries must see only the new model.
+  engine.Swap(b);
+  Client client = ConnectOrDie(server->port());
+  auto after = client.Query(Named({"A"}, 1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->model_version, vb);
+  ASSERT_EQ(after->ranked.size(), 1u);
+  EXPECT_EQ(after->ranked[0].name, "C");
+}
+
+TEST(ServerTest, StopUnblocksIdleConnections) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  // An idle client parked in the server's blocking read; Stop() (run by
+  // the destructor) must shut it down rather than wait forever — the
+  // test completing at all is the assertion.
+  auto idle = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(idle.ok());
+  Client busy = ConnectOrDie(server->port());
+  ASSERT_TRUE(busy.Query(Named({"A"})).ok());
+  server->Stop();
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.queries_answered, 1u);
+}
+
+}  // namespace
+}  // namespace hypermine::net

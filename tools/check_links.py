@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fails when a relative markdown link points at a file that does not exist.
+
+Usage: check_links.py [file-or-dir ...]   (default: README.md and docs/,
+relative to the repository root, which is assumed to be this script's
+parent directory's parent)
+
+Only relative links are checked — http(s)/mailto links would make CI
+flaky on network weather, and pure #anchors are section references within
+the same page. Link targets may carry a #fragment; only the path part
+must exist. Stdlib only: this runs in CI and in environments where
+nothing can be pip-installed.
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — target captured up to the first unescaped ')'; markdown
+# images ![alt](target) match the same pattern via their trailing part.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_in(path: Path):
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        yield from LINK_RE.findall(line)
+
+
+def check(paths):
+    markdown_files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            markdown_files.extend(sorted(path.glob("*.md")))
+        else:
+            markdown_files.append(path)
+
+    broken = []
+    for md in markdown_files:
+        for target in links_in(md):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (md.parent / relative).exists():
+                broken.append(f"{md}: broken link -> {target}")
+    return broken
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    paths = argv[1:] or [root / "README.md", root / "docs"]
+    broken = check(paths)
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,137 @@
+// Command-line client for a hypermine_serve --listen server. Reads queries
+// from stdin in exactly the stdin-serving format (one query per line,
+// comma-separated vertex names) and prints answers in exactly the
+// stdin-serving format — so `hypermine_client` output diffs cleanly against
+// `hypermine_serve --snapshot=...` output on the same queries, which is how
+// the CI smoke asserts wire answers match in-process answers byte for byte.
+//
+//   printf 'A\nC\n' | hypermine_client --port=7654 --k=3
+//   hypermine_client --port=7654 --mode=reach --min_acv=0.4
+//   hypermine_client --port=7654 --query=HES,SLB        # one-shot
+//
+// --retry-ms=N keeps retrying the initial connect for N ms (scripts that
+// start the server and the client concurrently). --verbose prints each
+// answer's model version, which the CI reload smoke uses to assert a hot
+// swap flipped the served model.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace hypermine {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Mirrors hypermine_serve's PrintResponse byte for byte (names are
+/// already resolved server-side).
+void PrintResponse(const net::WireResponse& response, bool verbose) {
+  if (response.code != StatusCode::kOk) {
+    std::printf("  error: %s\n", response.ToStatus().ToString().c_str());
+    return;
+  }
+  for (const net::WireConsequent& r : response.ranked) {
+    std::printf("  %s  acv=%.4f%s\n", r.name.c_str(), r.acv,
+                response.from_cache ? "  (cached)" : "");
+  }
+  if (!response.closure.empty()) {
+    std::string names;
+    for (const std::string& name : response.closure) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    std::printf("  closure: {%s}\n", names.c_str());
+  }
+  if (response.ranked.empty() && response.closure.empty()) {
+    std::printf("  (no consequents)\n");
+  }
+  if (verbose) {
+    std::printf("  model_version: %llu\n",
+                static_cast<unsigned long long>(response.model_version));
+  }
+}
+
+/// Parses one stdin line / --query value into the request's name list.
+bool ParseNames(const std::string& line, api::QueryRequest* request) {
+  request->names.clear();
+  for (const std::string& raw : Split(line, ',')) {
+    std::string name = Trim(raw);
+    if (!name.empty()) request->names.push_back(std::move(name));
+  }
+  return !request->names.empty();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const int64_t port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 0xFFFF) {
+    std::fprintf(
+        stderr,
+        "usage: hypermine_client --port=N [--host=127.0.0.1] [--k=N]\n"
+        "         [--mode=topk|reach] [--min_acv=X] [--retry-ms=N]\n"
+        "         [--query=A,B] [--verbose]\n"
+        "  stdin: one query per line, comma-separated vertex names\n");
+    return 1;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int retry_ms = static_cast<int>(flags.GetInt("retry-ms", 0));
+
+  api::QueryRequest request;
+  request.k = static_cast<size_t>(flags.GetInt("k", 10));
+  request.min_acv = flags.GetDouble("min_acv", 0.0);
+  request.kind = flags.GetString("mode", "topk") == "reach"
+                     ? api::QueryRequest::Kind::kReachable
+                     : api::QueryRequest::Kind::kTopK;
+  const bool verbose = flags.GetBool("verbose", false);
+
+  auto client =
+      net::Client::Connect(host, static_cast<uint16_t>(port), retry_ms);
+  if (!client.ok()) return Fail(client.status());
+
+  const std::string one_shot = flags.GetString("query", "");
+  if (!one_shot.empty()) {
+    if (!ParseNames(one_shot, &request)) {
+      std::printf("  (no vertices in query)\n");
+      return 1;
+    }
+    auto response = client->Query(request);
+    if (!response.ok()) return Fail(response.status());
+    PrintResponse(*response, verbose);
+    return response->code == StatusCode::kOk ? 0 : 1;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line[0] == '!') {
+      // Commands (!reload, !info) act on the server process's stdin, not
+      // the wire; refuse loudly rather than query for a vertex named "!x".
+      std::printf("  (commands are not supported over the wire)\n");
+      continue;
+    }
+    if (!ParseNames(line, &request)) {
+      std::printf("  (no vertices in query)\n");
+      continue;
+    }
+    auto response = client->Query(request);
+    if (!response.ok()) return Fail(response.status());
+    PrintResponse(*response, verbose);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hypermine
+
+int main(int argc, char** argv) { return hypermine::Main(argc, argv); }

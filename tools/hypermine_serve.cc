@@ -14,6 +14,12 @@
 //   hypermine_serve --snapshot=model.snap --k=5
 //   hypermine_serve --snapshot=model.snap --mode=reach --min_acv=0.4
 //
+//   # Additionally serve the framed TCP protocol (docs/protocol.md) on
+//   # 127.0.0.1:<port> — drive it with hypermine_client. The stdin loop
+//   # keeps running: !reload hot-swaps the model under live connections.
+//   # The process serves until stdin reaches EOF.
+//   hypermine_serve --snapshot=model.snap --listen=7654
+//
 //   # Write the Chapter 3 demo snapshot (and an answer-flipping variant,
 //   # used by the CI reload smoke).
 //   hypermine_serve --make-demo --out=a.snap --variant-out=b.snap
@@ -30,6 +36,7 @@
 #include "api/engine.h"
 #include "api/model.h"
 #include "core/discretize.h"
+#include "net/server.h"
 #include "serve/snapshot.h"
 #include "util/build_info.h"
 #include "util/flags.h"
@@ -138,12 +145,16 @@ void PrintResponse(const StatusOr<api::QueryResponse>& response,
 }
 
 /// Handles a '!' command line in serve mode. Unknown commands and failed
-/// reloads are reported, not fatal — the serving loop keeps going.
+/// reloads are reported, not fatal — the serving loop keeps going. Acks
+/// are flushed eagerly: with stdout redirected to a file (CI smokes poll
+/// it for the "reloaded" line while the process is alive), stdio is
+/// block-buffered and an unflushed ack would sit invisible for minutes.
 void RunCommand(const std::string& line, api::Engine* engine) {
   if (line == "!info") {
     std::shared_ptr<const api::Model> live = engine->model();
     std::printf("%s\n", live->ToString().c_str());
     PrintProvenance(live->spec());
+    std::fflush(stdout);
     return;
   }
   if (line.rfind("!reload ", 0) == 0) {
@@ -155,6 +166,7 @@ void RunCommand(const std::string& line, api::Engine* engine) {
       std::printf("reload failed (still serving v%llu): %s\n",
                   static_cast<unsigned long long>(engine->model()->version()),
                   next.status().ToString().c_str());
+      std::fflush(stdout);
       return;
     }
     // Build the new model's index before it goes live: the swap itself
@@ -165,10 +177,12 @@ void RunCommand(const std::string& line, api::Engine* engine) {
     std::printf("reloaded %s in %.1f ms: %s\n", path.c_str(),
                 timer.ElapsedMillis(), (*next)->ToString().c_str());
     PrintProvenance((*next)->spec());
+    std::fflush(stdout);
     return;
   }
   std::printf("unknown command %s (try !info or !reload <path>)\n",
               line.c_str());
+  std::fflush(stdout);
 }
 
 int RunServe(const FlagParser& flags) {
@@ -195,6 +209,27 @@ int RunServe(const FlagParser& flags) {
   request.kind = flags.GetString("mode", "topk") == "reach"
                      ? api::QueryRequest::Kind::kReachable
                      : api::QueryRequest::Kind::kTopK;
+
+  // Optional TCP front-end over the same engine: stdin commands (!reload)
+  // and socket queries share the model slot, so a swap issued here is
+  // observed by every connected client with zero dropped queries.
+  std::unique_ptr<net::Server> server;
+  if (flags.Has("listen")) {
+    const int64_t port = flags.GetInt("listen", 0);
+    if (port < 0 || port > 0xFFFF) {
+      std::fprintf(stderr, "error: --listen port out of range\n");
+      return 1;
+    }
+    net::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(port);
+    server_options.max_queries_per_connection = static_cast<uint64_t>(
+        std::max<int64_t>(0, flags.GetInt("quota", 0)));
+    auto started = net::Server::Start(&engine, server_options);
+    if (!started.ok()) return Fail(started.status());
+    server = std::move(*started);
+    std::fprintf(stderr, "listening on 127.0.0.1:%u (protocol v%u)\n",
+                 unsigned{server->port()}, unsigned{net::kProtocolVersion});
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -373,8 +408,11 @@ int Main(int argc, char** argv) {
                "--out=model.{csv,snap}\n"
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
+               "      [--listen=PORT [--quota=N]]\n"
                "    stdin: vertex-name queries; !reload <path> hot-swaps "
                "the model; !info prints provenance\n"
+               "    --listen additionally serves the framed TCP protocol "
+               "on 127.0.0.1:PORT (see hypermine_client)\n"
                "  hypermine_serve --make-demo --out=a.snap "
                "[--variant-out=b.snap]\n"
                "  hypermine_serve --selftest [--threads=N]\n");
