@@ -3,11 +3,21 @@
 // framing, syscalls, name resolution both ways — cost relative to the
 // engine ceiling? Emits BENCH_net.json for the perf trajectory.
 //
+// The --idle-connections=N mode is the multiplexing proof: N idle,
+// never-written clients (N ≫ the server's worker pool) are held open
+// while the full-rate pipelined measurement runs again; an event-loop
+// server should sustain ≈ the no-idle qps, where a thread-per-connection
+// server could not even accept them.
+//
 //   ./bench_net_throughput [--vertices=2000] [--edges=50000]
 //       [--queries=20000] [--clients=4] [--pipeline=64] [--threads=4]
+//       [--server-threads=4] [--idle-connections=0]
 //       [--out=BENCH_net.json] [--smoke]
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -77,6 +87,17 @@ struct NetStats {
   uint64_t answered = 0;
 };
 
+/// Lifts the open-descriptor soft limit toward the hard limit so
+/// --idle-connections can hold thousands of sockets (plus the server's
+/// side of each) on stock shells.
+void EnsureFdHeadroom(size_t wanted) {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= wanted) return;
+  limit.rlim_cur = std::min<rlim_t>(limit.rlim_max, wanted);
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
 NetStats NetQps(uint16_t port, const std::vector<api::QueryRequest>& requests,
                 size_t num_clients, size_t pipeline) {
   std::vector<std::vector<double>> round_ms(num_clients);
@@ -136,11 +157,19 @@ int Main(int argc, char** argv) {
   const size_t num_clients = positive("clients", 4);
   const size_t pipeline = positive("pipeline", 64);
   const size_t threads = positive("threads", 4);
+  // The server's batch-execution pool. Deliberately small (≤ 8 in the
+  // recorded runs): the whole point of the event loop is that
+  // connections, idle or not, do not consume workers.
+  const size_t server_threads = positive("server-threads", 4);
+  const int64_t idle_connections_flag = flags.GetInt("idle-connections", 0);
+  HM_CHECK_GE(idle_connections_flag, 0);
+  const size_t idle_connections = static_cast<size_t>(idle_connections_flag);
   const std::string out_path = flags.GetString("out", "BENCH_net.json");
 
   std::printf("bench_net_throughput: %zu vertices, %zu edges, %zu queries "
-              "(%zu clients x pipeline %zu)\n",
-              vertices, edges, num_queries, num_clients, pipeline);
+              "(%zu clients x pipeline %zu, server pool %zu, %zu idle)\n",
+              vertices, edges, num_queries, num_clients, pipeline,
+              server_threads, idle_connections);
 
   core::DirectedHypergraph graph =
       serve::RandomServeGraph(vertices, edges, 42);
@@ -161,10 +190,51 @@ int Main(int argc, char** argv) {
 
   net::ServerOptions server_options;
   server_options.max_batch = pipeline;
+  server_options.num_threads = server_threads;
+  server_options.max_connections =
+      std::max<size_t>(4096, idle_connections + num_clients + 64);
+  EnsureFdHeadroom(2 * (idle_connections + num_clients) + 64);
   auto server = net::Server::Start(&engine, server_options);
   HM_CHECK_OK(server.status());
+
+  // Pass 1: pipelined traffic alone — the multiplexing baseline.
   NetStats net = NetQps((*server)->port(), requests, num_clients, pipeline);
   HM_CHECK_EQ(net.answered, num_queries);  // zero dropped over the wire
+
+  // Pass 2 (--idle-connections=N): the same traffic with N idle clients
+  // parked on the same reactor. None of them is ever written to; all of
+  // them must still be connected afterwards.
+  NetStats idle_net;
+  double idle_ratio = 0.0;
+  if (idle_connections > 0) {
+    std::vector<net::Socket> parked;
+    parked.reserve(idle_connections);
+    for (size_t i = 0; i < idle_connections; ++i) {
+      auto socket =
+          net::Socket::Connect("127.0.0.1", (*server)->port(), 2000);
+      HM_CHECK_OK(socket.status());
+      parked.push_back(std::move(*socket));
+    }
+    // connect() returning only proves the kernel queued the socket; wait
+    // until the reactor has actually accepted all of them so the idle
+    // pass measures steady-state coexistence, not accept-storm overlap.
+    for (int spin = 0; spin < 1000; ++spin) {
+      if ((*server)->stats().connections_accepted >=
+          num_clients + idle_connections) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    idle_net = NetQps((*server)->port(), requests, num_clients, pipeline);
+    HM_CHECK_EQ(idle_net.answered, num_queries);
+    idle_ratio = net.qps > 0 ? idle_net.qps / net.qps : 0.0;
+    // Still connected: a poll on each parked socket must see silence,
+    // not a hangup (the reactor never reaped or starved them).
+    for (net::Socket& socket : parked) {
+      HM_CHECK(!socket.Readable(0));
+    }
+  }
+
   net::ServerStats server_stats = (*server)->stats();
   (*server)->Stop();
 
@@ -176,6 +246,12 @@ int Main(int argc, char** argv) {
               "-", "-");
   std::printf("%-22s %12.0f %10.3f %10.3f\n", "over TCP loopback", net.qps,
               net.p50_ms, net.p99_ms);
+  if (idle_connections > 0) {
+    std::printf("%-22s %12.0f %10.3f %10.3f   (%.1f%% of no-idle qps)\n",
+                StrFormat("+ %zu idle conns", idle_connections).c_str(),
+                idle_net.qps, idle_net.p50_ms, idle_net.p99_ms,
+                100.0 * idle_ratio);
+  }
   std::printf("wire cost: %.2fx engine qps; server saw %llu batches for "
               "%llu queries (avg coalesce %.1f)\n",
               wire_cost,
@@ -186,6 +262,15 @@ int Main(int argc, char** argv) {
                         static_cast<double>(server_stats.batches)
                   : 0.0);
 
+  std::string idle_json = "null";
+  if (idle_connections > 0) {
+    idle_json = StrFormat(
+        "{\"connections\": %zu, \"qps\": %.1f, \"p50_round_ms\": %.3f, "
+        "\"p99_round_ms\": %.3f, \"answered\": %llu, "
+        "\"ratio_vs_no_idle\": %.3f}",
+        idle_connections, idle_net.qps, idle_net.p50_ms, idle_net.p99_ms,
+        static_cast<unsigned long long>(idle_net.answered), idle_ratio);
+  }
   std::string json = StrFormat(
       "{\n"
       "  \"bench\": \"net_throughput\",\n"
@@ -196,17 +281,20 @@ int Main(int argc, char** argv) {
       "  \"queries\": %zu,\n"
       "  \"clients\": %zu,\n"
       "  \"pipeline\": %zu,\n"
+      "  \"server_threads\": %zu,\n"
       "  \"hardware_threads\": %u,\n"
       "  \"in_process\": {\"qps\": %.1f},\n"
       "  \"net\": {\"qps\": %.1f, \"p50_round_ms\": %.3f, "
       "\"p99_round_ms\": %.3f, \"answered\": %llu, \"dropped\": 0},\n"
+      "  \"idle\": %s,\n"
       "  \"server\": {\"batches\": %llu, \"avg_coalesce\": %.2f},\n"
       "  \"wire_cost_factor\": %.3f\n"
       "}\n",
       bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
-      num_clients, pipeline, std::thread::hardware_concurrency(),
+      num_clients, pipeline, server_threads,
+      std::thread::hardware_concurrency(),
       inproc_qps, net.qps, net.p50_ms, net.p99_ms,
-      static_cast<unsigned long long>(net.answered),
+      static_cast<unsigned long long>(net.answered), idle_json.c_str(),
       static_cast<unsigned long long>(server_stats.batches),
       server_stats.batches > 0
           ? static_cast<double>(server_stats.queries_answered) /

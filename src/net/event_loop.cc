@@ -1,0 +1,311 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "util/string_util.h"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define HYPERMINE_HAVE_EPOLL 1
+#else
+#include <fcntl.h>
+#define HYPERMINE_HAVE_EPOLL 0
+#endif
+
+namespace hypermine::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+/// Internal tag for the wakeup descriptor; never surfaced as an Event.
+constexpr uint64_t kWakeupTag = ~uint64_t{0};
+
+}  // namespace
+
+StatusOr<EventLoop> EventLoop::Create() {
+#if HYPERMINE_HAVE_EPOLL
+  return Create(Backend::kEpoll);
+#else
+  return Create(Backend::kPoll);
+#endif
+}
+
+StatusOr<EventLoop> EventLoop::Create(Backend backend) {
+  EventLoop loop;
+  loop.backend_ = backend;
+
+#if HYPERMINE_HAVE_EPOLL
+  // eventfd: one fd serves as both ends of the wakeup channel and a read
+  // drains every pending wakeup at once.
+  int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd < 0) return Errno("eventfd");
+  loop.wake_read_fd_ = efd;
+  loop.wake_write_fd_ = efd;
+#else
+  if (backend == Backend::kEpoll) {
+    return Status::Unimplemented("epoll is not available on this platform");
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return Errno("pipe");
+  ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(pipe_fds[1], F_SETFL, O_NONBLOCK);
+  loop.wake_read_fd_ = pipe_fds[0];
+  loop.wake_write_fd_ = pipe_fds[1];
+#endif
+
+#if HYPERMINE_HAVE_EPOLL
+  if (backend == Backend::kEpoll) {
+    loop.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop.epoll_fd_ < 0) {
+      Status status = Errno("epoll_create1");
+      loop.CloseAll();
+      return status;
+    }
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeupTag;
+    if (::epoll_ctl(loop.epoll_fd_, EPOLL_CTL_ADD, loop.wake_read_fd_,
+                    &ev) != 0) {
+      Status status = Errno("epoll_ctl(wakeup)");
+      loop.CloseAll();
+      return status;
+    }
+  }
+#endif
+  return loop;
+}
+
+EventLoop::EventLoop(EventLoop&& other) noexcept
+    : backend_(other.backend_),
+      epoll_fd_(std::exchange(other.epoll_fd_, -1)),
+      wake_read_fd_(std::exchange(other.wake_read_fd_, -1)),
+      wake_write_fd_(std::exchange(other.wake_write_fd_, -1)),
+      fds_(std::move(other.fds_)),
+      timers_(std::move(other.timers_)) {}
+
+EventLoop& EventLoop::operator=(EventLoop&& other) noexcept {
+  if (this != &other) {
+    CloseAll();
+    backend_ = other.backend_;
+    epoll_fd_ = std::exchange(other.epoll_fd_, -1);
+    wake_read_fd_ = std::exchange(other.wake_read_fd_, -1);
+    wake_write_fd_ = std::exchange(other.wake_write_fd_, -1);
+    fds_ = std::move(other.fds_);
+    timers_ = std::move(other.timers_);
+  }
+  return *this;
+}
+
+EventLoop::~EventLoop() { CloseAll(); }
+
+void EventLoop::CloseAll() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_read_fd_) {
+    ::close(wake_write_fd_);
+  }
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+}
+
+Status EventLoop::Add(int fd, uint64_t tag, bool read, bool write) {
+  if (fd < 0) return Status::InvalidArgument("EventLoop::Add: bad fd");
+  if (tag == kWakeupTag) {
+    return Status::InvalidArgument("EventLoop::Add: reserved tag");
+  }
+  if (fds_.count(fd) != 0) {
+    return Status::AlreadyExists(
+        StrFormat("fd %d is already registered", fd));
+  }
+#if HYPERMINE_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(add)");
+    }
+  }
+#endif
+  fds_[fd] = Registration{tag, read, write};
+  return Status::OK();
+}
+
+Status EventLoop::Update(int fd, uint64_t tag, bool read, bool write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::NotFound(StrFormat("fd %d is not registered", fd));
+  }
+#if HYPERMINE_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(mod)");
+    }
+  }
+#endif
+  it->second = Registration{tag, read, write};
+  return Status::OK();
+}
+
+Status EventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::NotFound(StrFormat("fd %d is not registered", fd));
+  }
+#if HYPERMINE_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};  // ignored by DEL; non-null for old kernels
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev) != 0) {
+      return Errno("epoll_ctl(del)");
+    }
+  }
+#endif
+  fds_.erase(it);
+  return Status::OK();
+}
+
+void EventLoop::AddTimer(uint64_t tag, int interval_ms) {
+  const auto interval = std::chrono::milliseconds(std::max(1, interval_ms));
+  timers_[tag] =
+      Timer{std::chrono::steady_clock::now() + interval, interval};
+}
+
+void EventLoop::CancelTimer(uint64_t tag) { timers_.erase(tag); }
+
+int EventLoop::EffectiveTimeout(int timeout_ms) const {
+  if (timers_.empty()) return timeout_ms;
+  const auto now = std::chrono::steady_clock::now();
+  int64_t nearest = std::numeric_limits<int64_t>::max();
+  for (const auto& [tag, timer] : timers_) {
+    const int64_t ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(timer.deadline -
+                                                              now)
+            .count();
+    nearest = std::min(nearest, std::max<int64_t>(0, ms));
+  }
+  // +1 so the wait lands just past the deadline, not a hair before it.
+  nearest = std::min<int64_t>(nearest + 1,
+                              std::numeric_limits<int>::max());
+  if (timeout_ms < 0) return static_cast<int>(nearest);
+  return static_cast<int>(std::min<int64_t>(nearest, timeout_ms));
+}
+
+size_t EventLoop::FireTimers(std::vector<Event>* out) {
+  const auto now = std::chrono::steady_clock::now();
+  size_t fired = 0;
+  for (auto& [tag, timer] : timers_) {
+    if (timer.deadline > now) continue;
+    Event event;
+    event.tag = tag;
+    event.timer = true;
+    out->push_back(event);
+    ++fired;
+    // Re-arm from *now*, not from the old deadline: a loop that stalled
+    // for many intervals gets one catch-up fire, not a burst.
+    timer.deadline = now + timer.interval;
+  }
+  return fired;
+}
+
+void EventLoop::DrainWakeup() {
+  // eventfd needs one 8-byte read; the pipe may hold one byte per missed
+  // Wakeup. Loop until EAGAIN either way.
+  char buffer[64];
+  while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+StatusOr<size_t> EventLoop::Wait(int timeout_ms, std::vector<Event>* out) {
+  const int wait_ms = EffectiveTimeout(timeout_ms);
+  size_t appended = 0;
+
+#if HYPERMINE_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event events[64];
+    int n = ::epoll_wait(epoll_fd_, events, 64, wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) return FireTimers(out);
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.u64 == kWakeupTag) {
+        DrainWakeup();
+        continue;
+      }
+      Event event;
+      event.tag = events[i].data.u64;
+      event.readable = (events[i].events & EPOLLIN) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(event);
+      ++appended;
+    }
+    return appended + FireTimers(out);
+  }
+#endif
+
+  std::vector<struct pollfd> pollfds;
+  pollfds.reserve(fds_.size() + 1);
+  {
+    struct pollfd wake = {};
+    wake.fd = wake_read_fd_;
+    wake.events = POLLIN;
+    pollfds.push_back(wake);
+  }
+  // Iteration order over the map is arbitrary but stable within one Wait:
+  // pollfds[i + 1] corresponds to the i-th registration visited below.
+  std::vector<uint64_t> tags;
+  tags.reserve(fds_.size());
+  for (const auto& [fd, reg] : fds_) {
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = static_cast<short>((reg.read ? POLLIN : 0) |
+                                    (reg.write ? POLLOUT : 0));
+    pollfds.push_back(pfd);
+    tags.push_back(reg.tag);
+  }
+  int n = ::poll(pollfds.data(), pollfds.size(), wait_ms);
+  if (n < 0) {
+    if (errno == EINTR) return FireTimers(out);
+    return Errno("poll");
+  }
+  if ((pollfds[0].revents & POLLIN) != 0) DrainWakeup();
+  for (size_t i = 1; i < pollfds.size(); ++i) {
+    const short revents = pollfds[i].revents;
+    if (revents == 0) continue;
+    Event event;
+    event.tag = tags[i - 1];
+    event.readable = (revents & POLLIN) != 0;
+    event.writable = (revents & POLLOUT) != 0;
+    event.hangup = (revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out->push_back(event);
+    ++appended;
+  }
+  return appended + FireTimers(out);
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // A full pipe/eventfd already guarantees the sleeper will wake; EAGAIN
+  // is success, and there is nothing useful to do about other errors.
+  ssize_t ignored = ::write(wake_write_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace hypermine::net

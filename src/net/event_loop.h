@@ -1,0 +1,122 @@
+#ifndef HYPERMINE_NET_EVENT_LOOP_H_
+#define HYPERMINE_NET_EVENT_LOOP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypermine::net {
+
+/// Readiness multiplexer for the reactor thread: registered descriptors,
+/// periodic timers, and a cross-thread wakeup, multiplexed through one
+/// blocking Wait() call. Backed by epoll where available (Linux) and by
+/// poll() everywhere else; the backend is also selectable at construction
+/// so the poll path stays unit-tested on Linux rather than rotting as a
+/// "portability" branch nobody runs.
+///
+/// Thread-safety: everything is single-threaded (the reactor owns the
+/// loop) EXCEPT Wakeup(), which may be called from any thread to unblock
+/// a concurrent Wait().
+class EventLoop {
+ public:
+  /// What Wait() observed for one registered descriptor or timer.
+  struct Event {
+    /// The tag given at Add/AddTimer time — the loop never interprets it.
+    uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    /// EPOLLHUP/EPOLLERR (or poll equivalents): the descriptor is dead or
+    /// half-dead; a read will resolve it to EOF or an errno.
+    bool hangup = false;
+    /// A periodic timer with this tag fired (possibly multiple intervals
+    /// late under load; fires once per Wait regardless).
+    bool timer = false;
+  };
+
+  enum class Backend { kEpoll, kPoll };
+
+  /// Picks epoll when the platform has it, poll otherwise.
+  static StatusOr<EventLoop> Create();
+  /// Forces a backend (tests exercise kPoll on Linux). kUnimplemented
+  /// when the backend does not exist on this platform.
+  static StatusOr<EventLoop> Create(Backend backend);
+
+  EventLoop(EventLoop&& other) noexcept;
+  EventLoop& operator=(EventLoop&& other) noexcept;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
+  Backend backend() const { return backend_; }
+
+  /// Registers `fd` with the given interest set. One registration per fd;
+  /// kAlreadyExists when it is already registered.
+  Status Add(int fd, uint64_t tag, bool read, bool write);
+
+  /// Changes the interest set (and tag) of a registered fd. No-op cost
+  /// when the interest did not change is the caller's business — the loop
+  /// always issues the update.
+  Status Update(int fd, uint64_t tag, bool read, bool write);
+
+  /// Deregisters `fd`. Must be called BEFORE closing the descriptor on
+  /// the poll backend (epoll would forget it on close; poll would spin on
+  /// a bad fd).
+  Status Remove(int fd);
+
+  /// Registers a periodic timer that fires every `interval_ms`
+  /// (starting one interval from now), reported as Event{tag, timer=true}.
+  /// A timer tag is an independent namespace from fd tags. Re-adding an
+  /// existing tag resets its phase and interval.
+  void AddTimer(uint64_t tag, int interval_ms);
+  void CancelTimer(uint64_t tag);
+
+  /// Blocks until at least one registered fd is ready, a timer expires,
+  /// Wakeup() is called, or `timeout_ms` elapses (-1 = no timeout).
+  /// Appends events to `*out` (not cleared) and returns how many were
+  /// appended; 0 means the wait timed out or was woken without events.
+  StatusOr<size_t> Wait(int timeout_ms, std::vector<Event>* out);
+
+  /// Unblocks a concurrent Wait(). Callable from any thread; sticky
+  /// (a wakeup before Wait makes the next Wait return immediately).
+  void Wakeup();
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::milliseconds interval{0};
+  };
+  struct Registration {
+    uint64_t tag = 0;
+    bool read = false;
+    bool write = false;
+  };
+
+  EventLoop() = default;
+
+  /// Milliseconds until the nearest timer, clamped into [0, timeout_ms]
+  /// (timeout_ms = -1 means only timers bound the wait).
+  int EffectiveTimeout(int timeout_ms) const;
+  /// Moves expired timers into `out`, re-arming each.
+  size_t FireTimers(std::vector<Event>* out);
+  void DrainWakeup();
+  void CloseAll();
+
+  Backend backend_ = Backend::kPoll;
+  int epoll_fd_ = -1;
+  /// Wakeup channel: eventfd on Linux (read == write end), a pipe
+  /// elsewhere.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  /// All registrations, keyed by fd — the poll backend builds its pollfd
+  /// array from this; the epoll backend uses it to validate Add/Update/
+  /// Remove and to carry tags.
+  std::unordered_map<int, Registration> fds_;
+  std::unordered_map<uint64_t, Timer> timers_;
+};
+
+}  // namespace hypermine::net
+
+#endif  // HYPERMINE_NET_EVENT_LOOP_H_

@@ -224,15 +224,4 @@ Status ReadFrame(Socket* socket, FrameHeader* header, std::string* body,
   return Status::OK();
 }
 
-Status DiscardBody(Socket* socket, uint32_t len) {
-  char scratch[4096];
-  while (len > 0) {
-    const uint32_t chunk =
-        std::min<uint32_t>(len, static_cast<uint32_t>(sizeof(scratch)));
-    HM_RETURN_IF_ERROR(socket->ReadFull(scratch, chunk));
-    len -= chunk;
-  }
-  return Status::OK();
-}
-
 }  // namespace hypermine::net

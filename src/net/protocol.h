@@ -118,10 +118,6 @@ Status DecodeResponseBody(std::string_view body, WireResponse* response);
 Status ReadFrame(Socket* socket, FrameHeader* header, std::string* body,
                  uint32_t max_body = kMaxBodyBytes);
 
-/// Reads and discards `len` body bytes — resynchronizes the stream after
-/// a frame whose body the caller refuses to materialize.
-Status DiscardBody(Socket* socket, uint32_t len);
-
 }  // namespace hypermine::net
 
 #endif  // HYPERMINE_NET_PROTOCOL_H_

@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -10,17 +12,13 @@
 #include "util/string_util.h"
 
 namespace hypermine::net {
-
-/// One frame read off a connection, waiting for its batch. `pre` non-OK
-/// means admission already rejected it (e.g. oversized body, which was
-/// skipped, not materialized) and the engine never sees it.
-struct Server::PendingFrame {
-  FrameHeader header;
-  std::string body;
-  Status pre;
-};
-
 namespace {
+
+/// Event-loop tags. Connection ids start at 1, so the listener owns 0;
+/// timers live in their own tag namespace.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kReapTimerTag = 1;
+constexpr uint64_t kAcceptRetryTimerTag = 2;
 
 WireResponse ErrorResponse(const Status& status) {
   WireResponse response;
@@ -60,52 +58,88 @@ WireResponse ToWire(const StatusOr<api::QueryResponse>& result,
 
 }  // namespace
 
+/// Per-connection reactor state. The `machine` (framing + write queue),
+/// the flags, and `last_activity` belong to the reactor thread alone.
+/// `served` is written only by the pool worker running this connection's
+/// single in-flight batch; the completion-queue mutex and the pool's task
+/// queue order batch N's write before batch N+1's read.
+struct Server::Conn {
+  uint64_t id = 0;
+  Socket socket;
+  Connection machine;
+  uint64_t served = 0;
+
+  bool batch_in_flight = false;
+  /// A transport error or full hangup: close without flushing.
+  bool dead = false;
+  /// Set by the reactor when it drops the connection, so a completion
+  /// that arrives later knows its bytes have nowhere to go.
+  bool closed = false;
+  bool want_read = true;
+  bool want_write = false;
+  std::chrono::steady_clock::time_point last_activity;
+
+  explicit Conn(Connection::Options options) : machine(options) {}
+};
+
+struct Server::Completion {
+  std::shared_ptr<Conn> conn;
+  std::string bytes;
+  size_t admitted = 0;
+  uint64_t rejected = 0;
+};
+
 StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
                                                 ServerOptions options) {
   HM_CHECK(engine != nullptr);
   if (options.max_batch == 0) {
     return Status::InvalidArgument("ServerOptions::max_batch must be >= 1");
   }
+  if (options.max_connections == 0) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_connections must be >= 1");
+  }
   if (options.max_query_bytes > kMaxBodyBytes) {
     return Status::InvalidArgument(
         "ServerOptions::max_query_bytes exceeds the protocol cap");
   }
-  if (options.pool != nullptr &&
-      options.pool->num_threads() < options.max_connections) {
-    // Each live connection occupies one worker for its lifetime; with
-    // fewer workers than allowed connections, accepted clients would
-    // hang unanswered — the opposite of "reject rather than stall".
+  if (options.idle_timeout_ms < 0) {
     return Status::InvalidArgument(
-        "ServerOptions::pool has fewer threads than max_connections; "
-        "late connections would stall instead of being rejected");
+        "ServerOptions::idle_timeout_ms must be >= 0");
   }
   HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
+  HM_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  HM_ASSIGN_OR_RETURN(EventLoop loop, EventLoop::Create());
+  HM_RETURN_IF_ERROR(loop.Add(listener.fd(), kListenerTag, /*read=*/true,
+                              /*write=*/false));
+  if (options.idle_timeout_ms > 0) {
+    loop.AddTimer(kReapTimerTag,
+                  std::max(10, options.idle_timeout_ms / 2));
+  }
   // Not make_unique: the constructor is private.
   std::unique_ptr<Server> server(
-      new Server(engine, options, std::move(listener)));
-  server->accept_thread_ = std::thread([s = server.get()] {
-    s->AcceptLoop();
+      new Server(engine, options, std::move(listener), std::move(loop)));
+  server->reactor_thread_ = std::thread([s = server.get()] {
+    s->ReactorLoop();
   });
   return server;
 }
 
-Server::Server(api::Engine* engine, ServerOptions options, Listener listener)
+Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
+               EventLoop loop)
     : engine_(engine),
       options_(options),
-      listener_(std::move(listener)) {
+      listener_(std::move(listener)),
+      loop_(std::move(loop)),
+      read_scratch_(64u << 10) {
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
-    // Floor at max_connections: every admissible connection must be able
-    // to hold a worker concurrently, or accepted clients would stall
-    // (Start rejects undersized *shared* pools for the same reason).
-    // Workers beyond the live connection count just sleep on the queue.
     const size_t requested =
         options_.num_threads != 0
             ? options_.num_threads
             : std::max<size_t>(4, ThreadPool::HardwareThreads());
-    owned_pool_ = std::make_unique<ThreadPool>(
-        std::max(requested, options_.max_connections));
+    owned_pool_ = std::make_unique<ThreadPool>(requested);
     pool_ = owned_pool_.get();
   }
 }
@@ -113,17 +147,42 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener)
 Server::~Server() { Stop(); }
 
 void Server::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   stopping_.store(true);
-  listener_.Shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
+  loop_.Wakeup();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  // Engine batches already handed to the pool finish (their results are
+  // the clients' property until the sockets actually close); the reactor
+  // is gone, so their completions pile up here instead of being
+  // delivered.
+  std::vector<Completion> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Wakes handlers blocked in ReadFrame; their next read fails and the
-    // handler unregisters itself. Handlers mid-batch finish writing first.
-    for (auto& [id, socket] : live_) socket->Shutdown();
+    std::unique_lock<std::mutex> lock(completion_mutex_);
+    outstanding_cv_.wait(lock, [this] { return outstanding_batches_ == 0; });
+    leftovers.swap(completions_);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  for (Completion& done : leftovers) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.batches;
+      stats_.queries_answered += done.admitted;
+      stats_.queries_rejected += done.rejected;
+    }
+    if (!done.conn->closed) done.conn->machine.QueueWrite(std::move(done.bytes));
+  }
+  // One best-effort nonblocking flush so a reading client gets the
+  // responses that were finished when Stop hit; a stalled client gets a
+  // close instead of an unbounded wait.
+  for (auto& [id, conn] : conns_) {
+    while (conn->machine.wants_write()) {
+      std::string_view head = conn->machine.write_head();
+      Socket::IoResult io = conn->socket.WriteSome(head.data(), head.size());
+      if (io.bytes == 0) break;
+      conn->machine.ConsumeWrite(io.bytes);
+    }
+    conn->closed = true;
+  }
+  conns_.clear();  // closes every descriptor still owned here
   listener_.Close();
 }
 
@@ -132,88 +191,264 @@ ServerStats Server::stats() const {
   return stats_;
 }
 
-void Server::AcceptLoop() {
+void Server::ReactorLoop() {
+  std::vector<EventLoop::Event> events;
   while (!stopping_.load()) {
-    // Poll rather than block: shutdown() does not reliably wake accept()
-    // on Linux, so Stop() is observed through the flag within ~100 ms.
-    if (!listener_.AcceptReady(/*timeout_ms=*/100)) continue;
+    events.clear();
+    // The 1 s ceiling is belt and braces — Stop's Wakeup() (sticky, see
+    // EventLoop::Wakeup) is what actually bounds shutdown latency.
+    StatusOr<size_t> waited = loop_.Wait(/*timeout_ms=*/1000, &events);
+    if (!waited.ok()) {
+      // A dead reactor must not look like a healthy server: stop
+      // accepting (handshakes would otherwise keep completing into the
+      // backlog) and reset every live socket so clients fail fast
+      // instead of hanging on responses nobody will ever write.
+      HM_LOG_ERROR << "reactor wait failed, shutting down: "
+                   << waited.status().ToString();
+      stopping_.store(true);
+      listener_.Shutdown();
+      for (auto& [id, conn] : conns_) conn->socket.Shutdown();
+      break;
+    }
+    if (stopping_.load()) break;
+    DrainCompletions();
+    for (const EventLoop::Event& event : events) {
+      if (event.timer) {
+        if (event.tag == kReapTimerTag) {
+          ReapIdle();
+        } else if (event.tag == kAcceptRetryTimerTag) {
+          // Descriptor pressure may have passed; listen again.
+          loop_.CancelTimer(kAcceptRetryTimerTag);
+          (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/true,
+                             /*write=*/false);
+          AcceptPending();
+        }
+        continue;
+      }
+      if (event.tag == kListenerTag) {
+        AcceptPending();
+        continue;
+      }
+      HandleConnEvent(event);
+    }
+  }
+  // Leave conns_ and the completion queue for Stop(): it joins this
+  // thread first, so it owns them from here on.
+}
+
+void Server::AcceptPending() {
+  while (!stopping_.load()) {
     StatusOr<Socket> accepted = listener_.Accept();
     if (!accepted.ok()) {
-      // FailedPrecondition is the Shutdown() wake-up; anything else
-      // (EMFILE, transient network failure) should not kill the server.
-      if (stopping_.load() ||
-          accepted.status().code() == StatusCode::kFailedPrecondition) {
-        return;
+      if (Listener::WouldBlock(accepted.status())) return;
+      if (accepted.status().code() == StatusCode::kFailedPrecondition) {
+        return;  // concurrent shutdown
       }
+      // EMFILE or a transient network failure. The pending connection
+      // stays in the backlog, so a level-triggered loop would spin on it;
+      // mute the listener and retry on a timer instead.
+      HM_LOG_WARNING << "accept failed: " << accepted.status().ToString()
+                     << "; retrying in 100 ms";
+      (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/false,
+                         /*write=*/false);
+      loop_.AddTimer(kAcceptRetryTimerTag, 100);
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.connections_rejected;
+      continue;  // socket closes as `accepted` dies
+    }
+    if (!accepted->SetNonBlocking(true).ok()) continue;
+
+    Connection::Options machine_options;
+    machine_options.max_frame_bytes = options_.max_query_bytes;
+    machine_options.write_high_water = options_.write_high_water;
+    auto conn = std::make_shared<Conn>(machine_options);
+    conn->id = next_connection_id_++;
+    conn->socket = std::move(*accepted);
+    conn->last_activity = std::chrono::steady_clock::now();
+    Status added = loop_.Add(conn->socket.fd(), conn->id, /*read=*/true,
+                             /*write=*/false);
+    if (!added.ok()) {
+      HM_LOG_ERROR << "cannot register connection: " << added.ToString();
       continue;
     }
-    auto socket = std::make_shared<Socket>(std::move(*accepted));
-    uint64_t id = 0;
+    conns_.emplace(conn->id, conn);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Server::HandleConnEvent(const EventLoop::Event& event) {
+  auto it = conns_.find(event.tag);
+  if (it == conns_.end()) return;  // closed earlier this same wait round
+  Conn* conn = it->second.get();
+  if (event.readable) ReadFromConn(conn);
+  if (event.writable) FlushWrites(conn);
+  if (event.hangup && !event.readable && !event.writable) {
+    // Full hangup with nothing to transfer: the socket is dead, and with
+    // no interest bits set a level-triggered loop would report it
+    // forever. Resolve it now.
+    conn->dead = true;
+  }
+  AfterEvent(conn);
+}
+
+void Server::ReadFromConn(Conn* conn) {
+  while (conn->machine.wants_read()) {
+    Socket::IoResult io =
+        conn->socket.ReadSome(read_scratch_.data(), read_scratch_.size());
+    if (io.bytes > 0) {
+      conn->machine.Ingest(
+          std::string_view(read_scratch_.data(), io.bytes));
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (io.would_block) return;
+    if (io.closed) {
+      conn->machine.OnPeerClosed();
+      return;
+    }
+    // Transport error: nothing can be read or written reliably anymore.
+    conn->dead = true;
+    return;
+  }
+}
+
+void Server::FlushWrites(Conn* conn) {
+  while (conn->machine.wants_write()) {
+    std::string_view head = conn->machine.write_head();
+    Socket::IoResult io = conn->socket.WriteSome(head.data(), head.size());
+    if (io.bytes > 0) {
+      conn->machine.ConsumeWrite(io.bytes);
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (io.would_block) return;
+    conn->dead = true;
+    return;
+  }
+}
+
+void Server::AfterEvent(Conn* conn) {
+  if (conn->closed) return;
+  if (conn->dead) {
+    CloseConn(conn);
+    return;
+  }
+  if (!conn->batch_in_flight && conn->machine.pending_frames() > 0 &&
+      !stopping_.load()) {
+    SubmitBatch(conn);
+  }
+  const bool stream_over =
+      conn->machine.corrupt() || conn->machine.peer_closed();
+  if (stream_over && !conn->batch_in_flight &&
+      conn->machine.pending_frames() == 0 &&
+      !conn->machine.wants_write()) {
+    // Decoded frames were answered and flushed; nothing more can arrive.
+    CloseConn(conn);
+    return;
+  }
+  const bool want_read = conn->machine.wants_read();
+  const bool want_write = conn->machine.wants_write();
+  if (want_read != conn->want_read || want_write != conn->want_write) {
+    conn->want_read = want_read;
+    conn->want_write = want_write;
+    (void)loop_.Update(conn->socket.fd(), conn->id, want_read, want_write);
+  }
+}
+
+void Server::SubmitBatch(Conn* conn) {
+  std::vector<PendingFrame> frames =
+      conn->machine.TakeBatch(options_.max_batch);
+  conn->batch_in_flight = true;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    ++outstanding_batches_;
+  }
+  std::shared_ptr<Conn> shared = conns_.at(conn->id);
+  pool_->Submit(
+      [this, shared = std::move(shared), frames = std::move(frames)]() mutable {
+        ExecuteBatch(std::move(shared), std::move(frames));
+      });
+}
+
+void Server::CloseConn(Conn* conn) {
+  conn->closed = true;
+  (void)loop_.Remove(conn->socket.fd());
+  // The map's shared_ptr may be the last reference (closing the socket
+  // now) or an in-flight batch may briefly outlive it — either way the
+  // completion sees `closed` and discards its bytes.
+  conns_.erase(conn->id);
+}
+
+void Server::ReapIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<Conn*> idle;
+  for (auto& [id, conn] : conns_) {
+    if (conn->batch_in_flight || conn->machine.pending_frames() > 0 ||
+        conn->machine.wants_write()) {
+      continue;  // work in progress is not idleness
+    }
+    if (now - conn->last_activity >= timeout) idle.push_back(conn.get());
+  }
+  for (Conn* conn : idle) {
+    CloseConn(conn);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections_reaped;
+  }
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (active_connections_ >= options_.max_connections) {
-        ++stats_.connections_rejected;
-        continue;  // socket closes as the shared_ptr dies
-      }
-      ++stats_.connections_accepted;
-      ++active_connections_;
-      id = next_connection_id_++;
-      // Registered before the handler runs so Stop() can shut the socket
-      // down even while the task is still queued behind busy workers.
-      live_.emplace(id, socket.get());
+      ++stats_.batches;
+      stats_.queries_answered += completion.admitted;
+      stats_.queries_rejected += completion.rejected;
     }
-    pool_->Submit([this, socket, id] {
-      ServeConnection(socket.get());
-      std::lock_guard<std::mutex> lock(mutex_);
-      live_.erase(id);
-      --active_connections_;
-      idle_cv_.notify_all();
-    });
+    Conn* conn = completion.conn.get();
+    if (conn->closed) continue;  // dropped while the batch executed
+    conn->batch_in_flight = false;
+    conn->machine.QueueWrite(std::move(completion.bytes));
+    FlushWrites(conn);
+    AfterEvent(conn);
   }
 }
 
-void Server::ServeConnection(Socket* socket) {
-  uint64_t served = 0;
-  std::vector<PendingFrame> frames;
-  bool alive = true;
-  while (alive && !stopping_.load()) {
-    frames.clear();
-    // Reads one frame; 1 = got a frame (possibly pre-rejected), 0 = clean
-    // close, -1 = unrecoverable stream (drop after flushing the batch).
-    auto read_one = [this, socket, &frames]() -> int {
-      PendingFrame frame;
-      Status status = ReadFrame(socket, &frame.header, &frame.body,
-                                options_.max_query_bytes);
-      if (status.code() == StatusCode::kNotFound) return 0;
-      if (status.code() == StatusCode::kInvalidArgument) {
-        // Oversized body: the header is sound, so skip the body to keep
-        // the stream framed and reject just this request.
-        if (!DiscardBody(socket, frame.header.body_len).ok()) return -1;
-        frame.body.clear();
-        frame.pre = status;
-        frames.push_back(std::move(frame));
-        return 1;
-      }
-      if (!status.ok()) return -1;
-      frames.push_back(std::move(frame));
-      return 1;
-    };
-
-    int first = read_one();
-    if (first <= 0) break;
-    // Coalesce whatever has already arrived — pipelined clients get one
-    // engine batch instead of max_batch model acquisitions.
-    while (frames.size() < options_.max_batch && socket->Readable(0)) {
-      int more = read_one();
-      if (more < 0) alive = false;
-      if (more <= 0) break;
-    }
-    if (!HandleBatch(socket, &frames, &served)) break;
+void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
+                          std::vector<PendingFrame> frames) {
+  std::string out;
+  size_t admitted = 0;
+  uint64_t rejected = 0;
+  BuildResponses(&frames, &conn->served, &out, &admitted, &rejected);
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.push_back(
+        Completion{std::move(conn), std::move(out), admitted, rejected});
+  }
+  loop_.Wakeup();
+  // Last: once Stop() observes the decrement it may tear the server
+  // down, so the decrement and the notify both happen under the lock —
+  // Stop's predicate wait cannot return (and free the cv) until this
+  // task releases the mutex, after which it touches no member again.
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    --outstanding_batches_;
+    outstanding_cv_.notify_all();
   }
 }
 
-bool Server::HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
-                         uint64_t* served) {
+void Server::BuildResponses(std::vector<PendingFrame>* frames,
+                            uint64_t* served, std::string* out,
+                            size_t* admitted_out, uint64_t* rejected_out) {
   std::vector<WireResponse> responses(frames->size());
   std::vector<api::QueryRequest> admitted;
   std::vector<size_t> admitted_slot;
@@ -285,8 +520,7 @@ bool Server::HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
     }
   }
 
-  // Responses go back in request order, one contiguous write per batch.
-  std::string out;
+  // Responses go back in request order, one contiguous buffer per batch.
   for (size_t i = 0; i < frames->size(); ++i) {
     std::string encoded;
     Status status = EncodeResponseFrame((*frames)[i].header.request_id,
@@ -300,15 +534,10 @@ bool Server::HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
           ErrorResponse(Status::Internal("response exceeds wire limits")),
           &encoded));
     }
-    out += encoded;
+    *out += encoded;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.batches;
-    stats_.queries_answered += admitted.size();
-    stats_.queries_rejected += rejected;
-  }
-  return socket->WriteAll(out.data(), out.size()).ok();
+  *admitted_out = admitted.size();
+  *rejected_out = rejected;
 }
 
 }  // namespace hypermine::net

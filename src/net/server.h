@@ -8,8 +8,11 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "api/engine.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "util/status.h"
@@ -22,19 +25,18 @@ struct ServerOptions {
   /// Server::port() — tests and CI use this to avoid collisions).
   uint16_t port = 0;
   /// Concurrent connections; further accepts are closed immediately.
-  /// Liveness: each live connection occupies one worker slot. An owned
-  /// pool is sized to at least this value automatically; a *shared*
-  /// `pool` with fewer threads than this is rejected by Server::Start,
-  /// because accepted clients would stall unanswered.
-  size_t max_connections = 16;
-  /// Most frames coalesced into one api::Engine::QueryBatch. Requests
-  /// that have already arrived on a connection are drained into a single
-  /// batch; the first frame is read blocking, so an idle connection
-  /// costs nothing.
+  /// Independent of any pool size: connections are multiplexed on one
+  /// reactor thread, so an idle connection costs a descriptor and a
+  /// little state, not a worker — thousands are fine by default.
+  size_t max_connections = 4096;
+  /// Most frames coalesced into one api::Engine::QueryBatch. Frames that
+  /// arrive while a connection's previous batch is executing coalesce
+  /// into the next one, so pipelined clients get large batches without
+  /// the server ever waiting for more input.
   size_t max_batch = 64;
   /// Per-frame body limit (tighter than the protocol's kMaxBodyBytes).
   /// Oversized frames are rejected with kInvalidArgument but the body is
-  /// skipped, so the connection survives.
+  /// skipped as it streams in, so the connection survives.
   uint32_t max_query_bytes = 64u << 10;
   /// Per-connection lifetime query quota; queries past it are rejected
   /// with kResourceExhausted (the connection stays open — the client is
@@ -44,15 +46,27 @@ struct ServerOptions {
   /// connections. Excess queries are rejected with kResourceExhausted
   /// instead of queueing unboundedly. 0 = unlimited.
   size_t max_queue_depth = 4096;
-  /// Worker pool for connection handlers. MUST NOT be the pool the
-  /// engine runs QueryBatch chunks on: connection workers block inside
-  /// QueryBatch, and if they occupy every thread of the engine's pool the
-  /// chunk tasks can never run (deadlock). Leave null (the default) to
-  /// let the server own a private pool of `num_threads` workers.
+  /// Connections with no traffic for this long are closed by the
+  /// reactor's reap timer. 0 = never reap. A connection with an
+  /// executing batch, undelivered frames, or unflushed responses is
+  /// never considered idle.
+  int idle_timeout_ms = 0;
+  /// Response bytes queued per connection before the reactor stops
+  /// reading from it (EPOLLOUT backpressure): a client that stops
+  /// reading its responses stops being read from. 0 = no limit, like
+  /// the other 0-able knobs here (the kernel socket buffer still
+  /// pushes back on the wire, but the server-side queue can grow).
+  size_t write_high_water = 1u << 20;
+  /// Worker pool for engine batch execution (the ONLY thing workers do —
+  /// connections themselves live on the reactor). MUST NOT be the pool
+  /// the engine runs QueryBatch chunks on: batch tasks block inside
+  /// QueryBatch, and if they occupy every thread of the engine's pool
+  /// the chunk tasks can never run (deadlock). Leave null (the default)
+  /// to let the server own a private pool of `num_threads` workers. A
+  /// shared pool may be ANY size — unlike the old thread-per-connection
+  /// server, max_connections no longer implies a per-connection worker.
   ThreadPool* pool = nullptr;
   /// Owned-pool size when `pool` is null; 0 = max(4, hardware threads).
-  /// Either way the owned pool is floored at max_connections (see
-  /// there); extra workers cost only parked threads.
   size_t num_threads = 0;
 };
 
@@ -62,6 +76,8 @@ struct ServerStats {
   uint64_t connections_accepted = 0;
   /// Accepts closed because max_connections was reached.
   uint64_t connections_rejected = 0;
+  /// Connections closed by the idle-timeout reap timer.
+  uint64_t connections_reaped = 0;
   uint64_t batches = 0;
   /// Queries answered by the engine (including per-query errors such as
   /// unknown vertex names — the engine did run them).
@@ -71,22 +87,29 @@ struct ServerStats {
   uint64_t queries_rejected = 0;
 };
 
-/// TCP front-end over api::Engine: one listener thread accepting
-/// loopback connections, connection handlers on a util::ThreadPool, and
-/// the framed protocol of net/protocol.h on the wire.
+/// TCP front-end over api::Engine: an epoll (fallback: poll) event loop
+/// on ONE reactor thread owns the listener and every connection socket;
+/// a util::ThreadPool runs only engine batches. The framed protocol of
+/// net/protocol.h rides the wire unchanged from the thread-per-connection
+/// server this replaces.
 ///
-/// Each handler drains the frames already buffered on its connection into
-/// one engine batch (api::Engine::QueryBatch), so concurrently-arriving
-/// pipelined requests share the engine's per-batch model acquisition and
-/// pool fan-out. Responses are written back in request order, each echoing
-/// its request id.
+/// Reactor: nonblocking reads feed each connection's net::Connection
+/// state machine (read buffer → frame decode); complete frames are
+/// handed to a pool worker as one api::Engine::QueryBatch (at most one
+/// executing batch per connection, so responses stay in request order);
+/// encoded responses come back through a completion queue + eventfd
+/// wakeup and drain through a per-connection write queue under EPOLLOUT
+/// backpressure. Frames arriving while a batch executes coalesce into
+/// the next batch. Because idle connections cost no worker,
+/// `max_connections` is decoupled from pool size and defaults to
+/// thousands.
 ///
 /// Admission control rejects rather than stalls: per-connection quota,
 /// global queue depth, and per-frame size limits all answer with a status
 /// frame (kResourceExhausted / kInvalidArgument) while well-formed framing
 /// keeps the connection usable. Only unrecoverable streams (bad magic,
-/// truncated header, a body the server refused to even skip) drop the
-/// connection.
+/// truncated header, a close mid-frame) drop the connection — after the
+/// frames decoded before the violation are answered and flushed.
 ///
 /// Hot swap: the server holds only the Engine*, never a Model, so
 /// api::Engine::Swap under live connections is safe by construction —
@@ -99,7 +122,7 @@ struct ServerStats {
 /// outlive the Server.
 class Server {
  public:
-  /// Binds, spawns the listener, and returns a running server. The
+  /// Binds, spawns the reactor, and returns a running server. The
   /// engine pointer is borrowed. kIoError when the port cannot be bound;
   /// kInvalidArgument for out-of-range options.
   static StatusOr<std::unique_ptr<Server>> Start(api::Engine* engine,
@@ -113,38 +136,56 @@ class Server {
   /// The bound port (the real one when options.port was 0).
   uint16_t port() const { return listener_.port(); }
 
-  /// Stops accepting, shuts down live connections, and joins every
-  /// handler. Idempotent; safe to race with active traffic — clients see
-  /// a closed connection, never a half-written frame (handlers finish
-  /// the batch they are writing before exiting).
+  /// Stops accepting, joins the reactor, waits for in-flight engine
+  /// batches, makes one best-effort nonblocking flush of finished
+  /// responses, and closes every connection. Prompt even with thousands
+  /// of idle connections open (the reactor owns all of them; there is no
+  /// per-connection thread to unwind). Idempotent. The one sacrifice for
+  /// promptness: a client too slow to drain its responses may observe a
+  /// close mid-frame.
   void Stop();
 
   ServerStats stats() const;
 
  private:
-  /// One frame read off a connection, waiting for its batch (defined in
-  /// server.cc).
-  struct PendingFrame;
+  /// Per-connection reactor state (defined in server.cc).
+  struct Conn;
+  /// One finished engine batch on its way back to the reactor (defined
+  /// in server.cc).
+  struct Completion;
 
-  Server(api::Engine* engine, ServerOptions options, Listener listener);
+  Server(api::Engine* engine, ServerOptions options, Listener listener,
+         EventLoop loop);
 
-  void AcceptLoop();
-  /// Runs one connection to completion. `socket` stays owned by the
-  /// accept-side shared_ptr (and registered in live_) so Stop() can shut
-  /// down the real descriptor while this handler is blocked reading.
-  void ServeConnection(Socket* socket);
-  /// Handles one coalesced batch of frames; false when the connection
-  /// must be dropped (unrecoverable stream state). `served` counts
-  /// admitted queries across the connection's lifetime (quota input).
-  bool HandleBatch(Socket* socket, std::vector<PendingFrame>* frames,
-                   uint64_t* served);
+  void ReactorLoop();
+  void AcceptPending();
+  void HandleConnEvent(const EventLoop::Event& event);
+  void ReadFromConn(Conn* conn);
+  void FlushWrites(Conn* conn);
+  /// Submits a batch if one is ready, closes the connection if it is
+  /// finished, refreshes event-loop interest otherwise.
+  void AfterEvent(Conn* conn);
+  void SubmitBatch(Conn* conn);
+  void CloseConn(Conn* conn);
+  void ReapIdle();
+  /// Applies completed batches: stats, write queues, next batches.
+  void DrainCompletions();
+  /// Runs on a pool worker: admission + engine batch + response encode.
+  void ExecuteBatch(std::shared_ptr<Conn> conn,
+                    std::vector<PendingFrame> frames);
+  /// Admission checks and engine execution for one batch; appends the
+  /// encoded response frames to `*out`.
+  void BuildResponses(std::vector<PendingFrame>* frames, uint64_t* served,
+                      std::string* out, size_t* admitted_out,
+                      uint64_t* rejected_out);
 
   api::Engine* const engine_;
   const ServerOptions options_;
   Listener listener_;
-  std::thread accept_thread_;
+  EventLoop loop_;
+  std::thread reactor_thread_;
 
-  /// Owned handler pool when options.pool was null.
+  /// Owned batch-execution pool when options.pool was null.
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
 
@@ -152,14 +193,21 @@ class Server {
   /// Queries admitted but not yet answered, across all connections.
   std::atomic<size_t> in_flight_{0};
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
-  size_t active_connections_ = 0;
-  /// Live connection sockets by id, for Stop() to shut down blocked
-  /// readers. Entries are owned by their handler; the map only borrows.
-  std::unordered_map<uint64_t, Socket*> live_;
-  uint64_t next_connection_id_ = 0;
+  // --- reactor-thread state (touched by Stop only after the join) ---
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  uint64_t next_connection_id_ = 1;
+  std::vector<char> read_scratch_;
+
+  // --- cross-thread state ---
+  mutable std::mutex mutex_;  // guards stats_
   ServerStats stats_;
+
+  std::mutex completion_mutex_;  // guards completions_ + outstanding_
+  std::condition_variable outstanding_cv_;
+  std::vector<Completion> completions_;
+  size_t outstanding_batches_ = 0;
+
+  std::mutex stop_mutex_;  // serializes concurrent Stop calls
 };
 
 }  // namespace hypermine::net

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -84,6 +85,65 @@ StatusOr<Socket> Socket::Connect(const std::string& host, uint16_t port,
   }
   ::freeaddrinfo(addrs);
   return last;
+}
+
+namespace {
+
+Status SetFdNonBlocking(int fd, bool enable, const char* what) {
+  if (fd < 0) return Status::FailedPrecondition("invalid descriptor");
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno(what);
+  const int wanted = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0) {
+    return Errno(what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Socket::SetNonBlocking(bool enable) {
+  return SetFdNonBlocking(fd_, enable, "fcntl(socket)");
+}
+
+Socket::IoResult Socket::ReadSome(void* out, size_t len) {
+  IoResult result;
+  for (;;) {
+    ssize_t n = ::read(fd_, out, len);
+    if (n > 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.closed = len > 0;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.status = Errno("read");
+    return result;
+  }
+}
+
+Socket::IoResult Socket::WriteSome(const void* data, size_t len) {
+  IoResult result;
+  for (;;) {
+    ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.status = Errno("write");
+    return result;
+  }
 }
 
 Status Socket::ReadFull(void* out, size_t len) {
@@ -193,12 +253,8 @@ StatusOr<Listener> Listener::Bind(uint16_t port, int backlog) {
   return listener;
 }
 
-bool Listener::AcceptReady(int timeout_ms) const {
-  struct pollfd pfd = {};
-  pfd.fd = fd_;
-  pfd.events = POLLIN;
-  int rc = ::poll(&pfd, 1, timeout_ms);
-  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+Status Listener::SetNonBlocking(bool enable) {
+  return SetFdNonBlocking(fd_, enable, "fcntl(listener)");
 }
 
 StatusOr<Socket> Listener::Accept() {
@@ -210,12 +266,20 @@ StatusOr<Socket> Listener::Accept() {
       return Socket(fd);
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("no pending connection");
+    }
     // EINVAL/EBADF after a concurrent Shutdown is the clean-stop path.
     if (errno == EINVAL || errno == EBADF) {
       return Status::FailedPrecondition("listener is shut down");
     }
     return Errno("accept");
   }
+}
+
+bool Listener::WouldBlock(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message() == "no pending connection";
 }
 
 void Listener::Shutdown() {

@@ -37,6 +37,31 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// One nonblocking transfer attempt (used by the event-loop server;
+  /// the blocking Read/Write paths below are unaffected). Exactly one of
+  /// the fields describes the outcome.
+  struct IoResult {
+    /// Bytes transferred now (0 with everything else false only for
+    /// zero-length requests).
+    size_t bytes = 0;
+    /// EAGAIN/EWOULDBLOCK: nothing transferable; retry when the event
+    /// loop signals readiness.
+    bool would_block = false;
+    /// Read side only: the peer closed its write half (EOF).
+    bool closed = false;
+    /// A real transport error (reset, EPIPE, ...).
+    Status status;
+  };
+
+  /// Switches the descriptor between blocking and nonblocking mode.
+  Status SetNonBlocking(bool enable);
+
+  /// Reads whatever is available, at most `len` bytes.
+  IoResult ReadSome(void* out, size_t len);
+
+  /// Writes what the kernel will take, at most `len` bytes.
+  IoResult WriteSome(const void* data, size_t len);
+
   /// Reads exactly `len` bytes into `out`. kIoError on a read error;
   /// kCorrupted("connection closed...") when the peer closed mid-buffer;
   /// kNotFound("connection closed") on a clean close at offset 0 — the
@@ -80,18 +105,24 @@ class Listener {
   static StatusOr<Listener> Bind(uint16_t port, int backlog = 128);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   /// The actually bound port (resolves port 0 to the kernel's choice).
   uint16_t port() const { return port_; }
 
-  /// True when a connection is waiting to be accepted within `timeout_ms`
-  /// (0 = poll without blocking). Accept loops poll with a short timeout
-  /// so a stop flag is observed promptly — on Linux, shutdown() does not
-  /// reliably wake a thread blocked in accept().
-  bool AcceptReady(int timeout_ms) const;
+  /// Switches the listening descriptor between blocking and nonblocking
+  /// mode (the event-loop server accepts nonblocking so a spurious
+  /// readiness event cannot park the reactor in accept()).
+  Status SetNonBlocking(bool enable);
 
-  /// Blocks for the next connection. kFailedPrecondition after Shutdown;
-  /// kIoError on accept failures.
+  /// Blocks for the next connection (or, on a nonblocking listener,
+  /// returns kResourceExhausted with message "no pending connection" when
+  /// none is queued — use WouldBlock() on the status to distinguish it
+  /// from a real accept backlog problem). kFailedPrecondition after
+  /// Shutdown; kIoError on accept failures.
   StatusOr<Socket> Accept();
+
+  /// True when `status` is Accept()'s nonblocking "nothing queued" case.
+  static bool WouldBlock(const Status& status);
 
   /// Unblocks a concurrent Accept() and makes all future Accepts fail.
   void Shutdown();

@@ -1,0 +1,228 @@
+// net::Connection is the event-loop server's per-socket state machine,
+// deliberately free of descriptors so every nasty transport schedule —
+// 1-byte partial reads, short writes under EPOLLOUT backpressure, a peer
+// dying mid-frame — is drivable deterministically in memory. These tests
+// are the reason the reactor itself can stay thin.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "net/connection.h"
+#include "net/protocol.h"
+#include "util/logging.h"
+
+namespace hypermine::net {
+namespace {
+
+api::QueryRequest Named(std::vector<std::string> names, size_t k = 10) {
+  api::QueryRequest request;
+  request.names = std::move(names);
+  request.k = k;
+  return request;
+}
+
+std::string QueryFrame(uint64_t request_id,
+                       const api::QueryRequest& request) {
+  std::string frame;
+  HM_CHECK_OK(EncodeQueryFrame(request_id, request, &frame));
+  return frame;
+}
+
+TEST(ConnectionTest, WholeFrameDecodesToOnePendingFrame) {
+  Connection conn;
+  conn.Ingest(QueryFrame(7, Named({"A", "B"})));
+  ASSERT_EQ(conn.pending_frames(), 1u);
+  std::vector<PendingFrame> batch = conn.TakeBatch(64);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].pre.ok());
+  EXPECT_EQ(batch[0].header.request_id, 7u);
+  api::QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryBody(batch[0].body, &decoded).ok());
+  EXPECT_EQ(decoded.names, (std::vector<std::string>{"A", "B"}));
+  EXPECT_FALSE(conn.corrupt());
+  EXPECT_EQ(conn.pending_frames(), 0u);
+}
+
+TEST(ConnectionTest, OneByteDripReassemblesEveryFrame) {
+  // The pathological partial-read schedule: every epoll wakeup delivers
+  // exactly one byte. Three pipelined frames must come out whole, in
+  // order, with no state leaking between them.
+  Connection conn;
+  std::string stream = QueryFrame(1, Named({"A"})) +
+                       QueryFrame(2, Named({"B", "C"})) +
+                       QueryFrame(3, Named({"D"}, 3));
+  for (char byte : stream) {
+    conn.Ingest(std::string_view(&byte, 1));
+    ASSERT_FALSE(conn.corrupt());
+  }
+  ASSERT_EQ(conn.pending_frames(), 3u);
+  std::vector<PendingFrame> batch = conn.TakeBatch(64);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch[i].header.request_id, i + 1);
+    api::QueryRequest decoded;
+    EXPECT_TRUE(DecodeQueryBody(batch[i].body, &decoded).ok())
+        << "frame " << i;
+  }
+}
+
+TEST(ConnectionTest, TakeBatchRespectsMaxBatchAndArrivalOrder) {
+  Connection conn;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    conn.Ingest(QueryFrame(id, Named({"A"})));
+  }
+  std::vector<PendingFrame> first = conn.TakeBatch(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].header.request_id, 1u);
+  EXPECT_EQ(first[2].header.request_id, 3u);
+  std::vector<PendingFrame> rest = conn.TakeBatch(3);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].header.request_id, 4u);
+  EXPECT_EQ(rest[1].header.request_id, 5u);
+}
+
+TEST(ConnectionTest, BadMagicIsFatalButEarlierFramesSurvive) {
+  Connection conn;
+  std::string good = QueryFrame(1, Named({"A"}));
+  std::string garbage = "GET / HTTP/1.1\r\nHost: nonsense\r\n\r\n";
+  conn.Ingest(good + garbage);
+  EXPECT_TRUE(conn.corrupt());
+  EXPECT_EQ(conn.error().code(), StatusCode::kCorrupted);
+  // The frame decoded before the violation is still served.
+  EXPECT_EQ(conn.pending_frames(), 1u);
+  // Bytes after corruption are ignored, not parsed.
+  conn.Ingest(QueryFrame(2, Named({"B"})));
+  EXPECT_EQ(conn.pending_frames(), 1u);
+}
+
+TEST(ConnectionTest, MidFrameCloseIsCorruption) {
+  Connection conn;
+  std::string frame = QueryFrame(1, Named({"A"}));
+  conn.Ingest(std::string_view(frame).substr(0, kFrameHeaderBytes + 2));
+  EXPECT_FALSE(conn.corrupt());
+  conn.OnPeerClosed();
+  EXPECT_TRUE(conn.peer_closed());
+  EXPECT_TRUE(conn.corrupt());
+  EXPECT_EQ(conn.error().code(), StatusCode::kCorrupted);
+  EXPECT_FALSE(conn.wants_read());
+}
+
+TEST(ConnectionTest, CleanCloseBetweenFramesIsNotCorruption) {
+  Connection conn;
+  conn.Ingest(QueryFrame(1, Named({"A"})));
+  conn.OnPeerClosed();
+  EXPECT_TRUE(conn.peer_closed());
+  EXPECT_FALSE(conn.corrupt());
+  // The pipelined frame sent before the close still gets answered.
+  EXPECT_EQ(conn.pending_frames(), 1u);
+  EXPECT_FALSE(conn.wants_read());
+}
+
+TEST(ConnectionTest, OversizedBodyIsSkippedAndStreamStaysFramed) {
+  Connection::Options options;
+  options.max_frame_bytes = 64;
+  Connection conn(options);
+
+  // A well-formed frame whose body exceeds the 64-byte admission cap,
+  // dripped in small pieces so the skip path crosses Ingest calls.
+  std::vector<std::string> many(24, std::string(48, 'z'));
+  std::string big = QueryFrame(9, Named(std::move(many)));
+  ASSERT_GT(big.size(), kFrameHeaderBytes + 64);
+  for (size_t i = 0; i < big.size(); i += 7) {
+    conn.Ingest(std::string_view(big).substr(i, 7));
+  }
+  std::string small = QueryFrame(10, Named({"A"}));
+  conn.Ingest(small);
+
+  EXPECT_FALSE(conn.corrupt());
+  ASSERT_EQ(conn.pending_frames(), 2u);
+  std::vector<PendingFrame> batch = conn.TakeBatch(64);
+  // The oversized frame is pre-rejected (body never materialized), in
+  // arrival order; the follow-up frame decodes normally.
+  EXPECT_EQ(batch[0].header.request_id, 9u);
+  EXPECT_EQ(batch[0].pre.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batch[0].body.empty());
+  EXPECT_EQ(batch[1].header.request_id, 10u);
+  EXPECT_TRUE(batch[1].pre.ok());
+}
+
+TEST(ConnectionTest, ShortWritesDrainTheQueueInOrder) {
+  // EPOLLOUT backpressure: the kernel takes a few bytes per readiness
+  // event; ConsumeWrite must walk chunk boundaries without losing or
+  // reordering a byte.
+  Connection conn;
+  conn.QueueWrite("hello ");
+  conn.QueueWrite("event ");
+  conn.QueueWrite("loop");
+  EXPECT_TRUE(conn.wants_write());
+  EXPECT_EQ(conn.write_queued(), 16u);
+
+  std::string wire;
+  while (conn.wants_write()) {
+    std::string_view head = conn.write_head();
+    ASSERT_FALSE(head.empty());
+    const size_t n = std::min<size_t>(3, head.size());  // short write
+    wire.append(head.substr(0, n));
+    conn.ConsumeWrite(n);
+  }
+  EXPECT_EQ(wire, "hello event loop");
+  EXPECT_EQ(conn.write_queued(), 0u);
+  EXPECT_EQ(conn.write_head(), std::string_view());
+}
+
+TEST(ConnectionTest, WriteHighWaterPausesReadsUntilDrained) {
+  Connection::Options options;
+  options.write_high_water = 10;
+  Connection conn(options);
+  EXPECT_TRUE(conn.wants_read());
+  conn.QueueWrite("0123456789ABCDEF");  // 16 bytes > high water 10
+  EXPECT_FALSE(conn.wants_read()) << "a client that stops reading its "
+                                     "responses must stop being read from";
+  conn.ConsumeWrite(7);  // 9 left, below the mark
+  EXPECT_TRUE(conn.wants_read());
+}
+
+TEST(ConnectionTest, PendingFrameBoundPausesReads) {
+  Connection::Options options;
+  options.max_pending_frames = 2;
+  Connection conn(options);
+  conn.Ingest(QueryFrame(1, Named({"A"})));
+  EXPECT_TRUE(conn.wants_read());
+  conn.Ingest(QueryFrame(2, Named({"A"})));
+  EXPECT_FALSE(conn.wants_read());
+  // Draining a batch reopens the tap.
+  conn.TakeBatch(1);
+  EXPECT_TRUE(conn.wants_read());
+}
+
+TEST(ConnectionTest, ZeroBoundsMeanUnlimitedNotZero) {
+  // 0 follows the server options' idiom (0 = disabled); a literal
+  // zero-byte budget would permanently pause reads on every connection.
+  Connection::Options options;
+  options.write_high_water = 0;
+  options.max_pending_frames = 0;
+  Connection conn(options);
+  conn.QueueWrite(std::string(1u << 20, 'x'));
+  conn.Ingest(QueryFrame(1, Named({"A"})));
+  EXPECT_TRUE(conn.wants_read());
+}
+
+TEST(ConnectionTest, ProtocolCapViolationIsFatalNotSkipped) {
+  // Above the server's per-frame cap → skip; above the PROTOCOL cap →
+  // framing corruption (DecodeFrameHeader's contract). The state machine
+  // must preserve that distinction.
+  Connection conn;
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kQuery);
+  header.request_id = 1;
+  header.body_len = kMaxBodyBytes + 1;
+  std::string raw;
+  EncodeFrameHeader(header, &raw);
+  conn.Ingest(raw);
+  EXPECT_TRUE(conn.corrupt());
+  EXPECT_EQ(conn.pending_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace hypermine::net

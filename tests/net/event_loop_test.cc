@@ -1,0 +1,166 @@
+// EventLoop on both backends: readiness, interest updates, timers, and
+// the cross-thread wakeup. Parameterized over epoll and poll so the
+// "portability fallback" stays exercised instead of rotting.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "util/logging.h"
+
+namespace hypermine::net {
+namespace {
+
+class EventLoopTest : public ::testing::TestWithParam<EventLoop::Backend> {
+ protected:
+  EventLoop MakeLoop() {
+    auto loop = EventLoop::Create(GetParam());
+    HM_CHECK_OK(loop.status());
+    return std::move(*loop);
+  }
+};
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() { HM_CHECK_EQ(::pipe(fds_), 0); read_fd = fds_[0]; write_fd = fds_[1]; }
+  ~Pipe() {
+    ::close(read_fd);
+    ::close(write_fd);
+  }
+  void Put(char byte) { HM_CHECK_EQ(::write(write_fd, &byte, 1), 1); }
+  int fds_[2];
+};
+
+TEST_P(EventLoopTest, ReportsReadableFdWithItsTag) {
+  EventLoop loop = MakeLoop();
+  Pipe pipe;
+  ASSERT_TRUE(loop.Add(pipe.read_fd, 42, /*read=*/true, /*write=*/false).ok());
+
+  std::vector<EventLoop::Event> events;
+  auto n = loop.Wait(/*timeout_ms=*/0, &events);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u) << "nothing written yet";
+
+  pipe.Put('x');
+  events.clear();
+  n = loop.Wait(/*timeout_ms=*/1000, &events);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  EXPECT_EQ(events[0].tag, 42u);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].timer);
+}
+
+TEST_P(EventLoopTest, UpdateChangesInterestAndTag) {
+  EventLoop loop = MakeLoop();
+  Pipe pipe;
+  ASSERT_TRUE(loop.Add(pipe.read_fd, 1, /*read=*/true, /*write=*/false).ok());
+  pipe.Put('x');
+
+  // Interest off: the readable byte must not surface.
+  ASSERT_TRUE(
+      loop.Update(pipe.read_fd, 1, /*read=*/false, /*write=*/false).ok());
+  std::vector<EventLoop::Event> events;
+  auto n = loop.Wait(/*timeout_ms=*/0, &events);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+
+  // Interest (and tag) back on: surfaces under the new tag.
+  ASSERT_TRUE(
+      loop.Update(pipe.read_fd, 9, /*read=*/true, /*write=*/false).ok());
+  events.clear();
+  n = loop.Wait(/*timeout_ms=*/1000, &events);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  EXPECT_EQ(events[0].tag, 9u);
+}
+
+TEST_P(EventLoopTest, AddRemoveLifecycleErrors) {
+  EventLoop loop = MakeLoop();
+  Pipe pipe;
+  ASSERT_TRUE(loop.Add(pipe.read_fd, 1, true, false).ok());
+  EXPECT_EQ(loop.Add(pipe.read_fd, 2, true, false).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(loop.Remove(pipe.read_fd).ok());
+  EXPECT_EQ(loop.Remove(pipe.read_fd).code(), StatusCode::kNotFound);
+  EXPECT_EQ(loop.Update(pipe.read_fd, 1, true, false).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(EventLoopTest, PeriodicTimerFiresAndRearms) {
+  EventLoop loop = MakeLoop();
+  loop.AddTimer(/*tag=*/5, /*interval_ms=*/20);
+  int fires = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1500);
+  while (fires < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::vector<EventLoop::Event> events;
+    auto n = loop.Wait(/*timeout_ms=*/200, &events);
+    ASSERT_TRUE(n.ok());
+    for (const EventLoop::Event& event : events) {
+      if (event.timer && event.tag == 5) ++fires;
+    }
+  }
+  EXPECT_GE(fires, 3) << "a periodic timer must keep firing";
+  loop.CancelTimer(5);
+  std::vector<EventLoop::Event> events;
+  auto n = loop.Wait(/*timeout_ms=*/60, &events);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u) << "cancelled timers must not fire";
+}
+
+TEST_P(EventLoopTest, WakeupUnblocksWaitFromAnotherThread) {
+  EventLoop loop = MakeLoop();
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waker([&loop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    loop.Wakeup();
+  });
+  std::vector<EventLoop::Event> events;
+  auto n = loop.Wait(/*timeout_ms=*/10000, &events);
+  waker.join();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u) << "a wakeup is not an event";
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000)
+      << "Wakeup must cut the 10 s wait short";
+}
+
+TEST_P(EventLoopTest, WakeupBeforeWaitIsSticky) {
+  EventLoop loop = MakeLoop();
+  loop.Wakeup();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<EventLoop::Event> events;
+  auto n = loop.Wait(/*timeout_ms=*/10000, &events);
+  ASSERT_TRUE(n.ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000)
+      << "a pre-Wait wakeup must make Wait return immediately";
+}
+
+#if defined(__linux__)
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::Values(EventLoop::Backend::kEpoll,
+                                           EventLoop::Backend::kPoll),
+                         [](const auto& info) {
+                           return info.param == EventLoop::Backend::kEpoll
+                                      ? "epoll"
+                                      : "poll";
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::Values(EventLoop::Backend::kPoll),
+                         [](const auto&) { return std::string("poll"); });
+#endif
+
+}  // namespace
+}  // namespace hypermine::net

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -187,26 +188,65 @@ TEST(ServerTest, EncodeFailureMidBatchDoesNotPoisonTheConnection) {
   EXPECT_EQ(after->code, StatusCode::kOk);
 }
 
-TEST(ServerTest, UndersizedSharedPoolIsRejectedAtStart) {
-  // A shared pool smaller than max_connections would stall accepted
-  // clients (each connection holds a worker); Start must refuse.
+TEST(ServerTest, ManyConnectionsOnATinySharedPool) {
+  // The event loop decouples connection count from pool size: a shared
+  // pool of 2 workers must serve far more than 2 live connections (the
+  // old thread-per-connection server rejected exactly this at Start).
   api::Engine engine(NamedModel());
   ThreadPool tiny(2);
   ServerOptions options;
   options.port = 0;
   options.pool = &tiny;
-  options.max_connections = 16;
+  options.max_connections = 64;
   auto server = Server::Start(&engine, options);
-  ASSERT_FALSE(server.ok());
-  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(server.ok()) << server.status();
 
-  options.max_connections = 2;
-  auto sized = Server::Start(&engine, options);
-  ASSERT_TRUE(sized.ok()) << sized.status();
-  Client client = ConnectOrDie((*sized)->port());
-  auto response = client.Query(Named({"A"}));
-  ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->code, StatusCode::kOk);
+  constexpr size_t kClients = 16;  // 8x the pool size, all concurrent
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> ok{0};
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Client client = ConnectOrDie((*server)->port());
+      for (int round = 0; round < 4; ++round) {
+        auto response = client.Query(Named({"A"}));
+        if (response.ok() && response->code == StatusCode::kOk) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), kClients * 4);
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.connections_rejected, 0u);
+}
+
+TEST(ServerTest, IdleConnectionsVastlyOutnumberPoolThreads) {
+  // The core multiplexing claim: hundreds of idle (never-written)
+  // connections coexist with live traffic on a pool of 2, and none of
+  // them is rejected or interferes with answers.
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_connections = 512;
+  auto server = StartOrDie(&engine, options);
+
+  std::vector<Socket> idle;
+  for (int i = 0; i < 256; ++i) {
+    auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+    ASSERT_TRUE(socket.ok()) << socket.status();
+    idle.push_back(std::move(*socket));
+  }
+  Client busy = ConnectOrDie(server->port());
+  for (int round = 0; round < 8; ++round) {
+    auto response = busy.Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->code, StatusCode::kOk);
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.connections_accepted, 257u);
+  EXPECT_EQ(stats.connections_rejected, 0u);
 }
 
 TEST(ServerTest, QueueDepthNeverDropsQueries) {
@@ -381,9 +421,9 @@ TEST(ServerTest, HotSwapUnderLiveConnectionsDropsAndMisroutesNothing) {
 TEST(ServerTest, StopUnblocksIdleConnections) {
   api::Engine engine(NamedModel());
   auto server = StartOrDie(&engine);
-  // An idle client parked in the server's blocking read; Stop() (run by
-  // the destructor) must shut it down rather than wait forever — the
-  // test completing at all is the assertion.
+  // An idle client the server is waiting on; Stop() (run by the
+  // destructor) must shut it down rather than wait forever — the test
+  // completing at all is the assertion.
   auto idle = Socket::Connect("127.0.0.1", server->port(), 2000);
   ASSERT_TRUE(idle.ok());
   Client busy = ConnectOrDie(server->port());
@@ -392,6 +432,78 @@ TEST(ServerTest, StopUnblocksIdleConnections) {
   ServerStats stats = server->stats();
   EXPECT_EQ(stats.connections_accepted, 2u);
   EXPECT_EQ(stats.queries_answered, 1u);
+}
+
+TEST(ServerTest, StopIsPromptWithManyIdleConnectionsOpen) {
+  // Regression target for the Stop-ordering fix: hundreds of idle,
+  // never-written connections must not slow shutdown down — the reactor
+  // owns every descriptor, so there is no per-connection thread (or
+  // blocked read) to unwind one by one.
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_connections = 512;
+  auto server = StartOrDie(&engine, options);
+
+  std::vector<Socket> idle;
+  for (int i = 0; i < 256; ++i) {
+    auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+    ASSERT_TRUE(socket.ok()) << socket.status();
+    idle.push_back(std::move(*socket));
+  }
+  // Wait until every connect has been accepted (connect() returning only
+  // proves the kernel queued it) so Stop really faces 256 live entries.
+  for (int i = 0; i < 500; ++i) {
+    if (server->stats().connections_accepted >= 256) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server->stats().connections_accepted, 256u);
+
+  const auto start = std::chrono::steady_clock::now();
+  server->Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000)
+      << "Stop must not scale with idle connection count";
+  // Every idle socket observes the close (clean EOF, not a hang).
+  for (Socket& socket : idle) {
+    char byte;
+    Status read = socket.ReadFull(&byte, 1);
+    EXPECT_FALSE(read.ok());
+  }
+}
+
+TEST(ServerTest, IdleTimeoutReapsOnlyTrulyIdleConnections) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.idle_timeout_ms = 200;
+  auto server = StartOrDie(&engine, options);
+
+  auto idle = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(idle.ok());
+  Client busy = ConnectOrDie(server->port());
+
+  // Keep the busy connection warm well past the idle deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(700);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto response = busy.Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->code, StatusCode::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // The idle connection was reaped: its read resolves to EOF promptly.
+  char byte;
+  Status read = idle->ReadFull(&byte, 1);
+  EXPECT_FALSE(read.ok()) << "idle connection should have been closed";
+  ServerStats stats = server->stats();
+  EXPECT_GE(stats.connections_reaped, 1u);
+  // The active connection survived every reap pass.
+  auto after = busy.Query(Named({"A"}));
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->code, StatusCode::kOk);
 }
 
 }  // namespace

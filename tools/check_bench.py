@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: fails when a fresh BENCH_*.json falls more than
+--threshold (default 30%) below the committed baseline's throughput.
+
+Usage: check_bench.py [--threshold=0.30] BASELINE=FRESH [BASELINE=FRESH ...]
+
+e.g.  check_bench.py BENCH_build.json=/tmp/fresh_build.json \\
+                     BENCH_net.json=/tmp/fresh_net.json
+
+Policy (see docs/ci.md):
+  - Throughput is compared ONLY when `hardware_threads` and the workload
+    shape match between baseline and fresh run — a 4-core CI runner is
+    not comparable to the 1-core container the baseline was recorded on,
+    and a --smoke run is not comparable to a full-size one. Mismatches
+    SKIP the comparison (with a note), they do not fail.
+  - Structure is validated ALWAYS: a bench that stopped emitting its
+    metric fails the gate even when the comparison is skipped, so a
+    broken emitter cannot hide behind a hardware mismatch.
+  - A regression fails; an improvement is reported and passes. The gate
+    is deliberately loose (30%) because the numbers come from shared CI
+    runners — it catches "the event loop got 10x slower", not 2% drift.
+
+Stdlib only: this runs in CI and in environments where nothing can be
+pip-installed.
+"""
+import json
+import sys
+from pathlib import Path
+
+# bench name -> (dotted path to the throughput metric, human unit)
+METRICS = {
+    "build_throughput": ("candidates_per_sec", "candidates/s"),
+    "net_throughput": ("net.qps", "wire qps"),
+    "serve_throughput": ("multi_thread.qps", "engine qps"),
+}
+
+# bench name -> keys that define the workload shape; a compare only makes
+# sense when every one of them matches.
+WORKLOAD_KEYS = {
+    "build_throughput": ("attrs", "rows", "k", "smoke"),
+    "net_throughput": ("vertices", "edges", "queries", "clients",
+                       "pipeline"),
+    "serve_throughput": ("vertices", "edges", "queries"),
+}
+
+
+def dig(doc, dotted):
+    value = doc
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle), None
+    except FileNotFoundError:
+        return None, f"{path}: file not found"
+    except json.JSONDecodeError as error:
+        return None, f"{path}: not valid JSON ({error})"
+
+
+def check_pair(baseline_path, fresh_path, threshold):
+    """Returns a list of failure strings (empty = this pair passes)."""
+    failures = []
+    baseline, error = load(baseline_path)
+    if error:
+        return [error]
+    fresh, error = load(fresh_path)
+    if error:
+        return [error]
+
+    bench = baseline.get("bench")
+    if bench not in METRICS:
+        return [f"{baseline_path}: unknown bench kind {bench!r}"]
+    if fresh.get("bench") != bench:
+        return [f"{fresh_path}: bench kind {fresh.get('bench')!r} does not "
+                f"match baseline {bench!r}"]
+
+    metric_path, unit = METRICS[bench]
+    base_value = dig(baseline, metric_path)
+    fresh_value = dig(fresh, metric_path)
+    # Structural validation is unconditional: a missing metric is a
+    # broken emitter, never a skip.
+    for path, value in ((baseline_path, base_value),
+                        (fresh_path, fresh_value)):
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(
+                f"{path}: metric {metric_path!r} missing or non-positive "
+                f"({value!r})")
+    if failures:
+        return failures
+
+    base_hw = baseline.get("hardware_threads")
+    fresh_hw = fresh.get("hardware_threads")
+    if base_hw != fresh_hw:
+        print(f"  SKIP  {bench}: hardware_threads {fresh_hw} != baseline "
+              f"{base_hw} (not comparable; structure validated)")
+        return []
+    mismatched = [key for key in WORKLOAD_KEYS[bench]
+                  if baseline.get(key) != fresh.get(key)]
+    if mismatched:
+        print(f"  SKIP  {bench}: workload shape differs on "
+              f"{', '.join(mismatched)} (not comparable; structure "
+              f"validated)")
+        return []
+
+    floor = base_value * (1.0 - threshold)
+    ratio = fresh_value / base_value
+    verdict = "FAIL" if fresh_value < floor else "ok"
+    print(f"  {verdict:5} {bench}: {fresh_value:,.0f} {unit} vs baseline "
+          f"{base_value:,.0f} ({100.0 * ratio:.1f}%, floor "
+          f"{100.0 * (1.0 - threshold):.0f}%)")
+    if fresh_value < floor:
+        failures.append(
+            f"{fresh_path}: {bench} regressed to {100.0 * ratio:.1f}% of "
+            f"baseline {baseline_path} (allowed floor "
+            f"{100.0 * (1.0 - threshold):.0f}%)")
+    return failures
+
+
+def main(argv):
+    threshold = 0.30
+    pairs = []
+    for arg in argv:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+            if not 0.0 < threshold < 1.0:
+                print(f"--threshold must be in (0, 1), got {threshold}")
+                return 2
+        elif "=" in arg:
+            baseline, fresh = arg.split("=", 1)
+            pairs.append((Path(baseline), Path(fresh)))
+        else:
+            print(__doc__)
+            return 2
+    if not pairs:
+        print(__doc__)
+        return 2
+
+    print(f"bench gate: threshold {100.0 * threshold:.0f}%")
+    failures = []
+    for baseline_path, fresh_path in pairs:
+        failures.extend(check_pair(baseline_path, fresh_path, threshold))
+    if failures:
+        print("\nbench gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

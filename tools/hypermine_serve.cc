@@ -224,11 +224,28 @@ int RunServe(const FlagParser& flags) {
     server_options.port = static_cast<uint16_t>(port);
     server_options.max_queries_per_connection = static_cast<uint64_t>(
         std::max<int64_t>(0, flags.GetInt("quota", 0)));
+    const int64_t max_connections =
+        flags.GetInt("max-connections",
+                     static_cast<int64_t>(server_options.max_connections));
+    if (max_connections <= 0) {
+      std::fprintf(stderr, "error: --max-connections must be positive\n");
+      return 1;
+    }
+    server_options.max_connections = static_cast<size_t>(max_connections);
+    const int64_t idle_ms = flags.GetInt("idle-timeout-ms", 0);
+    if (idle_ms < 0) {
+      std::fprintf(stderr, "error: --idle-timeout-ms must be >= 0\n");
+      return 1;
+    }
+    server_options.idle_timeout_ms = static_cast<int>(idle_ms);
     auto started = net::Server::Start(&engine, server_options);
     if (!started.ok()) return Fail(started.status());
     server = std::move(*started);
-    std::fprintf(stderr, "listening on 127.0.0.1:%u (protocol v%u)\n",
-                 unsigned{server->port()}, unsigned{net::kProtocolVersion});
+    std::fprintf(stderr,
+                 "listening on 127.0.0.1:%u (protocol v%u, up to %zu "
+                 "connections)\n",
+                 unsigned{server->port()}, unsigned{net::kProtocolVersion},
+                 server_options.max_connections);
   }
 
   std::string line;
@@ -408,7 +425,8 @@ int Main(int argc, char** argv) {
                "--out=model.{csv,snap}\n"
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
-               "      [--listen=PORT [--quota=N]]\n"
+               "      [--listen=PORT [--quota=N] [--max-connections=N] "
+               "[--idle-timeout-ms=N]]\n"
                "    stdin: vertex-name queries; !reload <path> hot-swaps "
                "the model; !info prints provenance\n"
                "    --listen additionally serves the framed TCP protocol "
