@@ -34,6 +34,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -143,6 +144,10 @@ NetStats NetQps(uint16_t port, const std::vector<api::QueryRequest>& requests,
 }
 
 int Main(int argc, char** argv) {
+  // The reactor narrates accepts/closes at kInfo now; keep the bench
+  // tables clean without hiding real warnings.
+  internal_logging::SetMinLogSeverity(
+      internal_logging::LogSeverity::kWarning);
   FlagParser flags;
   HM_CHECK_OK(flags.Parse(argc, argv));
   const bool smoke = flags.GetBool("smoke", false);
@@ -193,6 +198,10 @@ int Main(int argc, char** argv) {
   server_options.num_threads = server_threads;
   server_options.max_connections =
       std::max<size_t>(4096, idle_connections + num_clients + 64);
+  // A private registry so the per-stage histograms cover exactly this
+  // run's traffic (and the bench never perturbs the process default).
+  metrics::Registry registry;
+  server_options.registry = &registry;
   EnsureFdHeadroom(2 * (idle_connections + num_clients) + 64);
   auto server = net::Server::Start(&engine, server_options);
   HM_CHECK_OK(server.status());
@@ -236,6 +245,19 @@ int Main(int argc, char** argv) {
   }
 
   net::ServerStats server_stats = (*server)->stats();
+  // Per-stage wire latency (docs/observability.md): where a round trip's
+  // time went — reactor-to-worker queue wait, engine batch execution,
+  // response write-drain. Snapshots are taken before Stop so they cover
+  // exactly the measured traffic.
+  const metrics::Histogram::Snapshot queue_wait =
+      registry.GetHistogram("hypermine_net_queue_wait_seconds")
+          ->TakeSnapshot();
+  const metrics::Histogram::Snapshot engine_batch =
+      registry.GetHistogram("hypermine_engine_batch_seconds")
+          ->TakeSnapshot();
+  const metrics::Histogram::Snapshot write_drain =
+      registry.GetHistogram("hypermine_net_write_drain_seconds")
+          ->TakeSnapshot();
   (*server)->Stop();
 
   const double wire_cost =
@@ -261,6 +283,16 @@ int Main(int argc, char** argv) {
                   ? static_cast<double>(server_stats.queries_answered) /
                         static_cast<double>(server_stats.batches)
                   : 0.0);
+  std::printf("%-22s %10s %10s\n", "stage latency", "p50 ms", "p99 ms");
+  std::printf("%-22s %10.3f %10.3f\n", "queue wait",
+              1e3 * queue_wait.Percentile(0.50),
+              1e3 * queue_wait.Percentile(0.99));
+  std::printf("%-22s %10.3f %10.3f\n", "engine batch",
+              1e3 * engine_batch.Percentile(0.50),
+              1e3 * engine_batch.Percentile(0.99));
+  std::printf("%-22s %10.3f %10.3f\n", "write drain",
+              1e3 * write_drain.Percentile(0.50),
+              1e3 * write_drain.Percentile(0.99));
 
   std::string idle_json = "null";
   if (idle_connections > 0) {
@@ -287,7 +319,13 @@ int Main(int argc, char** argv) {
       "  \"net\": {\"qps\": %.1f, \"p50_round_ms\": %.3f, "
       "\"p99_round_ms\": %.3f, \"answered\": %llu, \"dropped\": 0},\n"
       "  \"idle\": %s,\n"
-      "  \"server\": {\"batches\": %llu, \"avg_coalesce\": %.2f},\n"
+      "  \"server\": {\"batches\": %llu, \"avg_coalesce\": %.2f, "
+      "\"frames_coalesced\": %llu, \"queue_depth_peak\": %zu},\n"
+      "  \"stage_latency_ms\": {\n"
+      "    \"queue_wait\": {\"p50\": %.4f, \"p99\": %.4f},\n"
+      "    \"engine_batch\": {\"p50\": %.4f, \"p99\": %.4f},\n"
+      "    \"write_drain\": {\"p50\": %.4f, \"p99\": %.4f}\n"
+      "  },\n"
       "  \"wire_cost_factor\": %.3f\n"
       "}\n",
       bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
@@ -300,6 +338,13 @@ int Main(int argc, char** argv) {
           ? static_cast<double>(server_stats.queries_answered) /
                 static_cast<double>(server_stats.batches)
           : 0.0,
+      static_cast<unsigned long long>(server_stats.frames_coalesced),
+      server_stats.queue_depth_peak,
+      1e3 * queue_wait.Percentile(0.50), 1e3 * queue_wait.Percentile(0.99),
+      1e3 * engine_batch.Percentile(0.50),
+      1e3 * engine_batch.Percentile(0.99),
+      1e3 * write_drain.Percentile(0.50),
+      1e3 * write_drain.Percentile(0.99),
       wire_cost);
   HM_CHECK_OK(WriteStringToFile(out_path, json));
   std::printf("wrote %s\n", out_path.c_str());

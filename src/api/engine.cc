@@ -29,6 +29,7 @@ void Engine::Swap(std::shared_ptr<const Model> model) {
     std::lock_guard<std::mutex> lock(model_mutex_);
     model_.swap(model);
   }
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
   // Eagerly purge entries of other versions. Keying alone already makes
   // them unreachable; the purge stops a dead model's answers from
   // occupying capacity until LRU pressure pushes them out.

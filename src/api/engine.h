@@ -1,6 +1,7 @@
 #ifndef HYPERMINE_API_ENGINE_H_
 #define HYPERMINE_API_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -121,6 +122,11 @@ class Engine {
   size_t num_threads() const { return pool_->num_threads(); }
   /// Snapshot of the result-cache counters. Thread-safe.
   CacheStats cache_stats() const;
+  /// Lifetime count of Swap() calls (monotonic, thread-safe) — the
+  /// observability layer bridges it into `hypermine_model_swaps_total`.
+  uint64_t swap_count() const {
+    return swap_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct CacheEntry {
@@ -139,6 +145,7 @@ class Engine {
 
   mutable std::mutex model_mutex_;
   std::shared_ptr<const Model> model_;
+  std::atomic<uint64_t> swap_count_{0};
 
   // LRU cache: list front = most recent; map points into the list.
   mutable std::mutex cache_mutex_;

@@ -8,17 +8,42 @@
 #include <vector>
 
 #include "api/model.h"
+#include "util/build_info.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace hypermine::net {
 namespace {
 
-/// Event-loop tags. Connection ids start at 1, so the listener owns 0;
-/// timers live in their own tag namespace.
+/// Event-loop tags. Connection ids count up from 1, so the query listener
+/// owns 0 and the admin listener the far end of the space (one below
+/// ~0, which the loop reserves for its wakeup eventfd); timers live in
+/// their own tag namespace.
 constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kAdminListenerTag = ~uint64_t{0} - 1;
 constexpr uint64_t kReapTimerTag = 1;
 constexpr uint64_t kAcceptRetryTimerTag = 2;
+constexpr uint64_t kAdminAcceptRetryTimerTag = 3;
+
+/// Admin connections are exempt from max_connections (a saturated query
+/// plane must not lock out the scraper diagnosing it) but capped here —
+/// the admin port serves one Prometheus and one curl, not a fleet.
+constexpr size_t kMaxAdminConnections = 64;
+
+/// Raises an atomic high-water mark (relaxed CAS loop).
+void UpdateMax(std::atomic<size_t>* max, size_t value) {
+  size_t seen = max->load(std::memory_order_relaxed);
+  while (seen < value && !max->compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 WireResponse ErrorResponse(const Status& status) {
   WireResponse response;
@@ -69,6 +94,16 @@ struct Server::Conn {
   Connection machine;
   uint64_t served = 0;
 
+  /// Admin-plane connection: `http` replaces `machine` as the protocol
+  /// state machine (machine stays default-constructed and unused).
+  bool admin = false;
+  std::unique_ptr<HttpConnection> http;
+
+  /// Write-drain timing (query conns): set when the write queue goes
+  /// non-empty, observed into the drain histogram when it empties.
+  bool write_timing = false;
+  std::chrono::steady_clock::time_point write_start;
+
   bool batch_in_flight = false;
   /// A transport error or full hangup: close without flushing.
   bool dead = false;
@@ -107,18 +142,34 @@ StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
     return Status::InvalidArgument(
         "ServerOptions::idle_timeout_ms must be >= 0");
   }
+  if (options.admin_port > 65535) {
+    return Status::InvalidArgument(
+        "ServerOptions::admin_port must fit a TCP port");
+  }
   HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
   HM_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  Listener admin_listener;
+  if (options.admin_port >= 0) {
+    HM_ASSIGN_OR_RETURN(
+        admin_listener,
+        Listener::Bind(static_cast<uint16_t>(options.admin_port)));
+    HM_RETURN_IF_ERROR(admin_listener.SetNonBlocking(true));
+  }
   HM_ASSIGN_OR_RETURN(EventLoop loop, EventLoop::Create());
   HM_RETURN_IF_ERROR(loop.Add(listener.fd(), kListenerTag, /*read=*/true,
                               /*write=*/false));
+  if (admin_listener.valid()) {
+    HM_RETURN_IF_ERROR(loop.Add(admin_listener.fd(), kAdminListenerTag,
+                                /*read=*/true, /*write=*/false));
+  }
   if (options.idle_timeout_ms > 0) {
     loop.AddTimer(kReapTimerTag,
                   std::max(10, options.idle_timeout_ms / 2));
   }
   // Not make_unique: the constructor is private.
   std::unique_ptr<Server> server(
-      new Server(engine, options, std::move(listener), std::move(loop)));
+      new Server(engine, options, std::move(listener),
+                 std::move(admin_listener), std::move(loop)));
   server->reactor_thread_ = std::thread([s = server.get()] {
     s->ReactorLoop();
   });
@@ -126,10 +177,11 @@ StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
 }
 
 Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
-               EventLoop loop)
+               Listener admin_listener, EventLoop loop)
     : engine_(engine),
       options_(options),
       listener_(std::move(listener)),
+      admin_listener_(std::move(admin_listener)),
       loop_(std::move(loop)),
       read_scratch_(64u << 10) {
   if (options_.pool != nullptr) {
@@ -142,6 +194,118 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
     owned_pool_ = std::make_unique<ThreadPool>(requested);
     pool_ = owned_pool_.get();
   }
+
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &metrics::DefaultRegistry();
+  h_queue_wait_ = registry_->GetHistogram(
+      "hypermine_net_queue_wait_seconds",
+      "Reactor-to-worker wait per batch: TakeBatch to ExecuteBatch start.");
+  h_engine_batch_ = registry_->GetHistogram(
+      "hypermine_engine_batch_seconds",
+      "Wall time of api::Engine::QueryBatch per admitted batch.");
+  h_write_drain_ = registry_->GetHistogram(
+      "hypermine_net_write_drain_seconds",
+      "Response write-queue lifetime: first byte queued to queue empty.");
+  // Bridge the server's own counters (and the engine's) into the registry
+  // at scrape time instead of double-counting on the hot path: the
+  // collector runs once per render, the serving path pays nothing extra.
+  collector_id_ = registry_->AddCollector([this] {
+    const ServerStats s = stats();
+    registry_
+        ->GetCounter("hypermine_net_connections_accepted_total",
+                     "Query-plane connections accepted.")
+        ->BridgeTo(s.connections_accepted);
+    registry_
+        ->GetCounter("hypermine_net_connections_rejected_total",
+                     "Accepts closed because max_connections was reached.")
+        ->BridgeTo(s.connections_rejected);
+    registry_
+        ->GetCounter("hypermine_net_connections_reaped_total",
+                     "Connections closed by the idle-timeout reaper.")
+        ->BridgeTo(s.connections_reaped);
+    registry_
+        ->GetCounter("hypermine_net_batches_total",
+                     "Engine batches executed.")
+        ->BridgeTo(s.batches);
+    registry_
+        ->GetCounter("hypermine_net_queries_answered_total",
+                     "Queries the engine ran (per-query errors included).")
+        ->BridgeTo(s.queries_answered);
+    registry_
+        ->GetCounter("hypermine_net_queries_rejected_total",
+                     "Queries rejected before the engine (quota, queue "
+                     "depth, malformed frames).")
+        ->BridgeTo(s.queries_rejected);
+    registry_
+        ->GetCounter("hypermine_net_frames_coalesced_total",
+                     "Frames that shared an engine batch with an earlier "
+                     "frame (batch of n adds n-1).")
+        ->BridgeTo(s.frames_coalesced);
+    registry_
+        ->GetCounter("hypermine_net_bytes_read_total",
+                     "Payload bytes read off query connections.")
+        ->BridgeTo(s.bytes_read);
+    registry_
+        ->GetCounter("hypermine_net_bytes_written_total",
+                     "Payload bytes written to query connections.")
+        ->BridgeTo(s.bytes_written);
+    registry_
+        ->GetCounter("hypermine_net_admin_requests_total",
+                     "HTTP requests answered on the admin plane.")
+        ->BridgeTo(s.admin_requests);
+    registry_
+        ->GetGauge("hypermine_net_queue_depth",
+                   "Queries admitted but not yet answered, right now.")
+        ->Set(static_cast<int64_t>(s.queue_depth));
+    registry_
+        ->GetGauge("hypermine_net_queue_depth_peak",
+                   "High-water mark of hypermine_net_queue_depth.")
+        ->Set(static_cast<int64_t>(s.queue_depth_peak));
+    registry_
+        ->GetGauge("hypermine_net_open_connections",
+                   "Connections currently owned by the reactor (admin "
+                   "plane included).")
+        ->Set(static_cast<int64_t>(open_connections_.load()));
+
+    const api::CacheStats cache = engine_->cache_stats();
+    registry_
+        ->GetCounter("hypermine_engine_cache_hits_total",
+                     "Engine result-cache hits.")
+        ->BridgeTo(cache.hits);
+    registry_
+        ->GetCounter("hypermine_engine_cache_misses_total",
+                     "Engine result-cache misses.")
+        ->BridgeTo(cache.misses);
+    registry_
+        ->GetCounter("hypermine_engine_cache_evictions_total",
+                     "Engine result-cache LRU evictions.")
+        ->BridgeTo(cache.evictions);
+    registry_
+        ->GetCounter("hypermine_model_swaps_total",
+                     "Lifetime api::Engine::Swap calls.")
+        ->BridgeTo(engine_->swap_count());
+
+    const uint64_t version = engine_->model()->version();
+    registry_
+        ->GetGauge("hypermine_model_version",
+                   "version() of the currently served model.")
+        ->Set(static_cast<int64_t>(version));
+    metrics::Gauge* info = registry_->GetGauge(
+        StrFormat("hypermine_model_info{model_version=\"%llu\"}",
+                  static_cast<unsigned long long>(version)),
+        "1 for the label set of the served model, 0 for past ones.");
+    if (model_info_gauge_ != nullptr && model_info_gauge_ != info) {
+      model_info_gauge_->Set(0);  // a swap happened; retire the old series
+    }
+    info->Set(1);
+    model_info_gauge_ = info;
+
+    registry_
+        ->GetGauge("hypermine_process_uptime_seconds",
+                   "Seconds since this process started serving metrics.")
+        ->Set(static_cast<int64_t>(metrics::ProcessUptimeSeconds()));
+  });
+  collector_registered_ = true;
 }
 
 Server::~Server() { Stop(); }
@@ -149,6 +313,12 @@ Server::~Server() { Stop(); }
 void Server::Stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   stopping_.store(true);
+  // The collector captures `this`; a scrape of a shared registry after
+  // this point must not reach into a dying server.
+  if (collector_registered_) {
+    registry_->RemoveCollector(collector_id_);
+    collector_registered_ = false;
+  }
   loop_.Wakeup();
   if (reactor_thread_.joinable()) reactor_thread_.join();
   // Engine batches already handed to the pool finish (their results are
@@ -167,6 +337,8 @@ void Server::Stop() {
       ++stats_.batches;
       stats_.queries_answered += done.admitted;
       stats_.queries_rejected += done.rejected;
+      const uint64_t frames = done.admitted + done.rejected;
+      if (frames > 0) stats_.frames_coalesced += frames - 1;
     }
     if (!done.conn->closed) done.conn->machine.QueueWrite(std::move(done.bytes));
   }
@@ -174,21 +346,38 @@ void Server::Stop() {
   // responses that were finished when Stop hit; a stalled client gets a
   // close instead of an unbounded wait.
   for (auto& [id, conn] : conns_) {
-    while (conn->machine.wants_write()) {
-      std::string_view head = conn->machine.write_head();
+    while (conn->admin ? conn->http->wants_write()
+                       : conn->machine.wants_write()) {
+      std::string_view head = conn->admin ? conn->http->write_head()
+                                          : conn->machine.write_head();
       Socket::IoResult io = conn->socket.WriteSome(head.data(), head.size());
       if (io.bytes == 0) break;
-      conn->machine.ConsumeWrite(io.bytes);
+      if (conn->admin) {
+        conn->http->ConsumeWrite(io.bytes);
+      } else {
+        conn->machine.ConsumeWrite(io.bytes);
+      }
     }
     conn->closed = true;
   }
   conns_.clear();  // closes every descriptor still owned here
+  open_connections_.store(0);
   listener_.Close();
+  admin_listener_.Close();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServerStats copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = stats_;
+  }
+  copy.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  copy.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  copy.admin_requests = admin_requests_.load(std::memory_order_relaxed);
+  copy.queue_depth = in_flight_.load(std::memory_order_relaxed);
+  copy.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  return copy;
 }
 
 void Server::ReactorLoop() {
@@ -221,12 +410,21 @@ void Server::ReactorLoop() {
           loop_.CancelTimer(kAcceptRetryTimerTag);
           (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/true,
                              /*write=*/false);
-          AcceptPending();
+          AcceptPending(/*admin=*/false);
+        } else if (event.tag == kAdminAcceptRetryTimerTag) {
+          loop_.CancelTimer(kAdminAcceptRetryTimerTag);
+          (void)loop_.Update(admin_listener_.fd(), kAdminListenerTag,
+                             /*read=*/true, /*write=*/false);
+          AcceptPending(/*admin=*/true);
         }
         continue;
       }
       if (event.tag == kListenerTag) {
-        AcceptPending();
+        AcceptPending(/*admin=*/false);
+        continue;
+      }
+      if (event.tag == kAdminListenerTag) {
+        AcceptPending(/*admin=*/true);
         continue;
       }
       HandleConnEvent(event);
@@ -236,9 +434,13 @@ void Server::ReactorLoop() {
   // thread first, so it owns them from here on.
 }
 
-void Server::AcceptPending() {
+void Server::AcceptPending(bool admin) {
+  Listener& listener = admin ? admin_listener_ : listener_;
+  const uint64_t listener_tag = admin ? kAdminListenerTag : kListenerTag;
+  const uint64_t retry_tag =
+      admin ? kAdminAcceptRetryTimerTag : kAcceptRetryTimerTag;
   while (!stopping_.load()) {
-    StatusOr<Socket> accepted = listener_.Accept();
+    StatusOr<Socket> accepted = listener.Accept();
     if (!accepted.ok()) {
       if (Listener::WouldBlock(accepted.status())) return;
       if (accepted.status().code() == StatusCode::kFailedPrecondition) {
@@ -249,15 +451,22 @@ void Server::AcceptPending() {
       // mute the listener and retry on a timer instead.
       HM_LOG_WARNING << "accept failed: " << accepted.status().ToString()
                      << "; retrying in 100 ms";
-      (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/false,
+      (void)loop_.Update(listener.fd(), listener_tag, /*read=*/false,
                          /*write=*/false);
-      loop_.AddTimer(kAcceptRetryTimerTag, 100);
+      loop_.AddTimer(retry_tag, 100);
       return;
     }
-    if (conns_.size() >= options_.max_connections) {
+    if (admin && admin_conns_ >= kMaxAdminConnections) {
+      HM_LOG_WARNING << "admin connection rejected: "
+                     << kMaxAdminConnections << " already open";
+      continue;  // socket closes as `accepted` dies
+    }
+    if (!admin && conns_.size() - admin_conns_ >= options_.max_connections) {
+      HM_LOG_INFO << "connection rejected: max_connections ("
+                  << options_.max_connections << ") reached";
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.connections_rejected;
-      continue;  // socket closes as `accepted` dies
+      continue;
     }
     if (!accepted->SetNonBlocking(true).ok()) continue;
 
@@ -268,6 +477,10 @@ void Server::AcceptPending() {
     conn->id = next_connection_id_++;
     conn->socket = std::move(*accepted);
     conn->last_activity = std::chrono::steady_clock::now();
+    if (admin) {
+      conn->admin = true;
+      conn->http = std::make_unique<HttpConnection>();
+    }
     Status added = loop_.Add(conn->socket.fd(), conn->id, /*read=*/true,
                              /*write=*/false);
     if (!added.ok()) {
@@ -275,8 +488,14 @@ void Server::AcceptPending() {
       continue;
     }
     conns_.emplace(conn->id, conn);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.connections_accepted;
+    if (admin) ++admin_conns_;
+    open_connections_.store(conns_.size(), std::memory_order_relaxed);
+    HM_LOG_INFO << (admin ? "admin" : "query") << " connection #"
+                << conn->id << " accepted (" << conns_.size() << " open)";
+    if (!admin) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.connections_accepted;
+    }
   }
 }
 
@@ -296,18 +515,28 @@ void Server::HandleConnEvent(const EventLoop::Event& event) {
 }
 
 void Server::ReadFromConn(Conn* conn) {
-  while (conn->machine.wants_read()) {
+  while (conn->admin ? conn->http->wants_read()
+                     : conn->machine.wants_read()) {
     Socket::IoResult io =
         conn->socket.ReadSome(read_scratch_.data(), read_scratch_.size());
     if (io.bytes > 0) {
-      conn->machine.Ingest(
-          std::string_view(read_scratch_.data(), io.bytes));
+      const std::string_view data(read_scratch_.data(), io.bytes);
+      if (conn->admin) {
+        conn->http->Ingest(data);
+      } else {
+        conn->machine.Ingest(data);
+        bytes_read_.fetch_add(io.bytes, std::memory_order_relaxed);
+      }
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (io.would_block) return;
     if (io.closed) {
-      conn->machine.OnPeerClosed();
+      if (conn->admin) {
+        conn->http->OnPeerClosed();
+      } else {
+        conn->machine.OnPeerClosed();
+      }
       return;
     }
     // Transport error: nothing can be read or written reliably anymore.
@@ -317,11 +546,18 @@ void Server::ReadFromConn(Conn* conn) {
 }
 
 void Server::FlushWrites(Conn* conn) {
-  while (conn->machine.wants_write()) {
-    std::string_view head = conn->machine.write_head();
+  while (conn->admin ? conn->http->wants_write()
+                     : conn->machine.wants_write()) {
+    std::string_view head = conn->admin ? conn->http->write_head()
+                                        : conn->machine.write_head();
     Socket::IoResult io = conn->socket.WriteSome(head.data(), head.size());
     if (io.bytes > 0) {
-      conn->machine.ConsumeWrite(io.bytes);
+      if (conn->admin) {
+        conn->http->ConsumeWrite(io.bytes);
+      } else {
+        conn->machine.ConsumeWrite(io.bytes);
+        bytes_written_.fetch_add(io.bytes, std::memory_order_relaxed);
+      }
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
@@ -336,6 +572,34 @@ void Server::AfterEvent(Conn* conn) {
   if (conn->dead) {
     CloseConn(conn);
     return;
+  }
+  if (conn->admin) {
+    ServeAdminRequests(conn);
+    if (conn->http->wants_write()) FlushWrites(conn);
+    if (conn->dead) {
+      CloseConn(conn);
+      return;
+    }
+    const bool stream_over = conn->http->corrupt() ||
+                             conn->http->peer_closed() ||
+                             conn->http->close_requested();
+    if (stream_over && !conn->http->wants_write()) {
+      CloseConn(conn);
+      return;
+    }
+    const bool want_read = conn->http->wants_read();
+    const bool want_write = conn->http->wants_write();
+    if (want_read != conn->want_read || want_write != conn->want_write) {
+      conn->want_read = want_read;
+      conn->want_write = want_write;
+      (void)loop_.Update(conn->socket.fd(), conn->id, want_read, want_write);
+    }
+    return;
+  }
+  // Write-drain stage latency: the queue just emptied (or never filled).
+  if (conn->write_timing && !conn->machine.wants_write()) {
+    conn->write_timing = false;
+    h_write_drain_->Observe(SecondsSince(conn->write_start));
   }
   if (!conn->batch_in_flight && conn->machine.pending_frames() > 0 &&
       !stopping_.load()) {
@@ -359,6 +623,58 @@ void Server::AfterEvent(Conn* conn) {
   }
 }
 
+void Server::ServeAdminRequests(Conn* conn) {
+  HttpConnection* http = conn->http.get();
+  HttpRequest request;
+  while (!http->close_requested() && http->TakeRequest(&request)) {
+    HttpResponse response = RouteAdmin(request);
+    http->QueueWrite(EncodeHttpResponse(response, request.keep_alive));
+    if (!request.keep_alive) http->MarkClose();
+    admin_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (http->corrupt() && !http->close_requested()) {
+    // One diagnosis, then close after the flush; later bytes are ignored
+    // by the state machine, so the 400 cannot be followed by anything.
+    HttpResponse bad;
+    bad.status = http->error().message().find("request head exceeds") !=
+                         std::string_view::npos
+                     ? 431
+                     : 400;
+    bad.body = std::string(http->error().message()) + "\n";
+    http->QueueWrite(EncodeHttpResponse(bad, /*keep_alive=*/false));
+    http->MarkClose();
+    admin_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HttpResponse Server::RouteAdmin(const HttpRequest& request) {
+  HttpResponse response;
+  if (request.method != "GET") {
+    response.status = 405;
+    response.headers.emplace_back("Allow", "GET");
+    response.body = "only GET is supported on the admin plane\n";
+    return response;
+  }
+  if (request.path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_->PrometheusText();
+  } else if (request.path == "/healthz") {
+    // 503 during drain; a model is loaded whenever the server exists
+    // (Engine checks at construction), so "startup" ends before Start
+    // returns and the port is even reachable.
+    const bool healthy = !stopping_.load();
+    response.status = healthy ? 200 : 503;
+    response.body = healthy ? "ok\n" : "draining\n";
+  } else if (request.path == "/statusz") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = StatuszJson(engine_, this, registry_);
+  } else {
+    response.status = 404;
+    response.body = "not found; try /metrics, /healthz or /statusz\n";
+  }
+  return response;
+}
+
 void Server::SubmitBatch(Conn* conn) {
   std::vector<PendingFrame> frames =
       conn->machine.TakeBatch(options_.max_batch);
@@ -369,18 +685,23 @@ void Server::SubmitBatch(Conn* conn) {
   }
   std::shared_ptr<Conn> shared = conns_.at(conn->id);
   pool_->Submit(
-      [this, shared = std::move(shared), frames = std::move(frames)]() mutable {
-        ExecuteBatch(std::move(shared), std::move(frames));
+      [this, shared = std::move(shared), frames = std::move(frames),
+       submitted = std::chrono::steady_clock::now()]() mutable {
+        ExecuteBatch(std::move(shared), std::move(frames), submitted);
       });
 }
 
 void Server::CloseConn(Conn* conn) {
   conn->closed = true;
   (void)loop_.Remove(conn->socket.fd());
+  if (conn->admin && admin_conns_ > 0) --admin_conns_;
+  HM_LOG_INFO << (conn->admin ? "admin" : "query") << " connection #"
+              << conn->id << " closed";
   // The map's shared_ptr may be the last reference (closing the socket
   // now) or an in-flight batch may briefly outlive it — either way the
   // completion sees `closed` and discards its bytes.
   conns_.erase(conn->id);
+  open_connections_.store(conns_.size(), std::memory_order_relaxed);
 }
 
 void Server::ReapIdle() {
@@ -395,7 +716,12 @@ void Server::ReapIdle() {
     if (now - conn->last_activity >= timeout) idle.push_back(conn.get());
   }
   for (Conn* conn : idle) {
+    HM_LOG_INFO << (conn->admin ? "admin" : "query") << " connection #"
+                << conn->id << " reaped after " << options_.idle_timeout_ms
+                << " ms idle";
+    const bool was_admin = conn->admin;
     CloseConn(conn);
+    if (was_admin) continue;  // admin reaps are not query-plane stats
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.connections_reaped;
   }
@@ -413,18 +739,28 @@ void Server::DrainCompletions() {
       ++stats_.batches;
       stats_.queries_answered += completion.admitted;
       stats_.queries_rejected += completion.rejected;
+      const uint64_t frames = completion.admitted + completion.rejected;
+      if (frames > 0) stats_.frames_coalesced += frames - 1;
     }
     Conn* conn = completion.conn.get();
     if (conn->closed) continue;  // dropped while the batch executed
     conn->batch_in_flight = false;
+    const bool was_draining = conn->machine.wants_write();
     conn->machine.QueueWrite(std::move(completion.bytes));
+    if (!was_draining && conn->machine.wants_write() &&
+        !conn->write_timing) {
+      conn->write_timing = true;
+      conn->write_start = std::chrono::steady_clock::now();
+    }
     FlushWrites(conn);
     AfterEvent(conn);
   }
 }
 
 void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
-                          std::vector<PendingFrame> frames) {
+                          std::vector<PendingFrame> frames,
+                          std::chrono::steady_clock::time_point submitted) {
+  h_queue_wait_->Observe(SecondsSince(submitted));
   std::string out;
   size_t admitted = 0;
   uint64_t rejected = 0;
@@ -495,8 +831,11 @@ void Server::BuildResponses(std::vector<PendingFrame>* frames,
       ++rejected;
       continue;
     }
-    if (options_.max_queue_depth != 0 &&
-        in_flight_.fetch_add(1) >= options_.max_queue_depth) {
+    // Depth is tracked unconditionally (the stats/gauge need it) and only
+    // *enforced* when a cap is configured.
+    const size_t depth = in_flight_.fetch_add(1) + 1;
+    UpdateMax(&queue_depth_peak_, depth);
+    if (options_.max_queue_depth != 0 && depth > options_.max_queue_depth) {
       in_flight_.fetch_sub(1);
       responses[i] = ErrorResponse(Status::ResourceExhausted(
           StrFormat("server queue depth (%zu) exceeded; retry later",
@@ -511,9 +850,12 @@ void Server::BuildResponses(std::vector<PendingFrame>* frames,
 
   if (!admitted.empty()) {
     std::shared_ptr<const api::Model> model;
-    std::vector<StatusOr<api::QueryResponse>> results =
-        engine_->QueryBatch(admitted, &model);
-    if (options_.max_queue_depth != 0) in_flight_.fetch_sub(admitted.size());
+    std::vector<StatusOr<api::QueryResponse>> results;
+    {
+      metrics::ScopedTimer timer(h_engine_batch_);
+      results = engine_->QueryBatch(admitted, &model);
+    }
+    in_flight_.fetch_sub(admitted.size());
     for (size_t j = 0; j < results.size(); ++j) {
       responses[admitted_slot[j]] =
           ToWire(results[j], *model, admitted[j].kind);
@@ -538,6 +880,77 @@ void Server::BuildResponses(std::vector<PendingFrame>* frames,
   }
   *admitted_out = admitted.size();
   *rejected_out = rejected;
+}
+
+std::string StatuszJson(api::Engine* engine, const Server* server,
+                        metrics::Registry* registry) {
+  HM_CHECK(engine != nullptr);
+  if (registry == nullptr) registry = &metrics::DefaultRegistry();
+  const std::shared_ptr<const api::Model> model = engine->model();
+  const api::ModelSpec& spec = model->spec();
+  const api::CacheStats cache = engine->cache_stats();
+
+  std::string out = "{\n";
+  out += StrFormat(
+      "  \"model\": {\"version\": %llu, \"vertices\": %zu, \"edges\": %zu,\n",
+      static_cast<unsigned long long>(model->version()),
+      model->num_vertices(), model->num_edges());
+  out += StrFormat(
+      "    \"spec\": {\"config\": {\"k\": %zu, \"gamma_edge\": %.6g, "
+      "\"gamma_hyper\": %.6g, \"restrict_pairs_to_edges\": %s, "
+      "\"keep_pairs_without_edges\": %s},\n",
+      spec.config.k, spec.config.gamma_edge, spec.config.gamma_hyper,
+      spec.config.restrict_pairs_to_edges ? "true" : "false",
+      spec.config.keep_pairs_without_edges ? "true" : "false");
+  out += "    \"discretization\": \"" +
+         metrics::JsonEscape(spec.discretization) + "\",\n";
+  out += StrFormat(
+      "    \"provenance\": {\"source\": \"%s\", \"git_sha\": \"%s\", "
+      "\"note\": \"%s\", \"created_unix\": %llu}}},\n",
+      metrics::JsonEscape(spec.provenance.source).c_str(),
+      metrics::JsonEscape(spec.provenance.git_sha).c_str(),
+      metrics::JsonEscape(spec.provenance.note).c_str(),
+      static_cast<unsigned long long>(spec.provenance.created_unix));
+  out += StrFormat(
+      "  \"engine\": {\"cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"evictions\": %llu}, \"swaps\": %llu, \"threads\": %zu},\n",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(engine->swap_count()),
+      engine->num_threads());
+  out += StrFormat(
+      "  \"build\": {\"git_sha\": \"%s\", \"build_type\": \"%s\"},\n",
+      metrics::JsonEscape(GitSha()).c_str(),
+      metrics::JsonEscape(BuildType()).c_str());
+  out += StrFormat("  \"uptime_seconds\": %.3f,\n",
+                   metrics::ProcessUptimeSeconds());
+  if (server != nullptr) {
+    const ServerStats s = server->stats();
+    out += StrFormat(
+        "  \"server\": {\"port\": %u, \"admin_port\": %u, "
+        "\"connections_accepted\": %llu, \"connections_rejected\": %llu, "
+        "\"connections_reaped\": %llu, \"batches\": %llu, "
+        "\"queries_answered\": %llu, \"queries_rejected\": %llu, "
+        "\"frames_coalesced\": %llu, \"bytes_read\": %llu, "
+        "\"bytes_written\": %llu, \"queue_depth\": %zu, "
+        "\"queue_depth_peak\": %zu, \"admin_requests\": %llu},\n",
+        unsigned{server->port()}, unsigned{server->admin_port()},
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.connections_rejected),
+        static_cast<unsigned long long>(s.connections_reaped),
+        static_cast<unsigned long long>(s.batches),
+        static_cast<unsigned long long>(s.queries_answered),
+        static_cast<unsigned long long>(s.queries_rejected),
+        static_cast<unsigned long long>(s.frames_coalesced),
+        static_cast<unsigned long long>(s.bytes_read),
+        static_cast<unsigned long long>(s.bytes_written), s.queue_depth,
+        s.queue_depth_peak,
+        static_cast<unsigned long long>(s.admin_requests));
+  }
+  out += "  \"metrics\": " + registry->JsonText() + "\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace hypermine::net

@@ -2,6 +2,7 @@
 #define HYPERMINE_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -13,8 +14,10 @@
 #include "api/engine.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/http.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +71,16 @@ struct ServerOptions {
   ThreadPool* pool = nullptr;
   /// Owned-pool size when `pool` is null; 0 = max(4, hardware threads).
   size_t num_threads = 0;
+  /// Admin HTTP plane (GET /metrics, /healthz, /statusz — contract in
+  /// docs/observability.md) on a SECOND loopback port, multiplexed on the
+  /// same reactor thread as the query protocol: no extra thread, and a
+  /// scrape observes the exact loop it measures. -1 disables; 0 binds an
+  /// ephemeral port (read back with Server::admin_port()).
+  int admin_port = -1;
+  /// Registry the server publishes its metrics into (and /metrics
+  /// renders). Null = metrics::DefaultRegistry(). Must outlive the
+  /// server; tests pass a private registry for isolated counters.
+  metrics::Registry* registry = nullptr;
 };
 
 /// Counters for smoke tests and ops visibility. Snapshot semantics: read
@@ -85,6 +98,20 @@ struct ServerStats {
   /// Queries rejected before reaching the engine (quota, queue depth,
   /// malformed or foreign-version frames).
   uint64_t queries_rejected = 0;
+  /// Frames that shared an engine batch with at least one earlier frame —
+  /// i.e. syscalls and batch dispatches saved by pipelining. A batch of n
+  /// frames adds n-1.
+  uint64_t frames_coalesced = 0;
+  /// Payload bytes moved on query connections (admin-plane bytes are not
+  /// counted here; the registry's admin counters cover those).
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Queries admitted but not yet answered, right now / at the worst
+  /// moment so far (high-water mark).
+  size_t queue_depth = 0;
+  size_t queue_depth_peak = 0;
+  /// HTTP requests answered on the admin plane.
+  uint64_t admin_requests = 0;
 };
 
 /// TCP front-end over api::Engine: an epoll (fallback: poll) event loop
@@ -136,6 +163,9 @@ class Server {
   /// The bound port (the real one when options.port was 0).
   uint16_t port() const { return listener_.port(); }
 
+  /// The bound admin-plane port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_listener_.port(); }
+
   /// Stops accepting, joins the reactor, waits for in-flight engine
   /// batches, makes one best-effort nonblocking flush of finished
   /// responses, and closes every connection. Prompt even with thousands
@@ -155,24 +185,34 @@ class Server {
   struct Completion;
 
   Server(api::Engine* engine, ServerOptions options, Listener listener,
-         EventLoop loop);
+         Listener admin_listener, EventLoop loop);
 
   void ReactorLoop();
-  void AcceptPending();
+  /// Drains one listener's accept backlog; `admin` selects the admin
+  /// plane (HTTP personality, its own connection cap).
+  void AcceptPending(bool admin);
   void HandleConnEvent(const EventLoop::Event& event);
   void ReadFromConn(Conn* conn);
   void FlushWrites(Conn* conn);
   /// Submits a batch if one is ready, closes the connection if it is
   /// finished, refreshes event-loop interest otherwise.
   void AfterEvent(Conn* conn);
+  /// Answers every parsed admin request queued on `conn` (and the one 400
+  /// a corrupt stream earns before it is closed).
+  void ServeAdminRequests(Conn* conn);
+  /// Routes one admin request to /metrics, /healthz, or /statusz.
+  HttpResponse RouteAdmin(const HttpRequest& request);
   void SubmitBatch(Conn* conn);
   void CloseConn(Conn* conn);
   void ReapIdle();
   /// Applies completed batches: stats, write queues, next batches.
   void DrainCompletions();
   /// Runs on a pool worker: admission + engine batch + response encode.
+  /// `submitted` is when the reactor handed the batch over (queue-wait
+  /// histogram).
   void ExecuteBatch(std::shared_ptr<Conn> conn,
-                    std::vector<PendingFrame> frames);
+                    std::vector<PendingFrame> frames,
+                    std::chrono::steady_clock::time_point submitted);
   /// Admission checks and engine execution for one batch; appends the
   /// encoded response frames to `*out`.
   void BuildResponses(std::vector<PendingFrame>* frames, uint64_t* served,
@@ -182,8 +222,26 @@ class Server {
   api::Engine* const engine_;
   const ServerOptions options_;
   Listener listener_;
+  /// Invalid (port() == 0) when the admin plane is disabled.
+  Listener admin_listener_;
   EventLoop loop_;
   std::thread reactor_thread_;
+
+  // --- observability (docs/observability.md) ---
+  metrics::Registry* registry_ = nullptr;
+  /// Per-stage latency histograms, observed directly on the hot path
+  /// (two relaxed atomic adds each).
+  metrics::Histogram* h_queue_wait_ = nullptr;
+  metrics::Histogram* h_engine_batch_ = nullptr;
+  metrics::Histogram* h_write_drain_ = nullptr;
+  /// The scrape-time collector bridging ServerStats + engine counters
+  /// into registry_; removed in Stop (it captures `this`).
+  uint64_t collector_id_ = 0;
+  bool collector_registered_ = false;
+  /// The currently-set hypermine_model_info{model_version="N"} gauge, so
+  /// the collector can zero the stale label series after a swap. Only
+  /// touched by collectors (serialized by the registry).
+  metrics::Gauge* model_info_gauge_ = nullptr;
 
   /// Owned batch-execution pool when options.pool was null.
   std::unique_ptr<ThreadPool> owned_pool_;
@@ -192,9 +250,22 @@ class Server {
   std::atomic<bool> stopping_{false};
   /// Queries admitted but not yet answered, across all connections.
   std::atomic<size_t> in_flight_{0};
+  /// High-water mark of in_flight_ (ServerStats::queue_depth_peak).
+  std::atomic<size_t> queue_depth_peak_{0};
+  /// Payload bytes moved on query connections (reactor writes, stats()
+  /// reads cross-thread).
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> admin_requests_{0};
+  /// conns_.size() mirrored for the collector (conns_ itself belongs to
+  /// the reactor thread).
+  std::atomic<size_t> open_connections_{0};
 
   // --- reactor-thread state (touched by Stop only after the join) ---
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  /// Admin-plane subset of conns_ (those are exempt from max_connections
+  /// but have their own small cap).
+  size_t admin_conns_ = 0;
   uint64_t next_connection_id_ = 1;
   std::vector<char> read_scratch_;
 
@@ -209,6 +280,14 @@ class Server {
 
   std::mutex stop_mutex_;  // serializes concurrent Stop calls
 };
+
+/// The /statusz document (also what `hypermine_serve`'s `!stats` prints):
+/// model version + ModelSpec + provenance, build info, uptime, and — when
+/// `server` is non-null — its ServerStats and the registry's histogram
+/// percentiles. `engine` must be non-null; `registry` null means
+/// metrics::DefaultRegistry().
+std::string StatuszJson(api::Engine* engine, const Server* server,
+                        metrics::Registry* registry);
 
 }  // namespace hypermine::net
 

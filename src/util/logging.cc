@@ -1,12 +1,23 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 
 namespace hypermine {
 namespace internal_logging {
 
 namespace {
 std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+/// Anchored on first use (function-local static: safe across threads and
+/// before main), so timestamps are monotonic and immune to wall-clock
+/// jumps — two log lines N seconds apart always differ by N.
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -31,10 +42,35 @@ void SetMinLogSeverity(LogSeverity severity) {
   g_min_severity.store(static_cast<int>(severity));
 }
 
+bool ParseLogSeverity(std::string_view name, LogSeverity* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  }
+  if (lower == "info") {
+    *out = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogSeverity::kWarning;
+  } else if (lower == "error") {
+    *out = LogSeverity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double MonotonicLogSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       LogEpoch())
+      .count();
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
-          << "] ";
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f", MonotonicLogSeconds());
+  stream_ << "[" << SeverityTag(severity) << " " << uptime << "s " << file
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

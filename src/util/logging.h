@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hypermine {
 namespace internal_logging {
@@ -12,9 +13,21 @@ namespace internal_logging {
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
 /// Minimum severity that is actually emitted; defaults to kInfo. Benches set
-/// this to kWarning to keep table output clean.
+/// this to kWarning to keep table output clean; `hypermine_serve
+/// --log-level=...` sets it at startup. Thread-safe (atomic), so it can be
+/// flipped at runtime under live traffic.
 LogSeverity GetMinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
+
+/// Maps "info" / "warning" / "error" (case-insensitive; "warn" accepted)
+/// to a severity; false on anything else. kFatal is not settable — fatal
+/// messages are always emitted anyway.
+bool ParseLogSeverity(std::string_view name, LogSeverity* out);
+
+/// Seconds since the process first logged (steady clock) — the number in
+/// every message prefix, exposed for tests and for correlating log lines
+/// with metric timestamps.
+double MonotonicLogSeconds();
 
 /// Stream-style log message that emits on destruction. kFatal aborts.
 class LogMessage {

@@ -474,6 +474,31 @@ TEST(ServerTest, StopIsPromptWithManyIdleConnectionsOpen) {
   }
 }
 
+TEST(ServerTest, StatsTrackBytesQueueDepthAndCoalescing) {
+  api::Engine engine(NamedModel());
+  auto server = StartOrDie(&engine);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests(24, Named({"A"}));
+  auto responses = client.QueryMany(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 24u);
+
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries_answered, 24u);
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_GT(stats.bytes_written, 0u);
+  // Every answered byte came off the wire first; requests and responses
+  // are both non-empty frames.
+  EXPECT_EQ(stats.queue_depth, 0u) << "nothing in flight at rest";
+  EXPECT_GE(stats.queue_depth_peak, 1u);
+  // Each engine batch carries >= 1 frame and every frame lands in exactly
+  // one batch, so frames = batches + coalesced is an exact invariant.
+  EXPECT_EQ(stats.queries_answered + stats.queries_rejected,
+            stats.batches + stats.frames_coalesced);
+  EXPECT_EQ(stats.admin_requests, 0u) << "no admin plane configured";
+}
+
 TEST(ServerTest, IdleTimeoutReapsOnlyTrulyIdleConnections) {
   api::Engine engine(NamedModel());
   ServerOptions options;

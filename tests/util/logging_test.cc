@@ -4,6 +4,7 @@
 
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace hypermine {
 namespace {
@@ -42,6 +43,47 @@ TEST_F(LoggingTest, MessagesCarryFileAndSeverityTag) {
   std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("[W "), std::string::npos);
   EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesCarryMonotonicTimestamp) {
+  const double before = internal_logging::MonotonicLogSeconds();
+  ::testing::internal::CaptureStderr();
+  HM_LOG_WARNING << "stamped";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  // Prefix shape: "[W <seconds>s file:line] ..." — the timestamp sits
+  // between the severity tag and the file, with an 's' suffix.
+  const size_t tag = err.find("[W ");
+  ASSERT_NE(tag, std::string::npos);
+  const size_t stamp_end = err.find("s ", tag + 3);
+  ASSERT_NE(stamp_end, std::string::npos);
+  const std::string stamp = err.substr(tag + 3, stamp_end - tag - 3);
+  double seconds = -1.0;
+  ASSERT_TRUE(ParseDouble(stamp, &seconds)) << "stamp: " << stamp;
+  // The stamp is printed with millisecond precision; allow that rounding.
+  EXPECT_GE(seconds, before - 0.001);
+  EXPECT_LE(seconds, internal_logging::MonotonicLogSeconds() + 0.001);
+}
+
+TEST_F(LoggingTest, MonotonicLogSecondsNeverGoesBackwards) {
+  const double a = internal_logging::MonotonicLogSeconds();
+  const double b = internal_logging::MonotonicLogSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ParseLogSeverityTest, AcceptsKnownNames) {
+  LogSeverity severity = LogSeverity::kFatal;
+  EXPECT_TRUE(internal_logging::ParseLogSeverity("info", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  EXPECT_TRUE(internal_logging::ParseLogSeverity("WARNING", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(internal_logging::ParseLogSeverity("warn", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(internal_logging::ParseLogSeverity("Error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  EXPECT_FALSE(internal_logging::ParseLogSeverity("fatal", &severity));
+  EXPECT_FALSE(internal_logging::ParseLogSeverity("", &severity));
+  EXPECT_FALSE(internal_logging::ParseLogSeverity("loud", &severity));
 }
 
 TEST_F(LoggingTest, ChecksPassOnTrueConditions) {

@@ -43,6 +43,49 @@ WORKLOAD_KEYS = {
     "serve_throughput": ("vertices", "edges", "queries"),
 }
 
+# bench name -> (p50 path, p99 path) pairs. Latency percentiles are never
+# compared against the baseline (they are workload- and host-shaped), but
+# whenever a document carries one it must be well-formed: both ends of
+# the pair present, numeric, positive, and p50 <= p99. A pair that is
+# entirely absent is fine (older baselines predate stage histograms).
+LATENCY_PAIRS = {
+    "net_throughput": (
+        ("net.p50_round_ms", "net.p99_round_ms"),
+        ("idle.p50_round_ms", "idle.p99_round_ms"),
+        ("stage_latency_ms.queue_wait.p50",
+         "stage_latency_ms.queue_wait.p99"),
+        ("stage_latency_ms.engine_batch.p50",
+         "stage_latency_ms.engine_batch.p99"),
+        ("stage_latency_ms.write_drain.p50",
+         "stage_latency_ms.write_drain.p99"),
+    ),
+    "serve_throughput": (
+        ("single_thread.p50_batch_ms", "single_thread.p99_batch_ms"),
+        ("multi_thread.p50_batch_ms", "multi_thread.p99_batch_ms"),
+    ),
+}
+
+
+def check_latencies(path, doc, bench):
+    """Returns failure strings for malformed p50/p99 latency fields."""
+    failures = []
+    for p50_key, p99_key in LATENCY_PAIRS.get(bench, ()):
+        p50 = dig(doc, p50_key)
+        p99 = dig(doc, p99_key)
+        if p50 is None and p99 is None:
+            continue  # pair absent entirely: an older document, not a bug
+        broken = False
+        for key, value in ((p50_key, p50), (p99_key, p99)):
+            if (not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value <= 0):
+                failures.append(f"{path}: latency {key!r} missing or "
+                                f"non-positive ({value!r})")
+                broken = True
+        if not broken and p50 > p99:
+            failures.append(f"{path}: {p50_key} ({p50}) exceeds {p99_key} "
+                            f"({p99}) — percentiles are inverted")
+    return failures
+
 
 def dig(doc, dotted):
     value = doc
@@ -91,6 +134,10 @@ def check_pair(baseline_path, fresh_path, threshold):
             failures.append(
                 f"{path}: metric {metric_path!r} missing or non-positive "
                 f"({value!r})")
+    # Latency percentiles are part of the structure check too: validated
+    # in both documents whenever present, never compared across them.
+    failures.extend(check_latencies(baseline_path, baseline, bench))
+    failures.extend(check_latencies(fresh_path, fresh, bench))
     if failures:
         return failures
 

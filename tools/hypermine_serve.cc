@@ -11,14 +11,17 @@
 //   # '!' are commands:
 //   #   !reload <path>   hot-swap the live model (zero downtime)
 //   #   !info            print the live model's version and provenance
+//   #   !stats           print the /statusz JSON (docs/observability.md)
 //   hypermine_serve --snapshot=model.snap --k=5
 //   hypermine_serve --snapshot=model.snap --mode=reach --min_acv=0.4
 //
 //   # Additionally serve the framed TCP protocol (docs/protocol.md) on
 //   # 127.0.0.1:<port> — drive it with hypermine_client. The stdin loop
 //   # keeps running: !reload hot-swaps the model under live connections.
-//   # The process serves until stdin reaches EOF.
-//   hypermine_serve --snapshot=model.snap --listen=7654
+//   # The process serves until stdin reaches EOF. --admin-port adds the
+//   # HTTP admin plane (GET /metrics, /healthz, /statusz) on a second
+//   # port, multiplexed on the same reactor thread.
+//   hypermine_serve --snapshot=model.snap --listen=7654 --admin-port=7655
 //
 //   # Write the Chapter 3 demo snapshot (and an answer-flipping variant,
 //   # used by the CI reload smoke).
@@ -149,7 +152,15 @@ void PrintResponse(const StatusOr<api::QueryResponse>& response,
 /// are flushed eagerly: with stdout redirected to a file (CI smokes poll
 /// it for the "reloaded" line while the process is alive), stdio is
 /// block-buffered and an unflushed ack would sit invisible for minutes.
-void RunCommand(const std::string& line, api::Engine* engine) {
+void RunCommand(const std::string& line, api::Engine* engine,
+                const net::Server* server) {
+  if (line == "!stats") {
+    // The same JSON document GET /statusz serves, so operators without
+    // curl (or without --admin-port) read identical numbers on stdin.
+    std::printf("%s", net::StatuszJson(engine, server, nullptr).c_str());
+    std::fflush(stdout);
+    return;
+  }
   if (line == "!info") {
     std::shared_ptr<const api::Model> live = engine->model();
     std::printf("%s\n", live->ToString().c_str());
@@ -180,12 +191,22 @@ void RunCommand(const std::string& line, api::Engine* engine) {
     std::fflush(stdout);
     return;
   }
-  std::printf("unknown command %s (try !info or !reload <path>)\n",
+  std::printf("unknown command %s (try !info, !stats or !reload <path>)\n",
               line.c_str());
   std::fflush(stdout);
 }
 
 int RunServe(const FlagParser& flags) {
+  if (flags.Has("log-level")) {
+    internal_logging::LogSeverity severity;
+    if (!internal_logging::ParseLogSeverity(
+            flags.GetString("log-level", ""), &severity)) {
+      std::fprintf(stderr,
+                   "error: --log-level must be info, warning or error\n");
+      return 1;
+    }
+    internal_logging::SetMinLogSeverity(severity);
+  }
   const std::string path = flags.GetString("snapshot", "");
   Stopwatch load_timer;
   auto model = api::Model::FromFile(path);
@@ -238,6 +259,14 @@ int RunServe(const FlagParser& flags) {
       return 1;
     }
     server_options.idle_timeout_ms = static_cast<int>(idle_ms);
+    if (flags.Has("admin-port")) {
+      const int64_t admin_port = flags.GetInt("admin-port", -1);
+      if (admin_port < 0 || admin_port > 0xFFFF) {
+        std::fprintf(stderr, "error: --admin-port out of range\n");
+        return 1;
+      }
+      server_options.admin_port = static_cast<int>(admin_port);
+    }
     auto started = net::Server::Start(&engine, server_options);
     if (!started.ok()) return Fail(started.status());
     server = std::move(*started);
@@ -246,6 +275,15 @@ int RunServe(const FlagParser& flags) {
                  "connections)\n",
                  unsigned{server->port()}, unsigned{net::kProtocolVersion},
                  server_options.max_connections);
+    if (server->admin_port() != 0) {
+      std::fprintf(stderr,
+                   "admin plane on 127.0.0.1:%u (GET /metrics, /healthz, "
+                   "/statusz)\n",
+                   unsigned{server->admin_port()});
+    }
+  } else if (flags.Has("admin-port")) {
+    std::fprintf(stderr, "error: --admin-port requires --listen\n");
+    return 1;
   }
 
   std::string line;
@@ -253,7 +291,7 @@ int RunServe(const FlagParser& flags) {
     line = Trim(line);
     if (line.empty()) continue;
     if (line[0] == '!') {
-      RunCommand(line, &engine);
+      RunCommand(line, &engine, server.get());
       continue;
     }
     request.names.clear();
@@ -425,12 +463,16 @@ int Main(int argc, char** argv) {
                "--out=model.{csv,snap}\n"
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
-               "      [--listen=PORT [--quota=N] [--max-connections=N] "
-               "[--idle-timeout-ms=N]]\n"
+               "      [--log-level=info|warning|error]\n"
+               "      [--listen=PORT [--admin-port=PORT] [--quota=N] "
+               "[--max-connections=N] [--idle-timeout-ms=N]]\n"
                "    stdin: vertex-name queries; !reload <path> hot-swaps "
-               "the model; !info prints provenance\n"
+               "the model; !info prints provenance;\n"
+               "    !stats prints the /statusz JSON\n"
                "    --listen additionally serves the framed TCP protocol "
-               "on 127.0.0.1:PORT (see hypermine_client)\n"
+               "on 127.0.0.1:PORT (see hypermine_client);\n"
+               "    --admin-port adds GET /metrics, /healthz, /statusz "
+               "(docs/observability.md) on a second port\n"
                "  hypermine_serve --make-demo --out=a.snap "
                "[--variant-out=b.snap]\n"
                "  hypermine_serve --selftest [--threads=N]\n");
