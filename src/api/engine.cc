@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "serve/wire.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace hypermine::api {
@@ -146,6 +147,9 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
 std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
     const std::vector<QueryRequest>& requests,
     std::shared_ptr<const Model>* model_out) {
+  // Chaos-only stall: lets tests hold a worker inside a batch long enough
+  // to pile up queue wait and trip the server's load shedder.
+  fault::MaybeDelay("engine.batch");
   // One model acquisition per batch: every answer in the batch comes from
   // the same model, and a concurrent Swap cannot tear the batch.
   std::shared_ptr<const Model> model = this->model();
@@ -205,6 +209,78 @@ StatusOr<QueryResponse> Engine::Query(
 CacheStats Engine::cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return stats_;
+}
+
+namespace {
+
+/// A query any servable model should answer cleanly: the first vertex by
+/// name. Empty models (no vertices) skip the probe — there is nothing to
+/// ask them.
+StatusOr<QueryRequest> ProbeRequest(const Model& model) {
+  if (!model.has_graph()) {
+    return Status::Internal("loaded model has no graph");
+  }
+  if (model.num_vertices() == 0) {
+    return Status::NotFound("model has no vertices to probe");
+  }
+  QueryRequest probe;
+  probe.names.push_back(model.graph().vertex_name(0));
+  probe.k = 1;
+  return probe;
+}
+
+}  // namespace
+
+ReloadReport ReloadEngineFromFile(Engine* engine, const std::string& path) {
+  HM_CHECK(engine != nullptr);
+  ReloadReport report;
+  const std::shared_ptr<const Model> previous = engine->model();
+  report.old_version = previous->version();
+
+  auto loaded = Model::FromFile(path);
+  if (!loaded.ok()) {
+    report.status = loaded.status();
+    return report;
+  }
+  std::shared_ptr<const Model> fresh = std::move(loaded).value();
+  report.new_version = fresh->version();
+
+  // Pre-swap verification: force the lazy index and answer a probe against
+  // the model directly. A snapshot that parses but cannot serve must never
+  // reach the engine slot.
+  StatusOr<QueryRequest> probe = ProbeRequest(*fresh);
+  if (probe.ok()) {
+    const core::VertexId probe_items[] = {0};
+    (void)fresh->index().TopKWithin(probe_items, 1);
+  } else if (probe.status().code() != StatusCode::kNotFound) {
+    report.status = probe.status();
+    return report;
+  }
+
+  engine->Swap(fresh);
+
+  // Post-swap probe through the engine itself (resolve, cache, batch
+  // plumbing). On failure the previous model comes back — serving never
+  // sees the bad one again.
+  Status live = Status::OK();
+  if (probe.ok()) {
+    auto answered = engine->Query(*probe);
+    live = answered.status();
+  }
+  if (fault::ShouldFail("reload.verify")) {
+    live = Status::Internal("injected fault: reload.verify");
+  }
+  if (!live.ok()) {
+    engine->Swap(previous);
+    report.rolled_back = true;
+    report.status = Status(
+        StatusCode::kFailedPrecondition,
+        "post-swap probe failed, previous model restored: " +
+            live.ToString());
+    return report;
+  }
+  report.status = Status::OK();
+  return report;
 }
 
 }  // namespace hypermine::api

@@ -163,6 +163,32 @@ class Engine {
   ThreadPool* pool_ = nullptr;
 };
 
+/// What ReloadEngineFromFile did, for logging and counters.
+struct ReloadReport {
+  /// OK iff the engine is now serving the new model. A non-OK status with
+  /// rolled_back=false means the new model never went live (load or
+  /// pre-swap verification failed); with rolled_back=true it went live,
+  /// failed the post-swap probe, and the previous model was restored.
+  Status status;
+  uint64_t old_version = 0;
+  /// 0 when the snapshot never produced a model.
+  uint64_t new_version = 0;
+  bool rolled_back = false;
+};
+
+/// Zero-downtime reload with verify-then-swap and automatic rollback:
+/// loads `path`, verifies the model can actually serve (forces the lazy
+/// index, probes a query) BEFORE swapping it in, swaps, then re-probes
+/// through the engine and swaps the old model back if that fails. A
+/// corrupt or truncated snapshot therefore never interrupts serving: the
+/// worst case is a non-OK report while the old model keeps answering.
+///
+/// Blocking (snapshot IO + index build) — call it from a worker, never
+/// from a reactor or UI thread. Concurrent reloads of one engine must be
+/// serialized by the caller (a lost race could roll back the wrong
+/// model); hypermine_serve uses a single-threaded reload pool.
+ReloadReport ReloadEngineFromFile(Engine* engine, const std::string& path);
+
 }  // namespace hypermine::api
 
 #endif  // HYPERMINE_API_ENGINE_H_

@@ -1,0 +1,24 @@
+#include "net/backoff.h"
+
+#include "util/rng.h"
+
+namespace hypermine::net {
+
+int BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng) {
+  if (policy.base_ms <= 0) return 0;
+  const int max_ms = policy.max_ms < policy.base_ms ? policy.base_ms
+                                                    : policy.max_ms;
+  // Shift without overflow: once the doubling passes max_ms, stop doubling.
+  int64_t delay = policy.base_ms;
+  for (int i = 0; i < attempt && delay < max_ms; ++i) delay *= 2;
+  if (delay > max_ms) delay = max_ms;
+  if (policy.jitter && rng != nullptr && delay > 1) {
+    // Uniform in [delay/2, delay].
+    const int64_t half = delay / 2;
+    delay = half + static_cast<int64_t>(
+                       rng->NextBounded(static_cast<uint64_t>(delay - half + 1)));
+  }
+  return static_cast<int>(delay);
+}
+
+}  // namespace hypermine::net

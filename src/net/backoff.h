@@ -1,0 +1,31 @@
+#ifndef HYPERMINE_NET_BACKOFF_H_
+#define HYPERMINE_NET_BACKOFF_H_
+
+#include <cstdint>
+
+namespace hypermine {
+class Rng;
+}  // namespace hypermine
+
+namespace hypermine::net {
+
+/// Capped exponential backoff: attempt 0 waits base_ms, each further attempt
+/// doubles, clamped to max_ms. With jitter enabled the wait is drawn
+/// uniformly from [delay/2, delay], which keeps retry storms from
+/// re-synchronizing while preserving the cap.
+struct BackoffPolicy {
+  int base_ms = 10;
+  int max_ms = 1000;
+  /// Multiply-by-half jitter; off for deterministic schedules (tests,
+  /// Connect's refused-connection loop).
+  bool jitter = false;
+};
+
+/// Delay before retry number `attempt` (0-based). Pure for jitter=false;
+/// with jitter=true, `rng` must be non-null and supplies the draw.
+int BackoffDelayMs(const BackoffPolicy& policy, int attempt,
+                   hypermine::Rng* rng = nullptr);
+
+}  // namespace hypermine::net
+
+#endif  // HYPERMINE_NET_BACKOFF_H_

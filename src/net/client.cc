@@ -1,15 +1,88 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "util/string_util.h"
 
 namespace hypermine::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineFor(const CallOptions& options) {
+  if (options.deadline_ms <= 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+}
+
+int RemainingMs(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return 0;  // "no cap" sentinel
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(left.count());
+}
+
+/// Transport trouble poisons the connection; in-band response codes and
+/// the caller's own deadline do not.
+bool IsTransportError(const Status& status) {
+  return !status.ok() && status.code() != StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
 
 StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
                                  int retry_ms) {
   HM_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(host, port, retry_ms));
-  return Client(std::move(socket));
+  return Client(std::move(socket), host, port);
+}
+
+Status Client::ApplyDeadline(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) {
+    // Clear any cap a previous deadlined call left on this socket.
+    HM_RETURN_IF_ERROR(socket_.SetReadTimeoutMs(0));
+    return socket_.SetWriteTimeoutMs(0);
+  }
+  const int remaining = RemainingMs(deadline);
+  if (remaining <= 0) {
+    return Status::DeadlineExceeded("call deadline expired");
+  }
+  HM_RETURN_IF_ERROR(socket_.SetReadTimeoutMs(remaining));
+  return socket_.SetWriteTimeoutMs(remaining);
+}
+
+Status Client::PrepareAttempt(int attempt, const CallOptions& options,
+                              Clock::time_point deadline) {
+  if (attempt > 0) {
+    ++stats_.retries;
+    auto wait = std::chrono::milliseconds(
+        BackoffDelayMs(options.backoff, attempt - 1,
+                       options.backoff.jitter ? &rng_ : nullptr));
+    if (deadline != Clock::time_point::max()) {
+      const auto now = Clock::now();
+      if (now + wait > deadline) {
+        // Sleeping past the deadline cannot help; give the attempt
+        // whatever sliver remains instead of oversleeping.
+        wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::max(Clock::duration::zero(), deadline - now));
+      }
+    }
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+  }
+  if (deadline != Clock::time_point::max() && Clock::now() >= deadline) {
+    return Status::DeadlineExceeded("call deadline expired");
+  }
+  if (!socket_.valid()) {
+    int connect_budget = 0;
+    if (deadline != Clock::time_point::max()) {
+      connect_budget = std::max(0, RemainingMs(deadline));
+    }
+    auto reconnected = Socket::Connect(host_, port_, connect_budget);
+    if (!reconnected.ok()) return reconnected.status();
+    socket_ = std::move(reconnected).value();
+    ++stats_.reconnects;
+  }
+  return ApplyDeadline(deadline);
 }
 
 StatusOr<WireResponse> Client::ReadResponse(uint64_t want_id) {
@@ -38,16 +111,58 @@ StatusOr<WireResponse> Client::ReadResponse(uint64_t want_id) {
   return response;
 }
 
-StatusOr<WireResponse> Client::Query(const api::QueryRequest& request) {
-  const uint64_t id = next_id_++;
-  std::string frame;
-  HM_RETURN_IF_ERROR(EncodeQueryFrame(id, request, &frame));
-  HM_RETURN_IF_ERROR(socket_.WriteAll(frame.data(), frame.size()));
-  return ReadResponse(id);
+StatusOr<WireResponse> Client::Query(const api::QueryRequest& request,
+                                     const CallOptions& options) {
+  const auto deadline = DeadlineFor(options);
+  Status last = Status::Internal("query never attempted");
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    Status ready = PrepareAttempt(attempt, options, deadline);
+    if (ready.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+      return ready;
+    }
+    if (!ready.ok()) {
+      last = std::move(ready);  // reconnect failed; back off and retry
+      continue;
+    }
+
+    const uint64_t id = next_id_++;
+    std::string frame;
+    HM_RETURN_IF_ERROR(EncodeQueryFrame(id, request, &frame));
+    Status sent = socket_.WriteAll(frame.data(), frame.size());
+    StatusOr<WireResponse> got =
+        sent.ok() ? ReadResponse(id) : StatusOr<WireResponse>(sent);
+    if (got.ok()) {
+      if (got->code == StatusCode::kUnavailable) {
+        // The server shed or is draining: a clean answer on a healthy
+        // connection. Retry it like a transport blip, without poisoning.
+        ++stats_.unavailable;
+        last = got->ToStatus();
+        if (attempt < options.max_retries) continue;
+      }
+      return got;
+    }
+    last = got.status();
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      // The socket timeout fired: the budget is spent, and a response may
+      // still be in flight — poison the connection so a late frame can
+      // never be misread as answering a future request.
+      socket_.Close();
+      ++stats_.deadline_exceeded;
+      return last;
+    }
+    if (IsTransportError(last)) {
+      // Unknown connection state mid-exchange: drop it; the next attempt
+      // reconnects.
+      socket_.Close();
+    }
+  }
+  return last;
 }
 
-StatusOr<std::vector<WireResponse>> Client::QueryMany(
-    const std::vector<api::QueryRequest>& requests) {
+Status Client::QueryManyAttempt(
+    const std::vector<api::QueryRequest>& requests, size_t responses_done,
+    std::vector<WireResponse>* out) {
   // Windowed pipelining, not send-all-then-read-all: with everything
   // written up front, a large batch deadlocks once both directions' TCP
   // buffers fill (the server stops reading while it writes responses we
@@ -58,33 +173,64 @@ StatusOr<std::vector<WireResponse>> Client::QueryMany(
   // through a pipeline would otherwise leave already-sent requests with
   // unread responses on the socket, poisoning the connection for the
   // next call (its ReadResponse would see stale ids as "misrouted").
-  const size_t n = requests.size();
+  const size_t n = requests.size() - responses_done;
   const uint64_t first_id = next_id_;
   std::vector<std::string> frames(n);
   for (size_t i = 0; i < n; ++i) {
-    HM_RETURN_IF_ERROR(
-        EncodeQueryFrame(first_id + i, requests[i], &frames[i]));
+    HM_RETURN_IF_ERROR(EncodeQueryFrame(first_id + i,
+                                        requests[responses_done + i],
+                                        &frames[i]));
   }
   next_id_ += n;
 
-  std::vector<WireResponse> responses;
-  responses.reserve(n);
+  size_t answered = 0;
   size_t sent = 0;
   std::string wire;
-  while (responses.size() < n) {
-    if (sent < n && sent - responses.size() < kPipelineWindow) {
+  while (answered < n) {
+    if (sent < n && sent - answered < kPipelineWindow) {
       wire.clear();
-      while (sent < n && sent - responses.size() < kPipelineWindow) {
+      while (sent < n && sent - answered < kPipelineWindow) {
         wire += frames[sent];
         ++sent;
       }
       HM_RETURN_IF_ERROR(socket_.WriteAll(wire.data(), wire.size()));
     }
     HM_ASSIGN_OR_RETURN(WireResponse response,
-                        ReadResponse(first_id + responses.size()));
-    responses.push_back(std::move(response));
+                        ReadResponse(first_id + answered));
+    out->push_back(std::move(response));
+    ++answered;
   }
-  return responses;
+  return Status::OK();
+}
+
+StatusOr<std::vector<WireResponse>> Client::QueryMany(
+    const std::vector<api::QueryRequest>& requests,
+    const CallOptions& options) {
+  const auto deadline = DeadlineFor(options);
+  std::vector<WireResponse> responses;
+  responses.reserve(requests.size());
+  Status last = Status::Internal("query never attempted");
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    Status ready = PrepareAttempt(attempt, options, deadline);
+    if (ready.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+      return ready;
+    }
+    if (!ready.ok()) {
+      last = std::move(ready);
+      continue;
+    }
+    last = QueryManyAttempt(requests, responses.size(), &responses);
+    if (last.ok()) return responses;
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      socket_.Close();
+      ++stats_.deadline_exceeded;
+      return last;
+    }
+    // Answered prefix survives; only the tail is re-sent next attempt.
+    if (IsTransportError(last)) socket_.Close();
+  }
+  return last;
 }
 
 }  // namespace hypermine::net

@@ -1,16 +1,49 @@
 #ifndef HYPERMINE_NET_CLIENT_H_
 #define HYPERMINE_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "net/backoff.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace hypermine::net {
+
+/// Per-call failure policy. Retrying is always safe here because the
+/// protocol only carries read-only queries — re-sending one cannot
+/// double-apply anything.
+struct CallOptions {
+  /// Whole-call budget in ms, covering every attempt, backoff sleep, and
+  /// reconnect. 0 = wait forever (the pre-PR-7 behavior).
+  int deadline_ms = 0;
+  /// Re-attempts after the first try fails with a transport error or an
+  /// in-band kUnavailable (shed/draining server). 0 = fail fast.
+  int max_retries = 0;
+  /// Wait schedule between attempts. Jittered by default so a fleet of
+  /// clients retrying the same blip does not re-synchronize.
+  BackoffPolicy backoff{/*base_ms=*/10, /*max_ms=*/500, /*jitter=*/true};
+};
+
+/// Client-side failure accounting, cumulative over the Client's life.
+/// Transport-level retries are invisible to the server, so these live
+/// here rather than in the server's metrics registry.
+struct ClientStats {
+  /// Attempts beyond the first (any cause).
+  uint64_t retries = 0;
+  /// Sockets re-established after a poisoned connection.
+  uint64_t reconnects = 0;
+  /// Calls that gave up because deadline_ms expired.
+  uint64_t deadline_exceeded = 0;
+  /// In-band kUnavailable responses observed (shed or draining server),
+  /// whether or not a retry followed.
+  uint64_t unavailable = 0;
+};
 
 /// Blocking client for the framed query protocol (net/protocol.h,
 /// docs/protocol.md). One Client owns one TCP connection; request ids are
@@ -38,17 +71,46 @@ class Client {
 
   /// Sends one query and blocks for its response. The returned
   /// WireResponse carries the engine's answer or its error code;
-  /// a non-OK StatusOr means the connection itself failed.
-  StatusOr<WireResponse> Query(const api::QueryRequest& request);
+  /// a non-OK StatusOr means the connection itself failed (or, with a
+  /// deadline set, kDeadlineExceeded when the budget ran out).
+  ///
+  /// With options.max_retries > 0 a transport failure poisons the
+  /// connection (its state is unknown mid-exchange), the socket is
+  /// closed, and the next attempt reconnects; an in-band kUnavailable is
+  /// retried on the same connection. Waits follow options.backoff.
+  StatusOr<WireResponse> Query(const api::QueryRequest& request,
+                               const CallOptions& options);
+  StatusOr<WireResponse> Query(const api::QueryRequest& request) {
+    return Query(request, call_options_);
+  }
 
   /// Pipelines the requests with at most kPipelineWindow frames in
   /// flight (responses arrive in request order — a server guarantee), so
   /// arbitrarily large batches cannot deadlock on full TCP buffers.
-  /// Response i answers requests[i]. The whole call fails on any
-  /// transport error; per-query failures are per-WireResponse codes,
-  /// same as Query.
+  /// Response i answers requests[i]. Per-query failures are
+  /// per-WireResponse codes, same as Query.
+  ///
+  /// Retries resume where the stream broke: answered prefixes are kept,
+  /// only the unanswered tail is re-sent (with fresh request ids, over a
+  /// fresh connection). kUnavailable responses are NOT retried here —
+  /// they are real answers in an ordered stream; callers that want
+  /// per-query retry use Query.
   StatusOr<std::vector<WireResponse>> QueryMany(
-      const std::vector<api::QueryRequest>& requests);
+      const std::vector<api::QueryRequest>& requests,
+      const CallOptions& options);
+  StatusOr<std::vector<WireResponse>> QueryMany(
+      const std::vector<api::QueryRequest>& requests) {
+    return QueryMany(requests, call_options_);
+  }
+
+  /// Default CallOptions used by the two-argument overloads.
+  void set_call_options(const CallOptions& options) {
+    call_options_ = options;
+  }
+  const CallOptions& call_options() const { return call_options_; }
+
+  /// Cumulative retry/reconnect/deadline accounting.
+  const ClientStats& stats() const { return stats_; }
 
   /// Unacknowledged frames QueryMany keeps in flight. Sized so a full
   /// window of worst-case responses stays far below loopback socket
@@ -59,13 +121,38 @@ class Client {
   void Close() { socket_.Close(); }
 
  private:
-  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+  Client(Socket socket, std::string host, uint16_t port)
+      : socket_(std::move(socket)),
+        host_(std::move(host)),
+        port_(port),
+        rng_(reinterpret_cast<uintptr_t>(this)) {}
 
   /// Reads one response frame and checks it echoes `want_id`.
   StatusOr<WireResponse> ReadResponse(uint64_t want_id);
 
+  /// One shot of QueryMany against the current connection, appending
+  /// responses for requests[*responses_done..] into `out`.
+  Status QueryManyAttempt(const std::vector<api::QueryRequest>& requests,
+                          size_t responses_done,
+                          std::vector<WireResponse>* out);
+
+  /// Sleeps the backoff for `attempt` (clamped to `deadline`) and makes
+  /// sure a live connection exists, reconnecting a poisoned one. Returns
+  /// kDeadlineExceeded when the budget is already spent.
+  Status PrepareAttempt(int attempt, const CallOptions& options,
+                        std::chrono::steady_clock::time_point deadline);
+
+  /// Applies the remaining budget to the socket as read/write timeouts.
+  /// kDeadlineExceeded when nothing remains.
+  Status ApplyDeadline(std::chrono::steady_clock::time_point deadline);
+
   Socket socket_;
+  std::string host_;
+  uint16_t port_ = 0;
   uint64_t next_id_ = 1;
+  CallOptions call_options_;
+  ClientStats stats_;
+  Rng rng_;  // jitter only; schedule correctness never depends on it
 };
 
 }  // namespace hypermine::net

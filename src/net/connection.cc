@@ -22,12 +22,13 @@ void Connection::OnPeerClosed() {
   // Unparsed buffered bytes or a half-received frame at EOF mean the peer
   // died mid-frame — the same kCorrupted the blocking server reported
   // from ReadFull.
-  if (state_ != ReadState::kHeader || buffer_offset_ != buffer_.size()) {
+  if (mid_frame()) {
     error_ = Status::Corrupted("connection closed mid-frame");
   }
 }
 
 void Connection::Advance() {
+  const auto now = std::chrono::steady_clock::now();
   for (;;) {
     const size_t available = buffer_.size() - buffer_offset_;
     if (state_ == ReadState::kHeader) {
@@ -50,7 +51,9 @@ void Connection::Advance() {
         frame.pre = Status::InvalidArgument(
             StrFormat("frame body of %u bytes exceeds the limit (%u)",
                       header_.body_len, options_.max_frame_bytes));
+        frame.arrival = now;
         pending_.push_back(std::move(frame));
+        ++frames_parsed_;
         skip_left_ = header_.body_len;
         state_ = skip_left_ > 0 ? ReadState::kSkipBody : ReadState::kHeader;
         continue;
@@ -72,7 +75,9 @@ void Connection::Advance() {
     frame.header = header_;
     frame.body.assign(buffer_.data() + buffer_offset_, header_.body_len);
     buffer_offset_ += header_.body_len;
+    frame.arrival = now;
     pending_.push_back(std::move(frame));
+    ++frames_parsed_;
     state_ = ReadState::kHeader;
   }
   // Compact once the consumed prefix dominates, so a long-lived

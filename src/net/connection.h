@@ -1,6 +1,7 @@
 #ifndef HYPERMINE_NET_CONNECTION_H_
 #define HYPERMINE_NET_CONNECTION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -21,6 +22,10 @@ struct PendingFrame {
   FrameHeader header;
   std::string body;
   Status pre;
+  /// When the frame finished arriving (stamped by Advance). The server's
+  /// load shedder compares this against its queue-wait budget at batch
+  /// build time, so each query's own wait — not its batch's — decides.
+  std::chrono::steady_clock::time_point arrival;
 };
 
 /// The per-socket protocol state machine of the event-loop server: bytes
@@ -78,8 +83,21 @@ class Connection {
   /// True after OnPeerClosed() with clean framing.
   bool peer_closed() const { return peer_closed_; }
 
+  /// True while a frame is partially received (header split across reads,
+  /// or a body/skip in progress). The server's stall timer uses this: a
+  /// connection parked mid-frame past the stall budget is a slow-loris
+  /// peer, closed even though it is not idle by the reap timer's measure.
+  bool mid_frame() const {
+    return state_ != ReadState::kHeader || buffer_offset_ != buffer_.size();
+  }
+
   /// Frames decoded and not yet taken.
   size_t pending_frames() const { return pending_.size(); }
+
+  /// Lifetime count of frames fully parsed (pre-rejected ones included).
+  /// The stall timer keys on this: a connection whose counter moves is
+  /// making progress even if it is always mid-way through the NEXT frame.
+  uint64_t frames_parsed() const { return frames_parsed_; }
 
   /// Moves up to `max_batch` frames out, in arrival order.
   std::vector<PendingFrame> TakeBatch(size_t max_batch);
@@ -123,6 +141,7 @@ class Connection {
   size_t buffer_offset_ = 0;
 
   std::deque<PendingFrame> pending_;
+  uint64_t frames_parsed_ = 0;
 
   std::deque<std::string> write_queue_;
   size_t write_offset_ = 0;  // consumed prefix of write_queue_.front()

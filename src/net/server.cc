@@ -25,6 +25,7 @@ constexpr uint64_t kAdminListenerTag = ~uint64_t{0} - 1;
 constexpr uint64_t kReapTimerTag = 1;
 constexpr uint64_t kAcceptRetryTimerTag = 2;
 constexpr uint64_t kAdminAcceptRetryTimerTag = 3;
+constexpr uint64_t kStallTimerTag = 4;
 
 /// Admin connections are exempt from max_connections (a saturated query
 /// plane must not lock out the scraper diagnosing it) but capped here —
@@ -104,6 +105,15 @@ struct Server::Conn {
   bool write_timing = false;
   std::chrono::steady_clock::time_point write_start;
 
+  /// Stall detection (query conns): set with a timestamp when a read
+  /// leaves the machine mid-frame; re-anchored whenever frames_parsed()
+  /// moves (completing frames is progress even when the machine is
+  /// always midway through the NEXT one). The clock must NOT reset on
+  /// mere activity — a slow-loris peer is active, a byte at a time.
+  bool in_frame = false;
+  uint64_t frames_at_stall_start = 0;
+  std::chrono::steady_clock::time_point frame_start;
+
   bool batch_in_flight = false;
   /// A transport error or full hangup: close without flushing.
   bool dead = false;
@@ -122,6 +132,7 @@ struct Server::Completion {
   std::string bytes;
   size_t admitted = 0;
   uint64_t rejected = 0;
+  uint64_t shed = 0;
 };
 
 StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
@@ -141,6 +152,14 @@ StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
   if (options.idle_timeout_ms < 0) {
     return Status::InvalidArgument(
         "ServerOptions::idle_timeout_ms must be >= 0");
+  }
+  if (options.max_queue_wait_ms < 0) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_queue_wait_ms must be >= 0");
+  }
+  if (options.stall_timeout_ms < 0) {
+    return Status::InvalidArgument(
+        "ServerOptions::stall_timeout_ms must be >= 0");
   }
   if (options.admin_port > 65535) {
     return Status::InvalidArgument(
@@ -165,6 +184,10 @@ StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
   if (options.idle_timeout_ms > 0) {
     loop.AddTimer(kReapTimerTag,
                   std::max(10, options.idle_timeout_ms / 2));
+  }
+  if (options.stall_timeout_ms > 0) {
+    loop.AddTimer(kStallTimerTag,
+                  std::max(10, options.stall_timeout_ms / 2));
   }
   // Not make_unique: the constructor is private.
   std::unique_ptr<Server> server(
@@ -223,6 +246,20 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
         ->GetCounter("hypermine_net_connections_reaped_total",
                      "Connections closed by the idle-timeout reaper.")
         ->BridgeTo(s.connections_reaped);
+    registry_
+        ->GetCounter("hypermine_net_connections_stalled_total",
+                     "Connections closed by the mid-frame stall timer "
+                     "(slow loris).")
+        ->BridgeTo(s.connections_stalled);
+    registry_
+        ->GetCounter("hypermine_net_queries_shed_total",
+                     "Queries answered kUnavailable by load shedding "
+                     "(out-waited max_queue_wait_ms) or during drain.")
+        ->BridgeTo(s.queries_shed);
+    registry_
+        ->GetGauge("hypermine_net_draining",
+                   "1 once Drain() was requested, else 0.")
+        ->Set(draining_.load() ? 1 : 0);
     registry_
         ->GetCounter("hypermine_net_batches_total",
                      "Engine batches executed.")
@@ -310,6 +347,13 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
 
 Server::~Server() { Stop(); }
 
+void Server::Drain() {
+  if (draining_.exchange(true)) return;
+  HM_LOG_INFO << "drain requested: /healthz -> 503, refusing new query "
+                 "connections";
+  loop_.Wakeup();  // the reactor applies the rest (ApplyDrain)
+}
+
 void Server::Stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   stopping_.store(true);
@@ -337,7 +381,8 @@ void Server::Stop() {
       ++stats_.batches;
       stats_.queries_answered += done.admitted;
       stats_.queries_rejected += done.rejected;
-      const uint64_t frames = done.admitted + done.rejected;
+      stats_.queries_shed += done.shed;
+      const uint64_t frames = done.admitted + done.rejected + done.shed;
       if (frames > 0) stats_.frames_coalesced += frames - 1;
     }
     if (!done.conn->closed) done.conn->machine.QueueWrite(std::move(done.bytes));
@@ -401,10 +446,13 @@ void Server::ReactorLoop() {
     }
     if (stopping_.load()) break;
     DrainCompletions();
+    if (draining_.load() && !drain_applied_) ApplyDrain();
     for (const EventLoop::Event& event : events) {
       if (event.timer) {
         if (event.tag == kReapTimerTag) {
           ReapIdle();
+        } else if (event.tag == kStallTimerTag) {
+          CheckStalls();
         } else if (event.tag == kAcceptRetryTimerTag) {
           // Descriptor pressure may have passed; listen again.
           loop_.CancelTimer(kAcceptRetryTimerTag);
@@ -460,6 +508,15 @@ void Server::AcceptPending(bool admin) {
       HM_LOG_WARNING << "admin connection rejected: "
                      << kMaxAdminConnections << " already open";
       continue;  // socket closes as `accepted` dies
+    }
+    if (!admin && draining_.load()) {
+      // A draining server takes no new work (ApplyDrain also mutes the
+      // listener; this covers the race before it runs). The close reads
+      // as a refused connection — clients retry elsewhere.
+      HM_LOG_INFO << "connection refused: draining";
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.connections_rejected;
+      continue;
     }
     if (!admin && conns_.size() - admin_conns_ >= options_.max_connections) {
       HM_LOG_INFO << "connection rejected: max_connections ("
@@ -601,6 +658,24 @@ void Server::AfterEvent(Conn* conn) {
     conn->write_timing = false;
     h_write_drain_->Observe(SecondsSince(conn->write_start));
   }
+  // Stall clock: runs only while the machine sits in the SAME partial
+  // frame (see Conn::in_frame).
+  if (!conn->machine.mid_frame()) {
+    conn->in_frame = false;
+  } else if (!conn->in_frame ||
+             conn->frames_at_stall_start != conn->machine.frames_parsed()) {
+    conn->in_frame = true;
+    conn->frames_at_stall_start = conn->machine.frames_parsed();
+    conn->frame_start = std::chrono::steady_clock::now();
+  }
+  // A draining server closes each query connection the moment it has
+  // nothing in flight — answered, flushed, and quiet counts as finished
+  // even though the peer would happily keep the stream open.
+  if (draining_.load() && !conn->batch_in_flight &&
+      conn->machine.pending_frames() == 0 && !conn->machine.wants_write()) {
+    CloseConn(conn);
+    return;
+  }
   if (!conn->batch_in_flight && conn->machine.pending_frames() > 0 &&
       !stopping_.load()) {
     SubmitBatch(conn);
@@ -659,10 +734,10 @@ HttpResponse Server::RouteAdmin(const HttpRequest& request) {
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = registry_->PrometheusText();
   } else if (request.path == "/healthz") {
-    // 503 during drain; a model is loaded whenever the server exists
-    // (Engine checks at construction), so "startup" ends before Start
-    // returns and the port is even reachable.
-    const bool healthy = !stopping_.load();
+    // 503 during drain or stop; a model is loaded whenever the server
+    // exists (Engine checks at construction), so "startup" ends before
+    // Start returns and the port is even reachable.
+    const bool healthy = !stopping_.load() && !draining_.load();
     response.status = healthy ? 200 : 503;
     response.body = healthy ? "ok\n" : "draining\n";
   } else if (request.path == "/statusz") {
@@ -727,6 +802,47 @@ void Server::ReapIdle() {
   }
 }
 
+void Server::CheckStalls() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
+  std::vector<Conn*> stalled;
+  for (auto& [id, conn] : conns_) {
+    if (conn->admin || !conn->in_frame) continue;
+    if (now - conn->frame_start >= timeout) stalled.push_back(conn.get());
+  }
+  for (Conn* conn : stalled) {
+    HM_LOG_WARNING << "query connection #" << conn->id
+                   << " closed: mid-frame stall exceeded "
+                   << options_.stall_timeout_ms << " ms (slow loris?)";
+    CloseConn(conn);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections_stalled;
+  }
+}
+
+void Server::ApplyDrain() {
+  drain_applied_ = true;
+  // Mute the query listener: the backlog stops being accepted, so new
+  // connects queue briefly and then fail instead of reaching a server
+  // that would refuse them anyway. The admin listener stays live.
+  (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/false,
+                     /*write=*/false);
+  // Connections with in-flight work close via AfterEvent once answered
+  // and flushed; everything already quiet closes now.
+  std::vector<Conn*> idle;
+  for (auto& [id, conn] : conns_) {
+    if (conn->admin || conn->batch_in_flight ||
+        conn->machine.pending_frames() > 0 || conn->machine.wants_write()) {
+      continue;
+    }
+    idle.push_back(conn.get());
+  }
+  for (Conn* conn : idle) CloseConn(conn);
+  HM_LOG_INFO << "drain applied: " << idle.size()
+              << " idle query connections closed, "
+              << (conns_.size() - admin_conns_) << " still finishing";
+}
+
 void Server::DrainCompletions() {
   std::vector<Completion> done;
   {
@@ -739,7 +855,9 @@ void Server::DrainCompletions() {
       ++stats_.batches;
       stats_.queries_answered += completion.admitted;
       stats_.queries_rejected += completion.rejected;
-      const uint64_t frames = completion.admitted + completion.rejected;
+      stats_.queries_shed += completion.shed;
+      const uint64_t frames =
+          completion.admitted + completion.rejected + completion.shed;
       if (frames > 0) stats_.frames_coalesced += frames - 1;
     }
     Conn* conn = completion.conn.get();
@@ -764,11 +882,12 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
   std::string out;
   size_t admitted = 0;
   uint64_t rejected = 0;
-  BuildResponses(&frames, &conn->served, &out, &admitted, &rejected);
+  uint64_t shed = 0;
+  BuildResponses(&frames, &conn->served, &out, &admitted, &rejected, &shed);
   {
     std::lock_guard<std::mutex> lock(completion_mutex_);
-    completions_.push_back(
-        Completion{std::move(conn), std::move(out), admitted, rejected});
+    completions_.push_back(Completion{std::move(conn), std::move(out),
+                                      admitted, rejected, shed});
   }
   loop_.Wakeup();
   // Last: once Stop() observes the decrement it may tear the server
@@ -784,11 +903,16 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
 
 void Server::BuildResponses(std::vector<PendingFrame>* frames,
                             uint64_t* served, std::string* out,
-                            size_t* admitted_out, uint64_t* rejected_out) {
+                            size_t* admitted_out, uint64_t* rejected_out,
+                            uint64_t* shed_out) {
   std::vector<WireResponse> responses(frames->size());
   std::vector<api::QueryRequest> admitted;
   std::vector<size_t> admitted_slot;
   uint64_t rejected = 0;
+  uint64_t shed = 0;
+  const auto now = std::chrono::steady_clock::now();
+  const auto shed_budget =
+      std::chrono::milliseconds(options_.max_queue_wait_ms);
 
   for (size_t i = 0; i < frames->size(); ++i) {
     PendingFrame& frame = (*frames)[i];
@@ -820,6 +944,19 @@ void Server::BuildResponses(std::vector<PendingFrame>* frames,
     if (!decoded.ok()) {
       responses[i] = ErrorResponse(decoded);
       ++rejected;
+      continue;
+    }
+    // Load shedding: a query that already out-waited its budget is worth
+    // more as a fast kUnavailable than as a late answer — under overload
+    // the engine's time goes to queries that can still arrive in time.
+    // Per-frame arrival stamps mean each query's OWN wait decides, not
+    // its batch's.
+    if (options_.max_queue_wait_ms > 0 && frame.arrival != decltype(now){} &&
+        now - frame.arrival > shed_budget) {
+      responses[i] = ErrorResponse(Status::Unavailable(
+          StrFormat("shed: waited past the %d ms queue budget; retry",
+                    options_.max_queue_wait_ms)));
+      ++shed;
       continue;
     }
     if (options_.max_queries_per_connection != 0 &&
@@ -880,6 +1017,7 @@ void Server::BuildResponses(std::vector<PendingFrame>* frames,
   }
   *admitted_out = admitted.size();
   *rejected_out = rejected;
+  *shed_out = shed;
 }
 
 std::string StatuszJson(api::Engine* engine, const Server* server,
@@ -929,19 +1067,25 @@ std::string StatuszJson(api::Engine* engine, const Server* server,
     const ServerStats s = server->stats();
     out += StrFormat(
         "  \"server\": {\"port\": %u, \"admin_port\": %u, "
+        "\"draining\": %s, "
         "\"connections_accepted\": %llu, \"connections_rejected\": %llu, "
-        "\"connections_reaped\": %llu, \"batches\": %llu, "
+        "\"connections_reaped\": %llu, \"connections_stalled\": %llu, "
+        "\"batches\": %llu, "
         "\"queries_answered\": %llu, \"queries_rejected\": %llu, "
+        "\"queries_shed\": %llu, "
         "\"frames_coalesced\": %llu, \"bytes_read\": %llu, "
         "\"bytes_written\": %llu, \"queue_depth\": %zu, "
         "\"queue_depth_peak\": %zu, \"admin_requests\": %llu},\n",
         unsigned{server->port()}, unsigned{server->admin_port()},
+        server->draining() ? "true" : "false",
         static_cast<unsigned long long>(s.connections_accepted),
         static_cast<unsigned long long>(s.connections_rejected),
         static_cast<unsigned long long>(s.connections_reaped),
+        static_cast<unsigned long long>(s.connections_stalled),
         static_cast<unsigned long long>(s.batches),
         static_cast<unsigned long long>(s.queries_answered),
         static_cast<unsigned long long>(s.queries_rejected),
+        static_cast<unsigned long long>(s.queries_shed),
         static_cast<unsigned long long>(s.frames_coalesced),
         static_cast<unsigned long long>(s.bytes_read),
         static_cast<unsigned long long>(s.bytes_written), s.queue_depth,

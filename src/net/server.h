@@ -54,6 +54,18 @@ struct ServerOptions {
   /// executing batch, undelivered frames, or unflushed responses is
   /// never considered idle.
   int idle_timeout_ms = 0;
+  /// Load shedding: a query that already waited longer than this between
+  /// arrival and its engine batch is answered kUnavailable instead of
+  /// occupying a worker — under overload, answering a few queries in
+  /// time beats answering all of them late. 0 = never shed.
+  int max_queue_wait_ms = 0;
+  /// Slow-loris defense: a connection stuck in the middle of one frame
+  /// (header or body partially received) for this long is closed. The
+  /// idle reaper cannot catch this peer — a byte per reap interval
+  /// resets last_activity forever — so the stall clock runs from the
+  /// moment the current frame started, not from the last byte.
+  /// 0 = never.
+  int stall_timeout_ms = 0;
   /// Response bytes queued per connection before the reactor stops
   /// reading from it (EPOLLOUT backpressure): a client that stops
   /// reading its responses stops being read from. 0 = no limit, like
@@ -91,6 +103,11 @@ struct ServerStats {
   uint64_t connections_rejected = 0;
   /// Connections closed by the idle-timeout reap timer.
   uint64_t connections_reaped = 0;
+  /// Connections closed by the mid-frame stall timer (slow loris).
+  uint64_t connections_stalled = 0;
+  /// Queries answered kUnavailable because they out-waited
+  /// max_queue_wait_ms (load shedding) or arrived while draining.
+  uint64_t queries_shed = 0;
   uint64_t batches = 0;
   /// Queries answered by the engine (including per-query errors such as
   /// unknown vertex names — the engine did run them).
@@ -175,6 +192,18 @@ class Server {
   /// close mid-frame.
   void Stop();
 
+  /// Enters the drain state (idempotent, any thread): /healthz flips to
+  /// 503 "draining" so rolling-restart orchestration stops routing here,
+  /// new query-plane connections are refused, idle query connections are
+  /// closed, and busy ones are closed as soon as their in-flight work is
+  /// answered and flushed. The admin plane stays up — the orchestrator
+  /// must keep observing the drain it requested. Serving still works for
+  /// whatever remains connected; call Stop() for the actual shutdown.
+  void Drain();
+
+  /// True once Drain() was called.
+  bool draining() const { return draining_.load(); }
+
   ServerStats stats() const;
 
  private:
@@ -205,6 +234,11 @@ class Server {
   void SubmitBatch(Conn* conn);
   void CloseConn(Conn* conn);
   void ReapIdle();
+  /// Closes query connections stuck mid-frame past stall_timeout_ms.
+  void CheckStalls();
+  /// Reactor-side drain entry: mutes the query listener and closes every
+  /// query connection with no in-flight work. Runs once per Drain().
+  void ApplyDrain();
   /// Applies completed batches: stats, write queues, next batches.
   void DrainCompletions();
   /// Runs on a pool worker: admission + engine batch + response encode.
@@ -217,7 +251,7 @@ class Server {
   /// encoded response frames to `*out`.
   void BuildResponses(std::vector<PendingFrame>* frames, uint64_t* served,
                       std::string* out, size_t* admitted_out,
-                      uint64_t* rejected_out);
+                      uint64_t* rejected_out, uint64_t* shed_out);
 
   api::Engine* const engine_;
   const ServerOptions options_;
@@ -248,6 +282,8 @@ class Server {
   ThreadPool* pool_ = nullptr;
 
   std::atomic<bool> stopping_{false};
+  /// Set by Drain() (any thread); the reactor applies it once.
+  std::atomic<bool> draining_{false};
   /// Queries admitted but not yet answered, across all connections.
   std::atomic<size_t> in_flight_{0};
   /// High-water mark of in_flight_ (ServerStats::queue_depth_peak).
@@ -263,6 +299,8 @@ class Server {
 
   // --- reactor-thread state (touched by Stop only after the join) ---
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  /// Reactor's record that ApplyDrain already ran.
+  bool drain_applied_ = false;
   /// Admin-plane subset of conns_ (those are exempt from max_connections
   /// but have their own small cap).
   size_t admin_conns_ = 0;

@@ -16,6 +16,8 @@
 #include <thread>
 #include <utility>
 
+#include "net/backoff.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace hypermine::net {
@@ -64,7 +66,9 @@ StatusOr<Socket> Socket::Connect(const std::string& host, uint16_t port,
   }
 
   Status last = Status::IoError("no addresses for " + host);
-  for (;;) {
+  const BackoffPolicy backoff{/*base_ms=*/10, /*max_ms=*/500,
+                              /*jitter=*/false};
+  for (int attempt = 0;; ++attempt) {
     for (struct addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
       int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
       if (fd < 0) {
@@ -79,9 +83,16 @@ StatusOr<Socket> Socket::Connect(const std::string& host, uint16_t port,
       last = Errno("connect");
       ::close(fd);
     }
-    if (std::chrono::steady_clock::now() >= deadline) break;
-    // Server not up yet (CI races startup): back off briefly and retry.
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    // Server not up yet (CI races startup): capped exponential backoff,
+    // clamped so the last sleep ends exactly at the retry budget.
+    auto wait = std::chrono::milliseconds(BackoffDelayMs(backoff, attempt));
+    if (now + wait > deadline) {
+      wait = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                   now);
+    }
+    std::this_thread::sleep_for(wait);
   }
   ::freeaddrinfo(addrs);
   return last;
@@ -106,8 +117,39 @@ Status Socket::SetNonBlocking(bool enable) {
   return SetFdNonBlocking(fd_, enable, "fcntl(socket)");
 }
 
+namespace {
+
+Status SetIoTimeout(int fd, int optname, int timeout_ms, const char* what) {
+  if (fd < 0) return Status::FailedPrecondition("invalid descriptor");
+  if (timeout_ms < 0) return Status::InvalidArgument("negative timeout");
+  struct timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Errno(what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Socket::SetReadTimeoutMs(int timeout_ms) {
+  return SetIoTimeout(fd_, SO_RCVTIMEO, timeout_ms, "setsockopt(SO_RCVTIMEO)");
+}
+
+Status Socket::SetWriteTimeoutMs(int timeout_ms) {
+  return SetIoTimeout(fd_, SO_SNDTIMEO, timeout_ms, "setsockopt(SO_SNDTIMEO)");
+}
+
 Socket::IoResult Socket::ReadSome(void* out, size_t len) {
   IoResult result;
+  if (fault::ShouldFail("socket.read")) {
+    result.status = Status::IoError("injected fault: socket.read");
+    return result;
+  }
+  if (len > 1 && fault::ShouldFail("socket.read.short")) {
+    len = 1;  // force the framing machine through its partial-read paths
+  }
   for (;;) {
     ssize_t n = ::read(fd_, out, len);
     if (n > 0) {
@@ -130,6 +172,13 @@ Socket::IoResult Socket::ReadSome(void* out, size_t len) {
 
 Socket::IoResult Socket::WriteSome(const void* data, size_t len) {
   IoResult result;
+  if (fault::ShouldFail("socket.write")) {
+    result.status = Status::IoError("injected fault: socket.write");
+    return result;
+  }
+  if (len > 1 && fault::ShouldFail("socket.write.short")) {
+    len = 1;  // exercise the reactor's partial-write / EPOLLOUT path
+  }
   for (;;) {
     ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n >= 0) {
@@ -147,6 +196,9 @@ Socket::IoResult Socket::WriteSome(const void* data, size_t len) {
 }
 
 Status Socket::ReadFull(void* out, size_t len) {
+  if (len > 0 && fault::ShouldFail("socket.read")) {
+    return Status::IoError("injected fault: socket.read");
+  }
   char* cursor = static_cast<char*>(out);
   size_t got = 0;
   while (got < len) {
@@ -162,12 +214,20 @@ Status Socket::ReadFull(void* out, size_t len) {
                     len));
     }
     if (errno == EINTR) continue;
+    // On a blocking socket EAGAIN only happens when SO_RCVTIMEO expired.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded(
+          StrFormat("read timed out (%zu of %zu bytes)", got, len));
+    }
     return Errno("read");
   }
   return Status::OK();
 }
 
 Status Socket::WriteAll(const void* data, size_t len) {
+  if (len > 0 && fault::ShouldFail("socket.write")) {
+    return Status::IoError("injected fault: socket.write");
+  }
   const char* cursor = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < len) {
@@ -177,6 +237,11 @@ Status Socket::WriteAll(const void* data, size_t len) {
       continue;
     }
     if (errno == EINTR) continue;
+    // On a blocking socket EAGAIN only happens when SO_SNDTIMEO expired.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded(
+          StrFormat("write timed out (%zu of %zu bytes)", sent, len));
+    }
     return Errno("write");
   }
   return Status::OK();
@@ -259,6 +324,9 @@ Status Listener::SetNonBlocking(bool enable) {
 
 StatusOr<Socket> Listener::Accept() {
   if (fd_ < 0) return Status::FailedPrecondition("listener is shut down");
+  if (fault::ShouldFail("socket.accept")) {
+    return Status::IoError("injected fault: socket.accept");
+  }
   for (;;) {
     int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {

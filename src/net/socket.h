@@ -31,6 +31,8 @@ class Socket {
   /// Connects to host:port (numeric IPv4 or a resolvable name).
   /// `retry_ms` > 0 keeps retrying refused connections for that long —
   /// used by clients racing a server that is still binding its port.
+  /// Retries follow the capped exponential schedule in net/backoff.h
+  /// (10 ms doubling to 500 ms, jitter-free), clamped to the budget.
   static StatusOr<Socket> Connect(const std::string& host, uint16_t port,
                                   int retry_ms = 0);
 
@@ -56,6 +58,16 @@ class Socket {
   /// Switches the descriptor between blocking and nonblocking mode.
   Status SetNonBlocking(bool enable);
 
+  /// Caps how long a blocking read may wait for bytes (SO_RCVTIMEO);
+  /// 0 disables the cap. When it expires, ReadFull reports
+  /// kDeadlineExceeded. Clients use this to enforce CallOptions
+  /// deadlines without restructuring onto nonblocking IO.
+  Status SetReadTimeoutMs(int timeout_ms);
+
+  /// Caps how long a blocking write may wait for buffer space
+  /// (SO_SNDTIMEO); 0 disables. WriteAll reports kDeadlineExceeded.
+  Status SetWriteTimeoutMs(int timeout_ms);
+
   /// Reads whatever is available, at most `len` bytes.
   IoResult ReadSome(void* out, size_t len);
 
@@ -65,10 +77,12 @@ class Socket {
   /// Reads exactly `len` bytes into `out`. kIoError on a read error;
   /// kCorrupted("connection closed...") when the peer closed mid-buffer;
   /// kNotFound("connection closed") on a clean close at offset 0 — the
-  /// caller distinguishes "peer finished" from "peer died mid-frame".
+  /// caller distinguishes "peer finished" from "peer died mid-frame";
+  /// kDeadlineExceeded when a SetReadTimeoutMs cap expired first.
   Status ReadFull(void* out, size_t len);
 
-  /// Writes all `len` bytes. kIoError when the peer is gone (EPIPE/reset).
+  /// Writes all `len` bytes. kIoError when the peer is gone (EPIPE/reset);
+  /// kDeadlineExceeded when a SetWriteTimeoutMs cap expired first.
   Status WriteAll(const void* data, size_t len);
 
   /// True when at least one byte is readable within `timeout_ms`

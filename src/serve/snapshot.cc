@@ -9,6 +9,7 @@
 #include "core/export.h"
 #include "serve/wire.h"
 #include "util/csv.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace hypermine::serve {
@@ -80,6 +81,21 @@ class Reader {
 
 Status Corrupt(const std::string& what) {
   return Status::Corrupted("snapshot: " + what);
+}
+
+/// Chaos-only damage to freshly read snapshot bytes, before parsing:
+/// "snapshot.truncate" drops the second half, "snapshot.corrupt" flips a
+/// bit mid-body. Both must surface as kCorrupted from the deserializer
+/// (the checksum covers the whole body), which is exactly what the chaos
+/// harness asserts.
+void MaybeInjectSnapshotFault(std::string* data) {
+  if (data->empty()) return;
+  if (fault::ShouldFail("snapshot.truncate")) {
+    data->resize(data->size() / 2);
+  }
+  if (!data->empty() && fault::ShouldFail("snapshot.corrupt")) {
+    (*data)[data->size() / 2] ^= 0x40;
+  }
 }
 
 void AppendString(std::string* out, const std::string& value) {
@@ -271,11 +287,13 @@ Status WriteSnapshot(const core::DirectedHypergraph& graph,
 
 StatusOr<core::DirectedHypergraph> ReadSnapshot(const std::string& path) {
   HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  MaybeInjectSnapshotFault(&data);
   return DeserializeSnapshot(data);
 }
 
 StatusOr<LoadedSnapshot> ReadSnapshotFull(const std::string& path) {
   HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  MaybeInjectSnapshotFault(&data);
   return DeserializeSnapshotFull(data);
 }
 
@@ -310,6 +328,7 @@ StatusOr<core::DirectedHypergraph> LoadHypergraph(const std::string& path) {
 
 StatusOr<LoadedSnapshot> LoadModelFile(const std::string& path) {
   HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  MaybeInjectSnapshotFault(&data);
   if (LooksLikeSnapshot(data)) return DeserializeSnapshotFull(data);
   HM_ASSIGN_OR_RETURN(core::DirectedHypergraph graph,
                       core::ParseHypergraphCsv(data));

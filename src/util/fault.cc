@@ -1,0 +1,114 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hypermine::fault {
+namespace {
+
+/// SplitMix64 step — the same mixer util::Rng seeds from, small enough to
+/// inline here so the injector has no dependency on the experiment RNG.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashSiteName(std::string_view site) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a, matching the snapshot's
+  for (unsigned char c : site) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+double NextDouble(uint64_t* state) {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();  // never destroyed
+  return *injector;
+}
+
+void Injector::Enable(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Injector::Reset() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  seed_ = 0;
+}
+
+void Injector::Arm(std::string_view site, SiteConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.config = config;
+  s.rng_state = seed_ ^ HashSiteName(site);
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void Injector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) sites_.erase(it);
+}
+
+bool Injector::ShouldFire(std::string_view site) {
+  return ShouldFire(site, nullptr);
+}
+
+bool Injector::ShouldFire(std::string_view site, int* delay_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  const uint64_t hit = s.hits++;
+  if (hit < static_cast<uint64_t>(s.config.skip_first)) return false;
+  if (s.config.max_fires >= 0 &&
+      s.fires >= static_cast<uint64_t>(s.config.max_fires)) {
+    return false;
+  }
+  // Draw even for probability 1.0 so the stream position depends only on
+  // the hit count, never on the configured probability.
+  const double draw = NextDouble(&s.rng_state);
+  if (draw >= s.config.probability) return false;
+  ++s.fires;
+  if (delay_ms != nullptr) *delay_ms = s.config.delay_ms;
+  return true;
+}
+
+uint64_t Injector::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+uint64_t Injector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+void MaybeDelay(std::string_view site) {
+  Injector& injector = Injector::Global();
+  if (!injector.enabled()) return;
+  int delay_ms = 0;
+  if (injector.ShouldFire(site, &delay_ms) && delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
+}  // namespace hypermine::fault

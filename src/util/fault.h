@@ -1,0 +1,103 @@
+#ifndef HYPERMINE_UTIL_FAULT_H_
+#define HYPERMINE_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hypermine::fault {
+
+/// Deterministic fault injection (docs/robustness.md). Production code is
+/// sprinkled with named *sites* — `fault::ShouldFail("socket.read")` before
+/// a read, `fault::MaybeDelay("engine.batch")` before a batch — that decide
+/// whether to simulate a failure right here, right now. A chaos harness
+/// arms sites with per-site probability/count triggers and a seed; every
+/// other process never arms anything and pays exactly one relaxed atomic
+/// load + a predicted branch per site (the injector starts disabled and
+/// there is no way to enable it from config or the environment — only code
+/// that links a test can).
+///
+/// Determinism: each site draws from its own SplitMix64 stream seeded from
+/// (global seed, site name), so for a fixed seed the decision sequence of a
+/// site depends only on how many times that site was hit before — not on
+/// which other sites fired in between. Concurrent hits on one site are
+/// serialized under a mutex; across threads the interleaving (and thus the
+/// exact schedule) is OS-dependent, which is the point of a chaos run —
+/// the seed still pins each site's decision *sequence*.
+
+/// Trigger configuration for one armed site.
+struct SiteConfig {
+  /// Chance that a hit fires, evaluated per hit.
+  double probability = 1.0;
+  /// Hits that can fire before the site goes quiet; -1 = unlimited.
+  int max_fires = -1;
+  /// The first `skip_first` hits never fire (lets a connection establish
+  /// before its sockets start failing).
+  int skip_first = 0;
+  /// For delay sites (MaybeDelay): injected stall length when firing.
+  int delay_ms = 0;
+};
+
+class Injector {
+ public:
+  /// The process-wide injector every site consults.
+  static Injector& Global();
+
+  /// Arms the injector with a seed. Sites still need Arm() to do anything.
+  void Enable(uint64_t seed);
+  /// Stops all firing; armed sites stay configured (counters intact).
+  void Disable();
+  /// Disables and forgets every site and counter.
+  void Reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Configures one site. Re-arming resets its hit/fire counters and
+  /// reseeds its stream (so a phase can restart a site deterministically).
+  void Arm(std::string_view site, SiteConfig config);
+  /// Removes one site (its hits stop firing and stop counting).
+  void Disarm(std::string_view site);
+
+  /// True when the armed site `site` decides this hit fails. Unarmed
+  /// sites never fire. Thread-safe.
+  bool ShouldFire(std::string_view site);
+
+  /// Like ShouldFire, but also reports the site's configured delay_ms.
+  bool ShouldFire(std::string_view site, int* delay_ms);
+
+  /// Lifetime trigger count of a site (0 when never armed).
+  uint64_t fires(std::string_view site) const;
+  /// Lifetime hit count of a site (0 when never armed).
+  uint64_t hits(std::string_view site) const;
+
+ private:
+  struct Site {
+    SiteConfig config;
+    uint64_t rng_state = 0;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  uint64_t seed_ = 0;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+/// The hot-path check: false (one relaxed load) unless a chaos harness
+/// enabled the global injector AND armed this site AND its trigger fires.
+inline bool ShouldFail(std::string_view site) {
+  Injector& injector = Injector::Global();
+  return injector.enabled() && injector.ShouldFire(site);
+}
+
+/// Sleeps the site's configured delay_ms when the site fires; no-op (one
+/// relaxed load) otherwise. For stall-type sites on executable paths.
+void MaybeDelay(std::string_view site);
+
+}  // namespace hypermine::fault
+
+#endif  // HYPERMINE_UTIL_FAULT_H_

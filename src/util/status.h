@@ -29,6 +29,15 @@ enum class StatusCode {
   /// queue depth). The request was well-formed and may succeed if retried
   /// later — distinct from kInvalidArgument, which never will.
   kResourceExhausted = 10,
+  /// The service is temporarily unable to answer (load shed, draining,
+  /// connection refused/lost). Retrying with backoff is the expected
+  /// response — distinct from kResourceExhausted, which reports a
+  /// per-caller quota rather than server-side pressure.
+  kUnavailable = 11,
+  /// The caller's deadline expired before an answer arrived. The request
+  /// may still be executing server-side; retrying is safe only because
+  /// queries are read-only.
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -77,6 +86,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

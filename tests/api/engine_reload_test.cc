@@ -1,0 +1,133 @@
+// ReloadEngineFromFile is the serving path's only route to a new model,
+// so its three outcomes are pinned here: a good snapshot goes live, a bad
+// file never reaches the engine slot, and a model that goes live but
+// fails its post-swap probe is rolled back — the previous model serving
+// throughout, with the report saying exactly which case happened.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+#include "api/model.h"
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace hypermine::api {
+namespace {
+
+/// A model whose single rule A -> `head` marks it: any answer reveals
+/// which model produced it.
+std::shared_ptr<const Model> MarkedModel(core::VertexId head) {
+  auto graph = core::DirectedHypergraph::Create({"A", "B", "C", "D"});
+  HM_CHECK_OK(graph.status());
+  HM_CHECK_OK(graph->AddEdge({0}, head, 0.9).status());
+  return Model::FromGraph(std::move(graph).value(), {});
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/engine_reload_" + name;
+}
+
+std::string MarkerOf(Engine* engine) {
+  QueryRequest request;
+  request.names = {"A"};
+  request.k = 1;
+  auto response = engine->Query(request);
+  HM_CHECK_OK(response.status());
+  HM_CHECK(!response->ranked.empty());
+  std::shared_ptr<const Model> model = engine->model();
+  return model->graph().vertex_name(response->ranked[0].head);
+}
+
+TEST(EngineReloadTest, GoodSnapshotGoesLive) {
+  Engine engine(MarkedModel(1));
+  const uint64_t old_version = engine.model()->version();
+  const std::string path = TempPath("good.snap");
+  ASSERT_TRUE(MarkedModel(2)->SaveSnapshot(path).ok());
+
+  ReloadReport report = ReloadEngineFromFile(&engine, path);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(report.old_version, old_version);
+  EXPECT_EQ(report.new_version, engine.model()->version());
+  EXPECT_NE(report.new_version, old_version);
+  EXPECT_EQ(MarkerOf(&engine), "C") << "head 2 = C must be serving";
+  std::remove(path.c_str());
+}
+
+TEST(EngineReloadTest, MissingFileLeavesTheOldModelServing) {
+  Engine engine(MarkedModel(1));
+  const uint64_t old_version = engine.model()->version();
+
+  ReloadReport report =
+      ReloadEngineFromFile(&engine, TempPath("does_not_exist.snap"));
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_FALSE(report.rolled_back) << "a failed load never went live";
+  EXPECT_EQ(engine.model()->version(), old_version);
+  EXPECT_EQ(MarkerOf(&engine), "B") << "head 1 = B still serving";
+}
+
+TEST(EngineReloadTest, CorruptSnapshotNeverReachesTheEngine) {
+  Engine engine(MarkedModel(1));
+  const uint64_t old_version = engine.model()->version();
+
+  // A real snapshot with one byte flipped mid-body: the checksum check
+  // rejects it at load, before any swap.
+  const std::string path = TempPath("corrupt.snap");
+  ASSERT_TRUE(MarkedModel(2)->SaveSnapshot(path).ok());
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const auto size = file.tellg();
+    file.seekp(static_cast<std::streamoff>(size) / 2);
+    file.put(static_cast<char>(0x7F));
+  }
+
+  ReloadReport report = ReloadEngineFromFile(&engine, path);
+  EXPECT_EQ(report.status.code(), StatusCode::kCorrupted)
+      << report.status;
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(engine.model()->version(), old_version);
+  EXPECT_EQ(MarkerOf(&engine), "B");
+  std::remove(path.c_str());
+}
+
+TEST(EngineReloadTest, FailedPostSwapProbeRollsBack) {
+  fault::Injector& injector = fault::Injector::Global();
+  injector.Reset();
+  injector.Enable(/*seed=*/1);
+  fault::SiteConfig once;
+  once.max_fires = 1;
+  injector.Arm("reload.verify", once);
+
+  Engine engine(MarkedModel(1));
+  const uint64_t old_version = engine.model()->version();
+  const std::string path = TempPath("rollback.snap");
+  ASSERT_TRUE(MarkedModel(2)->SaveSnapshot(path).ok());
+
+  ReloadReport report = ReloadEngineFromFile(&engine, path);
+  injector.Reset();
+  EXPECT_EQ(report.status.code(), StatusCode::kFailedPrecondition)
+      << report.status;
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_EQ(report.old_version, old_version);
+  EXPECT_NE(report.new_version, old_version) << "the new model DID go live";
+  EXPECT_EQ(engine.model()->version(), old_version)
+      << "rollback must restore the previous model";
+  EXPECT_EQ(MarkerOf(&engine), "B");
+
+  // The same file reloads fine once the fault is gone: rollback does not
+  // poison the engine or the path.
+  ReloadReport retry = ReloadEngineFromFile(&engine, path);
+  EXPECT_TRUE(retry.status.ok()) << retry.status;
+  EXPECT_EQ(MarkerOf(&engine), "C");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hypermine::api

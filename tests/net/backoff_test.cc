@@ -1,0 +1,86 @@
+// The backoff schedule is part of the retry contract (docs/robustness.md):
+// Socket::Connect and net::Client both lean on BackoffDelayMs, so the
+// doubling, the cap, and the jitter band are pinned here rather than
+// re-derived in every caller's test.
+#include "net/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hypermine::net {
+namespace {
+
+TEST(BackoffTest, DoublesFromBaseUntilTheCap) {
+  BackoffPolicy policy;  // 10 ms doubling to 1000 ms, no jitter
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 10);
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 20);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 40);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 80);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 160);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 320);
+  EXPECT_EQ(BackoffDelayMs(policy, 6), 640);
+  EXPECT_EQ(BackoffDelayMs(policy, 7), 1000) << "clamped, not 1280";
+  EXPECT_EQ(BackoffDelayMs(policy, 8), 1000);
+  EXPECT_EQ(BackoffDelayMs(policy, 1000), 1000)
+      << "deep attempts must not overflow the doubling";
+}
+
+TEST(BackoffTest, ConnectSchedule) {
+  // The exact schedule Socket::Connect uses for refused connections.
+  const BackoffPolicy policy{/*base_ms=*/10, /*max_ms=*/500,
+                             /*jitter=*/false};
+  int total = 0;
+  const int expected[] = {10, 20, 40, 80, 160, 320, 500, 500};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(policy, attempt), expected[attempt])
+        << "attempt " << attempt;
+    total += expected[attempt];
+  }
+  // Eight failed attempts stay near a second and a half of sleeping —
+  // bounded enough that a connect budget is honored promptly.
+  EXPECT_EQ(total, 1630);
+}
+
+TEST(BackoffTest, ZeroOrNegativeBaseMeansNoDelay) {
+  BackoffPolicy policy;
+  policy.base_ms = 0;
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 0);
+  policy.base_ms = -3;
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 0);
+}
+
+TEST(BackoffTest, MaxBelowBaseClampsToBase) {
+  BackoffPolicy policy;
+  policy.base_ms = 50;
+  policy.max_ms = 10;  // misconfigured: cap below base
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 50);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 50);
+}
+
+TEST(BackoffTest, JitterStaysInTheHalfToFullBand) {
+  BackoffPolicy policy;
+  policy.jitter = true;
+  Rng rng(7);
+  bool saw_below_full = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int full = BackoffDelayMs({policy.base_ms, policy.max_ms, false},
+                                    attempt);
+    for (int i = 0; i < 200; ++i) {
+      const int jittered = BackoffDelayMs(policy, attempt, &rng);
+      EXPECT_GE(jittered, full / 2);
+      EXPECT_LE(jittered, full);
+      if (jittered < full) saw_below_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_below_full) << "jitter never moved the delay";
+}
+
+TEST(BackoffTest, JitterWithoutRngFallsBackToDeterministic) {
+  BackoffPolicy policy;
+  policy.jitter = true;
+  EXPECT_EQ(BackoffDelayMs(policy, 2, nullptr), 40);
+}
+
+}  // namespace
+}  // namespace hypermine::net

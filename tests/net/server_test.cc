@@ -18,7 +18,9 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace hypermine::net {
 namespace {
@@ -526,6 +528,164 @@ TEST(ServerTest, IdleTimeoutReapsOnlyTrulyIdleConnections) {
   ServerStats stats = server->stats();
   EXPECT_GE(stats.connections_reaped, 1u);
   // The active connection survived every reap pass.
+  auto after = busy.Query(Named({"A"}));
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->code, StatusCode::kOk);
+}
+
+TEST(ServerTest, QueueWaitSheddingAnswersUnavailable) {
+  // Stall the first engine batch via the "engine.batch" fault site
+  // (one fire, 150 ms). With max_batch=1 every later frame waits in the
+  // pending queue behind it, out-waits the 10 ms budget, and must be
+  // answered kUnavailable — a clean in-band shed, not a closed socket.
+  fault::Injector& injector = fault::Injector::Global();
+  injector.Reset();
+  injector.Enable(/*seed=*/1);
+  fault::SiteConfig stall;
+  stall.delay_ms = 150;
+  stall.max_fires = 1;
+  injector.Arm("engine.batch", stall);
+
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.max_queue_wait_ms = 10;
+  options.max_batch = 1;
+  options.num_threads = 1;
+  auto server = StartOrDie(&engine, options);
+  Client client = ConnectOrDie(server->port());
+
+  std::vector<api::QueryRequest> requests(8, Named({"A"}));
+  auto responses = client.QueryMany(requests);
+  injector.Reset();
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 8u);
+
+  size_t ok = 0, shed = 0;
+  for (const WireResponse& response : *responses) {
+    if (response.code == StatusCode::kOk) ++ok;
+    if (response.code == StatusCode::kUnavailable) ++shed;
+  }
+  EXPECT_EQ(ok + shed, 8u) << "only clean statuses may come back";
+  EXPECT_GE(ok, 1u) << "the stalled query itself still answers";
+  EXPECT_GE(shed, 1u) << "queued queries out-waited the budget";
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries_shed, shed);
+  EXPECT_EQ(stats.queries_answered, ok);
+}
+
+TEST(ServerTest, ShedQueriesRetrySuccessfullyOnceTheQueueClears) {
+  fault::Injector& injector = fault::Injector::Global();
+  injector.Reset();
+  injector.Enable(/*seed=*/1);
+  fault::SiteConfig stall;
+  stall.delay_ms = 120;
+  stall.max_fires = 1;
+  injector.Arm("engine.batch", stall);
+
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.max_queue_wait_ms = 10;
+  options.max_batch = 1;
+  options.num_threads = 1;
+  auto server = StartOrDie(&engine, options);
+  Client slow = ConnectOrDie(server->port());
+  Client retrying = ConnectOrDie(server->port());
+
+  // Occupy the single worker with the stalled query, then race a second
+  // client against the stall with retries enabled: its first attempt may
+  // be shed, but backoff outlives the stall and the retry answers.
+  std::thread occupant([&slow] {
+    auto response = slow.Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  CallOptions call;
+  call.max_retries = 6;
+  auto response = retrying.Query(Named({"A"}), call);
+  occupant.join();
+  injector.Reset();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kOk)
+      << "retries must eventually clear a transient shed";
+}
+
+TEST(ServerTest, DrainFinishesInFlightWorkAndRefusesNewConnections) {
+  metrics::Registry registry;
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.admin_port = 0;
+  options.registry = &registry;
+  auto server = StartOrDie(&engine, options);
+
+  Client busy = ConnectOrDie(server->port());
+  auto before = busy.Query(Named({"A"}));
+  ASSERT_TRUE(before.ok()) << before.status();
+  auto idle = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(idle.ok());
+
+  EXPECT_FALSE(server->draining());
+  server->Drain();
+  server->Drain();  // idempotent
+  EXPECT_TRUE(server->draining());
+
+  // Every query connection is closed once quiet — both the never-used one
+  // and the one that already answered — observed as EOF on our side.
+  char byte;
+  EXPECT_FALSE(idle->ReadFull(&byte, 1).ok());
+  auto during = busy.Query(Named({"A"}));
+  EXPECT_FALSE(during.ok()) << "drained connection should be closed";
+
+  // The admin plane outlives the drain, reporting it: /healthz flips to
+  // 503 so load balancers stop routing here.
+  auto connected = Socket::Connect("127.0.0.1", server->admin_port(), 2000);
+  ASSERT_TRUE(connected.ok()) << connected.status();
+  Socket& admin = *connected;
+  const std::string request =
+      "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n";
+  ASSERT_TRUE(admin.WriteAll(request.data(), request.size()).ok());
+  std::string response;
+  char buffer[2048];
+  for (;;) {
+    Socket::IoResult io = admin.ReadSome(buffer, sizeof(buffer));
+    ASSERT_TRUE(io.status.ok()) << io.status;
+    if (io.closed || io.bytes == 0) break;
+    response.append(buffer, io.bytes);
+    if (response.find("draining\n") != std::string::npos) break;
+  }
+  EXPECT_EQ(response.find("HTTP/1.1 503 Service Unavailable\r\n"), 0u)
+      << response;
+  EXPECT_NE(response.find("draining\n"), std::string::npos) << response;
+}
+
+TEST(ServerTest, StallTimeoutClosesSlowLorisButNotSteadyTraffic) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.stall_timeout_ms = 150;
+  auto server = StartOrDie(&engine, options);
+
+  // The loris: four header bytes, then silence — never idle by the byte
+  // clock's measure if it trickled, but parked mid-frame either way.
+  auto loris = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(loris.ok());
+  const char partial_header[4] = {'h', 'm', 'q', '1'};
+  ASSERT_TRUE(loris->WriteAll(partial_header, 4).ok());
+
+  // Steady traffic on a second connection: every exchange completes a
+  // frame, so it makes progress and must never be stall-closed.
+  Client busy = ConnectOrDie(server->port());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(600);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto response = busy.Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+
+  char byte;
+  EXPECT_FALSE(loris->ReadFull(&byte, 1).ok())
+      << "mid-frame connection should have been stall-closed";
+  ServerStats stats = server->stats();
+  EXPECT_GE(stats.connections_stalled, 1u);
   auto after = busy.Query(Named({"A"}));
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_EQ(after->code, StatusCode::kOk);

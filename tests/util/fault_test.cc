@@ -1,0 +1,210 @@
+// The fault injector is only trustworthy if its schedules are exactly
+// reproducible: a chaos failure is reported as a seed, and replaying that
+// seed must replay the same decision sequence at every site. These tests
+// pin that contract — plus the triggers (probability, skip_first,
+// max_fires) and the "disabled costs nothing, fires nothing" default.
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hypermine::fault {
+namespace {
+
+/// Every test starts and ends with a clean global injector — the instance
+/// is process-wide, so leftover arming would leak into other suites.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Injector::Global().Reset(); }
+  void TearDown() override { Injector::Global().Reset(); }
+};
+
+std::vector<bool> Draw(Injector& injector, const std::string& site, int n) {
+  std::vector<bool> decisions;
+  decisions.reserve(n);
+  for (int i = 0; i < n; ++i) decisions.push_back(injector.ShouldFire(site));
+  return decisions;
+}
+
+TEST_F(FaultTest, DisabledInjectorNeverFires) {
+  Injector& injector = Injector::Global();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(ShouldFail("socket.read"));
+  // Arming without Enable still fires nothing.
+  injector.Arm("socket.read", SiteConfig{});
+  EXPECT_FALSE(ShouldFail("socket.read"));
+  EXPECT_EQ(injector.fires("socket.read"), 0u);
+}
+
+TEST_F(FaultTest, UnarmedSitesNeverFireEvenWhenEnabled) {
+  Injector& injector = Injector::Global();
+  injector.Enable(/*seed=*/1);
+  EXPECT_FALSE(ShouldFail("socket.read"));
+  EXPECT_EQ(injector.hits("socket.read"), 0u);
+}
+
+TEST_F(FaultTest, SameSeedSameSchedule) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.probability = 0.3;
+
+  injector.Enable(42);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> first = Draw(injector, "socket.read", 200);
+
+  injector.Reset();
+  injector.Enable(42);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> replay = Draw(injector, "socket.read", 200);
+
+  EXPECT_EQ(first, replay);
+  // The sequence is non-trivial at p=0.3 over 200 draws.
+  EXPECT_NE(injector.fires("socket.read"), 0u);
+  EXPECT_NE(injector.fires("socket.read"), 200u);
+}
+
+TEST_F(FaultTest, DifferentSeedsDiverge) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.probability = 0.3;
+
+  injector.Enable(42);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> a = Draw(injector, "socket.read", 200);
+
+  injector.Reset();
+  injector.Enable(43);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> b = Draw(injector, "socket.read", 200);
+
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, SitesDrawIndependentStreams) {
+  // A site's decision sequence depends only on its own hit count: hitting
+  // another site in between must not shift it.
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.probability = 0.5;
+
+  injector.Enable(7);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> alone = Draw(injector, "socket.read", 100);
+
+  injector.Reset();
+  injector.Enable(7);
+  injector.Arm("socket.read", config);
+  injector.Arm("socket.write", config);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    (void)injector.ShouldFire("socket.write");
+    interleaved.push_back(injector.ShouldFire("socket.read"));
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(FaultTest, SkipFirstSuppressesEarlyHits) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;  // probability 1.0
+  config.skip_first = 3;
+  injector.Enable(1);
+  injector.Arm("snapshot.corrupt", config);
+
+  EXPECT_FALSE(injector.ShouldFire("snapshot.corrupt"));
+  EXPECT_FALSE(injector.ShouldFire("snapshot.corrupt"));
+  EXPECT_FALSE(injector.ShouldFire("snapshot.corrupt"));
+  EXPECT_TRUE(injector.ShouldFire("snapshot.corrupt"));
+  EXPECT_EQ(injector.hits("snapshot.corrupt"), 4u);
+  EXPECT_EQ(injector.fires("snapshot.corrupt"), 1u);
+}
+
+TEST_F(FaultTest, MaxFiresExhaustsTheSite) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;  // probability 1.0
+  config.max_fires = 2;
+  injector.Enable(1);
+  injector.Arm("reload.verify", config);
+
+  EXPECT_TRUE(injector.ShouldFire("reload.verify"));
+  EXPECT_TRUE(injector.ShouldFire("reload.verify"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.ShouldFire("reload.verify"));
+  }
+  EXPECT_EQ(injector.fires("reload.verify"), 2u);
+  EXPECT_EQ(injector.hits("reload.verify"), 12u);
+}
+
+TEST_F(FaultTest, RearmingResetsCountersAndStream) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.probability = 0.4;
+  injector.Enable(99);
+  injector.Arm("socket.read", config);
+  const std::vector<bool> first = Draw(injector, "socket.read", 50);
+
+  // Re-arm (same config): the stream restarts from the same seed.
+  injector.Arm("socket.read", config);
+  EXPECT_EQ(injector.hits("socket.read"), 0u);
+  EXPECT_EQ(injector.fires("socket.read"), 0u);
+  EXPECT_EQ(Draw(injector, "socket.read", 50), first);
+}
+
+TEST_F(FaultTest, DisarmStopsFiringAndCounting) {
+  Injector& injector = Injector::Global();
+  injector.Enable(1);
+  injector.Arm("socket.read", SiteConfig{});
+  EXPECT_TRUE(injector.ShouldFire("socket.read"));
+  injector.Disarm("socket.read");
+  EXPECT_FALSE(injector.ShouldFire("socket.read"));
+  EXPECT_EQ(injector.hits("socket.read"), 0u) << "disarm forgets the site";
+}
+
+TEST_F(FaultTest, DisableKeepsConfigurationIntact) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.skip_first = 1;
+  injector.Enable(5);
+  injector.Arm("socket.write", config);
+  EXPECT_FALSE(injector.ShouldFire("socket.write"));  // skip_first eats #1
+
+  injector.Disable();
+  EXPECT_FALSE(ShouldFail("socket.write"));
+
+  // Re-enabling resumes where the site left off: hit #2 fires.
+  injector.Enable(5);
+  EXPECT_TRUE(injector.ShouldFire("socket.write"));
+}
+
+TEST_F(FaultTest, ProbabilityRoughlyHolds) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.probability = 0.2;
+  injector.Enable(123);
+  injector.Arm("engine.batch", config);
+  for (int i = 0; i < 2000; ++i) (void)injector.ShouldFire("engine.batch");
+  const uint64_t fires = injector.fires("engine.batch");
+  // Loose 3-sigma-ish band around 400; deterministic given the seed.
+  EXPECT_GT(fires, 300u);
+  EXPECT_LT(fires, 500u);
+}
+
+TEST_F(FaultTest, DelayIsReportedOnlyWhenFiring) {
+  Injector& injector = Injector::Global();
+  SiteConfig config;
+  config.delay_ms = 25;
+  config.max_fires = 1;
+  injector.Enable(1);
+  injector.Arm("engine.batch", config);
+
+  int delay_ms = 0;
+  EXPECT_TRUE(injector.ShouldFire("engine.batch", &delay_ms));
+  EXPECT_EQ(delay_ms, 25);
+  delay_ms = 0;
+  EXPECT_FALSE(injector.ShouldFire("engine.batch", &delay_ms));
+  EXPECT_EQ(delay_ms, 0) << "exhausted site must not report a delay";
+}
+
+}  // namespace
+}  // namespace hypermine::fault

@@ -13,6 +13,12 @@
 // start the server and the client concurrently). --verbose prints each
 // answer's model version, which the CI reload smoke uses to assert a hot
 // swap flipped the served model.
+//
+// --timeout-ms=N bounds each query call (including retries and reconnects)
+// and --retries=N re-issues queries that hit a transport fault or a
+// kUnavailable load-shed, with jittered exponential backoff — see
+// docs/robustness.md. --verbose additionally prints the client's
+// retry/reconnect counters on stderr at exit.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -58,6 +64,21 @@ void PrintResponse(const net::WireResponse& response, bool verbose) {
   }
 }
 
+/// With --verbose, reports the retry-layer counters on stderr so scripts
+/// (and the CI chaos smoke) can see how hard the client had to work —
+/// stdout stays byte-identical to hypermine_serve's answers either way.
+void PrintClientStats(const net::Client& client, bool verbose) {
+  if (!verbose) return;
+  const net::ClientStats& stats = client.stats();
+  std::fprintf(stderr,
+               "client stats: retries=%llu reconnects=%llu "
+               "deadline_exceeded=%llu unavailable=%llu\n",
+               static_cast<unsigned long long>(stats.retries),
+               static_cast<unsigned long long>(stats.reconnects),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
+               static_cast<unsigned long long>(stats.unavailable));
+}
+
 /// Parses one stdin line / --query value into the request's name list.
 bool ParseNames(const std::string& line, api::QueryRequest* request) {
   request->names.clear();
@@ -79,12 +100,21 @@ int Main(int argc, char** argv) {
         stderr,
         "usage: hypermine_client --port=N [--host=127.0.0.1] [--k=N]\n"
         "         [--mode=topk|reach] [--min_acv=X] [--retry-ms=N]\n"
-        "         [--query=A,B] [--verbose]\n"
-        "  stdin: one query per line, comma-separated vertex names\n");
+        "         [--timeout-ms=N] [--retries=N] [--query=A,B] [--verbose]\n"
+        "  stdin: one query per line, comma-separated vertex names\n"
+        "  --timeout-ms bounds each call; --retries re-issues transport\n"
+        "  faults and kUnavailable sheds with exponential backoff\n");
     return 1;
   }
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int retry_ms = static_cast<int>(flags.GetInt("retry-ms", 0));
+  const int64_t timeout_ms = flags.GetInt("timeout-ms", 0);
+  const int64_t retries = flags.GetInt("retries", 0);
+  if (timeout_ms < 0 || retries < 0) {
+    std::fprintf(stderr,
+                 "error: --timeout-ms and --retries must be >= 0\n");
+    return 1;
+  }
 
   api::QueryRequest request;
   request.k = static_cast<size_t>(flags.GetInt("k", 10));
@@ -97,6 +127,10 @@ int Main(int argc, char** argv) {
   auto client =
       net::Client::Connect(host, static_cast<uint16_t>(port), retry_ms);
   if (!client.ok()) return Fail(client.status());
+  net::CallOptions call_options;
+  call_options.deadline_ms = static_cast<int>(timeout_ms);
+  call_options.max_retries = static_cast<int>(retries);
+  client->set_call_options(call_options);
 
   const std::string one_shot = flags.GetString("query", "");
   if (!one_shot.empty()) {
@@ -105,6 +139,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
     auto response = client->Query(request);
+    PrintClientStats(*client, verbose);
     if (!response.ok()) return Fail(response.status());
     PrintResponse(*response, verbose);
     return response->code == StatusCode::kOk ? 0 : 1;
@@ -125,9 +160,13 @@ int Main(int argc, char** argv) {
       continue;
     }
     auto response = client->Query(request);
-    if (!response.ok()) return Fail(response.status());
+    if (!response.ok()) {
+      PrintClientStats(*client, verbose);
+      return Fail(response.status());
+    }
     PrintResponse(*response, verbose);
   }
+  PrintClientStats(*client, verbose);
   return 0;
 }
 

@@ -9,7 +9,9 @@
 //   # Serve top-k / reachability queries from stdin, one query per line:
 //   # comma-separated vertex names, e.g. "HES,SLB". Lines starting with
 //   # '!' are commands:
-//   #   !reload <path>   hot-swap the live model (zero downtime)
+//   #   !reload <path>   hot-swap the live model (async, verify-then-swap
+//   #                    with rollback; see docs/robustness.md)
+//   #   !drain           stop accepting query connections, finish work
 //   #   !info            print the live model's version and provenance
 //   #   !stats           print the /statusz JSON (docs/observability.md)
 //   hypermine_serve --snapshot=model.snap --k=5
@@ -44,8 +46,10 @@
 #include "util/build_info.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hypermine {
 namespace {
@@ -147,13 +151,58 @@ void PrintResponse(const StatusOr<api::QueryResponse>& response,
   }
 }
 
+/// Runs one hot reload through api::ReloadEngineFromFile and reports the
+/// outcome — called on the reload pool, never on the stdin/reactor thread
+/// (snapshot IO and the index build block for a large model). Outcome
+/// counters land in the default registry so /metrics and !stats show how
+/// often reloads succeed, fail to load, or go live and get rolled back.
+void RunReload(api::Engine* engine, const std::string& path) {
+  Stopwatch timer;
+  const api::ReloadReport report = api::ReloadEngineFromFile(engine, path);
+  metrics::Registry& registry = metrics::DefaultRegistry();
+  registry
+      .GetCounter("hypermine_reloads_total",
+                  "Hot reload attempts via !reload.")
+      ->Increment();
+  if (report.rolled_back) {
+    registry
+        .GetCounter("hypermine_reload_rollbacks_total",
+                    "Reloads that went live, failed the post-swap probe, "
+                    "and were rolled back.")
+        ->Increment();
+  }
+  if (!report.status.ok()) {
+    registry
+        .GetCounter("hypermine_reload_failures_total",
+                    "Reloads that did not leave a new model serving.")
+        ->Increment();
+    std::printf(report.rolled_back
+                    ? "reload rolled back (serving v%llu again): %s\n"
+                    : "reload failed (still serving v%llu): %s\n",
+                static_cast<unsigned long long>(report.old_version),
+                report.status.ToString().c_str());
+    std::fflush(stdout);
+    return;
+  }
+  std::shared_ptr<const api::Model> live = engine->model();
+  std::printf("reloaded %s in %.1f ms: %s\n", path.c_str(),
+              timer.ElapsedMillis(), live->ToString().c_str());
+  PrintProvenance(live->spec());
+  std::fflush(stdout);
+}
+
 /// Handles a '!' command line in serve mode. Unknown commands and failed
 /// reloads are reported, not fatal — the serving loop keeps going. Acks
 /// are flushed eagerly: with stdout redirected to a file (CI smokes poll
 /// it for the "reloaded" line while the process is alive), stdio is
 /// block-buffered and an unflushed ack would sit invisible for minutes.
+///
+/// `!reload` is asynchronous: the line is acknowledged immediately and the
+/// load runs on `reload_pool` (one thread, so concurrent !reload lines
+/// serialize — api::ReloadEngineFromFile requires it) while stdin queries
+/// and the TCP front-end keep answering on the old model.
 void RunCommand(const std::string& line, api::Engine* engine,
-                const net::Server* server) {
+                net::Server* server, ThreadPool* reload_pool) {
   if (line == "!stats") {
     // The same JSON document GET /statusz serves, so operators without
     // curl (or without --admin-port) read identical numbers on stdin.
@@ -168,31 +217,29 @@ void RunCommand(const std::string& line, api::Engine* engine,
     std::fflush(stdout);
     return;
   }
-  if (line.rfind("!reload ", 0) == 0) {
-    const std::string path = Trim(line.substr(8));
-    Stopwatch timer;
-    auto next = api::Model::FromFile(path);
-    if (!next.ok()) {
-      // The live model keeps serving; a bad reload drops nothing.
-      std::printf("reload failed (still serving v%llu): %s\n",
-                  static_cast<unsigned long long>(engine->model()->version()),
-                  next.status().ToString().c_str());
+  if (line == "!drain") {
+    if (server == nullptr) {
+      std::printf("!drain needs --listen (no TCP front-end to drain)\n");
       std::fflush(stdout);
       return;
     }
-    // Build the new model's index before it goes live: the swap itself
-    // is then a pointer exchange and the first post-reload query answers
-    // at full speed.
-    (*next)->index();
-    engine->Swap(*next);
-    std::printf("reloaded %s in %.1f ms: %s\n", path.c_str(),
-                timer.ElapsedMillis(), (*next)->ToString().c_str());
-    PrintProvenance((*next)->spec());
+    server->Drain();
+    std::printf(
+        "draining: refusing new query connections, finishing in-flight "
+        "work; /healthz now answers 503\n");
     std::fflush(stdout);
     return;
   }
-  std::printf("unknown command %s (try !info, !stats or !reload <path>)\n",
-              line.c_str());
+  if (line.rfind("!reload ", 0) == 0) {
+    const std::string path = Trim(line.substr(8));
+    reload_pool->Submit([engine, path] { RunReload(engine, path); });
+    std::printf("reload of %s started\n", path.c_str());
+    std::fflush(stdout);
+    return;
+  }
+  std::printf(
+      "unknown command %s (try !info, !stats, !drain or !reload <path>)\n",
+      line.c_str());
   std::fflush(stdout);
 }
 
@@ -225,6 +272,11 @@ int RunServe(const FlagParser& flags) {
     return 1;
   }
   api::Engine engine(*model, options);
+  // One thread so queued !reload lines run in order (ReloadEngineFromFile
+  // requires serialized reloads). Declared after the engine: the pool is
+  // destroyed first, draining any queued reload while the engine it
+  // captures is still alive.
+  ThreadPool reload_pool(1);
 
   request.min_acv = flags.GetDouble("min_acv", 0.0);
   request.kind = flags.GetString("mode", "topk") == "reach"
@@ -259,6 +311,18 @@ int RunServe(const FlagParser& flags) {
       return 1;
     }
     server_options.idle_timeout_ms = static_cast<int>(idle_ms);
+    const int64_t queue_wait_ms = flags.GetInt("max-queue-wait-ms", 0);
+    if (queue_wait_ms < 0) {
+      std::fprintf(stderr, "error: --max-queue-wait-ms must be >= 0\n");
+      return 1;
+    }
+    server_options.max_queue_wait_ms = static_cast<int>(queue_wait_ms);
+    const int64_t stall_ms = flags.GetInt("stall-timeout-ms", 0);
+    if (stall_ms < 0) {
+      std::fprintf(stderr, "error: --stall-timeout-ms must be >= 0\n");
+      return 1;
+    }
+    server_options.stall_timeout_ms = static_cast<int>(stall_ms);
     if (flags.Has("admin-port")) {
       const int64_t admin_port = flags.GetInt("admin-port", -1);
       if (admin_port < 0 || admin_port > 0xFFFF) {
@@ -291,7 +355,7 @@ int RunServe(const FlagParser& flags) {
     line = Trim(line);
     if (line.empty()) continue;
     if (line[0] == '!') {
-      RunCommand(line, &engine, server.get());
+      RunCommand(line, &engine, server.get(), &reload_pool);
       continue;
     }
     request.names.clear();
@@ -465,9 +529,12 @@ int Main(int argc, char** argv) {
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
                "      [--log-level=info|warning|error]\n"
                "      [--listen=PORT [--admin-port=PORT] [--quota=N] "
-               "[--max-connections=N] [--idle-timeout-ms=N]]\n"
+               "[--max-connections=N] [--idle-timeout-ms=N]\n"
+               "       [--max-queue-wait-ms=N] [--stall-timeout-ms=N]]\n"
                "    stdin: vertex-name queries; !reload <path> hot-swaps "
-               "the model; !info prints provenance;\n"
+               "the model (async, rollback on a bad snapshot);\n"
+               "    !drain refuses new query connections and flips "
+               "/healthz to 503; !info prints provenance;\n"
                "    !stats prints the /statusz JSON\n"
                "    --listen additionally serves the framed TCP protocol "
                "on 127.0.0.1:PORT (see hypermine_client);\n"
