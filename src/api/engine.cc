@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <utility>
 
@@ -27,7 +26,7 @@ void Engine::Swap(std::shared_ptr<const Model> model) {
   HM_CHECK(model != nullptr);
   const uint64_t live_version = model->version();
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    MutexLock lock(model_mutex_);
     model_.swap(model);
   }
   swap_count_.fetch_add(1, std::memory_order_relaxed);
@@ -35,7 +34,7 @@ void Engine::Swap(std::shared_ptr<const Model> model) {
   // them unreachable; the purge stops a dead model's answers from
   // occupying capacity until LRU pressure pushes them out.
   if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     for (auto it = lru_.begin(); it != lru_.end();) {
       if (it->model_version != live_version) {
         cache_.erase(it->key);
@@ -48,7 +47,7 @@ void Engine::Swap(std::shared_ptr<const Model> model) {
 }
 
 std::shared_ptr<const Model> Engine::model() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return model_;
 }
 
@@ -105,7 +104,7 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
   std::string key;
   if (cache_capacity_ > 0) {
     key = CacheKey(model.version(), request, items);
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -129,7 +128,7 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
   }
 
   if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
       lru_.push_front(CacheEntry{key, model.version(), response});
@@ -170,9 +169,9 @@ std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
     std::vector<StatusOr<QueryResponse>> results;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool complete = false;
+    Mutex mutex;
+    CondVar cv;
+    bool complete HM_GUARDED_BY(mutex) = false;
   };
   auto state = std::make_shared<BatchState>(n);
   state->requests = &requests;
@@ -183,9 +182,9 @@ std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
     while ((i = state->next.fetch_add(1)) < n) {
       state->results[i] = Process(*state->model, (*state->requests)[i]);
       if (state->done.fetch_add(1) + 1 == n) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->complete = true;
-        state->cv.notify_all();
+        state->cv.NotifyAll();
       }
     }
   };
@@ -194,8 +193,10 @@ std::vector<StatusOr<QueryResponse>> Engine::QueryBatch(
   std::vector<std::function<void()>> tasks(chunks, run_chunk);
   pool_->SubmitAll(std::move(tasks));
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&state] { return state->complete; });
+  MutexLock lock(state->mutex);
+  state->cv.Wait(state->mutex, [&state]() HM_REQUIRES(state->mutex) {
+    return state->complete;
+  });
   return std::move(state->results);
 }
 
@@ -207,7 +208,7 @@ StatusOr<QueryResponse> Engine::Query(
 }
 
 CacheStats Engine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   return stats_;
 }
 

@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/model.h"
 #include "serve/rule_index.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hypermine::api {
@@ -143,16 +144,19 @@ class Engine {
                               const QueryRequest& request,
                               const std::vector<core::VertexId>& items);
 
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const Model> model_;
+  mutable Mutex model_mutex_;
+  std::shared_ptr<const Model> model_ HM_GUARDED_BY(model_mutex_);
   std::atomic<uint64_t> swap_count_{0};
 
   // LRU cache: list front = most recent; map points into the list.
-  mutable std::mutex cache_mutex_;
-  size_t cache_capacity_ = 0;
-  std::list<CacheEntry> lru_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
-  CacheStats stats_;
+  mutable Mutex cache_mutex_;
+  /// Immutable after construction, so the cache-enabled check on the query
+  /// hot path needs no lock.
+  const size_t cache_capacity_;
+  std::list<CacheEntry> lru_ HM_GUARDED_BY(cache_mutex_);
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_
+      HM_GUARDED_BY(cache_mutex_);
+  CacheStats stats_ HM_GUARDED_BY(cache_mutex_);
 
   /// Owned pool when options.pool was null. MUST be declared after the
   /// cache state: ~ThreadPool drains in-flight chunks, which still call

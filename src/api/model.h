@@ -111,6 +111,11 @@ class Model {
   ModelSpec spec_;
   uint64_t version_ = 0;
 
+  // The two lazy members below are std::call_once-guarded, not
+  // mutex-guarded: written exactly once (under their once_flag) and
+  // immutable afterwards, a discipline Clang's thread safety analysis
+  // cannot express — the flags stay std::once_flag on purpose, and this
+  // class is the repo's one sanctioned <mutex> include outside util/.
   mutable std::once_flag index_once_;
   mutable std::optional<serve::RuleIndex> index_;
   /// Heterogeneous lookup so FindVertex(string_view) — the per-item hot

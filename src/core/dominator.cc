@@ -50,8 +50,7 @@ void RecomputeCoverage(const DirectedHypergraph& graph,
   }
 }
 
-DominatorResult FinishResult(const DirectedHypergraph& graph,
-                             const std::vector<VertexId>& s,
+DominatorResult FinishResult(const std::vector<VertexId>& s,
                              std::vector<char> in_dom,
                              std::vector<char> covered, size_t iterations) {
   DominatorResult result;
@@ -143,7 +142,7 @@ StatusOr<DominatorResult> ComputeDominatorGreedyDS(
     uncovered_s = 0;
     for (VertexId v : s) uncovered_s += covered[v] ? 0 : 1;
   }
-  return FinishResult(filtered, s, std::move(in_dom), std::move(covered),
+  return FinishResult(s, std::move(in_dom), std::move(covered),
                       iterations);
 }
 
@@ -277,7 +276,7 @@ StatusOr<DominatorResult> ComputeDominatorSetCover(
       }
     }
   }
-  return FinishResult(filtered, s, std::move(in_dom), std::move(covered),
+  return FinishResult(s, std::move(in_dom), std::move(covered),
                       iterations);
 }
 

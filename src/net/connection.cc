@@ -11,12 +11,14 @@ namespace hypermine::net {
 Connection::Connection(Options options) : options_(options) {}
 
 void Connection::Ingest(std::string_view data) {
+  AssertOnReactor();
   if (corrupt() || peer_closed_) return;  // post-violation bytes are noise
   buffer_.append(data.data(), data.size());
   Advance();
 }
 
 void Connection::OnPeerClosed() {
+  AssertOnReactor();
   if (peer_closed_ || corrupt()) return;
   peer_closed_ = true;
   // Unparsed buffered bytes or a half-received frame at EOF mean the peer
@@ -89,6 +91,7 @@ void Connection::Advance() {
 }
 
 std::vector<PendingFrame> Connection::TakeBatch(size_t max_batch) {
+  AssertOnReactor();
   const size_t n = std::min(max_batch, pending_.size());
   std::vector<PendingFrame> batch;
   batch.reserve(n);
@@ -108,6 +111,7 @@ bool Connection::wants_read() const {
 }
 
 void Connection::QueueWrite(std::string bytes) {
+  AssertOnReactor();
   if (bytes.empty()) return;
   write_queued_ += bytes.size();
   write_queue_.push_back(std::move(bytes));
@@ -123,6 +127,7 @@ std::string_view Connection::write_head() const {
 }
 
 void Connection::ConsumeWrite(size_t n) {
+  AssertOnReactor();
   HM_CHECK_LE(n, write_head().size());
   write_offset_ += n;
   write_queued_ -= n;

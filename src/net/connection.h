@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/event_loop.h"
 #include "net/protocol.h"
 #include "util/status.h"
 
@@ -42,7 +43,9 @@ struct PendingFrame {
 /// a PendingFrame whose `pre` is kInvalidArgument, keeping the stream
 /// framed and the connection usable.
 ///
-/// Thread-safety: none. One Connection belongs to one reactor thread.
+/// Thread-safety: none. One Connection belongs to one reactor thread;
+/// after BindLoop, debug builds verify that claim on every mutating call
+/// (release builds pay nothing).
 class Connection {
  public:
   struct Options {
@@ -62,6 +65,13 @@ class Connection {
 
   Connection() : Connection(Options{}) {}
   explicit Connection(Options options);
+
+  /// Ties this connection to its reactor's loop. From then on every
+  /// mutating method asserts (debug builds) that it runs on the loop's
+  /// bound thread; unbound connections (unit tests driving the state
+  /// machine directly) skip the check. `loop` is not owned and must
+  /// outlive the connection.
+  void BindLoop(const EventLoop* loop) { loop_ = loop; }
 
   // --- read side -------------------------------------------------------
 
@@ -130,6 +140,12 @@ class Connection {
   /// Parses as much of buffer_ as possible into pending_.
   void Advance();
 
+  /// Debug-only reactor-affinity check; no-op when unbound.
+  void AssertOnReactor() const {
+    if (loop_ != nullptr) loop_->AssertOnLoopThread();
+  }
+
+  const EventLoop* loop_ = nullptr;
   Options options_;
   Status error_;
   bool peer_closed_ = false;

@@ -9,6 +9,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 #if defined(__linux__)
@@ -91,7 +92,8 @@ EventLoop::EventLoop(EventLoop&& other) noexcept
       wake_read_fd_(std::exchange(other.wake_read_fd_, -1)),
       wake_write_fd_(std::exchange(other.wake_write_fd_, -1)),
       fds_(std::move(other.fds_)),
-      timers_(std::move(other.timers_)) {}
+      timers_(std::move(other.timers_)),
+      bound_thread_(other.bound_thread_.exchange(std::thread::id{})) {}
 
 EventLoop& EventLoop::operator=(EventLoop&& other) noexcept {
   if (this != &other) {
@@ -102,8 +104,26 @@ EventLoop& EventLoop::operator=(EventLoop&& other) noexcept {
     wake_write_fd_ = std::exchange(other.wake_write_fd_, -1);
     fds_ = std::move(other.fds_);
     timers_ = std::move(other.timers_);
+    bound_thread_.store(other.bound_thread_.exchange(std::thread::id{}));
   }
   return *this;
+}
+
+void EventLoop::BindToCurrentThread() {
+  bound_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+}
+
+void EventLoop::UnbindThread() {
+  bound_thread_.store(std::thread::id{}, std::memory_order_release);
+}
+
+void EventLoop::AssertOnLoopThreadSlow() const {
+  const std::thread::id bound =
+      bound_thread_.load(std::memory_order_acquire);
+  if (bound != std::thread::id{} && bound != std::this_thread::get_id()) {
+    HM_LOG_FATAL << "EventLoop used off its reactor thread (reactor "
+                    "affinity violation; see docs/static_analysis.md)";
+  }
 }
 
 EventLoop::~EventLoop() { CloseAll(); }
@@ -122,6 +142,7 @@ void EventLoop::CloseAll() {
 }
 
 Status EventLoop::Add(int fd, uint64_t tag, bool read, bool write) {
+  AssertOnLoopThread();
   if (fd < 0) return Status::InvalidArgument("EventLoop::Add: bad fd");
   if (tag == kWakeupTag) {
     return Status::InvalidArgument("EventLoop::Add: reserved tag");
@@ -145,6 +166,7 @@ Status EventLoop::Add(int fd, uint64_t tag, bool read, bool write) {
 }
 
 Status EventLoop::Update(int fd, uint64_t tag, bool read, bool write) {
+  AssertOnLoopThread();
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return Status::NotFound(StrFormat("fd %d is not registered", fd));
@@ -164,6 +186,7 @@ Status EventLoop::Update(int fd, uint64_t tag, bool read, bool write) {
 }
 
 Status EventLoop::Remove(int fd) {
+  AssertOnLoopThread();
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return Status::NotFound(StrFormat("fd %d is not registered", fd));
@@ -181,12 +204,16 @@ Status EventLoop::Remove(int fd) {
 }
 
 void EventLoop::AddTimer(uint64_t tag, int interval_ms) {
+  AssertOnLoopThread();
   const auto interval = std::chrono::milliseconds(std::max(1, interval_ms));
   timers_[tag] =
       Timer{std::chrono::steady_clock::now() + interval, interval};
 }
 
-void EventLoop::CancelTimer(uint64_t tag) { timers_.erase(tag); }
+void EventLoop::CancelTimer(uint64_t tag) {
+  AssertOnLoopThread();
+  timers_.erase(tag);
+}
 
 int EventLoop::EffectiveTimeout(int timeout_ms) const {
   if (timers_.empty()) return timeout_ms;
@@ -232,6 +259,7 @@ void EventLoop::DrainWakeup() {
 }
 
 StatusOr<size_t> EventLoop::Wait(int timeout_ms, std::vector<Event>* out) {
+  AssertOnLoopThread();
   const int wait_ms = EffectiveTimeout(timeout_ms);
   size_t appended = 0;
 

@@ -1,12 +1,15 @@
 #ifndef HYPERMINE_NET_EVENT_LOOP_H_
 #define HYPERMINE_NET_EVENT_LOOP_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hypermine::net {
 
@@ -20,7 +23,14 @@ namespace hypermine::net {
 /// Thread-safety: everything is single-threaded (the reactor owns the
 /// loop) EXCEPT Wakeup(), which may be called from any thread to unblock
 /// a concurrent Wait().
-class EventLoop {
+///
+/// That ownership is a *capability* for Clang's thread safety analysis:
+/// the loop itself is HM_CAPABILITY("reactor"), reactor-only code paths
+/// (Server's connection handlers) are annotated HM_REQUIRES(loop), and the
+/// reactor thread establishes the capability by calling
+/// AssertOnLoopThread() — which, in debug builds, also verifies at runtime
+/// that the caller really is the bound reactor thread and aborts if not.
+class HM_CAPABILITY("reactor") EventLoop {
  public:
   /// What Wait() observed for one registered descriptor or timer.
   struct Event {
@@ -83,6 +93,24 @@ class EventLoop {
   /// (a wakeup before Wait makes the next Wait return immediately).
   void Wakeup();
 
+  /// Declares this loop owned by the calling thread: from now on, every
+  /// non-Wakeup method must run on it (debug builds abort otherwise). The
+  /// reactor calls this as its first act.
+  void BindToCurrentThread();
+  /// Releases the ownership claim (the reactor's last act before exiting,
+  /// which is what makes Server::Stop's post-join cleanup legal).
+  void UnbindThread();
+
+  /// Establishes the "reactor" capability for the static analysis and, in
+  /// debug builds, aborts when called off the bound thread. An unbound
+  /// loop passes: single-threaded setup before the reactor starts and
+  /// teardown after it exits are both legitimate.
+  void AssertOnLoopThread() const HM_ASSERT_CAPABILITY(this) {
+#if !defined(NDEBUG)
+    AssertOnLoopThreadSlow();
+#endif
+  }
+
  private:
   struct Timer {
     std::chrono::steady_clock::time_point deadline;
@@ -95,6 +123,9 @@ class EventLoop {
   };
 
   EventLoop() = default;
+
+  /// The out-of-line debug body of AssertOnLoopThread (aborts off-thread).
+  void AssertOnLoopThreadSlow() const;
 
   /// Milliseconds until the nearest timer, clamped into [0, timeout_ms]
   /// (timeout_ms = -1 means only timers bound the wait).
@@ -115,6 +146,10 @@ class EventLoop {
   /// Remove and to carry tags.
   std::unordered_map<int, Registration> fds_;
   std::unordered_map<uint64_t, Timer> timers_;
+  /// Thread the loop is bound to; default-constructed id = unbound.
+  /// Atomic because AssertOnLoopThread may race Bind/Unbind benignly
+  /// (the abort path reads a stable value either way).
+  std::atomic<std::thread::id> bound_thread_{};
 };
 
 }  // namespace hypermine::net

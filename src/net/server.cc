@@ -355,7 +355,7 @@ void Server::Drain() {
 }
 
 void Server::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   stopping_.store(true);
   // The collector captures `this`; a scrape of a shared registry after
   // this point must not reach into a dying server.
@@ -365,19 +365,26 @@ void Server::Stop() {
   }
   loop_.Wakeup();
   if (reactor_thread_.joinable()) reactor_thread_.join();
+  // The reactor has exited and unbound the loop, so this thread now owns
+  // every piece of reactor state; the assert claims the capability for
+  // the analysis (and would abort if a reactor were somehow still bound).
+  loop_.AssertOnLoopThread();
   // Engine batches already handed to the pool finish (their results are
   // the clients' property until the sockets actually close); the reactor
   // is gone, so their completions pile up here instead of being
   // delivered.
   std::vector<Completion> leftovers;
   {
-    std::unique_lock<std::mutex> lock(completion_mutex_);
-    outstanding_cv_.wait(lock, [this] { return outstanding_batches_ == 0; });
+    MutexLock lock(completion_mutex_);
+    outstanding_cv_.Wait(completion_mutex_,
+                         [this]() HM_REQUIRES(completion_mutex_) {
+                           return outstanding_batches_ == 0;
+                         });
     leftovers.swap(completions_);
   }
   for (Completion& done : leftovers) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.batches;
       stats_.queries_answered += done.admitted;
       stats_.queries_rejected += done.rejected;
@@ -414,7 +421,7 @@ void Server::Stop() {
 ServerStats Server::stats() const {
   ServerStats copy;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     copy = stats_;
   }
   copy.bytes_read = bytes_read_.load(std::memory_order_relaxed);
@@ -426,6 +433,12 @@ ServerStats Server::stats() const {
 }
 
 void Server::ReactorLoop() {
+  // First act: claim the loop. The runtime bind makes every off-thread
+  // use of the loop (or of a bound Connection) abort in debug builds; the
+  // assert hands the "reactor" capability to the static analysis for the
+  // HM_REQUIRES(loop_) methods below.
+  loop_.BindToCurrentThread();
+  loop_.AssertOnLoopThread();
   std::vector<EventLoop::Event> events;
   while (!stopping_.load()) {
     events.clear();
@@ -478,6 +491,9 @@ void Server::ReactorLoop() {
       HandleConnEvent(event);
     }
   }
+  // Last act: release the loop, making Stop()'s post-join teardown (which
+  // runs on whatever thread called it) legal again.
+  loop_.UnbindThread();
   // Leave conns_ and the completion queue for Stop(): it joins this
   // thread first, so it owns them from here on.
 }
@@ -514,14 +530,14 @@ void Server::AcceptPending(bool admin) {
       // listener; this covers the race before it runs). The close reads
       // as a refused connection — clients retry elsewhere.
       HM_LOG_INFO << "connection refused: draining";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.connections_rejected;
       continue;
     }
     if (!admin && conns_.size() - admin_conns_ >= options_.max_connections) {
       HM_LOG_INFO << "connection rejected: max_connections ("
                   << options_.max_connections << ") reached";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.connections_rejected;
       continue;
     }
@@ -534,6 +550,9 @@ void Server::AcceptPending(bool admin) {
     conn->id = next_connection_id_++;
     conn->socket = std::move(*accepted);
     conn->last_activity = std::chrono::steady_clock::now();
+    // Ties the connection's state machine to this reactor: debug builds
+    // abort if any other thread ever drives it.
+    conn->machine.BindLoop(&loop_);
     if (admin) {
       conn->admin = true;
       conn->http = std::make_unique<HttpConnection>();
@@ -550,7 +569,7 @@ void Server::AcceptPending(bool admin) {
     HM_LOG_INFO << (admin ? "admin" : "query") << " connection #"
                 << conn->id << " accepted (" << conns_.size() << " open)";
     if (!admin) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.connections_accepted;
     }
   }
@@ -755,7 +774,7 @@ void Server::SubmitBatch(Conn* conn) {
       conn->machine.TakeBatch(options_.max_batch);
   conn->batch_in_flight = true;
   {
-    std::lock_guard<std::mutex> lock(completion_mutex_);
+    MutexLock lock(completion_mutex_);
     ++outstanding_batches_;
   }
   std::shared_ptr<Conn> shared = conns_.at(conn->id);
@@ -797,7 +816,7 @@ void Server::ReapIdle() {
     const bool was_admin = conn->admin;
     CloseConn(conn);
     if (was_admin) continue;  // admin reaps are not query-plane stats
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.connections_reaped;
   }
 }
@@ -815,7 +834,7 @@ void Server::CheckStalls() {
                    << " closed: mid-frame stall exceeded "
                    << options_.stall_timeout_ms << " ms (slow loris?)";
     CloseConn(conn);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.connections_stalled;
   }
 }
@@ -846,12 +865,12 @@ void Server::ApplyDrain() {
 void Server::DrainCompletions() {
   std::vector<Completion> done;
   {
-    std::lock_guard<std::mutex> lock(completion_mutex_);
+    MutexLock lock(completion_mutex_);
     done.swap(completions_);
   }
   for (Completion& completion : done) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.batches;
       stats_.queries_answered += completion.admitted;
       stats_.queries_rejected += completion.rejected;
@@ -885,7 +904,7 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
   uint64_t shed = 0;
   BuildResponses(&frames, &conn->served, &out, &admitted, &rejected, &shed);
   {
-    std::lock_guard<std::mutex> lock(completion_mutex_);
+    MutexLock lock(completion_mutex_);
     completions_.push_back(Completion{std::move(conn), std::move(out),
                                       admitted, rejected, shed});
   }
@@ -895,9 +914,9 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
   // Stop's predicate wait cannot return (and free the cv) until this
   // task releases the mutex, after which it touches no member again.
   {
-    std::lock_guard<std::mutex> lock(completion_mutex_);
+    MutexLock lock(completion_mutex_);
     --outstanding_batches_;
-    outstanding_cv_.notify_all();
+    outstanding_cv_.NotifyAll();
   }
 }
 

@@ -3,10 +3,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -18,7 +16,9 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hypermine::net {
@@ -216,31 +216,36 @@ class Server {
   Server(api::Engine* engine, ServerOptions options, Listener listener,
          Listener admin_listener, EventLoop loop);
 
+  // Every method below marked HM_REQUIRES(loop_) runs only with the
+  // "reactor" capability held: on the reactor thread itself (ReactorLoop
+  // establishes it via loop_.AssertOnLoopThread()) or, for teardown, in
+  // Stop() after the reactor joined and unbound.
   void ReactorLoop();
   /// Drains one listener's accept backlog; `admin` selects the admin
   /// plane (HTTP personality, its own connection cap).
-  void AcceptPending(bool admin);
-  void HandleConnEvent(const EventLoop::Event& event);
-  void ReadFromConn(Conn* conn);
-  void FlushWrites(Conn* conn);
+  void AcceptPending(bool admin) HM_REQUIRES(loop_);
+  void HandleConnEvent(const EventLoop::Event& event) HM_REQUIRES(loop_);
+  void ReadFromConn(Conn* conn) HM_REQUIRES(loop_);
+  void FlushWrites(Conn* conn) HM_REQUIRES(loop_);
   /// Submits a batch if one is ready, closes the connection if it is
   /// finished, refreshes event-loop interest otherwise.
-  void AfterEvent(Conn* conn);
+  void AfterEvent(Conn* conn) HM_REQUIRES(loop_);
   /// Answers every parsed admin request queued on `conn` (and the one 400
   /// a corrupt stream earns before it is closed).
-  void ServeAdminRequests(Conn* conn);
+  void ServeAdminRequests(Conn* conn) HM_REQUIRES(loop_);
   /// Routes one admin request to /metrics, /healthz, or /statusz.
+  /// Touches only cross-thread-safe state, so no reactor requirement.
   HttpResponse RouteAdmin(const HttpRequest& request);
-  void SubmitBatch(Conn* conn);
-  void CloseConn(Conn* conn);
-  void ReapIdle();
+  void SubmitBatch(Conn* conn) HM_REQUIRES(loop_);
+  void CloseConn(Conn* conn) HM_REQUIRES(loop_);
+  void ReapIdle() HM_REQUIRES(loop_);
   /// Closes query connections stuck mid-frame past stall_timeout_ms.
-  void CheckStalls();
+  void CheckStalls() HM_REQUIRES(loop_);
   /// Reactor-side drain entry: mutes the query listener and closes every
   /// query connection with no in-flight work. Runs once per Drain().
-  void ApplyDrain();
+  void ApplyDrain() HM_REQUIRES(loop_);
   /// Applies completed batches: stats, write queues, next batches.
-  void DrainCompletions();
+  void DrainCompletions() HM_REQUIRES(loop_);
   /// Runs on a pool worker: admission + engine batch + response encode.
   /// `submitted` is when the reactor handed the batch over (queue-wait
   /// histogram).
@@ -297,26 +302,28 @@ class Server {
   /// the reactor thread).
   std::atomic<size_t> open_connections_{0};
 
-  // --- reactor-thread state (touched by Stop only after the join) ---
-  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  // --- reactor-thread state, guarded by the "reactor" capability
+  // (touched by Stop only after the join, when the loop is unbound) ---
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_
+      HM_GUARDED_BY(loop_);
   /// Reactor's record that ApplyDrain already ran.
-  bool drain_applied_ = false;
+  bool drain_applied_ HM_GUARDED_BY(loop_) = false;
   /// Admin-plane subset of conns_ (those are exempt from max_connections
   /// but have their own small cap).
-  size_t admin_conns_ = 0;
-  uint64_t next_connection_id_ = 1;
-  std::vector<char> read_scratch_;
+  size_t admin_conns_ HM_GUARDED_BY(loop_) = 0;
+  uint64_t next_connection_id_ HM_GUARDED_BY(loop_) = 1;
+  std::vector<char> read_scratch_ HM_GUARDED_BY(loop_);
 
   // --- cross-thread state ---
-  mutable std::mutex mutex_;  // guards stats_
-  ServerStats stats_;
+  mutable Mutex mutex_;
+  ServerStats stats_ HM_GUARDED_BY(mutex_);
 
-  std::mutex completion_mutex_;  // guards completions_ + outstanding_
-  std::condition_variable outstanding_cv_;
-  std::vector<Completion> completions_;
-  size_t outstanding_batches_ = 0;
+  Mutex completion_mutex_;
+  CondVar outstanding_cv_;
+  std::vector<Completion> completions_ HM_GUARDED_BY(completion_mutex_);
+  size_t outstanding_batches_ HM_GUARDED_BY(completion_mutex_) = 0;
 
-  std::mutex stop_mutex_;  // serializes concurrent Stop calls
+  Mutex stop_mutex_;  // serializes concurrent Stop calls
 };
 
 /// The /statusz document (also what `hypermine_serve`'s `!stats` prints):

@@ -37,7 +37,7 @@ Injector& Injector::Global() {
 }
 
 void Injector::Enable(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   seed_ = seed;
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -46,13 +46,13 @@ void Injector::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Injector::Reset() {
   enabled_.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
   seed_ = 0;
 }
 
 void Injector::Arm(std::string_view site, SiteConfig config) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Site& s = sites_[std::string(site)];
   s.config = config;
   s.rng_state = seed_ ^ HashSiteName(site);
@@ -61,7 +61,7 @@ void Injector::Arm(std::string_view site, SiteConfig config) {
 }
 
 void Injector::Disarm(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   if (it != sites_.end()) sites_.erase(it);
 }
@@ -71,7 +71,7 @@ bool Injector::ShouldFire(std::string_view site) {
 }
 
 bool Injector::ShouldFire(std::string_view site, int* delay_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   Site& s = it->second;
@@ -91,13 +91,13 @@ bool Injector::ShouldFire(std::string_view site, int* delay_ms) {
 }
 
 uint64_t Injector::fires(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }
 
 uint64_t Injector::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }

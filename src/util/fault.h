@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hypermine::fault {
 
@@ -82,9 +84,9 @@ class Injector {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  uint64_t seed_ = 0;
-  std::map<std::string, Site, std::less<>> sites_;
+  mutable Mutex mutex_;
+  uint64_t seed_ HM_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, Site, std::less<>> sites_ HM_GUARDED_BY(mutex_);
 };
 
 /// The hot-path check: false (one relaxed load) unless a chaos harness

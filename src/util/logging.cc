@@ -76,7 +76,13 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 LogMessage::~LogMessage() {
   if (severity_ >= GetMinLogSeverity() ||
       severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // Emit the whole line with one fwrite: concurrent log statements may
+    // interleave whole lines but never characters within a line (a
+    // two-part `cerr << str << endl` gives no such guarantee).
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

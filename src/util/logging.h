@@ -2,7 +2,6 @@
 #define HYPERMINE_UTIL_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>

@@ -121,9 +121,9 @@ ScopedTimer::~ScopedTimer() {
                           .count());
 }
 
-Registry::Entry* Registry::FindOrCreate(std::string_view name,
-                                        std::string_view help, Kind kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Registry::Entry* Registry::FindOrCreateLocked(std::string_view name,
+                                              std::string_view help,
+                                              Kind kind) {
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
@@ -139,14 +139,22 @@ Registry::Entry* Registry::FindOrCreate(std::string_view name,
   return &it->second;
 }
 
+// The metric objects are created under mutex_ too: two threads racing the
+// first GetCounter of one name must not both observe a null pointer and
+// double-create (the old code mutated Entry outside the lock — exactly the
+// class of bug the thread-safety annotations now reject at compile time).
+// The returned pointer is stable and lock-free to use afterwards.
+
 Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
-  Entry* entry = FindOrCreate(name, help, Kind::kCounter);
+  MutexLock lock(mutex_);
+  Entry* entry = FindOrCreateLocked(name, help, Kind::kCounter);
   if (entry->counter == nullptr) entry->counter = std::make_unique<Counter>();
   return entry->counter.get();
 }
 
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
-  Entry* entry = FindOrCreate(name, help, Kind::kGauge);
+  MutexLock lock(mutex_);
+  Entry* entry = FindOrCreateLocked(name, help, Kind::kGauge);
   if (entry->gauge == nullptr) entry->gauge = std::make_unique<Gauge>();
   return entry->gauge.get();
 }
@@ -154,7 +162,8 @@ Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
 Histogram* Registry::GetHistogram(std::string_view name,
                                   std::string_view help,
                                   const std::vector<double>& bounds) {
-  Entry* entry = FindOrCreate(name, help, Kind::kHistogram);
+  MutexLock lock(mutex_);
+  Entry* entry = FindOrCreateLocked(name, help, Kind::kHistogram);
   if (entry->histogram == nullptr) {
     entry->histogram = std::make_unique<Histogram>(bounds);
   } else if (entry->histogram->bounds() != bounds) {
@@ -165,28 +174,29 @@ Histogram* Registry::GetHistogram(std::string_view name,
 }
 
 uint64_t Registry::AddCollector(std::function<void()> collector) {
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  MutexLock lock(collector_mutex_);
   uint64_t id = next_collector_id_++;
   collectors_.emplace(id, std::move(collector));
   return id;
 }
 
 void Registry::RemoveCollector(uint64_t id) {
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  MutexLock lock(collector_mutex_);
   collectors_.erase(id);
 }
 
 void Registry::RunCollectors() const {
   // Serialized: collectors may keep per-closure state (e.g. the previous
   // model-info gauge to zero out) and concurrent scrapes must not race it.
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  // Lock order: collector_mutex_ before mutex_ — collectors call Get*.
+  MutexLock lock(collector_mutex_);
   for (const auto& [id, collector] : collectors_) collector();
 }
 
 std::string Registry::PrometheusText() const {
   RunCollectors();
   std::string out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string_view previous_base;
   for (const auto& [name, entry] : entries_) {
     const std::string_view base = BaseName(name);
@@ -249,7 +259,7 @@ std::string Registry::PrometheusText() const {
 
 std::string Registry::JsonText() const {
   RunCollectors();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string counters, gauges, histograms;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {

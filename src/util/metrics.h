@@ -7,10 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hypermine::metrics {
 
@@ -169,16 +171,23 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindOrCreate(std::string_view name, std::string_view help,
-                      Kind kind);
-  void RunCollectors() const;
+  /// Finds or inserts the entry for `name`, checking kind consistency.
+  /// Returns a pointer that stays valid forever (map nodes are stable and
+  /// entries are never removed), which is what lets Get* hand out raw
+  /// metric pointers that outlive the lock.
+  Entry* FindOrCreateLocked(std::string_view name, std::string_view help,
+                            Kind kind) HM_REQUIRES(mutex_);
+  void RunCollectors() const HM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Ordered so same-base-name label variants render adjacently.
-  std::map<std::string, Entry, std::less<>> entries_;
-  mutable std::mutex collector_mutex_;
-  std::map<uint64_t, std::function<void()>> collectors_;
-  uint64_t next_collector_id_ = 1;
+  std::map<std::string, Entry, std::less<>> entries_ HM_GUARDED_BY(mutex_);
+  /// Serializes collector registration AND execution; always acquired
+  /// before mutex_ (collectors call Get* themselves).
+  mutable Mutex collector_mutex_ HM_ACQUIRED_BEFORE(mutex_);
+  std::map<uint64_t, std::function<void()>> collectors_
+      HM_GUARDED_BY(collector_mutex_);
+  uint64_t next_collector_id_ HM_GUARDED_BY(collector_mutex_) = 1;
 };
 
 /// The process-wide registry every subsystem publishes into by default.

@@ -1,0 +1,23 @@
+#include "util/mutex.h"
+
+namespace hypermine {
+
+// Both waits adopt the already-held std::mutex into a unique_lock for the
+// std::condition_variable call, then release() so the RAII wrapper does not
+// unlock a mutex our caller still owns (the HM_REQUIRES contract: held on
+// entry, held on return).
+
+void CondVar::Wait(Mutex& mutex) {
+  std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitFor(Mutex& mutex, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_for(lock, timeout);
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace hypermine

@@ -1,0 +1,89 @@
+#ifndef HYPERMINE_UTIL_MUTEX_H_
+#define HYPERMINE_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace hypermine {
+
+/// Annotated wrapper over std::mutex: the capability type Clang's thread
+/// safety analysis reasons about (docs/static_analysis.md). Every
+/// mutex-guarded member in the project is declared against one of these via
+/// HM_GUARDED_BY, so "state read outside its lock" is a compile error under
+/// `-Wthread-safety` instead of a TSan finding on whichever interleaving a
+/// test happened to hit.
+///
+/// Prefer MutexLock for scoped acquisition; Lock/Unlock exist for the rare
+/// split-scope pattern and for CondVar's internals.
+class HM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HM_ACQUIRE() { mutex_.lock(); }
+  void Unlock() HM_RELEASE() { mutex_.unlock(); }
+
+  /// Documents (to the analysis, not at runtime — std::mutex cannot answer
+  /// "does this thread hold me") that the caller holds this mutex. Use at
+  /// the top of helpers reached only from locked contexts the analysis
+  /// cannot follow, e.g. through a std::function boundary.
+  void AssertHeld() const HM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock for util::Mutex, annotated so the analysis tracks the
+/// capability for exactly the scope of the object (HM_SCOPED_CAPABILITY).
+class HM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() HM_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. Wait requires the mutex held
+/// (HM_REQUIRES) and returns with it held again, which is exactly what the
+/// analysis needs to keep tracking guarded members across the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified, reacquires.
+  void Wait(Mutex& mutex) HM_REQUIRES(mutex);
+
+  /// Waits until `predicate()` holds (checked with `mutex` held, so the
+  /// predicate may touch HM_GUARDED_BY(mutex) members freely).
+  template <typename Predicate>
+  void Wait(Mutex& mutex, Predicate predicate) HM_REQUIRES(mutex) {
+    while (!predicate()) Wait(mutex);
+  }
+
+  /// Timed wait; false when `timeout` elapsed without a notification.
+  bool WaitFor(Mutex& mutex, std::chrono::milliseconds timeout)
+      HM_REQUIRES(mutex);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hypermine
+
+#endif  // HYPERMINE_UTIL_MUTEX_H_

@@ -1,0 +1,100 @@
+#ifndef HYPERMINE_UTIL_THREAD_ANNOTATIONS_H_
+#define HYPERMINE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (docs/static_analysis.md).
+///
+/// These let the locking discipline of every concurrent type in the project
+/// be stated in the source and machine-checked at compile time:
+///
+///   util::Mutex mutex_;
+///   std::vector<Task> pending_ HM_GUARDED_BY(mutex_);
+///   void Drain() HM_REQUIRES(mutex_);
+///
+/// Under Clang, `-Wthread-safety` (and the HYPERMINE_WERROR_THREAD_SAFETY
+/// CMake option, which promotes it to an error) rejects any access to
+/// `pending_` without `mutex_` held and any call to `Drain()` from a
+/// context that cannot prove it holds the lock. Under other compilers every
+/// macro expands to nothing, so annotated code stays portable.
+///
+/// The same attribute set also expresses non-mutex capabilities: the
+/// reactor-affinity capability on net::EventLoop marks methods that must
+/// only run on the loop thread (HM_ASSERT_CAPABILITY on
+/// AssertOnLoopThread(), HM_REQUIRES(loop_) on reactor-only methods).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HM_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+/// Declares a class to be a capability (lockable) type. `x` is the name the
+/// analysis uses in diagnostics, e.g. HM_CAPABILITY("mutex").
+#define HM_CAPABILITY(x) HM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability
+/// (e.g. util::MutexLock).
+#define HM_SCOPED_CAPABILITY HM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be accessed while holding the given
+/// capability.
+#define HM_GUARDED_BY(x) HM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data pointed to by the annotated pointer member may only be accessed
+/// while holding the given capability (the pointer itself is unguarded).
+#define HM_PT_GUARDED_BY(x) HM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The annotated capability must be acquired before / after the listed ones
+/// (lock-ordering, deadlock detection).
+#define HM_ACQUIRED_BEFORE(...) \
+  HM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HM_ACQUIRED_AFTER(...) \
+  HM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The annotated function requires the capabilities to be held on entry
+/// (and does not release them).
+#define HM_REQUIRES(...) \
+  HM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HM_REQUIRES_SHARED(...) \
+  HM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return.
+#define HM_ACQUIRE(...) \
+  HM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HM_ACQUIRE_SHARED(...) \
+  HM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability (held on entry).
+#define HM_RELEASE(...) \
+  HM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define HM_RELEASE_SHARED(...) \
+  HM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called with the capability held
+/// (it acquires it itself; a caller already holding it would deadlock).
+#define HM_EXCLUDES(...) HM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The annotated function dynamically checks that the capability is held
+/// and aborts otherwise; the analysis treats it as held afterwards. Used by
+/// Mutex::AssertHeld() and EventLoop::AssertOnLoopThread().
+#define HM_ASSERT_CAPABILITY(x) \
+  HM_THREAD_ANNOTATION_(assert_capability(x))
+#define HM_ASSERT_SHARED_CAPABILITY(x) \
+  HM_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define HM_RETURN_CAPABILITY(x) HM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// The annotated function tries to acquire the capability and reports
+/// success as the given boolean return value.
+#define HM_TRY_ACQUIRE(...) \
+  HM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Escape hatch: the analysis skips this function entirely. Every use MUST
+/// carry a one-line comment justifying why the analysis cannot see the
+/// invariant (enforced by tools/lint_invariants.py).
+#define HM_NO_THREAD_SAFETY_ANALYSIS \
+  HM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // HYPERMINE_UTIL_THREAD_ANNOTATIONS_H_

@@ -20,10 +20,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -31,8 +31,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.Wait(mutex_,
+               [this]() HM_REQUIRES(mutex_) {
+                 return shutting_down_ || !pending_.empty();
+               });
       if (pending_.empty()) return;  // shutting down with a drained queue
       task = std::move(pending_.back());
       pending_.pop_back();
@@ -43,21 +46,21 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pending_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::SubmitAll(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::function<void()>& task : tasks) {
       pending_.push_back(std::move(task));
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -77,9 +80,9 @@ void ThreadPool::ParallelFor(size_t n,
     size_t n = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool complete = false;
+    Mutex mutex;
+    CondVar cv;
+    bool complete HM_GUARDED_BY(mutex) = false;
   };
   auto state = std::make_shared<State>();
   state->body = &body;
@@ -90,9 +93,9 @@ void ThreadPool::ParallelFor(size_t n,
     while ((i = s->next.fetch_add(1)) < s->n) {
       (*s->body)(i);
       if (s->done.fetch_add(1) + 1 == s->n) {
-        std::lock_guard<std::mutex> lock(s->mutex);
+        MutexLock lock(s->mutex);
         s->complete = true;
-        s->cv.notify_all();
+        s->cv.NotifyAll();
       }
     }
   };
@@ -105,8 +108,10 @@ void ThreadPool::ParallelFor(size_t n,
   SubmitAll(std::move(helpers));
   drain(state);
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&state] { return state->complete; });
+  MutexLock lock(state->mutex);
+  state->cv.Wait(state->mutex, [&state]() HM_REQUIRES(state->mutex) {
+    return state->complete;
+  });
 }
 
 }  // namespace hypermine

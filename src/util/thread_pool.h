@@ -1,11 +1,12 @@
 #ifndef HYPERMINE_UTIL_THREAD_POOL_H_
 #define HYPERMINE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hypermine {
 
@@ -46,10 +47,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> pending_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<std::function<void()>> pending_ HM_GUARDED_BY(mutex_);
+  bool shutting_down_ HM_GUARDED_BY(mutex_) = false;
+  /// Written once by the constructor before any worker exists, then only
+  /// read (num_threads, joins) — no lock needed.
   std::vector<std::thread> workers_;
 };
 

@@ -142,8 +142,8 @@ TEST_P(DominatorAlgoTest, SelfGainOffCoversEverything) {
 INSTANTIATE_TEST_SUITE_P(
     BothAlgorithms, DominatorAlgoTest,
     ::testing::Values(AlgoParam{false}, AlgoParam{true}),
-    [](const ::testing::TestParamInfo<AlgoParam>& info) {
-      return info.param.use_set_cover ? "Alg6SetCover" : "Alg5DomSet";
+    [](const ::testing::TestParamInfo<AlgoParam>& param_info) {
+      return param_info.param.use_set_cover ? "Alg6SetCover" : "Alg5DomSet";
     });
 
 TEST(DominatorEnhancementsTest, Enhancement1PrefersFewerNewVertices) {

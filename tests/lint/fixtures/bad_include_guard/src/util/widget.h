@@ -1,0 +1,4 @@
+#ifndef WIDGET_H
+#define WIDGET_H
+struct Widget {};
+#endif

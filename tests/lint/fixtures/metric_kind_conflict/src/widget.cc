@@ -1,0 +1,4 @@
+void Register(Registry* registry) {
+  registry->GetCounter("hypermine_widget_depth", "As a counter here...");
+  registry->GetGauge("hypermine_widget_depth", "...and a gauge here.");
+}

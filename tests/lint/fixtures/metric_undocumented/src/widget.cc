@@ -1,0 +1,4 @@
+void Register(Registry* registry) {
+  registry->GetCounter("hypermine_widget_frobs_total",
+                       "Documented nowhere; the lint must object.");
+}

@@ -1,0 +1,2 @@
+#include <mutex>
+std::mutex raw_mutex_the_lint_must_reject;

@@ -1,0 +1,3 @@
+void Server::Backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

@@ -1,0 +1,5 @@
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kUnavailable = 2,
+};

@@ -1,0 +1,6 @@
+// Known-bad fixture: value 2 is skipped, so the enum is not dense.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kInternal = 3,
+};

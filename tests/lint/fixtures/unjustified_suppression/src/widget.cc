@@ -1,0 +1,2 @@
+void SneakPastTheAnalysis() HM_NO_THREAD_SAFETY_ANALYSIS {
+}

@@ -68,8 +68,8 @@ TEST_P(QuantitativeCrossCheckTest, MinedMeasuresMatchDefinitions) {
 
 INSTANTIATE_TEST_SUITE_P(BothMiners, QuantitativeCrossCheckTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "FpGrowth" : "Apriori";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "FpGrowth" : "Apriori";
                          });
 
 TEST(QuantitativeTest, ConsequentSizeCap) {

@@ -151,8 +151,8 @@ TEST_P(EventLoopTest, WakeupBeforeWaitIsSticky) {
 INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
                          ::testing::Values(EventLoop::Backend::kEpoll,
                                            EventLoop::Backend::kPoll),
-                         [](const auto& info) {
-                           return info.param == EventLoop::Backend::kEpoll
+                         [](const auto& param_info) {
+                           return param_info.param == EventLoop::Backend::kEpoll
                                       ? "epoll"
                                       : "poll";
                          });

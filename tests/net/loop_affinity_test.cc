@@ -1,0 +1,98 @@
+// Reactor-affinity enforcement (docs/static_analysis.md): a bound
+// EventLoop — and any Connection bound to it — aborts in debug builds
+// when driven from a thread other than the one that claimed it. Release
+// builds compile the check out, so the death cases skip under NDEBUG.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "util/logging.h"
+
+namespace hypermine::net {
+namespace {
+
+EventLoop MakeLoop() {
+  auto loop = EventLoop::Create();
+  HM_CHECK_OK(loop.status());
+  return std::move(*loop);
+}
+
+TEST(LoopAffinityTest, UnboundLoopUsableFromAnyThread) {
+  // Setup before the reactor exists (Server::Start registers listeners
+  // from the starting thread) must stay legal.
+  EventLoop loop = MakeLoop();
+  loop.AddTimer(1, 50);
+  loop.CancelTimer(1);
+  std::thread other([&loop] {
+    loop.AddTimer(2, 50);
+    loop.CancelTimer(2);
+  });
+  other.join();
+}
+
+TEST(LoopAffinityTest, BoundThreadKeepsAccess) {
+  EventLoop loop = MakeLoop();
+  loop.BindToCurrentThread();
+  loop.AssertOnLoopThread();
+  loop.AddTimer(1, 50);
+  std::vector<EventLoop::Event> events;
+  EXPECT_TRUE(loop.Wait(/*timeout_ms=*/0, &events).ok());
+}
+
+TEST(LoopAffinityTest, UnbindRestoresAccessAfterOwnerExits) {
+  // Stop()'s pattern: the reactor binds, works, unbinds at exit; the
+  // joining thread then owns the loop again.
+  EventLoop loop = MakeLoop();
+  std::thread reactor([&loop] {
+    loop.BindToCurrentThread();
+    loop.AddTimer(1, 50);
+    loop.UnbindThread();
+  });
+  reactor.join();
+  loop.CancelTimer(1);
+}
+
+#ifndef NDEBUG
+
+using LoopAffinityDeathTest = ::testing::Test;
+
+TEST(LoopAffinityDeathTest, OffThreadLoopUseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventLoop loop = MakeLoop();
+  loop.BindToCurrentThread();
+  EXPECT_DEATH(
+      {
+        std::thread off([&loop] { loop.AddTimer(7, 50); });
+        off.join();
+      },
+      "off its reactor thread");
+}
+
+TEST(LoopAffinityDeathTest, OffThreadConnectionUseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventLoop loop = MakeLoop();
+  Connection conn;
+  conn.BindLoop(&loop);
+  loop.BindToCurrentThread();
+  conn.QueueWrite("on-thread is fine");
+  EXPECT_DEATH(
+      {
+        std::thread off([&conn] { conn.QueueWrite("off-thread is not"); });
+        off.join();
+      },
+      "off its reactor thread");
+}
+
+#else
+
+TEST(LoopAffinityDeathTest, SkippedInReleaseBuilds) {
+  GTEST_SKIP() << "reactor-affinity aborts compile out under NDEBUG";
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace hypermine::net

@@ -107,7 +107,9 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch timer;
   // Burn a little CPU deterministically.
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
   double first = timer.ElapsedSeconds();
   EXPECT_GT(first, 0.0);
   EXPECT_GE(timer.ElapsedMillis(), first * 1e3);
