@@ -9,11 +9,22 @@
 // server should sustain ≈ the no-idle qps, where a thread-per-connection
 // server could not even accept them.
 //
+// The --reactors=N axis shards the server's event loop over N reactor
+// threads (see docs/architecture.md, multi-reactor section); the bench
+// always appends a small multi-reactor sweep driven by *forked* client
+// processes — one process per client, pingpong over its own connection —
+// so the load generator scales past one client process's scheduler and
+// the recorded per-reactor qps is not generator-bound. `num_reactors` is
+// part of the workload key in BENCH_net.json (tools/check_bench.py):
+// single- and multi-reactor baselines never get compared to each other.
+//
 //   ./bench_net_throughput [--vertices=2000] [--edges=50000]
 //       [--queries=20000] [--clients=4] [--pipeline=64] [--threads=4]
-//       [--server-threads=4] [--idle-connections=0]
-//       [--out=BENCH_net.json] [--smoke]
+//       [--server-threads=4] [--reactors=1] [--fork-clients]
+//       [--idle-connections=0] [--out=BENCH_net.json] [--smoke]
 #include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -143,6 +154,104 @@ NetStats NetQps(uint16_t port, const std::vector<api::QueryRequest>& requests,
   return stats;
 }
 
+/// The multi-process load generator: the pingpong client shape — each
+/// client is a forked *process* owning one connection, pipelining its
+/// stripe of the query list and timing each round — so client-side work
+/// never shares a scheduler (or a malloc arena, or a stop-the-world
+/// anything) with its siblings. Each child streams its answered count and
+/// raw round latencies back through a pipe; the parent reaps and merges.
+/// The data per child (~a few KB of doubles) fits a pipe buffer, so
+/// children never block on a parent that reads them in order.
+NetStats ForkNetQps(uint16_t port,
+                    const std::vector<api::QueryRequest>& requests,
+                    size_t num_clients, size_t pipeline) {
+  struct Child {
+    pid_t pid = -1;
+    int pipe_fd = -1;
+  };
+  std::vector<Child> children(num_clients);
+  Stopwatch total;
+  for (size_t c = 0; c < num_clients; ++c) {
+    int fds[2];
+    HM_CHECK_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    HM_CHECK_GE(pid, 0);
+    if (pid == 0) {
+      // Child: distinct exit codes instead of HM_CHECK so a failure is
+      // attributable from the parent's waitpid status without interleaving
+      // two processes' stderr.
+      ::close(fds[0]);
+      auto client = net::Client::Connect("127.0.0.1", port, 2000);
+      if (!client.ok()) ::_exit(2);
+      std::vector<double> round_ms;
+      uint64_t answered = 0;
+      for (size_t begin = c * pipeline; begin < requests.size();
+           begin += num_clients * pipeline) {
+        size_t end = std::min(requests.size(), begin + pipeline);
+        std::vector<api::QueryRequest> chunk(requests.begin() + begin,
+                                             requests.begin() + end);
+        Stopwatch round;
+        auto responses = client->QueryMany(chunk);
+        round_ms.push_back(round.ElapsedMillis());
+        if (!responses.ok() || responses->size() != chunk.size()) ::_exit(3);
+        for (const net::WireResponse& response : *responses) {
+          if (response.code != StatusCode::kOk) ::_exit(4);
+        }
+        answered += responses->size();
+      }
+      const uint64_t rounds = round_ms.size();
+      auto write_all = [&fds](const void* data, size_t size) {
+        const char* p = static_cast<const char*>(data);
+        while (size > 0) {
+          const ssize_t n = ::write(fds[1], p, size);
+          if (n <= 0) ::_exit(5);
+          p += n;
+          size -= static_cast<size_t>(n);
+        }
+      };
+      write_all(&answered, sizeof(answered));
+      write_all(&rounds, sizeof(rounds));
+      write_all(round_ms.data(), rounds * sizeof(double));
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    children[c] = Child{pid, fds[0]};
+  }
+
+  NetStats stats;
+  std::vector<double> all_ms;
+  for (Child& child : children) {
+    auto read_all = [&child](void* data, size_t size) {
+      char* p = static_cast<char*>(data);
+      while (size > 0) {
+        const ssize_t n = ::read(child.pipe_fd, p, size);
+        HM_CHECK_GT(n, 0);
+        p += n;
+        size -= static_cast<size_t>(n);
+      }
+    };
+    uint64_t answered = 0;
+    uint64_t rounds = 0;
+    read_all(&answered, sizeof(answered));
+    read_all(&rounds, sizeof(rounds));
+    std::vector<double> child_ms(rounds);
+    if (rounds > 0) read_all(child_ms.data(), rounds * sizeof(double));
+    ::close(child.pipe_fd);
+    int wstatus = 0;
+    HM_CHECK_EQ(::waitpid(child.pid, &wstatus, 0), child.pid);
+    HM_CHECK(WIFEXITED(wstatus));
+    HM_CHECK_EQ(WEXITSTATUS(wstatus), 0);
+    stats.answered += answered;
+    all_ms.insert(all_ms.end(), child_ms.begin(), child_ms.end());
+  }
+  const double seconds = total.ElapsedSeconds();
+  stats.qps = static_cast<double>(stats.answered) / seconds;
+  std::sort(all_ms.begin(), all_ms.end());
+  stats.p50_ms = PercentileMs(all_ms, 0.50);
+  stats.p99_ms = PercentileMs(all_ms, 0.99);
+  return stats;
+}
+
 int Main(int argc, char** argv) {
   // The reactor narrates accepts/closes at kInfo now; keep the bench
   // tables clean without hiding real warnings.
@@ -166,15 +275,22 @@ int Main(int argc, char** argv) {
   // recorded runs): the whole point of the event loop is that
   // connections, idle or not, do not consume workers.
   const size_t server_threads = positive("server-threads", 4);
+  // 0 = one reactor per hardware thread (resolved by the server; the
+  // resolved count is what lands in the JSON workload key).
+  const int64_t reactors_flag = flags.GetInt("reactors", 1);
+  HM_CHECK_GE(reactors_flag, 0);
+  const bool fork_clients = flags.GetBool("fork-clients", false);
   const int64_t idle_connections_flag = flags.GetInt("idle-connections", 0);
   HM_CHECK_GE(idle_connections_flag, 0);
   const size_t idle_connections = static_cast<size_t>(idle_connections_flag);
   const std::string out_path = flags.GetString("out", "BENCH_net.json");
 
   std::printf("bench_net_throughput: %zu vertices, %zu edges, %zu queries "
-              "(%zu clients x pipeline %zu, server pool %zu, %zu idle)\n",
-              vertices, edges, num_queries, num_clients, pipeline,
-              server_threads, idle_connections);
+              "(%zu %s clients x pipeline %zu, server pool %zu, "
+              "%lld reactor(s), %zu idle)\n",
+              vertices, edges, num_queries, num_clients,
+              fork_clients ? "forked" : "threaded", pipeline, server_threads,
+              static_cast<long long>(reactors_flag), idle_connections);
 
   core::DirectedHypergraph graph =
       serve::RandomServeGraph(vertices, edges, 42);
@@ -196,6 +312,7 @@ int Main(int argc, char** argv) {
   net::ServerOptions server_options;
   server_options.max_batch = pipeline;
   server_options.num_threads = server_threads;
+  server_options.num_reactors = static_cast<size_t>(reactors_flag);
   server_options.max_connections =
       std::max<size_t>(4096, idle_connections + num_clients + 64);
   // A private registry so the per-stage histograms cover exactly this
@@ -205,9 +322,15 @@ int Main(int argc, char** argv) {
   EnsureFdHeadroom(2 * (idle_connections + num_clients) + 64);
   auto server = net::Server::Start(&engine, server_options);
   HM_CHECK_OK(server.status());
+  const size_t num_reactors = (*server)->num_reactors();
+
+  auto run_load = [&](uint16_t port) {
+    return fork_clients ? ForkNetQps(port, requests, num_clients, pipeline)
+                        : NetQps(port, requests, num_clients, pipeline);
+  };
 
   // Pass 1: pipelined traffic alone — the multiplexing baseline.
-  NetStats net = NetQps((*server)->port(), requests, num_clients, pipeline);
+  NetStats net = run_load((*server)->port());
   HM_CHECK_EQ(net.answered, num_queries);  // zero dropped over the wire
 
   // Pass 2 (--idle-connections=N): the same traffic with N idle clients
@@ -234,7 +357,7 @@ int Main(int argc, char** argv) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
-    idle_net = NetQps((*server)->port(), requests, num_clients, pipeline);
+    idle_net = run_load((*server)->port());
     HM_CHECK_EQ(idle_net.answered, num_queries);
     idle_ratio = net.qps > 0 ? idle_net.qps / net.qps : 0.0;
     // Still connected: a poll on each parked socket must see silence,
@@ -259,6 +382,37 @@ int Main(int argc, char** argv) {
       registry.GetHistogram("hypermine_net_write_drain_seconds")
           ->TakeSnapshot();
   (*server)->Stop();
+
+  // Multi-reactor sweep: a fresh server per reactor count, always driven
+  // by forked clients so generator contention never masks a server-side
+  // scaling difference. `reactors_hit` counts reactors that accepted at
+  // least one connection — under SO_REUSEPORT the kernel's flow hash
+  // picks the listener, so with few clients the spread is best-effort.
+  struct SweepPoint {
+    size_t num_reactors = 0;
+    NetStats net;
+    size_t reactors_hit = 0;
+  };
+  std::vector<SweepPoint> sweep;
+  const std::vector<size_t> sweep_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+  for (size_t reactor_count : sweep_counts) {
+    net::ServerOptions sweep_options = server_options;
+    sweep_options.num_reactors = reactor_count;
+    auto sweep_server = net::Server::Start(&engine, sweep_options);
+    HM_CHECK_OK(sweep_server.status());
+    SweepPoint point;
+    point.num_reactors = (*sweep_server)->num_reactors();
+    point.net = ForkNetQps((*sweep_server)->port(), requests, num_clients,
+                           pipeline);
+    HM_CHECK_EQ(point.net.answered, num_queries);
+    const net::ServerStats sweep_stats = (*sweep_server)->stats();
+    for (const net::ReactorStats& reactor : sweep_stats.per_reactor) {
+      if (reactor.connections_accepted > 0) ++point.reactors_hit;
+    }
+    (*sweep_server)->Stop();
+    sweep.push_back(point);
+  }
 
   const double wire_cost =
       net.qps > 0 ? inproc_qps / net.qps : 0.0;
@@ -293,6 +447,14 @@ int Main(int argc, char** argv) {
   std::printf("%-22s %10.3f %10.3f\n", "write drain",
               1e3 * write_drain.Percentile(0.50),
               1e3 * write_drain.Percentile(0.99));
+  std::printf("%-22s %12s %10s %10s %8s\n", "reactor sweep (forked)",
+              "queries/s", "p50 ms", "p99 ms", "hit");
+  for (const SweepPoint& point : sweep) {
+    std::printf("%-22s %12.0f %10.3f %10.3f %5zu/%zu\n",
+                StrFormat("%zu reactor(s)", point.num_reactors).c_str(),
+                point.net.qps, point.net.p50_ms, point.net.p99_ms,
+                point.reactors_hit, point.num_reactors);
+  }
 
   std::string idle_json = "null";
   if (idle_connections > 0) {
@@ -303,6 +465,18 @@ int Main(int argc, char** argv) {
         idle_connections, idle_net.qps, idle_net.p50_ms, idle_net.p99_ms,
         static_cast<unsigned long long>(idle_net.answered), idle_ratio);
   }
+  std::string sweep_json = "[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    sweep_json += StrFormat(
+        "%s\n    {\"num_reactors\": %zu, \"qps\": %.1f, "
+        "\"p50_round_ms\": %.3f, \"p99_round_ms\": %.3f, "
+        "\"answered\": %llu, \"reactors_hit\": %zu}",
+        i == 0 ? "" : ",", sweep[i].num_reactors, sweep[i].net.qps,
+        sweep[i].net.p50_ms, sweep[i].net.p99_ms,
+        static_cast<unsigned long long>(sweep[i].net.answered),
+        sweep[i].reactors_hit);
+  }
+  sweep_json += "\n  ]";
   std::string json = StrFormat(
       "{\n"
       "  \"bench\": \"net_throughput\",\n"
@@ -314,11 +488,14 @@ int Main(int argc, char** argv) {
       "  \"clients\": %zu,\n"
       "  \"pipeline\": %zu,\n"
       "  \"server_threads\": %zu,\n"
+      "  \"num_reactors\": %zu,\n"
+      "  \"load_generator\": \"%s\",\n"
       "  \"hardware_threads\": %u,\n"
       "  \"in_process\": {\"qps\": %.1f},\n"
       "  \"net\": {\"qps\": %.1f, \"p50_round_ms\": %.3f, "
       "\"p99_round_ms\": %.3f, \"answered\": %llu, \"dropped\": 0},\n"
       "  \"idle\": %s,\n"
+      "  \"multi_reactor\": %s,\n"
       "  \"server\": {\"batches\": %llu, \"avg_coalesce\": %.2f, "
       "\"frames_coalesced\": %llu, \"queue_depth_peak\": %zu},\n"
       "  \"stage_latency_ms\": {\n"
@@ -329,10 +506,12 @@ int Main(int argc, char** argv) {
       "  \"wire_cost_factor\": %.3f\n"
       "}\n",
       bench::GitSha(), bench::BuildType(), vertices, edges, num_queries,
-      num_clients, pipeline, server_threads,
+      num_clients, pipeline, server_threads, num_reactors,
+      fork_clients ? "processes" : "threads",
       std::thread::hardware_concurrency(),
       inproc_qps, net.qps, net.p50_ms, net.p99_ms,
       static_cast<unsigned long long>(net.answered), idle_json.c_str(),
+      sweep_json.c_str(),
       static_cast<unsigned long long>(server_stats.batches),
       server_stats.batches > 0
           ? static_cast<double>(server_stats.queries_answered) /

@@ -14,12 +14,41 @@ namespace hypermine::api {
 Engine::Engine(std::shared_ptr<const Model> model, EngineOptions options)
     : model_(std::move(model)), cache_capacity_(options.cache_capacity) {
   HM_CHECK(model_ != nullptr);
+  if (cache_capacity_ > 0) {
+    // Resolve the shard count. Auto shards only once every shard can
+    // hold at least 64 entries: per-shard LRU makes the global eviction
+    // order approximate, and the approximation is worst when shards are
+    // tiny — a capacity-2 cache split in two evicts on every collision.
+    // An explicit request is clamped so every shard's capacity slice
+    // holds at least one entry (a zero-capacity shard would evict
+    // everything it admits).
+    size_t shard_count =
+        options.cache_shards == 0
+            ? std::min<size_t>(8, std::max<size_t>(1, cache_capacity_ / 64))
+            : std::min(options.cache_shards, cache_capacity_);
+    if (shard_count == 0) shard_count = 1;
+    // Split the capacity: base entries everywhere, the remainder spread
+    // one each over the first shards, so the slices sum exactly to
+    // cache_capacity_.
+    const size_t base = cache_capacity_ / shard_count;
+    const size_t remainder = cache_capacity_ % shard_count;
+    shards_.reserve(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      auto shard = std::make_unique<CacheShard>();
+      shard->capacity = base + (i < remainder ? 1 : 0);
+      shards_.push_back(std::move(shard));
+    }
+  }
   if (options.pool != nullptr) {
     pool_ = options.pool;
   } else {
     owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
     pool_ = owned_pool_.get();
   }
+}
+
+Engine::CacheShard& Engine::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
 void Engine::Swap(std::shared_ptr<const Model> model) {
@@ -30,15 +59,17 @@ void Engine::Swap(std::shared_ptr<const Model> model) {
     model_.swap(model);
   }
   swap_count_.fetch_add(1, std::memory_order_relaxed);
-  // Eagerly purge entries of other versions. Keying alone already makes
-  // them unreachable; the purge stops a dead model's answers from
-  // occupying capacity until LRU pressure pushes them out.
-  if (cache_capacity_ > 0) {
-    MutexLock lock(cache_mutex_);
-    for (auto it = lru_.begin(); it != lru_.end();) {
+  // Eagerly purge entries of other versions, one shard at a time. Keying
+  // alone already makes them unreachable (the key leads with the model
+  // version, so the swap is coherent across every shard the moment the
+  // slot changes); the purge stops a dead model's answers from occupying
+  // capacity until LRU pressure pushes them out.
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->model_version != live_version) {
-        cache_.erase(it->key);
-        it = lru_.erase(it);
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
       } else {
         ++it;
       }
@@ -100,20 +131,24 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
   }
 
   // Only pay for key canonicalization when a cache exists: the no-cache
-  // configuration is the serving hot path benchmarks measure.
+  // configuration is the serving hot path benchmarks measure. With a
+  // cache, the key picks one shard and only that shard's lock is ever
+  // taken — queries landing on different shards proceed in parallel.
   std::string key;
-  if (cache_capacity_ > 0) {
+  CacheShard* shard = nullptr;
+  if (!shards_.empty()) {
     key = CacheKey(model.version(), request, items);
-    MutexLock lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.hits;
+    shard = &ShardFor(key);
+    MutexLock lock(shard->mutex);
+    auto it = shard->map.find(key);
+    if (it != shard->map.end()) {
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      ++shard->stats.hits;
       QueryResponse hit = it->second->response;
       hit.from_cache = true;
       return hit;
     }
-    ++stats_.misses;
+    ++shard->stats.misses;
   }
 
   QueryResponse response;
@@ -127,16 +162,18 @@ StatusOr<QueryResponse> Engine::Process(const Model& model,
       break;
   }
 
-  if (cache_capacity_ > 0) {
-    MutexLock lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      lru_.push_front(CacheEntry{key, model.version(), response});
-      cache_.emplace(lru_.front().key, lru_.begin());
-      if (lru_.size() > cache_capacity_) {
-        cache_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
+  if (shard != nullptr) {
+    MutexLock lock(shard->mutex);
+    // Re-check: a concurrent query for the same key may have inserted
+    // while this one computed.
+    auto it = shard->map.find(key);
+    if (it == shard->map.end()) {
+      shard->lru.push_front(CacheEntry{key, model.version(), response});
+      shard->map.emplace(shard->lru.front().key, shard->lru.begin());
+      if (shard->lru.size() > shard->capacity) {
+        shard->map.erase(shard->lru.back().key);
+        shard->lru.pop_back();
+        ++shard->stats.evictions;
       }
     }
   }
@@ -208,8 +245,33 @@ StatusOr<QueryResponse> Engine::Query(
 }
 
 CacheStats Engine::cache_stats() const {
-  MutexLock lock(cache_mutex_);
-  return stats_;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+std::vector<CacheStats> Engine::cache_shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    out.push_back(shard->stats);
+  }
+  return out;
+}
+
+size_t Engine::cache_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 namespace {

@@ -58,15 +58,28 @@ struct EngineOptions {
   /// Worker threads; 0 = hardware concurrency (at least 1). Ignored when
   /// `pool` is set.
   size_t num_threads = 0;
-  /// LRU result-cache capacity in entries; 0 disables caching.
+  /// LRU result-cache capacity in entries (total across all shards); 0
+  /// disables caching.
   size_t cache_capacity = 4096;
+  /// Independently-locked cache shards; a query locks only the shard its
+  /// key hashes to, so concurrent lookups on different shards never
+  /// contend. 0 = auto: min(8, max(1, cache_capacity / 64)) — small
+  /// caches stay single-shard, because sharding is an eviction-precision
+  /// trade. LRU eviction is per shard (each shard evicts within its own
+  /// capacity slice, so the global eviction order is only approximately
+  /// LRU), and the approximation is worst exactly when shards are tiny;
+  /// auto only shards once every shard holds at least 64 entries. An
+  /// explicit request is honored after clamping to cache_capacity, so
+  /// every shard holds at least one entry.
+  size_t cache_shards = 0;
   /// Optional caller-provided worker pool shared with other subsystems
   /// (e.g. the model builder). Not owned; must outlive the engine.
   ThreadPool* pool = nullptr;
 };
 
 /// Lifetime counters of the engine's result cache (monotonic; a Swap
-/// purges entries but never resets the counters).
+/// purges entries but never resets the counters). cache_stats() sums the
+/// per-shard counters; cache_shard_stats() exposes them individually.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -75,7 +88,9 @@ struct CacheStats {
 
 /// The serving half of the API: answers association queries against a hot-
 /// swappable, immutable Model. One Engine owns a worker pool (or borrows a
-/// shared one), an LRU result cache, and a shared_ptr<const Model> slot.
+/// shared one), a sharded LRU result cache (key-hash picks the shard, each
+/// shard has its own lock — no query ever takes a global cache lock), and
+/// a shared_ptr<const Model> slot.
 ///
 /// Hot swap: Swap(new_model) atomically replaces the slot. Queries acquire
 /// the model pointer once per batch, so in-flight batches finish against
@@ -121,8 +136,17 @@ class Engine {
 
   /// Workers in the (owned or shared) query pool.
   size_t num_threads() const { return pool_->num_threads(); }
-  /// Snapshot of the result-cache counters. Thread-safe.
+  /// Snapshot of the result-cache counters, summed across shards.
+  /// Thread-safe.
   CacheStats cache_stats() const;
+  /// Per-shard counter snapshots, index = shard. Thread-safe. The shard
+  /// snapshots are taken one lock at a time, so the vector is not a
+  /// single atomic cut — each shard's triple is internally consistent.
+  std::vector<CacheStats> cache_shard_stats() const;
+  /// Cache shards actually in use (0 when caching is disabled).
+  size_t cache_shards() const { return shards_.size(); }
+  /// Entries currently cached, summed across shards. Thread-safe.
+  size_t cache_entries() const;
   /// Lifetime count of Swap() calls (monotonic, thread-safe) — the
   /// observability layer bridges it into `hypermine_model_swaps_total`.
   uint64_t swap_count() const {
@@ -136,6 +160,23 @@ class Engine {
     QueryResponse response;
   };
 
+  /// One independently-locked slice of the result cache. LRU list front =
+  /// most recent; map points into the list. `capacity` is this shard's
+  /// slice of EngineOptions::cache_capacity (immutable after
+  /// construction).
+  struct CacheShard {
+    mutable Mutex mutex;
+    std::list<CacheEntry> lru HM_GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::list<CacheEntry>::iterator> map
+        HM_GUARDED_BY(mutex);
+    CacheStats stats HM_GUARDED_BY(mutex);
+    size_t capacity = 0;
+  };
+
+  /// The shard `key` hashes to. Never called with an empty shard vector
+  /// (callers gate on cache_capacity_ > 0).
+  CacheShard& ShardFor(const std::string& key) const;
+
   StatusOr<QueryResponse> Process(const Model& model,
                                   const QueryRequest& request);
   /// Canonical cache key (leads with the model version). Only called on
@@ -148,15 +189,13 @@ class Engine {
   std::shared_ptr<const Model> model_ HM_GUARDED_BY(model_mutex_);
   std::atomic<uint64_t> swap_count_{0};
 
-  // LRU cache: list front = most recent; map points into the list.
-  mutable Mutex cache_mutex_;
   /// Immutable after construction, so the cache-enabled check on the query
   /// hot path needs no lock.
   const size_t cache_capacity_;
-  std::list<CacheEntry> lru_ HM_GUARDED_BY(cache_mutex_);
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_
-      HM_GUARDED_BY(cache_mutex_);
-  CacheStats stats_ HM_GUARDED_BY(cache_mutex_);
+  /// The shards themselves (empty iff cache_capacity_ == 0). unique_ptr
+  /// keeps each shard's Mutex at a stable address; the vector itself is
+  /// immutable after construction, so indexing it is lock-free.
+  std::vector<std::unique_ptr<CacheShard>> shards_;
 
   /// Owned pool when options.pool was null. MUST be declared after the
   /// cache state: ~ThreadPool drains in-flight chunks, which still call

@@ -1,0 +1,85 @@
+#include "net/reactor.h"
+
+#include <utility>
+
+namespace hypermine::net {
+
+Reactor::Reactor(size_t reactor_index, EventLoop reactor_loop)
+    : index(reactor_index),
+      loop(std::move(reactor_loop)),
+      read_scratch(64u << 10) {}
+
+void Reactor::PushCompletion(BatchCompletion done) {
+  MutexLock lock(completion_mutex);
+  completions.push_back(std::move(done));
+}
+
+std::vector<BatchCompletion> Reactor::TakeCompletions() {
+  std::vector<BatchCompletion> done;
+  MutexLock lock(completion_mutex);
+  done.swap(completions);
+  return done;
+}
+
+void Reactor::BeginBatch() {
+  MutexLock lock(completion_mutex);
+  ++outstanding_batches;
+}
+
+void Reactor::FinishBatch() {
+  // Decrement and notify under the lock: once Stop() observes zero it may
+  // tear the reactor down, so its predicate wait must not return (and free
+  // the cv) until this worker has released the mutex — after which the
+  // worker touches no reactor member again.
+  MutexLock lock(completion_mutex);
+  --outstanding_batches;
+  outstanding_cv.NotifyAll();
+}
+
+std::vector<BatchCompletion> Reactor::WaitIdleAndCollect() {
+  std::vector<BatchCompletion> leftovers;
+  MutexLock lock(completion_mutex);
+  outstanding_cv.Wait(completion_mutex,
+                      [this]() HM_REQUIRES(completion_mutex) {
+                        return outstanding_batches == 0;
+                      });
+  leftovers.swap(completions);
+  return leftovers;
+}
+
+void Reactor::PushHandoff(Socket socket) {
+  {
+    MutexLock lock(inbox_mutex);
+    inbox.push_back(std::move(socket));
+  }
+  inbox_nonempty.store(true, std::memory_order_release);
+  loop.Wakeup();
+}
+
+std::vector<Socket> Reactor::TakeHandoffs() {
+  if (!inbox_nonempty.exchange(false, std::memory_order_acq_rel)) return {};
+  std::vector<Socket> adopted;
+  MutexLock lock(inbox_mutex);
+  adopted.swap(inbox);
+  return adopted;
+}
+
+ReactorStats Reactor::snapshot() const {
+  ReactorStats s;
+  s.index = index;
+  s.connections_accepted = accepted.load(std::memory_order_relaxed);
+  s.connections_rejected = rejected.load(std::memory_order_relaxed);
+  s.connections_reaped = reaped.load(std::memory_order_relaxed);
+  s.connections_stalled = stalled.load(std::memory_order_relaxed);
+  s.batches = batches_applied.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written.load(std::memory_order_relaxed);
+  s.open_connections = open.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(completion_mutex);
+    s.outstanding_batches = outstanding_batches;
+  }
+  return s;
+}
+
+}  // namespace hypermine::net

@@ -16,10 +16,11 @@
 namespace hypermine::net {
 namespace {
 
-/// Event-loop tags. Connection ids count up from 1, so the query listener
-/// owns 0 and the admin listener the far end of the space (one below
-/// ~0, which the loop reserves for its wakeup eventfd); timers live in
-/// their own tag namespace.
+/// Event-loop tags. Connection ids count up from 1 within each reactor
+/// (tags never cross loops, so per-reactor namespaces suffice); the query
+/// listener owns 0 and the admin listener the far end of the space (one
+/// below ~0, which the loop reserves for its wakeup eventfd); timers live
+/// in their own tag namespace.
 constexpr uint64_t kListenerTag = 0;
 constexpr uint64_t kAdminListenerTag = ~uint64_t{0} - 1;
 constexpr uint64_t kReapTimerTag = 1;
@@ -31,6 +32,10 @@ constexpr uint64_t kStallTimerTag = 4;
 /// plane must not lock out the scraper diagnosing it) but capped here —
 /// the admin port serves one Prometheus and one curl, not a fleet.
 constexpr size_t kMaxAdminConnections = 64;
+
+/// Sanity ceiling on reactor threads: a typo (--reactors=10000) should
+/// fail loudly, not spawn ten thousand event loops.
+constexpr size_t kMaxReactors = 128;
 
 /// Raises an atomic high-water mark (relaxed CAS loop).
 void UpdateMax(std::atomic<size_t>* max, size_t value) {
@@ -84,57 +89,6 @@ WireResponse ToWire(const StatusOr<api::QueryResponse>& result,
 
 }  // namespace
 
-/// Per-connection reactor state. The `machine` (framing + write queue),
-/// the flags, and `last_activity` belong to the reactor thread alone.
-/// `served` is written only by the pool worker running this connection's
-/// single in-flight batch; the completion-queue mutex and the pool's task
-/// queue order batch N's write before batch N+1's read.
-struct Server::Conn {
-  uint64_t id = 0;
-  Socket socket;
-  Connection machine;
-  uint64_t served = 0;
-
-  /// Admin-plane connection: `http` replaces `machine` as the protocol
-  /// state machine (machine stays default-constructed and unused).
-  bool admin = false;
-  std::unique_ptr<HttpConnection> http;
-
-  /// Write-drain timing (query conns): set when the write queue goes
-  /// non-empty, observed into the drain histogram when it empties.
-  bool write_timing = false;
-  std::chrono::steady_clock::time_point write_start;
-
-  /// Stall detection (query conns): set with a timestamp when a read
-  /// leaves the machine mid-frame; re-anchored whenever frames_parsed()
-  /// moves (completing frames is progress even when the machine is
-  /// always midway through the NEXT one). The clock must NOT reset on
-  /// mere activity — a slow-loris peer is active, a byte at a time.
-  bool in_frame = false;
-  uint64_t frames_at_stall_start = 0;
-  std::chrono::steady_clock::time_point frame_start;
-
-  bool batch_in_flight = false;
-  /// A transport error or full hangup: close without flushing.
-  bool dead = false;
-  /// Set by the reactor when it drops the connection, so a completion
-  /// that arrives later knows its bytes have nowhere to go.
-  bool closed = false;
-  bool want_read = true;
-  bool want_write = false;
-  std::chrono::steady_clock::time_point last_activity;
-
-  explicit Conn(Connection::Options options) : machine(options) {}
-};
-
-struct Server::Completion {
-  std::shared_ptr<Conn> conn;
-  std::string bytes;
-  size_t admitted = 0;
-  uint64_t rejected = 0;
-  uint64_t shed = 0;
-};
-
 StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
                                                 ServerOptions options) {
   HM_CHECK(engine != nullptr);
@@ -165,48 +119,116 @@ StatusOr<std::unique_ptr<Server>> Server::Start(api::Engine* engine,
     return Status::InvalidArgument(
         "ServerOptions::admin_port must fit a TCP port");
   }
-  HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
-  HM_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  const size_t reactor_count =
+      options.num_reactors == 0
+          ? std::max<size_t>(1, ThreadPool::HardwareThreads())
+          : options.num_reactors;
+  if (reactor_count > kMaxReactors) {
+    return Status::InvalidArgument(
+        StrFormat("ServerOptions::num_reactors (%zu) exceeds the sanity "
+                  "cap of %zu",
+                  reactor_count, kMaxReactors));
+  }
+
+  // Listener plan. One reactor: the classic single listener. Multiple
+  // reactors: one SO_REUSEPORT listener per reactor (the kernel spreads
+  // accepts), unless handoff was requested or any sharing bind fails —
+  // then reactor 0 owns the only listener and hands sockets off.
+  bool handoff = reactor_count > 1 &&
+                 options.accept_mode == ServerOptions::AcceptMode::kHandoff;
+  std::vector<Listener> listeners;
+  if (reactor_count == 1 || handoff) {
+    HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
+    HM_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+    listeners.push_back(std::move(listener));
+  } else {
+    StatusOr<Listener> first =
+        Listener::Bind(options.port, /*backlog=*/128, /*reuse_port=*/true);
+    if (!first.ok()) {
+      HM_LOG_WARNING << "SO_REUSEPORT bind failed ("
+                     << first.status().ToString()
+                     << "); falling back to reactor-0 accept + handoff";
+      handoff = true;
+      HM_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(options.port));
+      HM_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+      listeners.push_back(std::move(listener));
+    } else {
+      // The first bind resolved the port (options.port may be 0); the
+      // other reactors share it.
+      const uint16_t shared_port = first->port();
+      HM_RETURN_IF_ERROR(first->SetNonBlocking(true));
+      listeners.push_back(std::move(*first));
+      for (size_t i = 1; i < reactor_count; ++i) {
+        StatusOr<Listener> next = Listener::Bind(
+            shared_port, /*backlog=*/128, /*reuse_port=*/true);
+        if (!next.ok()) {
+          HM_LOG_WARNING << "SO_REUSEPORT sharing bind failed ("
+                         << next.status().ToString()
+                         << "); falling back to reactor-0 accept + handoff";
+          handoff = true;
+          listeners.resize(1);  // reactor 0 keeps the resolved port
+          break;
+        }
+        HM_RETURN_IF_ERROR(next->SetNonBlocking(true));
+        listeners.push_back(std::move(*next));
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Reactor>> reactors;
+  reactors.reserve(reactor_count);
+  for (size_t i = 0; i < reactor_count; ++i) {
+    HM_ASSIGN_OR_RETURN(EventLoop loop, EventLoop::Create());
+    auto reactor = std::make_unique<Reactor>(i, std::move(loop));
+    if (i < listeners.size()) {
+      reactor->listener = std::move(listeners[i]);
+      HM_RETURN_IF_ERROR(reactor->loop.Add(reactor->listener.fd(),
+                                           kListenerTag, /*read=*/true,
+                                           /*write=*/false));
+    }
+    // Each reactor reaps and stall-checks its own connections.
+    if (options.idle_timeout_ms > 0) {
+      reactor->loop.AddTimer(kReapTimerTag,
+                             std::max(10, options.idle_timeout_ms / 2));
+    }
+    if (options.stall_timeout_ms > 0) {
+      reactor->loop.AddTimer(kStallTimerTag,
+                             std::max(10, options.stall_timeout_ms / 2));
+    }
+    reactors.push_back(std::move(reactor));
+  }
   Listener admin_listener;
   if (options.admin_port >= 0) {
     HM_ASSIGN_OR_RETURN(
         admin_listener,
         Listener::Bind(static_cast<uint16_t>(options.admin_port)));
     HM_RETURN_IF_ERROR(admin_listener.SetNonBlocking(true));
-  }
-  HM_ASSIGN_OR_RETURN(EventLoop loop, EventLoop::Create());
-  HM_RETURN_IF_ERROR(loop.Add(listener.fd(), kListenerTag, /*read=*/true,
-                              /*write=*/false));
-  if (admin_listener.valid()) {
-    HM_RETURN_IF_ERROR(loop.Add(admin_listener.fd(), kAdminListenerTag,
-                                /*read=*/true, /*write=*/false));
-  }
-  if (options.idle_timeout_ms > 0) {
-    loop.AddTimer(kReapTimerTag,
-                  std::max(10, options.idle_timeout_ms / 2));
-  }
-  if (options.stall_timeout_ms > 0) {
-    loop.AddTimer(kStallTimerTag,
-                  std::max(10, options.stall_timeout_ms / 2));
+    // The admin plane always lives on reactor 0.
+    HM_RETURN_IF_ERROR(reactors[0]->loop.Add(admin_listener.fd(),
+                                             kAdminListenerTag,
+                                             /*read=*/true,
+                                             /*write=*/false));
   }
   // Not make_unique: the constructor is private.
   std::unique_ptr<Server> server(
-      new Server(engine, options, std::move(listener),
-                 std::move(admin_listener), std::move(loop)));
-  server->reactor_thread_ = std::thread([s = server.get()] {
-    s->ReactorLoop();
-  });
+      new Server(engine, options, handoff, std::move(reactors),
+                 std::move(admin_listener)));
+  for (auto& reactor : server->reactors_) {
+    reactor->thread = std::thread(
+        [s = server.get(), r = reactor.get()] { s->ReactorLoop(r); });
+  }
   return server;
 }
 
-Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
-               Listener admin_listener, EventLoop loop)
+Server::Server(api::Engine* engine, ServerOptions options, bool handoff_mode,
+               std::vector<std::unique_ptr<Reactor>> reactors,
+               Listener admin_listener)
     : engine_(engine),
       options_(options),
-      listener_(std::move(listener)),
-      admin_listener_(std::move(admin_listener)),
-      loop_(std::move(loop)),
-      read_scratch_(64u << 10) {
+      handoff_mode_(handoff_mode),
+      reactors_(std::move(reactors)),
+      admin_listener_(std::move(admin_listener)) {
+  port_ = reactors_[0]->listener.port();
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -298,11 +320,50 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
         ->GetGauge("hypermine_net_queue_depth_peak",
                    "High-water mark of hypermine_net_queue_depth.")
         ->Set(static_cast<int64_t>(s.queue_depth_peak));
+    size_t open_total = 0;
+    for (const ReactorStats& rs : s.per_reactor) {
+      open_total += rs.open_connections;
+    }
     registry_
         ->GetGauge("hypermine_net_open_connections",
-                   "Connections currently owned by the reactor (admin "
+                   "Connections currently owned by the reactors (admin "
                    "plane included).")
-        ->Set(static_cast<int64_t>(open_connections_.load()));
+        ->Set(static_cast<int64_t>(open_total));
+    registry_
+        ->GetGauge("hypermine_net_reactors",
+                   "Reactor threads serving this process.")
+        ->Set(static_cast<int64_t>(s.per_reactor.size()));
+    // Per-reactor label series: connection distribution and the per-loop
+    // work queue, so a hot or wedged reactor is visible from outside.
+    for (const ReactorStats& rs : s.per_reactor) {
+      registry_
+          ->GetCounter(
+              StrFormat("hypermine_net_reactor_connections_accepted_total"
+                        "{reactor=\"%zu\"}",
+                        rs.index),
+              "Query-plane connections accepted, by owning reactor.")
+          ->BridgeTo(rs.connections_accepted);
+      registry_
+          ->GetCounter(
+              StrFormat("hypermine_net_reactor_connections_reaped_total"
+                        "{reactor=\"%zu\"}",
+                        rs.index),
+              "Idle-timeout reaps, by owning reactor.")
+          ->BridgeTo(rs.connections_reaped);
+      registry_
+          ->GetGauge(StrFormat("hypermine_net_reactor_open_connections"
+                               "{reactor=\"%zu\"}",
+                               rs.index),
+                     "Connections currently owned by this reactor.")
+          ->Set(static_cast<int64_t>(rs.open_connections));
+      registry_
+          ->GetGauge(StrFormat("hypermine_net_reactor_outstanding_batches"
+                               "{reactor=\"%zu\"}",
+                               rs.index),
+                     "Engine batches in flight for this reactor's "
+                     "connections.")
+          ->Set(static_cast<int64_t>(rs.outstanding_batches));
+    }
 
     const api::CacheStats cache = engine_->cache_stats();
     registry_
@@ -347,11 +408,15 @@ Server::Server(api::Engine* engine, ServerOptions options, Listener listener,
 
 Server::~Server() { Stop(); }
 
+void Server::WakeAllReactors() {
+  for (auto& reactor : reactors_) reactor->loop.Wakeup();
+}
+
 void Server::Drain() {
   if (draining_.exchange(true)) return;
   HM_LOG_INFO << "drain requested: /healthz -> 503, refusing new query "
                  "connections";
-  loop_.Wakeup();  // the reactor applies the rest (ApplyDrain)
+  WakeAllReactors();  // each reactor applies the rest (ApplyDrain)
 }
 
 void Server::Stop() {
@@ -363,41 +428,37 @@ void Server::Stop() {
     registry_->RemoveCollector(collector_id_);
     collector_registered_ = false;
   }
-  loop_.Wakeup();
-  if (reactor_thread_.joinable()) reactor_thread_.join();
-  // The reactor has exited and unbound the loop, so this thread now owns
-  // every piece of reactor state; the assert claims the capability for
-  // the analysis (and would abort if a reactor were somehow still bound).
-  loop_.AssertOnLoopThread();
+  WakeAllReactors();
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+  for (auto& reactor : reactors_) TeardownReactor(*reactor);
+  open_query_conns_.store(0);
+  admin_listener_.Close();
+}
+
+void Server::TeardownReactor(Reactor& r) {
+  // The reactor thread has exited and unbound its loop, so the stopping
+  // thread now owns this reactor's state; the assert claims the
+  // capability for the analysis (and would abort if the reactor were
+  // somehow still bound).
+  r.loop.AssertOnLoopThread();
   // Engine batches already handed to the pool finish (their results are
   // the clients' property until the sockets actually close); the reactor
   // is gone, so their completions pile up here instead of being
   // delivered.
-  std::vector<Completion> leftovers;
-  {
-    MutexLock lock(completion_mutex_);
-    outstanding_cv_.Wait(completion_mutex_,
-                         [this]() HM_REQUIRES(completion_mutex_) {
-                           return outstanding_batches_ == 0;
-                         });
-    leftovers.swap(completions_);
-  }
-  for (Completion& done : leftovers) {
-    {
-      MutexLock lock(mutex_);
-      ++stats_.batches;
-      stats_.queries_answered += done.admitted;
-      stats_.queries_rejected += done.rejected;
-      stats_.queries_shed += done.shed;
-      const uint64_t frames = done.admitted + done.rejected + done.shed;
-      if (frames > 0) stats_.frames_coalesced += frames - 1;
+  std::vector<BatchCompletion> leftovers = r.WaitIdleAndCollect();
+  for (BatchCompletion& done : leftovers) {
+    ApplyBatchStats(done);
+    r.batches_applied.fetch_add(1, std::memory_order_relaxed);
+    if (!done.conn->closed) {
+      done.conn->machine.QueueWrite(std::move(done.bytes));
     }
-    if (!done.conn->closed) done.conn->machine.QueueWrite(std::move(done.bytes));
   }
   // One best-effort nonblocking flush so a reading client gets the
   // responses that were finished when Stop hit; a stalled client gets a
   // close instead of an unbounded wait.
-  for (auto& [id, conn] : conns_) {
+  for (auto& [id, conn] : r.conns) {
     while (conn->admin ? conn->http->wants_write()
                        : conn->machine.wants_write()) {
       std::string_view head = conn->admin ? conn->http->write_head()
@@ -412,10 +473,9 @@ void Server::Stop() {
     }
     conn->closed = true;
   }
-  conns_.clear();  // closes every descriptor still owned here
-  open_connections_.store(0);
-  listener_.Close();
-  admin_listener_.Close();
+  r.conns.clear();  // closes every descriptor still owned here
+  r.open.store(0, std::memory_order_relaxed);
+  r.listener.Close();
 }
 
 ServerStats Server::stats() const {
@@ -424,82 +484,100 @@ ServerStats Server::stats() const {
     MutexLock lock(mutex_);
     copy = stats_;
   }
-  copy.bytes_read = bytes_read_.load(std::memory_order_relaxed);
-  copy.bytes_written = bytes_written_.load(std::memory_order_relaxed);
-  copy.admin_requests = admin_requests_.load(std::memory_order_relaxed);
   copy.queue_depth = in_flight_.load(std::memory_order_relaxed);
   copy.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  copy.admin_requests = admin_requests_.load(std::memory_order_relaxed);
+  copy.per_reactor.reserve(reactors_.size());
+  for (const auto& reactor : reactors_) {
+    ReactorStats rs = reactor->snapshot();
+    copy.connections_accepted += rs.connections_accepted;
+    copy.connections_rejected += rs.connections_rejected;
+    copy.connections_reaped += rs.connections_reaped;
+    copy.connections_stalled += rs.connections_stalled;
+    copy.bytes_read += rs.bytes_read;
+    copy.bytes_written += rs.bytes_written;
+    copy.per_reactor.push_back(std::move(rs));
+  }
   return copy;
 }
 
-void Server::ReactorLoop() {
+void Server::ReactorLoop(Reactor* r) {
   // First act: claim the loop. The runtime bind makes every off-thread
   // use of the loop (or of a bound Connection) abort in debug builds; the
-  // assert hands the "reactor" capability to the static analysis for the
-  // HM_REQUIRES(loop_) methods below.
-  loop_.BindToCurrentThread();
-  loop_.AssertOnLoopThread();
+  // assert hands this reactor's capability to the static analysis for the
+  // HM_REQUIRES(r.loop) methods below.
+  r->loop.BindToCurrentThread();
+  r->loop.AssertOnLoopThread();
   std::vector<EventLoop::Event> events;
   while (!stopping_.load()) {
     events.clear();
     // The 1 s ceiling is belt and braces — Stop's Wakeup() (sticky, see
     // EventLoop::Wakeup) is what actually bounds shutdown latency.
-    StatusOr<size_t> waited = loop_.Wait(/*timeout_ms=*/1000, &events);
+    StatusOr<size_t> waited = r->loop.Wait(/*timeout_ms=*/1000, &events);
     if (!waited.ok()) {
       // A dead reactor must not look like a healthy server: stop
       // accepting (handshakes would otherwise keep completing into the
       // backlog) and reset every live socket so clients fail fast
-      // instead of hanging on responses nobody will ever write.
-      HM_LOG_ERROR << "reactor wait failed, shutting down: "
+      // instead of hanging on responses nobody will ever write. One dead
+      // reactor takes the whole server down — a silently smaller fleet
+      // would serve with capacity the operator believes exists.
+      HM_LOG_ERROR << "reactor " << r->index
+                   << " wait failed, shutting down: "
                    << waited.status().ToString();
       stopping_.store(true);
-      listener_.Shutdown();
-      for (auto& [id, conn] : conns_) conn->socket.Shutdown();
+      r->listener.Shutdown();
+      for (auto& [id, conn] : r->conns) conn->socket.Shutdown();
+      WakeAllReactors();
       break;
     }
     if (stopping_.load()) break;
-    DrainCompletions();
-    if (draining_.load() && !drain_applied_) ApplyDrain();
+    AdoptHandoffs(*r);
+    DrainCompletions(*r);
+    if (draining_.load() && !r->drain_applied) ApplyDrain(*r);
     for (const EventLoop::Event& event : events) {
       if (event.timer) {
         if (event.tag == kReapTimerTag) {
-          ReapIdle();
+          ReapIdle(*r);
         } else if (event.tag == kStallTimerTag) {
-          CheckStalls();
+          CheckStalls(*r);
         } else if (event.tag == kAcceptRetryTimerTag) {
           // Descriptor pressure may have passed; listen again.
-          loop_.CancelTimer(kAcceptRetryTimerTag);
-          (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/true,
-                             /*write=*/false);
-          AcceptPending(/*admin=*/false);
+          r->loop.CancelTimer(kAcceptRetryTimerTag);
+          if (r->listener.valid()) {
+            (void)r->loop.Update(r->listener.fd(), kListenerTag,
+                                 /*read=*/true, /*write=*/false);
+            AcceptPending(*r, /*admin=*/false);
+          }
         } else if (event.tag == kAdminAcceptRetryTimerTag) {
-          loop_.CancelTimer(kAdminAcceptRetryTimerTag);
-          (void)loop_.Update(admin_listener_.fd(), kAdminListenerTag,
-                             /*read=*/true, /*write=*/false);
-          AcceptPending(/*admin=*/true);
+          r->loop.CancelTimer(kAdminAcceptRetryTimerTag);
+          if (admin_listener_.valid()) {
+            (void)r->loop.Update(admin_listener_.fd(), kAdminListenerTag,
+                                 /*read=*/true, /*write=*/false);
+            AcceptPending(*r, /*admin=*/true);
+          }
         }
         continue;
       }
       if (event.tag == kListenerTag) {
-        AcceptPending(/*admin=*/false);
+        AcceptPending(*r, /*admin=*/false);
         continue;
       }
       if (event.tag == kAdminListenerTag) {
-        AcceptPending(/*admin=*/true);
+        AcceptPending(*r, /*admin=*/true);
         continue;
       }
-      HandleConnEvent(event);
+      HandleConnEvent(*r, event);
     }
   }
   // Last act: release the loop, making Stop()'s post-join teardown (which
   // runs on whatever thread called it) legal again.
-  loop_.UnbindThread();
-  // Leave conns_ and the completion queue for Stop(): it joins this
+  r->loop.UnbindThread();
+  // Leave conns and the completion queue for Stop(): it joins this
   // thread first, so it owns them from here on.
 }
 
-void Server::AcceptPending(bool admin) {
-  Listener& listener = admin ? admin_listener_ : listener_;
+void Server::AcceptPending(Reactor& r, bool admin) {
+  Listener& listener = admin ? admin_listener_ : r.listener;
   const uint64_t listener_tag = admin ? kAdminListenerTag : kListenerTag;
   const uint64_t retry_tag =
       admin ? kAdminAcceptRetryTimerTag : kAcceptRetryTimerTag;
@@ -515,93 +593,120 @@ void Server::AcceptPending(bool admin) {
       // mute the listener and retry on a timer instead.
       HM_LOG_WARNING << "accept failed: " << accepted.status().ToString()
                      << "; retrying in 100 ms";
-      (void)loop_.Update(listener.fd(), listener_tag, /*read=*/false,
-                         /*write=*/false);
-      loop_.AddTimer(retry_tag, 100);
+      (void)r.loop.Update(listener.fd(), listener_tag, /*read=*/false,
+                          /*write=*/false);
+      r.loop.AddTimer(retry_tag, 100);
       return;
     }
-    if (admin && admin_conns_ >= kMaxAdminConnections) {
+    if (admin && r.admin_conns >= kMaxAdminConnections) {
       HM_LOG_WARNING << "admin connection rejected: "
                      << kMaxAdminConnections << " already open";
       continue;  // socket closes as `accepted` dies
     }
     if (!admin && draining_.load()) {
       // A draining server takes no new work (ApplyDrain also mutes the
-      // listener; this covers the race before it runs). The close reads
+      // listeners; this covers the race before it runs). The close reads
       // as a refused connection — clients retry elsewhere.
       HM_LOG_INFO << "connection refused: draining";
-      MutexLock lock(mutex_);
-      ++stats_.connections_rejected;
+      r.rejected.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (!admin && conns_.size() - admin_conns_ >= options_.max_connections) {
-      HM_LOG_INFO << "connection rejected: max_connections ("
-                  << options_.max_connections << ") reached";
-      MutexLock lock(mutex_);
-      ++stats_.connections_rejected;
-      continue;
-    }
-    if (!accepted->SetNonBlocking(true).ok()) continue;
-
-    Connection::Options machine_options;
-    machine_options.max_frame_bytes = options_.max_query_bytes;
-    machine_options.write_high_water = options_.write_high_water;
-    auto conn = std::make_shared<Conn>(machine_options);
-    conn->id = next_connection_id_++;
-    conn->socket = std::move(*accepted);
-    conn->last_activity = std::chrono::steady_clock::now();
-    // Ties the connection's state machine to this reactor: debug builds
-    // abort if any other thread ever drives it.
-    conn->machine.BindLoop(&loop_);
-    if (admin) {
-      conn->admin = true;
-      conn->http = std::make_unique<HttpConnection>();
-    }
-    Status added = loop_.Add(conn->socket.fd(), conn->id, /*read=*/true,
-                             /*write=*/false);
-    if (!added.ok()) {
-      HM_LOG_ERROR << "cannot register connection: " << added.ToString();
-      continue;
-    }
-    conns_.emplace(conn->id, conn);
-    if (admin) ++admin_conns_;
-    open_connections_.store(conns_.size(), std::memory_order_relaxed);
-    HM_LOG_INFO << (admin ? "admin" : "query") << " connection #"
-                << conn->id << " accepted (" << conns_.size() << " open)";
     if (!admin) {
-      MutexLock lock(mutex_);
-      ++stats_.connections_accepted;
+      // Reserve a slot under the GLOBAL cap before any handoff, so
+      // max_connections holds across reactors; every later failure path
+      // (and CloseConn) releases the reservation.
+      const size_t open = open_query_conns_.fetch_add(1) + 1;
+      if (open > options_.max_connections) {
+        open_query_conns_.fetch_sub(1);
+        HM_LOG_INFO << "connection rejected: max_connections ("
+                    << options_.max_connections << ") reached";
+        r.rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (handoff_mode_ && reactors_.size() > 1) {
+        const size_t target = next_handoff_.fetch_add(
+                                  1, std::memory_order_relaxed) %
+                              reactors_.size();
+        if (target != r.index) {
+          reactors_[target]->PushHandoff(std::move(*accepted));
+          continue;
+        }
+      }
     }
+    RegisterAccepted(r, std::move(*accepted), admin);
   }
 }
 
-void Server::HandleConnEvent(const EventLoop::Event& event) {
-  auto it = conns_.find(event.tag);
-  if (it == conns_.end()) return;  // closed earlier this same wait round
-  Conn* conn = it->second.get();
-  if (event.readable) ReadFromConn(conn);
-  if (event.writable) FlushWrites(conn);
+void Server::RegisterAccepted(Reactor& r, Socket socket, bool admin) {
+  if (!socket.SetNonBlocking(true).ok()) {
+    if (!admin) open_query_conns_.fetch_sub(1);
+    return;
+  }
+  Connection::Options machine_options;
+  machine_options.max_frame_bytes = options_.max_query_bytes;
+  machine_options.write_high_water = options_.write_high_water;
+  auto conn = std::make_shared<ReactorConn>(machine_options);
+  conn->id = r.next_connection_id++;
+  conn->reactor = &r;
+  conn->socket = std::move(socket);
+  conn->last_activity = std::chrono::steady_clock::now();
+  // Ties the connection's state machine to this reactor for life: debug
+  // builds abort if any other thread ever drives it.
+  conn->machine.BindLoop(&r.loop);
+  if (admin) {
+    conn->admin = true;
+    conn->http = std::make_unique<HttpConnection>();
+  }
+  Status added = r.loop.Add(conn->socket.fd(), conn->id, /*read=*/true,
+                            /*write=*/false);
+  if (!added.ok()) {
+    HM_LOG_ERROR << "cannot register connection: " << added.ToString();
+    if (!admin) open_query_conns_.fetch_sub(1);
+    return;
+  }
+  r.conns.emplace(conn->id, conn);
+  if (admin) ++r.admin_conns;
+  r.open.store(r.conns.size(), std::memory_order_relaxed);
+  if (!admin) r.accepted.fetch_add(1, std::memory_order_relaxed);
+  HM_LOG_INFO << (admin ? "admin" : "query") << " connection #" << conn->id
+              << " accepted on reactor " << r.index << " ("
+              << r.conns.size() << " open here)";
+}
+
+void Server::AdoptHandoffs(Reactor& r) {
+  if (!handoff_mode_) return;
+  for (Socket& socket : r.TakeHandoffs()) {
+    RegisterAccepted(r, std::move(socket), /*admin=*/false);
+  }
+}
+
+void Server::HandleConnEvent(Reactor& r, const EventLoop::Event& event) {
+  auto it = r.conns.find(event.tag);
+  if (it == r.conns.end()) return;  // closed earlier this same wait round
+  ReactorConn* conn = it->second.get();
+  if (event.readable) ReadFromConn(r, conn);
+  if (event.writable) FlushWrites(r, conn);
   if (event.hangup && !event.readable && !event.writable) {
     // Full hangup with nothing to transfer: the socket is dead, and with
     // no interest bits set a level-triggered loop would report it
     // forever. Resolve it now.
     conn->dead = true;
   }
-  AfterEvent(conn);
+  AfterEvent(r, conn);
 }
 
-void Server::ReadFromConn(Conn* conn) {
+void Server::ReadFromConn(Reactor& r, ReactorConn* conn) {
   while (conn->admin ? conn->http->wants_read()
                      : conn->machine.wants_read()) {
-    Socket::IoResult io =
-        conn->socket.ReadSome(read_scratch_.data(), read_scratch_.size());
+    Socket::IoResult io = conn->socket.ReadSome(r.read_scratch.data(),
+                                                r.read_scratch.size());
     if (io.bytes > 0) {
-      const std::string_view data(read_scratch_.data(), io.bytes);
+      const std::string_view data(r.read_scratch.data(), io.bytes);
       if (conn->admin) {
         conn->http->Ingest(data);
       } else {
         conn->machine.Ingest(data);
-        bytes_read_.fetch_add(io.bytes, std::memory_order_relaxed);
+        r.bytes_read.fetch_add(io.bytes, std::memory_order_relaxed);
       }
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
@@ -621,7 +726,7 @@ void Server::ReadFromConn(Conn* conn) {
   }
 }
 
-void Server::FlushWrites(Conn* conn) {
+void Server::FlushWrites(Reactor& r, ReactorConn* conn) {
   while (conn->admin ? conn->http->wants_write()
                      : conn->machine.wants_write()) {
     std::string_view head = conn->admin ? conn->http->write_head()
@@ -632,7 +737,7 @@ void Server::FlushWrites(Conn* conn) {
         conn->http->ConsumeWrite(io.bytes);
       } else {
         conn->machine.ConsumeWrite(io.bytes);
-        bytes_written_.fetch_add(io.bytes, std::memory_order_relaxed);
+        r.bytes_written.fetch_add(io.bytes, std::memory_order_relaxed);
       }
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
@@ -643,24 +748,24 @@ void Server::FlushWrites(Conn* conn) {
   }
 }
 
-void Server::AfterEvent(Conn* conn) {
+void Server::AfterEvent(Reactor& r, ReactorConn* conn) {
   if (conn->closed) return;
   if (conn->dead) {
-    CloseConn(conn);
+    CloseConn(r, conn);
     return;
   }
   if (conn->admin) {
-    ServeAdminRequests(conn);
-    if (conn->http->wants_write()) FlushWrites(conn);
+    ServeAdminRequests(r, conn);
+    if (conn->http->wants_write()) FlushWrites(r, conn);
     if (conn->dead) {
-      CloseConn(conn);
+      CloseConn(r, conn);
       return;
     }
     const bool stream_over = conn->http->corrupt() ||
                              conn->http->peer_closed() ||
                              conn->http->close_requested();
     if (stream_over && !conn->http->wants_write()) {
-      CloseConn(conn);
+      CloseConn(r, conn);
       return;
     }
     const bool want_read = conn->http->wants_read();
@@ -668,7 +773,8 @@ void Server::AfterEvent(Conn* conn) {
     if (want_read != conn->want_read || want_write != conn->want_write) {
       conn->want_read = want_read;
       conn->want_write = want_write;
-      (void)loop_.Update(conn->socket.fd(), conn->id, want_read, want_write);
+      (void)r.loop.Update(conn->socket.fd(), conn->id, want_read,
+                          want_write);
     }
     return;
   }
@@ -678,7 +784,7 @@ void Server::AfterEvent(Conn* conn) {
     h_write_drain_->Observe(SecondsSince(conn->write_start));
   }
   // Stall clock: runs only while the machine sits in the SAME partial
-  // frame (see Conn::in_frame).
+  // frame (see ReactorConn::in_frame).
   if (!conn->machine.mid_frame()) {
     conn->in_frame = false;
   } else if (!conn->in_frame ||
@@ -692,12 +798,12 @@ void Server::AfterEvent(Conn* conn) {
   // even though the peer would happily keep the stream open.
   if (draining_.load() && !conn->batch_in_flight &&
       conn->machine.pending_frames() == 0 && !conn->machine.wants_write()) {
-    CloseConn(conn);
+    CloseConn(r, conn);
     return;
   }
   if (!conn->batch_in_flight && conn->machine.pending_frames() > 0 &&
       !stopping_.load()) {
-    SubmitBatch(conn);
+    SubmitBatch(r, conn);
   }
   const bool stream_over =
       conn->machine.corrupt() || conn->machine.peer_closed();
@@ -705,7 +811,7 @@ void Server::AfterEvent(Conn* conn) {
       conn->machine.pending_frames() == 0 &&
       !conn->machine.wants_write()) {
     // Decoded frames were answered and flushed; nothing more can arrive.
-    CloseConn(conn);
+    CloseConn(r, conn);
     return;
   }
   const bool want_read = conn->machine.wants_read();
@@ -713,11 +819,12 @@ void Server::AfterEvent(Conn* conn) {
   if (want_read != conn->want_read || want_write != conn->want_write) {
     conn->want_read = want_read;
     conn->want_write = want_write;
-    (void)loop_.Update(conn->socket.fd(), conn->id, want_read, want_write);
+    (void)r.loop.Update(conn->socket.fd(), conn->id, want_read, want_write);
   }
 }
 
-void Server::ServeAdminRequests(Conn* conn) {
+void Server::ServeAdminRequests(Reactor& r, ReactorConn* conn) {
+  (void)r;  // admin conns live on reactor 0; the capability is the point
   HttpConnection* http = conn->http.get();
   HttpRequest request;
   while (!http->close_requested() && http->TakeRequest(&request)) {
@@ -769,15 +876,12 @@ HttpResponse Server::RouteAdmin(const HttpRequest& request) {
   return response;
 }
 
-void Server::SubmitBatch(Conn* conn) {
+void Server::SubmitBatch(Reactor& r, ReactorConn* conn) {
   std::vector<PendingFrame> frames =
       conn->machine.TakeBatch(options_.max_batch);
   conn->batch_in_flight = true;
-  {
-    MutexLock lock(completion_mutex_);
-    ++outstanding_batches_;
-  }
-  std::shared_ptr<Conn> shared = conns_.at(conn->id);
+  r.BeginBatch();
+  std::shared_ptr<ReactorConn> shared = r.conns.at(conn->id);
   pool_->Submit(
       [this, shared = std::move(shared), frames = std::move(frames),
        submitted = std::chrono::steady_clock::now()]() mutable {
@@ -785,101 +889,103 @@ void Server::SubmitBatch(Conn* conn) {
       });
 }
 
-void Server::CloseConn(Conn* conn) {
+void Server::CloseConn(Reactor& r, ReactorConn* conn) {
   conn->closed = true;
-  (void)loop_.Remove(conn->socket.fd());
-  if (conn->admin && admin_conns_ > 0) --admin_conns_;
+  (void)r.loop.Remove(conn->socket.fd());
+  if (conn->admin) {
+    if (r.admin_conns > 0) --r.admin_conns;
+  } else {
+    open_query_conns_.fetch_sub(1);  // release the global reservation
+  }
   HM_LOG_INFO << (conn->admin ? "admin" : "query") << " connection #"
-              << conn->id << " closed";
+              << conn->id << " closed on reactor " << r.index;
   // The map's shared_ptr may be the last reference (closing the socket
   // now) or an in-flight batch may briefly outlive it — either way the
   // completion sees `closed` and discards its bytes.
-  conns_.erase(conn->id);
-  open_connections_.store(conns_.size(), std::memory_order_relaxed);
+  r.conns.erase(conn->id);
+  r.open.store(r.conns.size(), std::memory_order_relaxed);
 }
 
-void Server::ReapIdle() {
+void Server::ReapIdle(Reactor& r) {
   const auto now = std::chrono::steady_clock::now();
   const auto timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
-  std::vector<Conn*> idle;
-  for (auto& [id, conn] : conns_) {
+  std::vector<ReactorConn*> idle;
+  for (auto& [id, conn] : r.conns) {
     if (conn->batch_in_flight || conn->machine.pending_frames() > 0 ||
         conn->machine.wants_write()) {
       continue;  // work in progress is not idleness
     }
     if (now - conn->last_activity >= timeout) idle.push_back(conn.get());
   }
-  for (Conn* conn : idle) {
+  for (ReactorConn* conn : idle) {
     HM_LOG_INFO << (conn->admin ? "admin" : "query") << " connection #"
                 << conn->id << " reaped after " << options_.idle_timeout_ms
                 << " ms idle";
     const bool was_admin = conn->admin;
-    CloseConn(conn);
+    CloseConn(r, conn);
     if (was_admin) continue;  // admin reaps are not query-plane stats
-    MutexLock lock(mutex_);
-    ++stats_.connections_reaped;
+    r.reaped.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Server::CheckStalls() {
+void Server::CheckStalls(Reactor& r) {
   const auto now = std::chrono::steady_clock::now();
   const auto timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
-  std::vector<Conn*> stalled;
-  for (auto& [id, conn] : conns_) {
+  std::vector<ReactorConn*> stalled;
+  for (auto& [id, conn] : r.conns) {
     if (conn->admin || !conn->in_frame) continue;
     if (now - conn->frame_start >= timeout) stalled.push_back(conn.get());
   }
-  for (Conn* conn : stalled) {
+  for (ReactorConn* conn : stalled) {
     HM_LOG_WARNING << "query connection #" << conn->id
                    << " closed: mid-frame stall exceeded "
                    << options_.stall_timeout_ms << " ms (slow loris?)";
-    CloseConn(conn);
-    MutexLock lock(mutex_);
-    ++stats_.connections_stalled;
+    CloseConn(r, conn);
+    r.stalled.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Server::ApplyDrain() {
-  drain_applied_ = true;
-  // Mute the query listener: the backlog stops being accepted, so new
-  // connects queue briefly and then fail instead of reaching a server
-  // that would refuse them anyway. The admin listener stays live.
-  (void)loop_.Update(listener_.fd(), kListenerTag, /*read=*/false,
-                     /*write=*/false);
+void Server::ApplyDrain(Reactor& r) {
+  r.drain_applied = true;
+  // Mute this reactor's query listener: the backlog stops being accepted,
+  // so new connects queue briefly and then fail instead of reaching a
+  // server that would refuse them anyway. The admin listener stays live.
+  if (r.listener.valid()) {
+    (void)r.loop.Update(r.listener.fd(), kListenerTag, /*read=*/false,
+                        /*write=*/false);
+  }
   // Connections with in-flight work close via AfterEvent once answered
   // and flushed; everything already quiet closes now.
-  std::vector<Conn*> idle;
-  for (auto& [id, conn] : conns_) {
+  std::vector<ReactorConn*> idle;
+  for (auto& [id, conn] : r.conns) {
     if (conn->admin || conn->batch_in_flight ||
         conn->machine.pending_frames() > 0 || conn->machine.wants_write()) {
       continue;
     }
     idle.push_back(conn.get());
   }
-  for (Conn* conn : idle) CloseConn(conn);
-  HM_LOG_INFO << "drain applied: " << idle.size()
-              << " idle query connections closed, "
-              << (conns_.size() - admin_conns_) << " still finishing";
+  for (ReactorConn* conn : idle) CloseConn(r, conn);
+  HM_LOG_INFO << "drain applied on reactor " << r.index << ": "
+              << idle.size() << " idle query connections closed, "
+              << (r.conns.size() - r.admin_conns) << " still finishing";
 }
 
-void Server::DrainCompletions() {
-  std::vector<Completion> done;
-  {
-    MutexLock lock(completion_mutex_);
-    done.swap(completions_);
-  }
-  for (Completion& completion : done) {
-    {
-      MutexLock lock(mutex_);
-      ++stats_.batches;
-      stats_.queries_answered += completion.admitted;
-      stats_.queries_rejected += completion.rejected;
-      stats_.queries_shed += completion.shed;
-      const uint64_t frames =
-          completion.admitted + completion.rejected + completion.shed;
-      if (frames > 0) stats_.frames_coalesced += frames - 1;
-    }
-    Conn* conn = completion.conn.get();
+void Server::ApplyBatchStats(const BatchCompletion& done) {
+  MutexLock lock(mutex_);
+  ++stats_.batches;
+  stats_.queries_answered += done.admitted;
+  stats_.queries_rejected += done.rejected;
+  stats_.queries_shed += done.shed;
+  const uint64_t frames = done.admitted + done.rejected + done.shed;
+  if (frames > 0) stats_.frames_coalesced += frames - 1;
+}
+
+void Server::DrainCompletions(Reactor& r) {
+  std::vector<BatchCompletion> done = r.TakeCompletions();
+  for (BatchCompletion& completion : done) {
+    ApplyBatchStats(completion);
+    r.batches_applied.fetch_add(1, std::memory_order_relaxed);
+    ReactorConn* conn = completion.conn.get();
     if (conn->closed) continue;  // dropped while the batch executed
     conn->batch_in_flight = false;
     const bool was_draining = conn->machine.wants_write();
@@ -889,12 +995,12 @@ void Server::DrainCompletions() {
       conn->write_timing = true;
       conn->write_start = std::chrono::steady_clock::now();
     }
-    FlushWrites(conn);
-    AfterEvent(conn);
+    FlushWrites(r, conn);
+    AfterEvent(r, conn);
   }
 }
 
-void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
+void Server::ExecuteBatch(std::shared_ptr<ReactorConn> conn,
                           std::vector<PendingFrame> frames,
                           std::chrono::steady_clock::time_point submitted) {
   h_queue_wait_->Observe(SecondsSince(submitted));
@@ -903,21 +1009,17 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn,
   uint64_t rejected = 0;
   uint64_t shed = 0;
   BuildResponses(&frames, &conn->served, &out, &admitted, &rejected, &shed);
-  {
-    MutexLock lock(completion_mutex_);
-    completions_.push_back(Completion{std::move(conn), std::move(out),
-                                      admitted, rejected, shed});
-  }
-  loop_.Wakeup();
-  // Last: once Stop() observes the decrement it may tear the server
-  // down, so the decrement and the notify both happen under the lock —
-  // Stop's predicate wait cannot return (and free the cv) until this
-  // task releases the mutex, after which it touches no member again.
-  {
-    MutexLock lock(completion_mutex_);
-    --outstanding_batches_;
-    outstanding_cv_.NotifyAll();
-  }
+  // Route the completion back through the connection's own reactor — the
+  // pin set at registration is what keeps every per-connection touch on
+  // one loop.
+  Reactor* home = conn->reactor;
+  home->PushCompletion(BatchCompletion{std::move(conn), std::move(out),
+                                       admitted, rejected, shed});
+  home->loop.Wakeup();
+  // Last: once Stop() observes the outstanding count reach zero it may
+  // tear the reactor down; FinishBatch's decrement-and-notify-under-lock
+  // keeps the cv alive until this worker is done with it.
+  home->FinishBatch();
 }
 
 void Server::BuildResponses(std::vector<PendingFrame>* frames,
@@ -1070,10 +1172,12 @@ std::string StatuszJson(api::Engine* engine, const Server* server,
       static_cast<unsigned long long>(spec.provenance.created_unix));
   out += StrFormat(
       "  \"engine\": {\"cache\": {\"hits\": %llu, \"misses\": %llu, "
-      "\"evictions\": %llu}, \"swaps\": %llu, \"threads\": %zu},\n",
+      "\"evictions\": %llu, \"shards\": %zu}, \"swaps\": %llu, "
+      "\"threads\": %zu},\n",
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.evictions),
+      engine->cache_shards(),
       static_cast<unsigned long long>(engine->swap_count()),
       engine->num_threads());
   out += StrFormat(
@@ -1086,7 +1190,7 @@ std::string StatuszJson(api::Engine* engine, const Server* server,
     const ServerStats s = server->stats();
     out += StrFormat(
         "  \"server\": {\"port\": %u, \"admin_port\": %u, "
-        "\"draining\": %s, "
+        "\"draining\": %s, \"num_reactors\": %zu, "
         "\"connections_accepted\": %llu, \"connections_rejected\": %llu, "
         "\"connections_reaped\": %llu, \"connections_stalled\": %llu, "
         "\"batches\": %llu, "
@@ -1094,9 +1198,9 @@ std::string StatuszJson(api::Engine* engine, const Server* server,
         "\"queries_shed\": %llu, "
         "\"frames_coalesced\": %llu, \"bytes_read\": %llu, "
         "\"bytes_written\": %llu, \"queue_depth\": %zu, "
-        "\"queue_depth_peak\": %zu, \"admin_requests\": %llu},\n",
+        "\"queue_depth_peak\": %zu, \"admin_requests\": %llu,\n",
         unsigned{server->port()}, unsigned{server->admin_port()},
-        server->draining() ? "true" : "false",
+        server->draining() ? "true" : "false", server->num_reactors(),
         static_cast<unsigned long long>(s.connections_accepted),
         static_cast<unsigned long long>(s.connections_rejected),
         static_cast<unsigned long long>(s.connections_reaped),
@@ -1110,6 +1214,21 @@ std::string StatuszJson(api::Engine* engine, const Server* server,
         static_cast<unsigned long long>(s.bytes_written), s.queue_depth,
         s.queue_depth_peak,
         static_cast<unsigned long long>(s.admin_requests));
+    out += "    \"reactors\": [";
+    for (size_t i = 0; i < s.per_reactor.size(); ++i) {
+      const ReactorStats& rs = s.per_reactor[i];
+      out += StrFormat(
+          "%s{\"index\": %zu, \"connections_accepted\": %llu, "
+          "\"connections_reaped\": %llu, \"open_connections\": %zu, "
+          "\"batches\": %llu, \"outstanding_batches\": %zu}",
+          i == 0 ? "" : ", ", rs.index,
+          static_cast<unsigned long long>(rs.connections_accepted),
+          static_cast<unsigned long long>(rs.connections_reaped),
+          rs.open_connections,
+          static_cast<unsigned long long>(rs.batches),
+          rs.outstanding_batches);
+    }
+    out += "]},\n";
   }
   out += "  \"metrics\": " + registry->JsonText() + "\n";
   out += "}\n";

@@ -14,6 +14,7 @@
 #include "net/event_loop.h"
 #include "net/http.h"
 #include "net/protocol.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
@@ -27,9 +28,21 @@ struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
   /// Server::port() — tests and CI use this to avoid collisions).
   uint16_t port = 0;
+  /// Reactor threads, one EventLoop each; every connection is pinned to
+  /// one reactor for its whole life. 1 (the default) reproduces the
+  /// single-reactor server exactly; 0 means one per hardware thread.
+  size_t num_reactors = 1;
+  /// How connections reach reactors when num_reactors > 1 (ignored for
+  /// one reactor). kReusePort gives every reactor its own SO_REUSEPORT
+  /// listener and lets the kernel spread accepts; when a sharing bind
+  /// fails, the server falls back to kHandoff. kHandoff accepts
+  /// everything on reactor 0 and hands sockets off round-robin — the
+  /// deterministic mode tests use to assert distribution.
+  enum class AcceptMode { kReusePort, kHandoff };
+  AcceptMode accept_mode = AcceptMode::kReusePort;
   /// Concurrent connections; further accepts are closed immediately.
-  /// Independent of any pool size: connections are multiplexed on one
-  /// reactor thread, so an idle connection costs a descriptor and a
+  /// Independent of any pool size: connections are multiplexed on the
+  /// reactor threads, so an idle connection costs a descriptor and a
   /// little state, not a worker — thousands are fine by default.
   size_t max_connections = 4096;
   /// Most frames coalesced into one api::Engine::QueryBatch. Frames that
@@ -49,7 +62,7 @@ struct ServerOptions {
   /// connections. Excess queries are rejected with kResourceExhausted
   /// instead of queueing unboundedly. 0 = unlimited.
   size_t max_queue_depth = 4096;
-  /// Connections with no traffic for this long are closed by the
+  /// Connections with no traffic for this long are closed by their
   /// reactor's reap timer. 0 = never reap. A connection with an
   /// executing batch, undelivered frames, or unflushed responses is
   /// never considered idle.
@@ -73,7 +86,7 @@ struct ServerOptions {
   /// pushes back on the wire, but the server-side queue can grow).
   size_t write_high_water = 1u << 20;
   /// Worker pool for engine batch execution (the ONLY thing workers do —
-  /// connections themselves live on the reactor). MUST NOT be the pool
+  /// connections themselves live on their reactor). MUST NOT be the pool
   /// the engine runs QueryBatch chunks on: batch tasks block inside
   /// QueryBatch, and if they occupy every thread of the engine's pool
   /// the chunk tasks can never run (deadlock). Leave null (the default)
@@ -84,10 +97,10 @@ struct ServerOptions {
   /// Owned-pool size when `pool` is null; 0 = max(4, hardware threads).
   size_t num_threads = 0;
   /// Admin HTTP plane (GET /metrics, /healthz, /statusz — contract in
-  /// docs/observability.md) on a SECOND loopback port, multiplexed on the
-  /// same reactor thread as the query protocol: no extra thread, and a
-  /// scrape observes the exact loop it measures. -1 disables; 0 binds an
-  /// ephemeral port (read back with Server::admin_port()).
+  /// docs/observability.md) on a SECOND loopback port, always multiplexed
+  /// on reactor 0: no extra thread, and a scrape observes a real serving
+  /// loop. -1 disables; 0 binds an ephemeral port (read back with
+  /// Server::admin_port()).
   int admin_port = -1;
   /// Registry the server publishes its metrics into (and /metrics
   /// renders). Null = metrics::DefaultRegistry(). Must outlive the
@@ -95,11 +108,12 @@ struct ServerOptions {
   metrics::Registry* registry = nullptr;
 };
 
-/// Counters for smoke tests and ops visibility. Snapshot semantics: read
-/// under the server's mutex, individually monotonic.
+/// Counters for smoke tests and ops visibility. The aggregate fields sum
+/// over reactors; `per_reactor` breaks the connection-plane ones down by
+/// reactor (ReactorStats, one entry per reactor, index-ordered).
 struct ServerStats {
   uint64_t connections_accepted = 0;
-  /// Accepts closed because max_connections was reached.
+  /// Accepts closed because max_connections was reached (or draining).
   uint64_t connections_rejected = 0;
   /// Connections closed by the idle-timeout reap timer.
   uint64_t connections_reaped = 0;
@@ -129,24 +143,36 @@ struct ServerStats {
   size_t queue_depth_peak = 0;
   /// HTTP requests answered on the admin plane.
   uint64_t admin_requests = 0;
+  /// One entry per reactor (index-ordered); connection-plane counters
+  /// above are the sums of these.
+  std::vector<ReactorStats> per_reactor;
 };
 
-/// TCP front-end over api::Engine: an epoll (fallback: poll) event loop
-/// on ONE reactor thread owns the listener and every connection socket;
-/// a util::ThreadPool runs only engine batches. The framed protocol of
-/// net/protocol.h rides the wire unchanged from the thread-per-connection
-/// server this replaces.
+/// TCP front-end over api::Engine: `num_reactors` epoll (fallback: poll)
+/// event loops, each on its own reactor thread, own the listeners and
+/// every connection socket; a util::ThreadPool runs only engine batches.
+/// The framed protocol of net/protocol.h rides the wire unchanged from
+/// the single-reactor server this generalizes — answers are byte-
+/// identical whatever the reactor count.
 ///
-/// Reactor: nonblocking reads feed each connection's net::Connection
-/// state machine (read buffer → frame decode); complete frames are
-/// handed to a pool worker as one api::Engine::QueryBatch (at most one
-/// executing batch per connection, so responses stay in request order);
-/// encoded responses come back through a completion queue + eventfd
-/// wakeup and drain through a per-connection write queue under EPOLLOUT
-/// backpressure. Frames arriving while a batch executes coalesce into
-/// the next batch. Because idle connections cost no worker,
-/// `max_connections` is decoupled from pool size and defaults to
-/// thousands.
+/// Reactors: each accepted connection is pinned to one reactor for its
+/// whole life (net/reactor.h), so per-connection state needs no locks and
+/// the EventLoop's "reactor" capability holds per loop. With SO_REUSEPORT
+/// (the default for num_reactors > 1) every reactor runs its own
+/// listener on the shared port and the kernel spreads accepts; where
+/// sharing is unavailable the server falls back to accepting on reactor 0
+/// and handing sockets off round-robin through per-reactor inboxes.
+///
+/// Within a reactor, nonblocking reads feed each connection's
+/// net::Connection state machine (read buffer → frame decode); complete
+/// frames are handed to a pool worker as one api::Engine::QueryBatch (at
+/// most one executing batch per connection, so responses stay in request
+/// order); encoded responses come back through the owning reactor's
+/// completion queue + eventfd wakeup and drain through a per-connection
+/// write queue under EPOLLOUT backpressure. Frames arriving while a batch
+/// executes coalesce into the next batch. Because idle connections cost
+/// no worker, `max_connections` is decoupled from pool size and defaults
+/// to thousands.
 ///
 /// Admission control rejects rather than stalls: per-connection quota,
 /// global queue depth, and per-frame size limits all answer with a status
@@ -166,7 +192,7 @@ struct ServerStats {
 /// outlive the Server.
 class Server {
  public:
-  /// Binds, spawns the reactor, and returns a running server. The
+  /// Binds, spawns the reactors, and returns a running server. The
   /// engine pointer is borrowed. kIoError when the port cannot be bound;
   /// kInvalidArgument for out-of-range options.
   static StatusOr<std::unique_ptr<Server>> Start(api::Engine* engine,
@@ -177,16 +203,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// The bound port (the real one when options.port was 0).
-  uint16_t port() const { return listener_.port(); }
+  /// The bound port (the real one when options.port was 0). All reuse-
+  /// port listeners share it.
+  uint16_t port() const { return port_; }
 
   /// The bound admin-plane port; 0 when the admin plane is disabled.
   uint16_t admin_port() const { return admin_listener_.port(); }
 
-  /// Stops accepting, joins the reactor, waits for in-flight engine
+  /// Reactor threads actually running (options.num_reactors resolved).
+  size_t num_reactors() const { return reactors_.size(); }
+
+  /// Stops accepting, joins every reactor, waits for in-flight engine
   /// batches, makes one best-effort nonblocking flush of finished
   /// responses, and closes every connection. Prompt even with thousands
-  /// of idle connections open (the reactor owns all of them; there is no
+  /// of idle connections open (the reactors own all of them; there is no
   /// per-connection thread to unwind). Idempotent. The one sacrifice for
   /// promptness: a client too slow to drain its responses may observe a
   /// close mid-frame.
@@ -207,49 +237,57 @@ class Server {
   ServerStats stats() const;
 
  private:
-  /// Per-connection reactor state (defined in server.cc).
-  struct Conn;
-  /// One finished engine batch on its way back to the reactor (defined
-  /// in server.cc).
-  struct Completion;
+  Server(api::Engine* engine, ServerOptions options, bool handoff_mode,
+         std::vector<std::unique_ptr<Reactor>> reactors,
+         Listener admin_listener);
 
-  Server(api::Engine* engine, ServerOptions options, Listener listener,
-         Listener admin_listener, EventLoop loop);
-
-  // Every method below marked HM_REQUIRES(loop_) runs only with the
-  // "reactor" capability held: on the reactor thread itself (ReactorLoop
-  // establishes it via loop_.AssertOnLoopThread()) or, for teardown, in
-  // Stop() after the reactor joined and unbound.
-  void ReactorLoop();
+  // Every method below marked HM_REQUIRES(r.loop) runs only with that
+  // reactor's capability held: on its reactor thread (ReactorLoop
+  // establishes it via AssertOnLoopThread) or, for teardown, in Stop()
+  // after that reactor joined and unbound.
+  void ReactorLoop(Reactor* r);
   /// Drains one listener's accept backlog; `admin` selects the admin
-  /// plane (HTTP personality, its own connection cap).
-  void AcceptPending(bool admin) HM_REQUIRES(loop_);
-  void HandleConnEvent(const EventLoop::Event& event) HM_REQUIRES(loop_);
-  void ReadFromConn(Conn* conn) HM_REQUIRES(loop_);
-  void FlushWrites(Conn* conn) HM_REQUIRES(loop_);
+  /// plane (HTTP personality, its own connection cap, reactor 0 only).
+  void AcceptPending(Reactor& r, bool admin) HM_REQUIRES(r.loop);
+  /// Registers an accepted socket with this reactor (the connection's
+  /// home for life). The max_connections reservation was already taken
+  /// at accept time; failure paths here release it.
+  void RegisterAccepted(Reactor& r, Socket socket, bool admin)
+      HM_REQUIRES(r.loop);
+  /// Adopts sockets handed off by reactor 0 (kHandoff mode).
+  void AdoptHandoffs(Reactor& r) HM_REQUIRES(r.loop);
+  void HandleConnEvent(Reactor& r, const EventLoop::Event& event)
+      HM_REQUIRES(r.loop);
+  void ReadFromConn(Reactor& r, ReactorConn* conn) HM_REQUIRES(r.loop);
+  void FlushWrites(Reactor& r, ReactorConn* conn) HM_REQUIRES(r.loop);
   /// Submits a batch if one is ready, closes the connection if it is
   /// finished, refreshes event-loop interest otherwise.
-  void AfterEvent(Conn* conn) HM_REQUIRES(loop_);
+  void AfterEvent(Reactor& r, ReactorConn* conn) HM_REQUIRES(r.loop);
   /// Answers every parsed admin request queued on `conn` (and the one 400
   /// a corrupt stream earns before it is closed).
-  void ServeAdminRequests(Conn* conn) HM_REQUIRES(loop_);
+  void ServeAdminRequests(Reactor& r, ReactorConn* conn)
+      HM_REQUIRES(r.loop);
   /// Routes one admin request to /metrics, /healthz, or /statusz.
   /// Touches only cross-thread-safe state, so no reactor requirement.
   HttpResponse RouteAdmin(const HttpRequest& request);
-  void SubmitBatch(Conn* conn) HM_REQUIRES(loop_);
-  void CloseConn(Conn* conn) HM_REQUIRES(loop_);
-  void ReapIdle() HM_REQUIRES(loop_);
+  void SubmitBatch(Reactor& r, ReactorConn* conn) HM_REQUIRES(r.loop);
+  void CloseConn(Reactor& r, ReactorConn* conn) HM_REQUIRES(r.loop);
+  void ReapIdle(Reactor& r) HM_REQUIRES(r.loop);
   /// Closes query connections stuck mid-frame past stall_timeout_ms.
-  void CheckStalls() HM_REQUIRES(loop_);
-  /// Reactor-side drain entry: mutes the query listener and closes every
-  /// query connection with no in-flight work. Runs once per Drain().
-  void ApplyDrain() HM_REQUIRES(loop_);
+  void CheckStalls(Reactor& r) HM_REQUIRES(r.loop);
+  /// Reactor-side drain entry: mutes this reactor's listener and closes
+  /// its query connections with no in-flight work. Runs once per reactor
+  /// per Drain().
+  void ApplyDrain(Reactor& r) HM_REQUIRES(r.loop);
   /// Applies completed batches: stats, write queues, next batches.
-  void DrainCompletions() HM_REQUIRES(loop_);
-  /// Runs on a pool worker: admission + engine batch + response encode.
+  void DrainCompletions(Reactor& r) HM_REQUIRES(r.loop);
+  /// Post-join teardown of one reactor (claims its capability itself).
+  void TeardownReactor(Reactor& r);
+  /// Runs on a pool worker: admission + engine batch + response encode;
+  /// routes the completion back through the connection's own reactor.
   /// `submitted` is when the reactor handed the batch over (queue-wait
   /// histogram).
-  void ExecuteBatch(std::shared_ptr<Conn> conn,
+  void ExecuteBatch(std::shared_ptr<ReactorConn> conn,
                     std::vector<PendingFrame> frames,
                     std::chrono::steady_clock::time_point submitted);
   /// Admission checks and engine execution for one batch; appends the
@@ -257,14 +295,21 @@ class Server {
   void BuildResponses(std::vector<PendingFrame>* frames, uint64_t* served,
                       std::string* out, size_t* admitted_out,
                       uint64_t* rejected_out, uint64_t* shed_out);
+  /// Folds one completion into the batch-plane stats (mutex_).
+  void ApplyBatchStats(const BatchCompletion& done);
+  void WakeAllReactors();
 
   api::Engine* const engine_;
   const ServerOptions options_;
-  Listener listener_;
-  /// Invalid (port() == 0) when the admin plane is disabled.
+  /// Resolved listener port (all reuse-port listeners share it).
+  uint16_t port_ = 0;
+  /// True when accepts happen only on reactor 0 and sockets are handed
+  /// off (requested, or the reuse-port binds fell back).
+  const bool handoff_mode_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Invalid (port() == 0) when the admin plane is disabled. Registered
+  /// in reactor 0's loop.
   Listener admin_listener_;
-  EventLoop loop_;
-  std::thread reactor_thread_;
 
   // --- observability (docs/observability.md) ---
   metrics::Registry* registry_ = nullptr;
@@ -287,50 +332,32 @@ class Server {
   ThreadPool* pool_ = nullptr;
 
   std::atomic<bool> stopping_{false};
-  /// Set by Drain() (any thread); the reactor applies it once.
+  /// Set by Drain() (any thread); each reactor applies it once.
   std::atomic<bool> draining_{false};
   /// Queries admitted but not yet answered, across all connections.
   std::atomic<size_t> in_flight_{0};
   /// High-water mark of in_flight_ (ServerStats::queue_depth_peak).
   std::atomic<size_t> queue_depth_peak_{0};
-  /// Payload bytes moved on query connections (reactor writes, stats()
-  /// reads cross-thread).
-  std::atomic<uint64_t> bytes_read_{0};
-  std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> admin_requests_{0};
-  /// conns_.size() mirrored for the collector (conns_ itself belongs to
-  /// the reactor thread).
-  std::atomic<size_t> open_connections_{0};
-
-  // --- reactor-thread state, guarded by the "reactor" capability
-  // (touched by Stop only after the join, when the loop is unbound) ---
-  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_
-      HM_GUARDED_BY(loop_);
-  /// Reactor's record that ApplyDrain already ran.
-  bool drain_applied_ HM_GUARDED_BY(loop_) = false;
-  /// Admin-plane subset of conns_ (those are exempt from max_connections
-  /// but have their own small cap).
-  size_t admin_conns_ HM_GUARDED_BY(loop_) = 0;
-  uint64_t next_connection_id_ HM_GUARDED_BY(loop_) = 1;
-  std::vector<char> read_scratch_ HM_GUARDED_BY(loop_);
+  /// Open query-plane connections across all reactors, reserved at
+  /// accept time (before any handoff) so max_connections is enforced
+  /// globally, not per reactor.
+  std::atomic<size_t> open_query_conns_{0};
+  /// Round-robin cursor for kHandoff socket distribution.
+  std::atomic<size_t> next_handoff_{0};
 
   // --- cross-thread state ---
   mutable Mutex mutex_;
   ServerStats stats_ HM_GUARDED_BY(mutex_);
-
-  Mutex completion_mutex_;
-  CondVar outstanding_cv_;
-  std::vector<Completion> completions_ HM_GUARDED_BY(completion_mutex_);
-  size_t outstanding_batches_ HM_GUARDED_BY(completion_mutex_) = 0;
 
   Mutex stop_mutex_;  // serializes concurrent Stop calls
 };
 
 /// The /statusz document (also what `hypermine_serve`'s `!stats` prints):
 /// model version + ModelSpec + provenance, build info, uptime, and — when
-/// `server` is non-null — its ServerStats and the registry's histogram
-/// percentiles. `engine` must be non-null; `registry` null means
-/// metrics::DefaultRegistry().
+/// `server` is non-null — its ServerStats (per-reactor breakdown
+/// included) and the registry's histogram percentiles. `engine` must be
+/// non-null; `registry` null means metrics::DefaultRegistry().
 std::string StatuszJson(api::Engine* engine, const Server* server,
                         metrics::Registry* registry);
 

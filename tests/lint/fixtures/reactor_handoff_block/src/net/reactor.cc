@@ -1,0 +1,8 @@
+// Known-bad fixture: a multi-reactor handoff path that blocks. Adopting a
+// handed-off connection on the owning reactor must never wait for bytes —
+// one stalled adopt would freeze every connection pinned to that loop.
+void Reactor::AdoptHandoff(Socket socket) {
+  FrameHeader header;
+  socket.ReadFull(&header, sizeof(header));  // blocks the reactor thread
+  conns.emplace(next_connection_id++, std::move(socket));
+}

@@ -78,11 +78,21 @@ std::vector<std::pair<std::string, double>> Oracle(
   return oracle;
 }
 
-TEST(ChaosTest, RandomizedFaultsNeverCrashCorruptOrMiscount) {
+/// Parameter: ServerOptions::num_reactors. The whole chaos run repeats
+/// with the serving path sharded — same invariants, same per-site fault
+/// schedule for a given seed, and the same HYPERMINE_CHAOS_SEED replay
+/// line (the parameter is in the test name, so a failure names both the
+/// seed and the reactor count it needs).
+class ChaosTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChaosTest, RandomizedFaultsNeverCrashCorruptOrMiscount) {
+  const size_t num_reactors = GetParam();
   const uint64_t seed = ChaosSeed();
-  std::printf("chaos seed: %llu  (HYPERMINE_CHAOS_SEED=%llu replays this)\n",
-              static_cast<unsigned long long>(seed),
-              static_cast<unsigned long long>(seed));
+  std::printf(
+      "chaos seed: %llu, reactors: %zu  (HYPERMINE_CHAOS_SEED=%llu "
+      "replays this)\n",
+      static_cast<unsigned long long>(seed), num_reactors,
+      static_cast<unsigned long long>(seed));
   std::fflush(stdout);
 
   std::shared_ptr<const api::Model> model = NamedModel();
@@ -100,6 +110,7 @@ TEST(ChaosTest, RandomizedFaultsNeverCrashCorruptOrMiscount) {
   options.max_queue_wait_ms = 50;
   options.stall_timeout_ms = 200;
   options.registry = &registry;
+  options.num_reactors = num_reactors;
   auto started = Server::Start(&engine, options);
   ASSERT_TRUE(started.ok()) << started.status();
   std::unique_ptr<Server> server = std::move(*started);
@@ -329,6 +340,13 @@ TEST(ChaosTest, RandomizedFaultsNeverCrashCorruptOrMiscount) {
   injector.Reset();
   std::remove(snapshot_path.c_str());
 }
+
+INSTANTIATE_TEST_SUITE_P(Reactors, ChaosTest,
+                         ::testing::Values(size_t{1}, size_t{2}),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "reactors_" +
+                                  std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace hypermine::net

@@ -5,6 +5,7 @@
 // zero dropped or misrouted responses.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -689,6 +690,300 @@ TEST(ServerTest, StallTimeoutClosesSlowLorisButNotSteadyTraffic) {
   auto after = busy.Query(Named({"A"}));
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_EQ(after->code, StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------
+// Multi-reactor cases: the serving path sharded over num_reactors event
+// loops must be *indistinguishable on the wire* from one loop, must
+// actually spread connections (per-reactor stats prove placement), and
+// must stop/drain promptly with zero dropped in-flight batches.
+// ---------------------------------------------------------------------
+
+/// One deterministic wire conversation: sequential request/response
+/// exchanges (fixed request ids, fixed queries — sequential so cache
+/// hit/miss order is deterministic too), transcribed byte for byte.
+/// Responses are appended raw (header fields + body bytes), so two equal
+/// transcripts mean byte-identical wire answers.
+std::string WireTranscript(uint16_t port) {
+  std::string transcript;
+  // Three sequential connections exercise accept placement; per-query
+  // kinds cover topk, reachable, cache hit, and a per-query error.
+  for (int c = 0; c < 3; ++c) {
+    auto socket = Socket::Connect("127.0.0.1", port, 2000);
+    HM_CHECK_OK(socket.status());
+    std::vector<api::QueryRequest> queries;
+    queries.push_back(Named({"A"}, 2));
+    queries.push_back(Named({"A", "B"}, 3));
+    api::QueryRequest reach = Named({"A"});
+    reach.kind = api::QueryRequest::Kind::kReachable;
+    reach.min_acv = 0.6;
+    queries.push_back(reach);
+    queries.push_back(Named({"A"}, 2));  // repeat: deterministic cache hit
+    queries.push_back(Named({"NO_SUCH_VERTEX"}));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const uint64_t id = 1000 + static_cast<uint64_t>(c) * 100 + i;
+      std::string frame;
+      HM_CHECK_OK(EncodeQueryFrame(id, queries[i], &frame));
+      HM_CHECK_OK(socket->WriteAll(frame.data(), frame.size()));
+      FrameHeader header;
+      std::string body;
+      HM_CHECK_OK(ReadFrame(&*socket, &header, &body));
+      transcript += std::to_string(header.request_id);
+      transcript += '|';
+      transcript += std::to_string(header.version);
+      transcript += '|';
+      transcript += std::to_string(header.type);
+      transcript += '|';
+      transcript += body;
+      transcript += '\n';
+    }
+  }
+  return transcript;
+}
+
+TEST(ServerMultiReactorTest, WireAnswersAreByteIdenticalAcrossReactorCounts) {
+  // The same model (hence the same model_version) behind 1, 2, and 4
+  // reactors; a fresh engine per server so the cache starts cold each
+  // time. Any divergence — ordering, routing, version, cache bit — shows
+  // up as a transcript diff.
+  std::shared_ptr<const api::Model> model = NamedModel();
+  std::string baseline;
+  for (size_t reactors : {size_t{1}, size_t{2}, size_t{4}}) {
+    api::Engine engine(model);
+    ServerOptions options;
+    options.num_reactors = reactors;
+    auto server = StartOrDie(&engine, options);
+    EXPECT_EQ(server->num_reactors(), reactors);
+    const std::string transcript = WireTranscript(server->port());
+    if (reactors == 1) {
+      baseline = transcript;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(transcript, baseline)
+          << "num_reactors=" << reactors
+          << " changed the bytes on the wire";
+    }
+  }
+}
+
+TEST(ServerMultiReactorTest, HandoffSpreadsConnectionsRoundRobin) {
+  // kHandoff is the deterministic accept mode: reactor 0 accepts and
+  // deals sockets round-robin, so 8 connections over 4 reactors land
+  // exactly 2 per reactor — asserted through the new per-reactor stats.
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 4;
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  auto server = StartOrDie(&engine, options);
+
+  constexpr size_t kConns = 8;
+  std::vector<Client> clients;
+  for (size_t i = 0; i < kConns; ++i) {
+    clients.push_back(ConnectOrDie(server->port()));
+    // Query through each connection so "accepted" means "registered on
+    // its owner", not merely queued in a handoff inbox.
+    auto response = clients.back().Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->code, StatusCode::kOk);
+  }
+
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.connections_accepted, kConns);
+  ASSERT_EQ(stats.per_reactor.size(), 4u);
+  for (const ReactorStats& rs : stats.per_reactor) {
+    EXPECT_EQ(rs.connections_accepted, kConns / 4)
+        << "reactor " << rs.index << " got an uneven share";
+    EXPECT_EQ(rs.open_connections, kConns / 4);
+  }
+}
+
+TEST(ServerMultiReactorTest, ReusePortSpreadsConnectionsAcrossReactors) {
+  // The kernel's SO_REUSEPORT spread is hash-based, not round-robin, so
+  // this asserts conservation (per-reactor accepts sum to the total) and
+  // coverage (with 32 connections over 4 listeners, more than one reactor
+  // must own connections) rather than exact shares.
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 4;  // default accept_mode: kReusePort
+  options.max_connections = 64;
+  auto server = StartOrDie(&engine, options);
+
+  constexpr size_t kConns = 32;
+  std::vector<Client> clients;
+  for (size_t i = 0; i < kConns; ++i) {
+    clients.push_back(ConnectOrDie(server->port()));
+    auto response = clients.back().Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.connections_accepted, kConns);
+  ASSERT_EQ(stats.per_reactor.size(), 4u);
+  uint64_t summed = 0;
+  size_t reactors_used = 0;
+  for (const ReactorStats& rs : stats.per_reactor) {
+    summed += rs.connections_accepted;
+    if (rs.connections_accepted > 0) ++reactors_used;
+  }
+  EXPECT_EQ(summed, stats.connections_accepted)
+      << "per-reactor accepts must sum to the aggregate";
+  EXPECT_GE(reactors_used, 2u)
+      << "the kernel parked every connection on one reactor";
+}
+
+TEST(ServerMultiReactorTest, MaxConnectionsIsAGlobalCapAcrossReactors) {
+  // The cap is reserved at accept time, before any handoff, so N
+  // reactors cannot jointly over-admit.
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 2;
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  options.max_connections = 3;
+  auto server = StartOrDie(&engine, options);
+
+  std::vector<Client> kept;
+  for (int i = 0; i < 3; ++i) {
+    kept.push_back(ConnectOrDie(server->port()));
+    auto response = kept.back().Query(Named({"A"}));
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  // The fourth is over the global cap: closed on accept, observed as a
+  // failed exchange.
+  auto over = Socket::Connect("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(over.ok());
+  std::string frame;
+  ASSERT_TRUE(EncodeQueryFrame(1, Named({"A"}), &frame).ok());
+  (void)over->WriteAll(frame.data(), frame.size());
+  FrameHeader header;
+  std::string body;
+  EXPECT_FALSE(ReadFrame(&*over, &header, &body).ok());
+  for (int i = 0; i < 500; ++i) {
+    if (server->stats().connections_rejected >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server->stats().connections_rejected, 1u);
+}
+
+TEST(ServerMultiReactorTest, StopJoinsAllReactorsWithZeroDroppedBatches) {
+  // Batches in flight on BOTH reactors when Stop() lands: a stalled
+  // engine batch (fault site, 150 ms) pins one per connection. Stop must
+  // join every reactor, wait the batches out, and account them — nothing
+  // may vanish between a pool worker and a torn-down reactor.
+  fault::Injector& injector = fault::Injector::Global();
+  injector.Reset();
+  injector.Enable(/*seed=*/1);
+  fault::SiteConfig stall;
+  stall.delay_ms = 150;
+  stall.max_fires = 2;
+  injector.Arm("engine.batch", stall);
+
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 2;
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  auto server = StartOrDie(&engine, options);
+
+  // Two connections: round-robin places one on each reactor.
+  std::vector<std::thread> senders;
+  for (int i = 0; i < 2; ++i) {
+    senders.emplace_back([&server] {
+      auto socket = Socket::Connect("127.0.0.1", server->port(), 2000);
+      ASSERT_TRUE(socket.ok());
+      std::string frame;
+      ASSERT_TRUE(EncodeQueryFrame(7, Named({"A"}), &frame).ok());
+      ASSERT_TRUE(socket->WriteAll(frame.data(), frame.size()).ok());
+      // Hold the socket open until the server finishes or closes it.
+      FrameHeader header;
+      std::string body;
+      (void)ReadFrame(&*socket, &header, &body);
+    });
+  }
+  // Let both queries reach their (stalled) engine batches, then stop.
+  for (int i = 0; i < 500; ++i) {
+    if (server->stats().batches >= 2 ||
+        server->stats().queue_depth >= 2) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  server->Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  for (std::thread& sender : senders) sender.join();
+  injector.Reset();
+
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000)
+      << "Stop must be prompt, not wedged on a reactor join";
+  ServerStats stats = server->stats();
+  // Zero dropped in-flight batches: both queries ran to completion and
+  // were accounted, and no reactor still shows work outstanding.
+  EXPECT_EQ(stats.queries_answered, 2u);
+  EXPECT_EQ(stats.batches, 2u);
+  uint64_t applied = 0;
+  for (const ReactorStats& rs : stats.per_reactor) {
+    EXPECT_EQ(rs.outstanding_batches, 0u)
+        << "reactor " << rs.index << " torn down with work in flight";
+    applied += rs.batches;
+  }
+  EXPECT_EQ(applied, stats.batches)
+      << "every batch must be applied by exactly one reactor";
+}
+
+TEST(ServerMultiReactorTest, DrainClosesQuietConnectionsOnEveryReactor) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 2;
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  auto server = StartOrDie(&engine, options);
+
+  // One served-and-quiet connection per reactor (round-robin placement).
+  Client first = ConnectOrDie(server->port());
+  Client second = ConnectOrDie(server->port());
+  ASSERT_TRUE(first.Query(Named({"A"})).ok());
+  ASSERT_TRUE(second.Query(Named({"A"})).ok());
+  {
+    ServerStats stats = server->stats();
+    ASSERT_EQ(stats.per_reactor.size(), 2u);
+    EXPECT_EQ(stats.per_reactor[0].open_connections, 1u);
+    EXPECT_EQ(stats.per_reactor[1].open_connections, 1u);
+  }
+
+  server->Drain();
+  // BOTH reactors apply the drain: each quiet connection is closed by its
+  // owner, wherever it lives.
+  auto dropped_first = first.Query(Named({"A"}));
+  auto dropped_second = second.Query(Named({"A"}));
+  EXPECT_FALSE(dropped_first.ok());
+  EXPECT_FALSE(dropped_second.ok());
+  for (int i = 0; i < 500; ++i) {
+    ServerStats stats = server->stats();
+    size_t open = 0;
+    for (const ReactorStats& rs : stats.per_reactor) {
+      open += rs.open_connections;
+    }
+    if (open == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ServerStats stats = server->stats();
+  for (const ReactorStats& rs : stats.per_reactor) {
+    EXPECT_EQ(rs.open_connections, 0u)
+        << "reactor " << rs.index << " kept a drained connection open";
+  }
+}
+
+TEST(ServerMultiReactorTest, ZeroMeansHardwareConcurrency) {
+  api::Engine engine(NamedModel());
+  ServerOptions options;
+  options.num_reactors = 0;
+  auto server = StartOrDie(&engine, options);
+  EXPECT_EQ(server->num_reactors(),
+            std::max<size_t>(1, ThreadPool::HardwareThreads()));
+  Client client = ConnectOrDie(server->port());
+  auto response = client.Query(Named({"A"}));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kOk);
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ METRICS = {
 WORKLOAD_KEYS = {
     "build_throughput": ("attrs", "rows", "k", "smoke"),
     "net_throughput": ("vertices", "edges", "queries", "clients",
-                       "pipeline"),
+                       "pipeline", "num_reactors"),
     "serve_throughput": ("vertices", "edges", "queries"),
 }
 

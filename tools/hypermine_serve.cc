@@ -323,6 +323,12 @@ int RunServe(const FlagParser& flags) {
       return 1;
     }
     server_options.stall_timeout_ms = static_cast<int>(stall_ms);
+    const int64_t reactors = flags.GetInt("reactors", 1);
+    if (reactors < 0) {
+      std::fprintf(stderr, "error: --reactors must be >= 0\n");
+      return 1;
+    }
+    server_options.num_reactors = static_cast<size_t>(reactors);
     if (flags.Has("admin-port")) {
       const int64_t admin_port = flags.GetInt("admin-port", -1);
       if (admin_port < 0 || admin_port > 0xFFFF) {
@@ -335,9 +341,11 @@ int RunServe(const FlagParser& flags) {
     if (!started.ok()) return Fail(started.status());
     server = std::move(*started);
     std::fprintf(stderr,
-                 "listening on 127.0.0.1:%u (protocol v%u, up to %zu "
-                 "connections)\n",
+                 "listening on 127.0.0.1:%u (protocol v%u, %zu "
+                 "reactor%s, up to %zu connections)\n",
                  unsigned{server->port()}, unsigned{net::kProtocolVersion},
+                 server->num_reactors(),
+                 server->num_reactors() == 1 ? "" : "s",
                  server_options.max_connections);
     if (server->admin_port() != 0) {
       std::fprintf(stderr,
@@ -528,9 +536,10 @@ int Main(int argc, char** argv) {
                "  hypermine_serve --snapshot=model.snap [--k=N] "
                "[--threads=N] [--mode=topk|reach] [--min_acv=X]\n"
                "      [--log-level=info|warning|error]\n"
-               "      [--listen=PORT [--admin-port=PORT] [--quota=N] "
-               "[--max-connections=N] [--idle-timeout-ms=N]\n"
-               "       [--max-queue-wait-ms=N] [--stall-timeout-ms=N]]\n"
+               "      [--listen=PORT [--admin-port=PORT] [--reactors=N] "
+               "[--quota=N] [--max-connections=N]\n"
+               "       [--idle-timeout-ms=N] [--max-queue-wait-ms=N] "
+               "[--stall-timeout-ms=N]]\n"
                "    stdin: vertex-name queries; !reload <path> hot-swaps "
                "the model (async, rollback on a bad snapshot);\n"
                "    !drain refuses new query connections and flips "
@@ -539,7 +548,9 @@ int Main(int argc, char** argv) {
                "    --listen additionally serves the framed TCP protocol "
                "on 127.0.0.1:PORT (see hypermine_client);\n"
                "    --admin-port adds GET /metrics, /healthz, /statusz "
-               "(docs/observability.md) on a second port\n"
+               "(docs/observability.md) on a second port;\n"
+               "    --reactors=N shards the serving path over N event-"
+               "loop threads (0 = one per hardware thread)\n"
                "  hypermine_serve --make-demo --out=a.snap "
                "[--variant-out=b.snap]\n"
                "  hypermine_serve --selftest [--threads=N]\n");

@@ -42,6 +42,8 @@ REACTOR_FILES = (
     "src/net/event_loop.cc",
     "src/net/event_loop.h",
     "src/net/server.cc",
+    "src/net/reactor.cc",
+    "src/net/reactor.h",
     "src/net/connection.cc",
     "src/net/connection.h",
     "src/net/http.cc",
