@@ -6,11 +6,22 @@
 //
 //   ./bench_build_throughput [--attrs=192] [--rows=4000] [--k=3]
 //       [--threads=0 (hardware)] [--repeat=3] [--out=BENCH_build.json]
-//       [--smoke]
+//       [--smoke] [--simd=scalar|avx2|avx512] [--export-csv=PATH]
+//       [--large] [--large-attrs=100000] [--large-rows=256]
 //
 // --smoke shrinks the workload to CI scale and checks correctness only
 // (serial/parallel bit-identity, fused-kernel agreement); speedups are
 // reported, never asserted — a 1-core container legitimately shows ~1x.
+//
+// --simd forces the kernel dispatch tier for the whole run; every
+// supported tier is additionally timed (and checked bit-identical) in the
+// stage-1 kernel comparison regardless. --export-csv writes the serial
+// build's hypergraph CSV, the artifact CI diffs across --simd runs.
+//
+// --large adds the wide-id workload: a >=100k-attribute database (well
+// past the old 0xFFFE-vertex cap) with per-tier sampled stage-1
+// candidate throughput, the plane-artifact pack-vs-reuse speedup, and a
+// wide-graph snapshot round-trip.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -18,9 +29,15 @@
 #include <vector>
 
 #include "build_info.h"
+#include "common.h"
 #include "core/assoc_table.h"
 #include "core/builder.h"
 #include "core/discretize.h"
+#include "core/export.h"
+#include "core/simd.h"
+#include "core/value_planes.h"
+#include "serve/plane_artifact.h"
+#include "serve/snapshot.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -98,13 +115,24 @@ void CheckIdentical(const core::DirectedHypergraph& a,
   HM_CHECK_EQ(sa.mean_pair_acv, sb.mean_pair_acv);
 }
 
+struct TierTiming {
+  const char* tier = "";
+  /// Plane block kernel pass over the full stage-1 matrix (packing
+  /// excluded — the per-tier comparison isolates the kernel itself).
+  double plane_ms = 0.0;
+  double speedup_vs_scalar = 0.0;
+};
+
 struct KernelStats {
   double per_pair_ms = 0.0;
   double fused_byte_ms = 0.0;
   /// The builder's fast path: bit-plane packing + plane block kernel
-  /// (packing time included).
+  /// (packing time included), on the active dispatch tier.
   double fused_ms = 0.0;
   double speedup = 0.0;
+  /// One entry per simd::SupportedTiers() member, in ascending tier
+  /// order; empty when k is beyond the plane-kernel regime.
+  std::vector<TierTiming> tiers;
 };
 
 /// Times the full n×n stage-1 ACV matrix three ways — per-pair
@@ -206,6 +234,180 @@ KernelStats RunKernelComparison(const core::Database& db, size_t repeat) {
   }
   stats.speedup =
       stats.fused_ms > 0.0 ? stats.per_pair_ms / stats.fused_ms : 0.0;
+
+  // Per-tier plane kernel pass: every dispatch tier this host supports is
+  // timed on the same matrix and checked bit-identical against the
+  // per-pair oracle (packing happens once, outside the timers).
+  if (use_planes) {
+    const size_t per_col = core::ValuePlanesSize(k, m);
+    std::vector<uint64_t> planes(n * per_col);
+    for (size_t a = 0; a < n; ++a) {
+      core::PackValuePlanes(db.column(static_cast<core::AttrId>(a)).data(),
+                            m, k, &planes[a * per_col]);
+    }
+    std::vector<const uint64_t*> heads(block);
+    std::vector<double> out(block);
+    std::vector<double> tier_acv(n * n, 0.0);
+    for (core::simd::Tier tier : core::simd::SupportedTiers()) {
+      const core::simd::Ops& ops = core::simd::OpsForTier(tier);
+      TierTiming timing;
+      timing.tier = ops.name;
+      for (size_t r = 0; r < repeat; ++r) {
+        Stopwatch timer;
+        for (size_t h0 = 0; h0 < n; h0 += block) {
+          const size_t width = std::min(block, n - h0);
+          for (size_t j = 0; j < width; ++j) {
+            heads[j] = &planes[(h0 + j) * per_col];
+          }
+          for (size_t a = 0; a < n; ++a) {
+            core::AcvEdgeBlockKernel(&planes[a * per_col], heads.data(),
+                                     width, m, k, ops, out.data());
+            for (size_t j = 0; j < width; ++j) {
+              tier_acv[a * n + h0 + j] = out[j];
+            }
+          }
+        }
+        double ms = timer.ElapsedMillis();
+        if (r == 0 || ms < timing.plane_ms) timing.plane_ms = ms;
+      }
+      for (size_t h = 0; h < n; ++h) {
+        for (size_t a = 0; a < n; ++a) {
+          if (a != h) HM_CHECK_EQ(per_pair[a * n + h], tier_acv[a * n + h]);
+        }
+      }
+      stats.tiers.push_back(timing);
+    }
+    const double scalar_ms = stats.tiers.front().plane_ms;
+    for (TierTiming& timing : stats.tiers) {
+      timing.speedup_vs_scalar =
+          timing.plane_ms > 0.0 ? scalar_ms / timing.plane_ms : 0.0;
+    }
+  }
+  return stats;
+}
+
+struct LargeTierThroughput {
+  const char* tier = "";
+  double candidates_per_sec = 0.0;
+};
+
+struct LargeStats {
+  size_t attrs = 0;
+  size_t rows = 0;
+  size_t sampled_tails = 0;
+  size_t sampled_heads = 0;
+  double pack_ms = 0.0;
+  double reuse_lookup_ms = 0.0;
+  /// Per-sweep-iteration cost ratio: (pack + kernels) / (reuse + kernels)
+  /// on the active tier — what a gamma sweep over this database saves per
+  /// build by reusing the plane artifact.
+  double pack_reuse_speedup = 0.0;
+  std::vector<LargeTierThroughput> tiers;
+  bool wide_snapshot_ok = false;
+};
+
+/// The >=100k-vertex workload. A full O(n^2) stage-1 pass over 100k
+/// attributes is ~1e10 candidate evaluations — days on one core — so the
+/// per-tier throughput is measured on a sampled slice (every sample size
+/// is reported; nothing is silently capped) while packing, artifact reuse,
+/// and the wide-id graph/snapshot round-trip run on the full database.
+LargeStats RunLargeMode(size_t attrs, size_t rows, size_t k,
+                        size_t repeat) {
+  HM_CHECK_GT(attrs, 0xFFFEu);  // the point is to exceed the old cap
+  HM_CHECK_LE(k, core::kMaxPlaneKernelValues);
+  LargeStats stats;
+  stats.attrs = attrs;
+  stats.rows = rows;
+
+  std::printf("large mode: generating %zu attrs x %zu rows...\n", attrs,
+              rows);
+  core::Database db = MakeDatabase(attrs, rows, k, 20120402);
+
+  // Pack-vs-reuse through the serve-layer cache: the first lookup packs,
+  // the second hits the in-memory artifact.
+  serve::PlaneCache cache;
+  Stopwatch pack_timer;
+  std::shared_ptr<const core::ValuePlanes> planes = cache.GetOrPack(db);
+  stats.pack_ms = pack_timer.ElapsedMillis();
+  Stopwatch reuse_timer;
+  planes = cache.GetOrPack(db);
+  stats.reuse_lookup_ms = reuse_timer.ElapsedMillis();
+  HM_CHECK_EQ(cache.stats().packs, size_t{1});
+  HM_CHECK_EQ(cache.stats().memory_hits, size_t{1});
+
+  // Sampled stage-1 slice: a handful of tails against a head prefix.
+  stats.sampled_tails = std::min<size_t>(32, attrs);
+  stats.sampled_heads = std::min<size_t>(4096, attrs);
+  const size_t m = db.num_observations();
+  const size_t block = core::BuildHeadBlockSize(k);
+  std::vector<const uint64_t*> heads(block);
+  std::vector<double> out(block);
+  std::vector<double> scalar_acv(stats.sampled_tails * stats.sampled_heads);
+  double active_kernel_ms = 0.0;
+  for (core::simd::Tier tier : core::simd::SupportedTiers()) {
+    const core::simd::Ops& ops = core::simd::OpsForTier(tier);
+    std::vector<double> tier_acv(stats.sampled_tails * stats.sampled_heads);
+    double best_ms = 0.0;
+    for (size_t r = 0; r < repeat; ++r) {
+      Stopwatch timer;
+      for (size_t h0 = 0; h0 < stats.sampled_heads; h0 += block) {
+        const size_t width = std::min(block, stats.sampled_heads - h0);
+        for (size_t j = 0; j < width; ++j) {
+          heads[j] = planes->planes_of(h0 + j);
+        }
+        for (size_t t = 0; t < stats.sampled_tails; ++t) {
+          core::AcvEdgeBlockKernel(planes->planes_of(t), heads.data(),
+                                   width, m, k, ops, out.data());
+          for (size_t j = 0; j < width; ++j) {
+            tier_acv[t * stats.sampled_heads + h0 + j] = out[j];
+          }
+        }
+      }
+      double ms = timer.ElapsedMillis();
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (tier == core::simd::Tier::kScalar) {
+      scalar_acv = tier_acv;
+    } else {
+      // Bit-identity across tiers, at scale.
+      for (size_t i = 0; i < tier_acv.size(); ++i) {
+        HM_CHECK_EQ(tier_acv[i], scalar_acv[i]);
+      }
+    }
+    if (ops.tier == core::simd::ActiveOps().tier) {
+      active_kernel_ms = best_ms;
+    }
+    const double candidates =
+        static_cast<double>(stats.sampled_tails * stats.sampled_heads);
+    stats.tiers.push_back(
+        {ops.name, best_ms > 0.0 ? candidates / (best_ms / 1000.0) : 0.0});
+  }
+  stats.pack_reuse_speedup =
+      (stats.reuse_lookup_ms + active_kernel_ms) > 0.0
+          ? (stats.pack_ms + active_kernel_ms) /
+                (stats.reuse_lookup_ms + active_kernel_ms)
+          : 0.0;
+
+  // Wide-id graph + snapshot round-trip: ids past the old 16-bit cap
+  // index correctly and survive serialization.
+  auto graph = core::DirectedHypergraph::CreateAnonymous(attrs);
+  HM_CHECK_OK(graph.status());
+  HM_CHECK_OK(graph->AddEdge({0}, 1, 0.25).status());
+  HM_CHECK_OK(graph->AddEdge({0x10000}, 1, 0.75).status());
+  HM_CHECK_OK(graph
+                  ->AddEdge({0x10000, static_cast<core::VertexId>(attrs - 1)},
+                            2, 0.5)
+                  .status());
+  const std::string snap = serve::SerializeSnapshot(*graph);
+  auto reloaded = serve::DeserializeSnapshot(snap);
+  HM_CHECK_OK(reloaded.status());
+  core::VertexId wide_tail[] = {0x10000};
+  auto found = reloaded->FindEdge(wide_tail, 1);
+  HM_CHECK(found.has_value());
+  HM_CHECK_EQ(reloaded->edge(*found).weight, 0.75);
+  core::VertexId low_tail[] = {0};
+  HM_CHECK_EQ(reloaded->edge(*reloaded->FindEdge(low_tail, 1)).weight, 0.25);
+  stats.wide_snapshot_ok = true;
   return stats;
 }
 
@@ -227,11 +429,17 @@ int Main(int argc, char** argv) {
   size_t threads = static_cast<size_t>(threads_flag);
   if (threads == 0) threads = ThreadPool::HardwareThreads();
   const std::string out_path = flags.GetString("out", "BENCH_build.json");
+  const std::string export_csv = flags.GetString("export-csv", "");
+  const bool large = flags.GetBool("large", false);
+  const size_t large_attrs = positive("large-attrs", 100000);
+  const size_t large_rows = positive("large-rows", 256);
+  const char* simd = bench::ApplySimdFlag(flags);
 
   std::printf("bench_build_throughput: %zu attrs x %zu rows, k=%zu, "
-              "%zu build threads (%zu hardware), repeat=%zu%s\n",
+              "%zu build threads (%zu hardware), repeat=%zu, simd=%s%s%s\n",
               attrs, rows, k, threads, ThreadPool::HardwareThreads(),
-              repeat, smoke ? ", --smoke" : "");
+              repeat, simd, smoke ? ", --smoke" : "",
+              large ? ", --large" : "");
 
   core::Database db = MakeDatabase(attrs, rows, k, 20120401);
   core::HypergraphConfig config = core::ConfigC1();
@@ -276,6 +484,69 @@ int Main(int argc, char** argv) {
               "all bit-identical)\n",
               kernel.per_pair_ms, kernel.fused_byte_ms, kernel.fused_ms,
               kernel.speedup);
+  for (const TierTiming& tier : kernel.tiers) {
+    std::printf("  tier %-8s plane kernel %8.2f ms (%.2fx vs scalar)\n",
+                tier.tier, tier.plane_ms, tier.speedup_vs_scalar);
+  }
+
+  if (!export_csv.empty()) {
+    HM_CHECK_OK(core::WriteHypergraphCsv(serial_graph, export_csv));
+    std::printf("exported hypergraph CSV to %s\n", export_csv.c_str());
+  }
+
+  LargeStats large_stats;
+  if (large) {
+    large_stats = RunLargeMode(large_attrs, large_rows, k, repeat);
+    std::printf("large mode (%zu attrs x %zu rows): pack %.1f ms, reuse "
+                "lookup %.3f ms, pack-reuse sweep speedup %.2fx; sampled "
+                "%zu tails x %zu heads:\n",
+                large_stats.attrs, large_stats.rows, large_stats.pack_ms,
+                large_stats.reuse_lookup_ms,
+                large_stats.pack_reuse_speedup, large_stats.sampled_tails,
+                large_stats.sampled_heads);
+    for (const LargeTierThroughput& tier : large_stats.tiers) {
+      std::printf("  tier %-8s %12.0f candidates/sec\n", tier.tier,
+                  tier.candidates_per_sec);
+    }
+    std::printf("  wide-id snapshot round-trip: %s\n",
+                large_stats.wide_snapshot_ok ? "ok" : "FAILED");
+  }
+
+  std::string tier_json;
+  for (const TierTiming& tier : kernel.tiers) {
+    tier_json += StrFormat(
+        "%s\n    {\"tier\": \"%s\", \"plane_ms\": %.3f, "
+        "\"speedup_vs_scalar\": %.3f}",
+        tier_json.empty() ? "" : ",", tier.tier, tier.plane_ms,
+        tier.speedup_vs_scalar);
+  }
+  std::string large_json = "null";
+  if (large) {
+    std::string large_tier_json;
+    for (const LargeTierThroughput& tier : large_stats.tiers) {
+      large_tier_json += StrFormat(
+          "%s\n      {\"tier\": \"%s\", \"candidates_per_sec\": %.0f}",
+          large_tier_json.empty() ? "" : ",", tier.tier,
+          tier.candidates_per_sec);
+    }
+    large_json = StrFormat(
+        "{\n"
+        "    \"attrs\": %zu,\n"
+        "    \"rows\": %zu,\n"
+        "    \"sampled_tails\": %zu,\n"
+        "    \"sampled_heads\": %zu,\n"
+        "    \"pack_ms\": %.3f,\n"
+        "    \"reuse_lookup_ms\": %.3f,\n"
+        "    \"pack_reuse_speedup\": %.3f,\n"
+        "    \"tiers\": [%s\n    ],\n"
+        "    \"wide_snapshot_ok\": %s\n"
+        "  }",
+        large_stats.attrs, large_stats.rows, large_stats.sampled_tails,
+        large_stats.sampled_heads, large_stats.pack_ms,
+        large_stats.reuse_lookup_ms, large_stats.pack_reuse_speedup,
+        large_tier_json.c_str(),
+        large_stats.wide_snapshot_ok ? "true" : "false");
+  }
 
   std::string json = StrFormat(
       "{\n"
@@ -287,6 +558,7 @@ int Main(int argc, char** argv) {
       "  \"k\": %zu,\n"
       "  \"repeat\": %zu,\n"
       "  \"smoke\": %s,\n"
+      "  \"simd\": \"%s\",\n"
       "  \"hardware_threads\": %zu,\n"
       "  \"edge_candidates\": %zu,\n"
       "  \"pair_candidates\": %zu,\n"
@@ -298,14 +570,17 @@ int Main(int argc, char** argv) {
       "  \"candidates_per_sec\": %.0f,\n"
       "  \"fused_kernel\": {\"per_pair_ms\": %.3f, \"fused_byte_ms\": %.3f, "
       "\"fused_ms\": %.3f, \"speedup\": %.3f},\n"
+      "  \"simd_tiers\": [%s\n  ],\n"
+      "  \"large\": %s,\n"
       "  \"deterministic\": true\n"
       "}\n",
       bench::GitSha(), bench::BuildType(), attrs, rows, k, repeat,
-      smoke ? "true" : "false", ThreadPool::HardwareThreads(),
+      smoke ? "true" : "false", simd, ThreadPool::HardwareThreads(),
       parallel_stats.edge_candidates, parallel_stats.pair_candidates,
       parallel_stats.edges_kept, parallel_stats.pairs_kept, serial_s,
       threads, parallel_s, speedup, cps, kernel.per_pair_ms,
-      kernel.fused_byte_ms, kernel.fused_ms, kernel.speedup);
+      kernel.fused_byte_ms, kernel.fused_ms, kernel.speedup,
+      tier_json.c_str(), large_json.c_str());
   HM_CHECK_OK(WriteStringToFile(out_path, json));
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

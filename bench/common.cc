@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/simd.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -37,13 +38,28 @@ BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name,
   FlagParser flags;
   HM_CHECK_OK(flags.Parse(argc, argv));
   BenchOptions options = BenchOptions::FromFlags(flags);
+  const char* simd = ApplySimdFlag(flags);
   std::printf("=== %s (%s) ===\n", bench_name, paper_anchor);
   std::printf(
-      "scale: %zu series x %zu years (seed %llu); flags: --series --years "
-      "--seed --full --config=c1|c2|both --threads=N (0 = hardware)\n\n",
+      "scale: %zu series x %zu years (seed %llu), simd=%s; flags: --series "
+      "--years --seed --full --config=c1|c2|both --threads=N (0 = hardware) "
+      "--simd=scalar|avx2|avx512\n\n",
       options.market.num_series, options.market.num_years,
-      static_cast<unsigned long long>(options.market.seed));
+      static_cast<unsigned long long>(options.market.seed), simd);
   return options;
+}
+
+const char* ApplySimdFlag(const FlagParser& flags) {
+  const std::string requested = flags.GetString("simd", "");
+  if (!requested.empty()) {
+    auto tier = core::simd::ParseTier(requested);
+    if (!tier.has_value()) {
+      HM_LOG_FATAL << "--simd=" << requested
+                   << " is not a tier (scalar, avx2, avx512)";
+    }
+    core::simd::ForceActiveTier(*tier);
+  }
+  return core::simd::ActiveOps().name;
 }
 
 const std::vector<std::string>& SelectedSeries() {

@@ -37,6 +37,14 @@ struct BenchOptions {
 BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name,
                             const char* paper_anchor);
 
+/// Applies --simd=scalar|avx2|avx512 for the whole process: forces the ACV
+/// kernel dispatch tier (clamped to what this host supports, so requesting
+/// avx512 on an avx2 machine runs avx2, not a crash). An unrecognized value
+/// is fatal — a bench silently measuring the wrong tier is worse than an
+/// error. Without the flag the environment/auto-detected tier stands.
+/// Returns the name of the tier actually active.
+const char* ApplySimdFlag(const FlagParser& flags);
+
 /// The 11 series of Tables 5.1/5.2, one per sector (Conglomerates has no
 /// selected row in the paper either).
 const std::vector<std::string>& SelectedSeries();

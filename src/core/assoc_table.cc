@@ -223,33 +223,17 @@ void PackValuePlanes(const ValueId* col, size_t m, size_t k,
   }
 }
 
-namespace {
-
-size_t PopcountAnd(const uint64_t* a, const uint64_t* b, size_t words) {
-  size_t count = 0;
-  for (size_t w = 0; w < words; ++w) {
-    count += static_cast<size_t>(std::popcount(a[w] & b[w]));
-  }
-  return count;
-}
-
-}  // namespace
-
 void AcvEdgeBlockKernel(const uint64_t* tail_planes,
                         const uint64_t* const* head_planes, size_t num_heads,
-                        size_t m, size_t k, double* out_acv) {
+                        size_t m, size_t k, const simd::Ops& ops,
+                        double* out_acv) {
   const size_t words = PlaneWords(m);
   // Row totals: #observations with tail value v, shared by every head in
   // the block; the last head value's cell is row_total - sum(previous),
   // saving one popcount pass per row.
   size_t row_total[kMaxValues];
   for (size_t v = 0; v < k; ++v) {
-    size_t count = 0;
-    const uint64_t* plane = tail_planes + v * words;
-    for (size_t w = 0; w < words; ++w) {
-      count += static_cast<size_t>(std::popcount(plane[w]));
-    }
-    row_total[v] = count;
+    row_total[v] = ops.popcount(tail_planes + v * words, words);
   }
   for (size_t j = 0; j < num_heads; ++j) {
     const uint64_t* head = head_planes[j];
@@ -259,7 +243,7 @@ void AcvEdgeBlockKernel(const uint64_t* tail_planes,
       size_t best = 0;
       size_t seen = 0;
       for (size_t h = 0; h + 1 < k; ++h) {
-        size_t c = PopcountAnd(tail_plane, head + h * words, words);
+        size_t c = ops.popcount_and(tail_plane, head + h * words, words);
         seen += c;
         best = std::max(best, c);
       }
@@ -270,26 +254,29 @@ void AcvEdgeBlockKernel(const uint64_t* tail_planes,
   }
 }
 
+void AcvEdgeBlockKernel(const uint64_t* tail_planes,
+                        const uint64_t* const* head_planes, size_t num_heads,
+                        size_t m, size_t k, double* out_acv) {
+  AcvEdgeBlockKernel(tail_planes, head_planes, num_heads, m, k,
+                     simd::ActiveOps(), out_acv);
+}
+
 double AcvPairKernel(const uint64_t* tail1_planes,
                      const uint64_t* tail2_planes,
                      const uint64_t* head_planes, size_t m, size_t k,
-                     uint64_t* scratch) {
+                     const simd::Ops& ops, uint64_t* scratch) {
   const size_t words = PlaneWords(m);
   size_t acc = 0;
   for (size_t v1 = 0; v1 < k; ++v1) {
     const uint64_t* p1 = tail1_planes + v1 * words;
     for (size_t v2 = 0; v2 < k; ++v2) {
       const uint64_t* p2 = tail2_planes + v2 * words;
-      size_t row_total = 0;
-      for (size_t w = 0; w < words; ++w) {
-        scratch[w] = p1[w] & p2[w];
-        row_total += static_cast<size_t>(std::popcount(scratch[w]));
-      }
+      size_t row_total = ops.and_store_popcount(p1, p2, scratch, words);
       if (row_total == 0) continue;  // empty tail combination, max is 0
       size_t best = 0;
       size_t seen = 0;
       for (size_t h = 0; h + 1 < k; ++h) {
-        size_t c = PopcountAnd(scratch, head_planes + h * words, words);
+        size_t c = ops.popcount_and(scratch, head_planes + h * words, words);
         seen += c;
         best = std::max(best, c);
       }
@@ -298,6 +285,14 @@ double AcvPairKernel(const uint64_t* tail1_planes,
     }
   }
   return static_cast<double>(acc) / static_cast<double>(m);
+}
+
+double AcvPairKernel(const uint64_t* tail1_planes,
+                     const uint64_t* tail2_planes,
+                     const uint64_t* head_planes, size_t m, size_t k,
+                     uint64_t* scratch) {
+  return AcvPairKernel(tail1_planes, tail2_planes, head_planes, m, k,
+                       simd::ActiveOps(), scratch);
 }
 
 }  // namespace hypermine::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/simd.h"
 #include "util/status.h"
 
 namespace hypermine::core {
@@ -161,6 +162,22 @@ double AcvPairKernel(const uint64_t* tail1_planes,
                      const uint64_t* tail2_planes,
                      const uint64_t* head_planes, size_t m, size_t k,
                      uint64_t* scratch);
+
+/// --- Tier-explicit plane kernels ---
+/// The plane kernels above run on simd::ActiveOps() — the best tier the
+/// host supports, or the HYPERMINE_SIMD override. These overloads take the
+/// dispatch table explicitly so tests and benches can pin a specific tier
+/// (and fuzz every supported tier against the byte-kernel oracle). All
+/// tiers count in exact integers, so outputs are bit-identical across
+/// tiers by construction.
+void AcvEdgeBlockKernel(const uint64_t* tail_planes,
+                        const uint64_t* const* head_planes, size_t num_heads,
+                        size_t m, size_t k, const simd::Ops& ops,
+                        double* out_acv);
+double AcvPairKernel(const uint64_t* tail1_planes,
+                     const uint64_t* tail2_planes,
+                     const uint64_t* head_planes, size_t m, size_t k,
+                     const simd::Ops& ops, uint64_t* scratch);
 
 }  // namespace hypermine::core
 

@@ -70,7 +70,7 @@ std::string BuildStats::ToString() const {
 
 StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
     const Database& db, const HypergraphConfig& config, BuildStats* stats,
-    ThreadPool* pool) {
+    ThreadPool* pool, const ValuePlanes* planes) {
   if (db.num_values() != config.k) {
     return Status::InvalidArgument(
         StrFormat("builder: database has k=%zu but config expects k=%zu",
@@ -107,19 +107,27 @@ StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
   // For small k, every column is re-coded once as bit planes and both
   // stages count via AND+popcount (~k² word passes per candidate instead
   // of m byte increments); large k keeps the byte kernels. Both paths are
-  // exact-integer, hence interchangeable bit for bit.
+  // exact-integer, hence interchangeable bit for bit. A caller-provided
+  // `planes` artifact (γ-sweeps, serve::PlaneCache) replaces the packing
+  // pass after a content check; the packed words are identical either way.
   const bool use_planes = k <= kMaxPlaneKernelValues;
   const size_t words = PlaneWords(m);
-  const size_t planes_per_col = ValuePlanesSize(k, m);
-  std::vector<uint64_t> planes;
+  ValuePlanes local_planes;
+  const ValuePlanes* packed = nullptr;
   if (use_planes) {
-    planes.resize(n * planes_per_col);
-    for (size_t a = 0; a < n; ++a) {
-      PackValuePlanes(db.column(static_cast<AttrId>(a)).data(), m, k,
-                      &planes[a * planes_per_col]);
+    if (planes != nullptr) {
+      if (!planes->Matches(db)) {
+        return Status::InvalidArgument(
+            "builder: supplied ValuePlanes do not match the database "
+            "(stale or foreign artifact)");
+      }
+      packed = planes;
+    } else {
+      local_planes = PackDatabasePlanes(db);
+      packed = &local_planes;
     }
   }
-  auto planes_of = [&](size_t a) { return &planes[a * planes_per_col]; };
+  auto planes_of = [&](size_t a) { return packed->planes_of(a); };
 
   auto process_block = [&](size_t block_index) {
     const size_t h0 = block_index * block;

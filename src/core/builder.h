@@ -5,6 +5,7 @@
 
 #include "core/database.h"
 #include "core/hypergraph.h"
+#include "core/value_planes.h"
 #include "util/status.h"
 
 namespace hypermine {
@@ -82,9 +83,18 @@ struct BuildStats {
 /// runs on the pool's full width — the pool owner sized it, so the pool,
 /// not the config, is the resource contract. The result is bit-identical
 /// in every case.
+///
+/// `planes` optionally supplies pre-packed value planes (PackDatabasePlanes
+/// or a serve::PlaneCache hit) so γ-sweeps over one database skip the
+/// per-build packing pass. The artifact must Match the database —
+/// kInvalidArgument otherwise, reuse of stale planes is never silent. Only
+/// consulted on the small-k plane path (k <= kMaxPlaneKernelValues);
+/// ignored on the byte-kernel path. Passing planes never changes the
+/// result: packed planes are a pure re-coding of the columns.
 StatusOr<DirectedHypergraph> BuildAssociationHypergraph(
     const Database& db, const HypergraphConfig& config,
-    BuildStats* stats = nullptr, ThreadPool* pool = nullptr);
+    BuildStats* stats = nullptr, ThreadPool* pool = nullptr,
+    const ValuePlanes* planes = nullptr);
 
 }  // namespace hypermine::core
 

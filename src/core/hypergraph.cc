@@ -38,14 +38,32 @@ const std::string& DirectedHypergraph::vertex_name(VertexId v) const {
   return names_[v];
 }
 
-uint64_t DirectedHypergraph::EdgeKey(const VertexId tail[kMaxTailSize],
-                                     VertexId head) {
-  // Four 16-bit fields; kNoVertex truncates to 0xFFFF, which no real vertex
-  // can use because kMaxVertices = 0xFFFE.
-  return ((static_cast<uint64_t>(tail[0]) & 0xFFFF) << 48) |
-         ((static_cast<uint64_t>(tail[1]) & 0xFFFF) << 32) |
-         ((static_cast<uint64_t>(tail[2]) & 0xFFFF) << 16) |
-         (static_cast<uint64_t>(head) & 0xFFFF);
+DirectedHypergraph::EdgeKey DirectedHypergraph::MakeEdgeKey(
+    const VertexId tail[kMaxTailSize], VertexId head) {
+  // Four full-width 32-bit fields — no truncation, so no id below the
+  // kNoVertex sentinel can alias another (the old 16-bit packing capped
+  // the universe at 0xFFFE vertices).
+  EdgeKey key;
+  key.hi = (static_cast<uint64_t>(tail[0]) << 32) |
+           static_cast<uint64_t>(tail[1]);
+  key.lo = (static_cast<uint64_t>(tail[2]) << 32) |
+           static_cast<uint64_t>(head);
+  return key;
+}
+
+size_t DirectedHypergraph::EdgeKeyHasher::operator()(
+    const EdgeKey& key) const noexcept {
+  // splitmix64-style mix of each half, combined with an odd multiplier —
+  // cheap, and spreads the low-entropy packed ids across the whole hash
+  // range.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  return static_cast<size_t>(mix(key.hi) * 0x9ddfea08eb382d69ull +
+                             mix(key.lo));
 }
 
 StatusOr<EdgeId> DirectedHypergraph::AddEdge(std::vector<VertexId> tail,
@@ -79,7 +97,7 @@ StatusOr<EdgeId> DirectedHypergraph::AddEdge(std::vector<VertexId> tail,
   edge.head = head;
   edge.weight = weight;
 
-  uint64_t key = EdgeKey(edge.tail, head);
+  EdgeKey key = MakeEdgeKey(edge.tail, head);
   if (index_.count(key) > 0) {
     return Status::AlreadyExists("hypergraph: duplicate (T, H) combination");
   }
@@ -110,9 +128,9 @@ const std::vector<EdgeId>& DirectedHypergraph::OutEdgeIds(VertexId v) const {
 std::optional<EdgeId> DirectedHypergraph::FindEdge(
     std::span<const VertexId> tail, VertexId head) const {
   if (tail.empty() || tail.size() > kMaxTailSize) return std::nullopt;
-  // Out-of-range ids must miss rather than alias a real vertex: EdgeKey
-  // keeps only the low 16 bits, so e.g. 0x10000 would otherwise collide
-  // with vertex 0.
+  // Out-of-range ids miss immediately: keys are full-width so they could
+  // never alias a real vertex, but probing the index for ids no edge can
+  // contain would be wasted work.
   if (head >= names_.size()) return std::nullopt;
   VertexId sorted[kMaxTailSize] = {kNoVertex, kNoVertex, kNoVertex};
   for (size_t i = 0; i < tail.size(); ++i) {
@@ -120,7 +138,7 @@ std::optional<EdgeId> DirectedHypergraph::FindEdge(
     sorted[i] = tail[i];
   }
   std::sort(sorted, sorted + tail.size());
-  auto it = index_.find(EdgeKey(sorted, head));
+  auto it = index_.find(MakeEdgeKey(sorted, head));
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }

@@ -23,8 +23,10 @@ inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
 /// (Definition 3.6) restrict |T| <= 2; the structure itself allows 3 so the
 /// general notions of Chapter 3 (e.g. Example 3.12) are expressible.
 inline constexpr size_t kMaxTailSize = 3;
-/// Maximum supported vertex count (lookup keys pack four 16-bit ids).
-inline constexpr size_t kMaxVertices = 0xFFFE;
+/// Maximum supported vertex count. Lookup keys pack four 32-bit ids into a
+/// 128-bit key, so any id below the kNoVertex sentinel is addressable —
+/// the 10⁵–10⁶-vertex regime of mined hypergraphs fits with room to spare.
+inline constexpr size_t kMaxVertices = 0xFFFFFFFE;
 
 /// A directed hyperedge (T, H) with 1 <= |T| <= 3 and |H| = 1. `tail` is
 /// sorted ascending with kNoVertex padding. `weight` carries ACV(T, H).
@@ -109,15 +111,29 @@ class DirectedHypergraph {
   std::string EdgeToString(EdgeId id, int precision = 2) const;
 
  private:
+  /// Exact-lookup key of a (T, H) combination: four 32-bit vertex ids
+  /// (sorted tail, kNoVertex padding, head) packed into 128 bits, so the
+  /// full VertexId range below the sentinel is addressable without
+  /// truncation.
+  struct EdgeKey {
+    uint64_t hi = 0;  ///< tail[0] << 32 | tail[1]
+    uint64_t lo = 0;  ///< tail[2] << 32 | head
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHasher {
+    size_t operator()(const EdgeKey& key) const noexcept;
+  };
+
   explicit DirectedHypergraph(std::vector<std::string> names);
 
-  static uint64_t EdgeKey(const VertexId tail[kMaxTailSize], VertexId head);
+  static EdgeKey MakeEdgeKey(const VertexId tail[kMaxTailSize],
+                             VertexId head);
 
   std::vector<std::string> names_;
   std::vector<Hyperedge> edges_;
   std::vector<std::vector<EdgeId>> in_edges_;
   std::vector<std::vector<EdgeId>> out_edges_;
-  std::unordered_map<uint64_t, EdgeId> index_;
+  std::unordered_map<EdgeKey, EdgeId, EdgeKeyHasher> index_;
   size_t num_by_tail_size_[kMaxTailSize] = {0, 0, 0};
 };
 

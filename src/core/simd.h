@@ -1,0 +1,79 @@
+#ifndef HYPERMINE_CORE_SIMD_H_
+#define HYPERMINE_CORE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hypermine::core::simd {
+
+/// Vectorization tiers of the bit-plane ACV kernels, ordered from most to
+/// least portable. Every tier computes the same exact integer popcounts,
+/// so a given input yields bit-identical ACVs regardless of tier — the CI
+/// simd-dispatch matrix asserts this end to end, and the unit fuzz in
+/// tests/core/assoc_kernels_test.cc asserts it per kernel.
+enum class Tier {
+  kScalar = 0,  ///< std::popcount word loop; runs everywhere.
+  kAvx2 = 1,    ///< 256-bit AND + vpshufb nibble-LUT popcount.
+  kAvx512 = 2,  ///< 512-bit AND + native vpopcntq (AVX-512 VPOPCNTDQ).
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* TierName(Tier tier);
+
+/// Inverse of TierName; nullopt for anything else.
+std::optional<Tier> ParseTier(std::string_view name);
+
+/// The dispatch table: the three word-loop shapes the plane kernels are
+/// built from. Implementations only differ in how they chew through the
+/// 64-bit words; counts are exact in every tier.
+struct Ops {
+  Tier tier = Tier::kScalar;
+  const char* name = "scalar";
+  /// popcount(a[0..words)).
+  size_t (*popcount)(const uint64_t* a, size_t words) = nullptr;
+  /// popcount(a & b) without materializing the intersection.
+  size_t (*popcount_and)(const uint64_t* a, const uint64_t* b,
+                         size_t words) = nullptr;
+  /// out = a & b, returning popcount(out) — the pair kernel's fused
+  /// intersection step.
+  size_t (*and_store_popcount)(const uint64_t* a, const uint64_t* b,
+                               uint64_t* out, size_t words) = nullptr;
+};
+
+/// True when this process may execute `tier` (cpuid + OS state via
+/// __builtin_cpu_supports); kScalar is always supported.
+bool TierSupported(Tier tier);
+
+/// The highest supported tier on this machine.
+Tier BestSupportedTier();
+
+/// All supported tiers, ascending (always starts with kScalar). Tests and
+/// benches iterate this to fuzz/time every tier the host can run.
+std::vector<Tier> SupportedTiers();
+
+/// Ops table of a specific tier; `tier` must be supported (HM_CHECK).
+const Ops& OpsForTier(Tier tier);
+
+/// The process-wide active tier: the HYPERMINE_SIMD environment override
+/// ("scalar" | "avx2" | "avx512", clamped down to what the host supports,
+/// resolved once) unless ForceActiveTier was called; otherwise the best
+/// supported tier. This is what the builder's kernels run on.
+const Ops& ActiveOps();
+
+/// Overrides the active tier (clamped to availability), e.g. for the
+/// bench's --simd= flag. Not intended to race in-flight builds: call it
+/// before kernels run.
+void ForceActiveTier(Tier tier);
+
+/// Resolution rule shared by the env override and ForceActiveTier, exposed
+/// pure for unit tests: the requested tier clamped down to `best`
+/// (requesting an unavailable tier degrades, it never crashes);
+/// nullopt — no/unparseable request — resolves to `best`.
+Tier ResolveRequestedTier(std::optional<Tier> requested, Tier best);
+
+}  // namespace hypermine::core::simd
+
+#endif  // HYPERMINE_CORE_SIMD_H_

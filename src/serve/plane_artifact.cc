@@ -1,0 +1,187 @@
+#include "serve/plane_artifact.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "core/assoc_table.h"
+#include "serve/wire.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace hypermine::serve {
+namespace {
+
+// Same little-endian contract as the model snapshot (see snapshot.cc).
+static_assert(std::endian::native == std::endian::little,
+              "plane artifact format requires a little-endian host");
+
+constexpr char kMagic[8] = {'H', 'M', 'P', 'L', 'A', 'N', 'E', 'S'};
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8;
+// fingerprint + num_attributes + num_observations + num_values +
+// words_per_plane.
+constexpr size_t kBodyFixedSize = 5 * 8;
+
+Status Corrupt(const std::string& what) {
+  return Status::Corrupted("plane artifact: " + what);
+}
+
+}  // namespace
+
+std::string SerializePlaneArtifact(const core::ValuePlanes& planes) {
+  std::string body;
+  body.reserve(kBodyFixedSize + planes.words.size() * sizeof(uint64_t));
+  AppendPod<uint64_t>(&body, planes.fingerprint);
+  AppendPod<uint64_t>(&body, planes.num_attributes);
+  AppendPod<uint64_t>(&body, planes.num_observations);
+  AppendPod<uint64_t>(&body, planes.num_values);
+  AppendPod<uint64_t>(&body, planes.words_per_plane);
+  body.append(reinterpret_cast<const char*>(planes.words.data()),
+              planes.words.size() * sizeof(uint64_t));
+
+  std::string out;
+  out.reserve(kHeaderSize + body.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod<uint32_t>(&out, kPlaneArtifactVersion);
+  AppendPod<uint32_t>(&out, 0);  // flags
+  AppendPod<uint64_t>(&out, core::ChunkedFnv1a(body.data(), body.size()));
+  out += body;
+  return out;
+}
+
+StatusOr<core::ValuePlanes> DeserializePlaneArtifact(std::string_view data) {
+  if (data.size() < kHeaderSize) return Corrupt("shorter than header");
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a hypermine plane artifact)");
+  }
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t checksum = 0;
+  std::memcpy(&version, data.data() + 8, sizeof(version));
+  std::memcpy(&flags, data.data() + 12, sizeof(flags));
+  std::memcpy(&checksum, data.data() + 16, sizeof(checksum));
+  if (version != kPlaneArtifactVersion) {
+    return Status::InvalidArgument(
+        StrFormat("plane artifact: unsupported version %u (supported %u)",
+                  version, kPlaneArtifactVersion));
+  }
+  if (flags != 0) return Corrupt("nonzero reserved flags");
+  std::string_view body = data.substr(kHeaderSize);
+  if (core::ChunkedFnv1a(body.data(), body.size()) != checksum) {
+    return Corrupt("body checksum mismatch");
+  }
+  if (body.size() < kBodyFixedSize) return Corrupt("truncated body");
+
+  core::ValuePlanes planes;
+  uint64_t fields[5];
+  std::memcpy(fields, body.data(), sizeof(fields));
+  planes.fingerprint = fields[0];
+  planes.num_attributes = fields[1];
+  planes.num_observations = fields[2];
+  planes.num_values = fields[3];
+  planes.words_per_plane = fields[4];
+
+  // Dimension plausibility, checked against the actual payload size before
+  // any allocation; every bound is relative to the buffer so corrupt giant
+  // dimensions cannot trigger a giant resize.
+  const size_t payload = body.size() - kBodyFixedSize;
+  if (payload % sizeof(uint64_t) != 0) {
+    return Corrupt("payload is not a whole number of words");
+  }
+  const size_t total_words = payload / sizeof(uint64_t);
+  if (planes.num_attributes == 0 || planes.num_values == 0 ||
+      planes.num_values > core::kMaxValues || planes.num_observations == 0 ||
+      planes.words_per_plane == 0 || planes.words_per_plane > total_words ||
+      planes.num_observations > planes.words_per_plane * 64 ||
+      planes.words_per_plane !=
+          core::PlaneWords(planes.num_observations)) {
+    return Corrupt("dimensions out of range");
+  }
+  if (planes.num_values > total_words / planes.words_per_plane ||
+      planes.num_attributes != total_words / planes.words_per_column() ||
+      planes.num_attributes * planes.words_per_column() != total_words) {
+    return Corrupt("dimensions do not match payload size");
+  }
+
+  planes.words.resize(total_words);
+  std::memcpy(planes.words.data(), body.data() + kBodyFixedSize, payload);
+  return planes;
+}
+
+Status WritePlaneArtifact(const core::ValuePlanes& planes,
+                          const std::string& path) {
+  return WriteStringToFile(path, SerializePlaneArtifact(planes));
+}
+
+StatusOr<core::ValuePlanes> ReadPlaneArtifact(const std::string& path) {
+  HM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializePlaneArtifact(data);
+}
+
+bool LooksLikePlaneArtifact(std::string_view data) {
+  return data.size() >= sizeof(kMagic) &&
+         std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+std::string PlaneCache::ArtifactPath(uint64_t fingerprint) const {
+  return StrFormat("%s/%016llx.planes", cache_dir_.c_str(),
+                   static_cast<unsigned long long>(fingerprint));
+}
+
+std::shared_ptr<const core::ValuePlanes> PlaneCache::GetOrPack(
+    const core::Database& db) {
+  const uint64_t fingerprint = core::DatabaseFingerprint(db);
+  {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+
+  // Disk probe and packing run unlocked: packing a wide database takes
+  // real time and must not stall unrelated lookups. A racing pack of the
+  // same database is harmless — emplace keeps the first entry.
+  std::shared_ptr<const core::ValuePlanes> packed;
+  bool from_disk = false;
+  if (!cache_dir_.empty()) {
+    StatusOr<core::ValuePlanes> loaded =
+        ReadPlaneArtifact(ArtifactPath(fingerprint));
+    // A stale or corrupt cache file degrades to packing; Matches re-checks
+    // content against the database, not just the file's own claim.
+    if (loaded.ok() && loaded->fingerprint == fingerprint &&
+        loaded->Matches(db)) {
+      packed = std::make_shared<core::ValuePlanes>(std::move(loaded).value());
+      from_disk = true;
+    }
+  }
+  if (packed == nullptr) {
+    packed =
+        std::make_shared<core::ValuePlanes>(core::PackDatabasePlanes(db));
+    if (!cache_dir_.empty()) {
+      // Best effort: an unwritable cache dir only costs future repacks.
+      (void)WritePlaneArtifact(*packed, ArtifactPath(fingerprint));
+    }
+  }
+
+  MutexLock lock(mutex_);
+  auto [it, inserted] = entries_.emplace(fingerprint, std::move(packed));
+  if (inserted) {
+    if (from_disk) {
+      ++stats_.disk_hits;
+    } else {
+      ++stats_.packs;
+    }
+  } else {
+    ++stats_.memory_hits;
+  }
+  return it->second;
+}
+
+PlaneCacheStats PlaneCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hypermine::serve

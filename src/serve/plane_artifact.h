@@ -1,0 +1,92 @@
+#ifndef HYPERMINE_SERVE_PLANE_ARTIFACT_H_
+#define HYPERMINE_SERVE_PLANE_ARTIFACT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/value_planes.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace hypermine::serve {
+
+/// Snapshot-style wire format for a packed core::ValuePlanes — the
+/// reusable artifact behind repeated γ-sweeps and tune_market runs.
+/// Layout (little-endian, same x86 assumption as the model snapshot):
+///
+///   magic    8 bytes  "HMPLANES"
+///   version  uint32   kPlaneArtifactVersion
+///   flags    uint32   reserved, 0
+///   checksum uint64   chunked FNV-1a over the body (core::ChunkedFnv1a)
+///   body:
+///     fingerprint     uint64  DatabaseFingerprint of the source database
+///     num_attributes  uint64
+///     num_observations uint64
+///     num_values      uint64
+///     words_per_plane uint64  must equal PlaneWords(num_observations)
+///     plane words     uint64 x (num_attributes * num_values *
+///                               words_per_plane)
+///
+/// The fingerprint rides inside the checksummed body, so a loaded artifact
+/// can be matched against a database without repacking; the builder
+/// re-verifies via ValuePlanes::Matches before any reuse.
+inline constexpr uint32_t kPlaneArtifactVersion = 1;
+
+/// Serializes packed planes. Infallible: every ValuePlanes from
+/// PackDatabasePlanes is representable.
+std::string SerializePlaneArtifact(const core::ValuePlanes& planes);
+
+/// Parses an artifact buffer. Corrupted, truncated, or
+/// checksum-mismatching input yields kCorrupted; an unsupported version
+/// yields kInvalidArgument.
+StatusOr<core::ValuePlanes> DeserializePlaneArtifact(std::string_view data);
+
+/// File variants; kIoError on filesystem trouble.
+Status WritePlaneArtifact(const core::ValuePlanes& planes,
+                          const std::string& path);
+StatusOr<core::ValuePlanes> ReadPlaneArtifact(const std::string& path);
+
+/// True when the buffer starts with the plane-artifact magic.
+bool LooksLikePlaneArtifact(std::string_view data);
+
+struct PlaneCacheStats {
+  size_t memory_hits = 0;
+  size_t disk_hits = 0;
+  size_t packs = 0;
+};
+
+/// Per-database cache of packed planes, keyed by DatabaseFingerprint:
+/// γ-sweeps and repeated tune_market windows pack each distinct database
+/// once. Optionally file-backed — with a cache_dir, misses look for
+/// `<dir>/<fingerprint hex>.planes` before packing and persist fresh packs
+/// there (best effort: an unwritable or corrupt cache file degrades to
+/// packing, never to an error). Thread-safe; entries are shared_ptr so a
+/// returned artifact outlives any cache churn.
+class PlaneCache {
+ public:
+  PlaneCache() = default;
+  explicit PlaneCache(std::string cache_dir)
+      : cache_dir_(std::move(cache_dir)) {}
+
+  /// Returns the packed planes for `db`, packing (and caching) on miss.
+  std::shared_ptr<const core::ValuePlanes> GetOrPack(
+      const core::Database& db);
+
+  PlaneCacheStats stats() const;
+
+ private:
+  std::string ArtifactPath(uint64_t fingerprint) const;
+
+  const std::string cache_dir_;
+  mutable Mutex mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<const core::ValuePlanes>>
+      entries_ HM_GUARDED_BY(mutex_);
+  PlaneCacheStats stats_ HM_GUARDED_BY(mutex_);
+};
+
+}  // namespace hypermine::serve
+
+#endif  // HYPERMINE_SERVE_PLANE_ARTIFACT_H_

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <queue>
+#include <tuple>
 
 namespace hypermine::serve {
 
-uint64_t RuleIndex::TailKey(std::span<const core::VertexId> tail) {
+RuleIndex::Key RuleIndex::TailKey(std::span<const core::VertexId> tail) {
   if (tail.empty() || tail.size() > core::kMaxTailSize) {
     return kInvalidTailKey;
   }
@@ -22,11 +23,28 @@ uint64_t RuleIndex::TailKey(std::span<const core::VertexId> tail) {
           sorted + tail.size()) {
     return kInvalidTailKey;
   }
-  // Three 16-bit fields, same packing as DirectedHypergraph::EdgeKey minus
-  // the head; kNoVertex pads to 0xFFFF which no real vertex can use.
-  return ((static_cast<uint64_t>(sorted[0]) & 0xFFFF) << 32) |
-         ((static_cast<uint64_t>(sorted[1]) & 0xFFFF) << 16) |
-         (static_cast<uint64_t>(sorted[2]) & 0xFFFF);
+  // Three full-width 32-bit fields, same packing as
+  // DirectedHypergraph::EdgeKey minus the head; kNoVertex pads the unused
+  // slots and the low 32 bits of `lo` stay clear, which is what keeps
+  // kInvalidTailKey out of reach.
+  Key key;
+  key.hi = (static_cast<uint64_t>(sorted[0]) << 32) |
+           static_cast<uint64_t>(sorted[1]);
+  key.lo = static_cast<uint64_t>(sorted[2]) << 32;
+  return key;
+}
+
+size_t RuleIndex::KeyHasher::operator()(const Key& key) const noexcept {
+  // splitmix64-style mix of each half; matches the spirit of
+  // DirectedHypergraph::EdgeKeyHasher.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  return static_cast<size_t>(mix(key.hi) * 0x9ddfea08eb382d69ull +
+                             mix(key.lo));
 }
 
 RuleIndex RuleIndex::Build(const core::DirectedHypergraph& graph) {
@@ -37,7 +55,7 @@ RuleIndex RuleIndex::Build(const core::DirectedHypergraph& graph) {
   // Copy the edges compactly and bucket entry positions by tail key.
   const size_t num_edges = graph.num_edges();
   index.edges_.reserve(num_edges);
-  std::vector<std::pair<uint64_t, core::EdgeId>> keyed;
+  std::vector<std::pair<Key, core::EdgeId>> keyed;
   keyed.reserve(num_edges);
   for (core::EdgeId id = 0; id < num_edges; ++id) {
     const core::Hyperedge& e = graph.edge(id);
@@ -58,7 +76,10 @@ RuleIndex RuleIndex::Build(const core::DirectedHypergraph& graph) {
   // first, for deterministic serving).
   std::sort(keyed.begin(), keyed.end(),
             [&index](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first < b.first;
+              if (a.first != b.first) {
+                return std::tie(a.first.hi, a.first.lo) <
+                       std::tie(b.first.hi, b.first.lo);
+              }
               const Edge& ea = index.edges_[a.second];
               const Edge& eb = index.edges_[b.second];
               if (ea.weight != eb.weight) return ea.weight > eb.weight;

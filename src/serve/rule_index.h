@@ -56,11 +56,24 @@ class RuleIndex {
   size_t num_entries() const { return entries_.size(); }
   size_t num_vertices() const { return num_vertices_; }
 
-  /// Canonical 48-bit key of a tail set (sorted, padded); kInvalidTailKey
-  /// for tails that no hyperedge can have (empty, too large, out of range,
-  /// duplicates).
-  static uint64_t TailKey(std::span<const core::VertexId> tail);
-  static constexpr uint64_t kInvalidTailKey = ~0ull;
+  /// Canonical key of a tail set: three full-width 32-bit ids (sorted,
+  /// kNoVertex-padded) packed into 128 bits, so no two distinct tails can
+  /// collide — same scheme as DirectedHypergraph's edge index key.
+  struct Key {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& key) const noexcept;
+  };
+
+  /// Canonical key of a tail set; kInvalidTailKey for tails that no
+  /// hyperedge can have (empty, too large, out of range, duplicates).
+  static Key TailKey(std::span<const core::VertexId> tail);
+  /// Unreachable by real tails: the low half of a real key always has its
+  /// bottom 32 bits clear (no head field), never all-ones.
+  static constexpr Key kInvalidTailKey{~0ull, ~0ull};
 
  private:
   struct Group {
@@ -78,7 +91,7 @@ class RuleIndex {
   size_t num_vertices_ = 0;
   /// Consequents, grouped by tail key, each group sorted by ACV desc.
   std::vector<RankedConsequent> entries_;
-  std::unordered_map<uint64_t, Group> groups_;
+  std::unordered_map<Key, Group, KeyHasher> groups_;
   /// Compact edge copies + per-vertex incidence for Reachable().
   std::vector<Edge> edges_;
   std::vector<std::vector<uint32_t>> out_edges_;

@@ -23,11 +23,18 @@ static_assert(std::endian::native == std::endian::little,
 
 constexpr char kMagic[8] = {'H', 'M', 'S', 'N', 'A', 'P', 'S', 'H'};
 constexpr size_t kHeaderSize = 8 + 4 + 4 + 8;
-// uint16 tail[3] + uint16 head + double weight.
+// Version <= 2 narrow record: uint16 tail[3] + uint16 head + double weight.
 constexpr size_t kEdgeRecordSize = 4 * 2 + 8;
-// 16-bit encoding of core::kNoVertex; no real id reaches it because
-// core::kMaxVertices = 0xFFFE.
+// Version 3 wide record: uint32 tail[3] + uint32 head + double weight.
+constexpr size_t kWideEdgeRecordSize = 4 * 4 + 8;
+// 16-bit encoding of core::kNoVertex in narrow records; no real id reaches
+// it because narrow records are only written for graphs within the old
+// 0xFFFE-vertex universe.
 constexpr uint16_t kNoVertex16 = 0xFFFF;
+// Largest vertex count the narrow (version 2) records can address — the
+// pre-widening core::kMaxVertices. The writer stays narrow (and
+// byte-identical to older builds) up to here.
+constexpr uint64_t kMaxNarrowVertices = 0xFFFE;
 
 // Spec-trailer config flag bits (version >= 2).
 constexpr uint32_t kFlagRestrictPairsToEdges = 1u << 0;
@@ -176,9 +183,15 @@ StatusOr<std::pair<uint32_t, std::string_view>> CheckEnvelope(
 
 std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
                               const api::ModelSpec& spec) {
+  // Narrowest representation that fits: version 2 (16-bit ids,
+  // byte-identical to pre-widening builds) unless the graph actually uses
+  // the widened id space.
+  const bool wide = graph.num_vertices() > kMaxNarrowVertices;
+  const uint32_t version = wide ? kSnapshotVersion : kNarrowSnapshotVersion;
   std::string body;
   body.reserve(128 + 16 * graph.num_vertices() +
-               kEdgeRecordSize * graph.num_edges());
+               (wide ? kWideEdgeRecordSize : kEdgeRecordSize) *
+                   graph.num_edges());
   AppendPod<uint64_t>(&body, graph.num_vertices());
   AppendPod<uint64_t>(&body, graph.num_edges());
   for (const std::string& name : graph.vertex_names()) {
@@ -187,12 +200,17 @@ std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
   for (const std::string& name : graph.vertex_names()) body += name;
   for (core::EdgeId id = 0; id < graph.num_edges(); ++id) {
     const core::Hyperedge& e = graph.edge(id);
-    for (core::VertexId v : e.tail) {
-      AppendPod<uint16_t>(&body, v == core::kNoVertex
-                                     ? kNoVertex16
-                                     : static_cast<uint16_t>(v));
+    if (wide) {
+      for (core::VertexId v : e.tail) AppendPod<uint32_t>(&body, v);
+      AppendPod<uint32_t>(&body, e.head);
+    } else {
+      for (core::VertexId v : e.tail) {
+        AppendPod<uint16_t>(&body, v == core::kNoVertex
+                                       ? kNoVertex16
+                                       : static_cast<uint16_t>(v));
+      }
+      AppendPod<uint16_t>(&body, static_cast<uint16_t>(e.head));
     }
-    AppendPod<uint16_t>(&body, static_cast<uint16_t>(e.head));
     AppendPod<double>(&body, e.weight);
   }
   AppendSpecTrailer(&body, spec);
@@ -200,7 +218,7 @@ std::string SerializeSnapshot(const core::DirectedHypergraph& graph,
   std::string out;
   out.reserve(kHeaderSize + body.size());
   out.append(kMagic, sizeof(kMagic));
-  AppendPod<uint32_t>(&out, kSnapshotVersion);
+  AppendPod<uint32_t>(&out, version);
   AppendPod<uint32_t>(&out, 0);  // flags
   AppendPod<uint64_t>(&out, Fnv1a(body));
   out += body;
@@ -221,6 +239,17 @@ StatusOr<LoadedSnapshot> DeserializeSnapshotFull(std::string_view data) {
   if (num_vertices == 0 || num_vertices > core::kMaxVertices) {
     return Corrupt("vertex count out of range");
   }
+  // Each vertex needs at least a 4-byte name-length entry, so a count
+  // beyond body_size/4 is corrupt — checked before the name-table resize
+  // so a damaged count cannot trigger a giant allocation (kMaxVertices is
+  // no longer a tight bound now that ids are 32-bit).
+  if (num_vertices > envelope.second.size() / sizeof(uint32_t)) {
+    return Corrupt("vertex count exceeds snapshot size");
+  }
+  if (version < 3 && num_vertices > kMaxNarrowVertices) {
+    return Corrupt("narrow snapshot claims more vertices than 16-bit "
+                   "records can address");
+  }
 
   std::vector<uint32_t> name_lengths(num_vertices);
   for (uint32_t& len : name_lengths) {
@@ -238,22 +267,40 @@ StatusOr<LoadedSnapshot> DeserializeSnapshotFull(std::string_view data) {
   if (!graph_or.ok()) return Corrupt(graph_or.status().message());
   core::DirectedHypergraph graph = std::move(graph_or).value();
 
+  const bool wide = version >= 3;
   for (uint64_t i = 0; i < num_edges; ++i) {
-    uint16_t tail16[core::kMaxTailSize];
-    uint16_t head16 = 0;
+    std::vector<core::VertexId> tail;
+    core::VertexId head = core::kNoVertex;
     double weight = 0.0;
     bool ok = true;
-    for (uint16_t& t : tail16) ok = ok && reader.Read(&t);
-    ok = ok && reader.Read(&head16) && reader.Read(&weight);
+    if (wide) {
+      uint32_t tail32[core::kMaxTailSize];
+      for (uint32_t& t : tail32) ok = ok && reader.Read(&t);
+      uint32_t head32 = 0;
+      ok = ok && reader.Read(&head32) && reader.Read(&weight);
+      if (ok) {
+        for (uint32_t t : tail32) {
+          if (t != core::kNoVertex) tail.push_back(t);
+        }
+        head = head32;
+      }
+    } else {
+      uint16_t tail16[core::kMaxTailSize];
+      for (uint16_t& t : tail16) ok = ok && reader.Read(&t);
+      uint16_t head16 = 0;
+      ok = ok && reader.Read(&head16) && reader.Read(&weight);
+      if (ok) {
+        for (uint16_t t : tail16) {
+          if (t != kNoVertex16) tail.push_back(t);
+        }
+        head = head16;
+      }
+    }
     if (!ok) {
       return Corrupt(StrFormat("truncated edge record %llu",
                                static_cast<unsigned long long>(i)));
     }
-    std::vector<core::VertexId> tail;
-    for (uint16_t t : tail16) {
-      if (t != kNoVertex16) tail.push_back(t);
-    }
-    auto added = graph.AddEdge(std::move(tail), head16, weight);
+    auto added = graph.AddEdge(std::move(tail), head, weight);
     if (!added.ok()) {
       return Corrupt(StrFormat("invalid edge record %llu: %s",
                                static_cast<unsigned long long>(i),

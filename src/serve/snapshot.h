@@ -16,7 +16,7 @@ namespace hypermine::serve {
 /// snapshot.cc):
 ///
 ///   magic    8 bytes  "HMSNAPSH"
-///   version  uint32   kSnapshotVersion
+///   version  uint32   2 (narrow ids) or 3 (wide ids); see below
 ///   flags    uint32   reserved, 0
 ///   checksum uint64   FNV-1a over the body
 ///   body:
@@ -24,8 +24,11 @@ namespace hypermine::serve {
 ///     num_edges    uint64
 ///     name lengths uint32 x num_vertices
 ///     name bytes   concatenated, no terminators
-///     edge records 16 bytes x num_edges:
+///     edge records, version <= 2 (16 bytes x num_edges):
 ///       tail uint16 x 3 (0xFFFF = empty slot), head uint16, weight double
+///     edge records, version 3 (24 bytes x num_edges):
+///       tail uint32 x 3 (0xFFFFFFFF = empty slot), head uint32,
+///       weight double
 ///     spec trailer (version >= 2 only; checksummed with the body):
 ///       k uint32, gamma_edge double, gamma_hyper double,
 ///       config flags uint32 (bit 0 restrict_pairs_to_edges,
@@ -34,12 +37,21 @@ namespace hypermine::serve {
 ///       4 length-prefixed strings (uint32 + bytes):
 ///         discretization, source, git_sha, note
 ///
+/// The writer picks the narrowest representation that fits: graphs within
+/// the old 0xFFFE-vertex universe serialize as version 2, byte-identical
+/// to what earlier builds wrote, so existing snapshots, goldens, and
+/// readers are unaffected; only graphs that actually use the widened
+/// 32-bit id space (> 0xFFFE vertices) emit version-3 wide records.
+///
 /// Round-trips everything WriteHypergraphCsv covers (vertex names including
 /// isolated vertices, tails of size 1..3, exact weights) at ~10x smaller
 /// size, plus the api::ModelSpec that produced the graph; load is a single
 /// pass over the file with no re-mining. Version 1 files (no spec trailer)
 /// still load, reporting has_spec = false.
-inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersion = 3;
+/// Newest version using 16-bit edge records; also what the writer emits
+/// for any graph small enough to fit them.
+inline constexpr uint32_t kNarrowSnapshotVersion = 2;
 /// Oldest version the loader still accepts.
 inline constexpr uint32_t kMinSnapshotVersion = 1;
 
@@ -48,7 +60,7 @@ struct SnapshotInfo {
   uint32_t version = 0;
   uint64_t num_vertices = 0;
   uint64_t num_edges = 0;
-  /// Version-2 files carry a ModelSpec trailer.
+  /// Version >= 2 files carry a ModelSpec trailer.
   bool has_spec() const { return version >= 2; }
 };
 

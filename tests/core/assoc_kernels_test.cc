@@ -8,6 +8,7 @@
 
 #include "core/assoc_table.h"
 #include "core/discretize.h"
+#include "core/simd.h"
 #include "util/rng.h"
 
 namespace hypermine::core {
@@ -191,6 +192,27 @@ TEST(AcvKernelsTest, PlaneKernelsMatchByteKernelsOnRandomInputs) {
                             db.column(static_cast<AttrId>(ids[2])).data(),
                             m, k))
         << "trial " << trial;
+
+    // Every SIMD tier this host supports must agree bit-exactly with the
+    // byte oracle — the integer counts are identical by construction, so
+    // any deviation is a vectorization bug, not a tolerance question.
+    for (simd::Tier tier : simd::SupportedTiers()) {
+      const simd::Ops& ops = simd::OpsForTier(tier);
+      std::vector<double> tier_acv(num_heads, -1.0);
+      AcvEdgeBlockKernel(&planes[tail * per_col], head_planes.data(),
+                         num_heads, m, k, ops, tier_acv.data());
+      for (size_t j = 0; j < num_heads; ++j) {
+        EXPECT_EQ(tier_acv[j], acv[j])
+            << "tier " << ops.name << " trial " << trial << " head " << j;
+      }
+      std::vector<uint64_t> tier_scratch(PlaneWords(m), 0x1234);
+      EXPECT_EQ(AcvPairKernel(&planes[ids[0] * per_col],
+                              &planes[ids[1] * per_col],
+                              &planes[ids[2] * per_col], m, k, ops,
+                              tier_scratch.data()),
+                plane_pair)
+          << "tier " << ops.name << " trial " << trial;
+    }
   }
 }
 

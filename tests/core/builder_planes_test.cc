@@ -1,0 +1,143 @@
+// Pre-packed value-plane reuse in the builder: supplying a matching
+// ValuePlanes artifact must be invisible in the output (bit-identical
+// graph and stats), and supplying a stale or foreign artifact must be a
+// loud kInvalidArgument — never a silently wrong model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/assoc_table.h"
+#include "core/builder.h"
+#include "core/discretize.h"
+#include "core/value_planes.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::core {
+namespace {
+
+/// Bit-exact graph comparison, same contract as builder_parallel_test:
+/// edge count, insertion order, tails, heads, and double-== weights.
+void ExpectIdenticalGraphs(const DirectedHypergraph& a,
+                           const DirectedHypergraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    const Hyperedge& ea = a.edge(id);
+    const Hyperedge& eb = b.edge(id);
+    EXPECT_EQ(ea.head, eb.head) << "edge " << id;
+    EXPECT_EQ(ea.tail[0], eb.tail[0]) << "edge " << id;
+    EXPECT_EQ(ea.tail[1], eb.tail[1]) << "edge " << id;
+    EXPECT_EQ(ea.tail[2], eb.tail[2]) << "edge " << id;
+    EXPECT_EQ(ea.weight, eb.weight) << "edge " << id;
+  }
+}
+
+Database RandomDb(uint64_t seed, size_t n, size_t m, size_t k) {
+  Rng rng(seed);
+  std::vector<std::vector<ValueId>> columns(n, std::vector<ValueId>(m));
+  std::vector<std::string> names;
+  for (size_t a = 0; a < n; ++a) names.push_back("A" + std::to_string(a));
+  for (size_t o = 0; o < m; ++o) {
+    for (size_t a = 0; a < n; ++a) {
+      if (a > 0 && rng.NextBernoulli(0.4)) {
+        columns[a][o] = columns[a - 1][o];
+      } else {
+        columns[a][o] = static_cast<ValueId>(rng.NextBounded(k));
+      }
+    }
+  }
+  auto db = DatabaseFromColumns(std::move(names), k, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+TEST(BuilderPlanesTest, PrePackedPlanesAreBitIdenticalToInternalPacking) {
+  // k = 3 stays on the plane-kernel path where the artifact is consulted.
+  Database db = RandomDb(99, 10, 400, 3);
+  HypergraphConfig config;
+  config.k = 3;
+  config.num_threads = 1;
+
+  BuildStats stats_without;
+  auto without = BuildAssociationHypergraph(db, config, &stats_without);
+  HM_CHECK_OK(without.status());
+
+  ValuePlanes planes = PackDatabasePlanes(db);
+  BuildStats stats_with;
+  auto with =
+      BuildAssociationHypergraph(db, config, &stats_with, nullptr, &planes);
+  HM_CHECK_OK(with.status());
+
+  ExpectIdenticalGraphs(*without, *with);
+  EXPECT_EQ(stats_without.edge_candidates, stats_with.edge_candidates);
+  EXPECT_EQ(stats_without.edges_kept, stats_with.edges_kept);
+  EXPECT_EQ(stats_without.pair_candidates, stats_with.pair_candidates);
+  EXPECT_EQ(stats_without.pairs_kept, stats_with.pairs_kept);
+  EXPECT_EQ(stats_without.mean_edge_acv, stats_with.mean_edge_acv);
+  EXPECT_EQ(stats_without.mean_pair_acv, stats_with.mean_pair_acv);
+}
+
+TEST(BuilderPlanesTest, ReusedPlanesSurviveManyGammaSettings) {
+  // The γ-sweep pattern the artifact exists for: one pack, many builds.
+  Database db = RandomDb(7, 8, 300, 4);
+  ValuePlanes planes = PackDatabasePlanes(db);
+  for (double gamma : {1.0, 1.05, 1.15, 1.3}) {
+    HypergraphConfig config;
+    config.k = 4;
+    config.gamma_edge = gamma;
+    config.num_threads = 1;
+    auto with =
+        BuildAssociationHypergraph(db, config, nullptr, nullptr, &planes);
+    HM_CHECK_OK(with.status());
+    auto without = BuildAssociationHypergraph(db, config);
+    HM_CHECK_OK(without.status());
+    ExpectIdenticalGraphs(*without, *with);
+  }
+}
+
+TEST(BuilderPlanesTest, MismatchedPlanesAreRejected) {
+  Database db = RandomDb(1, 6, 200, 3);
+  Database other = RandomDb(2, 6, 200, 3);
+  HypergraphConfig config;
+  config.k = 3;
+  config.num_threads = 1;
+
+  // Planes packed from a different database: same shape, wrong content.
+  ValuePlanes foreign = PackDatabasePlanes(other);
+  auto result =
+      BuildAssociationHypergraph(db, config, nullptr, nullptr, &foreign);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Stale planes: packed from db, then a word is tampered with. The
+  // fingerprint check in Matches() catches content drift even when all
+  // dimensions agree.
+  ValuePlanes stale = PackDatabasePlanes(db);
+  stale.fingerprint ^= 1;
+  auto stale_result =
+      BuildAssociationHypergraph(db, config, nullptr, nullptr, &stale);
+  ASSERT_FALSE(stale_result.ok());
+  EXPECT_EQ(stale_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderPlanesTest, PlanesIgnoredOnByteKernelPath) {
+  // k beyond kMaxPlaneKernelValues uses byte kernels; a supplied artifact
+  // is not consulted there and the build proceeds identically.
+  static_assert(kMaxPlaneKernelValues < 12);
+  Database db = RandomDb(3, 5, 150, 12);
+  HypergraphConfig config;
+  config.k = 12;
+  config.num_threads = 1;
+  ValuePlanes planes = PackDatabasePlanes(db);
+  auto with =
+      BuildAssociationHypergraph(db, config, nullptr, nullptr, &planes);
+  HM_CHECK_OK(with.status());
+  auto without = BuildAssociationHypergraph(db, config);
+  HM_CHECK_OK(without.status());
+  ExpectIdenticalGraphs(*without, *with);
+}
+
+}  // namespace
+}  // namespace hypermine::core

@@ -1,0 +1,151 @@
+// Tests for the runtime SIMD dispatch layer: tier naming/parsing, the
+// clamp-to-supported resolution rule, and — on whatever tiers this host
+// actually supports — bitwise agreement of every vector word-loop with its
+// scalar counterpart, including ragged tails that exercise the scalar
+// cleanup path after the vector body.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simd.h"
+#include "util/rng.h"
+
+namespace hypermine::core::simd {
+namespace {
+
+TEST(SimdDispatchTest, TierNamesRoundTripThroughParse) {
+  for (Tier tier : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    auto parsed = ParseTier(TierName(tier));
+    ASSERT_TRUE(parsed.has_value()) << TierName(tier);
+    EXPECT_EQ(*parsed, tier);
+  }
+  EXPECT_FALSE(ParseTier("").has_value());
+  EXPECT_FALSE(ParseTier("neon").has_value());
+  EXPECT_FALSE(ParseTier("AVX2").has_value());  // exact, lowercase names
+  EXPECT_FALSE(ParseTier("scalar ").has_value());
+}
+
+TEST(SimdDispatchTest, ResolveRequestedTierClampsToBest) {
+  // No request: whatever the host supports best.
+  EXPECT_EQ(ResolveRequestedTier(std::nullopt, Tier::kAvx2), Tier::kAvx2);
+  // A request at or below best is honored (scalar is always supported).
+  EXPECT_EQ(ResolveRequestedTier(Tier::kScalar, Tier::kAvx512),
+            Tier::kScalar);
+  // A request above best silently clamps down — an operator forcing
+  // "avx512" on an avx2-only host gets avx2, not a crash.
+  EXPECT_EQ(ResolveRequestedTier(Tier::kAvx512, Tier::kScalar),
+            Tier::kScalar);
+  Tier best = BestSupportedTier();
+  EXPECT_EQ(ResolveRequestedTier(Tier::kAvx512, best),
+            TierSupported(Tier::kAvx512) ? Tier::kAvx512 : best);
+}
+
+TEST(SimdDispatchTest, SupportedTiersStartScalarAndAscend) {
+  std::vector<Tier> tiers = SupportedTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), Tier::kScalar);
+  for (size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+    EXPECT_TRUE(TierSupported(tiers[i]));
+  }
+  EXPECT_EQ(tiers.back(), BestSupportedTier());
+}
+
+TEST(SimdDispatchTest, OpsTableIsConsistent) {
+  for (Tier tier : SupportedTiers()) {
+    const Ops& ops = OpsForTier(tier);
+    EXPECT_EQ(ops.tier, tier);
+    EXPECT_STREQ(ops.name, TierName(tier));
+    ASSERT_NE(ops.popcount, nullptr);
+    ASSERT_NE(ops.popcount_and, nullptr);
+    ASSERT_NE(ops.and_store_popcount, nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, ForceActiveTierWinsOverEnvironment) {
+  const Ops& initial = ActiveOps();
+  ForceActiveTier(Tier::kScalar);
+  EXPECT_EQ(ActiveOps().tier, Tier::kScalar);
+  ForceActiveTier(BestSupportedTier());
+  EXPECT_EQ(ActiveOps().tier, BestSupportedTier());
+  // Restore whatever the process started with so test order cannot leak.
+  ForceActiveTier(initial.tier);
+  EXPECT_EQ(ActiveOps().tier, initial.tier);
+}
+
+/// Reference implementations, deliberately naive.
+size_t NaivePopcount(const uint64_t* words, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+TEST(SimdDispatchTest, AllTiersMatchNaiveOnRandomBuffers) {
+  Rng rng(90210);
+  // Lengths straddle every vector-width boundary: AVX2 consumes 4 words
+  // per step, AVX-512 eight, so 0..9 covers empty, sub-width, exact-width,
+  // and width-plus-tail shapes; the larger sizes stress multi-iteration
+  // bodies with tails.
+  std::vector<size_t> lengths = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                 15, 16, 17, 31, 32, 33, 100, 257};
+  for (size_t n : lengths) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<uint64_t> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mix dense, sparse, and patterned words so byte-level popcount
+        // bugs (e.g. a wrong nibble LUT entry) cannot hide.
+        switch (trial % 4) {
+          case 0: a[i] = rng.NextUint64(); break;
+          case 1: a[i] = rng.NextUint64() & rng.NextUint64(); break;
+          case 2: a[i] = ~uint64_t{0}; break;
+          default: a[i] = uint64_t{1} << (i % 64); break;
+        }
+        b[i] = rng.NextUint64();
+      }
+      const size_t want_pop = NaivePopcount(a.data(), n);
+      size_t want_and = 0;
+      std::vector<uint64_t> want_words(n);
+      for (size_t i = 0; i < n; ++i) {
+        want_words[i] = a[i] & b[i];
+        want_and += std::popcount(want_words[i]);
+      }
+
+      for (Tier tier : SupportedTiers()) {
+        const Ops& ops = OpsForTier(tier);
+        EXPECT_EQ(ops.popcount(a.data(), n), want_pop)
+            << ops.name << " n=" << n << " trial=" << trial;
+        EXPECT_EQ(ops.popcount_and(a.data(), b.data(), n), want_and)
+            << ops.name << " n=" << n << " trial=" << trial;
+        std::vector<uint64_t> out(n, 0xDEADBEEF);
+        EXPECT_EQ(ops.and_store_popcount(a.data(), b.data(), out.data(), n),
+                  want_and)
+            << ops.name << " n=" << n << " trial=" << trial;
+        EXPECT_EQ(out, want_words)
+            << ops.name << " n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, VectorOpsHandleUnalignedBuffers) {
+  // The kernels load with unaligned intrinsics; feed pointers at every
+  // offset within a word-misaligned allocation to prove it.
+  Rng rng(17);
+  std::vector<uint64_t> backing(40);
+  for (uint64_t& w : backing) w = rng.NextUint64();
+  for (size_t offset = 0; offset < 4; ++offset) {
+    const uint64_t* base = backing.data() + offset;
+    const size_t n = 33;
+    const size_t want = NaivePopcount(base, n);
+    for (Tier tier : SupportedTiers()) {
+      EXPECT_EQ(OpsForTier(tier).popcount(base, n), want)
+          << TierName(tier) << " offset=" << offset;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypermine::core::simd

@@ -1,0 +1,3 @@
+#include <immintrin.h>
+// A kernel that bypasses the dispatch table; the lint must reject it.
+int RogueAvxPopcount() { return 0; }

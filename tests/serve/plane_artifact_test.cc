@@ -1,0 +1,202 @@
+// Round-trip, corruption, and cache tests for the plane-artifact format —
+// the serve-layer persistence of core::ValuePlanes. Mirrors the snapshot
+// fuzz suite's philosophy: every truncation and every flipped byte must
+// yield a clean kCorrupted, never a crash or a silently wrong artifact.
+#include "serve/plane_artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/assoc_table.h"
+#include "core/discretize.h"
+#include "core/value_planes.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hypermine::serve {
+namespace {
+
+core::Database TestDb(uint64_t seed, size_t n, size_t m, size_t k) {
+  Rng rng(seed);
+  std::vector<std::vector<core::ValueId>> columns(
+      n, std::vector<core::ValueId>(m));
+  std::vector<std::string> names;
+  for (size_t a = 0; a < n; ++a) names.push_back("A" + std::to_string(a));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t o = 0; o < m; ++o) {
+      columns[a][o] = static_cast<core::ValueId>(rng.NextBounded(k));
+    }
+  }
+  auto db = core::DatabaseFromColumns(std::move(names), k, columns);
+  HM_CHECK_OK(db.status());
+  return std::move(db).value();
+}
+
+void ExpectSamePlanes(const core::ValuePlanes& a, const core::ValuePlanes& b) {
+  EXPECT_EQ(a.num_attributes, b.num_attributes);
+  EXPECT_EQ(a.num_observations, b.num_observations);
+  EXPECT_EQ(a.num_values, b.num_values);
+  EXPECT_EQ(a.words_per_plane, b.words_per_plane);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.words, b.words);
+}
+
+TEST(PlaneArtifactTest, RoundTripsPackedPlanes) {
+  core::Database db = TestDb(11, 5, 130, 4);
+  core::ValuePlanes planes = core::PackDatabasePlanes(db);
+  const std::string blob = SerializePlaneArtifact(planes);
+  EXPECT_TRUE(LooksLikePlaneArtifact(blob));
+
+  auto loaded = DeserializePlaneArtifact(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSamePlanes(planes, *loaded);
+  // The reuse precondition holds end to end: a deserialized artifact still
+  // matches the database it was packed from, and not a different one.
+  EXPECT_TRUE(loaded->Matches(db));
+  core::Database other = TestDb(12, 5, 130, 4);
+  EXPECT_FALSE(loaded->Matches(other));
+}
+
+TEST(PlaneArtifactTest, EveryTruncationIsCorrupted) {
+  core::Database db = TestDb(21, 3, 70, 3);
+  const std::string blob =
+      SerializePlaneArtifact(core::PackDatabasePlanes(db));
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto result = DeserializePlaneArtifact(blob.substr(0, len));
+    ASSERT_FALSE(result.ok()) << "prefix length " << len;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorrupted)
+        << "prefix length " << len;
+  }
+  // Trailing garbage is corruption too — the payload length is implied by
+  // the dimensions, so extra bytes mean the frame is wrong.
+  auto padded = DeserializePlaneArtifact(blob + std::string(8, '\0'));
+  EXPECT_EQ(padded.status().code(), StatusCode::kCorrupted);
+}
+
+TEST(PlaneArtifactTest, EveryFlippedByteIsCorruptedOrRejected) {
+  core::Database db = TestDb(31, 2, 65, 3);
+  const std::string blob =
+      SerializePlaneArtifact(core::PackDatabasePlanes(db));
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    std::string mutated = blob;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+    auto result = DeserializePlaneArtifact(mutated);
+    ASSERT_FALSE(result.ok()) << "flipped byte " << pos;
+    // Most flips land in the checksummed body (kCorrupted); a flip in the
+    // version field parses as an unsupported version (kInvalidArgument).
+    EXPECT_TRUE(result.status().code() == StatusCode::kCorrupted ||
+                result.status().code() == StatusCode::kInvalidArgument)
+        << "flipped byte " << pos << ": " << result.status().ToString();
+  }
+}
+
+TEST(PlaneArtifactTest, FileRoundTripAndMissingFile) {
+  core::Database db = TestDb(41, 4, 100, 5);
+  core::ValuePlanes planes = core::PackDatabasePlanes(db);
+  const std::string path = "/tmp/hypermine_plane_artifact_test.planes";
+  HM_CHECK_OK(WritePlaneArtifact(planes, path));
+  auto loaded = ReadPlaneArtifact(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSamePlanes(planes, *loaded);
+  std::remove(path.c_str());
+  EXPECT_EQ(ReadPlaneArtifact(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(PlaneArtifactTest, MemoryCachePacksOncePerDatabase) {
+  core::Database db = TestDb(51, 4, 120, 4);
+  core::Database other = TestDb(52, 4, 120, 4);
+  PlaneCache cache;
+
+  auto first = cache.GetOrPack(db);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->Matches(db));
+  auto second = cache.GetOrPack(db);
+  EXPECT_EQ(first.get(), second.get());  // same shared artifact, no repack
+  auto third = cache.GetOrPack(other);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_TRUE(third->Matches(other));
+
+  PlaneCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.packs, 2u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+}
+
+TEST(PlaneArtifactTest, DiskCachePersistsAcrossInstances) {
+  const std::string dir = "/tmp/hypermine_plane_cache_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  core::Database db = TestDb(61, 3, 90, 4);
+
+  {
+    PlaneCache cache(dir);
+    auto packed = cache.GetOrPack(db);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_EQ(cache.stats().packs, 1u);
+  }
+  // A fresh cache instance (fresh process, conceptually) finds the file.
+  {
+    PlaneCache cache(dir);
+    auto loaded = cache.GetOrPack(db);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->Matches(db));
+    PlaneCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.disk_hits, 1u);
+    EXPECT_EQ(stats.packs, 0u);
+    // Second lookup in the same instance is a memory hit.
+    (void)cache.GetOrPack(db);
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlaneArtifactTest, CorruptCacheFileDegradesToPacking) {
+  const std::string dir = "/tmp/hypermine_plane_cache_corrupt_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  core::Database db = TestDb(71, 3, 80, 3);
+
+  {
+    PlaneCache cache(dir);
+    (void)cache.GetOrPack(db);
+  }
+  // Truncate every cached artifact in place.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    HM_CHECK_OK(hypermine::WriteStringToFile(entry.path().string(),
+                                             "HMPLANES garbage"));
+  }
+  {
+    PlaneCache cache(dir);
+    auto packed = cache.GetOrPack(db);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_TRUE(packed->Matches(db));
+    PlaneCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.disk_hits, 0u);
+    EXPECT_EQ(stats.packs, 1u);
+  }
+  // An unwritable cache dir also degrades to packing instead of failing.
+  {
+    PlaneCache cache(dir + "/does/not/exist");
+    auto packed = cache.GetOrPack(db);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_EQ(cache.stats().packs, 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlaneArtifactTest, ArtifactIsNotMistakenForSnapshot) {
+  core::Database db = TestDb(81, 2, 50, 3);
+  const std::string blob =
+      SerializePlaneArtifact(core::PackDatabasePlanes(db));
+  EXPECT_TRUE(LooksLikePlaneArtifact(blob));
+  EXPECT_FALSE(LooksLikePlaneArtifact("HMSNAPSH rest"));
+  EXPECT_FALSE(LooksLikePlaneArtifact(""));
+}
+
+}  // namespace
+}  // namespace hypermine::serve

@@ -124,8 +124,16 @@ TEST(RuleIndexTest, TailKeyCanonicalization) {
   VertexId dup[] = {1, 1};
   EXPECT_EQ(RuleIndex::TailKey(dup), RuleIndex::kInvalidTailKey);
   EXPECT_EQ(RuleIndex::TailKey({}), RuleIndex::kInvalidTailKey);
-  VertexId big[] = {0xFFFF};
+  // 0xFFFF is a legal id since the 32-bit widening; only ids at or past
+  // kMaxVertices are rejected.
+  VertexId formerly_big[] = {0xFFFF};
+  EXPECT_NE(RuleIndex::TailKey(formerly_big), RuleIndex::kInvalidTailKey);
+  VertexId big[] = {core::kMaxVertices};
   EXPECT_EQ(RuleIndex::TailKey(big), RuleIndex::kInvalidTailKey);
+  // Full-width keys: ids congruent mod 2^16 no longer alias.
+  VertexId low[] = {0};
+  VertexId wide[] = {0x10000};
+  EXPECT_NE(RuleIndex::TailKey(low), RuleIndex::TailKey(wide));
 }
 
 TEST(RuleIndexTest, EmptyGraphServesNothing) {

@@ -37,7 +37,9 @@ METRICS = {
 # bench name -> keys that define the workload shape; a compare only makes
 # sense when every one of them matches.
 WORKLOAD_KEYS = {
-    "build_throughput": ("attrs", "rows", "k", "smoke"),
+    # "simd" makes the gate tier-aware: a --simd=scalar run is a different
+    # workload from an avx512 one and the two are never compared.
+    "build_throughput": ("attrs", "rows", "k", "smoke", "simd"),
     "net_throughput": ("vertices", "edges", "queries", "clients",
                        "pipeline", "num_reactors"),
     "serve_throughput": ("vertices", "edges", "queries"),
@@ -64,6 +66,63 @@ LATENCY_PAIRS = {
         ("multi_thread.p50_batch_ms", "multi_thread.p99_batch_ms"),
     ),
 }
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_build_structure(path, doc, bench):
+    """Structure checks specific to build_throughput: the SIMD dispatch
+    fields are validated unconditionally — in every document, whether or
+    not the throughput comparison runs — so an emitter that stops
+    recording its tier cannot hide behind a workload mismatch."""
+    if bench != "build_throughput":
+        return []
+    failures = []
+    simd = doc.get("simd")
+    if not isinstance(simd, str) or not simd:
+        failures.append(f"{path}: 'simd' missing or not a tier name "
+                        f"({simd!r})")
+    tiers = doc.get("simd_tiers")
+    if not isinstance(tiers, list) or not tiers:
+        failures.append(f"{path}: 'simd_tiers' missing or empty ({tiers!r})")
+    else:
+        for i, entry in enumerate(tiers):
+            if (not isinstance(entry, dict)
+                    or not isinstance(entry.get("tier"), str)
+                    or not is_number(entry.get("plane_ms"))
+                    or entry.get("plane_ms") <= 0
+                    or not is_number(entry.get("speedup_vs_scalar"))
+                    or entry.get("speedup_vs_scalar") <= 0):
+                failures.append(f"{path}: simd_tiers[{i}] malformed "
+                                f"({entry!r})")
+    if "large" not in doc:
+        failures.append(f"{path}: 'large' key absent (must be null or the "
+                        f"wide-id workload record)")
+    elif doc["large"] is not None:
+        large = doc["large"]
+        for key in ("attrs", "rows", "sampled_tails", "sampled_heads",
+                    "pack_ms", "reuse_lookup_ms", "pack_reuse_speedup"):
+            if not is_number(large.get(key)) or large.get(key) <= 0:
+                failures.append(f"{path}: large.{key} missing or "
+                                f"non-positive ({large.get(key)!r})")
+        if large.get("wide_snapshot_ok") is not True:
+            failures.append(f"{path}: large.wide_snapshot_ok is not true — "
+                            f"the wide-id snapshot round-trip failed")
+        ltiers = large.get("tiers")
+        if not isinstance(ltiers, list) or not ltiers:
+            failures.append(f"{path}: large.tiers missing or empty "
+                            f"({ltiers!r})")
+        else:
+            for i, entry in enumerate(ltiers):
+                if (not isinstance(entry, dict)
+                        or not isinstance(entry.get("tier"), str)
+                        or not is_number(entry.get("candidates_per_sec"))
+                        or entry.get("candidates_per_sec") <= 0):
+                    failures.append(f"{path}: large.tiers[{i}] malformed "
+                                    f"({entry!r})")
+    return failures
 
 
 def check_latencies(path, doc, bench):
@@ -138,6 +197,8 @@ def check_pair(baseline_path, fresh_path, threshold):
     # in both documents whenever present, never compared across them.
     failures.extend(check_latencies(baseline_path, baseline, bench))
     failures.extend(check_latencies(fresh_path, fresh, bench))
+    failures.extend(check_build_structure(baseline_path, baseline, bench))
+    failures.extend(check_build_structure(fresh_path, fresh, bench))
     if failures:
         return failures
 

@@ -20,6 +20,9 @@ job. Checks:
                  util/mutex.h, where the thread safety annotations live).
   suppressions   Every HM_NO_THREAD_SAFETY_ANALYSIS carries a one-line
                  justification comment.
+  intrinsics     Vendor intrinsic headers (<immintrin.h> and friends) are
+                 included only by src/core/simd.cc; everything else calls
+                 through the core/simd.h dispatch table.
 
 `--selftest` replays every fixture under tests/lint/fixtures/ — a known-
 bad mini-tree plus an EXPECT file naming the error it must provoke — and
@@ -63,6 +66,15 @@ BLOCKING_PATTERNS = (
 # wrapper itself, and api/model.h for std::once_flag (call_once is a
 # discipline the analysis cannot express; see the comment there).
 RAW_MUTEX_ALLOWED = ("src/util/mutex.h", "src/api/model.h")
+
+# The only file allowed to include vendor intrinsic headers: the runtime
+# SIMD dispatch unit. Everyone else calls through core/simd.h's function
+# table, so ISA-specific code cannot leak into portable translation units
+# (and a stray -mavx flag cannot silently change codegen elsewhere).
+INTRINSICS_ALLOWED = ("src/core/simd.cc",)
+INTRINSIC_INCLUDE = re.compile(
+    r"\s*#include\s+<((?:[a-z0-9_]*intrin|immintrin|x86intrin|arm_neon)"
+    r"[a-z0-9_]*\.h)>")
 
 METRIC_CALL = re.compile(
     r"Get(Counter|Gauge|Histogram)\s*\(\s*\"((?:[^\"\\]|\\.)+)\"")
@@ -237,12 +249,30 @@ def check_suppressions(root):
     return errors
 
 
+def check_intrinsics(root):
+    errors = []
+    for path in walk_sources(root, ("src", "tools", "bench"),
+                             (".h", ".cc")):
+        rel_path = rel(root, path)
+        if rel_path in INTRINSICS_ALLOWED:
+            continue
+        for lineno, line in enumerate(read(path).splitlines(), start=1):
+            match = INTRINSIC_INCLUDE.match(line)
+            if match:
+                errors.append(
+                    f"intrinsics: {rel_path}:{lineno} includes "
+                    f"<{match.group(1)}> directly; raw SIMD intrinsics live "
+                    "only in src/core/simd.cc behind the dispatch table")
+    return errors
+
+
 CHECKS = (
     check_status_codes,
     check_metrics,
     check_reactor_blocking,
     check_includes,
     check_suppressions,
+    check_intrinsics,
 )
 
 
